@@ -1,0 +1,19 @@
+//! # duoquest-baselines
+//!
+//! The comparison systems used in the Duoquest evaluation (paper §5):
+//!
+//! * [`nli`] — the NLI-only baseline (guided enumeration without a TSQ and
+//!   without the TSQ-independent semantic rules), standing in for
+//!   SyntaxSQLNet;
+//! * [`pbe`] — a SQuID-like programming-by-example baseline with the capability
+//!   envelope from paper Table 1 (no projected aggregates or numeric columns,
+//!   no negation/LIKE predicates);
+//! * [`ablations`] — the NoPQ and NoGuide ablations of §5.4.3.
+
+pub mod ablations;
+pub mod nli;
+pub mod pbe;
+
+pub use ablations::{NoGuide, NoPq};
+pub use nli::NliBaseline;
+pub use pbe::{PbeOutcome, SquidPbe};

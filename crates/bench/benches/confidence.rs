@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark for the ranking design choice called out in
+//! DESIGN.md: product-of-softmax confidence (Property 1) vs a geometric-mean
+//! alternative, measured on guidance-model scoring plus normalization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_db::CmpOp;
+use duoquest_nlq::guidance::normalize_scores;
+use duoquest_nlq::{Choice, GuidanceContext, GuidanceModel, HeuristicGuidance, Nlq};
+use duoquest_workloads::MasDataset;
+
+fn bench_confidence(c: &mut Criterion) {
+    let mas = MasDataset::standard();
+    let schema = mas.db.schema();
+    let nlq = Nlq::new("list authors with more than 5 publications in SIGMOD");
+    let ctx = GuidanceContext { nlq: &nlq, schema };
+    let model = HeuristicGuidance::new();
+    let year = schema.column_id("publication", "year").unwrap();
+    let candidates: Vec<Choice> =
+        CmpOp::ALL.iter().map(|op| Choice::Operator { column: year, op: *op }).collect();
+
+    let mut group = c.benchmark_group("confidence");
+    group.bench_function("product_of_softmax", |b| {
+        b.iter(|| {
+            let raw = model.score(&ctx, &candidates);
+            let scores = normalize_scores(&raw);
+            scores.iter().fold(0.35f64, |acc, s| acc * s)
+        })
+    });
+    group.bench_function("geometric_mean", |b| {
+        b.iter(|| {
+            let raw = model.score(&ctx, &candidates);
+            let scores = normalize_scores(&raw);
+            let product: f64 = scores.iter().product();
+            product.powf(1.0 / scores.len() as f64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_confidence);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: end-to-end GPQE enumeration throughput on one
+//! synthetic Spider task, with and without a TSQ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_core::{Duoquest, DuoquestConfig};
+use duoquest_nlq::NoisyOracleGuidance;
+use duoquest_workloads::{spider, synthesize_tsq, TsqDetail};
+use std::time::Duration;
+
+fn config() -> DuoquestConfig {
+    let mut cfg = DuoquestConfig::default();
+    cfg.max_candidates = 10;
+    cfg.max_expansions = 800;
+    cfg.time_budget = Some(Duration::from_millis(500));
+    cfg
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let dataset = spider::generate("bench", 1, 2, 2, 1, 17);
+    let task = &dataset.tasks[0];
+    let db = dataset.database(task);
+    let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 7);
+    let model = NoisyOracleGuidance::new(gold, 7);
+    let engine = Duoquest::new(config());
+
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    group.bench_function("with_tsq", |b| {
+        b.iter(|| engine.synthesize(db, &task.nlq, Some(&tsq), &model))
+    });
+    group.bench_function("without_tsq", |b| {
+        b.iter(|| engine.synthesize(db, &task.nlq, None, &model))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark: executor primitives on the MAS database —
+//! the cheap `LIMIT 1` verification probes vs a full grouped join query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_db::{
+    execute, AggFunc, CmpOp, JoinGraph, JoinTree, Predicate, SelectItem, SelectSpec, Value,
+};
+use duoquest_workloads::MasDataset;
+
+fn bench_executor(c: &mut Criterion) {
+    let mas = MasDataset::standard();
+    let schema = mas.db.schema();
+
+    // Column-wise probe: SELECT name FROM conference WHERE name = 'SIGMOD' LIMIT 1.
+    let conf_name = schema.column_id("conference", "name").unwrap();
+    let probe = SelectSpec {
+        select: vec![SelectItem::column(conf_name)],
+        join: JoinTree::single(schema.table_id("conference").unwrap()),
+        predicates: vec![Predicate::new(conf_name, CmpOp::Eq, Value::text("SIGMOD"))],
+        limit: Some(1),
+        ..Default::default()
+    };
+
+    // Full grouped join: authors and their publication counts.
+    let graph = JoinGraph::new(schema);
+    let author_name = schema.column_id("author", "name").unwrap();
+    let join = graph
+        .steiner_tree(&[
+            schema.table_id("author").unwrap(),
+            schema.table_id("publication").unwrap(),
+        ])
+        .unwrap();
+    let grouped = SelectSpec {
+        select: vec![SelectItem::column(author_name), SelectItem::count_star()],
+        join,
+        group_by: vec![author_name],
+        having: vec![Predicate::having(AggFunc::Count, None, CmpOp::Gt, Value::int(3))],
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("executor");
+    group.bench_function("column_probe_limit1", |b| b.iter(|| execute(&mas.db, &probe).unwrap()));
+    group
+        .bench_function("grouped_three_way_join", |b| b.iter(|| execute(&mas.db, &grouped).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: progressive join path construction (Steiner tree
+//! + FK extensions) on the MAS schema, at different extension depths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_core::joinpath::construct_join_paths;
+use duoquest_db::JoinGraph;
+use duoquest_sql::{PartialQuery, PartialSelectItem, SelectColumn, Slot};
+use duoquest_workloads::MasDataset;
+
+fn bench_join_paths(c: &mut Criterion) {
+    let mas = MasDataset::standard();
+    let schema = mas.db.schema();
+    let graph = JoinGraph::new(schema);
+    let mut pq = PartialQuery::empty();
+    pq.select = Slot::Filled(vec![
+        PartialSelectItem::with_column(SelectColumn::Column(
+            schema.column_id("author", "name").unwrap(),
+        )),
+        PartialSelectItem::with_column(SelectColumn::Column(
+            schema.column_id("organization", "name").unwrap(),
+        )),
+    ]);
+
+    let mut group = c.benchmark_group("join_paths");
+    for depth in [0usize, 1, 2] {
+        group.bench_function(format!("extension_depth_{depth}"), |b| {
+            b.iter(|| construct_join_paths(&mas.db, &graph, &pq, None, depth))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_paths);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmark: cost of the verification cascade (the design
+//! choice benchmarked is cheap-first ordering — the database-free stages are
+//! orders of magnitude cheaper than the probing stages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_core::{TableSketchQuery, TsqCell, Verifier};
+use duoquest_db::DataType;
+use duoquest_nlq::Literal;
+use duoquest_sql::{
+    ClauseSet, PartialPredicate, PartialQuery, PartialSelectItem, SelectColumn, Slot,
+};
+use duoquest_workloads::MasDataset;
+
+fn partial_query(mas: &MasDataset) -> PartialQuery {
+    let s = mas.db.schema();
+    let graph = duoquest_db::JoinGraph::new(s);
+    let join = graph
+        .steiner_tree(&[s.table_id("conference").unwrap(), s.table_id("publication").unwrap()])
+        .unwrap();
+    PartialQuery {
+        clauses: Slot::Filled(ClauseSet { where_clause: true, ..Default::default() }),
+        select: Slot::Filled(vec![
+            PartialSelectItem {
+                col: Slot::Filled(SelectColumn::Column(s.column_id("publication", "title").unwrap())),
+                agg: Slot::Filled(None),
+            },
+            PartialSelectItem {
+                col: Slot::Filled(SelectColumn::Column(s.column_id("publication", "year").unwrap())),
+                agg: Slot::Filled(None),
+            },
+        ]),
+        join: Some(join),
+        where_predicates: Slot::Filled(vec![PartialPredicate {
+            col: Slot::Filled(s.column_id("conference", "name").unwrap()),
+            op: Slot::Filled(duoquest_db::CmpOp::Eq),
+            value: Slot::Filled(duoquest_db::Value::text("SIGMOD")),
+            value2: None,
+        }]),
+        where_op: Slot::Filled(duoquest_db::LogicalOp::And),
+        ..PartialQuery::empty()
+    }
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mas = MasDataset::standard();
+    let pq = partial_query(&mas);
+    let tsq = TableSketchQuery::with_types(vec![DataType::Text, DataType::Number])
+        .with_tuple(vec![TsqCell::text("Paper 0020"), TsqCell::Empty]);
+    let literals = vec![Literal::text("SIGMOD", duoquest_db::Value::text("SIGMOD"))];
+
+    let mut group = c.benchmark_group("verification");
+    group.bench_function("full_cascade", |b| {
+        let verifier = Verifier::new(&mas.db, Some(&tsq), &literals, true);
+        b.iter(|| verifier.verify(&pq))
+    });
+    group.bench_function("cheap_stages_only", |b| {
+        let verifier = Verifier::new(&mas.db, None, &literals, true);
+        b.iter(|| verifier.verify(&pq))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

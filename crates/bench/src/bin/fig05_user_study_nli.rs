@@ -1,0 +1,17 @@
+//! Regenerates paper Figure 5: % of successful trials per task, Duoquest vs NLI.
+
+use duoquest_bench::user_study::{nli_study, success_table};
+use duoquest_workloads::MasDataset;
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let mas = MasDataset::standard();
+    let rows = nli_study(&mas, trials);
+    println!(
+        "{}",
+        success_table(
+            &format!("Figure 5 — NLI study success rate (%) over {trials} simulated trials/arm"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Figure 7: % of successful trials per task, Duoquest vs PBE.
+
+use duoquest_bench::user_study::{pbe_study, success_table};
+use duoquest_workloads::MasDataset;
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let mas = MasDataset::standard();
+    let rows = pbe_study(&mas, trials);
+    println!(
+        "{}",
+        success_table(
+            &format!("Figure 7 — PBE study success rate (%) over {trials} simulated trials/arm"),
+            &rows
+        )
+    );
+}

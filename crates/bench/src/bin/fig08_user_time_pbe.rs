@@ -1,0 +1,17 @@
+//! Regenerates paper Figure 8: mean trial time per task (successful trials), PBE study.
+
+use duoquest_bench::user_study::{pbe_study, time_table};
+use duoquest_workloads::MasDataset;
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let mas = MasDataset::standard();
+    let rows = pbe_study(&mas, trials);
+    println!(
+        "{}",
+        time_table(
+            &format!("Figure 8 — PBE study mean trial time (s) over {trials} simulated trials/arm"),
+            &rows
+        )
+    );
+}

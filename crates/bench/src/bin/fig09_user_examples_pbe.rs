@@ -1,0 +1,17 @@
+//! Regenerates paper Figure 9: mean number of examples per task, PBE study.
+
+use duoquest_bench::user_study::{examples_table, pbe_study};
+use duoquest_workloads::MasDataset;
+
+fn main() {
+    let trials = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let mas = MasDataset::standard();
+    let rows = pbe_study(&mas, trials);
+    println!(
+        "{}",
+        examples_table(
+            &format!("Figure 9 — PBE study mean #examples over {trials} simulated trials/arm"),
+            &rows
+        )
+    );
+}

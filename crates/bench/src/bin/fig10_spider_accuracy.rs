@@ -1,0 +1,18 @@
+//! Regenerates paper Figure 10: top-1/top-10 accuracy on the Spider-like
+//! dev and test splits for Duoquest and NLI, plus Correct/Unsupported for PBE.
+
+use duoquest_bench::spider_eval::{accuracy_table, spider_accuracy_experiment};
+use duoquest_bench::EvalSettings;
+use duoquest_workloads::TsqDetail;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let settings = EvalSettings::from_args(&args);
+    for dataset in [settings.dev(), settings.test()] {
+        let records = spider_accuracy_experiment(&dataset, &settings, TsqDetail::Full);
+        println!("{}", accuracy_table(&format!("Spider {}", dataset.name), &records));
+    }
+    if !settings.full {
+        println!("(reduced splits; pass --full for the paper-sized 589/1247-task splits)");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 11: task correctness broken down by difficulty.
+
+use duoquest_bench::spider_eval::{difficulty_table, spider_accuracy_experiment};
+use duoquest_bench::EvalSettings;
+use duoquest_workloads::TsqDetail;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let settings = EvalSettings::from_args(&args);
+    for dataset in [settings.dev(), settings.test()] {
+        let records = spider_accuracy_experiment(&dataset, &settings, TsqDetail::Full);
+        println!("{}", difficulty_table(&format!("Spider {}", dataset.name), &records));
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 12: time-to-correct-query distributions for
+//! Duoquest, NoPQ (no partial-query pruning) and NoGuide (unguided search).
+
+use duoquest_bench::spider_eval::ablation_experiment;
+use duoquest_bench::EvalSettings;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let settings = EvalSettings::from_args(&args);
+    for dataset in [settings.dev(), settings.test()] {
+        println!("--- Spider {} ---", dataset.name);
+        println!("{}", ablation_experiment(&dataset, &settings));
+    }
+}

@@ -1,0 +1,59 @@
+//! Runs every experiment of the evaluation in sequence (Table 5, Figures 5–12,
+//! Table 6). Pass `--full` for the paper-sized splits.
+
+use duoquest_bench::spider_eval::{
+    ablation_experiment, accuracy_table, difficulty_table, spider_accuracy_experiment,
+    tsq_detail_experiment,
+};
+use duoquest_bench::user_study::{
+    examples_table, nli_study, pbe_study, success_table, time_table,
+};
+use duoquest_bench::EvalSettings;
+use duoquest_workloads::{
+    mas_nli_tasks, mas_pbe_tasks, DatasetStats, Difficulty, MasDataset, TsqDetail,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let settings = EvalSettings::from_args(&args);
+    let trials = 8usize;
+
+    // Table 5.
+    let mas = MasDataset::standard();
+    let nli_levels: Vec<Difficulty> = mas_nli_tasks(&mas).iter().map(|t| t.level).collect();
+    let pbe_levels: Vec<Difficulty> = mas_pbe_tasks(&mas).iter().map(|t| t.level).collect();
+    let dev = settings.dev();
+    let test = settings.test();
+    println!("\n=== Table 5 — datasets ===");
+    println!("{}", DatasetStats::header());
+    println!("{}", DatasetStats::compute("MAS (NLI study)", &[&mas.db], &nli_levels));
+    println!("{}", DatasetStats::compute("MAS (PBE study)", &[&mas.db], &pbe_levels));
+    println!("{}", DatasetStats::of_spider(&dev));
+    println!("{}", DatasetStats::of_spider(&test));
+
+    // Figures 5–6.
+    let nli_rows = nli_study(&mas, trials);
+    println!("{}", success_table("Figure 5 — NLI study success rate (%)", &nli_rows));
+    println!("{}", time_table("Figure 6 — NLI study mean trial time (s)", &nli_rows));
+
+    // Figures 7–9.
+    let pbe_rows = pbe_study(&mas, trials);
+    println!("{}", success_table("Figure 7 — PBE study success rate (%)", &pbe_rows));
+    println!("{}", time_table("Figure 8 — PBE study mean trial time (s)", &pbe_rows));
+    println!("{}", examples_table("Figure 9 — PBE study mean #examples", &pbe_rows));
+
+    // Figures 10–11.
+    for dataset in [&dev, &test] {
+        let records = spider_accuracy_experiment(dataset, &settings, TsqDetail::Full);
+        println!("{}", accuracy_table(&format!("Spider {}", dataset.name), &records));
+        println!("{}", difficulty_table(&format!("Spider {}", dataset.name), &records));
+    }
+
+    // Figure 12 and Table 6 (dev split only, as in the ablation discussion).
+    println!("{}", ablation_experiment(&dev, &settings));
+    println!("{}", tsq_detail_experiment(&dev, &settings, 100));
+
+    if !settings.full {
+        println!("\n(reduced splits; pass --full for the paper-sized 589/1247-task splits)");
+    }
+}

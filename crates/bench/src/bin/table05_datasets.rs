@@ -1,0 +1,24 @@
+//! Regenerates paper Table 5: dataset statistics.
+
+use duoquest_bench::EvalSettings;
+use duoquest_workloads::{mas_nli_tasks, mas_pbe_tasks, DatasetStats, Difficulty, MasDataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let settings = EvalSettings::from_args(&args);
+
+    let mas = MasDataset::standard();
+    let nli_levels: Vec<Difficulty> = mas_nli_tasks(&mas).iter().map(|t| t.level).collect();
+    let pbe_levels: Vec<Difficulty> = mas_pbe_tasks(&mas).iter().map(|t| t.level).collect();
+    let dev = settings.dev();
+    let test = settings.test();
+
+    println!("{}", DatasetStats::header());
+    println!("{}", DatasetStats::compute("MAS (NLI study)", &[&mas.db], &nli_levels));
+    println!("{}", DatasetStats::compute("MAS (PBE study)", &[&mas.db], &pbe_levels));
+    println!("{}", DatasetStats::of_spider(&dev));
+    println!("{}", DatasetStats::of_spider(&test));
+    if !settings.full {
+        println!("(reduced splits; pass --full for the paper-sized 589/1247-task splits)");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Table 6: exact-matching accuracy for TSQs with varying
+//! amounts of specification detail (Full / Partial / Minimal) vs the NLI baseline.
+
+use duoquest_bench::spider_eval::tsq_detail_experiment;
+use duoquest_bench::EvalSettings;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let settings = EvalSettings::from_args(&args);
+    let max_rank = args
+        .iter()
+        .position(|a| a == "--max-rank")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    for dataset in [settings.dev(), settings.test()] {
+        println!("--- Spider {} ---", dataset.name);
+        println!("{}", tsq_detail_experiment(&dataset, &settings, max_rank));
+    }
+}

@@ -1,0 +1,26 @@
+//! Small text-report helpers shared by the experiment binaries.
+
+/// Format a ratio as a percentage with one decimal.
+pub fn percent(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        return "  n/a".to_string();
+    }
+    format!("{:5.1}", 100.0 * numerator as f64 / denominator as f64)
+}
+
+/// Render a section header.
+pub fn header(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(1, 2), " 50.0");
+        assert_eq!(percent(0, 0), "  n/a");
+        assert!(header("Figure 10").contains("Figure 10"));
+    }
+}

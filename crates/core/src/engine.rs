@@ -1,0 +1,221 @@
+//! The Duoquest engine: the public entry point tying together guidance,
+//! enumeration and verification, returning a ranked candidate list.
+
+use crate::config::DuoquestConfig;
+use crate::enumerate::{enumerate, EnumerationStats};
+use crate::tsq::TableSketchQuery;
+use duoquest_db::{Database, SelectSpec};
+use duoquest_nlq::{GuidanceModel, Nlq};
+use duoquest_sql::{queries_equivalent, render_sql};
+use std::time::Duration;
+
+/// One candidate query returned to the user.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The executable query.
+    pub spec: SelectSpec,
+    /// The confidence score (product of per-decision scores).
+    pub confidence: f64,
+    /// Position in emission order (0 = first query found).
+    pub emit_index: usize,
+    /// Wall-clock time at which the candidate was emitted.
+    pub emitted_at: Duration,
+}
+
+/// The result of one synthesis call.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisResult {
+    /// Candidates, ranked from highest to lowest confidence.
+    pub candidates: Vec<Candidate>,
+    /// Enumeration statistics.
+    pub stats: EnumerationStats,
+}
+
+impl SynthesisResult {
+    /// 1-based rank of the gold query among the ranked candidates, if present.
+    pub fn rank_of(&self, gold: &SelectSpec) -> Option<usize> {
+        self.candidates
+            .iter()
+            .position(|c| queries_equivalent(&c.spec, gold))
+            .map(|i| i + 1)
+    }
+
+    /// Whether the gold query appears within the top `k` ranked candidates.
+    pub fn in_top_k(&self, gold: &SelectSpec, k: usize) -> bool {
+        self.rank_of(gold).map(|r| r <= k).unwrap_or(false)
+    }
+
+    /// The time at which the gold query was first emitted, if it was found.
+    pub fn time_to_find(&self, gold: &SelectSpec) -> Option<Duration> {
+        self.candidates
+            .iter()
+            .filter(|c| queries_equivalent(&c.spec, gold))
+            .map(|c| c.emitted_at)
+            .min()
+    }
+
+    /// Render the ranked candidates as SQL strings.
+    pub fn rendered(&self, db: &Database) -> Vec<String> {
+        self.candidates.iter().map(|c| render_sql(&c.spec, db.schema())).collect()
+    }
+}
+
+/// The dual-specification synthesis engine.
+#[derive(Debug, Clone, Default)]
+pub struct Duoquest {
+    config: DuoquestConfig,
+}
+
+impl Duoquest {
+    /// Create an engine with an explicit configuration.
+    pub fn new(config: DuoquestConfig) -> Self {
+        Duoquest { config }
+    }
+
+    /// Create an engine with the default configuration.
+    pub fn with_defaults() -> Self {
+        Duoquest { config: DuoquestConfig::default() }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DuoquestConfig {
+        &self.config
+    }
+
+    /// Synthesize candidate queries from the dual specification: an NLQ (with
+    /// tagged literals) plus an optional TSQ. Returns the ranked candidates.
+    pub fn synthesize(
+        &self,
+        db: &Database,
+        nlq: &Nlq,
+        tsq: Option<&TableSketchQuery>,
+        model: &dyn GuidanceModel,
+    ) -> SynthesisResult {
+        self.synthesize_with(db, nlq, tsq, model, |_c| true)
+    }
+
+    /// Streaming variant: `on_candidate` observes candidates in emission order
+    /// (highest-confidence first under guided search) and may return `false` to
+    /// stop the enumeration early — the paper's front end does exactly this
+    /// when the user clicks "Stop Task".
+    pub fn synthesize_with<F>(
+        &self,
+        db: &Database,
+        nlq: &Nlq,
+        tsq: Option<&TableSketchQuery>,
+        model: &dyn GuidanceModel,
+        mut on_candidate: F,
+    ) -> SynthesisResult
+    where
+        F: FnMut(&Candidate) -> bool,
+    {
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let stats = enumerate(db, nlq, model, tsq, &self.config, |spec, confidence, emitted_at| {
+            // De-duplicate canonically equivalent candidates, keeping the
+            // higher-confidence copy.
+            if let Some(existing) =
+                candidates.iter_mut().find(|c| queries_equivalent(&c.spec, &spec))
+            {
+                if confidence > existing.confidence {
+                    existing.confidence = confidence;
+                }
+                return true;
+            }
+            let candidate = Candidate {
+                spec,
+                confidence,
+                emit_index: candidates.len(),
+                emitted_at,
+            };
+            let keep_going = on_candidate(&candidate);
+            candidates.push(candidate);
+            keep_going
+        });
+        candidates.sort_by(|a, b| {
+            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        SynthesisResult { candidates, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsq::TsqCell;
+    use crate::verify::test_fixtures::movie_db;
+    use duoquest_db::{CmpOp, DataType};
+    use duoquest_nlq::{Literal, NoisyOracleGuidance, OracleConfig};
+    use duoquest_sql::QueryBuilder;
+
+    fn gold(db: &Database) -> SelectSpec {
+        QueryBuilder::new(db.schema())
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap()
+    }
+
+    fn nlq() -> Nlq {
+        Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)])
+    }
+
+    #[test]
+    fn dual_specification_ranks_gold_first() {
+        let db = movie_db();
+        let gold = gold(&db);
+        let model = NoisyOracleGuidance::with_config(gold.clone(), 3, OracleConfig::perfect());
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![TsqCell::text("Forrest Gump")]);
+        let engine = Duoquest::new(DuoquestConfig::fast());
+        let result = engine.synthesize(&db, &nlq(), Some(&tsq), &model);
+        assert_eq!(result.rank_of(&gold), Some(1));
+        assert!(result.in_top_k(&gold, 1));
+        assert!(result.time_to_find(&gold).is_some());
+        assert!(!result.rendered(&db).is_empty());
+    }
+
+    #[test]
+    fn streaming_early_stop() {
+        let db = movie_db();
+        let gold = gold(&db);
+        let model = NoisyOracleGuidance::with_config(gold.clone(), 3, OracleConfig::perfect());
+        let engine = Duoquest::new(DuoquestConfig::fast());
+        let mut seen = 0;
+        let result = engine.synthesize_with(&db, &nlq(), None, &model, |_c| {
+            seen += 1;
+            seen < 2
+        });
+        assert!(result.candidates.len() <= 2);
+    }
+
+    #[test]
+    fn candidates_are_deduplicated_and_sorted() {
+        let db = movie_db();
+        let gold = gold(&db);
+        let model = NoisyOracleGuidance::new(gold.clone(), 5);
+        let engine = Duoquest::new(DuoquestConfig::fast());
+        let result = engine.synthesize(&db, &nlq(), None, &model);
+        for pair in result.candidates.windows(2) {
+            assert!(pair[0].confidence >= pair[1].confidence);
+        }
+        for (i, a) in result.candidates.iter().enumerate() {
+            for b in result.candidates.iter().skip(i + 1) {
+                assert!(!queries_equivalent(&a.spec, &b.spec));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_gold_rank_is_none() {
+        let db = movie_db();
+        let gold = gold(&db);
+        let other = QueryBuilder::new(db.schema()).select("actor.gender").build().unwrap();
+        let model = NoisyOracleGuidance::with_config(gold, 3, OracleConfig::perfect());
+        let engine = Duoquest::new(DuoquestConfig::fast());
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![TsqCell::text("Forrest Gump")]);
+        let result = engine.synthesize(&db, &nlq(), Some(&tsq), &model);
+        assert_eq!(result.rank_of(&other), None);
+        assert!(!result.in_top_k(&other, 100));
+    }
+}

@@ -1,0 +1,845 @@
+//! Guided partial query enumeration (GPQE, paper Algorithm 1).
+//!
+//! The enumerator maintains a priority queue of [`EnumState`]s ordered by
+//! confidence (the product of per-decision scores, paper §3.3.3). On each
+//! iteration the highest-confidence state is popped, `EnumNextStep` produces
+//! the candidate children for the next inference decision (following the
+//! module order of Table 3), progressive join path construction attaches
+//! executable join paths, and each child is verified against the TSQ with the
+//! ascending-cost cascade. Surviving complete queries are emitted as candidate
+//! queries; surviving partial queries are pushed back onto the queue.
+
+use crate::config::DuoquestConfig;
+use crate::joinpath::construct_join_paths;
+use crate::state::EnumState;
+use crate::tsq::TableSketchQuery;
+use crate::verify::{Verifier, VerifyOutcome, VerifyStage};
+use duoquest_db::{AggFunc, CmpOp, Database, DataType, JoinGraph, LogicalOp, OrderKey, Value};
+use duoquest_nlq::{Choice, GuidanceContext, GuidanceModel, HavingChoice, LiteralKind, Nlq, OrderChoice};
+use duoquest_sql::{
+    ClauseSet, PartialHaving, PartialOrder, PartialPredicate, PartialQuery, PartialSelectItem,
+    SelectColumn, Slot,
+};
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Counters describing one enumeration run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnumerationStats {
+    /// States popped from the priority queue.
+    pub expanded: usize,
+    /// Child states generated (before verification).
+    pub generated: usize,
+    /// Child states pruned per verification stage.
+    pub pruned_clauses: usize,
+    /// Pruned by the semantic rules.
+    pub pruned_semantics: usize,
+    /// Pruned by projected-type checks.
+    pub pruned_types: usize,
+    /// Pruned by column-wise probes.
+    pub pruned_by_column: usize,
+    /// Pruned by row-wise probes.
+    pub pruned_by_row: usize,
+    /// Complete queries rejected by the literal-usage check.
+    pub pruned_literals: usize,
+    /// Complete queries rejected by the order check.
+    pub pruned_by_order: usize,
+    /// Candidate queries emitted.
+    pub emitted: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Whether the search space was exhausted before hitting any budget.
+    pub exhausted: bool,
+}
+
+impl EnumerationStats {
+    /// Total number of pruned states.
+    pub fn total_pruned(&self) -> usize {
+        self.pruned_clauses
+            + self.pruned_semantics
+            + self.pruned_types
+            + self.pruned_by_column
+            + self.pruned_by_row
+            + self.pruned_literals
+            + self.pruned_by_order
+    }
+
+    fn record(&mut self, stage: VerifyStage) {
+        match stage {
+            VerifyStage::Clauses => self.pruned_clauses += 1,
+            VerifyStage::Semantics => self.pruned_semantics += 1,
+            VerifyStage::ColumnTypes => self.pruned_types += 1,
+            VerifyStage::ByColumn => self.pruned_by_column += 1,
+            VerifyStage::ByRow => self.pruned_by_row += 1,
+            VerifyStage::Literals => self.pruned_literals += 1,
+            VerifyStage::ByOrder => self.pruned_by_order += 1,
+        }
+    }
+}
+
+/// Run GPQE. `on_candidate` receives every emitted candidate (its partial query
+/// lowered to an executable spec, its confidence and the time of emission) and
+/// returns `false` to stop the enumeration early.
+pub fn enumerate<F>(
+    db: &Database,
+    nlq: &Nlq,
+    model: &dyn GuidanceModel,
+    tsq: Option<&TableSketchQuery>,
+    config: &DuoquestConfig,
+    mut on_candidate: F,
+) -> EnumerationStats
+where
+    F: FnMut(duoquest_db::SelectSpec, f64, Duration) -> bool,
+{
+    let start = Instant::now();
+    let mut stats = EnumerationStats::default();
+    let graph = JoinGraph::new(db.schema());
+    let ctx = GuidanceContext { nlq, schema: db.schema() };
+
+    // Partial queries are only verified when partial pruning is enabled; complete
+    // queries always get the full cascade (this is what makes NoPQ equivalent to
+    // the naive chaining approach of paper §3.5).
+    let partial_verifier = Verifier::new(
+        db,
+        if config.prune_partial { tsq } else { None },
+        &nlq.literals,
+        config.semantic_rules && config.prune_partial,
+    );
+    let complete_verifier = Verifier::new(db, tsq, &nlq.literals, config.semantic_rules);
+
+    let mut heap: BinaryHeap<EnumState> = BinaryHeap::new();
+    let mut sequence: u64 = 0;
+    heap.push(EnumState::root());
+
+    'outer: while let Some(state) = heap.pop() {
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() > budget {
+                stats.elapsed = start.elapsed();
+                return stats;
+            }
+        }
+        if stats.expanded >= config.max_expansions {
+            break;
+        }
+        stats.expanded += 1;
+
+        let Some(children) = enum_next_step(&state.pq, db, nlq, config) else {
+            // No decision left: the state is complete (already verified and
+            // emitted when it was generated), nothing to do.
+            continue;
+        };
+        if children.is_empty() {
+            continue; // dead end (e.g. no literal can fill a predicate value)
+        }
+
+        // Score the decision with the guidance model (uniform when unguided).
+        let choices: Vec<Choice> = children.iter().map(|(c, _)| c.clone()).collect();
+        let raw = if config.guided {
+            model.score(&ctx, &choices)
+        } else {
+            vec![1.0; choices.len()]
+        };
+        let scores = duoquest_nlq::guidance::normalize_scores(&raw);
+
+        let mut since_budget_check = 0usize;
+        for ((_, child_pq), score) in children.into_iter().zip(scores) {
+            // A single decision can fan out into thousands of children on wide
+            // schemas; honor the time budget inside the fan-out as well.
+            since_budget_check += 1;
+            if since_budget_check % 64 == 0 {
+                if let Some(budget) = config.time_budget {
+                    if start.elapsed() > budget {
+                        stats.elapsed = start.elapsed();
+                        return stats;
+                    }
+                }
+            }
+            let confidence = state.confidence * score;
+            // Cheap pre-verification before paying for join path construction:
+            // the clause, semantic, type and column-wise stages do not need a
+            // join path, and they eliminate the bulk of the fan-out.
+            if config.prune_partial && !child_pq.is_complete() {
+                if let VerifyOutcome::Fail(stage) = partial_verifier.verify(&child_pq) {
+                    stats.generated += 1;
+                    stats.record(stage);
+                    continue;
+                }
+            }
+            // Attach candidate join paths (progressive join path construction).
+            for pq in attach_join_paths(child_pq, db, &graph, config) {
+                stats.generated += 1;
+                let complete = pq.is_complete();
+                let outcome = if complete {
+                    complete_verifier.verify(&pq)
+                } else {
+                    partial_verifier.verify(&pq)
+                };
+                match outcome {
+                    VerifyOutcome::Fail(stage) => {
+                        if complete || config.prune_partial {
+                            stats.record(stage);
+                        }
+                        if complete || config.prune_partial {
+                            continue;
+                        }
+                        // Unverified partial (NoPQ): keep exploring it.
+                        sequence += 1;
+                        heap.push(EnumState {
+                            pq,
+                            confidence,
+                            decisions: state.decisions + 1,
+                            sequence,
+                        });
+                    }
+                    VerifyOutcome::Pass => {
+                        if complete {
+                            stats.emitted += 1;
+                            let spec = pq.to_spec().expect("complete partial query lowers");
+                            if !on_candidate(spec, confidence, start.elapsed())
+                                || stats.emitted >= config.max_candidates
+                            {
+                                stats.elapsed = start.elapsed();
+                                return stats;
+                            }
+                        } else {
+                            sequence += 1;
+                            heap.push(EnumState {
+                                pq,
+                                confidence,
+                                decisions: state.decisions + 1,
+                                sequence,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Bound the frontier size: drop the lowest-confidence states.
+        if heap.len() > config.max_states {
+            let mut states: Vec<EnumState> = heap.into_vec();
+            states.sort_by(|a, b| b.cmp(a));
+            states.truncate(config.max_states / 2);
+            heap = BinaryHeap::from(states);
+        }
+        if start.elapsed() > config.time_budget.unwrap_or(Duration::MAX) {
+            break 'outer;
+        }
+    }
+
+    stats.exhausted = heap.is_empty() && stats.expanded < config.max_expansions;
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// Attach join paths to a freshly generated child: if the child's referenced
+/// tables are not covered by its current join path (or it has none yet and its
+/// projection is decided), produce one child per candidate join path.
+fn attach_join_paths(
+    pq: PartialQuery,
+    db: &Database,
+    graph: &JoinGraph,
+    config: &DuoquestConfig,
+) -> Vec<PartialQuery> {
+    if pq.select.is_hole() {
+        return vec![pq];
+    }
+    let referenced: Vec<_> = pq.referenced_columns().iter().map(|c| c.table).collect();
+    let covered = pq
+        .join
+        .as_ref()
+        .map(|j| referenced.iter().all(|t| j.contains(*t)))
+        .unwrap_or(false);
+    if covered {
+        return vec![pq];
+    }
+    let paths =
+        construct_join_paths(db, graph, &pq, pq.join.as_ref(), config.join_extension_depth);
+    paths
+        .into_iter()
+        .map(|join| {
+            let mut child = pq.clone();
+            child.join = Some(join);
+            child
+        })
+        .collect()
+}
+
+/// `EnumNextStep`: produce the candidate children of the next inference
+/// decision, following the module order of paper Table 3. Returns `None` when
+/// the partial query has no remaining decision.
+#[allow(clippy::type_complexity)]
+pub fn enum_next_step(
+    pq: &PartialQuery,
+    db: &Database,
+    nlq: &Nlq,
+    config: &DuoquestConfig,
+) -> Option<Vec<(Choice, PartialQuery)>> {
+    let schema = db.schema();
+
+    // 1. KW module: which clauses exist.
+    if pq.clauses.is_hole() {
+        return Some(
+            ClauseSet::all()
+                .into_iter()
+                .map(|cs| {
+                    let mut child = pq.clone();
+                    child.clauses = Slot::Filled(cs);
+                    (Choice::Clauses(cs), child)
+                })
+                .collect(),
+        );
+    }
+    let clauses = *pq.clauses.as_ref().expect("clauses decided above");
+
+    // 2. COL module (SELECT): the projected column list. Surrogate key columns
+    // (primary keys and foreign keys) are excluded from the candidate pool —
+    // mirroring what the trained COL module learns on Spider, where gold
+    // queries never project join keys — which keeps the power-set expansion
+    // tractable on wide schemas such as MAS.
+    if pq.select.is_hole() {
+        let mut options: Vec<SelectColumn> = schema
+            .all_columns()
+            .filter(|c| !schema.is_key_column(*c))
+            .map(SelectColumn::Column)
+            .collect();
+        options.push(SelectColumn::Star);
+        let subsets = column_subsets(&options, config.max_select_columns);
+        return Some(
+            subsets
+                .into_iter()
+                .map(|cols| {
+                    let mut child = pq.clone();
+                    child.select = Slot::Filled(
+                        cols.iter().map(|c| PartialSelectItem::with_column(*c)).collect(),
+                    );
+                    (Choice::SelectColumns(cols), child)
+                })
+                .collect(),
+        );
+    }
+    let select = pq.select.as_ref().expect("select decided above").clone();
+
+    // 3. AGG module: one aggregate decision per projected item.
+    if let Some(idx) = select.iter().position(|i| i.agg.is_hole()) {
+        let column = *select[idx].col.as_ref().expect("column decided before aggregate");
+        let candidates: Vec<Option<AggFunc>> = match column {
+            SelectColumn::Star => vec![Some(AggFunc::Count)],
+            SelectColumn::Column(c) => {
+                let mut v = vec![None, Some(AggFunc::Count)];
+                if schema.column(c).dtype == DataType::Number {
+                    v.extend([
+                        Some(AggFunc::Max),
+                        Some(AggFunc::Min),
+                        Some(AggFunc::Sum),
+                        Some(AggFunc::Avg),
+                    ]);
+                }
+                v
+            }
+        };
+        return Some(
+            candidates
+                .into_iter()
+                .map(|agg| {
+                    let mut child = pq.clone();
+                    if let Slot::Filled(items) = &mut child.select {
+                        items[idx].agg = Slot::Filled(agg);
+                    }
+                    (Choice::Aggregate { column, agg }, child)
+                })
+                .collect(),
+        );
+    }
+
+    // 4. COL module (WHERE): predicate columns (key columns excluded, as above).
+    // Multisets are generated — the same column may carry two predicates, as in
+    // the paper's motivating example (`year < 1995 OR year > 2000`).
+    if clauses.where_clause && pq.where_predicates.is_hole() {
+        let options: Vec<_> =
+            schema.all_columns().filter(|c| !schema.is_key_column(*c)).collect();
+        let mut out = Vec::new();
+        for size in 1..=config.max_where_predicates.min(options.len()) {
+            for combo in multiset_combinations(&options, size) {
+                let mut child = pq.clone();
+                child.where_predicates = Slot::Filled(
+                    combo.iter().map(|c| PartialPredicate::with_column(*c)).collect(),
+                );
+                if combo.len() <= 1 {
+                    child.where_op = Slot::Filled(LogicalOp::And);
+                }
+                out.push((Choice::WhereColumns(combo), child));
+            }
+        }
+        return Some(out);
+    }
+
+    // 5. OP module: one operator decision per predicate.
+    if clauses.where_clause {
+        if let Some(preds) = pq.where_predicates.as_ref() {
+            if let Some(idx) = preds.iter().position(|p| p.op.is_hole()) {
+                let col = *preds[idx].col.as_ref().expect("predicate column decided first");
+                let ops: Vec<CmpOp> = match schema.column(col).dtype {
+                    DataType::Number => vec![
+                        CmpOp::Eq,
+                        CmpOp::Gt,
+                        CmpOp::Lt,
+                        CmpOp::Ge,
+                        CmpOp::Le,
+                        CmpOp::Between,
+                    ],
+                    DataType::Text => vec![CmpOp::Eq, CmpOp::Like],
+                };
+                return Some(
+                    ops.into_iter()
+                        .map(|op| {
+                            let mut child = pq.clone();
+                            if let Slot::Filled(preds) = &mut child.where_predicates {
+                                preds[idx].op = Slot::Filled(op);
+                            }
+                            (Choice::Operator { column: col, op }, child)
+                        })
+                        .collect(),
+                );
+            }
+            // 6. Constant binding per predicate, from the tagged literals.
+            if let Some(idx) = preds.iter().position(|p| p.value.is_hole()) {
+                let col = *preds[idx].col.as_ref().expect("column decided");
+                let op = *preds[idx].op.as_ref().expect("operator decided");
+                let dtype = schema.column(col).dtype;
+                let mut out = Vec::new();
+                if op == CmpOp::Between {
+                    let numbers: Vec<f64> = nlq
+                        .literals
+                        .iter()
+                        .filter(|l| l.kind == LiteralKind::Number)
+                        .filter_map(|l| l.value.as_number())
+                        .collect();
+                    for (i, lo) in numbers.iter().enumerate() {
+                        for hi in numbers.iter().skip(i + 1) {
+                            let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
+                            let mut child = pq.clone();
+                            if let Slot::Filled(preds) = &mut child.where_predicates {
+                                preds[idx].value = Slot::Filled(Value::Number(lo));
+                                preds[idx].value2 = Some(Value::Number(hi));
+                            }
+                            out.push((
+                                Choice::PredicateValue {
+                                    column: col,
+                                    op,
+                                    value: Value::Number(lo),
+                                    value2: Some(Value::Number(hi)),
+                                },
+                                child,
+                            ));
+                        }
+                    }
+                } else {
+                    for lit in &nlq.literals {
+                        let type_ok = match dtype {
+                            DataType::Number => lit.kind == LiteralKind::Number,
+                            DataType::Text => lit.kind == LiteralKind::Text,
+                        };
+                        if !type_ok && op != CmpOp::Like {
+                            continue;
+                        }
+                        let value = if op == CmpOp::Like {
+                            Value::text(format!("%{}%", lit.surface))
+                        } else {
+                            lit.value.clone()
+                        };
+                        let mut child = pq.clone();
+                        if let Slot::Filled(preds) = &mut child.where_predicates {
+                            preds[idx].value = Slot::Filled(value.clone());
+                        }
+                        out.push((
+                            Choice::PredicateValue { column: col, op, value, value2: None },
+                            child,
+                        ));
+                    }
+                }
+                return Some(out);
+            }
+            // 7. AND/OR module.
+            if preds.len() > 1 && pq.where_op.is_hole() {
+                return Some(
+                    [LogicalOp::And, LogicalOp::Or]
+                        .into_iter()
+                        .map(|op| {
+                            let mut child = pq.clone();
+                            child.where_op = Slot::Filled(op);
+                            (Choice::Connective(op), child)
+                        })
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    // 8. COL module (GROUP BY).
+    if clauses.group_by && pq.group_by.is_hole() {
+        let plain_select_cols: Vec<_> = select
+            .iter()
+            .filter(|i| matches!(i.agg.as_ref(), Some(None)))
+            .filter_map(|i| match i.col.as_ref() {
+                Some(SelectColumn::Column(c)) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        let options: Vec<_> = if plain_select_cols.is_empty() {
+            pq.join
+                .as_ref()
+                .map(|j| {
+                    j.tables
+                        .iter()
+                        .flat_map(|t| schema.table_columns(*t))
+                        .filter(|c| !schema.is_key_column(*c))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_else(|| {
+                    schema.all_columns().filter(|c| !schema.is_key_column(*c)).collect()
+                })
+        } else {
+            plain_select_cols
+        };
+        let mut out = Vec::new();
+        for size in 1..=config.max_group_columns.min(options.len()) {
+            for combo in combinations(&options, size) {
+                let mut child = pq.clone();
+                child.group_by = Slot::Filled(combo.clone());
+                out.push((Choice::GroupBy(combo), child));
+            }
+        }
+        return Some(out);
+    }
+
+    // 9. HAVING module.
+    if clauses.group_by && pq.having.is_hole() {
+        let mut out = Vec::new();
+        // "No HAVING" candidate.
+        let mut child = pq.clone();
+        child.having = Slot::Filled(None);
+        out.push((Choice::Having(None), child));
+        let numbers: Vec<Value> = nlq
+            .literals
+            .iter()
+            .filter(|l| l.kind == LiteralKind::Number)
+            .map(|l| l.value.clone())
+            .collect();
+        if !numbers.is_empty() {
+            // COUNT(*) plus aggregates over numeric projected columns.
+            let mut agg_targets: Vec<(AggFunc, Option<duoquest_db::ColumnId>)> =
+                vec![(AggFunc::Count, None)];
+            for item in &select {
+                if let (Some(SelectColumn::Column(c)), Some(Some(agg))) =
+                    (item.col.as_ref(), item.agg.as_ref())
+                {
+                    if *agg != AggFunc::Count {
+                        agg_targets.push((*agg, Some(*c)));
+                    }
+                }
+            }
+            for (agg, col) in agg_targets {
+                for op in [CmpOp::Gt, CmpOp::Ge, CmpOp::Lt, CmpOp::Le, CmpOp::Eq] {
+                    for value in &numbers {
+                        let mut child = pq.clone();
+                        child.having = Slot::Filled(Some(PartialHaving {
+                            agg: Slot::Filled(agg),
+                            col: Slot::Filled(col),
+                            op: Slot::Filled(op),
+                            value: Slot::Filled(value.clone()),
+                        }));
+                        out.push((
+                            Choice::Having(Some(HavingChoice {
+                                agg,
+                                col,
+                                op,
+                                value: value.clone(),
+                            })),
+                            child,
+                        ));
+                    }
+                }
+            }
+        }
+        return Some(out);
+    }
+
+    // 10. DESC/ASC + LIMIT module.
+    if clauses.order_by && pq.order_by.is_hole() {
+        let mut keys: Vec<OrderKey> = Vec::new();
+        for item in &select {
+            match (item.col.as_ref(), item.agg.as_ref()) {
+                (Some(SelectColumn::Column(c)), Some(None)) => keys.push(OrderKey::Column(*c)),
+                (Some(SelectColumn::Column(c)), Some(Some(agg))) => {
+                    keys.push(OrderKey::Aggregate(*agg, Some(*c)))
+                }
+                (Some(SelectColumn::Star), Some(Some(AggFunc::Count))) => {
+                    keys.push(OrderKey::Aggregate(AggFunc::Count, None))
+                }
+                _ => {}
+            }
+        }
+        keys.dedup();
+        let mut limits: Vec<Option<usize>> = vec![None];
+        for lit in &nlq.literals {
+            if lit.kind == LiteralKind::Number {
+                if let Some(n) = lit.value.as_number() {
+                    if n > 0.0 && n <= 1000.0 && n.fract() == 0.0 {
+                        limits.push(Some(n as usize));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for key in keys {
+            for desc in [false, true] {
+                for limit in &limits {
+                    let mut child = pq.clone();
+                    child.order_by = Slot::Filled(Some(PartialOrder {
+                        key: Slot::Filled(key),
+                        desc: Slot::Filled(desc),
+                        limit: Slot::Filled(*limit),
+                    }));
+                    out.push((Choice::OrderBy(Some(OrderChoice { key, desc, limit: *limit })), child));
+                }
+            }
+        }
+        return Some(out);
+    }
+
+    None
+}
+
+/// All subsets of `options` of size 1..=`max_size`, each subset in canonical
+/// (input) order. The projection list is therefore enumerated in schema order;
+/// the TSQ synthesizer aligns its column order accordingly (see DESIGN.md).
+fn column_subsets(options: &[SelectColumn], max_size: usize) -> Vec<Vec<SelectColumn>> {
+    let mut out = Vec::new();
+    for size in 1..=max_size.min(options.len()) {
+        out.extend(combinations(options, size));
+    }
+    out
+}
+
+/// All `size`-element combinations *with repetition* of `items`, preserving
+/// input order (used for WHERE columns, where a column may carry two predicates).
+fn multiset_combinations<T: Clone>(items: &[T], size: usize) -> Vec<Vec<T>> {
+    if size == 0 || items.is_empty() {
+        return Vec::new();
+    }
+    // Enumerate non-decreasing index sequences of the requested length.
+    let mut out = Vec::new();
+    let mut indices = vec![0usize; size];
+    loop {
+        out.push(indices.iter().map(|&i| items[i].clone()).collect());
+        // Advance to the next non-decreasing sequence.
+        let mut pos = size;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            if indices[pos] + 1 < items.len() {
+                indices[pos] += 1;
+                for j in pos + 1..size {
+                    indices[j] = indices[pos];
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// All `size`-element combinations of `items`, preserving input order.
+fn combinations<T: Clone>(items: &[T], size: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut indices: Vec<usize> = (0..size).collect();
+    if size == 0 || size > items.len() {
+        return out;
+    }
+    loop {
+        out.push(indices.iter().map(|&i| items[i].clone()).collect());
+        // Advance the combination indices.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if indices[i] != i + items.len() - size {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        indices[i] += 1;
+        for j in i + 1..size {
+            indices[j] = indices[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::test_fixtures::movie_db;
+    use duoquest_nlq::{HeuristicGuidance, Literal, NoisyOracleGuidance, OracleConfig};
+    use duoquest_sql::QueryBuilder;
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let items = vec![1, 2, 3, 4];
+        assert_eq!(combinations(&items, 1).len(), 4);
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 3).len(), 4);
+        assert_eq!(combinations(&items, 4).len(), 1);
+        assert_eq!(combinations(&items, 5).len(), 0);
+        assert_eq!(combinations(&items, 2)[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn first_decision_is_the_clause_set() {
+        let db = movie_db();
+        let nlq = Nlq::new("movies before 1995");
+        let children =
+            enum_next_step(&PartialQuery::empty(), &db, &nlq, &DuoquestConfig::fast()).unwrap();
+        assert_eq!(children.len(), 8);
+        assert!(matches!(children[0].0, Choice::Clauses(_)));
+    }
+
+    #[test]
+    fn perfect_oracle_with_tsq_finds_gold_query_first() {
+        let db = movie_db();
+        let schema = db.schema();
+        // Gold: SELECT movies.name FROM movies WHERE movies.year < 1995
+        let gold = QueryBuilder::new(schema)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model = NoisyOracleGuidance::with_config(gold.clone(), 1, OracleConfig::perfect());
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![crate::tsq::TsqCell::text("Forrest Gump")]);
+        let mut found: Vec<duoquest_db::SelectSpec> = Vec::new();
+        let stats = enumerate(
+            &db,
+            &nlq,
+            &model,
+            Some(&tsq),
+            &DuoquestConfig::fast(),
+            |spec, _conf, _t| {
+                found.push(spec);
+                found.len() < 5
+            },
+        );
+        assert!(!found.is_empty(), "stats: {stats:?}");
+        assert!(duoquest_sql::queries_equivalent(&found[0], &gold));
+        assert!(stats.emitted >= 1);
+        assert!(stats.expanded > 0);
+        assert!(stats.total_pruned() > 0);
+    }
+
+    #[test]
+    fn heuristic_guidance_also_finds_simple_query() {
+        let db = movie_db();
+        let schema = db.schema();
+        let gold = QueryBuilder::new(schema)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals(
+            "show the names of movies from before 1995",
+            vec![Literal::number(1995.0)],
+        );
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![crate::tsq::TsqCell::text("Forrest Gump")]);
+        let model = HeuristicGuidance::new();
+        let mut matched = false;
+        enumerate(&db, &nlq, &model, Some(&tsq), &DuoquestConfig::fast(), |spec, _c, _t| {
+            if duoquest_sql::queries_equivalent(&spec, &gold) {
+                matched = true;
+                false
+            } else {
+                true
+            }
+        });
+        assert!(matched);
+    }
+
+    #[test]
+    fn without_tsq_more_candidates_survive() {
+        let db = movie_db();
+        let schema = db.schema();
+        let gold = QueryBuilder::new(schema)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model = NoisyOracleGuidance::with_config(gold, 1, OracleConfig::perfect());
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text]);
+        let mut config = DuoquestConfig::fast();
+        config.max_candidates = 30;
+        let mut with_tsq = 0usize;
+        enumerate(&db, &nlq, &model, Some(&tsq), &config, |_s, _c, _t| {
+            with_tsq += 1;
+            true
+        });
+        let mut without_tsq = 0usize;
+        enumerate(&db, &nlq, &model, None, &config, |_s, _c, _t| {
+            without_tsq += 1;
+            true
+        });
+        assert!(without_tsq >= with_tsq);
+    }
+
+    #[test]
+    fn emitted_confidences_are_valid_probability_products() {
+        let db = movie_db();
+        let schema = db.schema();
+        let gold = QueryBuilder::new(schema)
+            .select("actor.name")
+            .filter("actor.birth_yr", CmpOp::Gt, 1960)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("actors born after 1960", vec![Literal::number(1960.0)]);
+        let model = NoisyOracleGuidance::new(gold, 11);
+        let mut confidences: Vec<f64> = Vec::new();
+        let mut parents_seen_max = 0.0f64;
+        enumerate(&db, &nlq, &model, None, &DuoquestConfig::fast(), |_s, c, _t| {
+            confidences.push(c);
+            parents_seen_max = parents_seen_max.max(c);
+            confidences.len() < 10
+        });
+        assert!(!confidences.is_empty());
+        // Confidence scores are products of normalized per-decision scores, so
+        // each lies in (0, 1]. Emission order follows Algorithm 1 (candidates
+        // are emitted as soon as they are generated), so strict monotonicity is
+        // not required — only validity of the scores.
+        for c in &confidences {
+            assert!(*c > 0.0 && *c <= 1.0, "invalid confidence {c}");
+        }
+    }
+
+    #[test]
+    fn max_candidates_budget_respected() {
+        let db = movie_db();
+        let schema = db.schema();
+        let gold = QueryBuilder::new(schema).select("movies.name").build().unwrap();
+        let nlq = Nlq::new("all movie names");
+        let model = NoisyOracleGuidance::new(gold, 2);
+        let mut config = DuoquestConfig::fast();
+        config.max_candidates = 3;
+        let mut seen = 0usize;
+        let stats = enumerate(&db, &nlq, &model, None, &config, |_s, _c, _t| {
+            seen += 1;
+            true
+        });
+        assert!(seen <= 3);
+        assert!(stats.emitted <= 3);
+    }
+}

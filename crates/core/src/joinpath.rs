@@ -1,0 +1,168 @@
+//! Progressive join path construction (paper Algorithm 2).
+//!
+//! Every partial query needs an executable join path so the verifier can run
+//! probes against the database. Given the tables referenced by the partial
+//! query, we (1) compute a Steiner tree over the FK→PK schema graph (unit edge
+//! weights), and (2) extend it with additional FK hops up to a configurable
+//! depth to cover queries whose `FROM` clause mentions tables beyond the
+//! referenced columns (Example 3.2 of the paper).
+
+use duoquest_db::{Database, JoinGraph, JoinTree, TableId};
+use duoquest_sql::PartialQuery;
+
+/// Produce the candidate join paths for a partial query.
+///
+/// * If the partial query references no table yet, every single table of the
+///   database is a candidate (paper Algorithm 2, line 6), plus extensions.
+/// * Otherwise the Steiner tree over the referenced tables is the base
+///   candidate, plus FK extensions up to `extension_depth` hops.
+///
+/// When `current` is provided (the state already carries a join path), its
+/// tables are kept as additional terminals so a previously chosen extension is
+/// not silently dropped when later decisions reference new tables.
+pub fn construct_join_paths(
+    db: &Database,
+    graph: &JoinGraph,
+    pq: &PartialQuery,
+    current: Option<&JoinTree>,
+    extension_depth: usize,
+) -> Vec<JoinTree> {
+    let mut terminals: Vec<TableId> = pq.referenced_columns().iter().map(|c| c.table).collect();
+    if let Some(cur) = current {
+        terminals.extend(cur.tables.iter().copied());
+    }
+    terminals.sort();
+    terminals.dedup();
+
+    let mut bases: Vec<JoinTree> = Vec::new();
+    if terminals.is_empty() {
+        for t in 0..db.schema().table_count() {
+            bases.push(JoinTree::single(TableId(t)));
+        }
+    } else if let Ok(tree) = graph.steiner_tree(&terminals) {
+        bases.push(tree);
+    } else {
+        // Disconnected terminals: no valid join path exists for this partial query.
+        return Vec::new();
+    }
+
+    // Breadth-first FK extensions up to the requested depth.
+    let mut all: Vec<JoinTree> = bases.clone();
+    let mut frontier = bases;
+    for _ in 0..extension_depth {
+        let mut next = Vec::new();
+        for tree in &frontier {
+            for ext in graph.extensions(tree) {
+                if !all.contains(&ext) {
+                    all.push(ext.clone());
+                    next.push(ext);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    // Prefer shorter join paths first (secondary tie-breaker of §3.3.4) and cap
+    // the fan-out — beyond a few dozen join paths the extra candidates only
+    // duplicate work without covering realistic queries.
+    all.sort_by_key(|t| (t.join_length(), t.tables.len()));
+    all.truncate(16);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_db::{ColumnDef, Schema, TableDef, Value};
+    use duoquest_sql::{PartialSelectItem, SelectColumn, Slot};
+
+    fn movie_db() -> Database {
+        let mut s = Schema::new("movies");
+        s.add_table(TableDef::new(
+            "actor",
+            vec![ColumnDef::number("aid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "movies",
+            vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "starring",
+            vec![ColumnDef::number("aid"), ColumnDef::number("mid")],
+            None,
+        ));
+        s.add_foreign_key("starring", "aid", "actor", "aid").unwrap();
+        s.add_foreign_key("starring", "mid", "movies", "mid").unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert("actor", vec![Value::int(1), Value::text("Tom Hanks")]).unwrap();
+        db.rebuild_index();
+        db
+    }
+
+    fn pq_with_select(db: &Database, cols: &[(&str, &str)]) -> PartialQuery {
+        let mut pq = PartialQuery::empty();
+        pq.select = Slot::Filled(
+            cols.iter()
+                .map(|(t, c)| {
+                    PartialSelectItem::with_column(SelectColumn::Column(
+                        db.schema().column_id(t, c).unwrap(),
+                    ))
+                })
+                .collect(),
+        );
+        pq
+    }
+
+    #[test]
+    fn no_referenced_tables_yields_all_single_tables() {
+        let db = movie_db();
+        let graph = JoinGraph::new(db.schema());
+        let pq = PartialQuery::empty();
+        let paths = construct_join_paths(&db, &graph, &pq, None, 0);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.join_length() == 0));
+    }
+
+    #[test]
+    fn steiner_base_plus_extensions() {
+        let db = movie_db();
+        let graph = JoinGraph::new(db.schema());
+        let pq = pq_with_select(&db, &[("actor", "name")]);
+        let paths = construct_join_paths(&db, &graph, &pq, None, 1);
+        // Base: actor alone; extension: actor ⋈ starring.
+        assert_eq!(paths[0].join_length(), 0);
+        assert!(paths.iter().any(|p| p.join_length() == 1));
+        let deeper = construct_join_paths(&db, &graph, &pq, None, 2);
+        assert!(deeper.iter().any(|p| p.tables.len() == 3));
+        assert!(deeper.len() > paths.len());
+    }
+
+    #[test]
+    fn current_join_tables_are_preserved_as_terminals() {
+        let db = movie_db();
+        let graph = JoinGraph::new(db.schema());
+        let starring = db.schema().table_id("starring").unwrap();
+        let current = JoinTree::single(starring);
+        let pq = pq_with_select(&db, &[("actor", "name")]);
+        let paths = construct_join_paths(&db, &graph, &pq, Some(&current), 0);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].contains(starring));
+        assert!(paths[0].contains(db.schema().table_id("actor").unwrap()));
+    }
+
+    #[test]
+    fn multi_table_reference_connects_via_bridge() {
+        let db = movie_db();
+        let graph = JoinGraph::new(db.schema());
+        let pq = pq_with_select(&db, &[("actor", "name"), ("movies", "name")]);
+        let paths = construct_join_paths(&db, &graph, &pq, None, 0);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].tables.len(), 3);
+        assert_eq!(paths[0].join_length(), 2);
+    }
+}

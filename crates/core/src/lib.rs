@@ -1,0 +1,34 @@
+//! # duoquest-core
+//!
+//! The primary contribution of the Duoquest paper: dual-specification SQL
+//! synthesis with **guided partial query enumeration (GPQE)**.
+//!
+//! * [`tsq`] — the table sketch query (TSQ, paper Definitions 2.3/2.4): type
+//!   annotations, example tuples with exact/empty/range cells, a sorting flag
+//!   and a limit;
+//! * [`enumerate`] — GPQE (Algorithm 1): best-first enumeration of partial
+//!   queries driven by a pluggable guidance model, with Property-1 confidence
+//!   scores (product of per-decision softmax values);
+//! * [`joinpath`] — progressive join path construction (Algorithm 2): Steiner
+//!   trees over the FK→PK schema graph plus one-hop extensions;
+//! * [`verify`] — ascending-cost cascading verification (Algorithm 3): clause
+//!   checks, the semantic pruning rules of Table 4, projected-type checks,
+//!   column-wise and row-wise database probes, literal-usage checks and order
+//!   checks;
+//! * [`engine`] — the [`Duoquest`](engine::Duoquest) facade that ties the
+//!   pieces together and returns a ranked candidate list.
+
+pub mod config;
+pub mod engine;
+pub mod enumerate;
+pub mod joinpath;
+pub mod state;
+pub mod tsq;
+pub mod verify;
+
+pub use config::DuoquestConfig;
+pub use engine::{Candidate, Duoquest, SynthesisResult};
+pub use enumerate::EnumerationStats;
+pub use state::EnumState;
+pub use tsq::{TableSketchQuery, TsqCell};
+pub use verify::{VerifyOutcome, VerifyStage, Verifier};

@@ -1,0 +1,96 @@
+//! Enumeration states: a partial query plus its confidence score.
+
+use duoquest_sql::PartialQuery;
+use std::cmp::Ordering;
+
+/// One state of the GPQE search: a partial query, its confidence score (the
+/// cumulative product of the per-decision scores, paper §3.3.3) and the number
+/// of decisions taken so far.
+#[derive(Debug, Clone)]
+pub struct EnumState {
+    /// The partial query.
+    pub pq: PartialQuery,
+    /// Cumulative confidence in `(0, 1]`.
+    pub confidence: f64,
+    /// Number of inference decisions made so far.
+    pub decisions: usize,
+    /// Monotone sequence number used as the final tie-breaker so the heap order
+    /// is fully deterministic.
+    pub sequence: u64,
+}
+
+impl EnumState {
+    /// The root state: the empty partial query with confidence 1.
+    pub fn root() -> Self {
+        EnumState { pq: PartialQuery::empty(), confidence: 1.0, decisions: 0, sequence: 0 }
+    }
+
+    /// Join length of the attached join path (0 when no join path yet); used as
+    /// the secondary ordering criterion (shorter join paths first, §3.3.4).
+    pub fn join_length(&self) -> usize {
+        self.pq.join.as_ref().map(|j| j.join_length()).unwrap_or(0)
+    }
+}
+
+impl PartialEq for EnumState {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for EnumState {}
+
+impl PartialOrd for EnumState {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EnumState {
+    /// Max-heap ordering: higher confidence first, then shorter join paths,
+    /// then earlier creation (lower sequence number).
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.confidence
+            .partial_cmp(&other.confidence)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.join_length().cmp(&self.join_length()))
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn state(confidence: f64, sequence: u64) -> EnumState {
+        EnumState { pq: PartialQuery::empty(), confidence, decisions: 0, sequence }
+    }
+
+    #[test]
+    fn heap_pops_highest_confidence_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(state(0.2, 1));
+        heap.push(state(0.7, 2));
+        heap.push(state(0.35, 3));
+        assert!((heap.pop().unwrap().confidence - 0.7).abs() < 1e-12);
+        assert!((heap.pop().unwrap().confidence - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_by_sequence() {
+        let mut heap = BinaryHeap::new();
+        heap.push(state(0.5, 10));
+        heap.push(state(0.5, 2));
+        assert_eq!(heap.pop().unwrap().sequence, 2);
+    }
+
+    #[test]
+    fn root_state() {
+        let r = EnumState::root();
+        assert_eq!(r.confidence, 1.0);
+        assert_eq!(r.decisions, 0);
+        assert_eq!(r.join_length(), 0);
+        assert!(!r.pq.is_complete());
+    }
+}

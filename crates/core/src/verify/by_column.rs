@@ -1,0 +1,192 @@
+//! Column-wise verification probes (`VerifyByColumn`, paper Example 3.5).
+//!
+//! Every constrained cell of every example tuple is checked independently
+//! against the projected column at the same position with a cheap
+//! `SELECT … FROM <column's table> WHERE <cell constraint> LIMIT 1` probe —
+//! no join is required, which makes this much cheaper than row-wise probes.
+
+use crate::tsq::{TableSketchQuery, TsqCell};
+use duoquest_db::{
+    execute, AggFunc, ColumnId, Database, JoinTree, Predicate, SelectItem, SelectSpec,
+};
+use duoquest_sql::{PartialQuery, SelectColumn};
+
+/// Whether every constrained example cell can be produced by the corresponding
+/// projected column on its own.
+pub fn verify_by_column(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+    let Some(items) = pq.select.as_ref() else { return true };
+    for tuple in &tsq.tuples {
+        for (i, cell) in tuple.iter().enumerate() {
+            if !cell.is_constrained() {
+                continue;
+            }
+            let Some(item) = items.get(i) else { continue };
+            let Some(col_choice) = item.col.as_ref() else { continue };
+            let SelectColumn::Column(col) = col_choice else { continue }; // `*` carries no column
+            match item.agg.as_ref() {
+                // Aggregate undecided: the item could still become COUNT/SUM, so
+                // no sound conclusion can be drawn yet.
+                None => continue,
+                // COUNT and SUM projections are ignored (paper §3.4).
+                Some(Some(AggFunc::Count)) | Some(Some(AggFunc::Sum)) => continue,
+                // AVG: the cell must intersect the column's observed range.
+                Some(Some(AggFunc::Avg)) => {
+                    if !avg_cell_possible(db, *col, cell) {
+                        return false;
+                    }
+                }
+                // MIN/MAX and plain projections: the cell value must exist in the column.
+                Some(Some(AggFunc::Min)) | Some(Some(AggFunc::Max)) | Some(None) => {
+                    if !column_probe(db, *col, cell) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Run the single-table probe for one cell.
+fn column_probe(db: &Database, col: ColumnId, cell: &TsqCell) -> bool {
+    // Type compatibility first: a number cell can never match a text column.
+    if let Some(cell_type) = cell.data_type() {
+        if cell_type != db.schema().column(col).dtype {
+            return false;
+        }
+    }
+    let Some(pred) = cell_predicate(col, cell) else { return true };
+    let spec = SelectSpec {
+        select: vec![SelectItem::column(col)],
+        join: JoinTree::single(col.table),
+        predicates: vec![pred],
+        limit: Some(1),
+        ..Default::default()
+    };
+    execute(db, &spec).map(|rs| !rs.is_empty()).unwrap_or(false)
+}
+
+/// AVG check: the observed `[min, max]` range of the column must intersect the cell.
+fn avg_cell_possible(db: &Database, col: ColumnId, cell: &TsqCell) -> bool {
+    let Some((min, max)) = db.numeric_range(col) else { return false };
+    match cell {
+        TsqCell::Empty => true,
+        TsqCell::Exact(v) => {
+            v.as_number().map(|n| n >= min && n <= max).unwrap_or(false)
+        }
+        TsqCell::Range(lo, hi) => match (lo.as_number(), hi.as_number()) {
+            (Some(lo), Some(hi)) => lo <= max && hi >= min,
+            _ => false,
+        },
+    }
+}
+
+/// Translate a cell into a probe predicate.
+fn cell_predicate(col: ColumnId, cell: &TsqCell) -> Option<Predicate> {
+    match cell {
+        TsqCell::Empty => None,
+        TsqCell::Exact(v) => Some(Predicate::new(col, duoquest_db::CmpOp::Eq, v.clone())),
+        TsqCell::Range(lo, hi) => Some(Predicate::between(col, lo.clone(), hi.clone())),
+    }
+}
+
+/// Expose the probe builder so row-wise verification can reuse the translation.
+pub(crate) fn cell_to_predicate(col: ColumnId, cell: &TsqCell) -> Option<Predicate> {
+    cell_predicate(col, cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::test_fixtures::movie_db;
+    use duoquest_sql::{PartialSelectItem, Slot};
+
+    fn select_pq(db: &Database, items: Vec<(&str, &str, Option<AggFunc>)>) -> PartialQuery {
+        let mut pq = PartialQuery::empty();
+        pq.select = Slot::Filled(
+            items
+                .into_iter()
+                .map(|(t, c, agg)| PartialSelectItem {
+                    col: Slot::Filled(SelectColumn::Column(db.schema().column_id(t, c).unwrap())),
+                    agg: Slot::Filled(agg),
+                })
+                .collect(),
+        );
+        pq
+    }
+
+    #[test]
+    fn existing_value_passes_missing_value_fails() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::text("Tom Hanks")]);
+        let pq = select_pq(&db, vec![("actor", "name", None)]);
+        assert!(verify_by_column(&db, &tsq, &pq));
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::text("Meryl Streep")]);
+        assert!(!verify_by_column(&db, &tsq, &pq));
+    }
+
+    #[test]
+    fn range_cell_checks_example_3_5() {
+        let db = movie_db();
+        // χ1 = [Tom Hanks, [1950, 1960]]: birth_yr projection passes, movie
+        // revenue-like projection (year) fails because no year is in range.
+        let tsq = TableSketchQuery::empty()
+            .with_tuple(vec![TsqCell::text("Tom Hanks"), TsqCell::range(1950, 1960)]);
+        let ok = select_pq(&db, vec![("actor", "name", None), ("actor", "birth_yr", None)]);
+        assert!(verify_by_column(&db, &tsq, &ok));
+        let bad = select_pq(
+            &db,
+            vec![("actor", "name", None), ("movies", "year", Some(AggFunc::Max))],
+        );
+        assert!(!verify_by_column(&db, &tsq, &bad));
+    }
+
+    #[test]
+    fn count_and_sum_projections_are_ignored() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::empty()
+            .with_tuple(vec![TsqCell::text("Tom Hanks"), TsqCell::range(1950, 1960)]);
+        let pq = select_pq(
+            &db,
+            vec![("actor", "name", None), ("movies", "year", Some(AggFunc::Count))],
+        );
+        assert!(verify_by_column(&db, &tsq, &pq));
+    }
+
+    #[test]
+    fn avg_uses_range_intersection() {
+        let db = movie_db();
+        // movies.year spans 1994..2013.
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::range(2000, 2020)]);
+        let pq = select_pq(&db, vec![("movies", "year", Some(AggFunc::Avg))]);
+        assert!(verify_by_column(&db, &tsq, &pq));
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::range(1900, 1950)]);
+        assert!(!verify_by_column(&db, &tsq, &pq));
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::number(2000)]);
+        assert!(verify_by_column(&db, &tsq, &pq));
+    }
+
+    #[test]
+    fn type_incompatible_cell_fails() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::number(1956)]);
+        let pq = select_pq(&db, vec![("actor", "name", None)]);
+        assert!(!verify_by_column(&db, &tsq, &pq));
+    }
+
+    #[test]
+    fn undecided_items_and_empty_cells_skipped() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::empty()
+            .with_tuple(vec![TsqCell::Empty, TsqCell::text("No Such Movie")]);
+        // Second projection still undecided: nothing to check for it.
+        let mut pq = select_pq(&db, vec![("actor", "name", None)]);
+        if let Slot::Filled(items) = &mut pq.select {
+            items.push(PartialSelectItem {
+                col: Slot::Hole,
+                agg: Slot::Hole,
+            });
+        }
+        assert!(verify_by_column(&db, &tsq, &pq));
+    }
+}

@@ -1,0 +1,180 @@
+//! Ordered tuple satisfaction (`VerifyByOrder`, paper Algorithm 3 lines 11–12).
+//!
+//! When the TSQ is sorted and contains at least two example tuples, the
+//! complete candidate query is executed and the example tuples must be
+//! satisfied by result rows appearing in the same order as they were given.
+
+use crate::tsq::TableSketchQuery;
+use duoquest_db::{execute, Database};
+use duoquest_sql::PartialQuery;
+
+/// Whether the complete query produces rows satisfying the example tuples in
+/// the order they were specified.
+pub fn verify_by_order(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+    let Ok(spec) = pq.to_spec() else { return false };
+    let Ok(result) = execute(db, &spec) else { return false };
+    if tsq.limit > 0 && result.len() > tsq.limit {
+        return false;
+    }
+    let mut cursor = 0usize;
+    for (ti, _tuple) in tsq.tuples.iter().enumerate() {
+        let mut found = false;
+        while cursor < result.len() {
+            let row = &result.rows[cursor].0;
+            cursor += 1;
+            if tsq.row_satisfies_tuple(ti, row) {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Final soundness check for complete candidate queries (Definition 2.4): every
+/// example tuple must be satisfied by a *distinct* output row, the result must
+/// respect the limit `k`, and — when the TSQ is sorted — the tuples must appear
+/// in order. This subsumes [`verify_by_order`] for unsorted TSQs and closes the
+/// gap left by the (intentionally superset-based) partial row-wise probes.
+pub fn verify_complete(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+    if tsq.sorted && tsq.tuples.len() >= 2 {
+        return verify_by_order(db, tsq, pq);
+    }
+    let Ok(spec) = pq.to_spec() else { return false };
+    let Ok(result) = execute(db, &spec) else { return false };
+    if tsq.limit > 0 && result.len() > tsq.limit {
+        return false;
+    }
+    // Greedy distinct matching (example tuples are few, typically two).
+    let mut used = vec![false; result.len()];
+    for (ti, _tuple) in tsq.tuples.iter().enumerate() {
+        let mut found = false;
+        for (ri, row) in result.rows.iter().enumerate() {
+            if !used[ri] && tsq.row_satisfies_tuple(ti, &row.0) {
+                used[ri] = true;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsq::TsqCell;
+    use crate::verify::test_fixtures::movie_db;
+    use duoquest_db::{JoinGraph, OrderKey, Value};
+    use duoquest_sql::{
+        ClauseSet, PartialOrder, PartialSelectItem, SelectColumn, Slot,
+    };
+
+    /// SELECT movies.name, movies.year FROM movies ORDER BY movies.year ASC|DESC
+    fn ordered_pq(db: &Database, desc: bool) -> PartialQuery {
+        let s = db.schema();
+        let graph = JoinGraph::new(s);
+        let join = graph.steiner_tree(&[s.table_id("movies").unwrap()]).unwrap();
+        PartialQuery {
+            clauses: Slot::Filled(ClauseSet { order_by: true, ..Default::default() }),
+            select: Slot::Filled(vec![
+                PartialSelectItem {
+                    col: Slot::Filled(SelectColumn::Column(s.column_id("movies", "name").unwrap())),
+                    agg: Slot::Filled(None),
+                },
+                PartialSelectItem {
+                    col: Slot::Filled(SelectColumn::Column(s.column_id("movies", "year").unwrap())),
+                    agg: Slot::Filled(None),
+                },
+            ]),
+            join: Some(join),
+            order_by: Slot::Filled(Some(PartialOrder {
+                key: Slot::Filled(OrderKey::Column(s.column_id("movies", "year").unwrap())),
+                desc: Slot::Filled(desc),
+                limit: Slot::Filled(None),
+            })),
+            ..PartialQuery::empty()
+        }
+    }
+
+    fn two_tuples_ascending() -> TableSketchQuery {
+        TableSketchQuery {
+            tuples: vec![
+                vec![TsqCell::text("Forrest Gump"), TsqCell::Empty],
+                vec![TsqCell::text("Gravity"), TsqCell::Empty],
+            ],
+            sorted: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ascending_order_matches_ascending_examples() {
+        let db = movie_db();
+        assert!(verify_by_order(&db, &two_tuples_ascending(), &ordered_pq(&db, false)));
+        // Descending order puts Gravity before Forrest Gump, violating the TSQ.
+        assert!(!verify_by_order(&db, &two_tuples_ascending(), &ordered_pq(&db, true)));
+    }
+
+    #[test]
+    fn missing_tuple_fails() {
+        let db = movie_db();
+        let tsq = TableSketchQuery {
+            tuples: vec![
+                vec![TsqCell::text("Forrest Gump"), TsqCell::Empty],
+                vec![TsqCell::text("Titanic"), TsqCell::Empty],
+            ],
+            sorted: true,
+            ..Default::default()
+        };
+        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, false)));
+    }
+
+    #[test]
+    fn range_cells_participate_in_order_check() {
+        let db = movie_db();
+        let tsq = TableSketchQuery {
+            tuples: vec![
+                vec![TsqCell::Empty, TsqCell::range(1990, 1995)],
+                vec![TsqCell::Empty, TsqCell::range(2010, 2017)],
+            ],
+            sorted: true,
+            ..Default::default()
+        };
+        assert!(verify_by_order(&db, &tsq, &ordered_pq(&db, false)));
+        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, true)));
+    }
+
+    #[test]
+    fn limit_violation_fails() {
+        let db = movie_db();
+        let tsq = TableSketchQuery {
+            tuples: vec![vec![TsqCell::text("Forrest Gump"), TsqCell::Empty]],
+            sorted: true,
+            limit: 1,
+            ..Default::default()
+        };
+        // Query returns 3 rows > limit 1.
+        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, false)));
+    }
+
+    #[test]
+    fn incomplete_query_fails_safe() {
+        let db = movie_db();
+        let tsq = two_tuples_ascending();
+        let mut pq = ordered_pq(&db, false);
+        pq.order_by = Slot::Filled(Some(PartialOrder {
+            key: Slot::Hole,
+            desc: Slot::Hole,
+            limit: Slot::Hole,
+        }));
+        assert!(!verify_by_order(&db, &tsq, &pq));
+        let _ = Value::int(0);
+    }
+}

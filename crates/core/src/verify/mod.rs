@@ -1,0 +1,289 @@
+//! Ascending-cost cascading verification (paper Algorithm 3).
+//!
+//! Partial queries are checked with increasingly expensive verifications:
+//!
+//! 1. [`clauses`] — clause presence vs the TSQ's sorting flag and limit
+//!    (no database access);
+//! 2. [`semantics`] — the semantic pruning rules of paper Table 4
+//!    (no database access);
+//! 3. [`types`] — projected column types vs the TSQ type annotations
+//!    (schema access only);
+//! 4. [`by_column`] — column-wise probes (`SELECT … LIMIT 1` on single tables);
+//! 5. [`by_row`] — row-wise probes over the partial query's join path,
+//!    guarded by the `CanCheckRows` precondition;
+//! 6. [`literals`] — every tagged literal must be used (complete queries only);
+//! 7. [`by_order`] — ordered satisfaction of the example tuples (complete,
+//!    sorted queries with at least two example tuples).
+//!
+//! A stage failure prunes the partial query and, with it, every complete query
+//! in that branch of the search space.
+
+pub mod by_column;
+pub mod by_order;
+pub mod by_row;
+pub mod clauses;
+pub mod literals;
+pub mod semantics;
+pub mod types;
+
+use crate::tsq::TableSketchQuery;
+use duoquest_db::Database;
+use duoquest_nlq::Literal;
+use duoquest_sql::PartialQuery;
+
+/// The stage at which verification failed (used for pruning statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyStage {
+    /// Clause presence checks.
+    Clauses,
+    /// Semantic pruning rules (Table 4).
+    Semantics,
+    /// Projected column type checks.
+    ColumnTypes,
+    /// Column-wise database probes.
+    ByColumn,
+    /// Row-wise database probes.
+    ByRow,
+    /// Literal-usage check on complete queries.
+    Literals,
+    /// Ordered tuple satisfaction on complete queries.
+    ByOrder,
+}
+
+/// The outcome of verifying one partial query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// The partial query survives.
+    Pass,
+    /// The partial query is pruned at the given stage.
+    Fail(VerifyStage),
+}
+
+impl VerifyOutcome {
+    /// Whether the query survives verification.
+    pub fn passed(&self) -> bool {
+        matches!(self, VerifyOutcome::Pass)
+    }
+}
+
+/// The verifier: holds the TSQ, the tagged literals and the database.
+pub struct Verifier<'a> {
+    db: &'a Database,
+    tsq: Option<&'a TableSketchQuery>,
+    literals: &'a [Literal],
+    semantic_rules: bool,
+}
+
+impl<'a> Verifier<'a> {
+    /// Create a verifier.
+    pub fn new(
+        db: &'a Database,
+        tsq: Option<&'a TableSketchQuery>,
+        literals: &'a [Literal],
+        semantic_rules: bool,
+    ) -> Self {
+        Verifier { db, tsq, literals, semantic_rules }
+    }
+
+    /// The database the verifier probes.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Run the full ascending-cost cascade on a partial query.
+    pub fn verify(&self, pq: &PartialQuery) -> VerifyOutcome {
+        if let Some(tsq) = self.tsq {
+            if !clauses::verify_clauses(tsq, pq) {
+                return VerifyOutcome::Fail(VerifyStage::Clauses);
+            }
+        }
+        if self.semantic_rules && !semantics::verify_semantics(self.db.schema(), pq) {
+            return VerifyOutcome::Fail(VerifyStage::Semantics);
+        }
+        if let Some(tsq) = self.tsq {
+            if !types::verify_column_types(self.db.schema(), tsq, pq) {
+                return VerifyOutcome::Fail(VerifyStage::ColumnTypes);
+            }
+            if !by_column::verify_by_column(self.db, tsq, pq) {
+                return VerifyOutcome::Fail(VerifyStage::ByColumn);
+            }
+            if by_row::can_check_rows(pq) && !by_row::verify_by_row(self.db, tsq, pq) {
+                return VerifyOutcome::Fail(VerifyStage::ByRow);
+            }
+        }
+        if pq.is_complete() {
+            if !literals::verify_literals(pq, self.literals) {
+                return VerifyOutcome::Fail(VerifyStage::Literals);
+            }
+            if let Some(tsq) = self.tsq {
+                if (!tsq.tuples.is_empty() || tsq.limit > 0)
+                    && !by_order::verify_complete(self.db, tsq, pq)
+                {
+                    return VerifyOutcome::Fail(VerifyStage::ByOrder);
+                }
+            }
+        }
+        VerifyOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    //! Shared fixtures for the verification stage tests: the movie database of
+    //! the paper's motivating example (Example 2.1 / Table 2).
+
+    use duoquest_db::{ColumnDef, Database, Schema, TableDef, Value};
+
+    /// Build the motivating-example movie database.
+    pub fn movie_db() -> Database {
+        let mut s = Schema::new("movies");
+        s.add_table(TableDef::new(
+            "actor",
+            vec![
+                ColumnDef::number("aid"),
+                ColumnDef::text("name"),
+                ColumnDef::number("birth_yr"),
+                ColumnDef::text("gender"),
+            ],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "movies",
+            vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "starring",
+            vec![ColumnDef::number("aid"), ColumnDef::number("mid")],
+            None,
+        ));
+        s.add_foreign_key("starring", "aid", "actor", "aid").unwrap();
+        s.add_foreign_key("starring", "mid", "movies", "mid").unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert_all(
+            "actor",
+            vec![
+                vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956), Value::text("male")],
+                vec![
+                    Value::int(2),
+                    Value::text("Sandra Bullock"),
+                    Value::int(1964),
+                    Value::text("female"),
+                ],
+                vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963), Value::text("male")],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "movies",
+            vec![
+                vec![Value::int(10), Value::text("Forrest Gump"), Value::int(1994)],
+                vec![Value::int(11), Value::text("Gravity"), Value::int(2013)],
+                vec![Value::int(12), Value::text("Fight Club"), Value::int(1999)],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "starring",
+            vec![
+                vec![Value::int(1), Value::int(10)],
+                vec![Value::int(2), Value::int(11)],
+                vec![Value::int(3), Value::int(12)],
+            ],
+        )
+        .unwrap();
+        db.rebuild_index();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::movie_db;
+    use super::*;
+    use crate::tsq::{TableSketchQuery, TsqCell};
+    use duoquest_db::{CmpOp, JoinTree, LogicalOp, Value};
+    use duoquest_sql::{ClauseSet, PartialPredicate, PartialQuery, PartialSelectItem, SelectColumn, Slot};
+
+    /// SELECT movies.name FROM movies WHERE movies.year < 1995 (complete).
+    fn complete_pq(db: &Database) -> PartialQuery {
+        let s = db.schema();
+        PartialQuery {
+            clauses: Slot::Filled(ClauseSet { where_clause: true, ..Default::default() }),
+            select: Slot::Filled(vec![PartialSelectItem {
+                col: Slot::Filled(SelectColumn::Column(s.column_id("movies", "name").unwrap())),
+                agg: Slot::Filled(None),
+            }]),
+            distinct: false,
+            join: Some(JoinTree::single(s.table_id("movies").unwrap())),
+            where_predicates: Slot::Filled(vec![PartialPredicate {
+                col: Slot::Filled(s.column_id("movies", "year").unwrap()),
+                op: Slot::Filled(CmpOp::Lt),
+                value: Slot::Filled(Value::int(1995)),
+                value2: None,
+            }]),
+            where_op: Slot::Filled(LogicalOp::And),
+            group_by: Slot::Hole,
+            having: Slot::Hole,
+            order_by: Slot::Hole,
+        }
+    }
+
+    #[test]
+    fn full_cascade_passes_consistent_query() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::with_types(vec![duoquest_db::DataType::Text])
+            .with_tuple(vec![TsqCell::text("Forrest Gump")]);
+        let pq = complete_pq(&db);
+        let literals = vec![duoquest_nlq::Literal::number(1995.0)];
+        let verifier = Verifier::new(&db, Some(&tsq), &literals, true);
+        assert!(verifier.verify(&pq).passed());
+    }
+
+    #[test]
+    fn cascade_fails_at_clause_stage_for_unsorted_tsq() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::empty(); // not sorted
+        let mut pq = complete_pq(&db);
+        pq.clauses = Slot::Filled(ClauseSet { where_clause: true, order_by: true, ..Default::default() });
+        let verifier = Verifier::new(&db, Some(&tsq), &[], true);
+        assert_eq!(verifier.verify(&pq), VerifyOutcome::Fail(VerifyStage::Clauses));
+    }
+
+    #[test]
+    fn cascade_fails_on_wrong_type_annotation() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::with_types(vec![duoquest_db::DataType::Number]);
+        let pq = complete_pq(&db);
+        let verifier = Verifier::new(&db, Some(&tsq), &[], true);
+        assert_eq!(verifier.verify(&pq), VerifyOutcome::Fail(VerifyStage::ColumnTypes));
+    }
+
+    #[test]
+    fn cascade_fails_on_unknown_example_value() {
+        let db = movie_db();
+        let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::text("Titanic")]);
+        let pq = complete_pq(&db);
+        let verifier = Verifier::new(&db, Some(&tsq), &[], true);
+        assert_eq!(verifier.verify(&pq), VerifyOutcome::Fail(VerifyStage::ByColumn));
+    }
+
+    #[test]
+    fn cascade_fails_on_unused_literal() {
+        let db = movie_db();
+        let pq = complete_pq(&db);
+        let literals = vec![duoquest_nlq::Literal::number(2000.0)];
+        let verifier = Verifier::new(&db, None, &literals, true);
+        assert_eq!(verifier.verify(&pq), VerifyOutcome::Fail(VerifyStage::Literals));
+    }
+
+    #[test]
+    fn no_tsq_means_no_tsq_stages() {
+        let db = movie_db();
+        let pq = complete_pq(&db);
+        let literals = vec![duoquest_nlq::Literal::number(1995.0)];
+        let verifier = Verifier::new(&db, None, &literals, true);
+        assert!(verifier.verify(&pq).passed());
+        assert!(std::ptr::eq(verifier.database(), &db));
+    }
+}

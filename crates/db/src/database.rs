@@ -1,0 +1,258 @@
+//! Row storage and the loaded [`Database`].
+
+use crate::error::{DbError, DbResult};
+use crate::index::InvertedIndex;
+use crate::schema::{ColumnId, Schema, TableId};
+use crate::types::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// A single row of values.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Construct a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Access a cell.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+/// The stored rows of one table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    /// Rows in insertion order.
+    pub rows: Vec<Row>,
+}
+
+impl TableData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A schema together with its data and the autocomplete inverted index.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    data: Vec<TableData>,
+    index: InvertedIndex,
+    index_dirty: bool,
+}
+
+impl Database {
+    /// Create an empty database over a schema.
+    pub fn new(schema: Schema) -> DbResult<Self> {
+        schema.validate()?;
+        let data = vec![TableData::default(); schema.table_count()];
+        Ok(Database { schema, data, index: InvertedIndex::default(), index_dirty: false })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows of a table.
+    pub fn table_data(&self, table: TableId) -> &TableData {
+        &self.data[table.0]
+    }
+
+    /// Total number of rows in the database.
+    pub fn total_rows(&self) -> usize {
+        self.data.iter().map(|d| d.len()).sum()
+    }
+
+    /// Insert a row into a table identified by name, with arity and type checks.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> DbResult<()> {
+        let tid = self.schema.table_id(table)?;
+        self.insert_by_id(tid, values)
+    }
+
+    /// Insert a row into a table identified by id, with arity and type checks.
+    pub fn insert_by_id(&mut self, table: TableId, values: Vec<Value>) -> DbResult<()> {
+        let def = self.schema.table(table);
+        if values.len() != def.columns.len() {
+            return Err(DbError::ArityMismatch {
+                table: def.name.clone(),
+                expected: def.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (col, v) in def.columns.iter().zip(&values) {
+            if let Some(dt) = v.data_type() {
+                if dt != col.dtype {
+                    return Err(DbError::TypeMismatch {
+                        table: def.name.clone(),
+                        column: col.name.clone(),
+                        expected: col.dtype.to_string(),
+                        got: dt.to_string(),
+                    });
+                }
+            }
+        }
+        self.data[table.0].rows.push(Row(values));
+        self.index_dirty = true;
+        Ok(())
+    }
+
+    /// Bulk-insert rows into a table.
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> DbResult<()> {
+        let tid = self.schema.table_id(table)?;
+        for r in rows {
+            self.insert_by_id(tid, r)?;
+        }
+        Ok(())
+    }
+
+    /// Value of a cell.
+    pub fn cell(&self, table: TableId, row: usize, column: usize) -> &Value {
+        &self.data[table.0].rows[row].0[column]
+    }
+
+    /// Iterate the values of one column.
+    pub fn column_values(&self, col: ColumnId) -> impl Iterator<Item = &Value> {
+        self.data[col.table.0].rows.iter().map(move |r| &r.0[col.column])
+    }
+
+    /// Observed minimum and maximum of a numeric column, ignoring NULLs.
+    /// Used by the verifier's `AVG` range check (paper §3.4).
+    pub fn numeric_range(&self, col: ColumnId) -> Option<(f64, f64)> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut seen = false;
+        for v in self.column_values(col) {
+            if let Value::Number(n) = v {
+                min = min.min(*n);
+                max = max.max(*n);
+                seen = true;
+            }
+        }
+        seen.then_some((min, max))
+    }
+
+    /// Rebuild the inverted column index over all text columns.
+    pub fn rebuild_index(&mut self) {
+        self.index = InvertedIndex::build(&self.schema, &self.data);
+        self.index_dirty = false;
+    }
+
+    /// The autocomplete inverted index. Panics in debug builds if the index is
+    /// stale; call [`Database::rebuild_index`] after loading data.
+    pub fn index(&self) -> &InvertedIndex {
+        debug_assert!(!self.index_dirty, "inverted index is stale; call rebuild_index()");
+        &self.index
+    }
+
+    /// Whether the index needs rebuilding.
+    pub fn index_is_dirty(&self) -> bool {
+        self.index_dirty
+    }
+
+    /// Data type of a column.
+    pub fn column_type(&self, col: ColumnId) -> DataType {
+        self.schema.column(col).dtype
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableDef};
+
+    fn db() -> Database {
+        let mut s = Schema::new("test");
+        s.add_table(TableDef::new(
+            "actor",
+            vec![ColumnDef::number("aid"), ColumnDef::text("name"), ColumnDef::number("birth_yr")],
+            Some(0),
+        ));
+        Database::new(s).unwrap()
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut d = db();
+        d.insert("actor", vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956)])
+            .unwrap();
+        d.insert("actor", vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964)])
+            .unwrap();
+        assert_eq!(d.total_rows(), 2);
+        let name_col = d.schema().column_id("actor", "name").unwrap();
+        let names: Vec<_> = d.column_values(name_col).cloned().collect();
+        assert_eq!(names[0], Value::text("Tom Hanks"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut d = db();
+        let err = d.insert("actor", vec![Value::int(1)]);
+        assert!(matches!(err, Err(DbError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut d = db();
+        let err = d.insert("actor", vec![Value::text("x"), Value::text("n"), Value::int(1)]);
+        assert!(matches!(err, Err(DbError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn nulls_are_accepted_for_any_type() {
+        let mut d = db();
+        d.insert("actor", vec![Value::int(1), Value::Null, Value::Null]).unwrap();
+        assert_eq!(d.total_rows(), 1);
+    }
+
+    #[test]
+    fn numeric_range_ignores_nulls() {
+        let mut d = db();
+        d.insert("actor", vec![Value::int(1), Value::text("a"), Value::int(1950)]).unwrap();
+        d.insert("actor", vec![Value::int(2), Value::text("b"), Value::Null]).unwrap();
+        d.insert("actor", vec![Value::int(3), Value::text("c"), Value::int(1990)]).unwrap();
+        let col = d.schema().column_id("actor", "birth_yr").unwrap();
+        assert_eq!(d.numeric_range(col), Some((1950.0, 1990.0)));
+        let name = d.schema().column_id("actor", "name").unwrap();
+        assert_eq!(d.numeric_range(name), None);
+    }
+
+    #[test]
+    fn index_dirty_tracking() {
+        let mut d = db();
+        assert!(!d.index_is_dirty());
+        d.insert("actor", vec![Value::int(1), Value::text("Tom"), Value::int(1956)]).unwrap();
+        assert!(d.index_is_dirty());
+        d.rebuild_index();
+        assert!(!d.index_is_dirty());
+    }
+}

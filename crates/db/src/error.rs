@@ -1,0 +1,85 @@
+//! Error types for the in-memory relational engine.
+
+use std::fmt;
+
+/// Errors produced by schema construction, data loading and query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// A table name was referenced that does not exist in the schema.
+    UnknownTable(String),
+    /// A column name was referenced that does not exist on the given table.
+    UnknownColumn { table: String, column: String },
+    /// A row was inserted whose arity does not match the table definition.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch { table: String, column: String, expected: String, got: String },
+    /// A foreign key references a column pair with incompatible types.
+    InvalidForeignKey(String),
+    /// The query specification is not executable (e.g. empty join tree,
+    /// aggregate predicate without grouping context, order key not computable).
+    InvalidQuery(String),
+    /// A join tree references tables that are not connected in the schema graph.
+    DisconnectedJoin(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{table}`.`{column}`")
+            }
+            DbError::ArityMismatch { table, expected, got } => write!(
+                f,
+                "row arity mismatch on `{table}`: expected {expected} values, got {got}"
+            ),
+            DbError::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "type mismatch on `{table}`.`{column}`: expected {expected}, got {got}"
+            ),
+            DbError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+            DbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            DbError::DisconnectedJoin(msg) => write!(f, "disconnected join: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenient result alias used throughout the crate.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_table() {
+        let e = DbError::UnknownTable("movies".into());
+        assert_eq!(e.to_string(), "unknown table `movies`");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = DbError::TypeMismatch {
+            table: "actor".into(),
+            column: "birth_yr".into(),
+            expected: "number".into(),
+            got: "text".into(),
+        };
+        assert!(e.to_string().contains("actor"));
+        assert!(e.to_string().contains("birth_yr"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DbError::UnknownTable("a".into()),
+            DbError::UnknownTable("a".into())
+        );
+        assert_ne!(
+            DbError::UnknownTable("a".into()),
+            DbError::UnknownTable("b".into())
+        );
+    }
+}

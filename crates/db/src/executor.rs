@@ -1,0 +1,737 @@
+//! Execution of [`SelectSpec`] queries against a [`Database`].
+//!
+//! The pipeline mirrors a textbook SPJA evaluation: join along the FK edges of
+//! the join tree (hash joins), filter with the WHERE predicates, group and
+//! aggregate, filter with HAVING, project, de-duplicate (DISTINCT), sort and
+//! limit. Verification probes issued by the Duoquest verifier are ordinary
+//! `SelectSpec`s with a `LIMIT 1`, so they follow the same path.
+
+use crate::database::{Database, Row};
+use crate::error::{DbError, DbResult};
+use crate::query::{
+    AggFunc, CmpOp, LogicalOp, OrderKey, OrderSpec, Predicate, SelectItem, SelectSpec,
+};
+use crate::schema::ColumnId;
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+
+/// The result of executing a query: column headers plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names (qualified, e.g. `actor.name` or `COUNT(*)`).
+    pub columns: Vec<String>,
+    /// Output column types.
+    pub types: Vec<DataType>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Number of output rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Values of one output column.
+    pub fn column(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r.0[idx])
+    }
+
+    /// Render the result set as a compact ASCII table (used by the examples).
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(self.columns.join(" | ").len().max(4)));
+        out.push('\n');
+        for row in self.rows.iter().take(max_rows) {
+            let cells: Vec<String> = row.0.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+/// The joined intermediate relation: a mapping from column ids to positions in
+/// the combined row, plus the combined rows themselves.
+struct Joined {
+    col_pos: HashMap<ColumnId, usize>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Execute a query against a database.
+pub fn execute(db: &Database, spec: &SelectSpec) -> DbResult<ResultSet> {
+    validate(db, spec)?;
+    let joined = join_tables(db, spec)?;
+    let filtered = filter_rows(&joined, spec);
+
+    let grouped = spec.has_aggregates() || !spec.group_by.is_empty();
+    let records = if grouped {
+        group_records(&joined, filtered, spec)
+    } else {
+        plain_records(&joined, filtered, spec)
+    };
+
+    finalize(db, spec, records)
+}
+
+/// One output record before distinct/sort/limit: projected values plus the sort key.
+struct Record {
+    projected: Vec<Value>,
+    order_key: Option<Value>,
+}
+
+fn validate(db: &Database, spec: &SelectSpec) -> DbResult<()> {
+    if spec.select.is_empty() {
+        return Err(DbError::InvalidQuery("SELECT clause is empty".into()));
+    }
+    if spec.join.tables.is_empty() {
+        return Err(DbError::InvalidQuery("FROM clause is empty".into()));
+    }
+    if !spec.join.is_connected() {
+        return Err(DbError::DisconnectedJoin("join tree is not connected".into()));
+    }
+    for col in spec.referenced_columns() {
+        if !spec.join.contains(col.table) {
+            return Err(DbError::InvalidQuery(format!(
+                "column {} is not covered by the FROM clause",
+                db.schema().qualified_name(col)
+            )));
+        }
+    }
+    for p in &spec.predicates {
+        if p.is_aggregate() {
+            return Err(DbError::InvalidQuery(
+                "aggregated predicate in WHERE clause (belongs in HAVING)".into(),
+            ));
+        }
+        if p.col.is_none() {
+            return Err(DbError::InvalidQuery("WHERE predicate without a column".into()));
+        }
+    }
+    for h in &spec.having {
+        if !h.is_aggregate() {
+            return Err(DbError::InvalidQuery("HAVING predicate must be aggregated".into()));
+        }
+    }
+    if let Some(OrderSpec { key: OrderKey::Aggregate(..), .. }) = spec.order_by {
+        // Aggregate ordering needs a grouping context (possibly the implicit global group).
+    }
+    Ok(())
+}
+
+/// Join all tables of the join tree with hash joins along FK edges.
+fn join_tables(db: &Database, spec: &SelectSpec) -> DbResult<Joined> {
+    let schema = db.schema();
+    let mut col_pos: HashMap<ColumnId, usize> = HashMap::new();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+
+    // Seed with the first table.
+    let first = spec.join.tables[0];
+    let first_cols = schema.table(first).columns.len();
+    for ci in 0..first_cols {
+        col_pos.insert(ColumnId { table: first, column: ci }, ci);
+    }
+    rows.extend(db.table_data(first).rows.iter().map(|r| r.0.clone()));
+
+    let mut joined_tables = vec![first];
+    let mut remaining_edges = spec.join.edges.clone();
+
+    while joined_tables.len() < spec.join.tables.len() {
+        // Find an edge connecting a joined table with an unjoined one.
+        let Some(pos) = remaining_edges.iter().position(|e| {
+            let (a, b) = e.tables();
+            joined_tables.contains(&a) != joined_tables.contains(&b)
+        }) else {
+            return Err(DbError::DisconnectedJoin(
+                "no join edge connects the remaining tables".into(),
+            ));
+        };
+        let edge = remaining_edges.remove(pos);
+        let (a, b) = edge.tables();
+        let (new_table, joined_col, new_col) = if joined_tables.contains(&a) {
+            (b, if edge.fk.from.table == a { edge.fk.from } else { edge.fk.to },
+             if edge.fk.from.table == b { edge.fk.from } else { edge.fk.to })
+        } else {
+            (a, if edge.fk.from.table == b { edge.fk.from } else { edge.fk.to },
+             if edge.fk.from.table == a { edge.fk.from } else { edge.fk.to })
+        };
+
+        // Build a hash table over the new table's join column.
+        let mut hash: HashMap<String, Vec<usize>> = HashMap::new();
+        let new_rows = &db.table_data(new_table).rows;
+        for (ri, row) in new_rows.iter().enumerate() {
+            let v = &row.0[new_col.column];
+            if !v.is_null() {
+                hash.entry(v.group_key()).or_default().push(ri);
+            }
+        }
+
+        // Extend the combined rows.
+        let offset = col_pos.len();
+        let new_cols = schema.table(new_table).columns.len();
+        for ci in 0..new_cols {
+            col_pos.insert(ColumnId { table: new_table, column: ci }, offset + ci);
+        }
+        let joined_pos = col_pos[&joined_col];
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let key = row[joined_pos].group_key();
+            if row[joined_pos].is_null() {
+                continue;
+            }
+            if let Some(matches) = hash.get(&key) {
+                for &ri in matches {
+                    let mut combined = row.clone();
+                    combined.extend(new_rows[ri].0.iter().cloned());
+                    out.push(combined);
+                }
+            }
+        }
+        rows = out;
+        joined_tables.push(new_table);
+    }
+
+    Ok(Joined { col_pos, rows })
+}
+
+/// Evaluate a non-aggregated predicate against one combined row.
+fn eval_predicate(joined: &Joined, row: &[Value], pred: &Predicate) -> bool {
+    let col = pred.col.expect("WHERE predicate has a column");
+    let pos = joined.col_pos[&col];
+    compare(&row[pos], pred.op, &pred.value, pred.value2.as_ref())
+}
+
+/// Apply a comparison operator.
+fn compare(lhs: &Value, op: CmpOp, rhs: &Value, rhs2: Option<&Value>) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => lhs.sql_eq(rhs),
+        CmpOp::Ne => !lhs.is_null() && !rhs.is_null() && !lhs.sql_eq(rhs),
+        CmpOp::Lt => matches!(lhs.sql_cmp(rhs), Some(Less)),
+        CmpOp::Le => matches!(lhs.sql_cmp(rhs), Some(Less | Equal)),
+        CmpOp::Gt => matches!(lhs.sql_cmp(rhs), Some(Greater)),
+        CmpOp::Ge => matches!(lhs.sql_cmp(rhs), Some(Greater | Equal)),
+        CmpOp::Like => match rhs {
+            Value::Text(p) => lhs.sql_like(p),
+            _ => false,
+        },
+        CmpOp::Between => {
+            let hi = rhs2.unwrap_or(rhs);
+            matches!(lhs.sql_cmp(rhs), Some(Greater | Equal))
+                && matches!(lhs.sql_cmp(hi), Some(Less | Equal))
+        }
+    }
+}
+
+/// Row indices surviving the WHERE clause.
+fn filter_rows(joined: &Joined, spec: &SelectSpec) -> Vec<usize> {
+    (0..joined.rows.len())
+        .filter(|&ri| {
+            let row = &joined.rows[ri];
+            if spec.predicates.is_empty() {
+                return true;
+            }
+            match spec.predicate_op {
+                LogicalOp::And => spec.predicates.iter().all(|p| eval_predicate(joined, row, p)),
+                LogicalOp::Or => spec.predicates.iter().any(|p| eval_predicate(joined, row, p)),
+            }
+        })
+        .collect()
+}
+
+/// Compute an aggregate over a set of rows.
+fn aggregate(joined: &Joined, rows: &[usize], agg: AggFunc, col: Option<ColumnId>) -> Value {
+    let values: Vec<&Value> = match col {
+        Some(c) => {
+            let pos = joined.col_pos[&c];
+            rows.iter().map(|&ri| &joined.rows[ri][pos]).filter(|v| !v.is_null()).collect()
+        }
+        None => Vec::new(),
+    };
+    match agg {
+        AggFunc::Count => {
+            if col.is_none() {
+                Value::int(rows.len() as i64)
+            } else {
+                Value::int(values.len() as i64)
+            }
+        }
+        AggFunc::Sum => {
+            let sum: f64 = values.iter().filter_map(|v| v.as_number()).sum();
+            if values.is_empty() {
+                Value::Null
+            } else {
+                Value::Number(sum)
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(|v| v.as_number()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Number(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min => values
+            .iter()
+            .cloned()
+            .cloned()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null),
+        AggFunc::Max => values
+            .iter()
+            .cloned()
+            .cloned()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null),
+    }
+}
+
+/// Evaluate a HAVING predicate over a group.
+fn eval_having(joined: &Joined, rows: &[usize], pred: &Predicate) -> bool {
+    let agg = pred.agg.expect("HAVING predicate is aggregated");
+    let v = aggregate(joined, rows, agg, pred.col);
+    compare(&v, pred.op, &pred.value, pred.value2.as_ref())
+}
+
+/// Build output records for grouped queries.
+fn group_records(joined: &Joined, filtered: Vec<usize>, spec: &SelectSpec) -> Vec<Record> {
+    // Partition the filtered rows into groups.
+    let mut groups: Vec<(Vec<usize>,)> = Vec::new();
+    if spec.group_by.is_empty() {
+        groups.push((filtered,));
+    } else {
+        let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for ri in filtered {
+            let key: String = spec
+                .group_by
+                .iter()
+                .map(|c| joined.rows[ri][joined.col_pos[c]].group_key())
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            if !by_key.contains_key(&key) {
+                order.push(key.clone());
+            }
+            by_key.entry(key).or_default().push(ri);
+        }
+        for key in order {
+            groups.push((by_key.remove(&key).expect("group key present"),));
+        }
+    }
+
+    let mut records = Vec::with_capacity(groups.len());
+    for (rows,) in groups {
+        // With an empty global group, only COUNT produces a row in real SQL when
+        // there is no GROUP BY; we keep that behaviour.
+        if rows.is_empty() && !spec.group_by.is_empty() {
+            continue;
+        }
+        if !spec.having.iter().all(|h| eval_having(joined, &rows, h)) {
+            continue;
+        }
+        let projected: Vec<Value> = spec
+            .select
+            .iter()
+            .map(|item| project_item(joined, &rows, item))
+            .collect();
+        let order_key = spec.order_by.map(|o| match o.key {
+            OrderKey::Column(c) => rows
+                .first()
+                .map(|&ri| joined.rows[ri][joined.col_pos[&c]].clone())
+                .unwrap_or(Value::Null),
+            OrderKey::Aggregate(agg, col) => aggregate(joined, &rows, agg, col),
+        });
+        records.push(Record { projected, order_key });
+    }
+    records
+}
+
+/// Project one SELECT item for a group (or a single-row "group").
+fn project_item(joined: &Joined, rows: &[usize], item: &SelectItem) -> Value {
+    match (item.agg, item.col) {
+        (Some(agg), col) => aggregate(joined, rows, agg, col),
+        (None, Some(c)) => rows
+            .first()
+            .map(|&ri| joined.rows[ri][joined.col_pos[&c]].clone())
+            .unwrap_or(Value::Null),
+        (None, None) => Value::Null,
+    }
+}
+
+/// Build output records for non-grouped queries.
+fn plain_records(joined: &Joined, filtered: Vec<usize>, spec: &SelectSpec) -> Vec<Record> {
+    filtered
+        .into_iter()
+        .map(|ri| {
+            let row = std::slice::from_ref(&ri);
+            let projected: Vec<Value> =
+                spec.select.iter().map(|item| project_item(joined, row, item)).collect();
+            let order_key = spec.order_by.map(|o| match o.key {
+                OrderKey::Column(c) => joined.rows[ri][joined.col_pos[&c]].clone(),
+                OrderKey::Aggregate(agg, col) => aggregate(joined, row, agg, col),
+            });
+            Record { projected, order_key }
+        })
+        .collect()
+}
+
+/// Apply DISTINCT, ORDER BY and LIMIT and attach headers.
+fn finalize(db: &Database, spec: &SelectSpec, mut records: Vec<Record>) -> DbResult<ResultSet> {
+    if spec.distinct {
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        records.retain(|r| {
+            let key: String =
+                r.projected.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}");
+            seen.insert(key, ()).is_none()
+        });
+    }
+    if let Some(order) = spec.order_by {
+        records.sort_by(|a, b| {
+            let ka = a.order_key.as_ref().unwrap_or(&Value::Null);
+            let kb = b.order_key.as_ref().unwrap_or(&Value::Null);
+            let ord = ka.total_cmp(kb);
+            if order.desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(limit) = spec.limit {
+        records.truncate(limit);
+    }
+
+    let schema = db.schema();
+    let mut columns = Vec::with_capacity(spec.select.len());
+    let mut types = Vec::with_capacity(spec.select.len());
+    for item in &spec.select {
+        match (item.agg, item.col) {
+            (Some(agg), Some(c)) => {
+                columns.push(format!("{agg}({})", schema.qualified_name(c)));
+                types.push(agg.result_type(Some(schema.column(c).dtype)));
+            }
+            (Some(agg), None) => {
+                columns.push(format!("{agg}(*)"));
+                types.push(DataType::Number);
+            }
+            (None, Some(c)) => {
+                columns.push(schema.qualified_name(c));
+                types.push(schema.column(c).dtype);
+            }
+            (None, None) => {
+                return Err(DbError::InvalidQuery("SELECT item with neither aggregate nor column".into()))
+            }
+        }
+    }
+
+    Ok(ResultSet { columns, types, rows: records.into_iter().map(|r| Row(r.projected)).collect() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join_graph::{JoinGraph, JoinTree};
+    use crate::schema::{ColumnDef, Schema, TableDef};
+
+    /// Build the movie database from the paper's motivating example.
+    fn movie_db() -> Database {
+        let mut s = Schema::new("movies");
+        s.add_table(TableDef::new(
+            "actor",
+            vec![
+                ColumnDef::number("aid"),
+                ColumnDef::text("name"),
+                ColumnDef::number("birth_yr"),
+                ColumnDef::text("gender"),
+            ],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "movies",
+            vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "starring",
+            vec![ColumnDef::number("aid"), ColumnDef::number("mid")],
+            None,
+        ));
+        s.add_foreign_key("starring", "aid", "actor", "aid").unwrap();
+        s.add_foreign_key("starring", "mid", "movies", "mid").unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert_all(
+            "actor",
+            vec![
+                vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956), Value::text("male")],
+                vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964), Value::text("female")],
+                vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963), Value::text("male")],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "movies",
+            vec![
+                vec![Value::int(10), Value::text("Forrest Gump"), Value::int(1994)],
+                vec![Value::int(11), Value::text("Gravity"), Value::int(2013)],
+                vec![Value::int(12), Value::text("Fight Club"), Value::int(1999)],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "starring",
+            vec![
+                vec![Value::int(1), Value::int(10)],
+                vec![Value::int(2), Value::int(11)],
+                vec![Value::int(3), Value::int(12)],
+            ],
+        )
+        .unwrap();
+        db.rebuild_index();
+        db
+    }
+
+    fn col(db: &Database, t: &str, c: &str) -> ColumnId {
+        db.schema().column_id(t, c).unwrap()
+    }
+
+    #[test]
+    fn simple_projection() {
+        let db = movie_db();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "actor", "name"))],
+            join: JoinTree::single(db.schema().table_id("actor").unwrap()),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.columns, vec!["actor.name".to_string()]);
+        assert_eq!(rs.types, vec![DataType::Text]);
+    }
+
+    #[test]
+    fn where_filter_and_or() {
+        let db = movie_db();
+        let year = col(&db, "movies", "year");
+        let mut spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            predicates: vec![
+                Predicate::new(year, CmpOp::Lt, Value::int(1995)),
+                Predicate::new(year, CmpOp::Gt, Value::int(2000)),
+            ],
+            predicate_op: LogicalOp::Or,
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 2); // Forrest Gump and Gravity
+        spec.predicate_op = LogicalOp::And;
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 0);
+    }
+
+    #[test]
+    fn three_way_join() {
+        let db = movie_db();
+        let schema = db.schema();
+        let graph = JoinGraph::new(schema);
+        let join = graph
+            .steiner_tree(&[schema.table_id("actor").unwrap(), schema.table_id("movies").unwrap()])
+            .unwrap();
+        let spec = SelectSpec {
+            select: vec![
+                SelectItem::column(col(&db, "movies", "name")),
+                SelectItem::column(col(&db, "actor", "name")),
+            ],
+            join,
+            predicates: vec![Predicate::new(
+                col(&db, "actor", "name"),
+                CmpOp::Eq,
+                Value::text("Tom Hanks"),
+            )],
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].0[0], Value::text("Forrest Gump"));
+    }
+
+    #[test]
+    fn group_by_with_count_and_having() {
+        let db = movie_db();
+        let schema = db.schema();
+        let graph = JoinGraph::new(schema);
+        let join = graph
+            .steiner_tree(&[schema.table_id("actor").unwrap(), schema.table_id("starring").unwrap()])
+            .unwrap();
+        let gender = col(&db, "actor", "gender");
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(gender), SelectItem::count_star()],
+            join,
+            group_by: vec![gender],
+            having: vec![Predicate::having(AggFunc::Count, None, CmpOp::Ge, Value::int(2))],
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].0[0], Value::text("male"));
+        assert_eq!(rs.rows[0].0[1], Value::int(2));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let db = movie_db();
+        let spec = SelectSpec {
+            select: vec![SelectItem::count_star()],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].0[0], Value::int(3));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let db = movie_db();
+        let year = col(&db, "movies", "year");
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            order_by: Some(OrderSpec { key: OrderKey::Column(year), desc: true }),
+            limit: Some(1),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].0[0], Value::text("Gravity"));
+    }
+
+    #[test]
+    fn order_by_aggregate() {
+        let db = movie_db();
+        let schema = db.schema();
+        let graph = JoinGraph::new(schema);
+        let join = graph
+            .steiner_tree(&[schema.table_id("actor").unwrap(), schema.table_id("starring").unwrap()])
+            .unwrap();
+        let gender = col(&db, "actor", "gender");
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(gender), SelectItem::count_star()],
+            join,
+            group_by: vec![gender],
+            order_by: Some(OrderSpec {
+                key: OrderKey::Aggregate(AggFunc::Count, None),
+                desc: true,
+            }),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.rows[0].0[0], Value::text("male"));
+        assert_eq!(rs.rows[1].0[0], Value::text("female"));
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let db = movie_db();
+        let gender = col(&db, "actor", "gender");
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(gender)],
+            distinct: true,
+            join: JoinTree::single(db.schema().table_id("actor").unwrap()),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn aggregates_min_max_sum_avg() {
+        let db = movie_db();
+        let year = col(&db, "movies", "year");
+        let spec = SelectSpec {
+            select: vec![
+                SelectItem::aggregate(AggFunc::Min, year),
+                SelectItem::aggregate(AggFunc::Max, year),
+                SelectItem::aggregate(AggFunc::Sum, year),
+                SelectItem::aggregate(AggFunc::Avg, year),
+                SelectItem::aggregate(AggFunc::Count, year),
+            ],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.rows[0].0[0], Value::int(1994));
+        assert_eq!(rs.rows[0].0[1], Value::int(2013));
+        assert_eq!(rs.rows[0].0[2], Value::int(1994 + 2013 + 1999));
+        assert_eq!(rs.rows[0].0[4], Value::int(3));
+        let avg = rs.rows[0].0[3].as_number().unwrap();
+        assert!((avg - 2002.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn between_and_like_predicates() {
+        let db = movie_db();
+        let year = col(&db, "movies", "year");
+        let name = col(&db, "movies", "name");
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(name)],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            predicates: vec![Predicate::between(year, Value::int(1990), Value::int(2000))],
+            ..Default::default()
+        };
+        assert_eq!(execute(&db, &spec).unwrap().len(), 2);
+
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(name)],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            predicates: vec![Predicate::new(name, CmpOp::Like, Value::text("%club%"))],
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0].0[0], Value::text("Fight Club"));
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        let db = movie_db();
+        // Empty SELECT.
+        let spec = SelectSpec {
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            ..Default::default()
+        };
+        assert!(execute(&db, &spec).is_err());
+        // Column not covered by FROM.
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "actor", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            ..Default::default()
+        };
+        assert!(matches!(execute(&db, &spec), Err(DbError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn result_table_rendering() {
+        let db = movie_db();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        let table = rs.to_table_string(2);
+        assert!(table.contains("movies.name"));
+        assert!(table.contains("more rows"));
+    }
+}

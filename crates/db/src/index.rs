@@ -1,0 +1,175 @@
+//! Master inverted column index over text columns.
+//!
+//! The Duoquest front end offers autocomplete over "a master inverted column
+//! index containing all text columns in the database" (paper §4). The same
+//! structure is used by the PBE baseline to locate candidate projection columns
+//! from example cell values, and by literal tagging in the NLQ crate.
+
+use crate::database::TableData;
+use crate::schema::{ColumnId, Schema, TableId};
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+
+/// A single index hit: a column containing the searched value and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexHit {
+    /// Column containing the value.
+    pub column: ColumnId,
+    /// Number of rows of that column holding the value.
+    pub count: usize,
+}
+
+/// Inverted index mapping lowercase text values to the columns containing them.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    /// value (lowercased) -> hits
+    exact: HashMap<String, Vec<IndexHit>>,
+    /// all distinct values per column, used for prefix autocomplete
+    values: HashMap<ColumnId, Vec<String>>,
+}
+
+impl InvertedIndex {
+    /// Build the index from a schema and its table data.
+    pub fn build(schema: &Schema, data: &[TableData]) -> Self {
+        let mut exact: HashMap<String, HashMap<ColumnId, usize>> = HashMap::new();
+        let mut values: HashMap<ColumnId, Vec<String>> = HashMap::new();
+        for (ti, table) in schema.tables.iter().enumerate() {
+            for (ci, col) in table.columns.iter().enumerate() {
+                if col.dtype != DataType::Text {
+                    continue;
+                }
+                let cid = ColumnId { table: TableId(ti), column: ci };
+                let mut seen: Vec<String> = Vec::new();
+                for row in &data[ti].rows {
+                    if let Value::Text(s) = &row.0[ci] {
+                        let key = s.to_ascii_lowercase();
+                        *exact.entry(key.clone()).or_default().entry(cid).or_insert(0) += 1;
+                        if !seen.contains(&key) {
+                            seen.push(key);
+                        }
+                    }
+                }
+                seen.sort();
+                values.insert(cid, seen);
+            }
+        }
+        let exact = exact
+            .into_iter()
+            .map(|(k, per_col)| {
+                let mut hits: Vec<IndexHit> = per_col
+                    .into_iter()
+                    .map(|(column, count)| IndexHit { column, count })
+                    .collect();
+                hits.sort_by_key(|h| (h.column.table, h.column.column));
+                (k, hits)
+            })
+            .collect();
+        InvertedIndex { exact, values }
+    }
+
+    /// Columns containing the exact (case-insensitive) text value.
+    pub fn lookup(&self, value: &str) -> &[IndexHit] {
+        self.exact.get(&value.to_ascii_lowercase()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any text column in the database contains the value.
+    pub fn contains(&self, value: &str) -> bool {
+        !self.lookup(value).is_empty()
+    }
+
+    /// Autocomplete: distinct values starting with the given prefix, across all
+    /// text columns, lexicographically sorted and capped at `limit` entries.
+    pub fn autocomplete(&self, prefix: &str, limit: usize) -> Vec<String> {
+        let prefix = prefix.to_ascii_lowercase();
+        let mut out: Vec<String> = Vec::new();
+        for vals in self.values.values() {
+            for v in vals {
+                if v.starts_with(&prefix) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out.sort();
+        out.truncate(limit);
+        out
+    }
+
+    /// Autocomplete restricted to a single column.
+    pub fn autocomplete_column(&self, column: ColumnId, prefix: &str, limit: usize) -> Vec<String> {
+        let prefix = prefix.to_ascii_lowercase();
+        self.values
+            .get(&column)
+            .map(|vals| {
+                vals.iter().filter(|v| v.starts_with(&prefix)).take(limit).cloned().collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_value_count(&self) -> usize {
+        self.exact.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::schema::{ColumnDef, TableDef};
+
+    fn db() -> Database {
+        let mut s = Schema::new("test");
+        s.add_table(TableDef::new(
+            "conference",
+            vec![ColumnDef::number("cid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "author",
+            vec![ColumnDef::number("aid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        let mut d = Database::new(s).unwrap();
+        d.insert("conference", vec![Value::int(1), Value::text("SIGMOD")]).unwrap();
+        d.insert("conference", vec![Value::int(2), Value::text("SIGIR")]).unwrap();
+        d.insert("conference", vec![Value::int(3), Value::text("VLDB")]).unwrap();
+        d.insert("author", vec![Value::int(1), Value::text("Sigmund Freud")]).unwrap();
+        d.insert("author", vec![Value::int(2), Value::text("sigmod")]).unwrap();
+        d.rebuild_index();
+        d
+    }
+
+    #[test]
+    fn exact_lookup_spans_columns() {
+        let d = db();
+        let hits = d.index().lookup("SIGMOD");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].count, 1);
+        assert!(d.index().contains("vldb"));
+        assert!(!d.index().contains("ICDE"));
+    }
+
+    #[test]
+    fn autocomplete_prefix() {
+        let d = db();
+        let opts = d.index().autocomplete("sig", 10);
+        assert_eq!(opts, vec!["sigir".to_string(), "sigmod".to_string(), "sigmund freud".to_string()]);
+        let capped = d.index().autocomplete("sig", 2);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn autocomplete_single_column() {
+        let d = db();
+        let col = d.schema().column_id("conference", "name").unwrap();
+        let opts = d.index().autocomplete_column(col, "sig", 10);
+        assert_eq!(opts, vec!["sigir".to_string(), "sigmod".to_string()]);
+    }
+
+    #[test]
+    fn numeric_columns_not_indexed() {
+        let d = db();
+        assert!(!d.index().contains("1"));
+        assert!(d.index().distinct_value_count() >= 4);
+    }
+}

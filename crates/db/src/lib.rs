@@ -1,0 +1,39 @@
+//! # duoquest-db
+//!
+//! An in-memory relational engine that serves as the database substrate for the
+//! [Duoquest](https://arxiv.org/abs/2003.07438) reproduction.
+//!
+//! The crate provides:
+//!
+//! * typed values and columns ([`Value`], [`DataType`]),
+//! * schemas with explicit foreign-key → primary-key relationships ([`Schema`]),
+//! * row storage and a loaded [`Database`],
+//! * an inverted column index used by the autocomplete interface ([`InvertedIndex`]),
+//! * a schema join graph with Steiner-tree computation ([`JoinGraph`], [`JoinTree`]),
+//! * an executable select-project-join-aggregate query specification ([`SelectSpec`])
+//!   together with an executor ([`execute`]).
+//!
+//! Higher layers (the SQL AST, the GPQE enumerator, the verifier) compile their
+//! queries down to [`SelectSpec`] and run them here, exactly as the paper's
+//! prototype compiled candidate queries and verification probes down to SQL
+//! executed on PostgreSQL.
+
+pub mod database;
+pub mod error;
+pub mod executor;
+pub mod index;
+pub mod join_graph;
+pub mod query;
+pub mod schema;
+pub mod types;
+
+pub use database::{Database, Row, TableData};
+pub use error::DbError;
+pub use executor::{execute, ResultSet};
+pub use index::{IndexHit, InvertedIndex};
+pub use join_graph::{JoinEdge, JoinGraph, JoinTree};
+pub use query::{
+    AggFunc, CmpOp, LogicalOp, OrderKey, OrderSpec, Predicate, SelectItem, SelectSpec,
+};
+pub use schema::{ColumnDef, ColumnId, ForeignKey, Schema, TableDef, TableId};
+pub use types::{DataType, Value};

@@ -1,0 +1,323 @@
+//! Value and data-type model.
+//!
+//! The Duoquest task scope (paper §2.5) only distinguishes *text* and *number*
+//! output columns in table sketch queries, so the engine uses the same two
+//! scalar types plus SQL `NULL`.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Free-form text (SQL `TEXT` / `VARCHAR`).
+    Text,
+    /// Numeric data (SQL `INTEGER` / `REAL`), represented as `f64`.
+    Number,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Text => write!(f, "text"),
+            DataType::Number => write!(f, "number"),
+        }
+    }
+}
+
+/// A scalar cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// A text value.
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+}
+
+impl Value {
+    /// Construct a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Construct a numeric value.
+    pub fn number(n: impl Into<f64>) -> Self {
+        Value::Number(n.into())
+    }
+
+    /// Construct an integer-valued number.
+    pub fn int(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+
+    /// The dynamic type of this value, if it is not NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Text(_) => Some(DataType::Text),
+            Value::Number(_) => Some(DataType::Number),
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Return the numeric content if the value is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Return the textual content if the value is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style equality: NULL is never equal to anything (including NULL);
+    /// text comparison is case-insensitive to mirror the paper's autocomplete
+    /// driven matching of user-provided example cells.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => a.eq_ignore_ascii_case(b),
+            (Value::Number(a), Value::Number(b)) => (a - b).abs() < f64::EPSILON * a.abs().max(b.abs()).max(1.0),
+            _ => false,
+        }
+    }
+
+    /// SQL-style ordering comparison. Returns `None` if the values are not
+    /// comparable (NULLs or mixed types), mirroring three-valued logic where
+    /// such comparisons evaluate to UNKNOWN.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => a.partial_cmp(b),
+            (Value::Text(a), Value::Text(b)) => {
+                Some(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for deterministic sorting of result sets:
+    /// NULL < numbers < text.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Number(_) => 1,
+                Value::Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// SQL `LIKE` with `%` wildcards (case-insensitive). Only meaningful on text.
+    pub fn sql_like(&self, pattern: &str) -> bool {
+        let Value::Text(s) = self else { return false };
+        like_match(&s.to_ascii_lowercase(), &pattern.to_ascii_lowercase())
+    }
+
+    /// A canonical key usable for hashing/grouping (folds numbers to a stable
+    /// bit representation and lowercases text).
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}null".to_string(),
+            Value::Number(n) => format!("n:{}", canonical_f64(*n)),
+            Value::Text(s) => format!("t:{}", s.to_ascii_lowercase()),
+        }
+    }
+}
+
+/// Render a float without trailing noise so equal numbers hash identically.
+fn canonical_f64(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// `%`-wildcard pattern matching used for SQL `LIKE`.
+fn like_match(s: &str, pattern: &str) -> bool {
+    // Split on '%' and greedily match the fragments in order.
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return s == pattern;
+    }
+    let mut pos = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !s.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == parts.len() - 1 {
+            return s[pos..].ends_with(part);
+        } else {
+            match s[pos..].find(part) {
+                Some(idx) => pos += idx + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Number(n) => {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b || (a.is_nan() && b.is_nan()),
+            _ => false,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_display() {
+        assert_eq!(DataType::Text.to_string(), "text");
+        assert_eq!(DataType::Number.to_string(), "number");
+    }
+
+    #[test]
+    fn value_constructors_and_types() {
+        assert_eq!(Value::text("abc").data_type(), Some(DataType::Text));
+        assert_eq!(Value::int(3).data_type(), Some(DataType::Number));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn sql_eq_is_case_insensitive_for_text() {
+        assert!(Value::text("Tom Hanks").sql_eq(&Value::text("tom hanks")));
+        assert!(!Value::text("Tom").sql_eq(&Value::text("Tim")));
+    }
+
+    #[test]
+    fn sql_eq_null_never_equal() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::int(1)));
+    }
+
+    #[test]
+    fn sql_cmp_numbers_and_text() {
+        assert_eq!(
+            Value::int(1994).sql_cmp(&Value::int(1995)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::text("b").sql_cmp(&Value::text("A")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::int(1).sql_cmp(&Value::text("a")), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::int(1)), None);
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(Value::text("SIGMOD 2020").sql_like("%sigmod%"));
+        assert!(Value::text("SIGMOD 2020").sql_like("sigmod%"));
+        assert!(Value::text("SIGMOD 2020").sql_like("%2020"));
+        assert!(!Value::text("VLDB 2020").sql_like("%sigmod%"));
+        assert!(Value::text("abc").sql_like("abc"));
+        assert!(!Value::int(1956).sql_like("%1956%"));
+    }
+
+    #[test]
+    fn group_keys_fold_equal_values() {
+        assert_eq!(Value::int(3).group_key(), Value::Number(3.0).group_key());
+        assert_eq!(Value::text("A").group_key(), Value::text("a").group_key());
+        assert_ne!(Value::text("a").group_key(), Value::Null.group_key());
+    }
+
+    #[test]
+    fn total_cmp_orders_across_types() {
+        let mut vals = vec![Value::text("z"), Value::Null, Value::int(4), Value::int(2)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::int(2));
+        assert_eq!(vals[3], Value::text("z"));
+    }
+
+    #[test]
+    fn display_quotes_text() {
+        assert_eq!(Value::text("O'Brien").to_string(), "'O''Brien'");
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::Number(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::text("x"));
+        assert_eq!(Value::from(5i64), Value::int(5));
+        assert_eq!(Value::from(5i32), Value::int(5));
+        assert_eq!(Value::from(1.5f64), Value::Number(1.5));
+    }
+}

@@ -1,0 +1,141 @@
+//! The pluggable enumeration guidance interface.
+//!
+//! GPQE requires a model that can score the candidate outputs of every
+//! inference decision (paper Table 3 lists the SyntaxSQLNet modules: KW, COL,
+//! OP, AGG, AND/OR, DESC/ASC+LIMIT, HAVING). Paper §3.3.5 explicitly makes the
+//! model pluggable: anything that (1) incrementally updates executable partial
+//! queries and (2) emits scores in `[0, 1]` satisfying Property 1 works.
+//!
+//! The enumerator (in `duoquest-core`) builds the candidate set for one
+//! decision point, asks the [`GuidanceModel`] for raw scores, normalizes them
+//! so they sum to 1 (which yields Property 1: the children of a state split the
+//! parent's confidence mass), and multiplies each child's score into the
+//! running confidence of its partial query.
+
+use crate::tokenize::Nlq;
+use duoquest_db::{AggFunc, CmpOp, ColumnId, LogicalOp, OrderKey, Schema, Value};
+use duoquest_sql::{ClauseSet, SelectColumn};
+
+/// A candidate HAVING predicate (the HAVING module's output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingChoice {
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Aggregated column; `None` means `COUNT(*)`.
+    pub col: Option<ColumnId>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant.
+    pub value: Value,
+}
+
+/// A candidate ORDER BY + LIMIT decision (the DESC/ASC module's output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderChoice {
+    /// Sort key.
+    pub key: OrderKey,
+    /// Direction.
+    pub desc: bool,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// One candidate output of a single inference decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Choice {
+    /// KW module: which optional clauses the query has.
+    Clauses(ClauseSet),
+    /// COL module (SELECT position): the projected column list.
+    SelectColumns(Vec<SelectColumn>),
+    /// AGG module: the aggregate for one projected column.
+    Aggregate {
+        /// The projected column the aggregate applies to.
+        column: SelectColumn,
+        /// The chosen aggregate (`None` = no aggregate).
+        agg: Option<AggFunc>,
+    },
+    /// COL module (WHERE position): the predicate column list.
+    WhereColumns(Vec<ColumnId>),
+    /// OP module: the operator of one predicate.
+    Operator {
+        /// The predicate column.
+        column: ColumnId,
+        /// The chosen operator.
+        op: CmpOp,
+    },
+    /// Constant binding for one predicate (from the tagged literals).
+    PredicateValue {
+        /// The predicate column.
+        column: ColumnId,
+        /// The chosen operator (already decided).
+        op: CmpOp,
+        /// The bound constant.
+        value: Value,
+        /// Second constant for BETWEEN.
+        value2: Option<Value>,
+    },
+    /// AND/OR module: the connective between WHERE predicates.
+    Connective(LogicalOp),
+    /// COL module (GROUP BY position): the grouping column list.
+    GroupBy(Vec<ColumnId>),
+    /// HAVING module: the optional HAVING predicate.
+    Having(Option<HavingChoice>),
+    /// DESC/ASC module: the optional ORDER BY + LIMIT.
+    OrderBy(Option<OrderChoice>),
+}
+
+/// The inputs every module receives: the NLQ (with literals) and the schema.
+#[derive(Debug, Clone, Copy)]
+pub struct GuidanceContext<'a> {
+    /// The natural language query with tagged literals.
+    pub nlq: &'a Nlq,
+    /// The database schema.
+    pub schema: &'a Schema,
+}
+
+/// A guidance model scores the candidates of one inference decision.
+pub trait GuidanceModel: Send + Sync {
+    /// Return a non-negative raw score for every candidate. The enumerator
+    /// normalizes the scores; returning all zeros is interpreted as a uniform
+    /// distribution.
+    fn score(&self, ctx: &GuidanceContext<'_>, candidates: &[Choice]) -> Vec<f64>;
+
+    /// Human-readable model name (used in experiment reports).
+    fn name(&self) -> &str {
+        "guidance"
+    }
+}
+
+/// Normalize raw scores into a probability distribution (Property 1).
+pub fn normalize_scores(raw: &[f64]) -> Vec<f64> {
+    let sum: f64 = raw.iter().map(|s| s.max(0.0)).sum();
+    if sum <= f64::EPSILON {
+        let uniform = 1.0 / raw.len().max(1) as f64;
+        return vec![uniform; raw.len()];
+    }
+    raw.iter().map(|s| s.max(0.0) / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let scores = normalize_scores(&[2.0, 1.0, 1.0]);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((scores[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_all_zero_is_uniform() {
+        let scores = normalize_scores(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(scores, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn normalize_clamps_negatives() {
+        let scores = normalize_scores(&[-1.0, 1.0]);
+        assert_eq!(scores, vec![0.0, 1.0]);
+    }
+}

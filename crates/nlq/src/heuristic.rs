@@ -1,0 +1,508 @@
+//! A purely lexical guidance model.
+//!
+//! This model needs no training data: it scores enumeration decisions with
+//! keyword cues (e.g. "how many" → `COUNT`, "more than" → `>`) and lexical
+//! similarity between NLQ tokens and schema names. It is useful for
+//! self-contained demos and as a sanity baseline; the evaluation harness uses
+//! the calibrated noisy oracle (see [`crate::oracle`]) as the stand-in for the
+//! paper's trained SyntaxSQLNet.
+
+use crate::guidance::{Choice, GuidanceContext, GuidanceModel};
+use crate::literals::LiteralKind;
+use crate::similarity::column_similarity;
+use crate::tokenize::Nlq;
+use duoquest_db::{AggFunc, CmpOp, DataType, LogicalOp, OrderKey, Value};
+use duoquest_sql::SelectColumn;
+
+/// Lexical cue based guidance (no training required).
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicGuidance;
+
+impl HeuristicGuidance {
+    /// Construct the heuristic model.
+    pub fn new() -> Self {
+        HeuristicGuidance
+    }
+}
+
+/// Keyword cue helpers over the NLQ.
+struct Cues {
+    count: bool,
+    max: bool,
+    min: bool,
+    avg: bool,
+    sum: bool,
+    order: bool,
+    descending: bool,
+    ascending: bool,
+    group: bool,
+    top: bool,
+    greater: bool,
+    less: bool,
+    between: bool,
+    like: bool,
+    or: bool,
+    has_text_literal: bool,
+    has_number_literal: bool,
+}
+
+impl Cues {
+    fn of(nlq: &Nlq) -> Self {
+        Cues {
+            count: nlq.contains_phrase(&["how many", "number of", "count"]),
+            max: nlq.contains_phrase(&["most ", "maximum", "largest", "highest", "biggest"]),
+            min: nlq.contains_phrase(&["least ", "minimum", "smallest", "lowest", "fewest"]),
+            avg: nlq.contains_phrase(&["average", "mean "]),
+            sum: nlq.contains_phrase(&["total", "sum of", "combined"]),
+            order: nlq.contains_phrase(&[
+                "order", "sorted", "sort", "rank", "from earliest", "from most", "from least",
+                "most recent", "earliest to", "oldest to", "newest",
+            ]),
+            descending: nlq.contains_phrase(&[
+                "most to least", "descending", "newest", "most recent first", "highest first",
+                "from most",
+            ]),
+            ascending: nlq.contains_phrase(&[
+                "least to most", "ascending", "earliest to", "oldest to", "from earliest",
+                "from oldest", "from least",
+            ]),
+            group: nlq.contains_phrase(&["each", "per ", "for every", "number of", "how many"]),
+            top: nlq.contains_phrase(&["top ", "first ", "best "]),
+            greater: nlq.contains_phrase(&[
+                "more than", "greater than", "over ", "after", "above", "at least", "later than",
+            ]),
+            less: nlq.contains_phrase(&[
+                "less than", "fewer than", "under ", "before", "below", "at most", "earlier than",
+            ]),
+            between: nlq.contains_phrase(&["between", "sometime between", "from 1", "from 2"]),
+            like: nlq.contains_phrase(&["containing", "contains", "includes", "starting with"]),
+            or: nlq.contains_phrase(&[" or "]),
+            has_text_literal: nlq.literals.iter().any(|l| l.kind == LiteralKind::Text),
+            has_number_literal: nlq.literals.iter().any(|l| l.kind == LiteralKind::Number),
+        }
+    }
+}
+
+fn clause_factor(present: bool, wanted: bool) -> f64 {
+    if present == wanted {
+        0.8
+    } else {
+        0.2
+    }
+}
+
+impl GuidanceModel for HeuristicGuidance {
+    fn name(&self) -> &str {
+        "heuristic"
+    }
+
+    fn score(&self, ctx: &GuidanceContext<'_>, candidates: &[Choice]) -> Vec<f64> {
+        let cues = Cues::of(ctx.nlq);
+        candidates
+            .iter()
+            .map(|c| match c {
+                Choice::Clauses(cs) => {
+                    let want_where = cues.has_text_literal
+                        || cues.has_number_literal
+                        || cues.greater
+                        || cues.less
+                        || cues.like;
+                    let want_group = cues.group && cues.count;
+                    let want_order = cues.order || cues.top;
+                    clause_factor(cs.where_clause, want_where)
+                        * clause_factor(cs.group_by, want_group)
+                        * clause_factor(cs.order_by, want_order)
+                }
+                Choice::SelectColumns(cols) => {
+                    if cols.is_empty() {
+                        return 0.0;
+                    }
+                    let mut total = 0.0;
+                    for col in cols {
+                        total += match col {
+                            SelectColumn::Star => {
+                                if cues.count {
+                                    0.6
+                                } else {
+                                    0.05
+                                }
+                            }
+                            SelectColumn::Column(c) => {
+                                column_similarity(ctx.nlq, ctx.schema, *c).max(0.02)
+                            }
+                        };
+                    }
+                    total / cols.len() as f64
+                }
+                Choice::Aggregate { column, agg } => {
+                    let numeric = matches!(
+                        column,
+                        SelectColumn::Column(c) if ctx.schema.column(*c).dtype == DataType::Number
+                    );
+                    match agg {
+                        None => {
+                            if cues.count || cues.max || cues.min || cues.avg || cues.sum {
+                                0.35
+                            } else {
+                                0.8
+                            }
+                        }
+                        Some(AggFunc::Count) => {
+                            if cues.count {
+                                0.7
+                            } else {
+                                0.08
+                            }
+                        }
+                        Some(AggFunc::Max) => {
+                            if cues.max && numeric {
+                                0.6
+                            } else {
+                                0.05
+                            }
+                        }
+                        Some(AggFunc::Min) => {
+                            if cues.min && numeric {
+                                0.6
+                            } else {
+                                0.05
+                            }
+                        }
+                        Some(AggFunc::Avg) => {
+                            if cues.avg && numeric {
+                                0.6
+                            } else {
+                                0.05
+                            }
+                        }
+                        Some(AggFunc::Sum) => {
+                            if cues.sum && numeric {
+                                0.6
+                            } else {
+                                0.05
+                            }
+                        }
+                    }
+                }
+                Choice::WhereColumns(cols) => {
+                    if cols.is_empty() {
+                        return 0.05;
+                    }
+                    let mut total = 0.0;
+                    for c in cols {
+                        let sim = column_similarity(ctx.nlq, ctx.schema, *c);
+                        let dt = ctx.schema.column(*c).dtype;
+                        let lit_bonus = if ctx
+                            .nlq
+                            .literals
+                            .iter()
+                            .any(|l| l.data_type() == dt)
+                        {
+                            0.3
+                        } else {
+                            0.0
+                        };
+                        total += (sim + lit_bonus).clamp(0.02, 1.0);
+                    }
+                    total / cols.len() as f64
+                }
+                Choice::Operator { column, op } => {
+                    let numeric = ctx.schema.column(*column).dtype == DataType::Number;
+                    match op {
+                        CmpOp::Eq => 0.45,
+                        CmpOp::Gt | CmpOp::Ge => {
+                            if cues.greater && numeric {
+                                0.6
+                            } else {
+                                0.08
+                            }
+                        }
+                        CmpOp::Lt | CmpOp::Le => {
+                            if cues.less && numeric {
+                                0.6
+                            } else {
+                                0.08
+                            }
+                        }
+                        CmpOp::Between => {
+                            if cues.between && numeric {
+                                0.6
+                            } else {
+                                0.05
+                            }
+                        }
+                        CmpOp::Like => {
+                            if cues.like && !numeric {
+                                0.5
+                            } else {
+                                0.03
+                            }
+                        }
+                        CmpOp::Ne => 0.03,
+                    }
+                }
+                Choice::PredicateValue { column, value, value2, .. } => {
+                    let dt = ctx.schema.column(*column).dtype;
+                    let matches_literal = ctx.nlq.literals.iter().any(|l| l.value.sql_eq(value));
+                    let second_ok = value2
+                        .as_ref()
+                        .map(|v| ctx.nlq.literals.iter().any(|l| l.value.sql_eq(v)))
+                        .unwrap_or(true);
+                    let type_ok = value.data_type() == Some(dt);
+                    if matches_literal && second_ok && type_ok {
+                        1.0
+                    } else if type_ok {
+                        0.1
+                    } else {
+                        0.01
+                    }
+                }
+                Choice::Connective(op) => match op {
+                    LogicalOp::Or => {
+                        if cues.or {
+                            0.7
+                        } else {
+                            0.15
+                        }
+                    }
+                    LogicalOp::And => {
+                        if cues.or {
+                            0.3
+                        } else {
+                            0.85
+                        }
+                    }
+                },
+                Choice::GroupBy(cols) => {
+                    if cols.is_empty() {
+                        return 0.05;
+                    }
+                    let sim: f64 = cols
+                        .iter()
+                        .map(|c| column_similarity(ctx.nlq, ctx.schema, *c).max(0.02))
+                        .sum::<f64>()
+                        / cols.len() as f64;
+                    sim + if cues.group { 0.2 } else { 0.0 }
+                }
+                Choice::Having(having) => match having {
+                    None => {
+                        if cues.greater && cues.count {
+                            0.3
+                        } else {
+                            0.8
+                        }
+                    }
+                    Some(h) => {
+                        let literal_match =
+                            ctx.nlq.literals.iter().any(|l| l.value.sql_eq(&h.value));
+                        let base = if cues.count && (cues.greater || cues.less) { 0.6 } else { 0.1 };
+                        if literal_match {
+                            base
+                        } else {
+                            base * 0.2
+                        }
+                    }
+                },
+                Choice::OrderBy(order) => match order {
+                    None => {
+                        if cues.order || cues.top {
+                            0.2
+                        } else {
+                            0.85
+                        }
+                    }
+                    Some(o) => {
+                        let dir_score = if o.desc {
+                            if cues.descending {
+                                0.6
+                            } else if cues.ascending {
+                                0.1
+                            } else {
+                                0.3
+                            }
+                        } else if cues.ascending {
+                            0.6
+                        } else if cues.descending {
+                            0.1
+                        } else {
+                            0.3
+                        };
+                        let key_score = match o.key {
+                            OrderKey::Column(c) => column_similarity(ctx.nlq, ctx.schema, c).max(0.05),
+                            OrderKey::Aggregate(AggFunc::Count, _) => {
+                                if cues.count {
+                                    0.6
+                                } else {
+                                    0.1
+                                }
+                            }
+                            OrderKey::Aggregate(..) => 0.1,
+                        };
+                        let limit_score = match (o.limit, cues.top) {
+                            (Some(_), true) => 0.7,
+                            (Some(_), false) => 0.1,
+                            (None, true) => 0.3,
+                            (None, false) => 0.8,
+                        };
+                        dir_score * key_score * limit_score * 4.0
+                    }
+                },
+            })
+            .map(|s: f64| s.max(1e-6))
+            .collect()
+    }
+}
+
+/// Convenience: score a single literal value against a candidate constant.
+pub fn value_matches_literal(nlq: &Nlq, value: &Value) -> bool {
+    nlq.literals.iter().any(|l| l.value.sql_eq(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guidance::normalize_scores;
+    use crate::literals::Literal;
+    use duoquest_db::{ColumnDef, Schema, TableDef};
+    use duoquest_sql::ClauseSet;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("mas");
+        s.add_table(TableDef::new(
+            "publication",
+            vec![ColumnDef::number("pid"), ColumnDef::text("title"), ColumnDef::number("year")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "author",
+            vec![ColumnDef::number("aid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        s
+    }
+
+    #[test]
+    fn clause_scoring_prefers_where_with_literals() {
+        let s = schema();
+        let nlq = Nlq::with_literals(
+            "List publications in \"SIGMOD\"",
+            vec![Literal::text("SIGMOD", Value::text("SIGMOD"))],
+        );
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let candidates = vec![
+            Choice::Clauses(ClauseSet::default()),
+            Choice::Clauses(ClauseSet { where_clause: true, ..Default::default() }),
+        ];
+        let scores = m.score(&ctx, &candidates);
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn aggregate_scoring_follows_count_cue() {
+        let s = schema();
+        let nlq = Nlq::new("How many publications does each author have");
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let star = SelectColumn::Star;
+        let scores = m.score(
+            &ctx,
+            &[
+                Choice::Aggregate { column: star, agg: None },
+                Choice::Aggregate { column: star, agg: Some(AggFunc::Count) },
+                Choice::Aggregate { column: star, agg: Some(AggFunc::Max) },
+            ],
+        );
+        assert!(scores[1] > scores[0]);
+        assert!(scores[1] > scores[2]);
+    }
+
+    #[test]
+    fn operator_scoring_uses_comparative_cues() {
+        let s = schema();
+        let year = s.column_id("publication", "year").unwrap();
+        let nlq = Nlq::new("publications from before 1995");
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let scores = m.score(
+            &ctx,
+            &[
+                Choice::Operator { column: year, op: CmpOp::Eq },
+                Choice::Operator { column: year, op: CmpOp::Lt },
+                Choice::Operator { column: year, op: CmpOp::Gt },
+            ],
+        );
+        assert!(scores[1] > scores[2]);
+    }
+
+    #[test]
+    fn predicate_value_prefers_tagged_literal() {
+        let s = schema();
+        let year = s.column_id("publication", "year").unwrap();
+        let nlq = Nlq::with_literals("publications before 1995", vec![Literal::number(1995.0)]);
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let scores = m.score(
+            &ctx,
+            &[
+                Choice::PredicateValue {
+                    column: year,
+                    op: CmpOp::Lt,
+                    value: Value::int(1995),
+                    value2: None,
+                },
+                Choice::PredicateValue {
+                    column: year,
+                    op: CmpOp::Lt,
+                    value: Value::int(3),
+                    value2: None,
+                },
+            ],
+        );
+        assert!(scores[0] > scores[1]);
+        assert!(value_matches_literal(&nlq, &Value::int(1995)));
+    }
+
+    #[test]
+    fn select_columns_prefer_mentioned_names() {
+        let s = schema();
+        let title = s.column_id("publication", "title").unwrap();
+        let name = s.column_id("author", "name").unwrap();
+        let year = s.column_id("publication", "year").unwrap();
+        let nlq = Nlq::new("List the titles and years of publications");
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let scores = m.score(
+            &ctx,
+            &[
+                Choice::SelectColumns(vec![SelectColumn::Column(title), SelectColumn::Column(year)]),
+                Choice::SelectColumns(vec![SelectColumn::Column(name)]),
+            ],
+        );
+        assert!(scores[0] > scores[1]);
+        let normalized = normalize_scores(&scores);
+        assert!((normalized.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connective_follows_or_cue() {
+        let s = schema();
+        let nlq = Nlq::new("movies from before 1995, or after 2000");
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let scores =
+            m.score(&ctx, &[Choice::Connective(LogicalOp::And), Choice::Connective(LogicalOp::Or)]);
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn scores_are_strictly_positive() {
+        let s = schema();
+        let nlq = Nlq::new("whatever");
+        let ctx = GuidanceContext { nlq: &nlq, schema: &s };
+        let m = HeuristicGuidance::new();
+        let scores = m.score(&ctx, &[Choice::OrderBy(None), Choice::Having(None)]);
+        assert!(scores.iter().all(|s| *s > 0.0));
+        assert_eq!(m.name(), "heuristic");
+    }
+}

@@ -1,0 +1,207 @@
+//! Literal value tagging.
+//!
+//! Duoquest's front end lets users tag domain-specific literal text values in
+//! the NLQ search bar with an autocomplete over the database's inverted column
+//! index; numbers are recognized directly (paper §2.3 and §4). The tagged
+//! literal set `L` is part of the problem input and is consumed both by the
+//! enumerator (to bind predicate constants) and the final `VerifyLiterals`
+//! check.
+
+use crate::tokenize::tokenize;
+use duoquest_db::{ColumnId, Database, DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// Whether a literal is a text value or a number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiteralKind {
+    /// A quoted / autocompleted text value.
+    Text,
+    /// A numeric value.
+    Number,
+}
+
+/// One literal value tagged in the NLQ.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Literal {
+    /// The surface form as it appears in the NLQ.
+    pub surface: String,
+    /// The literal value.
+    pub value: Value,
+    /// Text or number.
+    pub kind: LiteralKind,
+}
+
+impl Literal {
+    /// A tagged text literal.
+    pub fn text(surface: impl Into<String>, value: Value) -> Self {
+        Literal { surface: surface.into(), value, kind: LiteralKind::Text }
+    }
+
+    /// A tagged numeric literal.
+    pub fn number(n: f64) -> Self {
+        Literal { surface: format!("{n}"), value: Value::Number(n), kind: LiteralKind::Number }
+    }
+
+    /// The declared type this literal can compare against.
+    pub fn data_type(&self) -> DataType {
+        match self.kind {
+            LiteralKind::Text => DataType::Text,
+            LiteralKind::Number => DataType::Number,
+        }
+    }
+}
+
+/// Extract literal values from an NLQ:
+///
+/// * substrings enclosed in double quotes are treated as tagged text values
+///   (the front end's `"`-activated autocomplete);
+/// * bare numeric tokens become numeric literals;
+/// * when a database is provided, un-quoted token n-grams that exactly match an
+///   indexed text value are tagged as well — this emulates the autocomplete
+///   suggestions a user would accept.
+pub fn extract_literals(text: &str, db: Option<&Database>) -> Vec<Literal> {
+    let mut out: Vec<Literal> = Vec::new();
+
+    // Quoted text values.
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        match after.find('"') {
+            Some(end) => {
+                let inner = &after[..end];
+                if !inner.is_empty() {
+                    out.push(Literal::text(inner, Value::text(inner)));
+                }
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+
+    // Numeric tokens.
+    for token in text.split(|c: char| !c.is_alphanumeric() && c != '.' && c != '-') {
+        if token.is_empty() {
+            continue;
+        }
+        if let Ok(n) = token.parse::<f64>() {
+            if !out.iter().any(|l| l.kind == LiteralKind::Number && l.value == Value::Number(n)) {
+                out.push(Literal::number(n));
+            }
+        }
+    }
+
+    // Database-backed n-gram matching (autocomplete emulation).
+    if let Some(db) = db {
+        let words: Vec<&str> =
+            text.split(|c: char| !c.is_alphanumeric() && c != '\'').filter(|s| !s.is_empty()).collect();
+        for n in (1..=4usize).rev() {
+            for window in words.windows(n) {
+                let candidate = window.join(" ");
+                if candidate.parse::<f64>().is_ok() {
+                    continue;
+                }
+                if db.index().contains(&candidate)
+                    && !out.iter().any(|l| l.surface.eq_ignore_ascii_case(&candidate))
+                    && !out.iter().any(|l| {
+                        l.surface.to_ascii_lowercase().contains(&candidate.to_ascii_lowercase())
+                    })
+                {
+                    out.push(Literal::text(candidate.clone(), Value::text(candidate)));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Candidate columns for a text literal: every text column whose indexed values
+/// contain it, most frequent first.
+pub fn candidate_columns(db: &Database, literal: &Literal) -> Vec<ColumnId> {
+    match literal.kind {
+        LiteralKind::Number => Vec::new(),
+        LiteralKind::Text => {
+            let mut hits: Vec<_> = db
+                .index()
+                .lookup(literal.value.as_text().unwrap_or(&literal.surface))
+                .to_vec();
+            hits.sort_by_key(|h| std::cmp::Reverse(h.count));
+            hits.into_iter().map(|h| h.column).collect()
+        }
+    }
+}
+
+/// Whether the NLQ tokens mention the literal (used by VerifyLiterals-style checks).
+pub fn literal_mentioned(text: &str, literal: &Literal) -> bool {
+    match literal.kind {
+        LiteralKind::Number => tokenize(text).contains(&literal.surface.to_ascii_lowercase()),
+        LiteralKind::Text => {
+            text.to_ascii_lowercase().contains(&literal.surface.to_ascii_lowercase())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_db::{ColumnDef, Schema, TableDef};
+
+    fn db() -> Database {
+        let mut s = Schema::new("mas");
+        s.add_table(TableDef::new(
+            "conference",
+            vec![ColumnDef::number("cid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        let mut d = Database::new(s).unwrap();
+        d.insert("conference", vec![Value::int(1), Value::text("SIGMOD")]).unwrap();
+        d.insert("conference", vec![Value::int(2), Value::text("Very Large Data Bases")]).unwrap();
+        d.rebuild_index();
+        d
+    }
+
+    #[test]
+    fn quoted_and_numeric_literals() {
+        let lits = extract_literals("publications in \"SIGMOD\" after 2010", None);
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].kind, LiteralKind::Text);
+        assert_eq!(lits[0].value, Value::text("SIGMOD"));
+        assert_eq!(lits[1].kind, LiteralKind::Number);
+        assert_eq!(lits[1].value, Value::Number(2010.0));
+    }
+
+    #[test]
+    fn autocomplete_backed_ngram_matching() {
+        let d = db();
+        let lits = extract_literals("publications in Very Large Data Bases this year", Some(&d));
+        assert!(lits.iter().any(|l| l.surface.eq_ignore_ascii_case("very large data bases")));
+        // Single word "SIGMOD" also matches.
+        let lits = extract_literals("count papers in sigmod", Some(&d));
+        assert!(lits.iter().any(|l| l.surface.eq_ignore_ascii_case("sigmod")));
+    }
+
+    #[test]
+    fn candidate_columns_for_text_literal() {
+        let d = db();
+        let lit = Literal::text("SIGMOD", Value::text("SIGMOD"));
+        let cols = candidate_columns(&d, &lit);
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0], d.schema().column_id("conference", "name").unwrap());
+        assert!(candidate_columns(&d, &Literal::number(3.0)).is_empty());
+    }
+
+    #[test]
+    fn literal_mention_detection() {
+        let lit = Literal::number(1995.0);
+        assert!(literal_mentioned("movies before 1995", &lit));
+        assert!(!literal_mentioned("movies before 2000", &lit));
+        let lit = Literal::text("Tom Hanks", Value::text("Tom Hanks"));
+        assert!(literal_mentioned("films starring tom hanks", &lit));
+    }
+
+    #[test]
+    fn duplicate_numbers_not_repeated() {
+        let lits = extract_literals("between 2010 and 2010", None);
+        assert_eq!(lits.iter().filter(|l| l.kind == LiteralKind::Number).count(), 1);
+    }
+}

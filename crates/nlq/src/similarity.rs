@@ -1,0 +1,113 @@
+//! Lexical similarity between NLQ tokens and schema identifiers.
+//!
+//! The paper's prototype relies on off-the-shelf word embeddings inside
+//! SyntaxSQLNet; the self-contained heuristic guidance model here uses a
+//! combination of exact/stemmed token overlap and character-trigram Jaccard
+//! similarity, which is sufficient for schemas that follow the paper's advice
+//! of using complete words for table and column names (§4.1).
+
+use crate::tokenize::{normalize_token, Nlq};
+use duoquest_db::{ColumnId, Schema};
+
+/// Split a schema identifier such as `birth_yr` or `domain_conference` into
+/// normalized word tokens.
+pub fn identifier_tokens(identifier: &str) -> Vec<String> {
+    identifier
+        .split(['_', ' ', '.'])
+        .filter(|s| !s.is_empty())
+        .map(normalize_token)
+        .collect()
+}
+
+/// Character trigram Jaccard similarity between two words.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> Vec<String> {
+        let padded = format!("  {}  ", s.to_ascii_lowercase());
+        let chars: Vec<char> = padded.chars().collect();
+        chars.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.iter().filter(|g| gb.contains(g)).count();
+    let union = ga.len() + gb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Similarity in `[0, 1]` between an NLQ and one schema identifier: the best
+/// per-word match (exact/stem match scores 1, otherwise trigram similarity),
+/// averaged over the identifier's words.
+pub fn name_similarity(nlq: &Nlq, identifier: &str) -> f64 {
+    let id_tokens = identifier_tokens(identifier);
+    if id_tokens.is_empty() || nlq.tokens.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for idt in &id_tokens {
+        let mut best: f64 = 0.0;
+        for tok in &nlq.tokens {
+            if tok == idt {
+                best = 1.0;
+                break;
+            }
+            best = best.max(trigram_similarity(tok, idt));
+        }
+        total += best;
+    }
+    total / id_tokens.len() as f64
+}
+
+/// Similarity between an NLQ and a column, considering both the column name and
+/// its table name (the table name contributes with a lower weight).
+pub fn column_similarity(nlq: &Nlq, schema: &Schema, col: ColumnId) -> f64 {
+    let col_name = &schema.column(col).name;
+    let table_name = &schema.table(col.table).name;
+    let col_sim = name_similarity(nlq, col_name);
+    let table_sim = name_similarity(nlq, table_name);
+    (0.75 * col_sim + 0.25 * table_sim).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_db::{ColumnDef, TableDef};
+
+    #[test]
+    fn identifier_splitting() {
+        assert_eq!(identifier_tokens("birth_yr"), vec!["birth", "yr"]);
+        assert_eq!(identifier_tokens("domain_conference"), vec!["domain", "conference"]);
+    }
+
+    #[test]
+    fn trigram_similarity_bounds() {
+        assert!(trigram_similarity("year", "year") > 0.99);
+        assert!(trigram_similarity("year", "years") > 0.4);
+        assert!(trigram_similarity("year", "name") < 0.2);
+        assert_eq!(trigram_similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn name_similarity_prefers_mentioned_columns() {
+        let nlq = Nlq::new("List the titles and years of publications by author A");
+        assert!(name_similarity(&nlq, "title") > 0.9);
+        assert!(name_similarity(&nlq, "year") > 0.9);
+        assert!(name_similarity(&nlq, "title") > name_similarity(&nlq, "homepage"));
+    }
+
+    #[test]
+    fn column_similarity_uses_table_context() {
+        let mut s = Schema::new("mas");
+        s.add_table(TableDef::new(
+            "publication",
+            vec![ColumnDef::text("title"), ColumnDef::number("year")],
+            None,
+        ));
+        s.add_table(TableDef::new("keyword", vec![ColumnDef::text("keyword")], None));
+        let nlq = Nlq::new("List publication titles");
+        let title = s.column_id("publication", "title").unwrap();
+        let keyword = s.column_id("keyword", "keyword").unwrap();
+        assert!(column_similarity(&nlq, &s, title) > column_similarity(&nlq, &s, keyword));
+    }
+}

@@ -1,0 +1,300 @@
+//! Fluent, by-name query builder.
+//!
+//! Workloads and tests construct gold queries with this builder; the join path
+//! is derived automatically with the same Steiner-tree construction used by
+//! progressive join path construction, plus any explicitly forced tables.
+
+use crate::error::{SqlError, SqlResult};
+use duoquest_db::{
+    AggFunc, CmpOp, JoinGraph, LogicalOp, OrderKey, OrderSpec, Predicate, Schema, SelectItem,
+    SelectSpec, TableId, Value,
+};
+
+/// Builder for [`SelectSpec`] using `table.column` names.
+pub struct QueryBuilder<'a> {
+    schema: &'a Schema,
+    spec: SelectSpec,
+    extra_tables: Vec<TableId>,
+    error: Option<SqlError>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Start building a query against a schema.
+    pub fn new(schema: &'a Schema) -> Self {
+        QueryBuilder { schema, spec: SelectSpec::default(), extra_tables: Vec::new(), error: None }
+    }
+
+    fn record_err(&mut self, e: SqlError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn resolve(&mut self, qualified: &str) -> Option<duoquest_db::ColumnId> {
+        match parse_qualified(self.schema, qualified) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                self.record_err(e);
+                None
+            }
+        }
+    }
+
+    /// Project a plain column, e.g. `.select("actor.name")`.
+    pub fn select(mut self, qualified: &str) -> Self {
+        if let Some(c) = self.resolve(qualified) {
+            self.spec.select.push(SelectItem::column(c));
+        }
+        self
+    }
+
+    /// Project an aggregated column, e.g. `.select_agg(AggFunc::Max, "movies.year")`.
+    pub fn select_agg(mut self, agg: AggFunc, qualified: &str) -> Self {
+        if let Some(c) = self.resolve(qualified) {
+            self.spec.select.push(SelectItem::aggregate(agg, c));
+        }
+        self
+    }
+
+    /// Project `COUNT(*)`.
+    pub fn select_count_star(mut self) -> Self {
+        self.spec.select.push(SelectItem::count_star());
+        self
+    }
+
+    /// Remove duplicate output rows.
+    pub fn distinct(mut self) -> Self {
+        self.spec.distinct = true;
+        self
+    }
+
+    /// Force an additional table into the FROM clause (e.g. a bridge table whose
+    /// columns are not referenced elsewhere).
+    pub fn with_table(mut self, table: &str) -> Self {
+        match self.schema.table_id(table) {
+            Ok(t) => self.extra_tables.push(t),
+            Err(e) => self.record_err(e.into()),
+        }
+        self
+    }
+
+    /// Add a WHERE predicate.
+    pub fn filter(mut self, qualified: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+        if let Some(c) = self.resolve(qualified) {
+            self.spec.predicates.push(Predicate::new(c, op, value.into()));
+        }
+        self
+    }
+
+    /// Add a BETWEEN predicate.
+    pub fn filter_between(
+        mut self,
+        qualified: &str,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Self {
+        if let Some(c) = self.resolve(qualified) {
+            self.spec.predicates.push(Predicate::between(c, lo.into(), hi.into()));
+        }
+        self
+    }
+
+    /// Combine the WHERE predicates with OR instead of AND.
+    pub fn or_predicates(mut self) -> Self {
+        self.spec.predicate_op = LogicalOp::Or;
+        self
+    }
+
+    /// Add a GROUP BY column.
+    pub fn group_by(mut self, qualified: &str) -> Self {
+        if let Some(c) = self.resolve(qualified) {
+            self.spec.group_by.push(c);
+        }
+        self
+    }
+
+    /// Add a HAVING predicate over an aggregate of a column (or `None` for `*`).
+    pub fn having(
+        mut self,
+        agg: AggFunc,
+        qualified: Option<&str>,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Self {
+        let col = match qualified {
+            Some(q) => match self.resolve(q) {
+                Some(c) => Some(c),
+                None => return self,
+            },
+            None => None,
+        };
+        self.spec.having.push(Predicate::having(agg, col, op, value.into()));
+        self
+    }
+
+    /// Order by a plain column.
+    pub fn order_by(mut self, qualified: &str, desc: bool) -> Self {
+        if let Some(c) = self.resolve(qualified) {
+            self.spec.order_by = Some(OrderSpec { key: OrderKey::Column(c), desc });
+        }
+        self
+    }
+
+    /// Order by an aggregate (`None` column = `COUNT(*)` style).
+    pub fn order_by_agg(mut self, agg: AggFunc, qualified: Option<&str>, desc: bool) -> Self {
+        let col = match qualified {
+            Some(q) => match self.resolve(q) {
+                Some(c) => Some(c),
+                None => return self,
+            },
+            None => None,
+        };
+        self.spec.order_by = Some(OrderSpec { key: OrderKey::Aggregate(agg, col), desc });
+        self
+    }
+
+    /// Limit the number of output rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.spec.limit = Some(n);
+        self
+    }
+
+    /// Finalize: derive the join tree from every referenced table (plus forced
+    /// tables) via the schema Steiner tree and validate the result.
+    pub fn build(mut self) -> SqlResult<SelectSpec> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.spec.select.is_empty() {
+            return Err(SqlError::Incomplete("SELECT clause is empty".into()));
+        }
+        let mut terminals: Vec<TableId> =
+            self.spec.referenced_columns().iter().map(|c| c.table).collect();
+        terminals.extend(self.extra_tables.iter().copied());
+        terminals.sort();
+        terminals.dedup();
+        if terminals.is_empty() {
+            return Err(SqlError::Incomplete("no table referenced".into()));
+        }
+        let graph = JoinGraph::new(self.schema);
+        self.spec.join =
+            graph.steiner_tree(&terminals).map_err(|e| SqlError::Unsupported(e.to_string()))?;
+        Ok(self.spec)
+    }
+}
+
+/// Resolve a `table.column` name against a schema.
+pub fn parse_qualified(schema: &Schema, qualified: &str) -> SqlResult<duoquest_db::ColumnId> {
+    let (table, column) = qualified
+        .split_once('.')
+        .ok_or_else(|| SqlError::UnknownIdentifier(format!("expected table.column, got `{qualified}`")))?;
+    Ok(schema.column_id(table.trim(), column.trim())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_db::{ColumnDef, TableDef};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("movies");
+        s.add_table(TableDef::new(
+            "actor",
+            vec![ColumnDef::number("aid"), ColumnDef::text("name"), ColumnDef::number("birth_yr")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "movies",
+            vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "starring",
+            vec![ColumnDef::number("aid"), ColumnDef::number("mid")],
+            None,
+        ));
+        s.add_foreign_key("starring", "aid", "actor", "aid").unwrap();
+        s.add_foreign_key("starring", "mid", "movies", "mid").unwrap();
+        s
+    }
+
+    #[test]
+    fn build_simple_query() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.join.tables.len(), 1);
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn build_join_query_derives_bridge_table() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .select("movies.name")
+            .select("actor.name")
+            .filter("actor.name", CmpOp::Eq, "Tom Hanks")
+            .build()
+            .unwrap();
+        assert_eq!(q.join.tables.len(), 3);
+        assert_eq!(q.join.join_length(), 2);
+    }
+
+    #[test]
+    fn build_group_having_order() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .select("actor.name")
+            .select_count_star()
+            .with_table("starring")
+            .group_by("actor.name")
+            .having(AggFunc::Count, None, CmpOp::Gt, 5)
+            .order_by_agg(AggFunc::Count, None, true)
+            .limit(10)
+            .build()
+            .unwrap();
+        assert!(q.has_aggregates());
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.having.len(), 1);
+        assert_eq!(q.limit, Some(10));
+        assert!(q.join.contains(s.table_id("starring").unwrap()));
+    }
+
+    #[test]
+    fn or_predicates_and_between() {
+        let s = schema();
+        let q = QueryBuilder::new(&s)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .filter("movies.year", CmpOp::Gt, 2000)
+            .or_predicates()
+            .build()
+            .unwrap();
+        assert_eq!(q.predicate_op, LogicalOp::Or);
+        let q = QueryBuilder::new(&s)
+            .select("movies.name")
+            .filter_between("movies.year", 2010, 2017)
+            .build()
+            .unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Between);
+    }
+
+    #[test]
+    fn unknown_identifier_reported() {
+        let s = schema();
+        let err = QueryBuilder::new(&s).select("movies.title").build();
+        assert!(matches!(err, Err(SqlError::UnknownIdentifier(_))));
+        let err = QueryBuilder::new(&s).select("name").build();
+        assert!(matches!(err, Err(SqlError::UnknownIdentifier(_))));
+    }
+
+    #[test]
+    fn empty_select_rejected() {
+        let s = schema();
+        assert!(matches!(QueryBuilder::new(&s).build(), Err(SqlError::Incomplete(_))));
+    }
+}

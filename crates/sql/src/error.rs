@@ -1,0 +1,58 @@
+//! Errors for query building, parsing and lowering.
+
+use std::fmt;
+
+/// Errors produced by the SQL layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// A referenced table or column does not exist in the schema.
+    UnknownIdentifier(String),
+    /// The query text could not be parsed.
+    Parse(String),
+    /// A partial query was used where a complete query is required.
+    Incomplete(String),
+    /// The query violates the supported SPJA scope.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::UnknownIdentifier(s) => write!(f, "unknown identifier `{s}`"),
+            SqlError::Parse(s) => write!(f, "parse error: {s}"),
+            SqlError::Incomplete(s) => write!(f, "incomplete query: {s}"),
+            SqlError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<duoquest_db::DbError> for SqlError {
+    fn from(e: duoquest_db::DbError) -> Self {
+        SqlError::UnknownIdentifier(e.to_string())
+    }
+}
+
+/// Result alias for the SQL layer.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SqlError::UnknownIdentifier("x".into()).to_string().contains('x'));
+        assert!(SqlError::Parse("bad token".into()).to_string().contains("bad token"));
+        assert!(SqlError::Incomplete("hole".into()).to_string().contains("hole"));
+        assert!(SqlError::Unsupported("nested".into()).to_string().contains("nested"));
+    }
+
+    #[test]
+    fn from_db_error() {
+        let db_err = duoquest_db::DbError::UnknownTable("t".into());
+        let e: SqlError = db_err.into();
+        assert!(matches!(e, SqlError::UnknownIdentifier(_)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # duoquest-sql
+//!
+//! SQL query model for the Duoquest reproduction.
+//!
+//! Complete queries are represented by [`duoquest_db::SelectSpec`] (the
+//! executable form). This crate adds everything the synthesis layers need on
+//! top of that:
+//!
+//! * [`partial`] — **partial queries** (paper Definition 3.1): queries in which
+//!   query elements may be replaced by placeholders, the unit of enumeration in
+//!   GPQE;
+//! * [`builder`] — a by-name query builder used by workloads and tests;
+//! * [`parser`] — a recursive-descent parser for the supported SPJA subset so
+//!   gold queries can be written as SQL text (as in the paper's appendix);
+//! * [`display`] — SQL rendering of complete and partial queries;
+//! * [`canon`] — canonical (set-semantics) query equivalence used to score
+//!   top-k accuracy in the evaluation.
+
+pub mod builder;
+pub mod canon;
+pub mod display;
+pub mod error;
+pub mod parser;
+pub mod partial;
+pub mod slot;
+
+pub use builder::QueryBuilder;
+pub use canon::queries_equivalent;
+pub use display::{render_partial, render_sql};
+pub use error::SqlError;
+pub use parser::parse_query;
+pub use partial::{
+    ClauseSet, PartialHaving, PartialOrder, PartialPredicate, PartialQuery, PartialSelectItem,
+    SelectColumn,
+};
+pub use slot::Slot;

@@ -1,0 +1,736 @@
+//! A recursive-descent parser for the supported SPJA SQL subset.
+//!
+//! The grammar covers exactly the task scope of the paper (§2.5): single-block
+//! `SELECT` queries with inner joins on FK-PK relationships, flat `WHERE`
+//! predicates combined uniformly with `AND` or `OR`, grouping with an optional
+//! `HAVING` predicate, ordering and `LIMIT`. Table aliases (`AS t1`) are
+//! supported so the gold queries from the paper's appendix can be written
+//! verbatim.
+
+use crate::error::{SqlError, SqlResult};
+use duoquest_db::{
+    AggFunc, CmpOp, ColumnId, ForeignKey, JoinEdge, JoinTree, LogicalOp, OrderKey, OrderSpec,
+    Predicate, Schema, SelectItem, SelectSpec, TableId, Value,
+};
+use std::collections::HashMap;
+
+/// Parse a SQL string into an executable [`SelectSpec`] against a schema.
+pub fn parse_query(schema: &Schema, sql: &str) -> SqlResult<SelectSpec> {
+    let tokens = tokenize(sql)?;
+    Parser { schema, tokens, pos: 0 }.parse()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(String),
+}
+
+impl Token {
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self, Token::Symbol(s) if s == sym)
+    }
+}
+
+fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' || c == '\u{2019}' || c == '\u{2018}' {
+            // Quoted string literal (straight or curly quotes).
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' && chars[i] != '\u{2019}' && chars[i] != '\u{2018}' {
+                s.push(chars[i]);
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(SqlError::Parse("unterminated string literal".into()));
+            }
+            i += 1;
+            tokens.push(Token::Str(s));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let n: f64 =
+                text.parse().map_err(|_| SqlError::Parse(format!("invalid number `{text}`")))?;
+            tokens.push(Token::Number(n));
+        } else if c.is_alphabetic() || c == '_' || c == '"' {
+            // Identifier, possibly double-quoted.
+            let quoted = c == '"';
+            if quoted {
+                i += 1;
+            }
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_')
+            {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            if quoted {
+                if i < chars.len() && chars[i] == '"' {
+                    i += 1;
+                } else {
+                    return Err(SqlError::Parse("unterminated quoted identifier".into()));
+                }
+            }
+            tokens.push(Token::Ident(ident));
+        } else {
+            // Symbols, including two-character comparison operators.
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if two == "<=" || two == ">=" || two == "!=" || two == "<>" {
+                tokens.push(Token::Symbol(if two == "<>" { "!=".into() } else { two }));
+                i += 2;
+            } else if "(),.*=<>".contains(c) {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            } else {
+                return Err(SqlError::Parse(format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Intermediate, unresolved column reference (`alias.column` or bare `column`).
+#[derive(Debug, Clone)]
+struct RawColumn {
+    qualifier: Option<String>,
+    name: String,
+}
+
+/// Intermediate select/order expression.
+#[derive(Debug, Clone)]
+struct RawExpr {
+    agg: Option<AggFunc>,
+    star: bool,
+    col: Option<RawColumn>,
+}
+
+struct RawPredicate {
+    expr: RawExpr,
+    op: CmpOp,
+    value: Value,
+    value2: Option<Value>,
+}
+
+struct Parser<'a> {
+    schema: &'a Schema,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> SqlResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected `{kw}` at token {}", self.pos)))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.peek().map(|t| t.is_symbol(sym)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> SqlResult<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected `{sym}` at token {}", self.pos)))
+        }
+    }
+
+    fn parse(mut self) -> SqlResult<SelectSpec> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut raw_select = vec![self.parse_expr()?];
+        while self.eat_symbol(",") {
+            raw_select.push(self.parse_expr()?);
+        }
+
+        self.expect_keyword("FROM")?;
+        let (aliases, tables, join_edges) = self.parse_from()?;
+
+        let mut raw_preds = Vec::new();
+        let mut pred_op = LogicalOp::And;
+        if self.eat_keyword("WHERE") {
+            raw_preds.push(self.parse_predicate()?);
+            loop {
+                if self.eat_keyword("AND") {
+                    raw_preds.push(self.parse_predicate()?);
+                } else if self.eat_keyword("OR") {
+                    pred_op = LogicalOp::Or;
+                    raw_preds.push(self.parse_predicate()?);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let mut raw_group = Vec::new();
+        let mut raw_having = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            raw_group.push(self.parse_column()?);
+            while self.eat_symbol(",") {
+                raw_group.push(self.parse_column()?);
+            }
+            if self.eat_keyword("HAVING") {
+                raw_having.push(self.parse_predicate()?);
+                while self.eat_keyword("AND") {
+                    raw_having.push(self.parse_predicate()?);
+                }
+            }
+        }
+
+        let mut raw_order: Option<(RawExpr, bool)> = None;
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let expr = self.parse_expr()?;
+            let desc = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            raw_order = Some((expr, desc));
+        }
+
+        let mut limit = None;
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 => limit = Some(n as usize),
+                _ => return Err(SqlError::Parse("LIMIT requires a non-negative number".into())),
+            }
+        }
+
+        if self.pos != self.tokens.len() {
+            return Err(SqlError::Parse(format!("trailing tokens at position {}", self.pos)));
+        }
+
+        // Resolution phase.
+        let resolver = Resolver { schema: self.schema, aliases, tables: tables.clone() };
+        let mut select = Vec::with_capacity(raw_select.len());
+        for e in &raw_select {
+            select.push(resolver.resolve_item(e)?);
+        }
+        let predicates = raw_preds
+            .iter()
+            .map(|p| resolver.resolve_predicate(p, false))
+            .collect::<SqlResult<Vec<_>>>()?;
+        let having = raw_having
+            .iter()
+            .map(|p| resolver.resolve_predicate(p, true))
+            .collect::<SqlResult<Vec<_>>>()?;
+        let group_by = raw_group
+            .iter()
+            .map(|c| resolver.resolve_column(c))
+            .collect::<SqlResult<Vec<_>>>()?;
+        let order_by = match raw_order {
+            None => None,
+            Some((expr, desc)) => {
+                let key = if let Some(agg) = expr.agg {
+                    let col = if expr.star {
+                        None
+                    } else {
+                        Some(resolver.resolve_column(expr.col.as_ref().ok_or_else(|| {
+                            SqlError::Parse("aggregate in ORDER BY requires a column or *".into())
+                        })?)?)
+                    };
+                    OrderKey::Aggregate(agg, col)
+                } else {
+                    OrderKey::Column(resolver.resolve_column(expr.col.as_ref().ok_or_else(
+                        || SqlError::Parse("ORDER BY requires a column".into()),
+                    )?)?)
+                };
+                Some(OrderSpec { key, desc })
+            }
+        };
+        let join = build_join_tree(self.schema, &resolver.aliases, &tables, &join_edges)?;
+
+        Ok(SelectSpec {
+            select,
+            distinct,
+            join,
+            predicates,
+            predicate_op: pred_op,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    /// Parse a select/order expression: `AGG(col | *)` or a bare column.
+    fn parse_expr(&mut self) -> SqlResult<RawExpr> {
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(agg) = parse_agg_name(name) {
+                // Only treat as an aggregate when followed by `(`.
+                if self.tokens.get(self.pos + 1).map(|t| t.is_symbol("(")).unwrap_or(false) {
+                    self.pos += 2; // consume name and `(`
+                    let (star, col) = if self.eat_symbol("*") {
+                        (true, None)
+                    } else {
+                        (false, Some(self.parse_column()?))
+                    };
+                    self.expect_symbol(")")?;
+                    return Ok(RawExpr { agg: Some(agg), star, col });
+                }
+            }
+        }
+        let col = self.parse_column()?;
+        Ok(RawExpr { agg: None, star: false, col: Some(col) })
+    }
+
+    /// Parse `qualifier.column` or a bare `column`.
+    fn parse_column(&mut self) -> SqlResult<RawColumn> {
+        let first = match self.next() {
+            Some(Token::Ident(s)) => s,
+            other => return Err(SqlError::Parse(format!("expected column name, got {other:?}"))),
+        };
+        if self.eat_symbol(".") {
+            let second = match self.next() {
+                Some(Token::Ident(s)) => s,
+                other => {
+                    return Err(SqlError::Parse(format!("expected column after `.`, got {other:?}")))
+                }
+            };
+            Ok(RawColumn { qualifier: Some(first), name: second })
+        } else {
+            Ok(RawColumn { qualifier: None, name: first })
+        }
+    }
+
+    /// Parse a predicate: `expr op value`, `expr BETWEEN v AND v`, `expr LIKE s`.
+    fn parse_predicate(&mut self) -> SqlResult<RawPredicate> {
+        let expr = self.parse_expr()?;
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.parse_value()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_value()?;
+            return Ok(RawPredicate { expr, op: CmpOp::Between, value: lo, value2: Some(hi) });
+        }
+        if self.eat_keyword("LIKE") {
+            let v = self.parse_value()?;
+            return Ok(RawPredicate { expr, op: CmpOp::Like, value: v, value2: None });
+        }
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => match s.as_str() {
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => return Err(SqlError::Parse(format!("unknown operator `{s}`"))),
+            },
+            other => return Err(SqlError::Parse(format!("expected operator, got {other:?}"))),
+        };
+        let value = self.parse_value()?;
+        Ok(RawPredicate { expr, op, value, value2: None })
+    }
+
+    fn parse_value(&mut self) -> SqlResult<Value> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Value::Number(n)),
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            other => Err(SqlError::Parse(format!("expected literal value, got {other:?}"))),
+        }
+    }
+
+    /// Parse the FROM clause: tables with optional aliases and JOIN ... ON conditions.
+    #[allow(clippy::type_complexity)]
+    fn parse_from(
+        &mut self,
+    ) -> SqlResult<(HashMap<String, TableId>, Vec<TableId>, Vec<(RawColumn, RawColumn)>)> {
+        let mut aliases = HashMap::new();
+        let mut tables = Vec::new();
+        let mut join_edges = Vec::new();
+
+        let first = self.parse_table_ref(&mut aliases)?;
+        tables.push(first);
+        while self.eat_keyword("JOIN") {
+            let t = self.parse_table_ref(&mut aliases)?;
+            tables.push(t);
+            self.expect_keyword("ON")?;
+            let left = self.parse_column()?;
+            self.expect_symbol("=")?;
+            let right = self.parse_column()?;
+            join_edges.push((left, right));
+        }
+        Ok((aliases, tables, join_edges))
+    }
+
+    fn parse_table_ref(&mut self, aliases: &mut HashMap<String, TableId>) -> SqlResult<TableId> {
+        let name = match self.next() {
+            Some(Token::Ident(s)) => s,
+            other => return Err(SqlError::Parse(format!("expected table name, got {other:?}"))),
+        };
+        let tid = self.schema.table_id(&name)?;
+        aliases.insert(name.to_ascii_lowercase(), tid);
+        // Optional `AS alias` or bare alias (an identifier that is not a clause keyword).
+        if self.eat_keyword("AS") {
+            match self.next() {
+                Some(Token::Ident(a)) => {
+                    aliases.insert(a.to_ascii_lowercase(), tid);
+                }
+                other => return Err(SqlError::Parse(format!("expected alias, got {other:?}"))),
+            }
+        } else if let Some(Token::Ident(a)) = self.peek() {
+            const CLAUSE_KEYWORDS: [&str; 10] =
+                ["JOIN", "ON", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AND", "OR", "BY"];
+            if !CLAUSE_KEYWORDS.iter().any(|k| a.eq_ignore_ascii_case(k)) {
+                let a = a.clone();
+                self.pos += 1;
+                aliases.insert(a.to_ascii_lowercase(), tid);
+            }
+        }
+        Ok(tid)
+    }
+}
+
+fn parse_agg_name(name: &str) -> Option<AggFunc> {
+    match name.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggFunc::Count),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "MIN" => Some(AggFunc::Min),
+        "MAX" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+struct Resolver<'a> {
+    schema: &'a Schema,
+    aliases: HashMap<String, TableId>,
+    tables: Vec<TableId>,
+}
+
+impl<'a> Resolver<'a> {
+    fn resolve_column(&self, raw: &RawColumn) -> SqlResult<ColumnId> {
+        match &raw.qualifier {
+            Some(q) => {
+                let tid = self
+                    .aliases
+                    .get(&q.to_ascii_lowercase())
+                    .copied()
+                    .ok_or_else(|| SqlError::UnknownIdentifier(format!("alias `{q}`")))?;
+                let table_name = &self.schema.table(tid).name;
+                Ok(self.schema.column_id(table_name, &raw.name)?)
+            }
+            None => {
+                let mut found = None;
+                for &tid in &self.tables {
+                    if let Some(ci) = self.schema.table(tid).column_index(&raw.name) {
+                        if found.is_some() {
+                            return Err(SqlError::UnknownIdentifier(format!(
+                                "ambiguous column `{}`",
+                                raw.name
+                            )));
+                        }
+                        found = Some(ColumnId { table: tid, column: ci });
+                    }
+                }
+                found.ok_or_else(|| SqlError::UnknownIdentifier(format!("column `{}`", raw.name)))
+            }
+        }
+    }
+
+    fn resolve_item(&self, raw: &RawExpr) -> SqlResult<SelectItem> {
+        match (raw.agg, raw.star, &raw.col) {
+            (Some(agg), true, _) => {
+                if agg == AggFunc::Count {
+                    Ok(SelectItem::count_star())
+                } else {
+                    Err(SqlError::Unsupported(format!("{agg}(*) is not supported")))
+                }
+            }
+            (Some(agg), false, Some(col)) => {
+                Ok(SelectItem::aggregate(agg, self.resolve_column(col)?))
+            }
+            (None, false, Some(col)) => Ok(SelectItem::column(self.resolve_column(col)?)),
+            _ => Err(SqlError::Parse("malformed select item".into())),
+        }
+    }
+
+    fn resolve_predicate(&self, raw: &RawPredicate, having: bool) -> SqlResult<Predicate> {
+        let (agg, col) = match (raw.expr.agg, raw.expr.star, &raw.expr.col) {
+            (Some(agg), true, _) => (Some(agg), None),
+            (Some(agg), false, Some(c)) => (Some(agg), Some(self.resolve_column(c)?)),
+            (None, false, Some(c)) => (None, Some(self.resolve_column(c)?)),
+            _ => return Err(SqlError::Parse("malformed predicate".into())),
+        };
+        if having && agg.is_none() {
+            return Err(SqlError::Unsupported("HAVING predicates must be aggregated".into()));
+        }
+        if !having && agg.is_some() {
+            return Err(SqlError::Unsupported("aggregates are not allowed in WHERE".into()));
+        }
+        Ok(Predicate { agg, col, op: raw.op, value: raw.value.clone(), value2: raw.value2.clone() })
+    }
+}
+
+/// Construct the join tree, checking every ON condition corresponds to a
+/// declared foreign key.
+fn build_join_tree(
+    schema: &Schema,
+    aliases: &HashMap<String, TableId>,
+    tables: &[TableId],
+    raw_edges: &[(RawColumn, RawColumn)],
+) -> SqlResult<JoinTree> {
+    if tables.len() == 1 {
+        return Ok(JoinTree::single(tables[0]));
+    }
+    // Resolve each ON condition against the declared FKs (in either direction).
+    let mut edges = Vec::with_capacity(raw_edges.len());
+    for (left, right) in raw_edges {
+        let l = resolve_on_column(schema, aliases, tables, left)?;
+        let r = resolve_on_column(schema, aliases, tables, right)?;
+        let fk = schema
+            .foreign_keys
+            .iter()
+            .find(|fk| (fk.from == l && fk.to == r) || (fk.from == r && fk.to == l))
+            .copied();
+        let fk = match fk {
+            Some(fk) => fk,
+            None => {
+                return Err(SqlError::Unsupported(format!(
+                    "join condition {} = {} does not correspond to a declared foreign key",
+                    schema.qualified_name(l),
+                    schema.qualified_name(r)
+                )))
+            }
+        };
+        edges.push(JoinEdge { fk });
+    }
+    let tree = JoinTree::new(tables.to_vec(), edges);
+    if !tree.is_connected() {
+        return Err(SqlError::Unsupported("FROM clause tables are not connected by joins".into()));
+    }
+    Ok(tree)
+}
+
+fn resolve_on_column(
+    schema: &Schema,
+    aliases: &HashMap<String, TableId>,
+    tables: &[TableId],
+    raw: &RawColumn,
+) -> SqlResult<ColumnId> {
+    // The qualifier may be an alias (`t1`) or the table name itself; either way
+    // the alias map points at the right table.
+    if let Some(q) = &raw.qualifier {
+        if let Some(&tid) = aliases.get(&q.to_ascii_lowercase()) {
+            if let Some(ci) = schema.table(tid).column_index(&raw.name) {
+                return Ok(ColumnId { table: tid, column: ci });
+            }
+        }
+        if let Ok(tid) = schema.table_id(q) {
+            if let Some(ci) = schema.table(tid).column_index(&raw.name) {
+                return Ok(ColumnId { table: tid, column: ci });
+            }
+        }
+    }
+    let mut candidates: Vec<ColumnId> = Vec::new();
+    for &tid in tables {
+        if let Some(ci) = schema.table(tid).column_index(&raw.name) {
+            candidates.push(ColumnId { table: tid, column: ci });
+        }
+    }
+    match candidates.len() {
+        0 => Err(SqlError::UnknownIdentifier(format!("join column `{}`", raw.name))),
+        _ => Ok(candidates[0]),
+    }
+}
+
+/// Re-export of the foreign key type used in join construction.
+#[allow(unused)]
+type Fk = ForeignKey;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_db::{ColumnDef, TableDef};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new("mas");
+        s.add_table(TableDef::new(
+            "conference",
+            vec![ColumnDef::number("cid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "publication",
+            vec![
+                ColumnDef::number("pid"),
+                ColumnDef::text("title"),
+                ColumnDef::number("year"),
+                ColumnDef::number("cid"),
+            ],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "author",
+            vec![ColumnDef::number("aid"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "writes",
+            vec![ColumnDef::number("aid"), ColumnDef::number("pid")],
+            None,
+        ));
+        s.add_foreign_key("publication", "cid", "conference", "cid").unwrap();
+        s.add_foreign_key("writes", "aid", "author", "aid").unwrap();
+        s.add_foreign_key("writes", "pid", "publication", "pid").unwrap();
+        s
+    }
+
+    #[test]
+    fn parse_simple_select() {
+        let s = schema();
+        let q = parse_query(&s, "SELECT name FROM conference").unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.join.tables.len(), 1);
+    }
+
+    #[test]
+    fn parse_paper_task_a1() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT t2.title, t2.year FROM conference AS t1 JOIN publication AS t2 \
+             ON t1.cid = t2.cid WHERE t1.name = 'SIGMOD'",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.join.tables.len(), 2);
+        assert_eq!(q.join.join_length(), 1);
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].value, Value::text("SIGMOD"));
+    }
+
+    #[test]
+    fn parse_group_by_having_order() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT t1.name, COUNT(*) FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid \
+             JOIN publication AS t3 ON t2.pid = t3.pid GROUP BY t1.name \
+             HAVING COUNT(*) > 50 ORDER BY COUNT(*) DESC LIMIT 10",
+        )
+        .unwrap();
+        assert!(q.has_aggregates());
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.having.len(), 1);
+        assert_eq!(q.having[0].op, CmpOp::Gt);
+        assert_eq!(q.limit, Some(10));
+        assert!(matches!(q.order_by.unwrap().key, OrderKey::Aggregate(AggFunc::Count, None)));
+    }
+
+    #[test]
+    fn parse_or_and_between_and_like() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT title FROM publication WHERE year < 1995 OR year > 2000",
+        )
+        .unwrap();
+        assert_eq!(q.predicate_op, LogicalOp::Or);
+        let q = parse_query(
+            &s,
+            "SELECT title FROM publication WHERE year BETWEEN 2010 AND 2017",
+        )
+        .unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Between);
+        assert_eq!(q.predicates[0].value2, Some(Value::int(2017)));
+        let q = parse_query(&s, "SELECT name FROM conference WHERE name LIKE '%SIG%'").unwrap();
+        assert_eq!(q.predicates[0].op, CmpOp::Like);
+    }
+
+    #[test]
+    fn parse_distinct_and_unqualified_columns() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT DISTINCT title FROM publication ORDER BY year DESC",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert!(q.order_by.unwrap().desc);
+    }
+
+    #[test]
+    fn reject_bad_join_condition() {
+        let s = schema();
+        let err = parse_query(
+            &s,
+            "SELECT t1.name FROM author AS t1 JOIN publication AS t2 ON t1.aid = t2.pid",
+        );
+        assert!(matches!(err, Err(SqlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn reject_unknown_column_and_trailing_tokens() {
+        let s = schema();
+        assert!(parse_query(&s, "SELECT nosuch FROM conference").is_err());
+        assert!(parse_query(&s, "SELECT name FROM conference extra junk ,").is_err());
+    }
+
+    #[test]
+    fn reject_aggregate_in_where() {
+        let s = schema();
+        let err = parse_query(&s, "SELECT name FROM conference WHERE COUNT(*) > 3");
+        assert!(matches!(err, Err(SqlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn curly_quotes_accepted() {
+        let s = schema();
+        let q = parse_query(&s, "SELECT name FROM conference WHERE name = \u{2019}VLDB\u{2019}")
+            .unwrap();
+        assert_eq!(q.predicates[0].value, Value::text("VLDB"));
+    }
+}

@@ -1,0 +1,269 @@
+//! The user-study tasks of paper Tables 7 and 8, instantiated against the
+//! synthetic MAS dataset.
+//!
+//! Task sets A and B are used in the study against the NLI baseline; task sets
+//! C and D in the study against the PBE baseline (which does not support
+//! projected numeric columns or aggregates).
+
+use crate::mas::MasDataset;
+use crate::Difficulty;
+use duoquest_db::SelectSpec;
+use duoquest_nlq::{extract_literals, Nlq};
+use duoquest_sql::parse_query;
+
+/// One user-study task.
+#[derive(Debug, Clone)]
+pub struct MasTask {
+    /// Task identifier ("A1" … "D3").
+    pub id: &'static str,
+    /// Difficulty level (Table 7/8 column "Level").
+    pub level: Difficulty,
+    /// The English task description shown to study participants.
+    pub description: String,
+    /// The natural language query a participant would issue (with literals tagged).
+    pub nlq: Nlq,
+    /// The gold SQL query.
+    pub gold: SelectSpec,
+}
+
+fn task(mas: &MasDataset, id: &'static str, description: String, nlq_text: String, sql: String) -> MasTask {
+    let gold = parse_query(mas.db.schema(), &sql)
+        .unwrap_or_else(|e| panic!("task {id}: failed to parse gold SQL ({e}): {sql}"));
+    let literals = extract_literals(&nlq_text, Some(&mas.db));
+    let nlq = Nlq::with_literals(nlq_text, literals);
+    MasTask { id, level: Difficulty::classify(&gold), description, nlq, gold }
+}
+
+/// The eight tasks of the user study against the NLI baseline (paper Table 7).
+pub fn mas_nli_tasks(mas: &MasDataset) -> Vec<MasTask> {
+    let c = &mas.conference_c;
+    let a = &mas.author_a;
+    let r = &mas.organization_r;
+    let d = &mas.domain_d;
+    vec![
+        task(
+            mas,
+            "A1",
+            format!("List all publications in conference {c} and their year of publication."),
+            format!("List all publications in conference \"{c}\" and their year of publication"),
+            format!(
+                "SELECT t2.title, t2.year FROM conference AS t1 JOIN publication AS t2 \
+                 ON t1.cid = t2.cid WHERE t1.name = '{c}'"
+            ),
+        ),
+        task(
+            mas,
+            "A2",
+            "List keywords and the number of publications containing each, ordered from most to least publications.".to_string(),
+            "List keywords and the number of publications containing each, ordered from most to least publications".to_string(),
+            "SELECT t1.keyword, COUNT(*) FROM keyword AS t1 JOIN publication_keyword AS t2 \
+             ON t1.kid = t2.kid JOIN publication AS t3 ON t2.pid = t3.pid \
+             GROUP BY t1.keyword ORDER BY COUNT(*) DESC"
+                .to_string(),
+        ),
+        task(
+            mas,
+            "A3",
+            format!("How many publications has each author from organization {r} published?"),
+            format!("How many publications has each author from \"{r}\" published"),
+            format!(
+                "SELECT t1.name, COUNT(*) FROM author AS t1 JOIN writes AS t2 ON t2.aid = t1.aid \
+                 JOIN organization AS t3 ON t3.oid = t1.oid JOIN publication AS t4 ON t4.pid = t2.pid \
+                 WHERE t3.name = '{r}' GROUP BY t1.name"
+            ),
+        ),
+        task(
+            mas,
+            "A4",
+            format!(
+                "List journals with more than {} publications and the publication count for each.",
+                mas.journal_pub_threshold
+            ),
+            format!(
+                "List journals with more than {} publications and the publication count for each",
+                mas.journal_pub_threshold
+            ),
+            format!(
+                "SELECT t1.name, COUNT(*) FROM journal AS t1 JOIN publication AS t2 ON t1.jid = t2.jid \
+                 GROUP BY t1.name HAVING COUNT(*) > {}",
+                mas.journal_pub_threshold
+            ),
+        ),
+        task(
+            mas,
+            "B1",
+            format!("List the titles and years of publications by author {a}."),
+            format!("List the titles and years of publications by \"{a}\""),
+            format!(
+                "SELECT t1.title, t1.year FROM publication AS t1 JOIN writes AS t2 ON t2.pid = t1.pid \
+                 JOIN author AS t3 ON t3.aid = t2.aid WHERE t3.name = '{a}'"
+            ),
+        ),
+        task(
+            mas,
+            "B2",
+            format!("List the conferences and homepages in the {d} domain."),
+            format!("List the conferences and homepages in the \"{d}\" domain"),
+            format!(
+                "SELECT t1.name, t1.homepage FROM conference AS t1 JOIN domain_conference AS t2 \
+                 ON t2.cid = t1.cid JOIN domain AS t3 ON t3.did = t2.did WHERE t3.name = '{d}'"
+            ),
+        ),
+        task(
+            mas,
+            "B3",
+            format!(
+                "List organizations with more than {} authors and the number of authors for each.",
+                mas.org_author_threshold
+            ),
+            format!(
+                "List organizations with more than {} authors and the number of authors for each",
+                mas.org_author_threshold
+            ),
+            format!(
+                "SELECT t2.name, COUNT(*) FROM author AS t1 JOIN organization AS t2 ON t1.oid = t2.oid \
+                 GROUP BY t2.name HAVING COUNT(*) > {}",
+                mas.org_author_threshold
+            ),
+        ),
+        task(
+            mas,
+            "B4",
+            format!(
+                "List authors from organization {r} with more than {} publications and the number of publications for each author.",
+                mas.author_pub_threshold
+            ),
+            format!(
+                "List authors from \"{r}\" with more than {} publications and the number of publications for each author",
+                mas.author_pub_threshold
+            ),
+            format!(
+                "SELECT t1.name, COUNT(*) FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid \
+                 JOIN organization AS t3 ON t1.oid = t3.oid JOIN publication AS t4 ON t2.pid = t4.pid \
+                 WHERE t3.name = '{r}' GROUP BY t1.name HAVING COUNT(*) > {}",
+                mas.author_pub_threshold
+            ),
+        ),
+    ]
+}
+
+/// The six tasks of the user study against the PBE baseline (paper Table 8).
+pub fn mas_pbe_tasks(mas: &MasDataset) -> Vec<MasTask> {
+    let c = &mas.conference_c;
+    let a = &mas.author_a;
+    let d = &mas.domain_d;
+    let continent = &mas.continent;
+    vec![
+        task(
+            mas,
+            "C1",
+            format!("List all publications in conference {c}."),
+            format!("List all publications in conference \"{c}\""),
+            format!(
+                "SELECT t2.title FROM conference AS t1 JOIN publication AS t2 ON t1.cid = t2.cid \
+                 WHERE t1.name = '{c}'"
+            ),
+        ),
+        task(
+            mas,
+            "C2",
+            format!("List authors in domain {d}."),
+            format!("List authors in domain \"{d}\""),
+            format!(
+                "SELECT t1.name FROM author AS t1 JOIN domain_author AS t2 ON t1.aid = t2.aid \
+                 JOIN domain AS t3 ON t2.did = t3.did WHERE t3.name = '{d}'"
+            ),
+        ),
+        task(
+            mas,
+            "C3",
+            format!("List authors with more than {} papers in conference {c}.", mas.conf_paper_threshold_c3),
+            format!("List authors with more than {} papers in conference \"{c}\"", mas.conf_paper_threshold_c3),
+            format!(
+                "SELECT t1.name FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid \
+                 JOIN publication AS t3 ON t2.pid = t3.pid JOIN conference AS t4 ON t3.cid = t4.cid \
+                 WHERE t4.name = '{c}' GROUP BY t1.name HAVING COUNT(*) > {}",
+                mas.conf_paper_threshold_c3
+            ),
+        ),
+        task(
+            mas,
+            "D1",
+            format!("List the titles of publications published by author {a}."),
+            format!("List the titles of publications published by \"{a}\""),
+            format!(
+                "SELECT t3.title FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid \
+                 JOIN publication AS t3 ON t2.pid = t3.pid WHERE t1.name = '{a}'"
+            ),
+        ),
+        task(
+            mas,
+            "D2",
+            format!("List the names of organizations in continent {continent}."),
+            format!("List the names of organizations in continent \"{continent}\""),
+            format!("SELECT name FROM organization WHERE continent = '{continent}'"),
+        ),
+        task(
+            mas,
+            "D3",
+            format!("List authors with more than {} papers in conference {c}.", mas.conf_paper_threshold_d3),
+            format!("List authors with more than {} papers in conference \"{c}\"", mas.conf_paper_threshold_d3),
+            format!(
+                "SELECT t1.name FROM author AS t1 JOIN writes AS t2 ON t1.aid = t2.aid \
+                 JOIN publication AS t3 ON t2.pid = t3.pid JOIN conference AS t4 ON t3.cid = t4.cid \
+                 WHERE t4.name = '{c}' GROUP BY t1.name HAVING COUNT(*) > {}",
+                mas.conf_paper_threshold_d3
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_db::execute;
+
+    #[test]
+    fn all_tasks_parse_and_have_results() {
+        let mas = MasDataset::standard();
+        let mut all = mas_nli_tasks(&mas);
+        all.extend(mas_pbe_tasks(&mas));
+        assert_eq!(all.len(), 14);
+        for t in &all {
+            let rs = execute(&mas.db, &t.gold).unwrap();
+            assert!(!rs.is_empty(), "task {} has an empty gold result", t.id);
+            assert!(!t.nlq.tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn difficulty_mix_matches_paper() {
+        let mas = MasDataset::standard();
+        let nli = mas_nli_tasks(&mas);
+        // Table 5: the NLI study has 3 medium and 5 hard tasks.
+        let medium = nli.iter().filter(|t| t.level == Difficulty::Medium).count();
+        let hard = nli.iter().filter(|t| t.level == Difficulty::Hard).count();
+        assert_eq!(medium, 3);
+        assert_eq!(hard, 5);
+        // Table 5: the PBE study has 4 medium and 2 hard tasks.
+        let pbe = mas_pbe_tasks(&mas);
+        let medium = pbe.iter().filter(|t| t.level == Difficulty::Medium).count();
+        let hard = pbe.iter().filter(|t| t.level == Difficulty::Hard).count();
+        assert_eq!(medium, 4);
+        assert_eq!(hard, 2);
+    }
+
+    #[test]
+    fn literals_are_tagged_from_descriptions() {
+        let mas = MasDataset::standard();
+        let tasks = mas_nli_tasks(&mas);
+        let a1 = &tasks[0];
+        assert!(a1.nlq.literals.iter().any(|l| l.surface.eq_ignore_ascii_case("sigmod")));
+        let a4 = &tasks[3];
+        assert!(a4
+            .nlq
+            .literals
+            .iter()
+            .any(|l| l.value.as_number() == Some(mas.journal_pub_threshold as f64)));
+    }
+}

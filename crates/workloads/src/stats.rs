@@ -1,0 +1,121 @@
+//! Dataset statistics (paper Table 5).
+
+use crate::spider::SpiderDataset;
+use crate::Difficulty;
+use duoquest_db::Database;
+use std::fmt;
+
+/// Summary statistics of one experiment dataset, matching the columns of
+/// paper Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of distinct databases.
+    pub databases: usize,
+    /// Task counts per difficulty level.
+    pub easy: usize,
+    /// Medium tasks.
+    pub medium: usize,
+    /// Hard tasks.
+    pub hard: usize,
+    /// Average number of tables per schema.
+    pub avg_tables: f64,
+    /// Average number of columns per schema.
+    pub avg_columns: f64,
+    /// Average number of FK-PK relationships per schema.
+    pub avg_fk_pk: f64,
+}
+
+impl DatasetStats {
+    /// Total number of tasks.
+    pub fn total(&self) -> usize {
+        self.easy + self.medium + self.hard
+    }
+
+    /// Compute statistics for an arbitrary set of databases and task difficulties.
+    pub fn compute(name: &str, databases: &[&Database], levels: &[Difficulty]) -> Self {
+        let n = databases.len().max(1) as f64;
+        DatasetStats {
+            name: name.to_string(),
+            databases: databases.len(),
+            easy: levels.iter().filter(|l| **l == Difficulty::Easy).count(),
+            medium: levels.iter().filter(|l| **l == Difficulty::Medium).count(),
+            hard: levels.iter().filter(|l| **l == Difficulty::Hard).count(),
+            avg_tables: databases.iter().map(|d| d.schema().table_count() as f64).sum::<f64>() / n,
+            avg_columns: databases.iter().map(|d| d.schema().column_count() as f64).sum::<f64>()
+                / n,
+            avg_fk_pk: databases
+                .iter()
+                .map(|d| d.schema().foreign_key_count() as f64)
+                .sum::<f64>()
+                / n,
+        }
+    }
+
+    /// Compute statistics for a generated Spider-like split.
+    pub fn of_spider(dataset: &SpiderDataset) -> Self {
+        let dbs: Vec<&Database> = dataset.databases.iter().collect();
+        let levels: Vec<Difficulty> = dataset.tasks.iter().map(|t| t.level).collect();
+        Self::compute(&format!("Spider {}", dataset.name), &dbs, &levels)
+    }
+
+    /// The table header matching Table 5.
+    pub fn header() -> String {
+        format!(
+            "{:<18} {:>9} {:>6} {:>6} {:>6} {:>6} {:>8} {:>9} {:>7}",
+            "Dataset", "Databases", "Easy", "Med", "Hard", "Total", "Tables", "Columns", "FK-PK"
+        )
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} {:>9} {:>6} {:>6} {:>6} {:>6} {:>8.1} {:>9.1} {:>7.1}",
+            self.name,
+            self.databases,
+            self.easy,
+            self.medium,
+            self.hard,
+            self.total(),
+            self.avg_tables,
+            self.avg_columns,
+            self.avg_fk_pk
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mas::MasDataset;
+    use crate::spider::generate_small;
+
+    #[test]
+    fn mas_statistics_match_table_5_shape() {
+        let mas = MasDataset::standard();
+        let stats = DatasetStats::compute(
+            "MAS",
+            &[&mas.db],
+            &[Difficulty::Medium, Difficulty::Hard, Difficulty::Hard],
+        );
+        assert_eq!(stats.databases, 1);
+        assert_eq!(stats.total(), 3);
+        assert_eq!(stats.avg_tables, 15.0);
+        assert_eq!(stats.avg_fk_pk, 19.0);
+        assert!(stats.to_string().contains("MAS"));
+        assert!(DatasetStats::header().contains("FK-PK"));
+    }
+
+    #[test]
+    fn spider_statistics() {
+        let ds = generate_small(2);
+        let stats = DatasetStats::of_spider(&ds);
+        assert_eq!(stats.databases, 4);
+        assert_eq!(stats.total(), ds.tasks.len());
+        assert!(stats.avg_tables >= 3.0);
+        assert!(stats.avg_columns > 8.0);
+    }
+}

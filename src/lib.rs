@@ -1,0 +1,23 @@
+//! # duoquest
+//!
+//! Facade crate for the Duoquest reproduction: dual-specification SQL query
+//! synthesis from a natural language query (NLQ) plus an optional table sketch
+//! query (TSQ), using guided partial query enumeration (GPQE).
+//!
+//! This crate simply re-exports the workspace crates under stable names:
+//!
+//! * [`db`] — in-memory relational engine substrate
+//! * [`sql`] — SQL AST, partial queries, parser and canonical comparison
+//! * [`nlq`] — natural language query handling and guidance models
+//! * [`core`] — table sketch queries, GPQE and cascading verification
+//! * [`baselines`] — NLI, PBE and ablation baselines from the paper's evaluation
+//! * [`workloads`] — synthetic MAS and Spider-like workloads and simulated users
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end walk-through.
+
+pub use duoquest_baselines as baselines;
+pub use duoquest_core as core;
+pub use duoquest_db as db;
+pub use duoquest_nlq as nlq;
+pub use duoquest_sql as sql;
+pub use duoquest_workloads as workloads;

@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) on the core data structures and invariants:
+//! value comparison semantics, TSQ cell matching, executor algebraic
+//! invariants, canonical equivalence, and confidence-score normalization.
+
+use duoquest::core::TsqCell;
+use duoquest::db::{
+    execute, CmpOp, ColumnDef, Database, JoinTree, Predicate, Schema, SelectItem, SelectSpec,
+    TableDef, Value,
+};
+use duoquest::nlq::guidance::normalize_scores;
+use duoquest::sql::queries_equivalent;
+use duoquest::workloads::canonicalize_select;
+use proptest::prelude::*;
+
+fn small_db(rows: &[(String, f64)]) -> Database {
+    let mut schema = Schema::new("t");
+    schema.add_table(TableDef::new(
+        "items",
+        vec![ColumnDef::number("id"), ColumnDef::text("name"), ColumnDef::number("score")],
+        Some(0),
+    ));
+    let mut db = Database::new(schema).unwrap();
+    for (i, (name, score)) in rows.iter().enumerate() {
+        db.insert("items", vec![Value::int(i as i64), Value::text(name.clone()), Value::Number(*score)])
+            .unwrap();
+    }
+    db.rebuild_index();
+    db
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
+    prop::collection::vec((name_strategy(), -1000.0..1000.0f64), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_sql_eq_is_symmetric(a in -1000.0..1000.0f64, b in -1000.0..1000.0f64) {
+        let (va, vb) = (Value::Number(a), Value::Number(b));
+        prop_assert_eq!(va.sql_eq(&vb), vb.sql_eq(&va));
+    }
+
+    #[test]
+    fn value_total_cmp_is_antisymmetric(a in name_strategy(), b in name_strategy()) {
+        let (va, vb) = (Value::text(a), Value::text(b));
+        prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+    }
+
+    #[test]
+    fn tsq_range_cell_contains_its_endpoints(lo in -1000.0..1000.0f64, width in 0.0..100.0f64) {
+        let hi = lo + width;
+        let cell = TsqCell::range(lo, hi);
+        prop_assert!(cell.matches(&Value::Number(lo)));
+        prop_assert!(cell.matches(&Value::Number(hi)));
+        prop_assert!(!cell.matches(&Value::Number(hi + 1.0)));
+        prop_assert!(!cell.matches(&Value::Number(lo - 1.0)));
+    }
+
+    #[test]
+    fn executor_filter_never_grows_the_result(rows in rows_strategy(), threshold in -1000.0..1000.0f64) {
+        let db = small_db(&rows);
+        let schema = db.schema();
+        let name = schema.column_id("items", "name").unwrap();
+        let score = schema.column_id("items", "score").unwrap();
+        let base = SelectSpec {
+            select: vec![SelectItem::column(name)],
+            join: JoinTree::single(schema.table_id("items").unwrap()),
+            ..Default::default()
+        };
+        let filtered = SelectSpec {
+            predicates: vec![Predicate::new(score, CmpOp::Gt, Value::Number(threshold))],
+            ..base.clone()
+        };
+        let all = execute(&db, &base).unwrap();
+        let some = execute(&db, &filtered).unwrap();
+        prop_assert!(some.len() <= all.len());
+        prop_assert_eq!(all.len(), rows.len());
+    }
+
+    #[test]
+    fn executor_limit_is_respected(rows in rows_strategy(), limit in 0usize..50) {
+        let db = small_db(&rows);
+        let schema = db.schema();
+        let name = schema.column_id("items", "name").unwrap();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(name)],
+            join: JoinTree::single(schema.table_id("items").unwrap()),
+            limit: Some(limit),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        prop_assert!(rs.len() <= limit);
+    }
+
+    #[test]
+    fn executor_order_by_sorts(rows in rows_strategy(), desc in any::<bool>()) {
+        let db = small_db(&rows);
+        let schema = db.schema();
+        let score = schema.column_id("items", "score").unwrap();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(score)],
+            join: JoinTree::single(schema.table_id("items").unwrap()),
+            order_by: Some(duoquest::db::OrderSpec {
+                key: duoquest::db::OrderKey::Column(score),
+                desc,
+            }),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        let values: Vec<f64> = rs.rows.iter().filter_map(|r| r.0[0].as_number()).collect();
+        for w in values.windows(2) {
+            if desc {
+                prop_assert!(w[0] >= w[1]);
+            } else {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn count_star_equals_row_count(rows in rows_strategy()) {
+        let db = small_db(&rows);
+        let schema = db.schema();
+        let spec = SelectSpec {
+            select: vec![SelectItem::count_star()],
+            join: JoinTree::single(schema.table_id("items").unwrap()),
+            ..Default::default()
+        };
+        let rs = execute(&db, &spec).unwrap();
+        prop_assert_eq!(rs.rows[0].0[0].as_number(), Some(rows.len() as f64));
+    }
+
+    #[test]
+    fn canonical_equivalence_is_reflexive_and_order_insensitive(rows in rows_strategy()) {
+        let db = small_db(&rows);
+        let schema = db.schema();
+        let name = schema.column_id("items", "name").unwrap();
+        let score = schema.column_id("items", "score").unwrap();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(score), SelectItem::column(name)],
+            join: JoinTree::single(schema.table_id("items").unwrap()),
+            predicates: vec![
+                Predicate::new(score, CmpOp::Gt, Value::int(0)),
+                Predicate::new(name, CmpOp::Eq, Value::text("alpha")),
+            ],
+            ..Default::default()
+        };
+        prop_assert!(queries_equivalent(&spec, &spec));
+        let mut shuffled = spec.clone();
+        shuffled.select.reverse();
+        shuffled.predicates.reverse();
+        prop_assert!(queries_equivalent(&spec, &shuffled));
+        let canon = canonicalize_select(&spec);
+        prop_assert!(queries_equivalent(&spec, &canon));
+    }
+
+    #[test]
+    fn normalized_scores_form_a_distribution(raw in prop::collection::vec(0.0..10.0f64, 1..20)) {
+        let scores = normalize_scores(&raw);
+        let sum: f64 = scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(scores.iter().all(|s| *s >= 0.0 && *s <= 1.0 + 1e-12));
+    }
+}
+
+#[test]
+fn group_by_partitions_rows() {
+    // Deterministic companion check: the grouped COUNT(*) values sum to the row count.
+    let rows: Vec<(String, f64)> =
+        ["a", "b", "a", "c", "b", "a"].iter().map(|s| (s.to_string(), 1.0)).collect();
+    let db = small_db(&rows);
+    let schema = db.schema();
+    let name = schema.column_id("items", "name").unwrap();
+    let spec = SelectSpec {
+        select: vec![SelectItem::column(name), SelectItem::count_star()],
+        join: JoinTree::single(schema.table_id("items").unwrap()),
+        group_by: vec![name],
+        ..Default::default()
+    };
+    let rs = execute(&db, &spec).unwrap();
+    let total: f64 = rs.rows.iter().filter_map(|r| r.0[1].as_number()).sum();
+    assert_eq!(total, rows.len() as f64);
+    assert_eq!(rs.len(), 3);
+}
