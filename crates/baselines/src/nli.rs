@@ -76,8 +76,7 @@ mod tests {
             .build()
             .unwrap();
         let model = NoisyOracleGuidance::with_config(gold.clone(), 1, OracleConfig::perfect());
-        let nlq =
-            Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
         let nli = NliBaseline::new(DuoquestConfig::fast());
         let result = nli.synthesize(&db, &nlq, &model);
         assert!(result.rank_of(&gold).is_some());

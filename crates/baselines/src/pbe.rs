@@ -14,9 +14,7 @@
 //! reimplementation (see DESIGN.md §3).
 
 use duoquest_core::{TableSketchQuery, TsqCell};
-use duoquest_db::{
-    CmpOp, ColumnId, Database, DataType, JoinGraph, SelectSpec, TableId, Value,
-};
+use duoquest_db::{CmpOp, ColumnId, DataType, Database, JoinGraph, SelectSpec, TableId, Value};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -97,11 +95,9 @@ impl SquidPbe {
                     *counts.entry(hit.column).or_insert(0) += 1;
                 }
             }
-            projection[col_idx] = counts
-                .into_iter()
-                .filter(|(_, n)| *n == values.len())
-                .map(|(c, _)| c)
-                .min(); // deterministic choice
+            projection[col_idx] =
+                counts.into_iter().filter(|(_, n)| *n == values.len()).map(|(c, _)| c).min();
+            // deterministic choice
         }
 
         // 2. Propose candidate filters: columns (within `max_hops` FK hops of a
@@ -137,7 +133,11 @@ impl SquidPbe {
         }
         filter_columns.sort();
 
-        PbeOutcome { projection, candidate_filter_columns: filter_columns, runtime: start.elapsed() }
+        PbeOutcome {
+            projection,
+            candidate_filter_columns: filter_columns,
+            runtime: start.elapsed(),
+        }
     }
 
     /// The paper's *Correct* criterion for supported tasks: the gold query's
@@ -152,10 +152,7 @@ impl SquidPbe {
         }
         let filters: HashSet<ColumnId> = outcome.candidate_filter_columns.iter().copied().collect();
         gold.predicates.iter().all(|p| p.col.map(|c| filters.contains(&c)).unwrap_or(false))
-            && gold
-                .having
-                .iter()
-                .all(|h| h.col.map(|c| filters.contains(&c)).unwrap_or(true))
+            && gold.having.iter().all(|h| h.col.map(|c| filters.contains(&c)).unwrap_or(true))
     }
 }
 

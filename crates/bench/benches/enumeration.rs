@@ -8,11 +8,12 @@ use duoquest_workloads::{spider, synthesize_tsq, TsqDetail};
 use std::time::Duration;
 
 fn config() -> DuoquestConfig {
-    let mut cfg = DuoquestConfig::default();
-    cfg.max_candidates = 10;
-    cfg.max_expansions = 800;
-    cfg.time_budget = Some(Duration::from_millis(500));
-    cfg
+    DuoquestConfig {
+        max_candidates: 10,
+        max_expansions: 800,
+        time_budget: Some(Duration::from_millis(500)),
+        ..Default::default()
+    }
 }
 
 fn bench_enumeration(c: &mut Criterion) {

@@ -40,8 +40,9 @@ fn bench_executor(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("executor");
     group.bench_function("column_probe_limit1", |b| b.iter(|| execute(&mas.db, &probe).unwrap()));
-    group
-        .bench_function("grouped_three_way_join", |b| b.iter(|| execute(&mas.db, &grouped).unwrap()));
+    group.bench_function("grouped_three_way_join", |b| {
+        b.iter(|| execute(&mas.db, &grouped).unwrap())
+    });
     group.finish();
 }
 

@@ -1,0 +1,93 @@
+//! Criterion benchmark for the parallel, cache-aware synthesis core: the
+//! spider_eval workload run through `SynthesisSession`, comparing the
+//! sequential seed path (one worker, probe cache cleared before every run)
+//! against cached sequential and parallel + cached execution. Cache
+//! hit/miss counters from `EnumerationStats` are printed alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_core::{Duoquest, DuoquestConfig, EnumerationStats};
+use duoquest_nlq::NoisyOracleGuidance;
+use duoquest_workloads::spider::{self, SpiderDataset};
+use duoquest_workloads::{synthesize_tsq, TsqDetail};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload() -> SpiderDataset {
+    spider::generate("bench", 2, 4, 4, 2, 17)
+}
+
+fn config(workers: usize) -> DuoquestConfig {
+    DuoquestConfig {
+        max_candidates: 15,
+        max_expansions: 1_500,
+        time_budget: Some(Duration::from_secs(2)),
+        ..Default::default()
+    }
+    .with_parallelism(workers, 1)
+}
+
+/// Run every task of the workload once; returns the merged stats.
+fn run_workload(
+    dataset: &SpiderDataset,
+    cfg: &DuoquestConfig,
+    clear_cache: bool,
+) -> EnumerationStats {
+    let engine = Duoquest::new(cfg.clone());
+    let mut merged = EnumerationStats::default();
+    for (i, task) in dataset.tasks.iter().enumerate() {
+        let db = dataset.database(task);
+        if clear_cache {
+            db.clear_probe_cache();
+        }
+        let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 42 + i as u64);
+        let model = NoisyOracleGuidance::new(gold, 42 + i as u64);
+        let result =
+            engine.session(Arc::clone(db), task.nlq.clone(), Arc::new(model)).with_tsq(tsq).run();
+        merged.expanded += result.stats.expanded;
+        merged.emitted += result.stats.emitted;
+        merged.cache_hits += result.stats.cache_hits;
+        merged.cache_misses += result.stats.cache_misses;
+    }
+    merged
+}
+
+fn bench_session(c: &mut Criterion) {
+    let dataset = workload();
+    let parallel_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    // Report the cache behaviour once, outside the timed loops.
+    for db in &dataset.databases {
+        db.clear_probe_cache();
+    }
+    let cold = run_workload(&dataset, &config(1), true);
+    let warm = run_workload(&dataset, &config(1), false);
+    println!(
+        "spider_eval workload: {} tasks | cold run: {} probe misses, {} hits | \
+         warm rerun: {} hits / {} misses ({:.1}% hit rate)",
+        dataset.tasks.len(),
+        cold.cache_misses,
+        cold.cache_hits,
+        warm.cache_hits,
+        warm.cache_misses,
+        warm.cache_hit_rate() * 100.0,
+    );
+
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    // The seed path: sequential, every run pays cold probes.
+    group.bench_function("sequential_cold_cache", |b| {
+        b.iter(|| run_workload(&dataset, &config(1), true))
+    });
+    // Cache-aware sequential: identical exploration, memoized probes.
+    group.bench_function("sequential_warm_cache", |b| {
+        b.iter(|| run_workload(&dataset, &config(1), false))
+    });
+    // The full parallel + cached core.
+    group.bench_function(format!("parallel{parallel_workers}_warm_cache"), |b| {
+        b.iter(|| run_workload(&dataset, &config(parallel_workers), false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

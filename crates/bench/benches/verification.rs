@@ -21,11 +21,15 @@ fn partial_query(mas: &MasDataset) -> PartialQuery {
         clauses: Slot::Filled(ClauseSet { where_clause: true, ..Default::default() }),
         select: Slot::Filled(vec![
             PartialSelectItem {
-                col: Slot::Filled(SelectColumn::Column(s.column_id("publication", "title").unwrap())),
+                col: Slot::Filled(SelectColumn::Column(
+                    s.column_id("publication", "title").unwrap(),
+                )),
                 agg: Slot::Filled(None),
             },
             PartialSelectItem {
-                col: Slot::Filled(SelectColumn::Column(s.column_id("publication", "year").unwrap())),
+                col: Slot::Filled(SelectColumn::Column(
+                    s.column_id("publication", "year").unwrap(),
+                )),
                 agg: Slot::Filled(None),
             },
         ]),

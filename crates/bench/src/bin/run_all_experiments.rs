@@ -5,9 +5,7 @@ use duoquest_bench::spider_eval::{
     ablation_experiment, accuracy_table, difficulty_table, spider_accuracy_experiment,
     tsq_detail_experiment,
 };
-use duoquest_bench::user_study::{
-    examples_table, nli_study, pbe_study, success_table, time_table,
-};
+use duoquest_bench::user_study::{examples_table, nli_study, pbe_study, success_table, time_table};
 use duoquest_bench::EvalSettings;
 use duoquest_workloads::{
     mas_nli_tasks, mas_pbe_tasks, DatasetStats, Difficulty, MasDataset, TsqDetail,

@@ -9,6 +9,7 @@ use duoquest_db::SelectSpec;
 use duoquest_nlq::NoisyOracleGuidance;
 use duoquest_workloads::spider::{self, SpiderDataset};
 use duoquest_workloads::{synthesize_tsq, Difficulty, TsqDetail};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Settings shared by the simulation experiments.
@@ -25,10 +26,17 @@ pub struct EvalSettings {
 
 impl Default for EvalSettings {
     fn default() -> Self {
-        let mut engine = DuoquestConfig::default();
-        engine.max_candidates = 25;
-        engine.max_expansions = 2_500;
-        engine.time_budget = Some(Duration::from_secs(3));
+        // Size the verification worker pool to the machine; beam 1 keeps the
+        // exploration order identical to the sequential paper algorithm
+        // (modulo the wall-clock budget cutting the search at a
+        // machine-speed-dependent point).
+        let engine = DuoquestConfig {
+            max_candidates: 25,
+            max_expansions: 2_500,
+            time_budget: Some(Duration::from_secs(3)),
+            ..Default::default()
+        }
+        .with_parallelism(0, 1);
         EvalSettings { full: false, engine, seed: 42 }
     }
 }
@@ -97,7 +105,12 @@ pub fn spider_accuracy_experiment(
         let (gold, tsq) = synthesize_tsq(db, &task.gold, detail, 2, settings.seed + i as u64);
         let model = NoisyOracleGuidance::new(gold.clone(), settings.seed + i as u64);
 
-        let dq = engine.synthesize(db, &task.nlq, Some(&tsq), &model);
+        // Duoquest runs as an owned session over the Arc-shared database —
+        // the parallel, cache-aware path the engine uses in production.
+        let dq = engine
+            .session(Arc::clone(db), task.nlq.clone(), Arc::new(model.clone()))
+            .with_tsq(tsq.clone())
+            .run();
         let nli_result = nli.synthesize(db, &task.nlq, &model);
         let supported = pbe.supports(db, &gold);
         let pbe_correct = if supported {
@@ -205,7 +218,13 @@ pub fn tsq_detail_experiment(
         "Table 6 — TSQ detail sweep ({} tasks, top-k up to {max_rank})",
         dataset.tasks.len()
     ));
-    out.push_str(&format!("{:<10} {:>7} {:>7} {:>9}\n", "Detail", "T1 %", "T10 %", &format!("T{max_rank} %")));
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>7} {:>9}\n",
+        "Detail",
+        "T1 %",
+        "T10 %",
+        &format!("T{max_rank} %")
+    ));
 
     let details = [
         ("Full", Some(TsqDetail::Full)),
@@ -228,7 +247,11 @@ pub fn tsq_detail_experiment(
             );
             let model = NoisyOracleGuidance::new(gold.clone(), settings.seed + i as u64);
             let rank = match detail {
-                Some(_) => engine.synthesize(db, &task.nlq, Some(&tsq), &model).rank_of(&gold),
+                Some(_) => engine
+                    .session(Arc::clone(db), task.nlq.clone(), Arc::new(model.clone()))
+                    .with_tsq(tsq.clone())
+                    .run()
+                    .rank_of(&gold),
                 None => nli.synthesize(db, &task.nlq, &model).rank_of(&gold),
             };
             if let Some(r) = rank {
@@ -261,11 +284,7 @@ pub fn ablation_experiment(dataset: &SpiderDataset, settings: &EvalSettings) -> 
     let duoquest = Duoquest::new(settings.engine.clone());
     let nopq = NoPq::new(settings.engine.clone());
     let noguide = NoGuide::new(settings.engine.clone());
-    let budget = settings
-        .engine
-        .time_budget
-        .unwrap_or(Duration::from_secs(3))
-        .as_secs_f64();
+    let budget = settings.engine.time_budget.unwrap_or(Duration::from_secs(3)).as_secs_f64();
 
     let mut times: Vec<(&str, Vec<Option<f64>>)> =
         vec![("Duoquest", Vec::new()), ("NoPQ", Vec::new()), ("NoGuide", Vec::new())];
@@ -274,7 +293,10 @@ pub fn ablation_experiment(dataset: &SpiderDataset, settings: &EvalSettings) -> 
         let (gold, tsq) =
             synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, settings.seed + i as u64);
         let model = NoisyOracleGuidance::new(gold.clone(), settings.seed + i as u64);
-        let dq = duoquest.synthesize(db, &task.nlq, Some(&tsq), &model);
+        let dq = duoquest
+            .session(Arc::clone(db), task.nlq.clone(), Arc::new(model.clone()))
+            .with_tsq(tsq.clone())
+            .run();
         let np = nopq.synthesize(db, &task.nlq, Some(&tsq), &model);
         let ng = noguide.synthesize(db, &task.nlq, Some(&tsq), &model);
         times[0].1.push(dq.time_to_find(&gold).map(|d| d.as_secs_f64()));

@@ -13,6 +13,7 @@ use duoquest_workloads::tsq_synth::typical_example_count;
 use duoquest_workloads::{
     mas_nli_tasks, mas_pbe_tasks, synthesize_tsq, MasDataset, MasTask, TsqDetail, UserModel,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Aggregated per-task results of one study arm.
@@ -31,14 +32,22 @@ pub struct StudyRow {
 }
 
 fn study_engine() -> DuoquestConfig {
-    let mut cfg = DuoquestConfig::default();
-    cfg.max_candidates = 30;
-    cfg.max_expansions = 3_000;
-    cfg.time_budget = Some(Duration::from_secs(3));
-    cfg
+    // Machine-sized verification pool, paper-order exploration (beam 1).
+    DuoquestConfig {
+        max_candidates: 30,
+        max_expansions: 3_000,
+        time_budget: Some(Duration::from_secs(3)),
+        ..Default::default()
+    }
+    .with_parallelism(0, 1)
 }
 
-fn run_trials<F>(tasks: &[MasTask], system: &'static str, trials: usize, mut trial: F) -> Vec<StudyRow>
+fn run_trials<F>(
+    tasks: &[MasTask],
+    system: &'static str,
+    trials: usize,
+    mut trial: F,
+) -> Vec<StudyRow>
 where
     F: FnMut(&MasTask, u64) -> duoquest_workloads::TrialOutcome,
 {
@@ -54,7 +63,9 @@ where
                 mean_time_secs: if successes.is_empty() {
                     None
                 } else {
-                    Some(successes.iter().map(|o| o.time_secs).sum::<f64>() / successes.len() as f64)
+                    Some(
+                        successes.iter().map(|o| o.time_secs).sum::<f64>() / successes.len() as f64,
+                    )
                 },
                 mean_examples: outcomes.iter().map(|o| o.examples_used as f64).sum::<f64>()
                     / trials.max(1) as f64,
@@ -72,9 +83,18 @@ pub fn nli_study(mas: &MasDataset, trials: usize) -> Vec<StudyRow> {
     let nli = NliBaseline::new(study_engine());
 
     let mut rows = run_trials(&tasks, "Duoquest", trials, |task, u| {
-        let (gold, tsq) = synthesize_tsq(&mas.db, &task.gold, TsqDetail::Full, typical_example_count(task.level), 1000 + u);
+        let (gold, tsq) = synthesize_tsq(
+            &mas.db,
+            &task.gold,
+            TsqDetail::Full,
+            typical_example_count(task.level),
+            1000 + u,
+        );
         let model = NoisyOracleGuidance::new(gold.clone(), 77 * (u + 1) + task.id.len() as u64);
-        let result = engine.synthesize(&mas.db, &task.nlq, Some(&tsq), &model);
+        let result = engine
+            .session(Arc::clone(&mas.db), task.nlq.clone(), Arc::new(model))
+            .with_tsq(tsq.clone())
+            .run();
         user.duoquest_trial(
             result.rank_of(&gold),
             result.stats.elapsed.as_secs_f64(),
@@ -99,9 +119,18 @@ pub fn pbe_study(mas: &MasDataset, trials: usize) -> Vec<StudyRow> {
     let pbe = SquidPbe::new();
 
     let mut rows = run_trials(&tasks, "Duoquest", trials, |task, u| {
-        let (gold, tsq) = synthesize_tsq(&mas.db, &task.gold, TsqDetail::Full, typical_example_count(task.level), 2000 + u);
+        let (gold, tsq) = synthesize_tsq(
+            &mas.db,
+            &task.gold,
+            TsqDetail::Full,
+            typical_example_count(task.level),
+            2000 + u,
+        );
         let model = NoisyOracleGuidance::new(gold.clone(), 131 * (u + 1) + task.id.len() as u64);
-        let result = engine.synthesize(&mas.db, &task.nlq, Some(&tsq), &model);
+        let result = engine
+            .session(Arc::clone(&mas.db), task.nlq.clone(), Arc::new(model))
+            .with_tsq(tsq.clone())
+            .run();
         user.duoquest_trial(
             result.rank_of(&gold),
             result.stats.elapsed.as_secs_f64(),
@@ -115,7 +144,12 @@ pub fn pbe_study(mas: &MasDataset, trials: usize) -> Vec<StudyRow> {
         let (_, tsq) = synthesize_tsq(&mas.db, &task.gold, TsqDetail::Full, n_examples, 3000 + u);
         let supported = pbe.supports(&mas.db, &gold);
         let outcome = pbe.run(&mas.db, &tsq);
-        user.pbe_trial(supported, pbe.correct_for(&outcome, &gold), tsq.tuples.len(), outcome.runtime.as_secs_f64())
+        user.pbe_trial(
+            supported,
+            pbe.correct_for(&outcome, &gold),
+            tsq.tuples.len(),
+            outcome.runtime.as_secs_f64(),
+        )
     }));
     rows
 }
@@ -153,10 +187,7 @@ fn render(title: &str, rows: &[StudyRow], cell: impl Fn(&StudyRow) -> String) ->
         out.push_str(&format!("{task:<10}"));
         for s in &systems {
             let row = rows.iter().find(|r| &r.task == task && r.system == *s);
-            out.push_str(&format!(
-                " {:>10}",
-                row.map(&cell).unwrap_or_else(|| "-".to_string())
-            ));
+            out.push_str(&format!(" {:>10}", row.map(&cell).unwrap_or_else(|| "-".to_string())));
         }
         out.push('\n');
     }

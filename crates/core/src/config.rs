@@ -35,6 +35,19 @@ pub struct DuoquestConfig {
     pub prune_partial: bool,
     /// Whether the semantic pruning rules of Table 4 are applied.
     pub semantic_rules: bool,
+    /// Number of top-confidence states popped per synthesis round. `1`
+    /// reproduces the strictly best-first exploration order of paper
+    /// Algorithm 1; larger beams expose more child-expansion work per round
+    /// to the worker pool (still deterministic for a fixed value).
+    pub beam_width: usize,
+    /// Worker threads for child expansion + verification. `1` is fully
+    /// sequential; `0` means one worker per available CPU. Absent a
+    /// `time_budget`, the candidate set is independent of this value —
+    /// workers change wall-clock, not results. (A wall-clock budget is the
+    /// one intentionally non-deterministic cut-off: which children are
+    /// verified before the deadline depends on machine speed, and under a
+    /// pool also on chunking.)
+    pub workers: usize,
 }
 
 impl Default for DuoquestConfig {
@@ -51,6 +64,8 @@ impl Default for DuoquestConfig {
             guided: true,
             prune_partial: true,
             semantic_rules: true,
+            beam_width: 1,
+            workers: 1,
         }
     }
 }
@@ -87,6 +102,23 @@ impl DuoquestConfig {
         self.semantic_rules = false;
         self
     }
+
+    /// Enable the parallel synthesis core: a beam of `beam_width` states per
+    /// round fanned out across `workers` threads (`workers = 0` sizes the
+    /// pool to the machine).
+    pub fn with_parallelism(mut self, workers: usize, beam_width: usize) -> Self {
+        self.workers = workers;
+        self.beam_width = beam_width.max(1);
+        self
+    }
+
+    /// Worker-pool size after resolving `workers = 0` to the machine size.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +140,19 @@ mod tests {
         assert!(!DuoquestConfig::default().no_partial_pruning().prune_partial);
         assert!(!DuoquestConfig::default().without_semantic_rules().semantic_rules);
         assert!(DuoquestConfig::fast().max_expansions < DuoquestConfig::default().max_expansions);
+    }
+
+    #[test]
+    fn parallelism_configuration() {
+        let c = DuoquestConfig::default();
+        assert_eq!(c.beam_width, 1);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.effective_workers(), 1);
+        let p = c.with_parallelism(4, 8);
+        assert_eq!(p.effective_workers(), 4);
+        assert_eq!(p.beam_width, 8);
+        let auto = DuoquestConfig::default().with_parallelism(0, 0);
+        assert!(auto.effective_workers() >= 1);
+        assert_eq!(auto.beam_width, 1);
     }
 }

@@ -1,8 +1,54 @@
 //! The Duoquest engine: the public entry point tying together guidance,
-//! enumeration and verification, returning a ranked candidate list.
+//! enumeration and verification.
+//!
+//! # Architecture: the parallel, cache-aware synthesis core
+//!
+//! Synthesis runs as a sequence of **rounds** over a confidence-ordered
+//! frontier (see `crate::enumerate`):
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!                    │               SynthesisSession             │
+//!                    │  Arc<Database> · Nlq · TSQ · model · cfg   │
+//!                    └──────────────────┬─────────────────────────┘
+//!                                       ▼
+//!   frontier (BinaryHeap) ──pop beam──► phase 1: expand + score (serial)
+//!                                       │  EnumNextStep per beam state
+//!                                       ▼
+//!                          phase 2: verify fan-out (worker pool)
+//!                          │ join paths + ascending-cost cascade,
+//!                          │ probes answered by Database's memo cache
+//!                          ▼
+//!                          phase 3: ordered merge (serial)
+//!                          │ emit complete queries → stream/callback
+//!                          └ push survivors → frontier
+//! ```
+//!
+//! Three layers cooperate:
+//!
+//! * **db** — [`Database`] is `Send + Sync` and shared by reference (or
+//!   `Arc`) across the worker pool; its probe/result memo cache
+//!   (`duoquest_db::ProbeCache`) memoizes the verifier's repeated
+//!   `SELECT … LIMIT 1` probes behind sharded locks, with hit/miss/byte
+//!   counters surfaced per run in [`EnumerationStats`].
+//! * **core** — the round engine pops the top-`beam_width` states, fans child
+//!   expansion + verification across `workers` threads, and merges results
+//!   back **in child order**, so — absent a wall-clock `time_budget` — the
+//!   emitted candidate sequence is a pure function of the configuration
+//!   (never of thread scheduling). With `beam_width = 1` the exploration
+//!   order is exactly paper Algorithm 1.
+//! * **consumers** — [`Duoquest::synthesize`] collects a ranked
+//!   [`SynthesisResult`]; [`crate::session::SynthesisSession`] additionally
+//!   offers a streaming channel ([`crate::session::CandidateStream`]) whose
+//!   first candidate arrives while enumeration is still in flight.
+//!
+//! Candidates are deduplicated under canonical equivalence (keeping the
+//! highest-confidence copy) and ranked by confidence with a deterministic
+//! structural tie-break, so equal-confidence candidates order identically
+//! across sequential and parallel runs.
 
 use crate::config::DuoquestConfig;
-use crate::enumerate::{enumerate, EnumerationStats};
+use crate::enumerate::{run_rounds, EnumerationStats};
 use crate::tsq::TableSketchQuery;
 use duoquest_db::{Database, SelectSpec};
 use duoquest_nlq::{GuidanceModel, Nlq};
@@ -34,10 +80,7 @@ pub struct SynthesisResult {
 impl SynthesisResult {
     /// 1-based rank of the gold query among the ranked candidates, if present.
     pub fn rank_of(&self, gold: &SelectSpec) -> Option<usize> {
-        self.candidates
-            .iter()
-            .position(|c| queries_equivalent(&c.spec, gold))
-            .map(|i| i + 1)
+        self.candidates.iter().position(|c| queries_equivalent(&c.spec, gold)).map(|i| i + 1)
     }
 
     /// Whether the gold query appears within the top `k` ranked candidates.
@@ -58,6 +101,49 @@ impl SynthesisResult {
     pub fn rendered(&self, db: &Database) -> Vec<String> {
         self.candidates.iter().map(|c| render_sql(&c.spec, db.schema())).collect()
     }
+}
+
+/// Shared collection pipeline behind [`Duoquest::synthesize_with`] and
+/// [`crate::session::SynthesisSession`]: run the round engine, deduplicate
+/// canonically equivalent candidates (keeping the higher-confidence copy),
+/// then rank deterministically.
+pub(crate) fn run_collect<F>(
+    db: &Database,
+    nlq: &Nlq,
+    model: &dyn GuidanceModel,
+    tsq: Option<&TableSketchQuery>,
+    config: &DuoquestConfig,
+    mut on_candidate: F,
+) -> SynthesisResult
+where
+    F: FnMut(&Candidate) -> bool,
+{
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let stats = run_rounds(db, nlq, model, tsq, config, &mut |spec, confidence, emitted_at| {
+        // De-duplicate canonically equivalent candidates, keeping the
+        // higher-confidence copy.
+        if let Some(existing) = candidates.iter_mut().find(|c| queries_equivalent(&c.spec, &spec)) {
+            if confidence > existing.confidence {
+                existing.confidence = confidence;
+            }
+            return true;
+        }
+        let candidate = Candidate { spec, confidence, emit_index: candidates.len(), emitted_at };
+        let keep_going = on_candidate(&candidate);
+        candidates.push(candidate);
+        keep_going
+    });
+    // Rank by confidence; break exact ties by emission order (earlier-found
+    // first). Emission order is itself a pure function of the configuration —
+    // never of the worker count — so the ranking is deterministic and
+    // identical between sequential and parallel explorations.
+    candidates.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.emit_index.cmp(&b.emit_index))
+    });
+    SynthesisResult { candidates, stats }
 }
 
 /// The dual-specification synthesis engine.
@@ -104,37 +190,24 @@ impl Duoquest {
         nlq: &Nlq,
         tsq: Option<&TableSketchQuery>,
         model: &dyn GuidanceModel,
-        mut on_candidate: F,
+        on_candidate: F,
     ) -> SynthesisResult
     where
         F: FnMut(&Candidate) -> bool,
     {
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let stats = enumerate(db, nlq, model, tsq, &self.config, |spec, confidence, emitted_at| {
-            // De-duplicate canonically equivalent candidates, keeping the
-            // higher-confidence copy.
-            if let Some(existing) =
-                candidates.iter_mut().find(|c| queries_equivalent(&c.spec, &spec))
-            {
-                if confidence > existing.confidence {
-                    existing.confidence = confidence;
-                }
-                return true;
-            }
-            let candidate = Candidate {
-                spec,
-                confidence,
-                emit_index: candidates.len(),
-                emitted_at,
-            };
-            let keep_going = on_candidate(&candidate);
-            candidates.push(candidate);
-            keep_going
-        });
-        candidates.sort_by(|a, b| {
-            b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        SynthesisResult { candidates, stats }
+        run_collect(db, nlq, model, tsq, &self.config, on_candidate)
+    }
+
+    /// Build an owned [`crate::session::SynthesisSession`] carrying this
+    /// engine's configuration — the entry point for streaming consumption and
+    /// cross-thread sharing.
+    pub fn session(
+        &self,
+        db: std::sync::Arc<Database>,
+        nlq: Nlq,
+        model: std::sync::Arc<dyn GuidanceModel>,
+    ) -> crate::session::SynthesisSession {
+        crate::session::SynthesisSession::new(db, nlq, model).with_config(self.config.clone())
     }
 }
 
@@ -217,5 +290,19 @@ mod tests {
         let result = engine.synthesize(&db, &nlq(), Some(&tsq), &model);
         assert_eq!(result.rank_of(&other), None);
         assert!(!result.in_top_k(&other, 100));
+    }
+
+    #[test]
+    fn ranking_is_deterministic_across_runs() {
+        let db = movie_db();
+        let gold = gold(&db);
+        let model = NoisyOracleGuidance::new(gold, 13);
+        let engine = Duoquest::new(DuoquestConfig::fast());
+        let a = engine.synthesize(&db, &nlq(), None, &model);
+        let b = engine.synthesize(&db, &nlq(), None, &model);
+        let keys = |r: &SynthesisResult| {
+            r.candidates.iter().map(|c| format!("{:?}", c.spec)).collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&a), keys(&b));
     }
 }

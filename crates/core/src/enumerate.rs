@@ -1,21 +1,36 @@
-//! Guided partial query enumeration (GPQE, paper Algorithm 1).
+//! Guided partial query enumeration (GPQE, paper Algorithm 1), restructured
+//! as a round-based engine with a parallel verification fan-out.
 //!
 //! The enumerator maintains a priority queue of [`EnumState`]s ordered by
-//! confidence (the product of per-decision scores, paper §3.3.3). On each
-//! iteration the highest-confidence state is popped, `EnumNextStep` produces
-//! the candidate children for the next inference decision (following the
-//! module order of Table 3), progressive join path construction attaches
-//! executable join paths, and each child is verified against the TSQ with the
-//! ascending-cost cascade. Surviving complete queries are emitted as candidate
-//! queries; surviving partial queries are pushed back onto the queue.
+//! confidence (the product of per-decision scores, paper §3.3.3). Each
+//! **round** pops a beam of the `config.beam_width` highest-confidence states,
+//! produces their candidate children (`enum_next_step`, following the module
+//! order of Table 3), and fans the expensive part — progressive join path
+//! construction plus the ascending-cost verification cascade — out across
+//! `config.workers` threads. Survivors are merged back into the queue and
+//! complete queries are emitted **in the original child order**, so for a
+//! fixed configuration the emitted candidate sequence is deterministic and,
+//! with `beam_width = 1`, bit-identical to the sequential Algorithm 1
+//! exploration regardless of the worker count. The one exception is a
+//! wall-clock `time_budget`: where the deadline cuts the search depends on
+//! machine speed (and, under a pool, chunking), so budget-limited runs can
+//! differ across worker counts.
+//!
+//! Verification probes run through the database's probe/result memo cache
+//! (`Database::execute_cached`); the per-run hit/miss counters and the
+//! per-stage cascade timings are surfaced in [`EnumerationStats`].
 
 use crate::config::DuoquestConfig;
 use crate::joinpath::construct_join_paths;
 use crate::state::EnumState;
 use crate::tsq::TableSketchQuery;
-use crate::verify::{Verifier, VerifyOutcome, VerifyStage};
-use duoquest_db::{AggFunc, CmpOp, Database, DataType, JoinGraph, LogicalOp, OrderKey, Value};
-use duoquest_nlq::{Choice, GuidanceContext, GuidanceModel, HavingChoice, LiteralKind, Nlq, OrderChoice};
+use crate::verify::{StageTimings, Verifier, VerifyOutcome, VerifyStage};
+use duoquest_db::{
+    AggFunc, CmpOp, DataType, Database, JoinGraph, LogicalOp, OrderKey, SelectSpec, Value,
+};
+use duoquest_nlq::{
+    Choice, GuidanceContext, GuidanceModel, HavingChoice, LiteralKind, Nlq, OrderChoice,
+};
 use duoquest_sql::{
     ClauseSet, PartialHaving, PartialOrder, PartialPredicate, PartialQuery, PartialSelectItem,
     SelectColumn, Slot,
@@ -46,10 +61,20 @@ pub struct EnumerationStats {
     pub pruned_by_order: usize,
     /// Candidate queries emitted.
     pub emitted: usize,
+    /// Synthesis rounds executed (beam pops).
+    pub rounds: usize,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
     /// Whether the search space was exhausted before hitting any budget.
     pub exhausted: bool,
+    /// Per-stage wall-clock time and call counts of the verification cascade.
+    pub stage_timings: StageTimings,
+    /// Probe-cache hits during this run.
+    pub cache_hits: u64,
+    /// Probe-cache misses during this run.
+    pub cache_misses: u64,
+    /// Estimated bytes retained by the probe cache at the end of the run.
+    pub cache_bytes: u64,
 }
 
 impl EnumerationStats {
@@ -64,15 +89,25 @@ impl EnumerationStats {
             + self.pruned_by_order
     }
 
-    fn record(&mut self, stage: VerifyStage) {
+    /// Probe-cache hit rate in `[0, 1]` for this run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    fn record(&mut self, stage: VerifyStage, count: usize) {
         match stage {
-            VerifyStage::Clauses => self.pruned_clauses += 1,
-            VerifyStage::Semantics => self.pruned_semantics += 1,
-            VerifyStage::ColumnTypes => self.pruned_types += 1,
-            VerifyStage::ByColumn => self.pruned_by_column += 1,
-            VerifyStage::ByRow => self.pruned_by_row += 1,
-            VerifyStage::Literals => self.pruned_literals += 1,
-            VerifyStage::ByOrder => self.pruned_by_order += 1,
+            VerifyStage::Clauses => self.pruned_clauses += count,
+            VerifyStage::Semantics => self.pruned_semantics += count,
+            VerifyStage::ColumnTypes => self.pruned_types += count,
+            VerifyStage::ByColumn => self.pruned_by_column += count,
+            VerifyStage::ByRow => self.pruned_by_row += count,
+            VerifyStage::Literals => self.pruned_literals += count,
+            VerifyStage::ByOrder => self.pruned_by_order += count,
         }
     }
 }
@@ -80,6 +115,10 @@ impl EnumerationStats {
 /// Run GPQE. `on_candidate` receives every emitted candidate (its partial query
 /// lowered to an executable spec, its confidence and the time of emission) and
 /// returns `false` to stop the enumeration early.
+///
+/// Parallelism and beam width come from the configuration; the default
+/// (`beam_width = 1`, `workers = 1`) reproduces the sequential Algorithm 1
+/// exploration exactly.
 pub fn enumerate<F>(
     db: &Database,
     nlq: &Nlq,
@@ -89,8 +128,59 @@ pub fn enumerate<F>(
     mut on_candidate: F,
 ) -> EnumerationStats
 where
-    F: FnMut(duoquest_db::SelectSpec, f64, Duration) -> bool,
+    F: FnMut(SelectSpec, f64, Duration) -> bool,
 {
+    run_rounds(db, nlq, model, tsq, config, &mut on_candidate)
+}
+
+/// Everything a verification worker needs, shared by reference across the
+/// pool (all fields are `Sync`; the database's probe cache handles its own
+/// synchronization).
+#[derive(Clone, Copy)]
+struct RoundEnv<'a> {
+    db: &'a Database,
+    graph: &'a JoinGraph,
+    config: &'a DuoquestConfig,
+    partial_verifier: &'a Verifier<'a>,
+    complete_verifier: &'a Verifier<'a>,
+    deadline: Option<Instant>,
+}
+
+/// One unit of parallel work: a freshly generated child with its confidence
+/// and the beam position of its parent.
+struct ChildJob {
+    beam_idx: usize,
+    confidence: f64,
+    pq: PartialQuery,
+}
+
+/// The merged product of one worker's chunk, in original job order.
+#[derive(Default)]
+struct ChunkResult {
+    generated: usize,
+    prunes: [usize; VerifyStage::COUNT],
+    timings: StageTimings,
+    /// Complete queries that survived the full cascade, in child order.
+    emissions: Vec<(SelectSpec, f64)>,
+    /// Partial queries to push back onto the frontier, in child order.
+    survivors: Vec<(PartialQuery, f64, usize)>,
+    /// The worker hit the wall-clock deadline and skipped its remaining jobs.
+    timed_out: bool,
+}
+
+/// Fan-out threshold below which spawning workers costs more than it saves.
+const MIN_PARALLEL_JOBS: usize = 8;
+
+/// The round-based engine behind both [`enumerate`] and the streaming
+/// [`crate::session::SynthesisSession`].
+pub(crate) fn run_rounds(
+    db: &Database,
+    nlq: &Nlq,
+    model: &dyn GuidanceModel,
+    tsq: Option<&TableSketchQuery>,
+    config: &DuoquestConfig,
+    on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
+) -> EnumerationStats {
     let start = Instant::now();
     let mut stats = EnumerationStats::default();
     let graph = JoinGraph::new(db.schema());
@@ -106,135 +196,274 @@ where
         config.semantic_rules && config.prune_partial,
     );
     let complete_verifier = Verifier::new(db, tsq, &nlq.literals, config.semantic_rules);
+    let env = RoundEnv {
+        db,
+        graph: &graph,
+        config,
+        partial_verifier: &partial_verifier,
+        complete_verifier: &complete_verifier,
+        deadline: config.time_budget.map(|budget| start + budget),
+    };
 
-    let mut heap: BinaryHeap<EnumState> = BinaryHeap::new();
-    let mut sequence: u64 = 0;
-    heap.push(EnumState::root());
+    let beam_width = config.beam_width.max(1);
+    let workers = config.effective_workers();
 
-    'outer: while let Some(state) = heap.pop() {
-        if let Some(budget) = config.time_budget {
-            if start.elapsed() > budget {
-                stats.elapsed = start.elapsed();
-                return stats;
+    // The worker pool lives for the whole run (scoped threads fed per round
+    // over channels), so rounds don't pay a spawn/join cycle each.
+    std::thread::scope(|scope| {
+        let pool = WorkerPool::start(scope, workers, &env);
+        let mut heap: BinaryHeap<EnumState> = BinaryHeap::new();
+        let mut sequence: u64 = 0;
+        heap.push(EnumState::root());
+
+        let mut early_exit = false;
+        'rounds: while !heap.is_empty() {
+            if env.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+                early_exit = true;
+                break 'rounds;
             }
-        }
-        if stats.expanded >= config.max_expansions {
-            break;
-        }
-        stats.expanded += 1;
 
-        let Some(children) = enum_next_step(&state.pq, db, nlq, config) else {
-            // No decision left: the state is complete (already verified and
-            // emitted when it was generated), nothing to do.
-            continue;
-        };
-        if children.is_empty() {
-            continue; // dead end (e.g. no literal can fill a predicate value)
-        }
-
-        // Score the decision with the guidance model (uniform when unguided).
-        let choices: Vec<Choice> = children.iter().map(|(c, _)| c.clone()).collect();
-        let raw = if config.guided {
-            model.score(&ctx, &choices)
-        } else {
-            vec![1.0; choices.len()]
-        };
-        let scores = duoquest_nlq::guidance::normalize_scores(&raw);
-
-        let mut since_budget_check = 0usize;
-        for ((_, child_pq), score) in children.into_iter().zip(scores) {
-            // A single decision can fan out into thousands of children on wide
-            // schemas; honor the time budget inside the fan-out as well.
-            since_budget_check += 1;
-            if since_budget_check % 64 == 0 {
-                if let Some(budget) = config.time_budget {
-                    if start.elapsed() > budget {
-                        stats.elapsed = start.elapsed();
-                        return stats;
-                    }
-                }
+            // Pop the beam: the top-k states by confidence, within the expansion budget.
+            let mut beam: Vec<EnumState> = Vec::with_capacity(beam_width);
+            while beam.len() < beam_width && stats.expanded < config.max_expansions {
+                let Some(state) = heap.pop() else { break };
+                stats.expanded += 1;
+                beam.push(state);
             }
-            let confidence = state.confidence * score;
-            // Cheap pre-verification before paying for join path construction:
-            // the clause, semantic, type and column-wise stages do not need a
-            // join path, and they eliminate the bulk of the fan-out.
-            if config.prune_partial && !child_pq.is_complete() {
-                if let VerifyOutcome::Fail(stage) = partial_verifier.verify(&child_pq) {
-                    stats.generated += 1;
-                    stats.record(stage);
+            if beam.is_empty() {
+                early_exit = true; // expansion budget reached with work left
+                break 'rounds;
+            }
+            stats.rounds += 1;
+
+            // Phase 1 (serial, cheap): produce and score every child of the beam.
+            let mut jobs: Vec<ChildJob> = Vec::new();
+            for (beam_idx, state) in beam.iter().enumerate() {
+                // A state with no decision left is complete (it was verified and
+                // emitted when generated); a state with an empty child set is a
+                // dead end. Both just drop out of the frontier.
+                let Some(children) = enum_next_step(&state.pq, db, nlq, config) else { continue };
+                if children.is_empty() {
                     continue;
                 }
-            }
-            // Attach candidate join paths (progressive join path construction).
-            for pq in attach_join_paths(child_pq, db, &graph, config) {
-                stats.generated += 1;
-                let complete = pq.is_complete();
-                let outcome = if complete {
-                    complete_verifier.verify(&pq)
+                // Split choices from children instead of cloning every `Choice`
+                // for the scoring call.
+                let (choices, child_pqs): (Vec<Choice>, Vec<PartialQuery>) =
+                    children.into_iter().unzip();
+                let raw = if config.guided {
+                    model.score(&ctx, &choices)
                 } else {
-                    partial_verifier.verify(&pq)
+                    vec![1.0; choices.len()]
                 };
-                match outcome {
-                    VerifyOutcome::Fail(stage) => {
-                        if complete || config.prune_partial {
-                            stats.record(stage);
-                        }
-                        if complete || config.prune_partial {
-                            continue;
-                        }
-                        // Unverified partial (NoPQ): keep exploring it.
-                        sequence += 1;
-                        heap.push(EnumState {
-                            pq,
-                            confidence,
-                            decisions: state.decisions + 1,
-                            sequence,
-                        });
+                let scores = duoquest_nlq::guidance::normalize_scores(&raw);
+                for (pq, score) in child_pqs.into_iter().zip(scores) {
+                    jobs.push(ChildJob { beam_idx, confidence: state.confidence * score, pq });
+                }
+            }
+
+            // Phase 2 (parallel): join paths + verification cascade per child.
+            let chunk_results = process_jobs(jobs, pool.as_ref(), &env);
+
+            // Phase 3 (serial): merge in original child order — emission order and
+            // frontier sequence numbers are therefore independent of the worker count.
+            let mut timed_out = false;
+            for chunk in chunk_results {
+                stats.generated += chunk.generated;
+                for (idx, count) in chunk.prunes.iter().enumerate() {
+                    stats.record(VerifyStage::ALL[idx], *count);
+                }
+                stats.stage_timings.merge(&chunk.timings);
+                timed_out |= chunk.timed_out;
+                for (spec, confidence) in chunk.emissions {
+                    stats.emitted += 1;
+                    if !on_candidate(spec, confidence, start.elapsed())
+                        || stats.emitted >= config.max_candidates
+                    {
+                        early_exit = true;
+                        break 'rounds;
                     }
-                    VerifyOutcome::Pass => {
-                        if complete {
-                            stats.emitted += 1;
-                            let spec = pq.to_spec().expect("complete partial query lowers");
-                            if !on_candidate(spec, confidence, start.elapsed())
-                                || stats.emitted >= config.max_candidates
-                            {
-                                stats.elapsed = start.elapsed();
-                                return stats;
-                            }
-                        } else {
-                            sequence += 1;
-                            heap.push(EnumState {
-                                pq,
-                                confidence,
-                                decisions: state.decisions + 1,
-                                sequence,
-                            });
+                }
+                for (pq, confidence, beam_idx) in chunk.survivors {
+                    sequence += 1;
+                    heap.push(EnumState {
+                        pq,
+                        confidence,
+                        decisions: beam[beam_idx].decisions + 1,
+                        sequence,
+                    });
+                }
+            }
+            if timed_out {
+                early_exit = true;
+                break 'rounds;
+            }
+
+            // Bound the frontier size: drop the lowest-confidence states.
+            if heap.len() > config.max_states {
+                let mut states: Vec<EnumState> = heap.into_vec();
+                states.sort_by(|a, b| b.cmp(a));
+                states.truncate(config.max_states / 2);
+                heap = BinaryHeap::from(states);
+            }
+        }
+
+        if !early_exit {
+            stats.exhausted = heap.is_empty() && stats.expanded < config.max_expansions;
+        }
+    });
+
+    stats.elapsed = start.elapsed();
+    // Per-run counters owned by this run's verifiers: concurrent sessions on
+    // the same shared database can't pollute each other's statistics.
+    let (partial_hits, partial_misses) = partial_verifier.cache_counters();
+    let (complete_hits, complete_misses) = complete_verifier.cache_counters();
+    stats.cache_hits = partial_hits + complete_hits;
+    stats.cache_misses = partial_misses + complete_misses;
+    stats.cache_bytes = db.cache_stats().bytes;
+    stats
+}
+
+/// Distribute the round's jobs over the persistent worker pool as contiguous
+/// chunks (placing the chunk results by index restores the original job
+/// order), or run inline when there is no pool or the fan-out is too small
+/// to be worth the channel handoff.
+fn process_jobs(
+    jobs: Vec<ChildJob>,
+    pool: Option<&WorkerPool>,
+    env: &RoundEnv<'_>,
+) -> Vec<ChunkResult> {
+    match pool {
+        Some(pool) if jobs.len() >= MIN_PARALLEL_JOBS => pool.dispatch(jobs),
+        _ => vec![process_chunk(jobs, env)],
+    }
+}
+
+/// A run-scoped pool of verification workers. Threads are spawned once per
+/// synthesis run (scoped, so they may borrow the run's verifiers and
+/// database) and fed one chunk per round over channels — rounds never pay a
+/// thread spawn/join cycle.
+struct WorkerPool {
+    chunk_txs: Vec<std::sync::mpsc::Sender<(usize, Vec<ChildJob>)>>,
+    result_rx: std::sync::mpsc::Receiver<(usize, std::thread::Result<ChunkResult>)>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads onto `scope`; `None` when one worker would do
+    /// (the caller then processes chunks inline).
+    fn start<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        workers: usize,
+        env: &'env RoundEnv<'env>,
+    ) -> Option<WorkerPool> {
+        if workers <= 1 {
+            return None;
+        }
+        let (result_tx, result_rx) = std::sync::mpsc::channel();
+        let chunk_txs = (0..workers)
+            .map(|_| {
+                let (chunk_tx, chunk_rx) = std::sync::mpsc::channel::<(usize, Vec<ChildJob>)>();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((idx, jobs)) = chunk_rx.recv() {
+                        // Catch panics so a worker failure surfaces as a
+                        // panic in the dispatching thread instead of a hang.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                process_chunk(jobs, env)
+                            }));
+                        if result_tx.send((idx, outcome)).is_err() {
+                            break; // run is shutting down
                         }
+                    }
+                });
+                chunk_tx
+            })
+            .collect();
+        Some(WorkerPool { chunk_txs, result_rx })
+    }
+
+    /// Split `jobs` into one contiguous chunk per worker, fan them out, and
+    /// return the results in original job order.
+    fn dispatch(&self, jobs: Vec<ChildJob>) -> Vec<ChunkResult> {
+        let chunk_size = jobs.len().div_ceil(self.chunk_txs.len());
+        let mut sent = 0usize;
+        let mut remaining = jobs;
+        while !remaining.is_empty() {
+            let tail = remaining.split_off(remaining.len().min(chunk_size));
+            self.chunk_txs[sent]
+                .send((sent, remaining))
+                .expect("synthesis worker terminated unexpectedly");
+            remaining = tail;
+            sent += 1;
+        }
+        let mut results: Vec<Option<ChunkResult>> = (0..sent).map(|_| None).collect();
+        for _ in 0..sent {
+            let (idx, outcome) =
+                self.result_rx.recv().expect("synthesis worker terminated unexpectedly");
+            match outcome {
+                Ok(result) => results[idx] = Some(result),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        results.into_iter().map(|r| r.expect("every chunk reported")).collect()
+    }
+}
+
+/// Run one worker's share of the round: cheap partial pre-verification, join
+/// path attachment, then the full cascade per join variant.
+fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkResult {
+    let mut out = ChunkResult::default();
+    for (done, job) in jobs.into_iter().enumerate() {
+        // Honor the wall-clock budget inside large fan-outs as well.
+        if done % 32 == 31 && env.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+            out.timed_out = true;
+            break;
+        }
+        let ChildJob { beam_idx, confidence, pq } = job;
+        // Cheap pre-verification before paying for join path construction:
+        // the clause, semantic, type and column-wise stages do not need a
+        // join path, and they eliminate the bulk of the fan-out.
+        if env.config.prune_partial && !pq.is_complete() {
+            if let VerifyOutcome::Fail(stage) =
+                env.partial_verifier.verify_timed(&pq, &mut out.timings)
+            {
+                out.generated += 1;
+                out.prunes[stage.index()] += 1;
+                continue;
+            }
+        }
+        // Attach candidate join paths (progressive join path construction).
+        for pq in attach_join_paths(pq, env.db, env.graph, env.config) {
+            out.generated += 1;
+            let complete = pq.is_complete();
+            let verifier = if complete { env.complete_verifier } else { env.partial_verifier };
+            match verifier.verify_timed(&pq, &mut out.timings) {
+                VerifyOutcome::Fail(stage) => {
+                    if complete || env.config.prune_partial {
+                        out.prunes[stage.index()] += 1;
+                    } else {
+                        // Unverified partial (NoPQ): keep exploring it.
+                        out.survivors.push((pq, confidence, beam_idx));
+                    }
+                }
+                VerifyOutcome::Pass => {
+                    if complete {
+                        let spec = pq.to_spec().expect("complete partial query lowers");
+                        out.emissions.push((spec, confidence));
+                    } else {
+                        out.survivors.push((pq, confidence, beam_idx));
                     }
                 }
             }
         }
-
-        // Bound the frontier size: drop the lowest-confidence states.
-        if heap.len() > config.max_states {
-            let mut states: Vec<EnumState> = heap.into_vec();
-            states.sort_by(|a, b| b.cmp(a));
-            states.truncate(config.max_states / 2);
-            heap = BinaryHeap::from(states);
-        }
-        if start.elapsed() > config.time_budget.unwrap_or(Duration::MAX) {
-            break 'outer;
-        }
     }
-
-    stats.exhausted = heap.is_empty() && stats.expanded < config.max_expansions;
-    stats.elapsed = start.elapsed();
-    stats
+    out
 }
 
 /// Attach join paths to a freshly generated child: if the child's referenced
 /// tables are not covered by its current join path (or it has none yet and its
-/// projection is decided), produce one child per candidate join path.
+/// projection is decided), produce one child per candidate join path. The
+/// input query is moved into the last variant instead of cloned.
 fn attach_join_paths(
     pq: PartialQuery,
     db: &Database,
@@ -245,24 +474,26 @@ fn attach_join_paths(
         return vec![pq];
     }
     let referenced: Vec<_> = pq.referenced_columns().iter().map(|c| c.table).collect();
-    let covered = pq
-        .join
-        .as_ref()
-        .map(|j| referenced.iter().all(|t| j.contains(*t)))
-        .unwrap_or(false);
+    let covered =
+        pq.join.as_ref().map(|j| referenced.iter().all(|t| j.contains(*t))).unwrap_or(false);
     if covered {
         return vec![pq];
     }
-    let paths =
+    let mut paths =
         construct_join_paths(db, graph, &pq, pq.join.as_ref(), config.join_extension_depth);
-    paths
+    let Some(last_path) = paths.pop() else { return Vec::new() };
+    let mut out: Vec<PartialQuery> = paths
         .into_iter()
         .map(|join| {
             let mut child = pq.clone();
             child.join = Some(join);
             child
         })
-        .collect()
+        .collect();
+    let mut last = pq;
+    last.join = Some(last_path);
+    out.push(last);
+    out
 }
 
 /// `EnumNextStep`: produce the candidate children of the next inference
@@ -318,7 +549,7 @@ pub fn enum_next_step(
                 .collect(),
         );
     }
-    let select = pq.select.as_ref().expect("select decided above").clone();
+    let select = pq.select.as_ref().expect("select decided above");
 
     // 3. AGG module: one aggregate decision per projected item.
     if let Some(idx) = select.iter().position(|i| i.agg.is_hole()) {
@@ -356,15 +587,13 @@ pub fn enum_next_step(
     // Multisets are generated — the same column may carry two predicates, as in
     // the paper's motivating example (`year < 1995 OR year > 2000`).
     if clauses.where_clause && pq.where_predicates.is_hole() {
-        let options: Vec<_> =
-            schema.all_columns().filter(|c| !schema.is_key_column(*c)).collect();
+        let options: Vec<_> = schema.all_columns().filter(|c| !schema.is_key_column(*c)).collect();
         let mut out = Vec::new();
         for size in 1..=config.max_where_predicates.min(options.len()) {
             for combo in multiset_combinations(&options, size) {
                 let mut child = pq.clone();
-                child.where_predicates = Slot::Filled(
-                    combo.iter().map(|c| PartialPredicate::with_column(*c)).collect(),
-                );
+                child.where_predicates =
+                    Slot::Filled(combo.iter().map(|c| PartialPredicate::with_column(*c)).collect());
                 if combo.len() <= 1 {
                     child.where_op = Slot::Filled(LogicalOp::And);
                 }
@@ -380,14 +609,9 @@ pub fn enum_next_step(
             if let Some(idx) = preds.iter().position(|p| p.op.is_hole()) {
                 let col = *preds[idx].col.as_ref().expect("predicate column decided first");
                 let ops: Vec<CmpOp> = match schema.column(col).dtype {
-                    DataType::Number => vec![
-                        CmpOp::Eq,
-                        CmpOp::Gt,
-                        CmpOp::Lt,
-                        CmpOp::Ge,
-                        CmpOp::Le,
-                        CmpOp::Between,
-                    ],
+                    DataType::Number => {
+                        vec![CmpOp::Eq, CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le, CmpOp::Between]
+                    }
                     DataType::Text => vec![CmpOp::Eq, CmpOp::Like],
                 };
                 return Some(
@@ -530,7 +754,7 @@ pub fn enum_next_step(
             // COUNT(*) plus aggregates over numeric projected columns.
             let mut agg_targets: Vec<(AggFunc, Option<duoquest_db::ColumnId>)> =
                 vec![(AggFunc::Count, None)];
-            for item in &select {
+            for item in select {
                 if let (Some(SelectColumn::Column(c)), Some(Some(agg))) =
                     (item.col.as_ref(), item.agg.as_ref())
                 {
@@ -568,7 +792,7 @@ pub fn enum_next_step(
     // 10. DESC/ASC + LIMIT module.
     if clauses.order_by && pq.order_by.is_hole() {
         let mut keys: Vec<OrderKey> = Vec::new();
-        for item in &select {
+        for item in select {
             match (item.col.as_ref(), item.agg.as_ref()) {
                 (Some(SelectColumn::Column(c)), Some(None)) => keys.push(OrderKey::Column(*c)),
                 (Some(SelectColumn::Column(c)), Some(Some(agg))) => {
@@ -601,7 +825,10 @@ pub fn enum_next_step(
                         desc: Slot::Filled(desc),
                         limit: Slot::Filled(*limit),
                     }));
-                    out.push((Choice::OrderBy(Some(OrderChoice { key, desc, limit: *limit })), child));
+                    out.push((
+                        Choice::OrderBy(Some(OrderChoice { key, desc, limit: *limit })),
+                        child,
+                    ));
                 }
             }
         }
@@ -723,22 +950,17 @@ mod tests {
         let model = NoisyOracleGuidance::with_config(gold.clone(), 1, OracleConfig::perfect());
         let tsq = TableSketchQuery::with_types(vec![DataType::Text])
             .with_tuple(vec![crate::tsq::TsqCell::text("Forrest Gump")]);
-        let mut found: Vec<duoquest_db::SelectSpec> = Vec::new();
-        let stats = enumerate(
-            &db,
-            &nlq,
-            &model,
-            Some(&tsq),
-            &DuoquestConfig::fast(),
-            |spec, _conf, _t| {
+        let mut found: Vec<SelectSpec> = Vec::new();
+        let stats =
+            enumerate(&db, &nlq, &model, Some(&tsq), &DuoquestConfig::fast(), |spec, _conf, _t| {
                 found.push(spec);
                 found.len() < 5
-            },
-        );
+            });
         assert!(!found.is_empty(), "stats: {stats:?}");
         assert!(duoquest_sql::queries_equivalent(&found[0], &gold));
         assert!(stats.emitted >= 1);
         assert!(stats.expanded > 0);
+        assert!(stats.rounds > 0);
         assert!(stats.total_pruned() > 0);
     }
 
@@ -809,10 +1031,8 @@ mod tests {
         let nlq = Nlq::with_literals("actors born after 1960", vec![Literal::number(1960.0)]);
         let model = NoisyOracleGuidance::new(gold, 11);
         let mut confidences: Vec<f64> = Vec::new();
-        let mut parents_seen_max = 0.0f64;
         enumerate(&db, &nlq, &model, None, &DuoquestConfig::fast(), |_s, c, _t| {
             confidences.push(c);
-            parents_seen_max = parents_seen_max.max(c);
             confidences.len() < 10
         });
         assert!(!confidences.is_empty());
@@ -841,5 +1061,69 @@ mod tests {
         });
         assert!(seen <= 3);
         assert!(stats.emitted <= 3);
+    }
+
+    #[test]
+    fn cache_counters_and_stage_timings_are_populated() {
+        let db = movie_db();
+        let schema = db.schema();
+        let gold = QueryBuilder::new(schema)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model = NoisyOracleGuidance::with_config(gold, 1, OracleConfig::perfect());
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![crate::tsq::TsqCell::text("Forrest Gump")]);
+        db.clear_probe_cache();
+        let stats =
+            enumerate(&db, &nlq, &model, Some(&tsq), &DuoquestConfig::fast(), |_s, _c, _t| true);
+        // The verifier issues many structurally identical probes; the memo
+        // cache must be absorbing the repeats.
+        assert!(stats.cache_misses > 0, "stats: {stats:?}");
+        assert!(stats.cache_hits > 0, "stats: {stats:?}");
+        assert!(stats.cache_hit_rate() > 0.0);
+        // The cheap stages run at least as often as the expensive probes.
+        let timings = &stats.stage_timings;
+        assert!(timings.calls_of(VerifyStage::Clauses) > 0);
+        assert!(timings.calls_of(VerifyStage::ByColumn) > 0);
+        assert!(
+            timings.calls_of(VerifyStage::Clauses) >= timings.calls_of(VerifyStage::ByRow),
+            "cascade should invoke cheap stages at least as often as expensive ones: {}",
+            timings.summary()
+        );
+        assert!(timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_rounds_match_sequential_exploration() {
+        let db = movie_db();
+        let schema = db.schema();
+        let gold = QueryBuilder::new(schema)
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model = NoisyOracleGuidance::new(gold, 9);
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None; // keep the comparison deterministic
+        config.max_candidates = 25;
+
+        let run = |config: &DuoquestConfig| {
+            let mut emitted: Vec<(String, f64)> = Vec::new();
+            enumerate(&db, &nlq, &model, None, config, |spec, conf, _t| {
+                emitted.push((format!("{spec:?}"), conf));
+                true
+            });
+            emitted
+        };
+
+        let sequential = run(&config);
+        let parallel = run(&config.clone().with_parallelism(4, 1));
+        // Same beam width ⇒ identical emission order, regardless of workers.
+        assert_eq!(sequential, parallel);
+        assert!(!sequential.is_empty());
     }
 }

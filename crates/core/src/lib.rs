@@ -16,12 +16,16 @@
 //!   column-wise and row-wise database probes, literal-usage checks and order
 //!   checks;
 //! * [`engine`] — the [`Duoquest`](engine::Duoquest) facade that ties the
-//!   pieces together and returns a ranked candidate list.
+//!   pieces together and returns a ranked candidate list (see its module docs
+//!   for the parallel, cache-aware core architecture);
+//! * [`session`] — owned [`SynthesisSession`](session::SynthesisSession)s
+//!   over an `Arc`-shared database, with channel-backed candidate streaming.
 
 pub mod config;
 pub mod engine;
 pub mod enumerate;
 pub mod joinpath;
+pub mod session;
 pub mod state;
 pub mod tsq;
 pub mod verify;
@@ -29,6 +33,7 @@ pub mod verify;
 pub use config::DuoquestConfig;
 pub use engine::{Candidate, Duoquest, SynthesisResult};
 pub use enumerate::EnumerationStats;
+pub use session::{CandidateStream, SynthesisSession};
 pub use state::EnumState;
 pub use tsq::{TableSketchQuery, TsqCell};
-pub use verify::{VerifyOutcome, VerifyStage, Verifier};
+pub use verify::{StageTimings, Verifier, VerifyOutcome, VerifyStage};

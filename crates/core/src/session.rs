@@ -1,0 +1,263 @@
+//! Streaming synthesis sessions over a shared database.
+//!
+//! [`SynthesisSession`] is the owned, `Arc`-based entry point to the parallel
+//! synthesis core: it holds a cheaply shareable [`Database`], the dual
+//! specification (NLQ + optional TSQ), a guidance model and a
+//! [`DuoquestConfig`], and runs the round-based engine of
+//! [`crate::enumerate`]. Three consumption styles are supported:
+//!
+//! * [`SynthesisSession::run`] — block until the run finishes, get the ranked
+//!   [`SynthesisResult`];
+//! * [`SynthesisSession::run_with`] — block, but observe each candidate as it
+//!   is emitted (and optionally stop early);
+//! * [`SynthesisSession::stream`] — move the session onto a background thread
+//!   and consume candidates through a channel-backed iterator while
+//!   enumeration is still in flight. The first candidate is available as soon
+//!   as it survives verification, long before the run completes — this is
+//!   what the paper's interactive front end needs for its "results appear as
+//!   they are found" interface.
+//!
+//! Absent a wall-clock `time_budget`, the emitted candidate set and order
+//! depend only on the configuration (beam width, budgets), never on the
+//! worker count; a time budget is the one intentionally non-deterministic
+//! cut-off. See the determinism notes in `crate::enumerate`.
+
+use crate::config::DuoquestConfig;
+use crate::engine::{run_collect, Candidate, SynthesisResult};
+use crate::tsq::TableSketchQuery;
+use duoquest_db::Database;
+use duoquest_nlq::{GuidanceModel, Nlq};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An owned synthesis task: shared database + dual specification + model +
+/// configuration. Create one per user query; clone the `Arc`s, not the data.
+pub struct SynthesisSession {
+    db: Arc<Database>,
+    nlq: Nlq,
+    tsq: Option<TableSketchQuery>,
+    model: Arc<dyn GuidanceModel>,
+    config: DuoquestConfig,
+}
+
+impl SynthesisSession {
+    /// Create a session with the default configuration and no TSQ.
+    pub fn new(db: Arc<Database>, nlq: Nlq, model: Arc<dyn GuidanceModel>) -> Self {
+        SynthesisSession { db, nlq, tsq: None, model, config: DuoquestConfig::default() }
+    }
+
+    /// Attach a table sketch query (the second half of the dual specification).
+    pub fn with_tsq(mut self, tsq: TableSketchQuery) -> Self {
+        self.tsq = Some(tsq);
+        self
+    }
+
+    /// Replace the configuration.
+    pub fn with_config(mut self, config: DuoquestConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &DuoquestConfig {
+        &self.config
+    }
+
+    /// The shared database the session probes.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Run to completion and return the ranked candidates.
+    pub fn run(&self) -> SynthesisResult {
+        self.run_with(|_| true)
+    }
+
+    /// Run to completion, observing candidates in emission order. Returning
+    /// `false` from the callback stops the enumeration early (the paper's
+    /// front end does exactly this when the user clicks "Stop Task").
+    pub fn run_with<F>(&self, on_candidate: F) -> SynthesisResult
+    where
+        F: FnMut(&Candidate) -> bool,
+    {
+        run_collect(
+            &self.db,
+            &self.nlq,
+            self.model.as_ref(),
+            self.tsq.as_ref(),
+            &self.config,
+            on_candidate,
+        )
+    }
+
+    /// Move the session onto a background thread and stream candidates as
+    /// they survive verification. Dropping the stream (or calling
+    /// [`CandidateStream::stop`]) ends the enumeration; call
+    /// [`CandidateStream::finish`] for the final ranked result.
+    pub fn stream(self) -> CandidateStream {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("duoquest-synthesis".into())
+            .spawn(move || {
+                self.run_with(move |candidate| {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    // A dropped receiver reads as "stop": the send fails and
+                    // the engine winds down.
+                    tx.send(candidate.clone()).is_ok()
+                })
+            })
+            .expect("failed to spawn synthesis thread");
+        CandidateStream { rx, handle: Some(handle), stop }
+    }
+}
+
+/// A live candidate stream backed by a background synthesis thread.
+///
+/// Iterate to receive candidates in emission order while the enumeration is
+/// still running; call [`CandidateStream::finish`] to join the thread and
+/// obtain the final, confidence-ranked [`SynthesisResult`] (which includes
+/// the run's [`crate::EnumerationStats`]).
+pub struct CandidateStream {
+    rx: Receiver<Candidate>,
+    handle: Option<JoinHandle<SynthesisResult>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl CandidateStream {
+    /// Ask the background thread to stop after the candidate it is currently
+    /// emitting. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the background enumeration has finished.
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().map(|h| h.is_finished()).unwrap_or(true)
+    }
+
+    /// Receive the next candidate, waiting up to `timeout`. `None` on timeout
+    /// or when the stream has ended.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<Candidate> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Join the background thread and return the final ranked result. Any
+    /// undrained candidates are still reflected in the result's list.
+    pub fn finish(mut self) -> SynthesisResult {
+        let handle = self.handle.take().expect("finish called once");
+        handle.join().expect("synthesis thread panicked")
+    }
+}
+
+impl Iterator for CandidateStream {
+    type Item = Candidate;
+
+    /// Blocks until the next candidate is emitted; `None` once the
+    /// enumeration has completed (or was stopped).
+    fn next(&mut self) -> Option<Candidate> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsq::TsqCell;
+    use crate::verify::test_fixtures::movie_db;
+    use duoquest_db::{CmpOp, DataType};
+    use duoquest_nlq::{Literal, NoisyOracleGuidance, OracleConfig};
+    use duoquest_sql::QueryBuilder;
+
+    fn fixture() -> (Arc<Database>, Nlq, Arc<dyn GuidanceModel>, duoquest_db::SelectSpec) {
+        let db = movie_db().into_shared();
+        let gold = QueryBuilder::new(db.schema())
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model: Arc<dyn GuidanceModel> =
+            Arc::new(NoisyOracleGuidance::with_config(gold.clone(), 3, OracleConfig::perfect()));
+        (db, nlq, model, gold)
+    }
+
+    #[test]
+    fn session_run_matches_engine_results() {
+        let (db, nlq, model, gold) = fixture();
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![TsqCell::text("Forrest Gump")]);
+        let session = SynthesisSession::new(Arc::clone(&db), nlq, model)
+            .with_tsq(tsq)
+            .with_config(DuoquestConfig::fast());
+        let result = session.run();
+        assert_eq!(result.rank_of(&gold), Some(1));
+        assert!(result.stats.emitted > 0);
+    }
+
+    #[test]
+    fn streaming_yields_first_candidate_before_completion() {
+        let (db, nlq, model, _gold) = fixture();
+        // A generous candidate budget keeps the search running well past the
+        // first emission.
+        let mut config = DuoquestConfig::fast();
+        config.max_candidates = 200;
+        config.max_expansions = 100_000;
+        let session = SynthesisSession::new(db, nlq, model).with_config(config);
+        let mut stream = session.stream();
+        let first = stream.next_timeout(Duration::from_secs(30));
+        assert!(first.is_some(), "no candidate streamed");
+        // The candidate arrived while the enumeration was still running (or
+        // at worst just wound down); the final result must contain strictly
+        // more candidates than the one we consumed, proving emission happened
+        // incrementally rather than at completion.
+        let result = stream.finish();
+        assert!(
+            result.candidates.len() > 1,
+            "stream should keep producing after the first candidate"
+        );
+        // Emission counts duplicates later folded by canonical dedup.
+        assert!(result.stats.emitted >= result.candidates.len());
+    }
+
+    #[test]
+    fn dropping_the_stream_stops_the_session() {
+        let (db, nlq, model, _gold) = fixture();
+        let mut config = DuoquestConfig::fast();
+        config.max_candidates = 10_000;
+        config.max_expansions = 1_000_000;
+        config.time_budget = Some(Duration::from_secs(60));
+        let session = SynthesisSession::new(db, nlq, model).with_config(config);
+        let mut stream = session.stream();
+        let _ = stream.next();
+        stream.stop();
+        let result = stream.finish();
+        // Stopping early: far fewer candidates than the budget allows.
+        assert!(result.candidates.len() < 10_000);
+    }
+
+    #[test]
+    fn parallel_session_streams_same_set_as_sequential_run() {
+        let (db, nlq, model, _gold) = fixture();
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        config.max_candidates = 30;
+        let sequential = SynthesisSession::new(Arc::clone(&db), nlq.clone(), Arc::clone(&model))
+            .with_config(config.clone())
+            .run();
+        let parallel = SynthesisSession::new(db, nlq, model)
+            .with_config(config.with_parallelism(4, 1))
+            .stream()
+            .finish();
+        let render = |r: &SynthesisResult| {
+            r.candidates.iter().map(|c| (format!("{:?}", c.spec), c.confidence)).collect::<Vec<_>>()
+        };
+        assert_eq!(render(&sequential), render(&parallel));
+    }
+}

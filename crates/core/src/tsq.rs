@@ -191,8 +191,8 @@ mod tests {
 
     #[test]
     fn width_from_tuples_when_no_types() {
-        let tsq = TableSketchQuery::empty()
-            .with_tuple(vec![TsqCell::text("a"), TsqCell::number(1)]);
+        let tsq =
+            TableSketchQuery::empty().with_tuple(vec![TsqCell::text("a"), TsqCell::number(1)]);
         assert_eq!(tsq.width(), Some(2));
         assert_eq!(tsq.column_type(1), Some(DataType::Number));
         assert_eq!(tsq.column_type(0), Some(DataType::Text));

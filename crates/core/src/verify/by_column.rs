@@ -7,13 +7,18 @@
 
 use crate::tsq::{TableSketchQuery, TsqCell};
 use duoquest_db::{
-    execute, AggFunc, ColumnId, Database, JoinTree, Predicate, SelectItem, SelectSpec,
+    AggFunc, ColumnId, Database, JoinTree, Predicate, RunCacheCounters, SelectItem, SelectSpec,
 };
 use duoquest_sql::{PartialQuery, SelectColumn};
 
 /// Whether every constrained example cell can be produced by the corresponding
 /// projected column on its own.
-pub fn verify_by_column(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+pub fn verify_by_column(
+    db: &Database,
+    tsq: &TableSketchQuery,
+    pq: &PartialQuery,
+    counters: &RunCacheCounters,
+) -> bool {
     let Some(items) = pq.select.as_ref() else { return true };
     for tuple in &tsq.tuples {
         for (i, cell) in tuple.iter().enumerate() {
@@ -37,7 +42,7 @@ pub fn verify_by_column(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery
                 }
                 // MIN/MAX and plain projections: the cell value must exist in the column.
                 Some(Some(AggFunc::Min)) | Some(Some(AggFunc::Max)) | Some(None) => {
-                    if !column_probe(db, *col, cell) {
+                    if !column_probe(db, *col, cell, counters) {
                         return false;
                     }
                 }
@@ -48,7 +53,7 @@ pub fn verify_by_column(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery
 }
 
 /// Run the single-table probe for one cell.
-fn column_probe(db: &Database, col: ColumnId, cell: &TsqCell) -> bool {
+fn column_probe(db: &Database, col: ColumnId, cell: &TsqCell, counters: &RunCacheCounters) -> bool {
     // Type compatibility first: a number cell can never match a text column.
     if let Some(cell_type) = cell.data_type() {
         if cell_type != db.schema().column(col).dtype {
@@ -63,7 +68,9 @@ fn column_probe(db: &Database, col: ColumnId, cell: &TsqCell) -> bool {
         limit: Some(1),
         ..Default::default()
     };
-    execute(db, &spec).map(|rs| !rs.is_empty()).unwrap_or(false)
+    // Sibling search states repeat these probes constantly; the memo cache
+    // answers everything after the first execution.
+    db.execute_cached_with(&spec, counters).map(|rs| !rs.is_empty()).unwrap_or(false)
 }
 
 /// AVG check: the observed `[min, max]` range of the column must intersect the cell.
@@ -71,9 +78,7 @@ fn avg_cell_possible(db: &Database, col: ColumnId, cell: &TsqCell) -> bool {
     let Some((min, max)) = db.numeric_range(col) else { return false };
     match cell {
         TsqCell::Empty => true,
-        TsqCell::Exact(v) => {
-            v.as_number().map(|n| n >= min && n <= max).unwrap_or(false)
-        }
+        TsqCell::Exact(v) => v.as_number().map(|n| n >= min && n <= max).unwrap_or(false),
         TsqCell::Range(lo, hi) => match (lo.as_number(), hi.as_number()) {
             (Some(lo), Some(hi)) => lo <= max && hi >= min,
             _ => false,
@@ -120,9 +125,9 @@ mod tests {
         let db = movie_db();
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::text("Tom Hanks")]);
         let pq = select_pq(&db, vec![("actor", "name", None)]);
-        assert!(verify_by_column(&db, &tsq, &pq));
+        assert!(verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::text("Meryl Streep")]);
-        assert!(!verify_by_column(&db, &tsq, &pq));
+        assert!(!verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -133,12 +138,10 @@ mod tests {
         let tsq = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Tom Hanks"), TsqCell::range(1950, 1960)]);
         let ok = select_pq(&db, vec![("actor", "name", None), ("actor", "birth_yr", None)]);
-        assert!(verify_by_column(&db, &tsq, &ok));
-        let bad = select_pq(
-            &db,
-            vec![("actor", "name", None), ("movies", "year", Some(AggFunc::Max))],
-        );
-        assert!(!verify_by_column(&db, &tsq, &bad));
+        assert!(verify_by_column(&db, &tsq, &ok, &RunCacheCounters::default()));
+        let bad =
+            select_pq(&db, vec![("actor", "name", None), ("movies", "year", Some(AggFunc::Max))]);
+        assert!(!verify_by_column(&db, &tsq, &bad, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -146,11 +149,9 @@ mod tests {
         let db = movie_db();
         let tsq = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Tom Hanks"), TsqCell::range(1950, 1960)]);
-        let pq = select_pq(
-            &db,
-            vec![("actor", "name", None), ("movies", "year", Some(AggFunc::Count))],
-        );
-        assert!(verify_by_column(&db, &tsq, &pq));
+        let pq =
+            select_pq(&db, vec![("actor", "name", None), ("movies", "year", Some(AggFunc::Count))]);
+        assert!(verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -159,11 +160,11 @@ mod tests {
         // movies.year spans 1994..2013.
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::range(2000, 2020)]);
         let pq = select_pq(&db, vec![("movies", "year", Some(AggFunc::Avg))]);
-        assert!(verify_by_column(&db, &tsq, &pq));
+        assert!(verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::range(1900, 1950)]);
-        assert!(!verify_by_column(&db, &tsq, &pq));
+        assert!(!verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::number(2000)]);
-        assert!(verify_by_column(&db, &tsq, &pq));
+        assert!(verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -171,7 +172,7 @@ mod tests {
         let db = movie_db();
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::number(1956)]);
         let pq = select_pq(&db, vec![("actor", "name", None)]);
-        assert!(!verify_by_column(&db, &tsq, &pq));
+        assert!(!verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -182,11 +183,8 @@ mod tests {
         // Second projection still undecided: nothing to check for it.
         let mut pq = select_pq(&db, vec![("actor", "name", None)]);
         if let Slot::Filled(items) = &mut pq.select {
-            items.push(PartialSelectItem {
-                col: Slot::Hole,
-                agg: Slot::Hole,
-            });
+            items.push(PartialSelectItem { col: Slot::Hole, agg: Slot::Hole });
         }
-        assert!(verify_by_column(&db, &tsq, &pq));
+        assert!(verify_by_column(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 }

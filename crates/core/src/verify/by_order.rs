@@ -5,14 +5,19 @@
 //! satisfied by result rows appearing in the same order as they were given.
 
 use crate::tsq::TableSketchQuery;
-use duoquest_db::{execute, Database};
+use duoquest_db::{Database, RunCacheCounters};
 use duoquest_sql::PartialQuery;
 
 /// Whether the complete query produces rows satisfying the example tuples in
 /// the order they were specified.
-pub fn verify_by_order(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+pub fn verify_by_order(
+    db: &Database,
+    tsq: &TableSketchQuery,
+    pq: &PartialQuery,
+    counters: &RunCacheCounters,
+) -> bool {
     let Ok(spec) = pq.to_spec() else { return false };
-    let Ok(result) = execute(db, &spec) else { return false };
+    let Ok(result) = db.execute_cached_with(&spec, counters) else { return false };
     if tsq.limit > 0 && result.len() > tsq.limit {
         return false;
     }
@@ -39,31 +44,56 @@ pub fn verify_by_order(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery)
 /// respect the limit `k`, and — when the TSQ is sorted — the tuples must appear
 /// in order. This subsumes [`verify_by_order`] for unsorted TSQs and closes the
 /// gap left by the (intentionally superset-based) partial row-wise probes.
-pub fn verify_complete(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+pub fn verify_complete(
+    db: &Database,
+    tsq: &TableSketchQuery,
+    pq: &PartialQuery,
+    counters: &RunCacheCounters,
+) -> bool {
     if tsq.sorted && tsq.tuples.len() >= 2 {
-        return verify_by_order(db, tsq, pq);
+        return verify_by_order(db, tsq, pq, counters);
     }
     let Ok(spec) = pq.to_spec() else { return false };
-    let Ok(result) = execute(db, &spec) else { return false };
+    let Ok(result) = db.execute_cached_with(&spec, counters) else { return false };
     if tsq.limit > 0 && result.len() > tsq.limit {
         return false;
     }
-    // Greedy distinct matching (example tuples are few, typically two).
-    let mut used = vec![false; result.len()];
-    for (ti, _tuple) in tsq.tuples.iter().enumerate() {
-        let mut found = false;
-        for (ri, row) in result.rows.iter().enumerate() {
-            if !used[ri] && tsq.row_satisfies_tuple(ti, &row.0) {
-                used[ri] = true;
-                found = true;
-                break;
-            }
+    // Distinct-row satisfaction is a bipartite matching problem: a greedy
+    // first-fit wrongly rejects candidates when an early tuple takes the only
+    // row a later tuple could use (e.g. tuple 1 matches rows A and B, tuple 2
+    // only A). Kuhn's augmenting paths find a perfect matching whenever one
+    // exists; example tuples are few, so this stays cheap.
+    let mut row_owner: Vec<Option<usize>> = vec![None; result.len()];
+    (0..tsq.tuples.len()).all(|ti| {
+        let mut visited = vec![false; result.len()];
+        assign_tuple(ti, tsq, &result.rows, &mut row_owner, &mut visited)
+    })
+}
+
+/// Try to give tuple `ti` a result row, recursively re-seating previous
+/// owners along an augmenting path.
+fn assign_tuple(
+    ti: usize,
+    tsq: &TableSketchQuery,
+    rows: &[duoquest_db::Row],
+    row_owner: &mut [Option<usize>],
+    visited: &mut [bool],
+) -> bool {
+    for (ri, row) in rows.iter().enumerate() {
+        if visited[ri] || !tsq.row_satisfies_tuple(ti, &row.0) {
+            continue;
         }
-        if !found {
-            return false;
+        visited[ri] = true;
+        let reseated = match row_owner[ri] {
+            None => true,
+            Some(owner) => assign_tuple(owner, tsq, rows, row_owner, visited),
+        };
+        if reseated {
+            row_owner[ri] = Some(ti);
+            return true;
         }
     }
-    true
+    false
 }
 
 #[cfg(test)]
@@ -72,9 +102,7 @@ mod tests {
     use crate::tsq::TsqCell;
     use crate::verify::test_fixtures::movie_db;
     use duoquest_db::{JoinGraph, OrderKey, Value};
-    use duoquest_sql::{
-        ClauseSet, PartialOrder, PartialSelectItem, SelectColumn, Slot,
-    };
+    use duoquest_sql::{ClauseSet, PartialOrder, PartialSelectItem, SelectColumn, Slot};
 
     /// SELECT movies.name, movies.year FROM movies ORDER BY movies.year ASC|DESC
     fn ordered_pq(db: &Database, desc: bool) -> PartialQuery {
@@ -117,9 +145,19 @@ mod tests {
     #[test]
     fn ascending_order_matches_ascending_examples() {
         let db = movie_db();
-        assert!(verify_by_order(&db, &two_tuples_ascending(), &ordered_pq(&db, false)));
+        assert!(verify_by_order(
+            &db,
+            &two_tuples_ascending(),
+            &ordered_pq(&db, false),
+            &RunCacheCounters::default()
+        ));
         // Descending order puts Gravity before Forrest Gump, violating the TSQ.
-        assert!(!verify_by_order(&db, &two_tuples_ascending(), &ordered_pq(&db, true)));
+        assert!(!verify_by_order(
+            &db,
+            &two_tuples_ascending(),
+            &ordered_pq(&db, true),
+            &RunCacheCounters::default()
+        ));
     }
 
     #[test]
@@ -133,7 +171,7 @@ mod tests {
             sorted: true,
             ..Default::default()
         };
-        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, false)));
+        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, false), &RunCacheCounters::default()));
     }
 
     #[test]
@@ -147,8 +185,8 @@ mod tests {
             sorted: true,
             ..Default::default()
         };
-        assert!(verify_by_order(&db, &tsq, &ordered_pq(&db, false)));
-        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, true)));
+        assert!(verify_by_order(&db, &tsq, &ordered_pq(&db, false), &RunCacheCounters::default()));
+        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, true), &RunCacheCounters::default()));
     }
 
     #[test]
@@ -161,7 +199,39 @@ mod tests {
             ..Default::default()
         };
         // Query returns 3 rows > limit 1.
-        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, false)));
+        assert!(!verify_by_order(&db, &tsq, &ordered_pq(&db, false), &RunCacheCounters::default()));
+    }
+
+    #[test]
+    fn overlapping_tuples_find_distinct_rows() {
+        // Regression test: tuple 1 (any year in 1990..2015) matches every
+        // movie including Forrest Gump; tuple 2 matches *only* Forrest Gump.
+        // The old greedy first-fit assigned Forrest Gump to tuple 1 and then
+        // wrongly pruned the candidate; the matching must re-seat tuple 1
+        // onto another row.
+        let db = movie_db();
+        let mut pq = ordered_pq(&db, false);
+        pq.clauses = Slot::Filled(ClauseSet::default());
+        pq.order_by = Slot::Hole;
+        let tsq = TableSketchQuery {
+            tuples: vec![
+                vec![TsqCell::Empty, TsqCell::range(1990, 2015)],
+                vec![TsqCell::text("Forrest Gump"), TsqCell::Empty],
+            ],
+            sorted: false,
+            ..Default::default()
+        };
+        assert!(verify_complete(&db, &tsq, &pq, &RunCacheCounters::default()));
+        // An unsatisfiable pair (two tuples, only one possible row) still fails.
+        let tsq = TableSketchQuery {
+            tuples: vec![
+                vec![TsqCell::text("Forrest Gump"), TsqCell::Empty],
+                vec![TsqCell::text("Forrest Gump"), TsqCell::Empty],
+            ],
+            sorted: false,
+            ..Default::default()
+        };
+        assert!(!verify_complete(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -174,7 +244,7 @@ mod tests {
             desc: Slot::Hole,
             limit: Slot::Hole,
         }));
-        assert!(!verify_by_order(&db, &tsq, &pq));
+        assert!(!verify_by_order(&db, &tsq, &pq, &RunCacheCounters::default()));
         let _ = Value::int(0);
     }
 }

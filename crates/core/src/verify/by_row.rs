@@ -8,7 +8,9 @@
 
 use crate::tsq::TableSketchQuery;
 use crate::verify::by_column::cell_to_predicate;
-use duoquest_db::{execute, AggFunc, CmpOp, Database, Predicate, SelectItem, SelectSpec, Value};
+use duoquest_db::{
+    AggFunc, CmpOp, Database, Predicate, RunCacheCounters, SelectItem, SelectSpec, Value,
+};
 use duoquest_sql::{PartialQuery, SelectColumn};
 
 /// `CanCheckRows` (paper §3.4): partial queries with aggregated projections may
@@ -30,7 +32,12 @@ pub fn can_check_rows(pq: &PartialQuery) -> bool {
 
 /// Whether every example tuple is satisfiable by a single output row of the
 /// (partial) query.
-pub fn verify_by_row(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -> bool {
+pub fn verify_by_row(
+    db: &Database,
+    tsq: &TableSketchQuery,
+    pq: &PartialQuery,
+    counters: &RunCacheCounters,
+) -> bool {
     let Some(items) = pq.select.as_ref() else { return true };
     let Some(join) = pq.join.as_ref() else { return true };
 
@@ -118,11 +125,9 @@ pub fn verify_by_row(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -
         }
         // The probe needs some projection; project the first available column of
         // the join (mirroring the paper's `SELECT 1`).
-        let probe_col = pq
-            .referenced_columns()
-            .first()
-            .copied()
-            .unwrap_or_else(|| db.schema().table_columns(join.tables[0]).next().expect("table has columns"));
+        let probe_col = pq.referenced_columns().first().copied().unwrap_or_else(|| {
+            db.schema().table_columns(join.tables[0]).next().expect("table has columns")
+        });
         spec.select = vec![if spec.group_by.is_empty() && !spec.having.is_empty() {
             SelectItem::count_star()
         } else {
@@ -131,7 +136,7 @@ pub fn verify_by_row(db: &Database, tsq: &TableSketchQuery, pq: &PartialQuery) -
         // An added WHERE constraint on an aggregated query must not conflict
         // with grouping semantics; the executor tolerates it because grouping
         // keeps a representative row per group.
-        match execute(db, &spec) {
+        match db.execute_cached_with(&spec, counters) {
             Ok(rs) => {
                 if rs.is_empty() {
                     return false;
@@ -223,11 +228,11 @@ mod tests {
         let pq = join_pq(&db, None);
         let good = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Forrest Gump"), TsqCell::text("Tom Hanks")]);
-        assert!(verify_by_row(&db, &good, &pq));
+        assert!(verify_by_row(&db, &good, &pq, &RunCacheCounters::default()));
         // Sandra Bullock did not star in Forrest Gump.
         let bad = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Forrest Gump"), TsqCell::text("Sandra Bullock")]);
-        assert!(!verify_by_row(&db, &bad, &pq));
+        assert!(!verify_by_row(&db, &bad, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -237,10 +242,10 @@ mod tests {
         let pq = join_pq(&db, Some(("movies", "year", CmpOp::Gt, Value::int(2000))));
         let tsq = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Forrest Gump"), TsqCell::text("Tom Hanks")]);
-        assert!(!verify_by_row(&db, &tsq, &pq));
+        assert!(!verify_by_row(&db, &tsq, &pq, &RunCacheCounters::default()));
         let tsq = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Gravity"), TsqCell::text("Sandra Bullock")]);
-        assert!(verify_by_row(&db, &tsq, &pq));
+        assert!(verify_by_row(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -259,7 +264,10 @@ mod tests {
                     col: Slot::Filled(SelectColumn::Column(s.column_id("actor", "name").unwrap())),
                     agg: Slot::Filled(None),
                 },
-                PartialSelectItem { col: Slot::Filled(SelectColumn::Star), agg: Slot::Filled(Some(AggFunc::Count)) },
+                PartialSelectItem {
+                    col: Slot::Filled(SelectColumn::Star),
+                    agg: Slot::Filled(Some(AggFunc::Count)),
+                },
             ]),
             join: Some(join),
             group_by: Slot::Filled(vec![s.column_id("actor", "name").unwrap()]),
@@ -270,10 +278,10 @@ mod tests {
         // Tom Hanks starred in exactly 1 movie in the fixture.
         let good = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Tom Hanks"), TsqCell::number(1)]);
-        assert!(verify_by_row(&db, &good, &pq));
+        assert!(verify_by_row(&db, &good, &pq, &RunCacheCounters::default()));
         let bad = TableSketchQuery::empty()
             .with_tuple(vec![TsqCell::text("Tom Hanks"), TsqCell::range(1950, 1960)]);
-        assert!(!verify_by_row(&db, &bad, &pq));
+        assert!(!verify_by_row(&db, &bad, &pq, &RunCacheCounters::default()));
     }
 
     #[test]
@@ -301,6 +309,6 @@ mod tests {
         let db = movie_db();
         let pq = join_pq(&db, None);
         let tsq = TableSketchQuery::empty().with_tuple(vec![TsqCell::Empty, TsqCell::Empty]);
-        assert!(verify_by_row(&db, &tsq, &pq));
+        assert!(verify_by_row(&db, &tsq, &pq, &RunCacheCounters::default()));
     }
 }

@@ -27,9 +27,10 @@ pub mod semantics;
 pub mod types;
 
 use crate::tsq::TableSketchQuery;
-use duoquest_db::Database;
+use duoquest_db::{Database, RunCacheCounters};
 use duoquest_nlq::Literal;
 use duoquest_sql::PartialQuery;
+use std::time::{Duration, Instant};
 
 /// The stage at which verification failed (used for pruning statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +49,104 @@ pub enum VerifyStage {
     Literals,
     /// Ordered tuple satisfaction on complete queries.
     ByOrder,
+}
+
+impl VerifyStage {
+    /// Number of stages in the cascade.
+    pub const COUNT: usize = 7;
+
+    /// All stages, in ascending-cost cascade order.
+    pub const ALL: [VerifyStage; VerifyStage::COUNT] = [
+        VerifyStage::Clauses,
+        VerifyStage::Semantics,
+        VerifyStage::ColumnTypes,
+        VerifyStage::ByColumn,
+        VerifyStage::ByRow,
+        VerifyStage::Literals,
+        VerifyStage::ByOrder,
+    ];
+
+    /// Dense index of the stage (cascade position).
+    pub fn index(self) -> usize {
+        match self {
+            VerifyStage::Clauses => 0,
+            VerifyStage::Semantics => 1,
+            VerifyStage::ColumnTypes => 2,
+            VerifyStage::ByColumn => 3,
+            VerifyStage::ByRow => 4,
+            VerifyStage::Literals => 5,
+            VerifyStage::ByOrder => 6,
+        }
+    }
+
+    /// Short label used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyStage::Clauses => "clauses",
+            VerifyStage::Semantics => "semantics",
+            VerifyStage::ColumnTypes => "types",
+            VerifyStage::ByColumn => "by_column",
+            VerifyStage::ByRow => "by_row",
+            VerifyStage::Literals => "literals",
+            VerifyStage::ByOrder => "by_order",
+        }
+    }
+}
+
+/// Wall-clock time and invocation counts per verification stage, making the
+/// cascade's ascending-cost ordering observable (not just its prune counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    nanos: [u64; VerifyStage::COUNT],
+    calls: [u64; VerifyStage::COUNT],
+}
+
+impl StageTimings {
+    /// Record one invocation of a stage.
+    pub fn record(&mut self, stage: VerifyStage, elapsed: Duration) {
+        self.nanos[stage.index()] += elapsed.as_nanos() as u64;
+        self.calls[stage.index()] += 1;
+    }
+
+    /// Fold another timing table into this one (used to merge worker-local
+    /// tables after a parallel round).
+    pub fn merge(&mut self, other: &StageTimings) {
+        for i in 0..VerifyStage::COUNT {
+            self.nanos[i] += other.nanos[i];
+            self.calls[i] += other.calls[i];
+        }
+    }
+
+    /// Accumulated wall-clock time of one stage.
+    pub fn duration_of(&self, stage: VerifyStage) -> Duration {
+        Duration::from_nanos(self.nanos[stage.index()])
+    }
+
+    /// Number of invocations of one stage.
+    pub fn calls_of(&self, stage: VerifyStage) -> u64 {
+        self.calls[stage.index()]
+    }
+
+    /// Total time spent in the cascade.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// One-line human-readable rendering, cascade order.
+    pub fn summary(&self) -> String {
+        VerifyStage::ALL
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}: {:.2}ms/{}",
+                    s.label(),
+                    self.duration_of(*s).as_secs_f64() * 1e3,
+                    self.calls_of(*s)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
 }
 
 /// The outcome of verifying one partial query.
@@ -72,6 +171,9 @@ pub struct Verifier<'a> {
     tsq: Option<&'a TableSketchQuery>,
     literals: &'a [Literal],
     semantic_rules: bool,
+    /// Per-run probe-cache hit/miss counters (atomic: one verifier is shared
+    /// by every worker of a synthesis run).
+    counters: RunCacheCounters,
 }
 
 impl<'a> Verifier<'a> {
@@ -82,7 +184,12 @@ impl<'a> Verifier<'a> {
         literals: &'a [Literal],
         semantic_rules: bool,
     ) -> Self {
-        Verifier { db, tsq, literals, semantic_rules }
+        Verifier { db, tsq, literals, semantic_rules, counters: RunCacheCounters::default() }
+    }
+
+    /// Probe-cache `(hits, misses)` recorded through this verifier.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.counters.snapshot()
     }
 
     /// The database the verifier probes.
@@ -92,34 +199,49 @@ impl<'a> Verifier<'a> {
 
     /// Run the full ascending-cost cascade on a partial query.
     pub fn verify(&self, pq: &PartialQuery) -> VerifyOutcome {
-        if let Some(tsq) = self.tsq {
-            if !clauses::verify_clauses(tsq, pq) {
-                return VerifyOutcome::Fail(VerifyStage::Clauses);
-            }
+        let mut scratch = StageTimings::default();
+        self.verify_timed(pq, &mut scratch)
+    }
+
+    /// Run the cascade, recording per-stage wall-clock time and invocation
+    /// counts into `timings`. Workers in the parallel session each keep their
+    /// own table and merge afterwards, so no synchronization happens here.
+    pub fn verify_timed(&self, pq: &PartialQuery, timings: &mut StageTimings) -> VerifyOutcome {
+        macro_rules! stage {
+            ($stage:expr, $check:expr) => {{
+                let started = Instant::now();
+                let passed = $check;
+                timings.record($stage, started.elapsed());
+                if !passed {
+                    return VerifyOutcome::Fail($stage);
+                }
+            }};
         }
-        if self.semantic_rules && !semantics::verify_semantics(self.db.schema(), pq) {
-            return VerifyOutcome::Fail(VerifyStage::Semantics);
+
+        if let Some(tsq) = self.tsq {
+            stage!(VerifyStage::Clauses, clauses::verify_clauses(tsq, pq));
+        }
+        if self.semantic_rules {
+            stage!(VerifyStage::Semantics, semantics::verify_semantics(self.db.schema(), pq));
         }
         if let Some(tsq) = self.tsq {
-            if !types::verify_column_types(self.db.schema(), tsq, pq) {
-                return VerifyOutcome::Fail(VerifyStage::ColumnTypes);
-            }
-            if !by_column::verify_by_column(self.db, tsq, pq) {
-                return VerifyOutcome::Fail(VerifyStage::ByColumn);
-            }
-            if by_row::can_check_rows(pq) && !by_row::verify_by_row(self.db, tsq, pq) {
-                return VerifyOutcome::Fail(VerifyStage::ByRow);
+            stage!(VerifyStage::ColumnTypes, types::verify_column_types(self.db.schema(), tsq, pq));
+            stage!(
+                VerifyStage::ByColumn,
+                by_column::verify_by_column(self.db, tsq, pq, &self.counters)
+            );
+            if by_row::can_check_rows(pq) {
+                stage!(VerifyStage::ByRow, by_row::verify_by_row(self.db, tsq, pq, &self.counters));
             }
         }
         if pq.is_complete() {
-            if !literals::verify_literals(pq, self.literals) {
-                return VerifyOutcome::Fail(VerifyStage::Literals);
-            }
+            stage!(VerifyStage::Literals, literals::verify_literals(pq, self.literals));
             if let Some(tsq) = self.tsq {
-                if (!tsq.tuples.is_empty() || tsq.limit > 0)
-                    && !by_order::verify_complete(self.db, tsq, pq)
-                {
-                    return VerifyOutcome::Fail(VerifyStage::ByOrder);
+                if !tsq.tuples.is_empty() || tsq.limit > 0 {
+                    stage!(
+                        VerifyStage::ByOrder,
+                        by_order::verify_complete(self.db, tsq, pq, &self.counters)
+                    );
                 }
             }
         }
@@ -163,14 +285,24 @@ pub(crate) mod test_fixtures {
         db.insert_all(
             "actor",
             vec![
-                vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956), Value::text("male")],
+                vec![
+                    Value::int(1),
+                    Value::text("Tom Hanks"),
+                    Value::int(1956),
+                    Value::text("male"),
+                ],
                 vec![
                     Value::int(2),
                     Value::text("Sandra Bullock"),
                     Value::int(1964),
                     Value::text("female"),
                 ],
-                vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963), Value::text("male")],
+                vec![
+                    Value::int(3),
+                    Value::text("Brad Pitt"),
+                    Value::int(1963),
+                    Value::text("male"),
+                ],
             ],
         )
         .unwrap();
@@ -203,7 +335,9 @@ mod tests {
     use super::*;
     use crate::tsq::{TableSketchQuery, TsqCell};
     use duoquest_db::{CmpOp, JoinTree, LogicalOp, Value};
-    use duoquest_sql::{ClauseSet, PartialPredicate, PartialQuery, PartialSelectItem, SelectColumn, Slot};
+    use duoquest_sql::{
+        ClauseSet, PartialPredicate, PartialQuery, PartialSelectItem, SelectColumn, Slot,
+    };
 
     /// SELECT movies.name FROM movies WHERE movies.year < 1995 (complete).
     fn complete_pq(db: &Database) -> PartialQuery {
@@ -245,7 +379,8 @@ mod tests {
         let db = movie_db();
         let tsq = TableSketchQuery::empty(); // not sorted
         let mut pq = complete_pq(&db);
-        pq.clauses = Slot::Filled(ClauseSet { where_clause: true, order_by: true, ..Default::default() });
+        pq.clauses =
+            Slot::Filled(ClauseSet { where_clause: true, order_by: true, ..Default::default() });
         let verifier = Verifier::new(&db, Some(&tsq), &[], true);
         assert_eq!(verifier.verify(&pq), VerifyOutcome::Fail(VerifyStage::Clauses));
     }

@@ -380,7 +380,8 @@ mod tests {
     fn order_by_aggregate_over_text_rejected() {
         let s = schema();
         let mut pq = PartialQuery::empty();
-        pq.clauses = Slot::Filled(ClauseSet { group_by: true, order_by: true, ..Default::default() });
+        pq.clauses =
+            Slot::Filled(ClauseSet { group_by: true, order_by: true, ..Default::default() });
         pq.order_by = Slot::Filled(Some(PartialOrder {
             key: Slot::Filled(OrderKey::Aggregate(AggFunc::Max, Some(name_col(&s)))),
             desc: Slot::Filled(true),

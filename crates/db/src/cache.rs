@@ -1,0 +1,296 @@
+//! Probe/result memo cache for verification probes.
+//!
+//! The Duoquest verifier issues enormous numbers of nearly identical
+//! `SELECT … LIMIT 1` probes: sibling states in the GPQE search tree share
+//! projections, predicates and join paths, so the same probe spec is executed
+//! over and over. This cache memoizes executor results keyed on a canonical
+//! hash of the [`SelectSpec`], so repeated probes are answered without
+//! touching the join pipeline.
+//!
+//! Design:
+//!
+//! * **Sharded.** Entries live in [`SHARD_COUNT`] independent `RwLock`ed hash
+//!   maps selected by key hash, so parallel synthesis workers rarely contend
+//!   on the same lock, and read-mostly traffic (cache hits) takes only shared
+//!   locks.
+//! * **Collision-safe.** The full spec is the map key (the hash only picks
+//!   the shard); two distinct specs can never alias an entry.
+//! * **Shared results.** Values are `Arc<ResultSet>` so a hit is a pointer
+//!   clone, not a row copy.
+//! * **Observable.** Atomic hit/miss/byte counters feed the engine's
+//!   `EnumerationStats`, making cache effectiveness visible per synthesis run.
+//!
+//! The cache caps its payload at [`ProbeCache::DEFAULT_MAX_BYTES`]; once the
+//! estimated resident size exceeds the cap, new results are still returned to
+//! the caller but no longer retained (simple admission control — probe
+//! results are tiny, so the cap is rarely hit in practice).
+
+use crate::executor::ResultSet;
+use crate::query::SelectSpec;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent shards; a power of two so shard selection is a mask.
+pub const SHARD_COUNT: usize = 16;
+
+/// Per-run hit/miss counters a caller can pass to
+/// [`crate::database::Database::execute_cached_with`] to attribute cache
+/// traffic to one synthesis run. Atomic so one counter set can be shared by
+/// a run's worker threads; independent of the cache's own global counters,
+/// so concurrent runs on the same database don't pollute each other's
+/// statistics.
+#[derive(Debug, Default)]
+pub struct RunCacheCounters {
+    /// Probes this run answered from the cache.
+    pub hits: AtomicU64,
+    /// Probes this run executed.
+    pub misses: AtomicU64,
+}
+
+impl RunCacheCounters {
+    /// Current `(hits, misses)` totals.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Record one lookup outcome.
+    pub fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that had to run the executor.
+    pub misses: u64,
+    /// Estimated bytes of cached result payload currently retained.
+    pub bytes: u64,
+    /// Number of cached entries.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when the cache saw no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference vs an earlier snapshot (for per-run statistics).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bytes: self.bytes,
+            entries: self.entries,
+        }
+    }
+}
+
+/// The sharded probe/result memo cache.
+#[derive(Debug, Default)]
+pub struct ProbeCache {
+    shards: [RwLock<HashMap<SelectSpec, Arc<ResultSet>>>; SHARD_COUNT],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl ProbeCache {
+    /// Retention cap on the estimated cached payload (64 MiB).
+    pub const DEFAULT_MAX_BYTES: u64 = 64 << 20;
+
+    /// Canonical hash of a spec. Deterministic within a process; used for
+    /// shard selection (the map key is the full spec, so hash collisions are
+    /// harmless).
+    pub fn fingerprint(spec: &SelectSpec) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        spec.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn shard(&self, fingerprint: u64) -> &RwLock<HashMap<SelectSpec, Arc<ResultSet>>> {
+        &self.shards[(fingerprint as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Look up a memoized result. Counts a hit or miss.
+    pub fn get(&self, spec: &SelectSpec) -> Option<Arc<ResultSet>> {
+        let shard = self.shard(Self::fingerprint(spec));
+        let found = shard.read().expect("probe cache lock poisoned").get(spec).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoize a result (no-op beyond the byte cap). Returns the stored arc.
+    pub fn insert(&self, spec: &SelectSpec, result: ResultSet) -> Arc<ResultSet> {
+        let result = Arc::new(result);
+        let cost = estimate_bytes(&result);
+        if self.bytes.load(Ordering::Relaxed) + cost > Self::DEFAULT_MAX_BYTES {
+            return result; // over budget: hand the result back uncached
+        }
+        let shard = self.shard(Self::fingerprint(spec));
+        let mut map = shard.write().expect("probe cache lock poisoned");
+        // A racing worker may have inserted the same probe; keep one copy.
+        let entry = map.entry(spec.clone()).or_insert_with(|| {
+            self.bytes.fetch_add(cost, Ordering::Relaxed);
+            Arc::clone(&result)
+        });
+        Arc::clone(entry)
+    }
+
+    /// Drop every entry (called when the underlying data changes).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("probe cache lock poisoned").clear();
+        }
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("probe cache lock poisoned").len() as u64)
+                .sum(),
+        }
+    }
+}
+
+/// Rough resident size of a cached result (headers + row payload).
+fn estimate_bytes(rs: &ResultSet) -> u64 {
+    let header: usize = rs.columns.iter().map(|c| c.len() + 24).sum::<usize>() + 8;
+    let rows: usize = rs
+        .rows
+        .iter()
+        .map(|r| {
+            r.0.iter()
+                .map(|v| match v {
+                    crate::types::Value::Text(s) => s.len() + 32,
+                    _ => 16,
+                })
+                .sum::<usize>()
+                + 24
+        })
+        .sum();
+    (header + rows) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::join_graph::JoinTree;
+    use crate::query::SelectItem;
+    use crate::schema::{ColumnDef, Schema, TableDef};
+    use crate::types::Value;
+
+    fn db() -> Database {
+        let mut s = Schema::new("t");
+        s.add_table(TableDef::new(
+            "items",
+            vec![ColumnDef::number("id"), ColumnDef::text("name")],
+            Some(0),
+        ));
+        let mut db = Database::new(s).unwrap();
+        db.insert("items", vec![Value::int(1), Value::text("alpha")]).unwrap();
+        db.insert("items", vec![Value::int(2), Value::text("beta")]).unwrap();
+        db.rebuild_index();
+        db
+    }
+
+    fn spec(db: &Database) -> SelectSpec {
+        SelectSpec {
+            select: vec![SelectItem::column(db.schema().column_id("items", "name").unwrap())],
+            join: JoinTree::single(db.schema().table_id("items").unwrap()),
+            limit: Some(1),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_and_counters() {
+        let db = db();
+        let cache = ProbeCache::default();
+        let s = spec(&db);
+        assert!(cache.get(&s).is_none());
+        let rs = crate::executor::execute(&db, &s).unwrap();
+        cache.insert(&s, rs);
+        let hit = cache.get(&s).expect("hit after insert");
+        assert_eq!(hit.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_specs_do_not_alias() {
+        let db = db();
+        let cache = ProbeCache::default();
+        let a = spec(&db);
+        let mut b = spec(&db);
+        b.limit = Some(2);
+        cache.insert(&a, crate::executor::execute(&db, &a).unwrap());
+        cache.insert(&b, crate::executor::execute(&db, &b).unwrap());
+        assert_eq!(cache.get(&a).unwrap().len(), 1);
+        assert_eq!(cache.get(&b).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_bytes() {
+        let db = db();
+        let cache = ProbeCache::default();
+        let s = spec(&db);
+        cache.insert(&s, crate::executor::execute(&db, &s).unwrap());
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+        assert!(cache.get(&s).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let db = db();
+        let a = spec(&db);
+        let mut b = spec(&db);
+        b.distinct = true;
+        assert_eq!(ProbeCache::fingerprint(&a), ProbeCache::fingerprint(&a));
+        assert_ne!(ProbeCache::fingerprint(&a), ProbeCache::fingerprint(&b));
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let earlier = CacheStats { hits: 2, misses: 3, bytes: 10, entries: 1 };
+        let later = CacheStats { hits: 7, misses: 4, bytes: 20, entries: 2 };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.hits, 5);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.entries, 2);
+    }
+}

@@ -1,10 +1,20 @@
 //! Row storage and the loaded [`Database`].
+//!
+//! A `Database` is `Send + Sync` and designed to be shared cheaply behind an
+//! `Arc` by the parallel synthesis session: all query entry points take
+//! `&self`, and the embedded probe/result memo cache ([`ProbeCache`]) uses
+//! interior mutability (sharded locks + atomic counters) so concurrent
+//! readers never need an exclusive borrow.
 
+use crate::cache::{CacheStats, ProbeCache};
 use crate::error::{DbError, DbResult};
+use crate::executor::ResultSet;
 use crate::index::InvertedIndex;
+use crate::query::SelectSpec;
 use crate::schema::{ColumnId, Schema, TableId};
 use crate::types::{DataType, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A single row of values.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -57,13 +67,29 @@ impl TableData {
     }
 }
 
-/// A schema together with its data and the autocomplete inverted index.
-#[derive(Debug, Clone)]
+/// A schema together with its data, the autocomplete inverted index and the
+/// verification-probe memo cache.
+#[derive(Debug)]
 pub struct Database {
     schema: Schema,
     data: Vec<TableData>,
     index: InvertedIndex,
     index_dirty: bool,
+    probe_cache: ProbeCache,
+}
+
+impl Clone for Database {
+    /// Clones carry the schema, data and index; the probe cache starts empty
+    /// (memoized results stay valid only for the instance that produced them).
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            data: self.data.clone(),
+            index: self.index.clone(),
+            index_dirty: self.index_dirty,
+            probe_cache: ProbeCache::default(),
+        }
+    }
 }
 
 impl Database {
@@ -71,7 +97,18 @@ impl Database {
     pub fn new(schema: Schema) -> DbResult<Self> {
         schema.validate()?;
         let data = vec![TableData::default(); schema.table_count()];
-        Ok(Database { schema, data, index: InvertedIndex::default(), index_dirty: false })
+        Ok(Database {
+            schema,
+            data,
+            index: InvertedIndex::default(),
+            index_dirty: false,
+            probe_cache: ProbeCache::default(),
+        })
+    }
+
+    /// Wrap a loaded database for cheap sharing across synthesis workers.
+    pub fn into_shared(self) -> Arc<Database> {
+        Arc::new(self)
     }
 
     /// The schema.
@@ -119,6 +156,7 @@ impl Database {
         }
         self.data[table.0].rows.push(Row(values));
         self.index_dirty = true;
+        self.probe_cache.clear(); // memoized probe results are now stale
         Ok(())
     }
 
@@ -183,7 +221,53 @@ impl Database {
     pub fn column_type(&self, col: ColumnId) -> DataType {
         self.schema.column(col).dtype
     }
+
+    /// Execute a query through the probe/result memo cache: repeated
+    /// executions of a structurally identical spec (the verifier's
+    /// `SELECT … LIMIT 1` probes, most prominently) are answered from the
+    /// cache. The result is shared, not copied.
+    pub fn execute_cached(&self, spec: &SelectSpec) -> DbResult<Arc<ResultSet>> {
+        if let Some(hit) = self.probe_cache.get(spec) {
+            return Ok(hit);
+        }
+        let result = crate::executor::execute(self, spec)?;
+        Ok(self.probe_cache.insert(spec, result))
+    }
+
+    /// Like [`Database::execute_cached`], additionally attributing the
+    /// hit/miss to a caller-owned per-run counter set (the database's global
+    /// counters are shared by every run touching this instance).
+    pub fn execute_cached_with(
+        &self,
+        spec: &SelectSpec,
+        counters: &crate::cache::RunCacheCounters,
+    ) -> DbResult<Arc<ResultSet>> {
+        if let Some(hit) = self.probe_cache.get(spec) {
+            counters.record(true);
+            return Ok(hit);
+        }
+        counters.record(false);
+        let result = crate::executor::execute(self, spec)?;
+        Ok(self.probe_cache.insert(spec, result))
+    }
+
+    /// Cumulative probe-cache counters for this database instance.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.probe_cache.stats()
+    }
+
+    /// Drop all memoized probe results.
+    pub fn clear_probe_cache(&self) {
+        self.probe_cache.clear();
+    }
 }
+
+// The parallel synthesis session shares one `Database` across its worker
+// pool; keep the compiler holding us to that contract.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>()
+};
 
 #[cfg(test)]
 mod tests {
@@ -203,8 +287,7 @@ mod tests {
     #[test]
     fn insert_and_read_back() {
         let mut d = db();
-        d.insert("actor", vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956)])
-            .unwrap();
+        d.insert("actor", vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956)]).unwrap();
         d.insert("actor", vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964)])
             .unwrap();
         assert_eq!(d.total_rows(), 2);

@@ -29,14 +29,12 @@ impl fmt::Display for DbError {
             DbError::UnknownColumn { table, column } => {
                 write!(f, "unknown column `{table}`.`{column}`")
             }
-            DbError::ArityMismatch { table, expected, got } => write!(
-                f,
-                "row arity mismatch on `{table}`: expected {expected} values, got {got}"
-            ),
-            DbError::TypeMismatch { table, column, expected, got } => write!(
-                f,
-                "type mismatch on `{table}`.`{column}`: expected {expected}, got {got}"
-            ),
+            DbError::ArityMismatch { table, expected, got } => {
+                write!(f, "row arity mismatch on `{table}`: expected {expected} values, got {got}")
+            }
+            DbError::TypeMismatch { table, column, expected, got } => {
+                write!(f, "type mismatch on `{table}`.`{column}`: expected {expected}, got {got}")
+            }
             DbError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
             DbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             DbError::DisconnectedJoin(msg) => write!(f, "disconnected join: {msg}"),
@@ -73,13 +71,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            DbError::UnknownTable("a".into()),
-            DbError::UnknownTable("a".into())
-        );
-        assert_ne!(
-            DbError::UnknownTable("a".into()),
-            DbError::UnknownTable("b".into())
-        );
+        assert_eq!(DbError::UnknownTable("a".into()), DbError::UnknownTable("a".into()));
+        assert_ne!(DbError::UnknownTable("a".into()), DbError::UnknownTable("b".into()));
     }
 }

@@ -159,11 +159,17 @@ fn join_tables(db: &Database, spec: &SelectSpec) -> DbResult<Joined> {
         let edge = remaining_edges.remove(pos);
         let (a, b) = edge.tables();
         let (new_table, joined_col, new_col) = if joined_tables.contains(&a) {
-            (b, if edge.fk.from.table == a { edge.fk.from } else { edge.fk.to },
-             if edge.fk.from.table == b { edge.fk.from } else { edge.fk.to })
+            (
+                b,
+                if edge.fk.from.table == a { edge.fk.from } else { edge.fk.to },
+                if edge.fk.from.table == b { edge.fk.from } else { edge.fk.to },
+            )
         } else {
-            (a, if edge.fk.from.table == b { edge.fk.from } else { edge.fk.to },
-             if edge.fk.from.table == a { edge.fk.from } else { edge.fk.to })
+            (
+                a,
+                if edge.fk.from.table == b { edge.fk.from } else { edge.fk.to },
+                if edge.fk.from.table == a { edge.fk.from } else { edge.fk.to },
+            )
         };
 
         // Build a hash table over the new table's join column.
@@ -282,18 +288,12 @@ fn aggregate(joined: &Joined, rows: &[usize], agg: AggFunc, col: Option<ColumnId
                 Value::Number(nums.iter().sum::<f64>() / nums.len() as f64)
             }
         }
-        AggFunc::Min => values
-            .iter()
-            .cloned()
-            .cloned()
-            .min_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null),
-        AggFunc::Max => values
-            .iter()
-            .cloned()
-            .cloned()
-            .max_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null),
+        AggFunc::Min => {
+            values.iter().cloned().cloned().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+        }
+        AggFunc::Max => {
+            values.iter().cloned().cloned().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+        }
     }
 }
 
@@ -340,11 +340,8 @@ fn group_records(joined: &Joined, filtered: Vec<usize>, spec: &SelectSpec) -> Ve
         if !spec.having.iter().all(|h| eval_having(joined, &rows, h)) {
             continue;
         }
-        let projected: Vec<Value> = spec
-            .select
-            .iter()
-            .map(|item| project_item(joined, &rows, item))
-            .collect();
+        let projected: Vec<Value> =
+            spec.select.iter().map(|item| project_item(joined, &rows, item)).collect();
         let order_key = spec.order_by.map(|o| match o.key {
             OrderKey::Column(c) => rows
                 .first()
@@ -430,7 +427,9 @@ fn finalize(db: &Database, spec: &SelectSpec, mut records: Vec<Record>) -> DbRes
                 types.push(schema.column(c).dtype);
             }
             (None, None) => {
-                return Err(DbError::InvalidQuery("SELECT item with neither aggregate nor column".into()))
+                return Err(DbError::InvalidQuery(
+                    "SELECT item with neither aggregate nor column".into(),
+                ))
             }
         }
     }
@@ -473,9 +472,24 @@ mod tests {
         db.insert_all(
             "actor",
             vec![
-                vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956), Value::text("male")],
-                vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964), Value::text("female")],
-                vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963), Value::text("male")],
+                vec![
+                    Value::int(1),
+                    Value::text("Tom Hanks"),
+                    Value::int(1956),
+                    Value::text("male"),
+                ],
+                vec![
+                    Value::int(2),
+                    Value::text("Sandra Bullock"),
+                    Value::int(1964),
+                    Value::text("female"),
+                ],
+                vec![
+                    Value::int(3),
+                    Value::text("Brad Pitt"),
+                    Value::int(1963),
+                    Value::text("male"),
+                ],
             ],
         )
         .unwrap();
@@ -572,7 +586,10 @@ mod tests {
         let schema = db.schema();
         let graph = JoinGraph::new(schema);
         let join = graph
-            .steiner_tree(&[schema.table_id("actor").unwrap(), schema.table_id("starring").unwrap()])
+            .steiner_tree(&[
+                schema.table_id("actor").unwrap(),
+                schema.table_id("starring").unwrap(),
+            ])
             .unwrap();
         let gender = col(&db, "actor", "gender");
         let spec = SelectSpec {
@@ -623,7 +640,10 @@ mod tests {
         let schema = db.schema();
         let graph = JoinGraph::new(schema);
         let join = graph
-            .steiner_tree(&[schema.table_id("actor").unwrap(), schema.table_id("starring").unwrap()])
+            .steiner_tree(&[
+                schema.table_id("actor").unwrap(),
+                schema.table_id("starring").unwrap(),
+            ])
             .unwrap();
         let gender = col(&db, "actor", "gender");
         let spec = SelectSpec {

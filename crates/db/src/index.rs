@@ -56,10 +56,8 @@ impl InvertedIndex {
         let exact = exact
             .into_iter()
             .map(|(k, per_col)| {
-                let mut hits: Vec<IndexHit> = per_col
-                    .into_iter()
-                    .map(|(column, count)| IndexHit { column, count })
-                    .collect();
+                let mut hits: Vec<IndexHit> =
+                    per_col.into_iter().map(|(column, count)| IndexHit { column, count }).collect();
                 hits.sort_by_key(|h| (h.column.table, h.column.column));
                 (k, hits)
             })
@@ -153,7 +151,10 @@ mod tests {
     fn autocomplete_prefix() {
         let d = db();
         let opts = d.index().autocomplete("sig", 10);
-        assert_eq!(opts, vec!["sigir".to_string(), "sigmod".to_string(), "sigmund freud".to_string()]);
+        assert_eq!(
+            opts,
+            vec!["sigir".to_string(), "sigmod".to_string(), "sigmund freud".to_string()]
+        );
         let capped = d.index().autocomplete("sig", 2);
         assert_eq!(capped.len(), 2);
     }

@@ -183,7 +183,10 @@ impl JoinGraph {
                     for (ri, r) in remaining.iter().enumerate() {
                         for t in &tables {
                             if let Some(path) = self.shortest_path(*t, *r) {
-                                if best.as_ref().map(|(_, len, _)| path.len() < *len).unwrap_or(true)
+                                if best
+                                    .as_ref()
+                                    .map(|(_, len, _)| path.len() < *len)
+                                    .unwrap_or(true)
                                 {
                                     best = Some((ri, path.len(), path));
                                 }

@@ -18,6 +18,7 @@
 //! prototype compiled candidate queries and verification probes down to SQL
 //! executed on PostgreSQL.
 
+pub mod cache;
 pub mod database;
 pub mod error;
 pub mod executor;
@@ -27,6 +28,7 @@ pub mod query;
 pub mod schema;
 pub mod types;
 
+pub use cache::{CacheStats, ProbeCache, RunCacheCounters};
 pub use database::{Database, Row, TableData};
 pub use error::DbError;
 pub use executor::{execute, ResultSet};

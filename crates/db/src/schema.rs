@@ -74,7 +74,11 @@ pub struct TableDef {
 
 impl TableDef {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: Option<usize>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Option<usize>,
+    ) -> Self {
         TableDef { name: name.into(), columns, primary_key }
     }
 

@@ -89,7 +89,9 @@ impl Value {
     pub fn sql_eq(&self, other: &Value) -> bool {
         match (self, other) {
             (Value::Text(a), Value::Text(b)) => a.eq_ignore_ascii_case(b),
-            (Value::Number(a), Value::Number(b)) => (a - b).abs() < f64::EPSILON * a.abs().max(b.abs()).max(1.0),
+            (Value::Number(a), Value::Number(b)) => {
+                (a - b).abs() < f64::EPSILON * a.abs().max(b.abs()).max(1.0)
+            }
             _ => false,
         }
     }
@@ -206,6 +208,32 @@ impl PartialEq for Value {
     }
 }
 
+// `PartialEq` above is a total equivalence: NaN equals NaN, so reflexivity
+// holds and `Eq` is sound.
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Text(s) => {
+                1u8.hash(state);
+                s.hash(state);
+            }
+            Value::Number(n) => {
+                2u8.hash(state);
+                // Consistent with `PartialEq`: all NaNs are equal, and
+                // -0.0 == 0.0 (adding 0.0 folds -0.0 onto +0.0).
+                if n.is_nan() {
+                    f64::NAN.to_bits().hash(state);
+                } else {
+                    (n + 0.0).to_bits().hash(state);
+                }
+            }
+        }
+    }
+}
+
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
         Value::Text(s.to_string())
@@ -268,14 +296,8 @@ mod tests {
 
     #[test]
     fn sql_cmp_numbers_and_text() {
-        assert_eq!(
-            Value::int(1994).sql_cmp(&Value::int(1995)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::text("b").sql_cmp(&Value::text("A")),
-            Some(Ordering::Greater)
-        );
+        assert_eq!(Value::int(1994).sql_cmp(&Value::int(1995)), Some(Ordering::Less));
+        assert_eq!(Value::text("b").sql_cmp(&Value::text("A")), Some(Ordering::Greater));
         assert_eq!(Value::int(1).sql_cmp(&Value::text("a")), None);
         assert_eq!(Value::Null.sql_cmp(&Value::int(1)), None);
     }
@@ -299,7 +321,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_across_types() {
-        let mut vals = vec![Value::text("z"), Value::Null, Value::int(4), Value::int(2)];
+        let mut vals = [Value::text("z"), Value::Null, Value::int(4), Value::int(2)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::int(2));

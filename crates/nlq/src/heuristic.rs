@@ -55,24 +55,54 @@ impl Cues {
             avg: nlq.contains_phrase(&["average", "mean "]),
             sum: nlq.contains_phrase(&["total", "sum of", "combined"]),
             order: nlq.contains_phrase(&[
-                "order", "sorted", "sort", "rank", "from earliest", "from most", "from least",
-                "most recent", "earliest to", "oldest to", "newest",
+                "order",
+                "sorted",
+                "sort",
+                "rank",
+                "from earliest",
+                "from most",
+                "from least",
+                "most recent",
+                "earliest to",
+                "oldest to",
+                "newest",
             ]),
             descending: nlq.contains_phrase(&[
-                "most to least", "descending", "newest", "most recent first", "highest first",
+                "most to least",
+                "descending",
+                "newest",
+                "most recent first",
+                "highest first",
                 "from most",
             ]),
             ascending: nlq.contains_phrase(&[
-                "least to most", "ascending", "earliest to", "oldest to", "from earliest",
-                "from oldest", "from least",
+                "least to most",
+                "ascending",
+                "earliest to",
+                "oldest to",
+                "from earliest",
+                "from oldest",
+                "from least",
             ]),
             group: nlq.contains_phrase(&["each", "per ", "for every", "number of", "how many"]),
             top: nlq.contains_phrase(&["top ", "first ", "best "]),
             greater: nlq.contains_phrase(&[
-                "more than", "greater than", "over ", "after", "above", "at least", "later than",
+                "more than",
+                "greater than",
+                "over ",
+                "after",
+                "above",
+                "at least",
+                "later than",
             ]),
             less: nlq.contains_phrase(&[
-                "less than", "fewer than", "under ", "before", "below", "at most", "earlier than",
+                "less than",
+                "fewer than",
+                "under ",
+                "before",
+                "below",
+                "at most",
+                "earlier than",
             ]),
             between: nlq.contains_phrase(&["between", "sometime between", "from 1", "from 2"]),
             like: nlq.contains_phrase(&["containing", "contains", "includes", "starting with"]),
@@ -192,12 +222,7 @@ impl GuidanceModel for HeuristicGuidance {
                     for c in cols {
                         let sim = column_similarity(ctx.nlq, ctx.schema, *c);
                         let dt = ctx.schema.column(*c).dtype;
-                        let lit_bonus = if ctx
-                            .nlq
-                            .literals
-                            .iter()
-                            .any(|l| l.data_type() == dt)
-                        {
+                        let lit_bonus = if ctx.nlq.literals.iter().any(|l| l.data_type() == dt) {
                             0.3
                         } else {
                             0.0
@@ -295,7 +320,8 @@ impl GuidanceModel for HeuristicGuidance {
                     Some(h) => {
                         let literal_match =
                             ctx.nlq.literals.iter().any(|l| l.value.sql_eq(&h.value));
-                        let base = if cues.count && (cues.greater || cues.less) { 0.6 } else { 0.1 };
+                        let base =
+                            if cues.count && (cues.greater || cues.less) { 0.6 } else { 0.1 };
                         if literal_match {
                             base
                         } else {
@@ -328,7 +354,9 @@ impl GuidanceModel for HeuristicGuidance {
                             0.3
                         };
                         let key_score = match o.key {
-                            OrderKey::Column(c) => column_similarity(ctx.nlq, ctx.schema, c).max(0.05),
+                            OrderKey::Column(c) => {
+                                column_similarity(ctx.nlq, ctx.schema, c).max(0.05)
+                            }
                             OrderKey::Aggregate(AggFunc::Count, _) => {
                                 if cues.count {
                                     0.6
@@ -475,7 +503,10 @@ mod tests {
         let scores = m.score(
             &ctx,
             &[
-                Choice::SelectColumns(vec![SelectColumn::Column(title), SelectColumn::Column(year)]),
+                Choice::SelectColumns(vec![
+                    SelectColumn::Column(title),
+                    SelectColumn::Column(year),
+                ]),
                 Choice::SelectColumns(vec![SelectColumn::Column(name)]),
             ],
         );

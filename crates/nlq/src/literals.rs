@@ -8,7 +8,7 @@
 //! check.
 
 use crate::tokenize::tokenize;
-use duoquest_db::{ColumnId, Database, DataType, Value};
+use duoquest_db::{ColumnId, DataType, Database, Value};
 use serde::{Deserialize, Serialize};
 
 /// Whether a literal is a text value or a number.
@@ -92,8 +92,10 @@ pub fn extract_literals(text: &str, db: Option<&Database>) -> Vec<Literal> {
 
     // Database-backed n-gram matching (autocomplete emulation).
     if let Some(db) = db {
-        let words: Vec<&str> =
-            text.split(|c: char| !c.is_alphanumeric() && c != '\'').filter(|s| !s.is_empty()).collect();
+        let words: Vec<&str> = text
+            .split(|c: char| !c.is_alphanumeric() && c != '\'')
+            .filter(|s| !s.is_empty())
+            .collect();
         for n in (1..=4usize).rev() {
             for window in words.windows(n) {
                 let candidate = window.join(" ");
@@ -121,10 +123,8 @@ pub fn candidate_columns(db: &Database, literal: &Literal) -> Vec<ColumnId> {
     match literal.kind {
         LiteralKind::Number => Vec::new(),
         LiteralKind::Text => {
-            let mut hits: Vec<_> = db
-                .index()
-                .lookup(literal.value.as_text().unwrap_or(&literal.surface))
-                .to_vec();
+            let mut hits: Vec<_> =
+                db.index().lookup(literal.value.as_text().unwrap_or(&literal.surface)).to_vec();
             hits.sort_by_key(|h| std::cmp::Reverse(h.count));
             hits.into_iter().map(|h| h.column).collect()
         }

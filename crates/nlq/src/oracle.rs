@@ -186,17 +186,14 @@ impl NoisyOracleGuidance {
             }),
             Choice::WhereColumns(cols) => {
                 let mut got: Vec<_> = cols.clone();
-                let mut want: Vec<_> =
-                    self.gold.predicates.iter().filter_map(|p| p.col).collect();
+                let mut want: Vec<_> = self.gold.predicates.iter().filter_map(|p| p.col).collect();
                 got.sort();
                 want.sort();
                 got == want
             }
-            Choice::Operator { column, op } => self
-                .gold
-                .predicates
-                .iter()
-                .any(|p| p.col == Some(*column) && p.op == *op),
+            Choice::Operator { column, op } => {
+                self.gold.predicates.iter().any(|p| p.col == Some(*column) && p.op == *op)
+            }
             Choice::PredicateValue { column, op, value, value2 } => {
                 self.gold.predicates.iter().any(|p| {
                     p.col == Some(*column)
@@ -227,9 +224,7 @@ impl NoisyOracleGuidance {
             Choice::OrderBy(o) => match (o, &self.gold.order_by) {
                 (None, None) => true,
                 (Some(o), Some(g)) => {
-                    order_key_eq(&o.key, &g.key)
-                        && o.desc == g.desc
-                        && o.limit == self.gold.limit
+                    order_key_eq(&o.key, &g.key) && o.desc == g.desc && o.limit == self.gold.limit
                 }
                 _ => false,
             },
@@ -269,9 +264,7 @@ fn gold_clauses(gold: &SelectSpec) -> ClauseSet {
 
 /// The optional ORDER BY choice corresponding to a gold query, convenient for tests.
 pub fn gold_order_choice(gold: &SelectSpec) -> Option<OrderChoice> {
-    gold.order_by
-        .as_ref()
-        .map(|o| OrderChoice { key: o.key, desc: o.desc, limit: gold.limit })
+    gold.order_by.as_ref().map(|o| OrderChoice { key: o.key, desc: o.desc, limit: gold.limit })
 }
 
 impl GuidanceModel for NoisyOracleGuidance {
@@ -297,7 +290,15 @@ impl GuidanceModel for NoisyOracleGuidance {
             candidates
                 .iter()
                 .zip(&consistent)
-                .map(|(_, is_gold)| if *is_gold { 0.75 / n_gold as f64 } else { 0.25 / n_other as f64 })
+                .map(
+                    |(_, is_gold)| {
+                        if *is_gold {
+                            0.75 / n_gold as f64
+                        } else {
+                            0.25 / n_other as f64
+                        }
+                    },
+                )
                 .collect()
         } else {
             // Mis-ranking: a random non-gold candidate is boosted above the gold
@@ -330,9 +331,7 @@ impl GuidanceModel for NoisyOracleGuidance {
 mod tests {
     use super::*;
     use crate::tokenize::Nlq;
-    use duoquest_db::{
-        AggFunc, CmpOp, ColumnDef, JoinTree, Schema, SelectItem, TableDef, Value,
-    };
+    use duoquest_db::{AggFunc, CmpOp, ColumnDef, JoinTree, Schema, SelectItem, TableDef, Value};
 
     fn schema() -> Schema {
         let mut s = Schema::new("m");
@@ -383,10 +382,9 @@ mod tests {
         let year = s.column_id("movies", "year").unwrap();
         assert!(oracle.consistent(&Choice::SelectColumns(vec![SelectColumn::Column(name)])));
         assert!(!oracle.consistent(&Choice::SelectColumns(vec![SelectColumn::Star])));
-        assert!(oracle.consistent(&Choice::Aggregate {
-            column: SelectColumn::Column(name),
-            agg: None
-        }));
+        assert!(
+            oracle.consistent(&Choice::Aggregate { column: SelectColumn::Column(name), agg: None })
+        );
         assert!(oracle.consistent(&Choice::WhereColumns(vec![year])));
         assert!(oracle.consistent(&Choice::Operator { column: year, op: CmpOp::Lt }));
         assert!(!oracle.consistent(&Choice::Operator { column: year, op: CmpOp::Gt }));
@@ -436,8 +434,7 @@ mod tests {
                 seed,
                 OracleConfig::default().scaled(0.3),
             );
-            let high =
-                NoisyOracleGuidance::with_config(g.clone(), seed, OracleConfig::perfect());
+            let high = NoisyOracleGuidance::with_config(g.clone(), seed, OracleConfig::perfect());
             let candidates: Vec<Choice> =
                 CmpOp::ALL.iter().map(|op| Choice::Operator { column: year, op: *op }).collect();
             let gold_idx =

@@ -12,11 +12,7 @@ use duoquest_db::{ColumnId, Schema};
 /// Split a schema identifier such as `birth_yr` or `domain_conference` into
 /// normalized word tokens.
 pub fn identifier_tokens(identifier: &str) -> Vec<String> {
-    identifier
-        .split(['_', ' ', '.'])
-        .filter(|s| !s.is_empty())
-        .map(normalize_token)
-        .collect()
+    identifier.split(['_', ' ', '.']).filter(|s| !s.is_empty()).map(normalize_token).collect()
 }
 
 /// Character trigram Jaccard similarity between two words.

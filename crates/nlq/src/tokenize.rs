@@ -5,9 +5,9 @@ use serde::{Deserialize, Serialize};
 
 /// Common English stop words removed before matching tokens against schema names.
 const STOP_WORDS: [&str; 32] = [
-    "a", "an", "the", "of", "in", "on", "for", "to", "and", "or", "with", "by", "from", "at",
-    "is", "are", "was", "were", "be", "been", "their", "its", "his", "her", "each", "every",
-    "all", "that", "those", "these", "which", "who",
+    "a", "an", "the", "of", "in", "on", "for", "to", "and", "or", "with", "by", "from", "at", "is",
+    "are", "was", "were", "be", "been", "their", "its", "his", "her", "each", "every", "all",
+    "that", "those", "these", "which", "who",
 ];
 
 /// A tokenized natural language query together with its tagged literal values.

@@ -185,9 +185,9 @@ impl<'a> QueryBuilder<'a> {
 
 /// Resolve a `table.column` name against a schema.
 pub fn parse_qualified(schema: &Schema, qualified: &str) -> SqlResult<duoquest_db::ColumnId> {
-    let (table, column) = qualified
-        .split_once('.')
-        .ok_or_else(|| SqlError::UnknownIdentifier(format!("expected table.column, got `{qualified}`")))?;
+    let (table, column) = qualified.split_once('.').ok_or_else(|| {
+        SqlError::UnknownIdentifier(format!("expected table.column, got `{qualified}`"))
+    })?;
     Ok(schema.column_id(table.trim(), column.trim())?)
 }
 

@@ -68,8 +68,10 @@ fn predicates_equiv(a: &SelectSpec, b: &SelectSpec) -> bool {
     if a.predicates.len() > 1 {
         let op_a = a.predicate_op;
         let op_b = b.predicate_op;
-        if !matches!((op_a, op_b), (LogicalOp::And, LogicalOp::And) | (LogicalOp::Or, LogicalOp::Or))
-        {
+        if !matches!(
+            (op_a, op_b),
+            (LogicalOp::And, LogicalOp::And) | (LogicalOp::Or, LogicalOp::Or)
+        ) {
             return false;
         }
     }
@@ -208,7 +210,8 @@ mod tests {
         let mut a = base(&s);
         a.select = vec![SelectItem::count_star()];
         let mut b = base(&s);
-        b.select = vec![SelectItem::aggregate(AggFunc::Count, s.column_id("movies", "name").unwrap())];
+        b.select =
+            vec![SelectItem::aggregate(AggFunc::Count, s.column_id("movies", "name").unwrap())];
         assert!(!queries_equivalent(&a, &b));
     }
 }

@@ -28,8 +28,7 @@ pub fn render_sql(spec: &SelectSpec, schema: &Schema) -> String {
     }
     if !spec.group_by.is_empty() {
         out.push_str(" GROUP BY ");
-        let cols: Vec<String> =
-            spec.group_by.iter().map(|c| schema.qualified_name(*c)).collect();
+        let cols: Vec<String> = spec.group_by.iter().map(|c| schema.qualified_name(*c)).collect();
         out.push_str(&cols.join(", "));
     }
     if !spec.having.is_empty() {
@@ -265,9 +264,8 @@ mod tests {
     fn render_complete_query() {
         let s = schema();
         let g = JoinGraph::new(&s);
-        let join = g
-            .steiner_tree(&[s.table_id("actor").unwrap(), s.table_id("movies").unwrap()])
-            .unwrap();
+        let join =
+            g.steiner_tree(&[s.table_id("actor").unwrap(), s.table_id("movies").unwrap()]).unwrap();
         let spec = SelectSpec {
             select: vec![
                 SelectItem::column(s.column_id("movies", "name").unwrap()),

@@ -50,7 +50,11 @@ fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
             // Quoted string literal (straight or curly quotes).
             let mut s = String::new();
             i += 1;
-            while i < chars.len() && chars[i] != '\'' && chars[i] != '\u{2019}' && chars[i] != '\u{2018}' {
+            while i < chars.len()
+                && chars[i] != '\''
+                && chars[i] != '\u{2019}'
+                && chars[i] != '\u{2018}'
+            {
                 s.push(chars[i]);
                 i += 1;
             }
@@ -78,9 +82,7 @@ fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
                 i += 1;
             }
             let start = i;
-            while i < chars.len()
-                && (chars[i].is_alphanumeric() || chars[i] == '_')
-            {
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                 i += 1;
             }
             let ident: String = chars[start..i].iter().collect();
@@ -266,10 +268,8 @@ impl<'a> Parser<'a> {
             .iter()
             .map(|p| resolver.resolve_predicate(p, true))
             .collect::<SqlResult<Vec<_>>>()?;
-        let group_by = raw_group
-            .iter()
-            .map(|c| resolver.resolve_column(c))
-            .collect::<SqlResult<Vec<_>>>()?;
+        let group_by =
+            raw_group.iter().map(|c| resolver.resolve_column(c)).collect::<SqlResult<Vec<_>>>()?;
         let order_by = match raw_order {
             None => None,
             Some((expr, desc)) => {
@@ -283,9 +283,11 @@ impl<'a> Parser<'a> {
                     };
                     OrderKey::Aggregate(agg, col)
                 } else {
-                    OrderKey::Column(resolver.resolve_column(expr.col.as_ref().ok_or_else(
-                        || SqlError::Parse("ORDER BY requires a column".into()),
-                    )?)?)
+                    OrderKey::Column(
+                        resolver.resolve_column(expr.col.as_ref().ok_or_else(|| {
+                            SqlError::Parse("ORDER BY requires a column".into())
+                        })?)?,
+                    )
                 };
                 Some(OrderSpec { key, desc })
             }
@@ -336,7 +338,9 @@ impl<'a> Parser<'a> {
             let second = match self.next() {
                 Some(Token::Ident(s)) => s,
                 other => {
-                    return Err(SqlError::Parse(format!("expected column after `.`, got {other:?}")))
+                    return Err(SqlError::Parse(format!(
+                        "expected column after `.`, got {other:?}"
+                    )))
                 }
             };
             Ok(RawColumn { qualifier: Some(first), name: second })
@@ -673,17 +677,11 @@ mod tests {
     #[test]
     fn parse_or_and_between_and_like() {
         let s = schema();
-        let q = parse_query(
-            &s,
-            "SELECT title FROM publication WHERE year < 1995 OR year > 2000",
-        )
-        .unwrap();
+        let q = parse_query(&s, "SELECT title FROM publication WHERE year < 1995 OR year > 2000")
+            .unwrap();
         assert_eq!(q.predicate_op, LogicalOp::Or);
-        let q = parse_query(
-            &s,
-            "SELECT title FROM publication WHERE year BETWEEN 2010 AND 2017",
-        )
-        .unwrap();
+        let q = parse_query(&s, "SELECT title FROM publication WHERE year BETWEEN 2010 AND 2017")
+            .unwrap();
         assert_eq!(q.predicates[0].op, CmpOp::Between);
         assert_eq!(q.predicates[0].value2, Some(Value::int(2017)));
         let q = parse_query(&s, "SELECT name FROM conference WHERE name LIKE '%SIG%'").unwrap();
@@ -693,11 +691,8 @@ mod tests {
     #[test]
     fn parse_distinct_and_unqualified_columns() {
         let s = schema();
-        let q = parse_query(
-            &s,
-            "SELECT DISTINCT title FROM publication ORDER BY year DESC",
-        )
-        .unwrap();
+        let q =
+            parse_query(&s, "SELECT DISTINCT title FROM publication ORDER BY year DESC").unwrap();
         assert!(q.distinct);
         assert!(q.order_by.unwrap().desc);
     }

@@ -127,10 +127,15 @@ impl PartialPredicate {
 
     /// Lower to an executable predicate (requires completeness).
     pub fn to_predicate(&self) -> SqlResult<Predicate> {
-        let col = *self.col.as_ref().ok_or_else(|| SqlError::Incomplete("predicate column".into()))?;
-        let op = *self.op.as_ref().ok_or_else(|| SqlError::Incomplete("predicate operator".into()))?;
-        let value =
-            self.value.as_ref().ok_or_else(|| SqlError::Incomplete("predicate value".into()))?.clone();
+        let col =
+            *self.col.as_ref().ok_or_else(|| SqlError::Incomplete("predicate column".into()))?;
+        let op =
+            *self.op.as_ref().ok_or_else(|| SqlError::Incomplete("predicate operator".into()))?;
+        let value = self
+            .value
+            .as_ref()
+            .ok_or_else(|| SqlError::Incomplete("predicate value".into()))?
+            .clone();
         Ok(Predicate { agg: None, col: Some(col), op, value, value2: self.value2.clone() })
     }
 }
@@ -151,7 +156,10 @@ pub struct PartialHaving {
 impl PartialHaving {
     /// Whether all parts are decided.
     pub fn is_complete(&self) -> bool {
-        self.agg.is_filled() && self.col.is_filled() && self.op.is_filled() && self.value.is_filled()
+        self.agg.is_filled()
+            && self.col.is_filled()
+            && self.op.is_filled()
+            && self.value.is_filled()
     }
 
     /// Lower to an executable HAVING predicate.

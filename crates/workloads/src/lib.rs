@@ -82,11 +82,8 @@ mod tests {
         ));
         let easy = QueryBuilder::new(&s).select("t.name").build().unwrap();
         assert_eq!(Difficulty::classify(&easy), Difficulty::Easy);
-        let medium = QueryBuilder::new(&s)
-            .select("t.name")
-            .filter("t.x", CmpOp::Gt, 3)
-            .build()
-            .unwrap();
+        let medium =
+            QueryBuilder::new(&s).select("t.name").filter("t.x", CmpOp::Gt, 3).build().unwrap();
         assert_eq!(Difficulty::classify(&medium), Difficulty::Medium);
         let hard = QueryBuilder::new(&s)
             .select("t.name")
@@ -96,6 +93,9 @@ mod tests {
             .unwrap();
         assert_eq!(Difficulty::classify(&hard), Difficulty::Hard);
         assert_eq!(hard.group_by.len(), 1);
-        assert_eq!(format!("{} {} {}", Difficulty::Easy, Difficulty::Medium, Difficulty::Hard), "easy medium hard");
+        assert_eq!(
+            format!("{} {} {}", Difficulty::Easy, Difficulty::Medium, Difficulty::Hard),
+            "easy medium hard"
+        );
     }
 }

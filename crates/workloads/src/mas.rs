@@ -12,11 +12,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The generated MAS-like dataset: the loaded database plus the entity names
-/// the user-study tasks refer to.
+/// the user-study tasks refer to. The database is `Arc`-shared so synthesis
+/// sessions (and their worker pools) can reference it without copying rows.
 #[derive(Debug, Clone)]
 pub struct MasDataset {
-    /// The loaded, indexed database.
-    pub db: Database,
+    /// The loaded, indexed database, shared across sessions.
+    pub db: std::sync::Arc<Database>,
     /// The conference used as "conference C" in the tasks.
     pub conference_c: String,
     /// The author used as "author A".
@@ -351,7 +352,7 @@ pub fn generate(seed: u64, scale: f64) -> MasDataset {
 
     db.rebuild_index();
     MasDataset {
-        db,
+        db: db.into_shared(),
         conference_c: "SIGMOD".to_string(),
         author_a: "Alice Smith".to_string(),
         organization_r: "University of Michigan".to_string(),

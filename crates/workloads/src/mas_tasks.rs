@@ -26,7 +26,13 @@ pub struct MasTask {
     pub gold: SelectSpec,
 }
 
-fn task(mas: &MasDataset, id: &'static str, description: String, nlq_text: String, sql: String) -> MasTask {
+fn task(
+    mas: &MasDataset,
+    id: &'static str,
+    description: String,
+    nlq_text: String,
+    sql: String,
+) -> MasTask {
     let gold = parse_query(mas.db.schema(), &sql)
         .unwrap_or_else(|e| panic!("task {id}: failed to parse gold SQL ({e}): {sql}"));
     let literals = extract_literals(&nlq_text, Some(&mas.db));

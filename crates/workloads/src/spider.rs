@@ -9,8 +9,8 @@
 
 use crate::Difficulty;
 use duoquest_db::{
-    execute, AggFunc, CmpOp, ColumnDef, ColumnId, Database, DataType, Schema, SelectSpec,
-    TableDef, Value,
+    execute, AggFunc, CmpOp, ColumnDef, ColumnId, DataType, Database, Schema, SelectSpec, TableDef,
+    Value,
 };
 use duoquest_nlq::{Literal, Nlq};
 use duoquest_sql::QueryBuilder;
@@ -38,15 +38,17 @@ pub struct SpiderTask {
 pub struct SpiderDataset {
     /// Split name ("dev" or "test").
     pub name: String,
-    /// The generated databases.
-    pub databases: Vec<Database>,
+    /// The generated databases, `Arc`-shared so per-task synthesis sessions
+    /// can reference them without copying rows.
+    pub databases: Vec<std::sync::Arc<Database>>,
     /// The generated tasks.
     pub tasks: Vec<SpiderTask>,
 }
 
 impl SpiderDataset {
-    /// The database a task runs against.
-    pub fn database(&self, task: &SpiderTask) -> &Database {
+    /// The database a task runs against (clone the `Arc` to share it with a
+    /// synthesis session).
+    pub fn database(&self, task: &SpiderTask) -> &std::sync::Arc<Database> {
         &self.databases[task.db_index]
     }
 
@@ -86,7 +88,8 @@ pub fn generate(
     seed: u64,
 ) -> SpiderDataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let databases: Vec<Database> = (0..n_databases).map(|i| generate_database(&mut rng, i)).collect();
+    let databases: Vec<std::sync::Arc<Database>> =
+        (0..n_databases).map(|i| generate_database(&mut rng, i).into_shared()).collect();
     let mut tasks = Vec::with_capacity(n_easy + n_medium + n_hard);
     let mut task_no = 0usize;
     for (level, count) in
@@ -196,7 +199,12 @@ fn generate_database(rng: &mut StdRng, index: usize) -> Database {
             None,
         ));
         schema
-            .add_foreign_key(&bridge_name, &format!("{parent}_id"), &parent, &format!("{parent}_id"))
+            .add_foreign_key(
+                &bridge_name,
+                &format!("{parent}_id"),
+                &parent,
+                &format!("{parent}_id"),
+            )
             .unwrap();
         schema
             .add_foreign_key(&bridge_name, &format!("{last}_id"), &last, &format!("{last}_id"))
@@ -305,7 +313,8 @@ fn generate_task(rng: &mut StdRng, db: &Database, level: Difficulty) -> Option<(
         }
         (_, 1) => {
             builder = builder.select(&text_name);
-            text_parts.push(format!("list the {} of all {table_name}s", schema.column(text_col).name));
+            text_parts
+                .push(format!("list the {} of all {table_name}s", schema.column(text_col).name));
         }
         _ => {
             let agg = [AggFunc::Max, AggFunc::Min, AggFunc::Avg][rng.gen_range(0..3)];
@@ -326,12 +335,8 @@ fn generate_task(rng: &mut StdRng, db: &Database, level: Difficulty) -> Option<(
     if level != Difficulty::Easy && (level == Difficulty::Medium || rng.gen_bool(0.5)) {
         // Value predicate over a different column than the projected text column
         // so the "constant output column" semantic rule is not violated.
-        let candidates: Vec<ColumnId> = text_cols
-            .iter()
-            .chain(num_cols.iter())
-            .copied()
-            .filter(|c| *c != text_col)
-            .collect();
+        let candidates: Vec<ColumnId> =
+            text_cols.iter().chain(num_cols.iter()).copied().filter(|c| *c != text_col).collect();
         let pred_col = if candidates.is_empty() {
             num_col
         } else {
@@ -474,19 +479,13 @@ mod tests {
     #[test]
     fn schema_statistics_are_in_the_table5_ballpark() {
         let ds = generate_small(5);
-        let avg_tables: f64 = ds
-            .databases
-            .iter()
-            .map(|d| d.schema().table_count() as f64)
-            .sum::<f64>()
-            / ds.databases.len() as f64;
-        let avg_fks: f64 = ds
-            .databases
-            .iter()
-            .map(|d| d.schema().foreign_key_count() as f64)
-            .sum::<f64>()
-            / ds.databases.len() as f64;
-        assert!(avg_tables >= 3.0 && avg_tables <= 6.0, "{avg_tables}");
-        assert!(avg_fks >= 2.0 && avg_fks <= 5.0, "{avg_fks}");
+        let avg_tables: f64 =
+            ds.databases.iter().map(|d| d.schema().table_count() as f64).sum::<f64>()
+                / ds.databases.len() as f64;
+        let avg_fks: f64 =
+            ds.databases.iter().map(|d| d.schema().foreign_key_count() as f64).sum::<f64>()
+                / ds.databases.len() as f64;
+        assert!((3.0..=6.0).contains(&avg_tables), "{avg_tables}");
+        assert!((2.0..=5.0).contains(&avg_fks), "{avg_fks}");
     }
 }

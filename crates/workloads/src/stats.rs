@@ -45,17 +45,14 @@ impl DatasetStats {
             avg_tables: databases.iter().map(|d| d.schema().table_count() as f64).sum::<f64>() / n,
             avg_columns: databases.iter().map(|d| d.schema().column_count() as f64).sum::<f64>()
                 / n,
-            avg_fk_pk: databases
-                .iter()
-                .map(|d| d.schema().foreign_key_count() as f64)
-                .sum::<f64>()
+            avg_fk_pk: databases.iter().map(|d| d.schema().foreign_key_count() as f64).sum::<f64>()
                 / n,
         }
     }
 
     /// Compute statistics for a generated Spider-like split.
     pub fn of_spider(dataset: &SpiderDataset) -> Self {
-        let dbs: Vec<&Database> = dataset.databases.iter().collect();
+        let dbs: Vec<&Database> = dataset.databases.iter().map(|d| d.as_ref()).collect();
         let levels: Vec<Difficulty> = dataset.tasks.iter().map(|t| t.level).collect();
         Self::compute(&format!("Spider {}", dataset.name), &dbs, &levels)
     }

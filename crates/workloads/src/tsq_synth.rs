@@ -172,9 +172,8 @@ mod tests {
             .build()
             .unwrap();
         let (_, tsq) = synthesize_tsq(&db, &gold, TsqDetail::Partial, 2, 11);
-        let empty_per_column: Vec<usize> = (0..2)
-            .map(|c| tsq.tuples.iter().filter(|t| !t[c].is_constrained()).count())
-            .collect();
+        let empty_per_column: Vec<usize> =
+            (0..2).map(|c| tsq.tuples.iter().filter(|t| !t[c].is_constrained()).count()).collect();
         assert!(empty_per_column.contains(&2), "{empty_per_column:?}");
     }
 

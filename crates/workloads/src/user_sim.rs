@@ -85,7 +85,11 @@ impl UserModel {
     ) -> TrialOutcome {
         let time = examples as f64 * self.example_entry_secs + system_secs + self.pbe_review_secs;
         let time = time.min(self.time_limit_secs);
-        TrialOutcome { success: supported && correct && time < self.time_limit_secs, time_secs: time, examples_used: examples }
+        TrialOutcome {
+            success: supported && correct && time < self.time_limit_secs,
+            time_secs: time,
+            examples_used: examples,
+        }
     }
 
     fn inspect(&self, gold_rank: Option<usize>, setup_secs: f64, examples: usize) -> TrialOutcome {

@@ -9,16 +9,21 @@ use duoquest::core::{Duoquest, DuoquestConfig};
 use duoquest::nlq::NoisyOracleGuidance;
 use duoquest::sql::render_sql;
 use duoquest::workloads::{mas_nli_tasks, synthesize_tsq, MasDataset, TsqDetail};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
     let mas = MasDataset::standard();
     let tasks = mas_nli_tasks(&mas);
 
-    let mut config = DuoquestConfig::default();
-    config.max_candidates = 20;
-    config.max_expansions = 3_000;
-    config.time_budget = Some(Duration::from_secs(5));
+    // Verification fan-out sized to the machine; paper-order exploration.
+    let config = DuoquestConfig {
+        max_candidates: 20,
+        max_expansions: 3_000,
+        time_budget: Some(Duration::from_secs(5)),
+        ..Default::default()
+    }
+    .with_parallelism(0, 1);
     let engine = Duoquest::new(config.clone());
     let nli = NliBaseline::new(config);
 
@@ -33,21 +38,36 @@ fn main() {
     let (gold, tsq) = synthesize_tsq(&mas.db, &task.gold, TsqDetail::Full, 2, 7);
     let model = NoisyOracleGuidance::new(gold.clone(), 7);
 
-    let dual = engine.synthesize(&mas.db, &task.nlq, Some(&tsq), &model);
+    let dual = engine
+        .session(Arc::clone(&mas.db), task.nlq.clone(), Arc::new(model.clone()))
+        .with_tsq(tsq)
+        .run();
     println!("Duoquest (NLQ + TSQ):");
     match dual.rank_of(&gold) {
-        Some(rank) => println!("  gold query found at rank {rank} of {} candidates", dual.candidates.len()),
+        Some(rank) => {
+            println!("  gold query found at rank {rank} of {} candidates", dual.candidates.len())
+        }
         None => println!("  gold query not found within the budget"),
     }
     for cand in dual.candidates.iter().take(3) {
         println!("    {:.4}  {}", cand.confidence, render_sql(&cand.spec, mas.db.schema()));
     }
+    println!(
+        "  [{} rounds, probe cache: {} hits / {} misses ({:.0}%)]",
+        dual.stats.rounds,
+        dual.stats.cache_hits,
+        dual.stats.cache_misses,
+        dual.stats.cache_hit_rate() * 100.0
+    );
 
     let nli_result = nli.synthesize(&mas.db, &task.nlq, &model);
     println!("\nNLI baseline (NLQ only):");
     match nli_result.rank_of(&gold) {
         Some(rank) => {
-            println!("  gold query found at rank {rank} of {} candidates", nli_result.candidates.len())
+            println!(
+                "  gold query found at rank {rank} of {} candidates",
+                nli_result.candidates.len()
+            )
         }
         None => println!(
             "  gold query not found among {} candidates within the budget",

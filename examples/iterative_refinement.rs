@@ -5,11 +5,12 @@
 //! Run with: `cargo run --example iterative_refinement`
 
 use duoquest::core::{Duoquest, DuoquestConfig, TableSketchQuery, TsqCell};
+use duoquest::db::CmpOp;
 use duoquest::db::DataType;
 use duoquest::nlq::NoisyOracleGuidance;
 use duoquest::sql::{render_sql, QueryBuilder};
 use duoquest::workloads::MasDataset;
-use duoquest::db::CmpOp;
+use std::sync::Arc;
 
 fn main() {
     let mas = MasDataset::standard();
@@ -29,25 +30,44 @@ fn main() {
     let nlq = duoquest::nlq::Nlq::with_literals(
         format!("titles and years of papers in \"{}\" after 2010", mas.conference_c),
         vec![
-            duoquest::nlq::Literal::text(mas.conference_c.clone(), duoquest::db::Value::text(mas.conference_c.clone())),
+            duoquest::nlq::Literal::text(
+                mas.conference_c.clone(),
+                duoquest::db::Value::text(mas.conference_c.clone()),
+            ),
             duoquest::nlq::Literal::number(2010.0),
         ],
     );
     // A mediocre guidance model makes the refinement visible.
-    let model = NoisyOracleGuidance::with_config(
+    let model: Arc<dyn duoquest::nlq::GuidanceModel> = Arc::new(NoisyOracleGuidance::with_config(
         gold.clone(),
-        3,
+        6,
         duoquest::nlq::OracleConfig::default().scaled(0.8),
-    );
-    let engine = Duoquest::new(DuoquestConfig::fast());
+    ));
+    let config = DuoquestConfig {
+        max_expansions: 12_000,
+        max_candidates: 40,
+        time_budget: Some(std::time::Duration::from_secs(10)),
+        ..Default::default()
+    }
+    .with_parallelism(0, 1);
+    let engine = Duoquest::new(config);
+    // Each refinement round is one synthesis session over the same shared
+    // database; the probe cache warms up across rounds.
+    let session = |tsq: Option<TableSketchQuery>| {
+        let s = engine.session(Arc::clone(&mas.db), nlq.clone(), Arc::clone(&model));
+        match tsq {
+            Some(tsq) => s.with_tsq(tsq),
+            None => s,
+        }
+    };
 
     // Round 1: NLQ only.
-    let round1 = engine.synthesize(&mas.db, &nlq, None, &model);
+    let round1 = session(None).run();
     println!("Round 1 (NLQ only): gold rank = {:?}", round1.rank_of(&gold));
 
     // Round 2: add type annotations.
     let tsq = TableSketchQuery::with_types(vec![DataType::Text, DataType::Number]);
-    let round2 = engine.synthesize(&mas.db, &nlq, Some(&tsq), &model);
+    let round2 = session(Some(tsq.clone())).run();
     println!("Round 2 (+ type annotations): gold rank = {:?}", round2.rank_of(&gold));
 
     // Round 3: add a half-remembered example tuple — a paper the user knows is
@@ -59,7 +79,7 @@ fn main() {
         TsqCell::text(example_title.clone()),
         TsqCell::range(example_year - 2.0, example_year + 2.0),
     ]);
-    let round3 = engine.synthesize(&mas.db, &nlq, Some(&tsq), &model);
+    let round3 = session(Some(tsq)).run();
     println!(
         "Round 3 (+ example tuple \"{example_title}\", year in [2011, 2022]): gold rank = {:?}",
         round3.rank_of(&gold)

@@ -10,9 +10,10 @@
 //! Run with: `cargo run --example quickstart`
 
 use duoquest::core::{Duoquest, DuoquestConfig, TableSketchQuery, TsqCell};
-use duoquest::db::{ColumnDef, Database, DataType, Schema, TableDef, Value};
+use duoquest::db::{ColumnDef, DataType, Database, Schema, TableDef, Value};
 use duoquest::nlq::{extract_literals, HeuristicGuidance, Nlq};
 use duoquest::sql::render_sql;
+use std::sync::Arc;
 
 fn build_movie_database() -> Database {
     let mut schema = Schema::new("movies");
@@ -44,9 +45,19 @@ fn build_movie_database() -> Database {
         "actor",
         vec![
             vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956), Value::text("male")],
-            vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964), Value::text("female")],
+            vec![
+                Value::int(2),
+                Value::text("Sandra Bullock"),
+                Value::int(1964),
+                Value::text("female"),
+            ],
             vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963), Value::text("male")],
-            vec![Value::int(4), Value::text("Meryl Streep"), Value::int(1949), Value::text("female")],
+            vec![
+                Value::int(4),
+                Value::text("Meryl Streep"),
+                Value::int(1949),
+                Value::text("female"),
+            ],
         ],
     )
     .unwrap();
@@ -75,7 +86,7 @@ fn build_movie_database() -> Database {
 }
 
 fn main() {
-    let db = build_movie_database();
+    let db = build_movie_database().into_shared();
 
     // 1. The natural language query, with literal values tagged (the front end
     //    does this via the autocomplete interface; here we extract them).
@@ -84,7 +95,10 @@ fn main() {
     let literals = extract_literals(text, Some(&db));
     let nlq = Nlq::with_literals(text, literals);
     println!("NLQ: {text}");
-    println!("Tagged literals: {:?}\n", nlq.literals.iter().map(|l| l.surface.clone()).collect::<Vec<_>>());
+    println!(
+        "Tagged literals: {:?}\n",
+        nlq.literals.iter().map(|l| l.surface.clone()).collect::<Vec<_>>()
+    );
 
     // 2. The optional table sketch query (paper Table 2), in the canonical
     //    column order used by the enumerator (actor.name, movies.name, movies.year).
@@ -97,24 +111,40 @@ fn main() {
         ]);
     println!("TSQ: types = [text, text, number], 2 example tuples, not sorted, no limit\n");
 
-    // 3. Synthesize with the purely lexical guidance model (no training data).
-    let engine = Duoquest::new(DuoquestConfig::fast());
-    let model = HeuristicGuidance::new();
+    // 3. Synthesize with the purely lexical guidance model (no training data),
+    //    on a parallel session streaming candidates as they survive
+    //    verification — exactly what the paper's interactive front end shows.
+    let engine = Duoquest::new(DuoquestConfig::fast().with_parallelism(0, 1));
+    let model = Arc::new(HeuristicGuidance::new());
 
-    println!("--- Dual specification (NLQ + TSQ) ---");
-    let dual = engine.synthesize(&db, &nlq, Some(&tsq), &model);
-    for (i, cand) in dual.candidates.iter().take(5).enumerate() {
-        println!("  #{} (conf {:.4}): {}", i + 1, cand.confidence, render_sql(&cand.spec, db.schema()));
+    println!("--- Dual specification (NLQ + TSQ), streamed ---");
+    let stream = engine.session(Arc::clone(&db), nlq.clone(), model.clone()).with_tsq(tsq).stream();
+    let mut streamed = 0usize;
+    let mut stream = stream;
+    for cand in stream.by_ref() {
+        streamed += 1;
+        if streamed <= 5 {
+            println!(
+                "  [{:>6.1} ms] conf {:.4}: {}",
+                cand.emitted_at.as_secs_f64() * 1e3,
+                cand.confidence,
+                render_sql(&cand.spec, db.schema())
+            );
+        }
     }
+    let dual = stream.finish();
     println!(
-        "  [{} candidates, {} states expanded, {} pruned by the TSQ/semantic cascade]\n",
+        "  [{} candidates ({streamed} streamed live), {} states expanded over {} rounds, \
+         {} pruned by the TSQ/semantic cascade, probe cache {:.0}% hits]\n",
         dual.candidates.len(),
         dual.stats.expanded,
-        dual.stats.total_pruned()
+        dual.stats.rounds,
+        dual.stats.total_pruned(),
+        dual.stats.cache_hit_rate() * 100.0
     );
 
     println!("--- NLQ only (no TSQ) ---");
-    let nlq_only = engine.synthesize(&db, &nlq, None, &model);
+    let nlq_only = engine.session(Arc::clone(&db), nlq, model).run();
     println!(
         "  {} candidates survive without the TSQ (vs {} with it) — the sketch prunes the ambiguity.",
         nlq_only.candidates.len(),

@@ -8,6 +8,7 @@ use duoquest::baselines::{NliBaseline, SquidPbe};
 use duoquest::core::{Duoquest, DuoquestConfig};
 use duoquest::nlq::NoisyOracleGuidance;
 use duoquest::workloads::{spider, synthesize_tsq, TsqDetail};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -19,10 +20,13 @@ fn main() {
         dataset.difficulty_counts()
     );
 
-    let mut config = DuoquestConfig::default();
-    config.max_candidates = 15;
-    config.max_expansions = 2_000;
-    config.time_budget = Some(Duration::from_secs(2));
+    let config = DuoquestConfig {
+        max_candidates: 15,
+        max_expansions: 2_000,
+        time_budget: Some(Duration::from_secs(2)),
+        ..Default::default()
+    }
+    .with_parallelism(0, 1);
     let engine = Duoquest::new(config.clone());
     let nli = NliBaseline::new(config);
     let pbe = SquidPbe::new();
@@ -34,7 +38,10 @@ fn main() {
         let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, i as u64);
         let model = NoisyOracleGuidance::new(gold.clone(), i as u64);
 
-        let dq = engine.synthesize(db, &task.nlq, Some(&tsq), &model);
+        let dq = engine
+            .session(Arc::clone(db), task.nlq.clone(), Arc::new(model.clone()))
+            .with_tsq(tsq.clone())
+            .run();
         if dq.in_top_k(&gold, 1) {
             dq_top1 += 1;
         }
@@ -76,5 +83,7 @@ fn main() {
         pct(pbe_correct),
         pct(pbe_unsupported)
     );
-    println!("\n(The full evaluation lives in `cargo run -p duoquest-bench --bin run_all_experiments`.)");
+    println!(
+        "\n(The full evaluation lives in `cargo run -p duoquest-bench --bin run_all_experiments`.)"
+    );
 }

@@ -1,0 +1,80 @@
+//! Determinism of the parallel synthesis core: for a fixed configuration the
+//! candidate set and ranking must be a pure function of the inputs — never of
+//! the worker count or thread scheduling — on a fixed synthetic Spider
+//! workload.
+
+use duoquest::core::{Duoquest, DuoquestConfig, SynthesisResult};
+use duoquest::nlq::NoisyOracleGuidance;
+use duoquest::workloads::{spider, synthesize_tsq, TsqDetail};
+use std::sync::Arc;
+
+/// A reduced, fixed workload: 1 database, 6 tasks across difficulties.
+fn workload() -> spider::SpiderDataset {
+    spider::generate("determinism", 1, 2, 2, 2, 33)
+}
+
+fn base_config() -> DuoquestConfig {
+    DuoquestConfig {
+        max_candidates: 20,
+        max_expansions: 1_500,
+        // No wall-clock budget: timeouts are the one intentionally
+        // non-deterministic cut-off.
+        time_budget: None,
+        ..Default::default()
+    }
+}
+
+fn run_task(
+    dataset: &spider::SpiderDataset,
+    task: &spider::SpiderTask,
+    seed: u64,
+    config: &DuoquestConfig,
+) -> SynthesisResult {
+    let db = dataset.database(task);
+    let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, seed);
+    let model = NoisyOracleGuidance::new(gold, seed);
+    Duoquest::new(config.clone())
+        .session(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+        .with_tsq(tsq)
+        .run()
+}
+
+/// Candidate list rendered as comparable `(structure, confidence)` pairs in
+/// final ranking order.
+fn ranking(result: &SynthesisResult) -> Vec<(String, f64)> {
+    result.candidates.iter().map(|c| (format!("{:?}", c.spec), c.confidence)).collect()
+}
+
+#[test]
+fn parallel_session_equals_sequential_path_per_task() {
+    let dataset = workload();
+    let sequential = base_config(); // workers = 1, beam = 1
+    let parallel = base_config().with_parallelism(4, 1);
+    for (i, task) in dataset.tasks.iter().enumerate() {
+        let seq = run_task(&dataset, task, 100 + i as u64, &sequential);
+        let par = run_task(&dataset, task, 100 + i as u64, &parallel);
+        assert_eq!(
+            ranking(&seq),
+            ranking(&par),
+            "task {} diverged between sequential and parallel sessions",
+            task.id
+        );
+        assert_eq!(seq.stats.emitted, par.stats.emitted, "task {}", task.id);
+        assert_eq!(seq.stats.expanded, par.stats.expanded, "task {}", task.id);
+        assert_eq!(seq.stats.total_pruned(), par.stats.total_pruned(), "task {}", task.id);
+    }
+}
+
+#[test]
+fn wide_beam_runs_are_self_deterministic() {
+    // A beam wider than 1 explores in a different (but still fixed) order;
+    // two runs with the same beam and different worker counts must agree.
+    let dataset = workload();
+    let beamed_a = base_config().with_parallelism(2, 4);
+    let beamed_b = base_config().with_parallelism(4, 4);
+    for (i, task) in dataset.tasks.iter().enumerate() {
+        let a = run_task(&dataset, task, 200 + i as u64, &beamed_a);
+        let b = run_task(&dataset, task, 200 + i as u64, &beamed_b);
+        assert_eq!(ranking(&a), ranking(&b), "task {} beam run diverged", task.id);
+    }
+}

@@ -4,7 +4,7 @@
 
 use duoquest::baselines::NliBaseline;
 use duoquest::core::{Duoquest, DuoquestConfig, TableSketchQuery, TsqCell};
-use duoquest::db::{execute, ColumnDef, Database, DataType, Schema, TableDef, Value};
+use duoquest::db::{execute, ColumnDef, DataType, Database, Schema, TableDef, Value};
 use duoquest::nlq::{Literal, Nlq, NoisyOracleGuidance, OracleConfig};
 use duoquest::sql::{parse_query, queries_equivalent, render_sql};
 use duoquest::workloads::{mas_nli_tasks, synthesize_tsq, MasDataset, TsqDetail};
@@ -39,7 +39,12 @@ fn movie_db() -> Database {
         "actor",
         vec![
             vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956), Value::text("male")],
-            vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964), Value::text("female")],
+            vec![
+                Value::int(2),
+                Value::text("Sandra Bullock"),
+                Value::int(1964),
+                Value::text("female"),
+            ],
             vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963), Value::text("male")],
         ],
     )
@@ -96,10 +101,12 @@ fn motivating_example_dual_specification() {
         vec![Literal::number(1995.0), Literal::number(2000.0)],
     );
 
-    let mut config = DuoquestConfig::default();
-    config.max_expansions = 12_000;
-    config.max_candidates = 40;
-    config.time_budget = Some(Duration::from_secs(20));
+    let config = DuoquestConfig {
+        max_expansions: 12_000,
+        max_candidates: 40,
+        time_budget: Some(Duration::from_secs(20)),
+        ..Default::default()
+    };
     let engine = Duoquest::new(config);
     let model = NoisyOracleGuidance::with_config(gold.clone(), 5, OracleConfig::perfect());
 
@@ -138,10 +145,12 @@ fn mas_task_a1_solved_with_dual_specification_but_harder_for_nli() {
     let tasks = mas_nli_tasks(&mas);
     let a1 = tasks.iter().find(|t| t.id == "A1").unwrap();
 
-    let mut config = DuoquestConfig::default();
-    config.max_candidates = 20;
-    config.max_expansions = 8_000;
-    config.time_budget = Some(Duration::from_secs(20));
+    let config = DuoquestConfig {
+        max_candidates: 20,
+        max_expansions: 8_000,
+        time_budget: Some(Duration::from_secs(20)),
+        ..Default::default()
+    };
 
     let (gold, tsq) = synthesize_tsq(&mas.db, &a1.gold, TsqDetail::Full, 2, 3);
     let model = NoisyOracleGuidance::new(gold.clone(), 3);
@@ -163,10 +172,12 @@ fn tsq_detail_monotonically_helps_on_a_simple_task() {
     let tasks = mas_nli_tasks(&mas);
     let b1 = tasks.iter().find(|t| t.id == "B1").unwrap();
 
-    let mut config = DuoquestConfig::default();
-    config.max_candidates = 30;
-    config.max_expansions = 8_000;
-    config.time_budget = Some(Duration::from_secs(20));
+    let config = DuoquestConfig {
+        max_candidates: 30,
+        max_expansions: 8_000,
+        time_budget: Some(Duration::from_secs(20)),
+        ..Default::default()
+    };
     let engine = Duoquest::new(config);
 
     let mut ranks = Vec::new();

@@ -1,6 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and invariants:
-//! value comparison semantics, TSQ cell matching, executor algebraic
-//! invariants, canonical equivalence, and confidence-score normalization.
+//! Property-based tests on the core data structures and invariants: value
+//! comparison semantics, TSQ cell matching, executor algebraic invariants,
+//! canonical equivalence, and confidence-score normalization.
+//!
+//! Each property is exercised over a seeded stream of randomly generated
+//! inputs (64 cases per property, mirroring the original proptest
+//! configuration). The generator is the workspace's deterministic `StdRng`,
+//! so failures are reproducible from the printed case number.
 
 use duoquest::core::TsqCell;
 use duoquest::db::{
@@ -10,7 +15,22 @@ use duoquest::db::{
 use duoquest::nlq::guidance::normalize_scores;
 use duoquest::sql::queries_equivalent;
 use duoquest::workloads::canonicalize_select;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 64;
+
+/// Run `body` for `CASES` seeded inputs, reporting the failing case number.
+fn for_each_case(property: &str, mut body: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD00_F00D ^ (case * 2_654_435_761));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!("property `{property}` failed on case {case}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
 
 fn small_db(rows: &[(String, f64)]) -> Database {
     let mut schema = Schema::new("t");
@@ -21,48 +41,63 @@ fn small_db(rows: &[(String, f64)]) -> Database {
     ));
     let mut db = Database::new(schema).unwrap();
     for (i, (name, score)) in rows.iter().enumerate() {
-        db.insert("items", vec![Value::int(i as i64), Value::text(name.clone()), Value::Number(*score)])
-            .unwrap();
+        db.insert(
+            "items",
+            vec![Value::int(i as i64), Value::text(name.clone()), Value::Number(*score)],
+        )
+        .unwrap();
     }
     db.rebuild_index();
     db
 }
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}"
+/// A short lowercase name, matching the original `[a-z]{1,8}` strategy.
+fn gen_name(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=8usize);
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
-    prop::collection::vec((name_strategy(), -1000.0..1000.0f64), 1..40)
+/// 1..40 `(name, score)` rows with scores in ±1000, matching `rows_strategy`.
+fn gen_rows(rng: &mut StdRng) -> Vec<(String, f64)> {
+    let n = rng.gen_range(1..40usize);
+    (0..n).map(|_| (gen_name(rng), rng.gen_range(-1000.0..1000.0))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn value_sql_eq_is_symmetric(a in -1000.0..1000.0f64, b in -1000.0..1000.0f64) {
+#[test]
+fn value_sql_eq_is_symmetric() {
+    for_each_case("value_sql_eq_is_symmetric", |rng| {
+        let (a, b) = (rng.gen_range(-1000.0..1000.0), rng.gen_range(-1000.0..1000.0));
         let (va, vb) = (Value::Number(a), Value::Number(b));
-        prop_assert_eq!(va.sql_eq(&vb), vb.sql_eq(&va));
-    }
+        assert_eq!(va.sql_eq(&vb), vb.sql_eq(&va));
+    });
+}
 
-    #[test]
-    fn value_total_cmp_is_antisymmetric(a in name_strategy(), b in name_strategy()) {
-        let (va, vb) = (Value::text(a), Value::text(b));
-        prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
-    }
+#[test]
+fn value_total_cmp_is_antisymmetric() {
+    for_each_case("value_total_cmp_is_antisymmetric", |rng| {
+        let (va, vb) = (Value::text(gen_name(rng)), Value::text(gen_name(rng)));
+        assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+    });
+}
 
-    #[test]
-    fn tsq_range_cell_contains_its_endpoints(lo in -1000.0..1000.0f64, width in 0.0..100.0f64) {
-        let hi = lo + width;
+#[test]
+fn tsq_range_cell_contains_its_endpoints() {
+    for_each_case("tsq_range_cell_contains_its_endpoints", |rng| {
+        let lo = rng.gen_range(-1000.0..1000.0);
+        let hi = lo + rng.gen_range(0.0..100.0);
         let cell = TsqCell::range(lo, hi);
-        prop_assert!(cell.matches(&Value::Number(lo)));
-        prop_assert!(cell.matches(&Value::Number(hi)));
-        prop_assert!(!cell.matches(&Value::Number(hi + 1.0)));
-        prop_assert!(!cell.matches(&Value::Number(lo - 1.0)));
-    }
+        assert!(cell.matches(&Value::Number(lo)));
+        assert!(cell.matches(&Value::Number(hi)));
+        assert!(!cell.matches(&Value::Number(hi + 1.0)));
+        assert!(!cell.matches(&Value::Number(lo - 1.0)));
+    });
+}
 
-    #[test]
-    fn executor_filter_never_grows_the_result(rows in rows_strategy(), threshold in -1000.0..1000.0f64) {
+#[test]
+fn executor_filter_never_grows_the_result() {
+    for_each_case("executor_filter_never_grows_the_result", |rng| {
+        let rows = gen_rows(rng);
+        let threshold = rng.gen_range(-1000.0..1000.0);
         let db = small_db(&rows);
         let schema = db.schema();
         let name = schema.column_id("items", "name").unwrap();
@@ -78,12 +113,16 @@ proptest! {
         };
         let all = execute(&db, &base).unwrap();
         let some = execute(&db, &filtered).unwrap();
-        prop_assert!(some.len() <= all.len());
-        prop_assert_eq!(all.len(), rows.len());
-    }
+        assert!(some.len() <= all.len());
+        assert_eq!(all.len(), rows.len());
+    });
+}
 
-    #[test]
-    fn executor_limit_is_respected(rows in rows_strategy(), limit in 0usize..50) {
+#[test]
+fn executor_limit_is_respected() {
+    for_each_case("executor_limit_is_respected", |rng| {
+        let rows = gen_rows(rng);
+        let limit = rng.gen_range(0..50usize);
         let db = small_db(&rows);
         let schema = db.schema();
         let name = schema.column_id("items", "name").unwrap();
@@ -94,11 +133,15 @@ proptest! {
             ..Default::default()
         };
         let rs = execute(&db, &spec).unwrap();
-        prop_assert!(rs.len() <= limit);
-    }
+        assert!(rs.len() <= limit);
+    });
+}
 
-    #[test]
-    fn executor_order_by_sorts(rows in rows_strategy(), desc in any::<bool>()) {
+#[test]
+fn executor_order_by_sorts() {
+    for_each_case("executor_order_by_sorts", |rng| {
+        let rows = gen_rows(rng);
+        let desc = rng.gen::<bool>();
         let db = small_db(&rows);
         let schema = db.schema();
         let score = schema.column_id("items", "score").unwrap();
@@ -115,15 +158,18 @@ proptest! {
         let values: Vec<f64> = rs.rows.iter().filter_map(|r| r.0[0].as_number()).collect();
         for w in values.windows(2) {
             if desc {
-                prop_assert!(w[0] >= w[1]);
+                assert!(w[0] >= w[1]);
             } else {
-                prop_assert!(w[0] <= w[1]);
+                assert!(w[0] <= w[1]);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_star_equals_row_count(rows in rows_strategy()) {
+#[test]
+fn count_star_equals_row_count() {
+    for_each_case("count_star_equals_row_count", |rng| {
+        let rows = gen_rows(rng);
         let db = small_db(&rows);
         let schema = db.schema();
         let spec = SelectSpec {
@@ -132,11 +178,14 @@ proptest! {
             ..Default::default()
         };
         let rs = execute(&db, &spec).unwrap();
-        prop_assert_eq!(rs.rows[0].0[0].as_number(), Some(rows.len() as f64));
-    }
+        assert_eq!(rs.rows[0].0[0].as_number(), Some(rows.len() as f64));
+    });
+}
 
-    #[test]
-    fn canonical_equivalence_is_reflexive_and_order_insensitive(rows in rows_strategy()) {
+#[test]
+fn canonical_equivalence_is_reflexive_and_order_insensitive() {
+    for_each_case("canonical_equivalence_is_reflexive_and_order_insensitive", |rng| {
+        let rows = gen_rows(rng);
         let db = small_db(&rows);
         let schema = db.schema();
         let name = schema.column_id("items", "name").unwrap();
@@ -150,22 +199,26 @@ proptest! {
             ],
             ..Default::default()
         };
-        prop_assert!(queries_equivalent(&spec, &spec));
+        assert!(queries_equivalent(&spec, &spec));
         let mut shuffled = spec.clone();
         shuffled.select.reverse();
         shuffled.predicates.reverse();
-        prop_assert!(queries_equivalent(&spec, &shuffled));
+        assert!(queries_equivalent(&spec, &shuffled));
         let canon = canonicalize_select(&spec);
-        prop_assert!(queries_equivalent(&spec, &canon));
-    }
+        assert!(queries_equivalent(&spec, &canon));
+    });
+}
 
-    #[test]
-    fn normalized_scores_form_a_distribution(raw in prop::collection::vec(0.0..10.0f64, 1..20)) {
+#[test]
+fn normalized_scores_form_a_distribution() {
+    for_each_case("normalized_scores_form_a_distribution", |rng| {
+        let n = rng.gen_range(1..20usize);
+        let raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         let scores = normalize_scores(&raw);
         let sum: f64 = scores.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(scores.iter().all(|s| *s >= 0.0 && *s <= 1.0 + 1e-12));
-    }
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(scores.iter().all(|s| *s >= 0.0 && *s <= 1.0 + 1e-12));
+    });
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (marker traits plus no-op
+//! derive macros) so the workspace's data-model annotations compile in an
+//! environment without crates.io access. Swap this path dependency for the
+//! real serde to enable actual serialization — no call site changes needed.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize` (lifetime elided: the
+/// stand-in never borrows from an input buffer).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repository builds in has no access to crates.io, so the
+//! real serde cannot be vendored. Nothing in the workspace actually
+//! serializes values yet — the `#[derive(Serialize, Deserialize)]` attributes
+//! on the data model exist so downstream users can swap in the real serde by
+//! changing one path in the workspace manifest. These derives therefore
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
