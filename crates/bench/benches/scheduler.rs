@@ -1,0 +1,123 @@
+//! Shared-pool vs per-session-pool benchmark for the batch session
+//! scheduler: N concurrent synthesis sessions served by one
+//! `SessionScheduler` (one worker pool for the whole process) against the
+//! same N sessions each spinning a private pool, for N ∈ {1, 4, 8}. Also
+//! reports time-to-first-candidate under contention — the interactive
+//! metric the fairness queue exists for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_core::{DuoquestConfig, SessionScheduler, SynthesisSession};
+use duoquest_nlq::NoisyOracleGuidance;
+use duoquest_workloads::spider::{self, SpiderDataset};
+use duoquest_workloads::{synthesize_tsq, TsqDetail};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SESSION_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn workload() -> SpiderDataset {
+    spider::generate("sched-bench", 2, 4, 4, 2, 19)
+}
+
+fn config(workers: usize) -> DuoquestConfig {
+    DuoquestConfig {
+        max_candidates: 10,
+        max_expansions: 800,
+        time_budget: Some(Duration::from_secs(2)),
+        ..Default::default()
+    }
+    .with_parallelism(workers, 1)
+}
+
+/// Build session `i` of `n`, cycling the workload's tasks.
+fn session_for(
+    dataset: &SpiderDataset,
+    i: usize,
+    cfg: &DuoquestConfig,
+    pool: Option<&SessionScheduler>,
+) -> SynthesisSession {
+    let task = &dataset.tasks[i % dataset.tasks.len()];
+    let db = dataset.database(task);
+    let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 90 + i as u64);
+    let model = NoisyOracleGuidance::new(gold, 90 + i as u64);
+    let mut session = SynthesisSession::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+        .with_tsq(tsq)
+        .with_config(cfg.clone());
+    if let Some(pool) = pool {
+        session = session.with_scheduler(pool.handle());
+    }
+    session
+}
+
+/// Run `n` sessions concurrently (one driver thread each); returns each
+/// session's time from its own start to its first emitted candidate.
+fn run_concurrent(
+    dataset: &SpiderDataset,
+    n: usize,
+    cfg: &DuoquestConfig,
+    pool: Option<&SessionScheduler>,
+) -> Vec<Option<Duration>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let session = session_for(dataset, i, cfg, pool);
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut first: Option<Duration> = None;
+                    session.run_with(|_c| {
+                        first.get_or_insert_with(|| started.elapsed());
+                        true
+                    });
+                    first
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
+    })
+}
+
+fn fmt_ms(d: &Option<Duration>) -> String {
+    d.map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3)).unwrap_or_else(|| "-".into())
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let dataset = workload();
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    // Time-to-first-candidate under contention, reported once outside the
+    // timed loops: the shared pool bounds how long any session waits for its
+    // first result; N private pools oversubscribe the machine instead.
+    for n in SESSION_COUNTS {
+        let pool = SessionScheduler::new(machine);
+        let shared_ttfc = run_concurrent(&dataset, n, &config(1), Some(&pool));
+        let private_ttfc = run_concurrent(&dataset, n, &config(machine), None);
+        let worst = |v: &[Option<Duration>]| fmt_ms(&v.iter().copied().flatten().max());
+        println!(
+            "time-to-first-candidate, {n} concurrent session(s) on {machine} CPU(s): \
+             shared pool worst {} (all: {:?}) | private pools worst {} (all: {:?})",
+            worst(&shared_ttfc),
+            shared_ttfc.iter().map(fmt_ms).collect::<Vec<_>>(),
+            worst(&private_ttfc),
+            private_ttfc.iter().map(fmt_ms).collect::<Vec<_>>(),
+        );
+    }
+
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for n in SESSION_COUNTS {
+        // One long-lived pool, sized to the machine, serving all N sessions.
+        group.bench_function(format!("shared_pool_{n}_sessions"), |b| {
+            let pool = SessionScheduler::new(machine);
+            b.iter(|| run_concurrent(&dataset, n, &config(1), Some(&pool)))
+        });
+        // The pre-scheduler shape: every session spins its own machine-sized
+        // pool (N×machine threads at peak).
+        group.bench_function(format!("private_pools_{n}_sessions"), |b| {
+            b.iter(|| run_concurrent(&dataset, n, &config(machine), None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -113,13 +113,28 @@ pub(crate) fn run_collect<F>(
     model: &dyn GuidanceModel,
     tsq: Option<&TableSketchQuery>,
     config: &DuoquestConfig,
+    on_candidate: F,
+) -> SynthesisResult
+where
+    F: FnMut(&Candidate) -> bool,
+{
+    collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, cb))
+}
+
+/// The dedup-and-rank pipeline around any engine driver (`run` is the
+/// private-pool [`run_rounds`] or the shared-pool
+/// `crate::scheduler::run_rounds_scheduled`): deduplicate canonically
+/// equivalent candidates in emission order, then rank by confidence with a
+/// deterministic tie-break.
+pub(crate) fn collect_ranked<F>(
     mut on_candidate: F,
+    run: impl FnOnce(&mut dyn FnMut(SelectSpec, f64, Duration) -> bool) -> EnumerationStats,
 ) -> SynthesisResult
 where
     F: FnMut(&Candidate) -> bool,
 {
     let mut candidates: Vec<Candidate> = Vec::new();
-    let stats = run_rounds(db, nlq, model, tsq, config, &mut |spec, confidence, emitted_at| {
+    let stats = run(&mut |spec, confidence, emitted_at| {
         // De-duplicate canonically equivalent candidates, keeping the
         // higher-confidence copy.
         if let Some(existing) = candidates.iter_mut().find(|c| queries_equivalent(&c.spec, &spec)) {

@@ -75,6 +75,10 @@ pub struct EnumerationStats {
     pub cache_misses: u64,
     /// Estimated bytes retained by the probe cache at the end of the run.
     pub cache_bytes: u64,
+    /// Shared-pool observations, when the run was served by a
+    /// [`crate::scheduler::SessionScheduler`] (`None` for runs on a private
+    /// scoped pool or inline execution).
+    pub scheduler: Option<crate::scheduler::SchedulerRunStats>,
 }
 
 impl EnumerationStats {
@@ -137,42 +141,47 @@ where
 /// pool (all fields are `Sync`; the database's probe cache handles its own
 /// synchronization).
 #[derive(Clone, Copy)]
-struct RoundEnv<'a> {
-    db: &'a Database,
-    graph: &'a JoinGraph,
-    config: &'a DuoquestConfig,
-    partial_verifier: &'a Verifier<'a>,
-    complete_verifier: &'a Verifier<'a>,
-    deadline: Option<Instant>,
+pub(crate) struct RoundEnv<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) graph: &'a JoinGraph,
+    pub(crate) config: &'a DuoquestConfig,
+    pub(crate) partial_verifier: &'a Verifier<'a>,
+    pub(crate) complete_verifier: &'a Verifier<'a>,
+    pub(crate) deadline: Option<Instant>,
 }
 
 /// One unit of parallel work: a freshly generated child with its confidence
 /// and the beam position of its parent.
-struct ChildJob {
-    beam_idx: usize,
-    confidence: f64,
-    pq: PartialQuery,
+pub(crate) struct ChildJob {
+    pub(crate) beam_idx: usize,
+    pub(crate) confidence: f64,
+    pub(crate) pq: PartialQuery,
 }
 
 /// The merged product of one worker's chunk, in original job order.
 #[derive(Default)]
-struct ChunkResult {
-    generated: usize,
-    prunes: [usize; VerifyStage::COUNT],
-    timings: StageTimings,
+pub(crate) struct ChunkResult {
+    pub(crate) generated: usize,
+    pub(crate) prunes: [usize; VerifyStage::COUNT],
+    pub(crate) timings: StageTimings,
     /// Complete queries that survived the full cascade, in child order.
-    emissions: Vec<(SelectSpec, f64)>,
+    pub(crate) emissions: Vec<(SelectSpec, f64)>,
     /// Partial queries to push back onto the frontier, in child order.
-    survivors: Vec<(PartialQuery, f64, usize)>,
+    pub(crate) survivors: Vec<(PartialQuery, f64, usize)>,
     /// The worker hit the wall-clock deadline and skipped its remaining jobs.
-    timed_out: bool,
+    pub(crate) timed_out: bool,
 }
 
 /// Fan-out threshold below which spawning workers costs more than it saves.
-const MIN_PARALLEL_JOBS: usize = 8;
+pub(crate) const MIN_PARALLEL_JOBS: usize = 8;
 
-/// The round-based engine behind both [`enumerate`] and the streaming
-/// [`crate::session::SynthesisSession`].
+/// The round-based engine behind [`enumerate`] and (through a private pool)
+/// the streaming [`crate::session::SynthesisSession`]. Runs the shared round
+/// loop ([`drive_rounds`]) over a run-scoped worker pool.
+///
+/// Sessions attached to a shared [`crate::scheduler::SessionScheduler`] use
+/// `crate::scheduler::run_rounds_scheduled` instead, which drives the same
+/// loop but dispatches phase-2 chunks to the scheduler's long-lived pool.
 pub(crate) fn run_rounds(
     db: &Database,
     nlq: &Nlq,
@@ -184,7 +193,6 @@ pub(crate) fn run_rounds(
     let start = Instant::now();
     let mut stats = EnumerationStats::default();
     let graph = JoinGraph::new(db.schema());
-    let ctx = GuidanceContext { nlq, schema: db.schema() };
 
     // Partial queries are only verified when partial pruning is enabled; complete
     // queries always get the full cascade (this is what makes NoPQ equivalent to
@@ -205,111 +213,15 @@ pub(crate) fn run_rounds(
         deadline: config.time_budget.map(|budget| start + budget),
     };
 
-    let beam_width = config.beam_width.max(1);
     let workers = config.effective_workers();
 
     // The worker pool lives for the whole run (scoped threads fed per round
     // over channels), so rounds don't pay a spawn/join cycle each.
     std::thread::scope(|scope| {
         let pool = WorkerPool::start(scope, workers, &env);
-        let mut heap: BinaryHeap<EnumState> = BinaryHeap::new();
-        let mut sequence: u64 = 0;
-        heap.push(EnumState::root());
-
-        let mut early_exit = false;
-        'rounds: while !heap.is_empty() {
-            if env.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
-                early_exit = true;
-                break 'rounds;
-            }
-
-            // Pop the beam: the top-k states by confidence, within the expansion budget.
-            let mut beam: Vec<EnumState> = Vec::with_capacity(beam_width);
-            while beam.len() < beam_width && stats.expanded < config.max_expansions {
-                let Some(state) = heap.pop() else { break };
-                stats.expanded += 1;
-                beam.push(state);
-            }
-            if beam.is_empty() {
-                early_exit = true; // expansion budget reached with work left
-                break 'rounds;
-            }
-            stats.rounds += 1;
-
-            // Phase 1 (serial, cheap): produce and score every child of the beam.
-            let mut jobs: Vec<ChildJob> = Vec::new();
-            for (beam_idx, state) in beam.iter().enumerate() {
-                // A state with no decision left is complete (it was verified and
-                // emitted when generated); a state with an empty child set is a
-                // dead end. Both just drop out of the frontier.
-                let Some(children) = enum_next_step(&state.pq, db, nlq, config) else { continue };
-                if children.is_empty() {
-                    continue;
-                }
-                // Split choices from children instead of cloning every `Choice`
-                // for the scoring call.
-                let (choices, child_pqs): (Vec<Choice>, Vec<PartialQuery>) =
-                    children.into_iter().unzip();
-                let raw = if config.guided {
-                    model.score(&ctx, &choices)
-                } else {
-                    vec![1.0; choices.len()]
-                };
-                let scores = duoquest_nlq::guidance::normalize_scores(&raw);
-                for (pq, score) in child_pqs.into_iter().zip(scores) {
-                    jobs.push(ChildJob { beam_idx, confidence: state.confidence * score, pq });
-                }
-            }
-
-            // Phase 2 (parallel): join paths + verification cascade per child.
-            let chunk_results = process_jobs(jobs, pool.as_ref(), &env);
-
-            // Phase 3 (serial): merge in original child order — emission order and
-            // frontier sequence numbers are therefore independent of the worker count.
-            let mut timed_out = false;
-            for chunk in chunk_results {
-                stats.generated += chunk.generated;
-                for (idx, count) in chunk.prunes.iter().enumerate() {
-                    stats.record(VerifyStage::ALL[idx], *count);
-                }
-                stats.stage_timings.merge(&chunk.timings);
-                timed_out |= chunk.timed_out;
-                for (spec, confidence) in chunk.emissions {
-                    stats.emitted += 1;
-                    if !on_candidate(spec, confidence, start.elapsed())
-                        || stats.emitted >= config.max_candidates
-                    {
-                        early_exit = true;
-                        break 'rounds;
-                    }
-                }
-                for (pq, confidence, beam_idx) in chunk.survivors {
-                    sequence += 1;
-                    heap.push(EnumState {
-                        pq,
-                        confidence,
-                        decisions: beam[beam_idx].decisions + 1,
-                        sequence,
-                    });
-                }
-            }
-            if timed_out {
-                early_exit = true;
-                break 'rounds;
-            }
-
-            // Bound the frontier size: drop the lowest-confidence states.
-            if heap.len() > config.max_states {
-                let mut states: Vec<EnumState> = heap.into_vec();
-                states.sort_by(|a, b| b.cmp(a));
-                states.truncate(config.max_states / 2);
-                heap = BinaryHeap::from(states);
-            }
-        }
-
-        if !early_exit {
-            stats.exhausted = heap.is_empty() && stats.expanded < config.max_expansions;
-        }
+        drive_rounds(db, nlq, model, config, env.deadline, start, &mut stats, on_candidate, {
+            &mut |jobs| process_jobs(jobs, pool.as_ref(), &env)
+        });
     });
 
     stats.elapsed = start.elapsed();
@@ -321,6 +233,127 @@ pub(crate) fn run_rounds(
     stats.cache_misses = partial_misses + complete_misses;
     stats.cache_bytes = db.cache_stats().bytes;
     stats
+}
+
+/// The shared round loop: pop a beam, expand and score children (phase 1,
+/// serial), hand the jobs to `dispatch` for join-path construction plus the
+/// verification cascade (phase 2, wherever the dispatcher runs them), then
+/// merge chunk results back **in original child order** (phase 3, serial).
+///
+/// The dispatcher contract is the heart of the engine's determinism: it may
+/// split `jobs` into any number of contiguous chunks and run them on any
+/// threads, but must return the chunk results in original job order.
+/// Emission order is then a pure function of the configuration — never of the
+/// worker count, chunk size, or which pool (scoped or shared) did the work.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_rounds(
+    db: &Database,
+    nlq: &Nlq,
+    model: &dyn GuidanceModel,
+    config: &DuoquestConfig,
+    deadline: Option<Instant>,
+    start: Instant,
+    stats: &mut EnumerationStats,
+    on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
+    dispatch: &mut dyn FnMut(Vec<ChildJob>) -> Vec<ChunkResult>,
+) {
+    let ctx = GuidanceContext { nlq, schema: db.schema() };
+    let beam_width = config.beam_width.max(1);
+    let mut heap: BinaryHeap<EnumState> = BinaryHeap::new();
+    let mut sequence: u64 = 0;
+    heap.push(EnumState::root());
+
+    let mut early_exit = false;
+    'rounds: while !heap.is_empty() {
+        if deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+            early_exit = true;
+            break 'rounds;
+        }
+
+        // Pop the beam: the top-k states by confidence, within the expansion budget.
+        let mut beam: Vec<EnumState> = Vec::with_capacity(beam_width);
+        while beam.len() < beam_width && stats.expanded < config.max_expansions {
+            let Some(state) = heap.pop() else { break };
+            stats.expanded += 1;
+            beam.push(state);
+        }
+        if beam.is_empty() {
+            early_exit = true; // expansion budget reached with work left
+            break 'rounds;
+        }
+        stats.rounds += 1;
+
+        // Phase 1 (serial, cheap): produce and score every child of the beam.
+        let mut jobs: Vec<ChildJob> = Vec::new();
+        for (beam_idx, state) in beam.iter().enumerate() {
+            // A state with no decision left is complete (it was verified and
+            // emitted when generated); a state with an empty child set is a
+            // dead end. Both just drop out of the frontier.
+            let Some(children) = enum_next_step(&state.pq, db, nlq, config) else { continue };
+            if children.is_empty() {
+                continue;
+            }
+            // Split choices from children instead of cloning every `Choice`
+            // for the scoring call.
+            let (choices, child_pqs): (Vec<Choice>, Vec<PartialQuery>) =
+                children.into_iter().unzip();
+            let raw =
+                if config.guided { model.score(&ctx, &choices) } else { vec![1.0; choices.len()] };
+            let scores = duoquest_nlq::guidance::normalize_scores(&raw);
+            for (pq, score) in child_pqs.into_iter().zip(scores) {
+                jobs.push(ChildJob { beam_idx, confidence: state.confidence * score, pq });
+            }
+        }
+
+        // Phase 2 (parallel): join paths + verification cascade per child.
+        let chunk_results = dispatch(jobs);
+
+        // Phase 3 (serial): merge in original child order — emission order and
+        // frontier sequence numbers are therefore independent of the worker count.
+        let mut timed_out = false;
+        for chunk in chunk_results {
+            stats.generated += chunk.generated;
+            for (idx, count) in chunk.prunes.iter().enumerate() {
+                stats.record(VerifyStage::ALL[idx], *count);
+            }
+            stats.stage_timings.merge(&chunk.timings);
+            timed_out |= chunk.timed_out;
+            for (spec, confidence) in chunk.emissions {
+                stats.emitted += 1;
+                if !on_candidate(spec, confidence, start.elapsed())
+                    || stats.emitted >= config.max_candidates
+                {
+                    early_exit = true;
+                    break 'rounds;
+                }
+            }
+            for (pq, confidence, beam_idx) in chunk.survivors {
+                sequence += 1;
+                heap.push(EnumState {
+                    pq,
+                    confidence,
+                    decisions: beam[beam_idx].decisions + 1,
+                    sequence,
+                });
+            }
+        }
+        if timed_out {
+            early_exit = true;
+            break 'rounds;
+        }
+
+        // Bound the frontier size: drop the lowest-confidence states.
+        if heap.len() > config.max_states {
+            let mut states: Vec<EnumState> = heap.into_vec();
+            states.sort_by(|a, b| b.cmp(a));
+            states.truncate(config.max_states / 2);
+            heap = BinaryHeap::from(states);
+        }
+    }
+
+    if !early_exit {
+        stats.exhausted = heap.is_empty() && stats.expanded < config.max_expansions;
+    }
 }
 
 /// Distribute the round's jobs over the persistent worker pool as contiguous
@@ -411,7 +444,7 @@ impl WorkerPool {
 
 /// Run one worker's share of the round: cheap partial pre-verification, join
 /// path attachment, then the full cascade per join variant.
-fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkResult {
+pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkResult {
     let mut out = ChunkResult::default();
     for (done, job) in jobs.into_iter().enumerate() {
         // Honor the wall-clock budget inside large fan-outs as well.

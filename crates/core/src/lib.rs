@@ -15,16 +15,23 @@
 //!   checks, the semantic pruning rules of Table 4, projected-type checks,
 //!   column-wise and row-wise database probes, literal-usage checks and order
 //!   checks;
-//! * [`engine`] — the [`Duoquest`](engine::Duoquest) facade that ties the
+//! * [`engine`] — the [`Duoquest`] facade that ties the
 //!   pieces together and returns a ranked candidate list (see its module docs
 //!   for the parallel, cache-aware core architecture);
-//! * [`session`] — owned [`SynthesisSession`](session::SynthesisSession)s
-//!   over an `Arc`-shared database, with channel-backed candidate streaming.
+//! * [`session`] — owned [`SynthesisSession`]s
+//!   over an `Arc`-shared database, with channel-backed candidate streaming;
+//! * [`scheduler`] — the shared
+//!   [`SessionScheduler`]: one long-lived worker
+//!   pool multiplexing any number of concurrent sessions with weighted
+//!   round-robin fairness.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod engine;
 pub mod enumerate;
 pub mod joinpath;
+pub mod scheduler;
 pub mod session;
 pub mod state;
 pub mod tsq;
@@ -33,6 +40,7 @@ pub mod verify;
 pub use config::DuoquestConfig;
 pub use engine::{Candidate, Duoquest, SynthesisResult};
 pub use enumerate::EnumerationStats;
+pub use scheduler::{SchedulerHandle, SchedulerRunStats, SchedulerStats, SessionScheduler};
 pub use session::{CandidateStream, SynthesisSession};
 pub use state::EnumState;
 pub use tsq::{TableSketchQuery, TsqCell};

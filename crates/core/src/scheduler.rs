@@ -1,0 +1,732 @@
+//! A shared batch scheduler multiplexing many
+//! [`SynthesisSession`](crate::session::SynthesisSession)s over one
+//! long-lived worker pool.
+//!
+//! The paper's interactive setting implies many users issuing
+//! dual-specification synthesis tasks concurrently. Giving every
+//! [`SynthesisSession`](crate::session::SynthesisSession) its own worker
+//! threads (the pre-scheduler design)
+//! stalls at one-pool-per-session: N concurrent sessions on a K-core box
+//! fight over cores with N×K threads, and a single expensive session can
+//! monopolize the machine. The [`SessionScheduler`] instead owns **one**
+//! worker pool for the whole process and serves any number of sessions from
+//! it:
+//!
+//! * Each session runs its serial round loop (beam pop, child expansion and
+//!   scoring, ordered merge) on its own driver thread, exactly as before.
+//! * The expensive phase — join-path construction plus the ascending-cost
+//!   verification cascade — is split into chunked **work units** and
+//!   submitted to the scheduler's fairness-aware queue.
+//! * Workers pull units in **weighted round-robin order across live
+//!   sessions** (weight = the session's beam width), so one session with a
+//!   huge fan-out cannot starve the others: every queue rotation serves each
+//!   session before returning to the first.
+//! * A session's chunk results are reassembled **in original child order**
+//!   before the merge, so its candidate emission sequence is byte-identical
+//!   to a single-session run on a private pool — for any pool size
+//!   (`tests/determinism.rs` asserts this under 2–8 interleaved sessions).
+//!
+//! Pool-wide behaviour is observable through [`SessionScheduler::stats`]
+//! (queue depth, busy workers, live sessions) and per-run through the
+//! [`SchedulerRunStats`] embedded in [`EnumerationStats`].
+//!
+//! # Example
+//!
+//! Two sessions sharing one pool:
+//!
+//! ```
+//! use duoquest_core::{DuoquestConfig, SessionScheduler, SynthesisSession};
+//! use duoquest_db::{ColumnDef, Database, Schema, TableDef, Value};
+//! use duoquest_nlq::{HeuristicGuidance, Literal, Nlq};
+//! use std::sync::Arc;
+//!
+//! // A tiny in-memory database: one table of movies.
+//! let mut schema = Schema::new("demo");
+//! schema.add_table(TableDef::new(
+//!     "movies",
+//!     vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+//!     Some(0),
+//! ));
+//! let mut db = Database::new(schema).unwrap();
+//! db.insert("movies", vec![Value::int(1), Value::text("Heat"), Value::int(1995)]).unwrap();
+//! db.insert("movies", vec![Value::int(2), Value::text("Up"), Value::int(2009)]).unwrap();
+//! db.rebuild_index();
+//! let db = db.into_shared();
+//!
+//! // One pool, two concurrent sessions multiplexed over it.
+//! let pool = SessionScheduler::new(2);
+//! let model = Arc::new(HeuristicGuidance::new());
+//! let sessions: Vec<_> = ["movie names before 2000", "movie names after 2000"]
+//!     .into_iter()
+//!     .map(|q| {
+//!         let nlq = Nlq::with_literals(q, vec![Literal::number(2000.0)]);
+//!         SynthesisSession::new(Arc::clone(&db), nlq, model.clone())
+//!             .with_config(DuoquestConfig::fast())
+//!             .with_scheduler(pool.handle())
+//!     })
+//!     .collect();
+//! for session in sessions {
+//!     let result = session.run();
+//!     assert!(!result.candidates.is_empty());
+//! }
+//! assert_eq!(pool.stats().live_sessions, 0);
+//! ```
+
+use crate::config::DuoquestConfig;
+use crate::enumerate::{
+    drive_rounds, process_chunk, ChildJob, ChunkResult, EnumerationStats, RoundEnv,
+    MIN_PARALLEL_JOBS,
+};
+use crate::tsq::TableSketchQuery;
+use crate::verify::Verifier;
+use duoquest_db::{Database, JoinGraph, RunCacheCounters, SelectSpec};
+use duoquest_nlq::{GuidanceModel, Literal, Nlq};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A point-in-time snapshot of the pool, from [`SessionScheduler::stats`] or
+/// [`SchedulerHandle::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerStats {
+    /// Worker threads owned by the pool.
+    pub workers: usize,
+    /// Workers currently executing a unit.
+    pub busy_workers: usize,
+    /// Work units queued and not yet picked up.
+    pub queue_depth: usize,
+    /// Sessions currently registered (running a synthesis round loop).
+    pub live_sessions: usize,
+    /// Work units executed since the pool started.
+    pub units_executed: u64,
+}
+
+/// Shared-pool observations recorded by one synthesis run, surfaced in
+/// [`EnumerationStats::scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerRunStats {
+    /// Worker threads of the pool that served the run.
+    pub pool_workers: usize,
+    /// Work units this run submitted to the shared queue.
+    pub units_submitted: u64,
+    /// Work units this run executed inline on its driver thread (fan-outs
+    /// too small to be worth the queue handoff).
+    pub units_inline: u64,
+    /// Deepest shared queue observed while this run was submitting,
+    /// including other sessions' units — a contention signal.
+    pub queue_depth_peak: usize,
+    /// Most busy workers observed while this run was submitting.
+    pub busy_workers_peak: usize,
+    /// Most live sessions observed while this run was submitting.
+    pub live_sessions_peak: usize,
+}
+
+/// Everything a pool worker needs to execute one of a session's work units,
+/// owned (`'static`) so the long-lived pool can outlive any borrow of the
+/// session's inputs. One context is built per synthesis run and shared by
+/// `Arc` between the driver thread and the workers.
+struct SessionContext {
+    db: Arc<Database>,
+    tsq: Option<TableSketchQuery>,
+    literals: Vec<Literal>,
+    config: DuoquestConfig,
+    graph: JoinGraph,
+    /// Per-session probe-cache attribution: the shared database's cache is hit
+    /// by every live session, these counters record only this session's
+    /// traffic (partial-query and complete-query cascades separately).
+    partial_counters: Arc<RunCacheCounters>,
+    complete_counters: Arc<RunCacheCounters>,
+    deadline: Option<Instant>,
+}
+
+impl SessionContext {
+    /// Run one chunk of the session's round: build borrow-scoped verifiers
+    /// over the owned context (cheap — counter `Arc` clones and a few
+    /// references) and hand off to the engine's chunk processor.
+    fn process(&self, jobs: Vec<ChildJob>) -> ChunkResult {
+        let partial_verifier = Verifier::new(
+            &self.db,
+            if self.config.prune_partial { self.tsq.as_ref() } else { None },
+            &self.literals,
+            self.config.semantic_rules && self.config.prune_partial,
+        )
+        .with_counters(Arc::clone(&self.partial_counters));
+        let complete_verifier =
+            Verifier::new(&self.db, self.tsq.as_ref(), &self.literals, self.config.semantic_rules)
+                .with_counters(Arc::clone(&self.complete_counters));
+        let env = RoundEnv {
+            db: &self.db,
+            graph: &self.graph,
+            config: &self.config,
+            partial_verifier: &partial_verifier,
+            complete_verifier: &complete_verifier,
+            deadline: self.deadline,
+        };
+        process_chunk(jobs, &env)
+    }
+}
+
+/// One queued unit of work: a contiguous chunk of a session's round.
+struct WorkUnit {
+    chunk_idx: usize,
+    jobs: Vec<ChildJob>,
+    ctx: Arc<SessionContext>,
+    result_tx: Sender<(usize, std::thread::Result<ChunkResult>)>,
+}
+
+/// One live session's slot in the fairness queue.
+struct SessionQueue {
+    id: u64,
+    /// Scheduling weight (the session's beam width): units granted per
+    /// round-robin rotation before the cursor moves on.
+    weight: usize,
+    /// Units remaining in the current rotation.
+    quantum: usize,
+    pending: VecDeque<WorkUnit>,
+}
+
+/// The fairness-aware queue: weighted round-robin across live sessions.
+#[derive(Default)]
+struct QueueState {
+    sessions: Vec<SessionQueue>,
+    /// Rotation cursor into `sessions`.
+    cursor: usize,
+    /// Total queued units across all sessions.
+    depth: usize,
+    next_id: u64,
+}
+
+impl QueueState {
+    fn session_mut(&mut self, id: u64) -> Option<&mut SessionQueue> {
+        self.sessions.iter_mut().find(|s| s.id == id)
+    }
+
+    /// Pop the next unit in weighted round-robin order: the cursor session
+    /// spends one quantum per pop and yields the cursor when its quantum (or
+    /// queue) is exhausted, so a session with weight *w* gets at most *w*
+    /// units per rotation and an expensive session cannot starve the rest.
+    fn pop(&mut self) -> Option<WorkUnit> {
+        if self.depth == 0 || self.sessions.is_empty() {
+            return None;
+        }
+        let n = self.sessions.len();
+        // Two full rotations suffice: the first may only refresh exhausted
+        // quanta, the second must find the queued work counted in `depth`.
+        for _ in 0..(2 * n) {
+            self.cursor %= n;
+            let slot = &mut self.sessions[self.cursor];
+            if slot.pending.is_empty() || slot.quantum == 0 {
+                slot.quantum = slot.weight.max(1);
+                self.cursor += 1;
+                continue;
+            }
+            slot.quantum -= 1;
+            self.depth -= 1;
+            return slot.pending.pop_front();
+        }
+        None
+    }
+}
+
+/// Pool state shared between the scheduler owner, session handles and workers.
+struct PoolCore {
+    queue: Mutex<QueueState>,
+    work_available: Condvar,
+    workers: usize,
+    busy: AtomicUsize,
+    units_executed: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl PoolCore {
+    fn stats(&self) -> SchedulerStats {
+        let queue = self.queue.lock().expect("scheduler queue poisoned");
+        SchedulerStats {
+            workers: self.workers,
+            busy_workers: self.busy.load(Ordering::Relaxed),
+            queue_depth: queue.depth,
+            live_sessions: queue.sessions.len(),
+            units_executed: self.units_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn register(&self, weight: usize) -> u64 {
+        let mut queue = self.queue.lock().expect("scheduler queue poisoned");
+        let id = queue.next_id;
+        queue.next_id += 1;
+        let weight = weight.max(1);
+        queue.sessions.push(SessionQueue { id, weight, quantum: weight, pending: VecDeque::new() });
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut queue = self.queue.lock().expect("scheduler queue poisoned");
+        if let Some(pos) = queue.sessions.iter().position(|s| s.id == id) {
+            let removed = queue.sessions.remove(pos);
+            queue.depth -= removed.pending.len();
+            if pos < queue.cursor {
+                queue.cursor -= 1;
+            }
+        }
+    }
+
+    fn submit(&self, id: u64, units: Vec<WorkUnit>) {
+        let mut queue = self.queue.lock().expect("scheduler queue poisoned");
+        // After shutdown no worker will ever pop again: drop the units here
+        // (disconnecting their result senders) so the submitting session gets
+        // a disconnect — and the documented panic — instead of a silent hang.
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let count = units.len();
+        let Some(slot) = queue.session_mut(id) else { return };
+        slot.pending.extend(units);
+        queue.depth += count;
+        drop(queue);
+        self.work_available.notify_all();
+    }
+
+    /// Worker side: block until a unit is available or the pool shuts down.
+    fn next_unit(&self) -> Option<WorkUnit> {
+        let mut queue = self.queue.lock().expect("scheduler queue poisoned");
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(unit) = queue.pop() {
+                return Some(unit);
+            }
+            queue = self.work_available.wait(queue).expect("scheduler queue poisoned");
+        }
+    }
+}
+
+fn worker_loop(core: Arc<PoolCore>) {
+    while let Some(unit) = core.next_unit() {
+        let WorkUnit { chunk_idx, jobs, ctx, result_tx } = unit;
+        core.busy.fetch_add(1, Ordering::Relaxed);
+        // Catch panics so a poisoned unit kills its session (which rethrows),
+        // not the shared worker serving every other session.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.process(jobs)));
+        core.busy.fetch_sub(1, Ordering::Relaxed);
+        core.units_executed.fetch_add(1, Ordering::Relaxed);
+        // A dropped receiver means the session abandoned the round; fine.
+        let _ = result_tx.send((chunk_idx, outcome));
+    }
+}
+
+/// A shared, long-lived worker pool serving any number of concurrent
+/// [`SynthesisSession`](crate::session::SynthesisSession)s (see the
+/// [module docs](self) for the design).
+///
+/// Dropping the scheduler shuts the pool down and joins its workers; sessions
+/// still running on it will panic on their next round, so keep the scheduler
+/// alive for as long as any session holds a [`SchedulerHandle`] to it.
+pub struct SessionScheduler {
+    core: Arc<PoolCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionScheduler {
+    /// Spawn a pool of `workers` threads (minimum 1). The typical process
+    /// creates exactly one scheduler, sized to the machine, and hands
+    /// [`SessionScheduler::handle`] clones to every session.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let core = Arc::new(PoolCore {
+            queue: Mutex::new(QueueState::default()),
+            work_available: Condvar::new(),
+            workers,
+            busy: AtomicUsize::new(0),
+            units_executed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("duoquest-pool-{i}"))
+                    .spawn(move || worker_loop(core))
+                    .expect("failed to spawn scheduler worker")
+            })
+            .collect();
+        SessionScheduler { core, workers: handles }
+    }
+
+    /// Size the pool to the machine (one worker per available CPU).
+    pub fn for_machine() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SessionScheduler::new(n)
+    }
+
+    /// A cloneable handle sessions use to submit work to this pool.
+    pub fn handle(&self) -> SchedulerHandle {
+        SchedulerHandle { core: Arc::clone(&self.core) }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Snapshot the pool's current load.
+    pub fn stats(&self) -> SchedulerStats {
+        self.core.stats()
+    }
+}
+
+impl Drop for SessionScheduler {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        self.work_available_broadcast();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Drain whatever was still queued: dropping a unit drops its result
+        // sender, so a session blocked on its round's results observes a
+        // disconnect (and panics, per the struct docs) instead of hanging
+        // forever. Units submitted after this point are dropped by `submit`
+        // itself, which checks `shutdown` under the same lock.
+        let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
+        for slot in queue.sessions.iter_mut() {
+            slot.pending.clear();
+        }
+        queue.depth = 0;
+    }
+}
+
+impl SessionScheduler {
+    fn work_available_broadcast(&self) {
+        // Take the lock so no worker can check `shutdown` and block between
+        // our store and the notify.
+        let _guard = self.core.queue.lock().expect("scheduler queue poisoned");
+        self.core.work_available.notify_all();
+    }
+}
+
+impl std::fmt::Debug for SessionScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionScheduler").field("stats", &self.stats()).finish()
+    }
+}
+
+/// A cloneable handle to a [`SessionScheduler`]'s pool. Attach one to a
+/// session with
+/// [`SynthesisSession::with_scheduler`](crate::session::SynthesisSession::with_scheduler).
+#[derive(Clone)]
+pub struct SchedulerHandle {
+    core: Arc<PoolCore>,
+}
+
+impl SchedulerHandle {
+    /// Snapshot the pool's current load.
+    pub fn stats(&self) -> SchedulerStats {
+        self.core.stats()
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+}
+
+impl std::fmt::Debug for SchedulerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerHandle").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Run one session's synthesis over the shared pool: the round loop runs on
+/// the calling thread, phase-2 chunks go through the scheduler's fairness
+/// queue, and chunk results are reassembled in original child order before
+/// the merge — so emission is byte-identical to a private-pool run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_rounds_scheduled(
+    handle: &SchedulerHandle,
+    db: &Arc<Database>,
+    nlq: &Nlq,
+    model: &dyn GuidanceModel,
+    tsq: Option<&TableSketchQuery>,
+    config: &DuoquestConfig,
+    on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
+) -> EnumerationStats {
+    let start = Instant::now();
+    let mut stats = EnumerationStats::default();
+    let deadline = config.time_budget.map(|budget| start + budget);
+    let ctx = Arc::new(SessionContext {
+        db: Arc::clone(db),
+        tsq: tsq.cloned(),
+        literals: nlq.literals.clone(),
+        config: config.clone(),
+        graph: JoinGraph::new(db.schema()),
+        partial_counters: Arc::new(RunCacheCounters::default()),
+        complete_counters: Arc::new(RunCacheCounters::default()),
+        deadline,
+    });
+
+    let core = &handle.core;
+    // The guard deregisters on drop, so a panicking session (e.g. a rethrown
+    // worker panic) cannot leak its queue slot and distort fairness forever.
+    let registration = SessionRegistration { core, id: core.register(config.beam_width) };
+    let session_id = registration.id;
+    let mut run_stats =
+        SchedulerRunStats { pool_workers: core.workers, ..SchedulerRunStats::default() };
+
+    drive_rounds(db, nlq, model, config, deadline, start, &mut stats, on_candidate, {
+        &mut |jobs| dispatch_round(core, session_id, &ctx, jobs, &mut run_stats)
+    });
+
+    drop(registration);
+
+    stats.elapsed = start.elapsed();
+    let (partial_hits, partial_misses) = ctx.partial_counters.snapshot();
+    let (complete_hits, complete_misses) = ctx.complete_counters.snapshot();
+    stats.cache_hits = partial_hits + complete_hits;
+    stats.cache_misses = partial_misses + complete_misses;
+    stats.cache_bytes = db.cache_stats().bytes;
+    stats.scheduler = Some(run_stats);
+    stats
+}
+
+/// Deregisters a session's queue slot on drop (panic-safe).
+struct SessionRegistration<'a> {
+    core: &'a Arc<PoolCore>,
+    id: u64,
+}
+
+impl Drop for SessionRegistration<'_> {
+    fn drop(&mut self) {
+        self.core.deregister(self.id);
+    }
+}
+
+/// Submit one round's jobs as chunked work units and wait for every chunk,
+/// returning results in original job order. Small fan-outs run inline on the
+/// driver thread — the queue handoff costs more than it saves. Everything
+/// else goes through the queue even on a 1-worker pool: the pool *is* the
+/// process's compute budget, so heavy work must serialize through it rather
+/// than spill onto N session driver threads.
+fn dispatch_round(
+    core: &Arc<PoolCore>,
+    session_id: u64,
+    ctx: &Arc<SessionContext>,
+    jobs: Vec<ChildJob>,
+    run_stats: &mut SchedulerRunStats,
+) -> Vec<ChunkResult> {
+    if jobs.len() < MIN_PARALLEL_JOBS {
+        run_stats.units_inline += 1;
+        return vec![ctx.process(jobs)];
+    }
+
+    // Aim for ~2 chunks per worker so the fairness queue can interleave
+    // sessions mid-round; chunk size only affects scheduling granularity,
+    // never results (chunk results are reassembled in job order below).
+    let chunk_size = jobs.len().div_ceil(core.workers * 2).max(MIN_PARALLEL_JOBS / 2);
+    let (result_tx, result_rx) = mpsc::channel();
+    let mut units = Vec::new();
+    let mut remaining = jobs;
+    while !remaining.is_empty() {
+        let tail = remaining.split_off(remaining.len().min(chunk_size));
+        units.push(WorkUnit {
+            chunk_idx: units.len(),
+            jobs: remaining,
+            ctx: Arc::clone(ctx),
+            result_tx: result_tx.clone(),
+        });
+        remaining = tail;
+    }
+    drop(result_tx);
+    let sent = units.len();
+    run_stats.units_submitted += sent as u64;
+    core.submit(session_id, units);
+
+    // Observe pool-wide contention while our units are in flight: once right
+    // after the submit (queue at its deepest) and once after each chunk
+    // completes (workers mid-execution on the remaining chunks) — a single
+    // post-submit sample would systematically read the workers as idle.
+    let observe = |run_stats: &mut SchedulerRunStats| {
+        let snapshot = core.stats();
+        run_stats.queue_depth_peak = run_stats.queue_depth_peak.max(snapshot.queue_depth);
+        run_stats.busy_workers_peak = run_stats.busy_workers_peak.max(snapshot.busy_workers);
+        run_stats.live_sessions_peak = run_stats.live_sessions_peak.max(snapshot.live_sessions);
+    };
+    observe(run_stats);
+
+    let mut results: Vec<Option<ChunkResult>> = (0..sent).map(|_| None).collect();
+    for received in 0..sent {
+        let (idx, outcome) =
+            result_rx.recv().expect("scheduler shut down while a session was running on it");
+        if received + 1 < sent {
+            observe(run_stats);
+        }
+        match outcome {
+            Ok(result) => results[idx] = Some(result),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    results.into_iter().map(|r| r.expect("every chunk reported")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SynthesisSession;
+    use crate::tsq::{TableSketchQuery, TsqCell};
+    use crate::verify::test_fixtures::movie_db;
+    use duoquest_db::{CmpOp, DataType};
+    use duoquest_nlq::{Literal, NoisyOracleGuidance, OracleConfig};
+    use duoquest_sql::QueryBuilder;
+
+    fn fixture() -> (Arc<Database>, Nlq, Arc<dyn GuidanceModel>, duoquest_db::SelectSpec) {
+        let db = movie_db().into_shared();
+        let gold = QueryBuilder::new(db.schema())
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model: Arc<dyn GuidanceModel> =
+            Arc::new(NoisyOracleGuidance::with_config(gold.clone(), 3, OracleConfig::perfect()));
+        (db, nlq, model, gold)
+    }
+
+    #[test]
+    fn weighted_round_robin_interleaves_sessions() {
+        // Session A (id 0): weight 1, 4 units tagged 0..4.
+        // Session B (id 1): weight 2, 4 units tagged 100..104.
+        let mut queue = QueueState::default();
+        let (tx, _rx) = mpsc::channel();
+        let ctx = test_ctx();
+        for (id, weight, tag_base) in [(0u64, 1usize, 0usize), (1, 2, 100)] {
+            queue.next_id = queue.next_id.max(id + 1);
+            let mut pending = VecDeque::new();
+            for i in 0..4 {
+                pending.push_back(WorkUnit {
+                    chunk_idx: tag_base + i,
+                    jobs: Vec::new(),
+                    ctx: Arc::clone(&ctx),
+                    result_tx: tx.clone(),
+                });
+            }
+            queue.depth += pending.len();
+            queue.sessions.push(SessionQueue { id, weight, quantum: weight, pending });
+        }
+        let mut order = Vec::new();
+        while let Some(unit) = queue.pop() {
+            order.push(unit.chunk_idx);
+        }
+        assert_eq!(queue.depth, 0);
+        // Weight-proportional service: one A unit, then two B units, per
+        // rotation, until a side drains; then the remainder streams out.
+        assert_eq!(order, vec![0, 100, 101, 1, 102, 103, 2, 3]);
+    }
+
+    fn test_ctx() -> Arc<SessionContext> {
+        let db = movie_db().into_shared();
+        let graph = JoinGraph::new(db.schema());
+        Arc::new(SessionContext {
+            db,
+            tsq: None,
+            literals: Vec::new(),
+            config: DuoquestConfig::fast(),
+            graph,
+            partial_counters: Arc::new(RunCacheCounters::default()),
+            complete_counters: Arc::new(RunCacheCounters::default()),
+            deadline: None,
+        })
+    }
+
+    #[test]
+    fn scheduled_session_matches_private_pool_session() {
+        let (db, nlq, model, _gold) = fixture();
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![TsqCell::text("Forrest Gump")]);
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        config.max_candidates = 30;
+
+        let private = SynthesisSession::new(Arc::clone(&db), nlq.clone(), Arc::clone(&model))
+            .with_tsq(tsq.clone())
+            .with_config(config.clone())
+            .run();
+
+        let pool = SessionScheduler::new(3);
+        let shared = SynthesisSession::new(db, nlq, model)
+            .with_tsq(tsq)
+            .with_config(config)
+            .with_scheduler(pool.handle())
+            .run();
+
+        let render = |r: &crate::engine::SynthesisResult| {
+            r.candidates.iter().map(|c| (format!("{:?}", c.spec), c.confidence)).collect::<Vec<_>>()
+        };
+        assert_eq!(render(&private), render(&shared));
+        assert_eq!(private.stats.emitted, shared.stats.emitted);
+        assert_eq!(private.stats.expanded, shared.stats.expanded);
+        assert_eq!(private.stats.total_pruned(), shared.stats.total_pruned());
+        // The shared run reports pool observations; this private run does not,
+        // because `fast()` keeps `workers = 1` and the session ran inline.
+        // (A private run with `workers > 1` would route through a
+        // compatibility pool and also set `stats.scheduler`.)
+        assert!(private.stats.scheduler.is_none());
+        let run = shared.stats.scheduler.expect("shared run records scheduler stats");
+        assert_eq!(run.pool_workers, 3);
+        assert!(run.units_submitted + run.units_inline > 0);
+    }
+
+    #[test]
+    fn shutdown_disconnects_queued_units_instead_of_stranding_sessions() {
+        let pool = SessionScheduler::new(1);
+        let core = Arc::clone(&pool.core);
+        let id = core.register(1);
+        drop(pool); // shutdown: workers joined, queue drained
+        let (tx, rx) = mpsc::channel();
+        let unit = WorkUnit { chunk_idx: 0, jobs: Vec::new(), ctx: test_ctx(), result_tx: tx };
+        core.submit(id, vec![unit]);
+        // A post-shutdown submit must drop the unit so the session's receiver
+        // disconnects (turning into the documented panic) rather than block
+        // forever on a queue no worker will ever pop.
+        assert!(rx.recv().is_err(), "unit must be dropped, not stranded");
+        assert_eq!(core.stats().queue_depth, 0);
+    }
+
+    #[test]
+    fn pool_stats_track_registration() {
+        let pool = SessionScheduler::new(2);
+        assert_eq!(pool.workers(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.live_sessions, 0);
+        assert_eq!(stats.queue_depth, 0);
+        let id = pool.core.register(4);
+        assert_eq!(pool.stats().live_sessions, 1);
+        pool.core.deregister(id);
+        assert_eq!(pool.stats().live_sessions, 0);
+    }
+
+    #[test]
+    fn many_sessions_share_one_pool_concurrently() {
+        let (db, nlq, model, gold) = fixture();
+        let pool = SessionScheduler::new(2);
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let session = SynthesisSession::new(Arc::clone(&db), nlq.clone(), model.clone())
+                    .with_config(config.clone())
+                    .with_scheduler(pool.handle());
+                std::thread::spawn(move || session.run())
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().expect("session thread panicked");
+            assert_eq!(result.rank_of(&gold), Some(1));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.live_sessions, 0, "all sessions deregistered");
+        assert_eq!(stats.queue_depth, 0, "no orphaned units");
+    }
+}

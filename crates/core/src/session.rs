@@ -23,7 +23,8 @@
 //! cut-off. See the determinism notes in `crate::enumerate`.
 
 use crate::config::DuoquestConfig;
-use crate::engine::{run_collect, Candidate, SynthesisResult};
+use crate::engine::{collect_ranked, run_collect, Candidate, SynthesisResult};
+use crate::scheduler::{run_rounds_scheduled, SchedulerHandle, SessionScheduler};
 use crate::tsq::TableSketchQuery;
 use duoquest_db::Database;
 use duoquest_nlq::{GuidanceModel, Nlq};
@@ -35,18 +36,65 @@ use std::time::Duration;
 
 /// An owned synthesis task: shared database + dual specification + model +
 /// configuration. Create one per user query; clone the `Arc`s, not the data.
+///
+/// # Example
+///
+/// Synthesize over a tiny in-memory database:
+///
+/// ```
+/// use duoquest_core::{DuoquestConfig, SynthesisSession};
+/// use duoquest_db::{ColumnDef, Database, Schema, TableDef, Value};
+/// use duoquest_nlq::{HeuristicGuidance, Literal, Nlq};
+/// use std::sync::Arc;
+///
+/// let mut schema = Schema::new("demo");
+/// schema.add_table(TableDef::new(
+///     "movies",
+///     vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+///     Some(0),
+/// ));
+/// let mut db = Database::new(schema).unwrap();
+/// db.insert("movies", vec![Value::int(1), Value::text("Heat"), Value::int(1995)]).unwrap();
+/// db.insert("movies", vec![Value::int(2), Value::text("Up"), Value::int(2009)]).unwrap();
+/// db.rebuild_index();
+///
+/// let nlq = Nlq::with_literals("movie names before 2000", vec![Literal::number(2000.0)]);
+/// let session = SynthesisSession::new(
+///     db.into_shared(),
+///     nlq,
+///     Arc::new(HeuristicGuidance::new()),
+/// )
+/// .with_config(DuoquestConfig::fast());
+/// let result = session.run();
+/// assert!(!result.candidates.is_empty());
+/// ```
 pub struct SynthesisSession {
     db: Arc<Database>,
     nlq: Nlq,
     tsq: Option<TableSketchQuery>,
     model: Arc<dyn GuidanceModel>,
     config: DuoquestConfig,
+    scheduler: Option<SchedulerHandle>,
 }
 
 impl SynthesisSession {
     /// Create a session with the default configuration and no TSQ.
+    ///
+    /// This is the compatibility constructor: without an attached
+    /// [`SessionScheduler`] handle, a parallel run
+    /// (`config.workers > 1`) spins up a **private** pool for just this run,
+    /// reproducing the pre-scheduler one-pool-per-session behaviour. To serve
+    /// many sessions from one pool, attach a shared handle with
+    /// [`SynthesisSession::with_scheduler`].
     pub fn new(db: Arc<Database>, nlq: Nlq, model: Arc<dyn GuidanceModel>) -> Self {
-        SynthesisSession { db, nlq, tsq: None, model, config: DuoquestConfig::default() }
+        SynthesisSession {
+            db,
+            nlq,
+            tsq: None,
+            model,
+            config: DuoquestConfig::default(),
+            scheduler: None,
+        }
     }
 
     /// Attach a table sketch query (the second half of the dual specification).
@@ -61,6 +109,15 @@ impl SynthesisSession {
         self
     }
 
+    /// Submit this session's verification work to a shared
+    /// [`SessionScheduler`] pool instead of a private one. The pool's worker
+    /// count (not `config.workers`) decides the parallelism; the emitted
+    /// candidate sequence is identical either way.
+    pub fn with_scheduler(mut self, handle: SchedulerHandle) -> Self {
+        self.scheduler = Some(handle);
+        self
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &DuoquestConfig {
         &self.config
@@ -69,6 +126,11 @@ impl SynthesisSession {
     /// The shared database the session probes.
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// The shared-pool handle this session submits to, if one is attached.
+    pub fn scheduler(&self) -> Option<&SchedulerHandle> {
+        self.scheduler.as_ref()
     }
 
     /// Run to completion and return the ranked candidates.
@@ -83,14 +145,43 @@ impl SynthesisSession {
     where
         F: FnMut(&Candidate) -> bool,
     {
-        run_collect(
-            &self.db,
-            &self.nlq,
-            self.model.as_ref(),
-            self.tsq.as_ref(),
-            &self.config,
-            on_candidate,
-        )
+        match &self.scheduler {
+            Some(handle) => self.run_on(handle, on_candidate),
+            // Compatibility: no shared pool attached. A parallel config gets a
+            // private pool scoped to this run (the pre-scheduler behaviour);
+            // a sequential config runs inline with no pool at all.
+            None if self.config.effective_workers() > 1 => {
+                let pool = SessionScheduler::new(self.config.effective_workers());
+                self.run_on(&pool.handle(), on_candidate)
+            }
+            None => run_collect(
+                &self.db,
+                &self.nlq,
+                self.model.as_ref(),
+                self.tsq.as_ref(),
+                &self.config,
+                on_candidate,
+            ),
+        }
+    }
+
+    /// Drive the round loop on this thread, dispatching verification chunks
+    /// to `handle`'s pool.
+    fn run_on<F>(&self, handle: &SchedulerHandle, on_candidate: F) -> SynthesisResult
+    where
+        F: FnMut(&Candidate) -> bool,
+    {
+        collect_ranked(on_candidate, |cb| {
+            run_rounds_scheduled(
+                handle,
+                &self.db,
+                &self.nlq,
+                self.model.as_ref(),
+                self.tsq.as_ref(),
+                &self.config,
+                cb,
+            )
+        })
     }
 
     /// Move the session onto a background thread and stream candidates as

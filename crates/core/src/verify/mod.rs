@@ -172,19 +172,36 @@ pub struct Verifier<'a> {
     literals: &'a [Literal],
     semantic_rules: bool,
     /// Per-run probe-cache hit/miss counters (atomic: one verifier is shared
-    /// by every worker of a synthesis run).
-    counters: RunCacheCounters,
+    /// by every worker of a synthesis run). Behind an `Arc` so short-lived
+    /// verifiers built per scheduler work unit can all feed one session's
+    /// counter set — per-session hit attribution on a database whose probe
+    /// cache is shared by many concurrent sessions.
+    counters: std::sync::Arc<RunCacheCounters>,
 }
 
 impl<'a> Verifier<'a> {
-    /// Create a verifier.
+    /// Create a verifier with its own fresh counter set.
     pub fn new(
         db: &'a Database,
         tsq: Option<&'a TableSketchQuery>,
         literals: &'a [Literal],
         semantic_rules: bool,
     ) -> Self {
-        Verifier { db, tsq, literals, semantic_rules, counters: RunCacheCounters::default() }
+        Verifier {
+            db,
+            tsq,
+            literals,
+            semantic_rules,
+            counters: std::sync::Arc::new(RunCacheCounters::default()),
+        }
+    }
+
+    /// Replace the verifier's counter set with a shared one, so cache traffic
+    /// is attributed to the session that owns `counters` rather than to this
+    /// verifier instance.
+    pub fn with_counters(mut self, counters: std::sync::Arc<RunCacheCounters>) -> Self {
+        self.counters = counters;
+        self
     }
 
     /// Probe-cache `(hits, misses)` recorded through this verifier.

@@ -19,11 +19,24 @@
 //!   clone, not a row copy.
 //! * **Observable.** Atomic hit/miss/byte counters feed the engine's
 //!   `EnumerationStats`, making cache effectiveness visible per synthesis run.
+//! * **Segment-rotation eviction.** Each shard keeps two generations of
+//!   entries, a *fresh* and a *stale* map. Inserts land in the fresh map; a
+//!   stale hit promotes the entry back to fresh. When an insert would push a
+//!   shard's fresh payload past half its byte budget (the cache cap split
+//!   evenly across shards), the shard **rotates** first: the stale
+//!   generation is dropped, fresh becomes stale, and a new fresh generation
+//!   starts. Entries untouched for two rotations therefore age out, while
+//!   anything the workload keeps re-probing is promoted and survives
+//!   indefinitely — so the hit rate stays high under churn instead of
+//!   collapsing the way the previous design (stop admitting beyond the cap)
+//!   did.
 //!
-//! The cache caps its payload at [`ProbeCache::DEFAULT_MAX_BYTES`]; once the
-//! estimated resident size exceeds the cap, new results are still returned to
-//! the caller but no longer retained (simple admission control — probe
-//! results are tiny, so the cap is rarely hit in practice).
+//! The byte budget defaults to [`ProbeCache::DEFAULT_MAX_BYTES`] and can be
+//! tuned per cache ([`ProbeCache::set_max_bytes`], or
+//! `Database::set_probe_cache_capacity`). Retention is strictly bounded by
+//! the budget: each generation stays within half a shard's slice (inserts
+//! rotate first, promotions that would overflow are skipped, and a result
+//! too large for half a slice on its own is returned uncached).
 
 use crate::executor::ResultSet;
 use crate::query::SelectSpec;
@@ -77,6 +90,8 @@ pub struct CacheStats {
     pub bytes: u64,
     /// Number of cached entries.
     pub entries: u64,
+    /// Segment rotations performed (generations of entries aged out).
+    pub rotations: u64,
 }
 
 impl CacheStats {
@@ -97,22 +112,81 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             bytes: self.bytes,
             entries: self.entries,
+            rotations: self.rotations.saturating_sub(earlier.rotations),
         }
     }
 }
 
-/// The sharded probe/result memo cache.
+/// Two generations of memoized entries plus their byte accounting; one per
+/// shard, guarded by the shard's lock.
 #[derive(Debug, Default)]
+struct Segments {
+    fresh: HashMap<SelectSpec, Arc<ResultSet>>,
+    stale: HashMap<SelectSpec, Arc<ResultSet>>,
+    fresh_bytes: u64,
+    stale_bytes: u64,
+}
+
+impl Segments {
+    fn entries(&self) -> u64 {
+        (self.fresh.len() + self.stale.len()) as u64
+    }
+
+    fn bytes(&self) -> u64 {
+        self.fresh_bytes + self.stale_bytes
+    }
+
+    /// Age out the stale generation and start a new fresh one.
+    fn rotate(&mut self) {
+        self.stale = std::mem::take(&mut self.fresh);
+        self.stale_bytes = self.fresh_bytes;
+        self.fresh_bytes = 0;
+    }
+}
+
+/// The sharded probe/result memo cache with segment-rotation eviction.
+#[derive(Debug)]
 pub struct ProbeCache {
-    shards: [RwLock<HashMap<SelectSpec, Arc<ResultSet>>>; SHARD_COUNT],
+    shards: [RwLock<Segments>; SHARD_COUNT],
     hits: AtomicU64,
     misses: AtomicU64,
-    bytes: AtomicU64,
+    rotations: AtomicU64,
+    max_bytes: AtomicU64,
+}
+
+impl Default for ProbeCache {
+    fn default() -> Self {
+        ProbeCache::with_max_bytes(Self::DEFAULT_MAX_BYTES)
+    }
 }
 
 impl ProbeCache {
-    /// Retention cap on the estimated cached payload (64 MiB).
+    /// Default byte budget for the cached payload (64 MiB).
     pub const DEFAULT_MAX_BYTES: u64 = 64 << 20;
+
+    /// Create a cache with an explicit byte budget (split evenly across the
+    /// shards; each shard rotates generations at half its slice, so total
+    /// retention stays within the budget).
+    pub fn with_max_bytes(max_bytes: u64) -> Self {
+        ProbeCache {
+            shards: Default::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+            max_bytes: AtomicU64::new(max_bytes.max(1)),
+        }
+    }
+
+    /// Replace the byte budget. Takes effect on subsequent inserts; a smaller
+    /// budget shrinks the cache through the normal rotation churn.
+    pub fn set_max_bytes(&self, max_bytes: u64) {
+        self.max_bytes.store(max_bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// The current byte budget.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes.load(Ordering::Relaxed)
+    }
 
     /// Canonical hash of a spec. Deterministic within a process; used for
     /// shard selection (the map key is the full spec, so hash collisions are
@@ -123,57 +197,130 @@ impl ProbeCache {
         hasher.finish()
     }
 
-    fn shard(&self, fingerprint: u64) -> &RwLock<HashMap<SelectSpec, Arc<ResultSet>>> {
+    fn shard(&self, fingerprint: u64) -> &RwLock<Segments> {
         &self.shards[(fingerprint as usize) & (SHARD_COUNT - 1)]
     }
 
-    /// Look up a memoized result. Counts a hit or miss.
-    pub fn get(&self, spec: &SelectSpec) -> Option<Arc<ResultSet>> {
-        let shard = self.shard(Self::fingerprint(spec));
-        let found = shard.read().expect("probe cache lock poisoned").get(spec).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// A shard rotates when its fresh generation outgrows half the shard's
+    /// slice of the byte budget, so fresh + stale stay within the slice.
+    fn rotation_threshold(&self) -> u64 {
+        (self.max_bytes.load(Ordering::Relaxed) / SHARD_COUNT as u64 / 2).max(1)
     }
 
-    /// Memoize a result (no-op beyond the byte cap). Returns the stored arc.
+    /// Look up a memoized result. Counts a hit or miss; a stale-generation
+    /// hit promotes the entry back into the fresh generation so entries the
+    /// workload keeps re-probing survive rotation.
+    pub fn get(&self, spec: &SelectSpec) -> Option<Arc<ResultSet>> {
+        let shard = self.shard(Self::fingerprint(spec));
+        {
+            let segments = shard.read().expect("probe cache lock poisoned");
+            if let Some(found) = segments.fresh.get(spec) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(found));
+            }
+            match segments.stale.get(spec) {
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                Some(found) => {
+                    // Promotion would overflow the fresh generation: serve the
+                    // stale hit directly under the shared lock. A hot set too
+                    // big to promote must not degrade every hit to the write
+                    // lock.
+                    let cost = estimate_bytes(found);
+                    if segments.fresh_bytes + cost > self.rotation_threshold() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(Arc::clone(found));
+                    }
+                }
+            }
+        }
+        // Stale hit: promote under the write lock (re-checking, since the
+        // entry may have moved or vanished between the locks). Promotion is
+        // skipped when it would push the fresh generation past its half of
+        // the budget slice — the entry is still served, it just stays stale —
+        // so fresh and stale each stay within half a slice and retention
+        // never exceeds the configured budget.
+        let mut segments = shard.write().expect("probe cache lock poisoned");
+        if let Some(value) = segments.stale.get(spec) {
+            let cost = estimate_bytes(value);
+            let result = Arc::clone(value);
+            if segments.fresh_bytes + cost <= self.rotation_threshold() {
+                let (key, value) =
+                    segments.stale.remove_entry(spec).expect("checked under the same lock");
+                segments.stale_bytes = segments.stale_bytes.saturating_sub(cost);
+                segments.fresh_bytes += cost;
+                segments.fresh.insert(key, value);
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(result);
+        }
+        match segments.fresh.get(spec) {
+            Some(found) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(found))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoize a result in the fresh generation, rotating the shard's
+    /// generations first if the insert would overflow the fresh half of the
+    /// shard's budget slice — so fresh + stale never exceed the slice and
+    /// total retention never exceeds the configured budget. A result larger
+    /// than the fresh half on its own is handed back uncached. Returns the
+    /// stored (or unstored) arc.
     pub fn insert(&self, spec: &SelectSpec, result: ResultSet) -> Arc<ResultSet> {
         let result = Arc::new(result);
         let cost = estimate_bytes(&result);
-        if self.bytes.load(Ordering::Relaxed) + cost > Self::DEFAULT_MAX_BYTES {
-            return result; // over budget: hand the result back uncached
+        let threshold = self.rotation_threshold();
+        if cost > threshold {
+            return result; // would blow the budget by itself: don't retain
         }
         let shard = self.shard(Self::fingerprint(spec));
-        let mut map = shard.write().expect("probe cache lock poisoned");
+        let mut segments = shard.write().expect("probe cache lock poisoned");
         // A racing worker may have inserted the same probe; keep one copy.
-        let entry = map.entry(spec.clone()).or_insert_with(|| {
-            self.bytes.fetch_add(cost, Ordering::Relaxed);
-            Arc::clone(&result)
-        });
-        Arc::clone(entry)
+        if let Some(existing) = segments.fresh.get(spec) {
+            return Arc::clone(existing);
+        }
+        if let Some(old) = segments.stale.remove(spec) {
+            segments.stale_bytes = segments.stale_bytes.saturating_sub(estimate_bytes(&old));
+        }
+        if segments.fresh_bytes + cost > threshold {
+            segments.rotate();
+            self.rotations.fetch_add(1, Ordering::Relaxed);
+        }
+        segments.fresh_bytes += cost;
+        segments.fresh.insert(spec.clone(), Arc::clone(&result));
+        result
     }
 
     /// Drop every entry (called when the underlying data changes).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("probe cache lock poisoned").clear();
+            let mut segments = shard.write().expect("probe cache lock poisoned");
+            *segments = Segments::default();
         }
-        self.bytes.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.
     pub fn stats(&self) -> CacheStats {
+        let (mut bytes, mut entries) = (0u64, 0u64);
+        for shard in &self.shards {
+            let segments = shard.read().expect("probe cache lock poisoned");
+            bytes += segments.bytes();
+            entries += segments.entries();
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.read().expect("probe cache lock poisoned").len() as u64)
-                .sum(),
+            bytes,
+            entries,
+            rotations: self.rotations.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,11 +433,109 @@ mod tests {
 
     #[test]
     fn stats_since_subtracts_counters() {
-        let earlier = CacheStats { hits: 2, misses: 3, bytes: 10, entries: 1 };
-        let later = CacheStats { hits: 7, misses: 4, bytes: 20, entries: 2 };
+        let earlier = CacheStats { hits: 2, misses: 3, bytes: 10, entries: 1, rotations: 1 };
+        let later = CacheStats { hits: 7, misses: 4, bytes: 20, entries: 2, rotations: 3 };
         let delta = later.since(&earlier);
         assert_eq!(delta.hits, 5);
         assert_eq!(delta.misses, 1);
         assert_eq!(delta.entries, 2);
+        assert_eq!(delta.rotations, 2);
+    }
+
+    /// Distinct specs (different limits) that all land in one small cache.
+    fn spec_with_limit(db: &Database, limit: usize) -> SelectSpec {
+        let mut s = spec(db);
+        s.limit = Some(limit);
+        s
+    }
+
+    #[test]
+    fn rotation_evicts_cold_entries_instead_of_refusing_admission() {
+        let db = db();
+        // A budget small enough that a stream of distinct probes forces many
+        // rotations (each cached result is a few hundred bytes).
+        let cache = ProbeCache::with_max_bytes(SHARD_COUNT as u64 * 2_000);
+        for limit in 1..200 {
+            let s = spec_with_limit(&db, limit);
+            cache.insert(&s, crate::executor::execute(&db, &s).unwrap());
+        }
+        let stats = cache.stats();
+        assert!(stats.rotations > 0, "small budget must force rotations: {stats:?}");
+        // Old entries aged out; retention stays within the budget.
+        assert!(stats.bytes <= cache.max_bytes(), "{stats:?}");
+        assert!(stats.entries < 199, "{stats:?}");
+        // Crucially, the *latest* probes are still being cached (the old
+        // admission-control design stopped caching entirely at this point).
+        let last = spec_with_limit(&db, 199);
+        assert!(cache.get(&last).is_some(), "fresh entries must still be admitted");
+    }
+
+    #[test]
+    fn stale_hit_promotes_entry_across_rotations() {
+        let db = db();
+        let cache = ProbeCache::default();
+        let hot = spec_with_limit(&db, 1);
+        cache.insert(&hot, crate::executor::execute(&db, &hot).unwrap());
+        // Force a rotation of the hot entry's shard by hand.
+        let shard = cache.shard(ProbeCache::fingerprint(&hot));
+        shard.write().unwrap().rotate();
+        // The entry is now stale; a hit must return it and promote it back.
+        assert!(cache.get(&hot).is_some(), "stale generation still serves hits");
+        let segments = shard.read().unwrap();
+        assert!(segments.fresh.contains_key(&hot), "hit must promote to fresh");
+        assert!(!segments.stale.contains_key(&hot));
+        drop(segments);
+        // A second hand rotation + hit keeps it alive indefinitely.
+        shard.write().unwrap().rotate();
+        assert!(cache.get(&hot).is_some());
+    }
+
+    #[test]
+    fn oversized_results_are_served_but_not_retained() {
+        let db = db();
+        // Budget so small that any real result exceeds half a shard slice.
+        let cache = ProbeCache::with_max_bytes(SHARD_COUNT as u64 * 4);
+        let s = spec(&db);
+        let arc = cache.insert(&s, crate::executor::execute(&db, &s).unwrap());
+        assert_eq!(arc.len(), 1, "caller still gets the result");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "oversized results must not be retained: {stats:?}");
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn retention_never_exceeds_the_budget_under_churn_and_promotion() {
+        let db = db();
+        let budget = SHARD_COUNT as u64 * 2_000;
+        let cache = ProbeCache::with_max_bytes(budget);
+        // Interleave a churning stream of distinct probes with re-probes of a
+        // small hot set (exercising stale promotion next to rotation).
+        for round in 0..5 {
+            for limit in 1..150 {
+                let s = spec_with_limit(&db, limit);
+                if cache.get(&s).is_none() {
+                    cache.insert(&s, crate::executor::execute(&db, &s).unwrap());
+                }
+                let hot = spec_with_limit(&db, 1 + (round % 3));
+                let _ = cache.get(&hot);
+                assert!(
+                    cache.stats().bytes <= budget,
+                    "retention exceeded the budget at round {round}, limit {limit}: {:?}",
+                    cache.stats()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_max_bytes_takes_effect() {
+        let cache = ProbeCache::default();
+        assert_eq!(cache.max_bytes(), ProbeCache::DEFAULT_MAX_BYTES);
+        cache.set_max_bytes(1024);
+        assert_eq!(cache.max_bytes(), 1024);
+        // Budget zero is clamped to one byte rather than dividing by zero.
+        cache.set_max_bytes(0);
+        assert_eq!(cache.max_bytes(), 1);
+        assert_eq!(cache.rotation_threshold(), 1);
     }
 }

@@ -260,6 +260,13 @@ impl Database {
     pub fn clear_probe_cache(&self) {
         self.probe_cache.clear();
     }
+
+    /// Replace the probe cache's byte budget (see
+    /// [`crate::cache::ProbeCache::set_max_bytes`]). Shared-reference
+    /// friendly, so a capacity can be tuned on an `Arc`-shared database.
+    pub fn set_probe_cache_capacity(&self, max_bytes: u64) {
+        self.probe_cache.set_max_bytes(max_bytes);
+    }
 }
 
 // The parallel synthesis session shares one `Database` across its worker

@@ -8,11 +8,32 @@ pub enum DbError {
     /// A table name was referenced that does not exist in the schema.
     UnknownTable(String),
     /// A column name was referenced that does not exist on the given table.
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        /// The table whose columns were searched.
+        table: String,
+        /// The unresolved column name.
+        column: String,
+    },
     /// A row was inserted whose arity does not match the table definition.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        /// The table the row was inserted into.
+        table: String,
+        /// Number of columns the table defines.
+        expected: usize,
+        /// Number of values the row carried.
+        got: usize,
+    },
     /// A value's type does not match the column's declared type.
-    TypeMismatch { table: String, column: String, expected: String, got: String },
+    TypeMismatch {
+        /// The table the value was inserted into.
+        table: String,
+        /// The column whose declared type was violated.
+        column: String,
+        /// The column's declared type.
+        expected: String,
+        /// The offending value's type.
+        got: String,
+    },
     /// A foreign key references a column pair with incompatible types.
     InvalidForeignKey(String),
     /// The query specification is not executable (e.g. empty join tree,

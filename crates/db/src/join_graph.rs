@@ -164,7 +164,7 @@ impl JoinGraph {
     /// Approximate minimum Steiner tree over the given terminal tables using the
     /// classic metric-closure construction (shortest paths + greedy merge).
     /// With unit edge weights and the small schemas of the workloads this gives
-    /// the same trees as the paper's formulation (which follows [2]).
+    /// the same trees as the paper's formulation (which follows \[2\]).
     pub fn steiner_tree(&self, terminals: &[TableId]) -> DbResult<JoinTree> {
         let mut terms: Vec<TableId> = terminals.to_vec();
         terms.sort();

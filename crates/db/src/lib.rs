@@ -18,6 +18,8 @@
 //! prototype compiled candidate queries and verification probes down to SQL
 //! executed on PostgreSQL.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod database;
 pub mod error;

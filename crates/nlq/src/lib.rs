@@ -10,7 +10,7 @@
 //!   the database's inverted column index as in the autocomplete interface of
 //!   the paper's front end (§4);
 //! * [`similarity`] — lexical similarity between NLQ tokens and schema names;
-//! * [`guidance`] — the [`GuidanceModel`](guidance::GuidanceModel) trait: the
+//! * [`guidance`] — the [`GuidanceModel`] trait: the
 //!   pluggable enumeration guidance interface described in §3.3.5 of the paper
 //!   (any model producing per-decision scores in `[0, 1]` that satisfy
 //!   Property 1 can drive GPQE);

@@ -3,7 +3,7 @@
 //! the worker count or thread scheduling — on a fixed synthetic Spider
 //! workload.
 
-use duoquest::core::{Duoquest, DuoquestConfig, SynthesisResult};
+use duoquest::core::{Duoquest, DuoquestConfig, SessionScheduler, SynthesisResult};
 use duoquest::nlq::NoisyOracleGuidance;
 use duoquest::workloads::{spider, synthesize_tsq, TsqDetail};
 use std::sync::Arc;
@@ -62,6 +62,83 @@ fn parallel_session_equals_sequential_path_per_task() {
         assert_eq!(seq.stats.emitted, par.stats.emitted, "task {}", task.id);
         assert_eq!(seq.stats.expanded, par.stats.expanded, "task {}", task.id);
         assert_eq!(seq.stats.total_pruned(), par.stats.total_pruned(), "task {}", task.id);
+    }
+}
+
+/// Run one task through a session attached to `pool` (or a private pool when
+/// `None`).
+fn run_task_on(
+    dataset: &spider::SpiderDataset,
+    task: &spider::SpiderTask,
+    seed: u64,
+    config: &DuoquestConfig,
+    pool: Option<&SessionScheduler>,
+) -> SynthesisResult {
+    let db = dataset.database(task);
+    let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, seed);
+    let model = NoisyOracleGuidance::new(gold, seed);
+    let mut session = Duoquest::new(config.clone())
+        .session(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+        .with_tsq(tsq);
+    if let Some(pool) = pool {
+        session = session.with_scheduler(pool.handle());
+    }
+    session.run()
+}
+
+/// The tentpole guarantee of the shared batch scheduler: any number of
+/// concurrent sessions (2–8 here) interleaved over one shared pool each emit
+/// a candidate sequence identical to their single-session run, for any pool
+/// worker count.
+#[test]
+fn interleaved_sessions_on_shared_pool_match_single_session_runs() {
+    let dataset = Arc::new(workload());
+    let config = base_config();
+    // Ground truth: each task run alone on a private sequential session.
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task_on(&dataset, task, 300 + i as u64, &config, None)))
+        .collect();
+
+    for pool_workers in [1usize, 2, 4] {
+        for concurrency in [2usize, 4, 8] {
+            let pool = Arc::new(SessionScheduler::new(pool_workers));
+            // `concurrency` sessions run truly interleaved: each drives its
+            // own round loop on its own thread while sharing the pool's
+            // workers (tasks are reused cyclically to reach 8 sessions).
+            let handles: Vec<_> = (0..concurrency)
+                .map(|s| {
+                    let dataset = Arc::clone(&dataset);
+                    let pool = Arc::clone(&pool);
+                    let config = config.clone();
+                    let task_idx = s % dataset.tasks.len();
+                    std::thread::spawn(move || {
+                        let task = &dataset.tasks[task_idx];
+                        let result = run_task_on(
+                            &dataset,
+                            task,
+                            300 + task_idx as u64,
+                            &config,
+                            Some(&pool),
+                        );
+                        (task_idx, ranking(&result))
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (task_idx, shared_ranking) = handle.join().expect("session thread panicked");
+                assert_eq!(
+                    solo[task_idx], shared_ranking,
+                    "task {task_idx} diverged with {concurrency} sessions on a \
+                     {pool_workers}-worker shared pool"
+                );
+            }
+            let stats = pool.stats();
+            assert_eq!(stats.live_sessions, 0, "sessions must deregister");
+            assert_eq!(stats.queue_depth, 0, "no work may be left behind");
+        }
     }
 }
 
