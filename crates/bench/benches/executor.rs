@@ -1,48 +1,154 @@
-//! Criterion micro-benchmark: executor primitives on the MAS database —
-//! the cheap `LIMIT 1` verification probes vs a full grouped join query.
+//! Criterion micro-benchmark: the streaming operator executor vs the
+//! materializing baseline (`limit_pushdown: false`, i.e. the pre-streaming
+//! executor) on two workloads:
+//!
+//! * a **spider-workload probe mix** — the verifier-shaped `SELECT … WHERE
+//!   col = v LIMIT 1` probes over every column of a generated Spider
+//!   database, half hitting and half missing;
+//! * a **large join** — a high-fanout two-table join where the joined
+//!   relation dwarfs the base tables, probed with `LIMIT 1` and fully
+//!   evaluated with 1/2/4 hash partitions.
+//!
+//! Before timing, the bench prints the rows-scanned ratio between the two
+//! strategies so the limit-pushdown win is visible without a stopwatch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use duoquest_db::{
-    execute, AggFunc, CmpOp, JoinGraph, JoinTree, Predicate, SelectItem, SelectSpec, Value,
+    execute_with, CmpOp, ColumnDef, DataType, Database, ExecOptions, JoinGraph, JoinTree,
+    Predicate, Schema, SelectItem, SelectSpec, TableDef, Value,
 };
-use duoquest_workloads::MasDataset;
+use duoquest_workloads::spider;
 
-fn bench_executor(c: &mut Criterion) {
-    let mas = MasDataset::standard();
-    let schema = mas.db.schema();
+/// Verifier-shaped probe mix over every column of `db`: one probe for a value
+/// that exists (the first row's) and one for a value that cannot.
+fn probe_mix(db: &Database) -> Vec<SelectSpec> {
+    let schema = db.schema();
+    let mut probes = Vec::new();
+    for col in schema.all_columns() {
+        let data = db.table_data(col.table);
+        let Some(first) = data.rows.first() else { continue };
+        let hit = first.0[col.column].clone();
+        let miss = match schema.column(col).dtype {
+            DataType::Number => Value::Number(-1.0e12),
+            DataType::Text => Value::text("no such value anywhere"),
+        };
+        for value in [hit, miss] {
+            if value.is_null() {
+                continue;
+            }
+            probes.push(SelectSpec {
+                select: vec![SelectItem::column(col)],
+                join: JoinTree::single(col.table),
+                predicates: vec![Predicate::new(col, CmpOp::Eq, value)],
+                limit: Some(1),
+                ..Default::default()
+            });
+        }
+    }
+    probes
+}
 
-    // Column-wise probe: SELECT name FROM conference WHERE name = 'SIGMOD' LIMIT 1.
-    let conf_name = schema.column_id("conference", "name").unwrap();
-    let probe = SelectSpec {
-        select: vec![SelectItem::column(conf_name)],
-        join: JoinTree::single(schema.table_id("conference").unwrap()),
-        predicates: vec![Predicate::new(conf_name, CmpOp::Eq, Value::text("SIGMOD"))],
+/// High-fanout fixture: `left` (4000 rows) ⋈ `right` (50 keys × 40 rows)
+/// joins to 160 000 rows.
+fn fanout_db() -> Database {
+    let mut s = Schema::new("fanout");
+    s.add_table(TableDef::new("right", vec![ColumnDef::number("k"), ColumnDef::number("v")], None));
+    s.add_table(TableDef::new(
+        "left",
+        vec![ColumnDef::number("id"), ColumnDef::number("k")],
+        Some(0),
+    ));
+    s.add_foreign_key("left", "k", "right", "k").unwrap();
+    let mut db = Database::new(s).unwrap();
+    db.insert_all("right", (0..2000).map(|i| vec![Value::int(i % 50), Value::int(i)])).unwrap();
+    db.insert_all("left", (0..4000).map(|i| vec![Value::int(i), Value::int(i % 50)])).unwrap();
+    db.rebuild_index();
+    db
+}
+
+fn fanout_probe(db: &Database) -> SelectSpec {
+    let schema = db.schema();
+    let join = JoinGraph::new(schema)
+        .steiner_tree(&[schema.table_id("left").unwrap(), schema.table_id("right").unwrap()])
+        .unwrap();
+    SelectSpec {
+        select: vec![
+            SelectItem::column(schema.column_id("left", "id").unwrap()),
+            SelectItem::column(schema.column_id("right", "v").unwrap()),
+        ],
+        join,
         limit: Some(1),
         ..Default::default()
-    };
+    }
+}
 
-    // Full grouped join: authors and their publication counts.
-    let graph = JoinGraph::new(schema);
-    let author_name = schema.column_id("author", "name").unwrap();
-    let join = graph
-        .steiner_tree(&[
-            schema.table_id("author").unwrap(),
-            schema.table_id("publication").unwrap(),
-        ])
-        .unwrap();
-    let grouped = SelectSpec {
-        select: vec![SelectItem::column(author_name), SelectItem::count_star()],
-        join,
-        group_by: vec![author_name],
-        having: vec![Predicate::having(AggFunc::Count, None, CmpOp::Gt, Value::int(3))],
-        ..Default::default()
-    };
+const STREAMING: ExecOptions = ExecOptions {
+    row_budget: None,
+    limit_pushdown: true,
+    join_partitions: 1,
+    parallel_join_threshold: duoquest_db::executor::PARALLEL_JOIN_THRESHOLD,
+};
+const MATERIALIZING: ExecOptions = ExecOptions { limit_pushdown: false, ..STREAMING };
+
+/// Total rows scanned executing `specs` under `opts`.
+fn rows_scanned(db: &Database, specs: &[SelectSpec], opts: &ExecOptions) -> u64 {
+    specs.iter().map(|s| execute_with(db, s, opts).unwrap().metrics.rows_scanned).sum()
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let dataset = spider::generate("bench-exec", 1, 3, 3, 2, 42);
+    let spider_db = dataset.database(&dataset.tasks[0]);
+    let probes = probe_mix(spider_db);
+
+    let fanout = fanout_db();
+    let probe = fanout_probe(&fanout);
+
+    // The observable win, independent of wall clock: rows-scanned ratios.
+    let spider_streamed = rows_scanned(spider_db, &probes, &STREAMING);
+    let spider_materialized = rows_scanned(spider_db, &probes, &MATERIALIZING);
+    let join_streamed = rows_scanned(&fanout, std::slice::from_ref(&probe), &STREAMING);
+    let join_materialized = rows_scanned(&fanout, std::slice::from_ref(&probe), &MATERIALIZING);
+    println!(
+        "rows scanned, spider probe mix ({} probes): streaming {} vs materialized {} ({:.1}%)",
+        probes.len(),
+        spider_streamed,
+        spider_materialized,
+        100.0 * spider_streamed as f64 / spider_materialized.max(1) as f64
+    );
+    println!(
+        "rows scanned, large-join LIMIT 1 probe: streaming {} vs materialized {} ({:.2}%)",
+        join_streamed,
+        join_materialized,
+        100.0 * join_streamed as f64 / join_materialized.max(1) as f64
+    );
 
     let mut group = c.benchmark_group("executor");
-    group.bench_function("column_probe_limit1", |b| b.iter(|| execute(&mas.db, &probe).unwrap()));
-    group.bench_function("grouped_three_way_join", |b| {
-        b.iter(|| execute(&mas.db, &grouped).unwrap())
+    group.bench_function("spider_probe_mix_streaming", |b| {
+        b.iter(|| rows_scanned(spider_db, &probes, &STREAMING))
     });
+    group.bench_function("spider_probe_mix_materialized", |b| {
+        b.iter(|| rows_scanned(spider_db, &probes, &MATERIALIZING))
+    });
+    group.bench_function("large_join_limit1_streaming", |b| {
+        b.iter(|| execute_with(&fanout, &probe, &STREAMING).unwrap().result.len())
+    });
+    group.bench_function("large_join_limit1_materialized", |b| {
+        b.iter(|| execute_with(&fanout, &probe, &MATERIALIZING).unwrap().result.len())
+    });
+
+    // Full (unlimited) join evaluation across partition counts.
+    let mut full = fanout_probe(&fanout);
+    full.limit = None;
+    for partitions in [1usize, 2, 4] {
+        let opts = ExecOptions {
+            join_partitions: partitions,
+            parallel_join_threshold: 1,
+            ..MATERIALIZING
+        };
+        group.bench_function(format!("full_join_{partitions}_partitions"), |b| {
+            b.iter(|| execute_with(&fanout, &full, &opts).unwrap().result.len())
+        });
+    }
     group.finish();
 }
 

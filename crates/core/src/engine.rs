@@ -30,7 +30,11 @@
 //!   `Arc`) across the worker pool; its probe/result memo cache
 //!   (`duoquest_db::ProbeCache`) memoizes the verifier's repeated
 //!   `SELECT … LIMIT 1` probes behind sharded locks, with hit/miss/byte
-//!   counters surfaced per run in [`EnumerationStats`].
+//!   counters surfaced per run in [`EnumerationStats`]. Cache misses run
+//!   the streaming operator executor (see `docs/EXECUTOR.md`), whose
+//!   limit pushdown stops scanning as soon as a probe's limit is
+//!   satisfied — the per-run `rows_scanned`/`rows_short_circuited`
+//!   counters in [`EnumerationStats`] make that win observable.
 //! * **core** — the round engine pops the top-`beam_width` states, fans child
 //!   expansion + verification across `workers` threads, and merges results
 //!   back **in child order**, so — absent a wall-clock `time_budget` — the

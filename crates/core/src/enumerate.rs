@@ -75,6 +75,12 @@ pub struct EnumerationStats {
     pub cache_misses: u64,
     /// Estimated bytes retained by the probe cache at the end of the run.
     pub cache_bytes: u64,
+    /// Executor rows scanned by this run's probe executions (base-table rows
+    /// pulled plus join rows produced; cache hits scan nothing).
+    pub rows_scanned: u64,
+    /// Probe-side rows the streaming executor never pulled because a limit
+    /// was already satisfied — the observable win of limit pushdown.
+    pub rows_short_circuited: u64,
     /// Shared-pool observations, when the run was served by a
     /// [`crate::scheduler::SessionScheduler`] (`None` for runs on a private
     /// scoped pool or inline execution).
@@ -232,6 +238,10 @@ pub(crate) fn run_rounds(
     stats.cache_hits = partial_hits + complete_hits;
     stats.cache_misses = partial_misses + complete_misses;
     stats.cache_bytes = db.cache_stats().bytes;
+    let (partial_scanned, partial_short) = partial_verifier.scan_counters();
+    let (complete_scanned, complete_short) = complete_verifier.scan_counters();
+    stats.rows_scanned = partial_scanned + complete_scanned;
+    stats.rows_short_circuited = partial_short + complete_short;
     stats
 }
 

@@ -487,6 +487,10 @@ pub(crate) fn run_rounds_scheduled(
     stats.cache_hits = partial_hits + complete_hits;
     stats.cache_misses = partial_misses + complete_misses;
     stats.cache_bytes = db.cache_stats().bytes;
+    let (partial_scanned, partial_short) = ctx.partial_counters.scan_snapshot();
+    let (complete_scanned, complete_short) = ctx.complete_counters.scan_snapshot();
+    stats.rows_scanned = partial_scanned + complete_scanned;
+    stats.rows_short_circuited = partial_short + complete_short;
     stats.scheduler = Some(run_stats);
     stats
 }

@@ -4,6 +4,9 @@
 //! against the projected column at the same position with a cheap
 //! `SELECT … FROM <column's table> WHERE <cell constraint> LIMIT 1` probe —
 //! no join is required, which makes this much cheaper than row-wise probes.
+//! The `LIMIT 1` rides the streaming executor's limit pushdown (see
+//! `docs/EXECUTOR.md`): on a cache miss the scan stops at the first
+//! matching row instead of filtering the whole table.
 
 use crate::tsq::{TableSketchQuery, TsqCell};
 use duoquest_db::{

@@ -3,10 +3,26 @@
 //! When the TSQ is sorted and contains at least two example tuples, the
 //! complete candidate query is executed and the example tuples must be
 //! satisfied by result rows appearing in the same order as they were given.
+//!
+//! # Incremental execution
+//!
+//! When the TSQ carries a limit `k`, the candidate is executed through
+//! [`Database::execute_cached_budgeted`] with a **row budget of `k + 1`**:
+//! the streaming executor stops pulling as soon as `k + 1` rows exist, which
+//! already decides the `|result| > k` check, and a result that fits within
+//! the budget is necessarily complete, so the in-order tuple scan still sees
+//! every row. For sorted TSQs whose candidate `ORDER BY` the pipeline order
+//! already satisfies (a presorted probe-side column), this turns the former
+//! full-result execution into an early-terminating scan.
 
 use crate::tsq::TableSketchQuery;
 use duoquest_db::{Database, RunCacheCounters};
 use duoquest_sql::PartialQuery;
+
+/// The row budget for a TSQ-limit check: `k + 1` rows decide `|result| > k`.
+fn limit_budget(tsq: &TableSketchQuery) -> Option<usize> {
+    (tsq.limit > 0).then(|| tsq.limit + 1)
+}
 
 /// Whether the complete query produces rows satisfying the example tuples in
 /// the order they were specified.
@@ -17,7 +33,10 @@ pub fn verify_by_order(
     counters: &RunCacheCounters,
 ) -> bool {
     let Ok(spec) = pq.to_spec() else { return false };
-    let Ok(result) = db.execute_cached_with(&spec, counters) else { return false };
+    let Ok(probe) = db.execute_cached_budgeted(&spec, limit_budget(tsq), counters) else {
+        return false;
+    };
+    let result = probe.rows;
     if tsq.limit > 0 && result.len() > tsq.limit {
         return false;
     }
@@ -54,7 +73,10 @@ pub fn verify_complete(
         return verify_by_order(db, tsq, pq, counters);
     }
     let Ok(spec) = pq.to_spec() else { return false };
-    let Ok(result) = db.execute_cached_with(&spec, counters) else { return false };
+    let Ok(probe) = db.execute_cached_budgeted(&spec, limit_budget(tsq), counters) else {
+        return false;
+    };
+    let result = probe.rows;
     if tsq.limit > 0 && result.len() > tsq.limit {
         return false;
     }
@@ -232,6 +254,78 @@ mod tests {
             ..Default::default()
         };
         assert!(!verify_complete(&db, &tsq, &pq, &RunCacheCounters::default()));
+    }
+
+    #[test]
+    fn sorted_tsq_with_limit_short_circuits_execution() {
+        // Regression test for the incremental-execution ROADMAP item: a
+        // sorted TSQ with limit `k` must probe with a row budget of `k + 1`
+        // instead of materializing the full result. The fixture table is
+        // stored ascending by `id`, so the candidate's ORDER BY is satisfied
+        // by the pipeline order and the streaming executor stops after two
+        // rows — observable through the run's scan counters.
+        let mut s = duoquest_db::Schema::new("events");
+        s.add_table(duoquest_db::TableDef::new(
+            "event",
+            vec![duoquest_db::ColumnDef::number("id"), duoquest_db::ColumnDef::text("name")],
+            Some(0),
+        ));
+        let mut db = Database::new(s).unwrap();
+        let n = 1_000usize;
+        db.insert_all(
+            "event",
+            (0..n).map(|i| vec![Value::int(i as i64), Value::text(format!("event {i}"))]),
+        )
+        .unwrap();
+        db.rebuild_index();
+        let schema = db.schema();
+        let id = schema.column_id("event", "id").unwrap();
+
+        // SELECT event.name, event.id FROM event ORDER BY event.id ASC —
+        // 1000 rows, violating the TSQ limit of 1.
+        let pq = PartialQuery {
+            clauses: Slot::Filled(ClauseSet { order_by: true, ..Default::default() }),
+            select: Slot::Filled(vec![
+                PartialSelectItem {
+                    col: Slot::Filled(SelectColumn::Column(
+                        schema.column_id("event", "name").unwrap(),
+                    )),
+                    agg: Slot::Filled(None),
+                },
+                PartialSelectItem {
+                    col: Slot::Filled(SelectColumn::Column(id)),
+                    agg: Slot::Filled(None),
+                },
+            ]),
+            join: Some(JoinGraph::new(schema).steiner_tree(&[id.table]).unwrap()),
+            order_by: Slot::Filled(Some(PartialOrder {
+                key: Slot::Filled(OrderKey::Column(id)),
+                desc: Slot::Filled(false),
+                limit: Slot::Filled(None),
+            })),
+            ..PartialQuery::empty()
+        };
+        let tsq = TableSketchQuery {
+            tuples: vec![vec![TsqCell::text("event 0"), TsqCell::Empty]],
+            sorted: true,
+            limit: 1,
+            ..Default::default()
+        };
+        let counters = RunCacheCounters::default();
+        assert!(
+            !verify_by_order(&db, &tsq, &pq, &counters),
+            "a 1000-row result must violate the TSQ limit of 1"
+        );
+        let (scanned, short_circuited) = counters.scan_snapshot();
+        assert!(
+            scanned < (n / 10) as u64,
+            "the limit check must not materialize the result: scanned {scanned} of {n} rows"
+        );
+        assert_eq!(
+            short_circuited,
+            n as u64 - scanned,
+            "the saved scan must be attributed to the short-circuit counter"
+        );
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!
 //! A stage failure prunes the partial query and, with it, every complete query
 //! in that branch of the search space.
+//!
+//! Database probes run through the streaming executor's memo cache
+//! (`Database::execute_cached_budgeted`): the `LIMIT 1` probes and the
+//! TSQ-limit checks of stage 7 stop scanning as soon as their limit is
+//! decided (see `docs/EXECUTOR.md`), and the per-run scan counters are
+//! exposed via [`Verifier::scan_counters`].
 
 pub mod by_column;
 pub mod by_order;
@@ -207,6 +213,13 @@ impl<'a> Verifier<'a> {
     /// Probe-cache `(hits, misses)` recorded through this verifier.
     pub fn cache_counters(&self) -> (u64, u64) {
         self.counters.snapshot()
+    }
+
+    /// Executor `(rows_scanned, rows_short_circuited)` recorded through this
+    /// verifier's cache misses — the per-run view of the streaming
+    /// executor's limit pushdown (see `duoquest_db::ExecMetrics`).
+    pub fn scan_counters(&self) -> (u64, u64) {
+        self.counters.scan_snapshot()
     }
 
     /// The database the verifier probes.

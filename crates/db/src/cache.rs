@@ -37,8 +37,18 @@
 //! the budget: each generation stays within half a shard's slice (inserts
 //! rotate first, promotions that would overflow are skipped, and a result
 //! too large for half a slice on its own is returned uncached).
+//!
+//! # Truncated entries
+//!
+//! Since the executor became limit-aware, a probe may be executed under a
+//! **row budget** and return only a prefix of the spec's result. Entries
+//! therefore carry an **exactness bit**: an exact entry answers any request;
+//! a truncated entry (its rows were cut at some budget) answers only
+//! requests whose budget its row count still covers
+//! ([`ProbeCache::get_budgeted`]). Re-executing with a larger budget
+//! replaces the weaker entry in place.
 
-use crate::executor::ResultSet;
+use crate::executor::{ExecMetrics, ResultSet};
 use crate::query::SelectSpec;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -61,12 +71,26 @@ pub struct RunCacheCounters {
     pub hits: AtomicU64,
     /// Probes this run executed.
     pub misses: AtomicU64,
+    /// Executor rows scanned by this run's cache misses
+    /// (see [`ExecMetrics::rows_scanned`]).
+    pub rows_scanned: AtomicU64,
+    /// Probe-side rows the executor never pulled because a limit was already
+    /// satisfied (see [`ExecMetrics::rows_short_circuited`]).
+    pub rows_short_circuited: AtomicU64,
 }
 
 impl RunCacheCounters {
     /// Current `(hits, misses)` totals.
     pub fn snapshot(&self) -> (u64, u64) {
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Current `(rows_scanned, rows_short_circuited)` totals.
+    pub fn scan_snapshot(&self) -> (u64, u64) {
+        (
+            self.rows_scanned.load(Ordering::Relaxed),
+            self.rows_short_circuited.load(Ordering::Relaxed),
+        )
     }
 
     /// Record one lookup outcome.
@@ -77,6 +101,25 @@ impl RunCacheCounters {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Fold one execution's scan metrics into the run totals.
+    pub fn record_scan(&self, metrics: &ExecMetrics) {
+        self.rows_scanned.fetch_add(metrics.rows_scanned, Ordering::Relaxed);
+        self.rows_short_circuited.fetch_add(metrics.rows_short_circuited, Ordering::Relaxed);
+    }
+}
+
+/// A probe answer handed out by the cache layer: the (possibly truncated)
+/// rows plus whether they are the spec's complete result.
+#[derive(Debug, Clone)]
+pub struct CachedProbe {
+    /// The result rows. When `exact` is `false` they are a prefix of the
+    /// spec's full result, cut at some row budget — possibly a *larger*
+    /// budget than the request's, since entries are served as stored, never
+    /// re-truncated per request.
+    pub rows: Arc<ResultSet>,
+    /// Whether `rows` is the complete result of the spec.
+    pub exact: bool,
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -117,12 +160,37 @@ impl CacheStats {
     }
 }
 
+/// One memoized probe result with its exactness bit.
+#[derive(Debug, Clone)]
+struct Entry {
+    result: Arc<ResultSet>,
+    exact: bool,
+}
+
+impl Entry {
+    /// Whether this entry can answer a request with the given row budget
+    /// (`None` means the full result is required).
+    fn serves(&self, budget: Option<usize>) -> bool {
+        self.exact || budget.is_some_and(|b| self.result.rows.len() >= b)
+    }
+
+    /// Whether this entry carries at least as much information as `other`
+    /// (used to decide replacement when the same spec is re-inserted).
+    fn at_least_as_strong_as(&self, other: &Entry) -> bool {
+        self.exact || (!other.exact && self.result.rows.len() >= other.result.rows.len())
+    }
+
+    fn probe(&self) -> CachedProbe {
+        CachedProbe { rows: Arc::clone(&self.result), exact: self.exact }
+    }
+}
+
 /// Two generations of memoized entries plus their byte accounting; one per
 /// shard, guarded by the shard's lock.
 #[derive(Debug, Default)]
 struct Segments {
-    fresh: HashMap<SelectSpec, Arc<ResultSet>>,
-    stale: HashMap<SelectSpec, Arc<ResultSet>>,
+    fresh: HashMap<SelectSpec, Entry>,
+    stale: HashMap<SelectSpec, Entry>,
     fresh_bytes: u64,
     stale_bytes: u64,
 }
@@ -207,18 +275,26 @@ impl ProbeCache {
         (self.max_bytes.load(Ordering::Relaxed) / SHARD_COUNT as u64 / 2).max(1)
     }
 
-    /// Look up a memoized result. Counts a hit or miss; a stale-generation
-    /// hit promotes the entry back into the fresh generation so entries the
-    /// workload keeps re-probing survive rotation.
+    /// Look up a memoized **exact** result (compatibility wrapper over
+    /// [`ProbeCache::get_budgeted`] with no budget).
     pub fn get(&self, spec: &SelectSpec) -> Option<Arc<ResultSet>> {
+        self.get_budgeted(spec, None).map(|p| p.rows)
+    }
+
+    /// Look up a memoized result that can answer a request with the given
+    /// row budget: an exact entry answers anything; a truncated entry
+    /// answers only budgets its row count covers. Counts a hit or miss; a
+    /// stale-generation hit promotes the entry back into the fresh
+    /// generation so entries the workload keeps re-probing survive rotation.
+    pub fn get_budgeted(&self, spec: &SelectSpec, budget: Option<usize>) -> Option<CachedProbe> {
         let shard = self.shard(Self::fingerprint(spec));
         {
             let segments = shard.read().expect("probe cache lock poisoned");
-            if let Some(found) = segments.fresh.get(spec) {
+            if let Some(found) = segments.fresh.get(spec).filter(|e| e.serves(budget)) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(Arc::clone(found));
+                return Some(found.probe());
             }
-            match segments.stale.get(spec) {
+            match segments.stale.get(spec).filter(|e| e.serves(budget)) {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     return None;
@@ -228,10 +304,10 @@ impl ProbeCache {
                     // stale hit directly under the shared lock. A hot set too
                     // big to promote must not degrade every hit to the write
                     // lock.
-                    let cost = estimate_bytes(found);
+                    let cost = estimate_bytes(&found.result);
                     if segments.fresh_bytes + cost > self.rotation_threshold() {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Some(Arc::clone(found));
+                        return Some(found.probe());
                     }
                 }
             }
@@ -241,25 +317,31 @@ impl ProbeCache {
         // skipped when it would push the fresh generation past its half of
         // the budget slice — the entry is still served, it just stays stale —
         // so fresh and stale each stay within half a slice and retention
-        // never exceeds the configured budget.
+        // never exceeds the configured budget. A fresh generation already
+        // holding a copy keeps the stronger of the two.
         let mut segments = shard.write().expect("probe cache lock poisoned");
-        if let Some(value) = segments.stale.get(spec) {
-            let cost = estimate_bytes(value);
-            let result = Arc::clone(value);
-            if segments.fresh_bytes + cost <= self.rotation_threshold() {
+        if let Some(entry) = segments.stale.get(spec).filter(|e| e.serves(budget)) {
+            let cost = estimate_bytes(&entry.result);
+            let probe = entry.probe();
+            let fresh_has_stronger =
+                segments.fresh.get(spec).map(|f| f.at_least_as_strong_as(entry)).unwrap_or(false);
+            if !fresh_has_stronger && segments.fresh_bytes + cost <= self.rotation_threshold() {
                 let (key, value) =
                     segments.stale.remove_entry(spec).expect("checked under the same lock");
                 segments.stale_bytes = segments.stale_bytes.saturating_sub(cost);
+                if let Some(old) = segments.fresh.insert(key, value) {
+                    segments.fresh_bytes =
+                        segments.fresh_bytes.saturating_sub(estimate_bytes(&old.result));
+                }
                 segments.fresh_bytes += cost;
-                segments.fresh.insert(key, value);
             }
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(result);
+            return Some(probe);
         }
-        match segments.fresh.get(spec) {
+        match segments.fresh.get(spec).filter(|e| e.serves(budget)) {
             Some(found) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(found))
+                Some(found.probe())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -268,35 +350,62 @@ impl ProbeCache {
         }
     }
 
+    /// Memoize an **exact** result (compatibility wrapper over
+    /// [`ProbeCache::insert_budgeted`]).
+    pub fn insert(&self, spec: &SelectSpec, result: ResultSet) -> Arc<ResultSet> {
+        self.insert_budgeted(spec, result, true).rows
+    }
+
     /// Memoize a result in the fresh generation, rotating the shard's
     /// generations first if the insert would overflow the fresh half of the
     /// shard's budget slice — so fresh + stale never exceed the slice and
     /// total retention never exceeds the configured budget. A result larger
-    /// than the fresh half on its own is handed back uncached. Returns the
-    /// stored (or unstored) arc.
-    pub fn insert(&self, spec: &SelectSpec, result: ResultSet) -> Arc<ResultSet> {
-        let result = Arc::new(result);
-        let cost = estimate_bytes(&result);
+    /// than the fresh half on its own is handed back uncached.
+    ///
+    /// `exact` marks whether `result` is the spec's complete result (as
+    /// opposed to a prefix truncated at a row budget). An existing entry is
+    /// only replaced by an at-least-as-strong one (exact beats truncated,
+    /// longer truncations beat shorter), so a racing shorter probe can never
+    /// downgrade the cache. Returns the entry that ends up serving the spec.
+    pub fn insert_budgeted(
+        &self,
+        spec: &SelectSpec,
+        result: ResultSet,
+        exact: bool,
+    ) -> CachedProbe {
+        let entry = Entry { result: Arc::new(result), exact };
+        let cost = estimate_bytes(&entry.result);
         let threshold = self.rotation_threshold();
         if cost > threshold {
-            return result; // would blow the budget by itself: don't retain
+            return entry.probe(); // would blow the budget by itself: don't retain
         }
         let shard = self.shard(Self::fingerprint(spec));
         let mut segments = shard.write().expect("probe cache lock poisoned");
-        // A racing worker may have inserted the same probe; keep one copy.
+        // A racing worker may have inserted the same probe; keep the
+        // stronger of the two copies.
         if let Some(existing) = segments.fresh.get(spec) {
-            return Arc::clone(existing);
+            if existing.at_least_as_strong_as(&entry) {
+                return existing.probe();
+            }
+            let old = segments.fresh.remove(spec).expect("checked under the same lock");
+            segments.fresh_bytes = segments.fresh_bytes.saturating_sub(estimate_bytes(&old.result));
         }
-        if let Some(old) = segments.stale.remove(spec) {
-            segments.stale_bytes = segments.stale_bytes.saturating_sub(estimate_bytes(&old));
+        if let Some(old) = segments.stale.get(spec) {
+            if old.at_least_as_strong_as(&entry) {
+                let probe = old.probe();
+                return probe;
+            }
+            let old = segments.stale.remove(spec).expect("checked under the same lock");
+            segments.stale_bytes = segments.stale_bytes.saturating_sub(estimate_bytes(&old.result));
         }
         if segments.fresh_bytes + cost > threshold {
             segments.rotate();
             self.rotations.fetch_add(1, Ordering::Relaxed);
         }
         segments.fresh_bytes += cost;
-        segments.fresh.insert(spec.clone(), Arc::clone(&result));
-        result
+        let probe = entry.probe();
+        segments.fresh.insert(spec.clone(), entry);
+        probe
     }
 
     /// Drop every entry (called when the underlying data changes).

@@ -6,14 +6,15 @@
 //! interior mutability (sharded locks + atomic counters) so concurrent
 //! readers never need an exclusive borrow.
 
-use crate::cache::{CacheStats, ProbeCache};
+use crate::cache::{CacheStats, CachedProbe, ProbeCache, RunCacheCounters};
 use crate::error::{DbError, DbResult};
-use crate::executor::ResultSet;
+use crate::executor::{ExecOptions, ResultSet};
 use crate::index::InvertedIndex;
 use crate::query::SelectSpec;
 use crate::schema::{ColumnId, Schema, TableId};
 use crate::types::{DataType, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A single row of values.
@@ -76,11 +77,21 @@ pub struct Database {
     index: InvertedIndex,
     index_dirty: bool,
     probe_cache: ProbeCache,
+    /// Per-table, per-column `(ascending, descending)` non-strict sortedness
+    /// of the stored rows (under `Value::total_cmp`), computed by
+    /// [`Database::rebuild_index`]. The streaming executor uses it to skip
+    /// sorts whose order the storage already satisfies.
+    sorted_flags: Vec<Vec<(bool, bool)>>,
+    /// Hash partitions (scoped threads) for large materialized joins.
+    join_partitions: AtomicUsize,
+    /// Probe-side row count at which the partitioned parallel join kicks in.
+    parallel_join_threshold: AtomicUsize,
 }
 
 impl Clone for Database {
-    /// Clones carry the schema, data and index; the probe cache starts empty
-    /// (memoized results stay valid only for the instance that produced them).
+    /// Clones carry the schema, data, index and executor tuning; the probe
+    /// cache starts empty (memoized results stay valid only for the instance
+    /// that produced them).
     fn clone(&self) -> Self {
         Database {
             schema: self.schema.clone(),
@@ -88,6 +99,11 @@ impl Clone for Database {
             index: self.index.clone(),
             index_dirty: self.index_dirty,
             probe_cache: ProbeCache::default(),
+            sorted_flags: self.sorted_flags.clone(),
+            join_partitions: AtomicUsize::new(self.join_partitions.load(Ordering::Relaxed)),
+            parallel_join_threshold: AtomicUsize::new(
+                self.parallel_join_threshold.load(Ordering::Relaxed),
+            ),
         }
     }
 }
@@ -103,6 +119,13 @@ impl Database {
             index: InvertedIndex::default(),
             index_dirty: false,
             probe_cache: ProbeCache::default(),
+            sorted_flags: Vec::new(),
+            // Defaults to 1: verifier probes already run nested inside the
+            // synthesis worker pool, and per-probe scoped threads on top of
+            // ~ncpu workers would oversubscribe the machine. Standalone
+            // analytical consumers opt in via `set_join_partitions`.
+            join_partitions: AtomicUsize::new(1),
+            parallel_join_threshold: AtomicUsize::new(crate::executor::PARALLEL_JOIN_THRESHOLD),
         })
     }
 
@@ -199,10 +222,51 @@ impl Database {
         seen.then_some((min, max))
     }
 
-    /// Rebuild the inverted column index over all text columns.
+    /// Rebuild the inverted column index over all text columns, and the
+    /// per-column sortedness flags used by the streaming executor's
+    /// order-aware limit pushdown.
     pub fn rebuild_index(&mut self) {
         self.index = InvertedIndex::build(&self.schema, &self.data);
+        self.sorted_flags = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(ti, table)| {
+                (0..self.schema.table(TableId(ti)).columns.len())
+                    .map(|ci| {
+                        let mut asc = true;
+                        let mut desc = true;
+                        for pair in table.rows.windows(2) {
+                            match pair[0].0[ci].total_cmp(&pair[1].0[ci]) {
+                                std::cmp::Ordering::Less => desc = false,
+                                std::cmp::Ordering::Greater => asc = false,
+                                std::cmp::Ordering::Equal => {}
+                            }
+                            if !asc && !desc {
+                                break;
+                            }
+                        }
+                        (asc, desc)
+                    })
+                    .collect()
+            })
+            .collect();
         self.index_dirty = false;
+    }
+
+    /// Whether the stored rows of `col`'s table are already (non-strictly)
+    /// sorted by `col` in the requested direction, under the same total
+    /// order the executor sorts with. Returns `false` while the index is
+    /// stale (data changed since the last [`Database::rebuild_index`]).
+    pub fn column_is_sorted(&self, col: ColumnId, desc: bool) -> bool {
+        if self.index_dirty {
+            return false;
+        }
+        self.sorted_flags
+            .get(col.table.0)
+            .and_then(|t| t.get(col.column))
+            .map(|&(asc_ok, desc_ok)| if desc { desc_ok } else { asc_ok })
+            .unwrap_or(false)
     }
 
     /// The autocomplete inverted index. Panics in debug builds if the index is
@@ -222,6 +286,37 @@ impl Database {
         self.schema.column(col).dtype
     }
 
+    /// The executor options this database runs [`crate::executor::execute`]
+    /// with: streaming limit pushdown on, no row budget, and the configured
+    /// join parallelism.
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            join_partitions: self.join_partitions(),
+            parallel_join_threshold: self.parallel_join_threshold.load(Ordering::Relaxed),
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Number of hash partitions (probe-side scoped threads) large
+    /// materialized joins split across. Defaults to 1 — the synthesis engine
+    /// already parallelizes across probes, so per-probe join parallelism is
+    /// opt-in for standalone analytical consumers. Row order is identical
+    /// for every value (see the executor's determinism contract).
+    pub fn join_partitions(&self) -> usize {
+        self.join_partitions.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Replace the join partition count. Shared-reference friendly, so it
+    /// can be tuned on an `Arc`-shared database.
+    pub fn set_join_partitions(&self, partitions: usize) {
+        self.join_partitions.store(partitions.max(1), Ordering::Relaxed);
+    }
+
+    /// Replace the probe-side row count at which joins go parallel.
+    pub fn set_parallel_join_threshold(&self, rows: usize) {
+        self.parallel_join_threshold.store(rows.max(1), Ordering::Relaxed);
+    }
+
     /// Execute a query through the probe/result memo cache: repeated
     /// executions of a structurally identical spec (the verifier's
     /// `SELECT … LIMIT 1` probes, most prominently) are answered from the
@@ -230,25 +325,78 @@ impl Database {
         if let Some(hit) = self.probe_cache.get(spec) {
             return Ok(hit);
         }
-        let result = crate::executor::execute(self, spec)?;
-        Ok(self.probe_cache.insert(spec, result))
+        let out = crate::executor::execute_with(self, spec, &self.exec_options())?;
+        Ok(self.probe_cache.insert(spec, out.result))
     }
 
     /// Like [`Database::execute_cached`], additionally attributing the
-    /// hit/miss to a caller-owned per-run counter set (the database's global
-    /// counters are shared by every run touching this instance).
+    /// hit/miss (and the executor's scan counters) to a caller-owned per-run
+    /// counter set (the database's global counters are shared by every run
+    /// touching this instance).
     pub fn execute_cached_with(
         &self,
         spec: &SelectSpec,
-        counters: &crate::cache::RunCacheCounters,
+        counters: &RunCacheCounters,
     ) -> DbResult<Arc<ResultSet>> {
-        if let Some(hit) = self.probe_cache.get(spec) {
+        self.execute_cached_budgeted(spec, None, counters).map(|probe| probe.rows)
+    }
+
+    /// Execute a query under a **row budget**, through the memo cache: the
+    /// returned rows cover at least `min(budget, |result|)` rows of the
+    /// spec's result — a fresh execution returns exactly that prefix, while
+    /// a cache hit may carry more (an exact entry, or one truncated at a
+    /// larger budget, is served as stored) — and [`CachedProbe::exact`]
+    /// reports whether the rows are the complete result. With a budget the
+    /// streaming executor stops scanning as soon as the budget is filled,
+    /// which is what makes the verifier's sorted-TSQ limit checks cheap:
+    /// probing with `budget = k + 1` decides "does the result exceed `k`
+    /// rows?" without ever materializing the full result.
+    ///
+    /// Truncated results are memoized with their exactness bit; a truncated
+    /// entry answers later probes with the same or smaller budget, and is
+    /// upgraded in place when a larger budget forces a re-execution.
+    ///
+    /// ```
+    /// use duoquest_db::{ColumnDef, Database, JoinTree, RunCacheCounters, Schema, SelectItem,
+    ///     SelectSpec, TableDef, Value};
+    ///
+    /// let mut schema = Schema::new("demo");
+    /// schema.add_table(TableDef::new("t", vec![ColumnDef::number("id")], Some(0)));
+    /// let mut db = Database::new(schema).unwrap();
+    /// db.insert_all("t", (0..10).map(|i| vec![Value::int(i)])).unwrap();
+    /// db.rebuild_index();
+    ///
+    /// let spec = SelectSpec {
+    ///     select: vec![SelectItem::column(db.schema().column_id("t", "id").unwrap())],
+    ///     join: JoinTree::single(db.schema().table_id("t").unwrap()),
+    ///     ..Default::default()
+    /// };
+    /// let counters = RunCacheCounters::default();
+    /// // "Does the result exceed 2 rows?" — 3 rows suffice to answer.
+    /// let probe = db.execute_cached_budgeted(&spec, Some(3), &counters).unwrap();
+    /// assert_eq!(probe.rows.len(), 3);
+    /// assert!(!probe.exact, "the 10-row result was truncated at the budget");
+    /// // The truncated entry answers smaller budgets from the cache.
+    /// let again = db.execute_cached_budgeted(&spec, Some(2), &counters).unwrap();
+    /// assert!(!again.exact);
+    /// assert_eq!(counters.snapshot(), (1, 1), "(hits, misses)");
+    /// ```
+    pub fn execute_cached_budgeted(
+        &self,
+        spec: &SelectSpec,
+        budget: Option<usize>,
+        counters: &RunCacheCounters,
+    ) -> DbResult<CachedProbe> {
+        if let Some(hit) = self.probe_cache.get_budgeted(spec, budget) {
             counters.record(true);
             return Ok(hit);
         }
         counters.record(false);
-        let result = crate::executor::execute(self, spec)?;
-        Ok(self.probe_cache.insert(spec, result))
+        let mut opts = self.exec_options();
+        opts.row_budget = budget;
+        let out = crate::executor::execute_with(self, spec, &opts)?;
+        counters.record_scan(&out.metrics);
+        Ok(self.probe_cache.insert_budgeted(spec, out.result, out.metrics.exact))
     }
 
     /// Cumulative probe-cache counters for this database instance.

@@ -1,19 +1,72 @@
-//! Execution of [`SelectSpec`] queries against a [`Database`].
+//! Streaming operator execution of [`SelectSpec`] queries against a
+//! [`Database`].
 //!
-//! The pipeline mirrors a textbook SPJA evaluation: join along the FK edges of
-//! the join tree (hash joins), filter with the WHERE predicates, group and
-//! aggregate, filter with HAVING, project, de-duplicate (DISTINCT), sort and
-//! limit. Verification probes issued by the Duoquest verifier are ordinary
-//! `SelectSpec`s with a `LIMIT 1`, so they follow the same path.
+//! # The operator pipeline
+//!
+//! A query runs as a pull-based pipeline of textbook SPJA operators (the full
+//! prose version of this section, with the limit-pushdown rules and the
+//! determinism contract, lives in `docs/EXECUTOR.md`):
+//!
+//! ```text
+//!   scan(T₀) ──► ⋈ hash(T₁) ──► … ──► ⋈ hash(Tₙ) ──► σ WHERE
+//!        │ (probe side streamed;  build sides hashed up front)
+//!        ▼
+//!   ┌─ ungrouped ─────────────────────┐  ┌─ grouped ──────────────────────┐
+//!   │ π project → DISTINCT → LIMIT k  │  │ γ group/agg → HAVING → π → sort│
+//!   │ (stops pulling at k survivors)  │  │ (drains the full input)        │
+//!   └─────────────────────────────────┘  └────────────────────────────────┘
+//! ```
+//!
+//! Two physical strategies implement that plan:
+//!
+//! * **Streaming** — the probe side of the join chain is pulled row by row
+//!   and each operator forwards rows as they survive, so a `LIMIT k` query
+//!   (most prominently the verifier's `SELECT … LIMIT 1` probes) stops
+//!   scanning as soon as `k` output rows exist. **Limit pushdown** applies
+//!   when the query has no aggregation and either no `ORDER BY` or an
+//!   `ORDER BY` that the pipeline order already satisfies (the sort key is a
+//!   column of the probe-side table whose stored values are already sorted
+//!   the requested way — see [`Database::column_is_sorted`]).
+//! * **Materializing** — grouped, sorted-by-unsorted-columns, or unlimited
+//!   queries drain the pipeline into an intermediate relation. Large joins
+//!   are evaluated as **partitioned parallel hash joins**: the build side is
+//!   distributed across `join_partitions` hash partitions in one sequential
+//!   pass, the probe side is split into contiguous chunks probed on scoped
+//!   threads, and
+//!   chunk outputs are concatenated in chunk (i.e. original row) order — so
+//!   the produced row order is byte-identical to the single-threaded join
+//!   for every partition count. Below [`ExecOptions::parallel_join_threshold`]
+//!   probe rows the single-threaded join is used outright.
+//!
+//! # Determinism contract
+//!
+//! For a fixed database and spec, [`execute`] and [`execute_with`] produce
+//! the same [`ResultSet`] — bit for bit — regardless of `join_partitions`,
+//! the parallel threshold, or whether the streaming or materializing
+//! strategy ran. Higher layers (candidate emission, the probe memo cache)
+//! rely on this.
+//!
+//! # Observability
+//!
+//! [`execute_with`] reports [`ExecMetrics`]: `rows_scanned` counts base-table
+//! rows pulled plus join rows produced, `rows_short_circuited` counts
+//! probe-side rows the pipeline never had to pull because the limit was
+//! already satisfied, and `exact` says whether the produced rows are the
+//! spec's complete result (only a caller-supplied [`ExecOptions::row_budget`]
+//! can truncate it). The verifier aggregates these per synthesis run into
+//! `EnumerationStats`.
 
 use crate::database::{Database, Row};
 use crate::error::{DbError, DbResult};
 use crate::query::{
     AggFunc, CmpOp, LogicalOp, OrderKey, OrderSpec, Predicate, SelectItem, SelectSpec,
 };
-use crate::schema::ColumnId;
+use crate::schema::{ColumnId, TableId};
 use crate::types::{DataType, Value};
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
 
 /// The result of executing a query: column headers plus rows.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -43,21 +96,132 @@ impl ResultSet {
     }
 
     /// Render the result set as a compact ASCII table (used by the examples).
+    /// Cells are written straight into the output buffer; no intermediate
+    /// per-row string vectors are allocated.
     pub fn to_table_string(&self, max_rows: usize) -> String {
         let mut out = String::new();
         out.push_str(&self.columns.join(" | "));
+        let header_len = out.len();
         out.push('\n');
-        out.push_str(&"-".repeat(self.columns.join(" | ").len().max(4)));
+        out.push_str(&"-".repeat(header_len.max(4)));
         out.push('\n');
         for row in self.rows.iter().take(max_rows) {
-            let cells: Vec<String> = row.0.iter().map(|v| v.to_string()).collect();
-            out.push_str(&cells.join(" | "));
+            for (i, v) in row.0.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                let _ = write!(out, "{v}");
+            }
             out.push('\n');
         }
         if self.rows.len() > max_rows {
-            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+            let _ = writeln!(out, "... ({} more rows)", self.rows.len() - max_rows);
         }
         out
+    }
+}
+
+/// Default probe-side row count below which a join is evaluated
+/// single-threaded (spawning scoped threads costs more than it saves).
+pub const PARALLEL_JOIN_THRESHOLD: usize = 4096;
+
+/// Physical execution knobs for [`execute_with`]. [`execute`] uses the
+/// database's defaults ([`Database::exec_options`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Stop producing output rows beyond this budget, even if the spec has a
+    /// larger (or no) `LIMIT`. The result is then a prefix of the spec's
+    /// result and [`ExecMetrics::exact`] reports `false` when rows were cut.
+    pub row_budget: Option<usize>,
+    /// Allow the streaming strategy to stop pulling input once the effective
+    /// limit is satisfied. Disabling this forces the materializing strategy
+    /// (useful as the "old executor" baseline in benches and tests).
+    pub limit_pushdown: bool,
+    /// Number of hash partitions (and scoped threads) for large
+    /// materialized joins. `1` disables parallelism.
+    pub join_partitions: usize,
+    /// Probe-side row count at which the partitioned parallel join kicks in.
+    pub parallel_join_threshold: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            row_budget: None,
+            limit_pushdown: true,
+            join_partitions: 1,
+            parallel_join_threshold: PARALLEL_JOIN_THRESHOLD,
+        }
+    }
+}
+
+/// Observability counters for one execution (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Base-table rows pulled into the pipeline plus join rows produced.
+    pub rows_scanned: u64,
+    /// Probe-side rows left unscanned because the limit was already satisfied.
+    pub rows_short_circuited: u64,
+    /// Whether the produced rows are known to be the spec's complete result.
+    /// Only an [`ExecOptions::row_budget`] can make this `false`, and then
+    /// pessimistically: a streaming run that stops *at* the budget reports
+    /// `false` without checking whether the input happened to be exhausted
+    /// exactly there (probing on would forfeit the early termination).
+    pub exact: bool,
+    /// Whether the streaming (early-terminating) strategy ran.
+    pub streamed: bool,
+}
+
+/// A [`ResultSet`] together with the [`ExecMetrics`] of producing it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecOutcome {
+    /// The produced rows.
+    pub result: ResultSet,
+    /// How they were produced.
+    pub metrics: ExecMetrics,
+}
+
+/// Execute a query against a database with the database's default options.
+pub fn execute(db: &Database, spec: &SelectSpec) -> DbResult<ResultSet> {
+    Ok(execute_with(db, spec, &db.exec_options())?.result)
+}
+
+/// Execute a query with explicit physical options, reporting
+/// [`ExecMetrics`] alongside the rows.
+///
+/// This is the streaming entry point: a `LIMIT k` query (or an external
+/// [`ExecOptions::row_budget`]) stops scanning as soon as `k` rows survive.
+///
+/// ```
+/// use duoquest_db::{
+///     execute_with, ColumnDef, Database, ExecOptions, JoinTree, Schema, SelectItem,
+///     SelectSpec, TableDef, Value,
+/// };
+///
+/// let mut schema = Schema::new("demo");
+/// schema.add_table(TableDef::new("t", vec![ColumnDef::number("id")], Some(0)));
+/// let mut db = Database::new(schema).unwrap();
+/// db.insert_all("t", (0..100).map(|i| vec![Value::int(i)])).unwrap();
+/// db.rebuild_index();
+///
+/// let spec = SelectSpec {
+///     select: vec![SelectItem::column(db.schema().column_id("t", "id").unwrap())],
+///     join: JoinTree::single(db.schema().table_id("t").unwrap()),
+///     limit: Some(1),
+///     ..Default::default()
+/// };
+/// let out = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+/// assert_eq!(out.result.len(), 1);
+/// assert!(out.metrics.exact, "LIMIT is the spec's own semantics");
+/// assert!(out.metrics.rows_scanned < 100, "stopped after the first row");
+/// assert_eq!(out.metrics.rows_short_circuited, 99);
+/// ```
+pub fn execute_with(db: &Database, spec: &SelectSpec, opts: &ExecOptions) -> DbResult<ExecOutcome> {
+    validate(db, spec)?;
+    let plan = plan_joins(db, spec)?;
+    match streaming_cap(db, spec, opts, &plan) {
+        Some(cap) => run_streaming(db, spec, &plan, cap),
+        None => run_materialized(db, spec, plan, opts),
     }
 }
 
@@ -66,22 +230,6 @@ impl ResultSet {
 struct Joined {
     col_pos: HashMap<ColumnId, usize>,
     rows: Vec<Vec<Value>>,
-}
-
-/// Execute a query against a database.
-pub fn execute(db: &Database, spec: &SelectSpec) -> DbResult<ResultSet> {
-    validate(db, spec)?;
-    let joined = join_tables(db, spec)?;
-    let filtered = filter_rows(&joined, spec);
-
-    let grouped = spec.has_aggregates() || !spec.group_by.is_empty();
-    let records = if grouped {
-        group_records(&joined, filtered, spec)
-    } else {
-        plain_records(&joined, filtered, spec)
-    };
-
-    finalize(db, spec, records)
 }
 
 /// One output record before distinct/sort/limit: projected values plus the sort key.
@@ -123,31 +271,48 @@ fn validate(db: &Database, spec: &SelectSpec) -> DbResult<()> {
             return Err(DbError::InvalidQuery("HAVING predicate must be aggregated".into()));
         }
     }
-    if let Some(OrderSpec { key: OrderKey::Aggregate(..), .. }) = spec.order_by {
-        // Aggregate ordering needs a grouping context (possibly the implicit global group).
+    for item in &spec.select {
+        if item.agg.is_none() && item.col.is_none() {
+            return Err(DbError::InvalidQuery(
+                "SELECT item with neither aggregate nor column".into(),
+            ));
+        }
     }
     Ok(())
 }
 
-/// Join all tables of the join tree with hash joins along FK edges.
-fn join_tables(db: &Database, spec: &SelectSpec) -> DbResult<Joined> {
+/// One hash-join step of the plan: probe the combined row at `probe_pos`
+/// against a hash table over `build_col` of `table`.
+struct JoinStep {
+    table: TableId,
+    probe_pos: usize,
+    build_col: usize,
+}
+
+/// The logical join plan shared by both physical strategies, so their row
+/// order is identical by construction: seed with the first FROM table, then
+/// repeatedly take the first remaining edge connecting a joined table to an
+/// unjoined one.
+struct JoinPlan {
+    first: TableId,
+    col_pos: HashMap<ColumnId, usize>,
+    steps: Vec<JoinStep>,
+}
+
+fn plan_joins(db: &Database, spec: &SelectSpec) -> DbResult<JoinPlan> {
     let schema = db.schema();
     let mut col_pos: HashMap<ColumnId, usize> = HashMap::new();
-    let mut rows: Vec<Vec<Value>> = Vec::new();
 
-    // Seed with the first table.
     let first = spec.join.tables[0];
-    let first_cols = schema.table(first).columns.len();
-    for ci in 0..first_cols {
+    for ci in 0..schema.table(first).columns.len() {
         col_pos.insert(ColumnId { table: first, column: ci }, ci);
     }
-    rows.extend(db.table_data(first).rows.iter().map(|r| r.0.clone()));
 
+    let mut steps = Vec::new();
     let mut joined_tables = vec![first];
     let mut remaining_edges = spec.join.edges.clone();
 
     while joined_tables.len() < spec.join.tables.len() {
-        // Find an edge connecting a joined table with an unjoined one.
         let Some(pos) = remaining_edges.iter().position(|e| {
             let (a, b) = e.tables();
             joined_tables.contains(&a) != joined_tables.contains(&b)
@@ -172,48 +337,394 @@ fn join_tables(db: &Database, spec: &SelectSpec) -> DbResult<Joined> {
             )
         };
 
-        // Build a hash table over the new table's join column.
-        let mut hash: HashMap<String, Vec<usize>> = HashMap::new();
-        let new_rows = &db.table_data(new_table).rows;
-        for (ri, row) in new_rows.iter().enumerate() {
-            let v = &row.0[new_col.column];
-            if !v.is_null() {
-                hash.entry(v.group_key()).or_default().push(ri);
-            }
-        }
-
-        // Extend the combined rows.
         let offset = col_pos.len();
-        let new_cols = schema.table(new_table).columns.len();
-        for ci in 0..new_cols {
+        for ci in 0..schema.table(new_table).columns.len() {
             col_pos.insert(ColumnId { table: new_table, column: ci }, offset + ci);
         }
-        let joined_pos = col_pos[&joined_col];
-        let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
-            let key = row[joined_pos].group_key();
-            if row[joined_pos].is_null() {
-                continue;
-            }
-            if let Some(matches) = hash.get(&key) {
-                for &ri in matches {
-                    let mut combined = row.clone();
-                    combined.extend(new_rows[ri].0.iter().cloned());
-                    out.push(combined);
-                }
-            }
-        }
-        rows = out;
+        steps.push(JoinStep {
+            table: new_table,
+            probe_pos: col_pos[&joined_col],
+            build_col: new_col.column,
+        });
         joined_tables.push(new_table);
     }
 
-    Ok(Joined { col_pos, rows })
+    Ok(JoinPlan { first, col_pos, steps })
+}
+
+/// Number of output rows after which the streaming pipeline may stop pulling,
+/// or `None` when the query must be fully materialized (aggregation, an
+/// `ORDER BY` the pipeline order does not already satisfy, no limit at all,
+/// or pushdown disabled).
+fn streaming_cap(
+    db: &Database,
+    spec: &SelectSpec,
+    opts: &ExecOptions,
+    plan: &JoinPlan,
+) -> Option<usize> {
+    if !opts.limit_pushdown {
+        return None;
+    }
+    if spec.has_aggregates() || !spec.group_by.is_empty() {
+        return None;
+    }
+    let cap = match (spec.limit, opts.row_budget) {
+        (Some(l), Some(b)) => l.min(b),
+        (Some(l), None) => l,
+        (None, Some(b)) => b,
+        (None, None) => return None,
+    };
+    if let Some(OrderSpec { key, desc }) = spec.order_by {
+        // The sort is a no-op exactly when the sort key is a probe-side
+        // column whose stored order already satisfies it: join steps expand
+        // each probe row in place and the final sort is stable, so the
+        // pipeline order equals the sorted order byte for byte.
+        let OrderKey::Column(col) = key else { return None };
+        if col.table != plan.first || !db.column_is_sorted(col, desc) {
+            return None;
+        }
+    }
+    Some(cap)
+}
+
+/// Compound grouping/dedup key over a sequence of values, used identically
+/// by the streaming DISTINCT, the batch DISTINCT of [`finalize`] and the
+/// GROUP BY partitioning — one derivation, so the strategies cannot drift.
+fn group_key_of<'v>(values: impl Iterator<Item = &'v Value>) -> String {
+    values.map(Value::group_key).collect::<Vec<_>>().join("\u{1}")
+}
+
+/// Distribute one join step's build side into `partitions` hash tables (a
+/// row's partition is the hash of its join key, so all rows of one key land
+/// in one partition in row order). Both the single-map sequential join
+/// ([`build_hash`]) and the partitioned parallel join feed from this, so the
+/// NULL/key semantics of the build side cannot drift between them.
+fn build_hash_partitioned(
+    rows: &[Row],
+    build_col: usize,
+    partitions: usize,
+) -> Vec<HashMap<String, Vec<usize>>> {
+    let mut maps: Vec<HashMap<String, Vec<usize>>> =
+        (0..partitions).map(|_| HashMap::new()).collect();
+    for (ri, row) in rows.iter().enumerate() {
+        let v = &row.0[build_col];
+        if !v.is_null() {
+            let key = v.group_key();
+            let idx = if partitions == 1 { 0 } else { key_partition(&key, partitions) };
+            maps[idx].entry(key).or_default().push(ri);
+        }
+    }
+    maps
+}
+
+/// Build the single hash table over one join step's build column.
+fn build_hash(rows: &[Row], build_col: usize) -> HashMap<String, Vec<usize>> {
+    build_hash_partitioned(rows, build_col, 1).pop().expect("one partition requested")
+}
+
+/// The tail of the streaming pipeline: WHERE filter, projection, DISTINCT
+/// and the output cap, fed one (borrowed) combined row at a time.
+struct StreamSink<'a> {
+    spec: &'a SelectSpec,
+    col_pos: &'a HashMap<ColumnId, usize>,
+    /// Plain projection positions (streaming never runs aggregated queries).
+    proj: Vec<usize>,
+    seen: HashSet<String>,
+    rows_out: Vec<Row>,
+    cap: usize,
+}
+
+impl StreamSink<'_> {
+    /// Offer one combined row; returns `false` once the cap is reached and
+    /// the pipeline must stop pulling.
+    fn offer(&mut self, row: &[Value]) -> bool {
+        if !row_passes(self.spec, self.col_pos, row) {
+            return true;
+        }
+        let projected: Vec<Value> = self.proj.iter().map(|&p| row[p].clone()).collect();
+        if self.spec.distinct && !self.seen.insert(group_key_of(projected.iter())) {
+            return true;
+        }
+        self.rows_out.push(Row(projected));
+        self.rows_out.len() < self.cap
+    }
+}
+
+/// Streaming strategy: pull probe rows one at a time through the join chain,
+/// WHERE filter, projection and DISTINCT, stopping at `cap` survivors.
+fn run_streaming(
+    db: &Database,
+    spec: &SelectSpec,
+    plan: &JoinPlan,
+    cap: usize,
+) -> DbResult<ExecOutcome> {
+    let (columns, types) = headers(db, spec)?;
+
+    let mut sink = StreamSink {
+        spec,
+        col_pos: &plan.col_pos,
+        proj: spec
+            .select
+            .iter()
+            .map(|item| plan.col_pos[&item.col.expect("validated: plain projection has a column")])
+            .collect(),
+        seen: HashSet::new(),
+        rows_out: Vec::new(),
+        cap,
+    };
+
+    let first_rows = &db.table_data(plan.first).rows;
+    let first_len = first_rows.len() as u64;
+    let mut build_scanned: u64 = 0;
+    let mut first_scanned_n: u64 = 0;
+    let mut produced_n: u64 = 0;
+    let mut stopped_early = cap == 0 && first_len > 0;
+
+    if cap > 0 && plan.steps.is_empty() {
+        // Zero-join fast path (the dominant single-table probe shape):
+        // filter and project straight from the borrowed storage rows — no
+        // full-row clone ever happens, only the projected cells are copied.
+        for r in first_rows {
+            first_scanned_n += 1;
+            if !sink.offer(&r.0) {
+                stopped_early = true;
+                break;
+            }
+        }
+    } else if cap > 0 {
+        // Build sides are fully hashed up front (as in the materializing
+        // path); probe rows are cloned once into the join chain.
+        let mut hashes: Vec<HashMap<String, Vec<usize>>> = Vec::with_capacity(plan.steps.len());
+        for step in &plan.steps {
+            let build_rows = &db.table_data(step.table).rows;
+            build_scanned += build_rows.len() as u64;
+            hashes.push(build_hash(build_rows, step.build_col));
+        }
+
+        let first_scanned = Cell::new(0u64);
+        let produced = Cell::new(0u64);
+        let fs = &first_scanned;
+        let mut stream: Box<dyn Iterator<Item = Vec<Value>> + '_> =
+            Box::new(first_rows.iter().map(move |r| {
+                fs.set(fs.get() + 1);
+                r.0.clone()
+            }));
+        for (step, hash) in plan.steps.iter().zip(hashes) {
+            let build_rows = &db.table_data(step.table).rows;
+            let probe_pos = step.probe_pos;
+            let pr = &produced;
+            stream = Box::new(stream.flat_map(move |row| {
+                let mut out: Vec<Vec<Value>> = Vec::new();
+                expand_probe_row(row, &hash, build_rows, probe_pos, &mut out);
+                pr.set(pr.get() + out.len() as u64);
+                out
+            }));
+        }
+        for row in &mut stream {
+            if !sink.offer(&row) {
+                stopped_early = true;
+                break;
+            }
+        }
+        drop(stream);
+        first_scanned_n = first_scanned.get();
+        produced_n = produced.get();
+    }
+
+    // Stopping at the spec's own LIMIT is the spec's semantics; only a
+    // tighter caller budget makes the result a (possibly) truncated prefix.
+    let exact = !stopped_early || spec.limit == Some(cap);
+    let metrics = ExecMetrics {
+        rows_scanned: build_scanned + first_scanned_n + produced_n,
+        rows_short_circuited: if stopped_early {
+            first_len.saturating_sub(first_scanned_n)
+        } else {
+            0
+        },
+        exact,
+        streamed: true,
+    };
+    Ok(ExecOutcome { result: ResultSet { columns, types, rows: sink.rows_out }, metrics })
+}
+
+/// Materializing strategy: evaluate the join chain into an intermediate
+/// relation (with partitioned parallel hash joins above the threshold), then
+/// filter, group/aggregate, project, sort and limit as one batch.
+fn run_materialized(
+    db: &Database,
+    spec: &SelectSpec,
+    plan: JoinPlan,
+    opts: &ExecOptions,
+) -> DbResult<ExecOutcome> {
+    let mut scanned: u64 = 0;
+
+    let first_rows = &db.table_data(plan.first).rows;
+    scanned += first_rows.len() as u64;
+    let mut rows: Vec<Vec<Value>> = first_rows.iter().map(|r| r.0.clone()).collect();
+    for step in &plan.steps {
+        let build_rows = &db.table_data(step.table).rows;
+        scanned += build_rows.len() as u64;
+        rows = join_step(rows, build_rows, step.probe_pos, step.build_col, opts);
+        scanned += rows.len() as u64;
+    }
+    let joined = Joined { col_pos: plan.col_pos, rows };
+
+    let filtered = filter_rows(&joined, spec);
+    let grouped = spec.has_aggregates() || !spec.group_by.is_empty();
+    let records = if grouped {
+        group_records(&joined, filtered, spec)
+    } else {
+        plain_records(&joined, filtered, spec)
+    };
+
+    let mut result = finalize(db, spec, records)?;
+    let mut exact = true;
+    if let Some(budget) = opts.row_budget {
+        if result.rows.len() > budget {
+            result.rows.truncate(budget);
+            exact = false;
+        }
+    }
+    let metrics =
+        ExecMetrics { rows_scanned: scanned, rows_short_circuited: 0, exact, streamed: false };
+    Ok(ExecOutcome { result, metrics })
+}
+
+/// Shard index of a join key for the partitioned parallel join. Partitioning
+/// is purely physical: every row of one key lands in one partition, so match
+/// lists (and with them the output order) are independent of the count.
+fn key_partition(key: &str, partitions: usize) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % partitions
+}
+
+/// One materialized hash-join step, parallel when the probe side is large.
+fn join_step(
+    left: Vec<Vec<Value>>,
+    build_rows: &[Row],
+    probe_pos: usize,
+    build_col: usize,
+    opts: &ExecOptions,
+) -> Vec<Vec<Value>> {
+    let partitions = opts.join_partitions.max(1);
+    if partitions == 1 || left.len() < opts.parallel_join_threshold.max(1) {
+        let hash = build_hash(build_rows, build_col);
+        let mut out = Vec::with_capacity(left.len());
+        for row in left {
+            expand_probe_row(row, &hash, build_rows, probe_pos, &mut out);
+        }
+        return out;
+    }
+
+    // Build side: distribute every row into its hash partition in one
+    // sequential pass (each key lands in exactly one partition, and scanning
+    // in row order preserves the per-key match order of the global map).
+    let maps = build_hash_partitioned(build_rows, build_col, partitions);
+
+    // Probe side: contiguous owned chunks probed in parallel, concatenated
+    // in chunk (original row) order — byte-identical to the sequential join.
+    // Partitions are logical (a consumer may size them to the data); the
+    // spawned threads are clamped to the machine's parallelism, which does
+    // not affect the output order — chunking is independent of the maps.
+    let threads =
+        partitions.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)).max(1);
+    let chunk_size = left.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<Vec<Value>>> = Vec::with_capacity(threads);
+    let mut rest = left;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let outputs: Vec<Vec<Vec<Value>>> = std::thread::scope(|scope| {
+        let maps = &maps;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for row in chunk {
+                        if let Some(matches) = probe_matches(&row, probe_pos, |key| {
+                            &maps[key_partition(key, partitions)]
+                        }) {
+                            expand_matches(row, matches, build_rows, &mut out);
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join probe worker panicked")).collect()
+    });
+    outputs.concat()
+}
+
+/// The build-side match list of one probe row, or `None` when its join key
+/// is NULL or unmatched. `select` picks the hash table to consult (the
+/// single global map, or the key's partition) — both probe loops share this
+/// so the NULL/key semantics cannot drift between them.
+fn probe_matches<'h>(
+    row: &[Value],
+    probe_pos: usize,
+    select: impl FnOnce(&str) -> &'h HashMap<String, Vec<usize>>,
+) -> Option<&'h [usize]> {
+    if row[probe_pos].is_null() {
+        return None;
+    }
+    let key = row[probe_pos].group_key();
+    select(&key).get(&key).map(Vec::as_slice)
+}
+
+/// Append one probe row combined with each of its (non-empty) matches,
+/// moving the row into the last match instead of cloning it once more.
+fn expand_matches(
+    row: Vec<Value>,
+    matches: &[usize],
+    build_rows: &[Row],
+    out: &mut Vec<Vec<Value>>,
+) {
+    out.reserve(matches.len());
+    for &ri in &matches[..matches.len() - 1] {
+        let mut combined = row.clone();
+        combined.extend(build_rows[ri].0.iter().cloned());
+        out.push(combined);
+    }
+    let last = matches[matches.len() - 1];
+    let mut combined = row;
+    combined.extend(build_rows[last].0.iter().cloned());
+    out.push(combined);
+}
+
+/// Expand one probe row against the (unpartitioned) build hash table.
+fn expand_probe_row(
+    row: Vec<Value>,
+    hash: &HashMap<String, Vec<usize>>,
+    build_rows: &[Row],
+    probe_pos: usize,
+    out: &mut Vec<Vec<Value>>,
+) {
+    if let Some(matches) = probe_matches(&row, probe_pos, |_| hash) {
+        expand_matches(row, matches, build_rows, out);
+    }
+}
+
+/// Whether one combined row survives the WHERE clause.
+fn row_passes(spec: &SelectSpec, col_pos: &HashMap<ColumnId, usize>, row: &[Value]) -> bool {
+    if spec.predicates.is_empty() {
+        return true;
+    }
+    match spec.predicate_op {
+        LogicalOp::And => spec.predicates.iter().all(|p| eval_predicate(col_pos, row, p)),
+        LogicalOp::Or => spec.predicates.iter().any(|p| eval_predicate(col_pos, row, p)),
+    }
 }
 
 /// Evaluate a non-aggregated predicate against one combined row.
-fn eval_predicate(joined: &Joined, row: &[Value], pred: &Predicate) -> bool {
+fn eval_predicate(col_pos: &HashMap<ColumnId, usize>, row: &[Value], pred: &Predicate) -> bool {
     let col = pred.col.expect("WHERE predicate has a column");
-    let pos = joined.col_pos[&col];
+    let pos = col_pos[&col];
     compare(&row[pos], pred.op, &pred.value, pred.value2.as_ref())
 }
 
@@ -242,16 +753,7 @@ fn compare(lhs: &Value, op: CmpOp, rhs: &Value, rhs2: Option<&Value>) -> bool {
 /// Row indices surviving the WHERE clause.
 fn filter_rows(joined: &Joined, spec: &SelectSpec) -> Vec<usize> {
     (0..joined.rows.len())
-        .filter(|&ri| {
-            let row = &joined.rows[ri];
-            if spec.predicates.is_empty() {
-                return true;
-            }
-            match spec.predicate_op {
-                LogicalOp::And => spec.predicates.iter().all(|p| eval_predicate(joined, row, p)),
-                LogicalOp::Or => spec.predicates.iter().any(|p| eval_predicate(joined, row, p)),
-            }
-        })
+        .filter(|&ri| row_passes(spec, &joined.col_pos, &joined.rows[ri]))
         .collect()
 }
 
@@ -314,12 +816,8 @@ fn group_records(joined: &Joined, filtered: Vec<usize>, spec: &SelectSpec) -> Ve
         let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
         let mut order: Vec<String> = Vec::new();
         for ri in filtered {
-            let key: String = spec
-                .group_by
-                .iter()
-                .map(|c| joined.rows[ri][joined.col_pos[c]].group_key())
-                .collect::<Vec<_>>()
-                .join("\u{1}");
+            let key =
+                group_key_of(spec.group_by.iter().map(|c| &joined.rows[ri][joined.col_pos[c]]));
             if !by_key.contains_key(&key) {
                 order.push(key.clone());
             }
@@ -383,32 +881,8 @@ fn plain_records(joined: &Joined, filtered: Vec<usize>, spec: &SelectSpec) -> Ve
         .collect()
 }
 
-/// Apply DISTINCT, ORDER BY and LIMIT and attach headers.
-fn finalize(db: &Database, spec: &SelectSpec, mut records: Vec<Record>) -> DbResult<ResultSet> {
-    if spec.distinct {
-        let mut seen: HashMap<String, ()> = HashMap::new();
-        records.retain(|r| {
-            let key: String =
-                r.projected.iter().map(Value::group_key).collect::<Vec<_>>().join("\u{1}");
-            seen.insert(key, ()).is_none()
-        });
-    }
-    if let Some(order) = spec.order_by {
-        records.sort_by(|a, b| {
-            let ka = a.order_key.as_ref().unwrap_or(&Value::Null);
-            let kb = b.order_key.as_ref().unwrap_or(&Value::Null);
-            let ord = ka.total_cmp(kb);
-            if order.desc {
-                ord.reverse()
-            } else {
-                ord
-            }
-        });
-    }
-    if let Some(limit) = spec.limit {
-        records.truncate(limit);
-    }
-
+/// Output column names and types of a spec.
+fn headers(db: &Database, spec: &SelectSpec) -> DbResult<(Vec<String>, Vec<DataType>)> {
     let schema = db.schema();
     let mut columns = Vec::with_capacity(spec.select.len());
     let mut types = Vec::with_capacity(spec.select.len());
@@ -433,7 +907,32 @@ fn finalize(db: &Database, spec: &SelectSpec, mut records: Vec<Record>) -> DbRes
             }
         }
     }
+    Ok((columns, types))
+}
 
+/// Apply DISTINCT, ORDER BY and LIMIT and attach headers.
+fn finalize(db: &Database, spec: &SelectSpec, mut records: Vec<Record>) -> DbResult<ResultSet> {
+    if spec.distinct {
+        let mut seen: HashSet<String> = HashSet::new();
+        records.retain(|r| seen.insert(group_key_of(r.projected.iter())));
+    }
+    if let Some(order) = spec.order_by {
+        records.sort_by(|a, b| {
+            let ka = a.order_key.as_ref().unwrap_or(&Value::Null);
+            let kb = b.order_key.as_ref().unwrap_or(&Value::Null);
+            let ord = ka.total_cmp(kb);
+            if order.desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(limit) = spec.limit {
+        records.truncate(limit);
+    }
+
+    let (columns, types) = headers(db, spec)?;
     Ok(ResultSet { columns, types, rows: records.into_iter().map(|r| Row(r.projected)).collect() })
 }
 
@@ -753,5 +1252,225 @@ mod tests {
         let table = rs.to_table_string(2);
         assert!(table.contains("movies.name"));
         assert!(table.contains("more rows"));
+    }
+
+    /// A larger fixture for streaming/parallel tests: `left` (many rows) joins
+    /// `right` with a fan-out per key, so the joined relation is much larger
+    /// than either base table.
+    fn fanout_db(left_rows: usize, keys: usize, fanout: usize) -> Database {
+        let mut s = Schema::new("fanout");
+        s.add_table(TableDef::new(
+            "right",
+            vec![ColumnDef::number("k"), ColumnDef::number("v")],
+            Some(0),
+        ));
+        s.add_table(TableDef::new(
+            "left",
+            vec![ColumnDef::number("id"), ColumnDef::number("k")],
+            Some(0),
+        ));
+        s.add_foreign_key("left", "k", "right", "k").unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert_all(
+            "right",
+            (0..keys * fanout).map(|i| vec![Value::int((i % keys) as i64), Value::int(i as i64)]),
+        )
+        .unwrap();
+        db.insert_all(
+            "left",
+            (0..left_rows).map(|i| vec![Value::int(i as i64), Value::int((i % keys) as i64)]),
+        )
+        .unwrap();
+        db.rebuild_index();
+        db
+    }
+
+    fn fanout_join_spec(db: &Database) -> SelectSpec {
+        let schema = db.schema();
+        let graph = JoinGraph::new(schema);
+        let join = graph
+            .steiner_tree(&[schema.table_id("left").unwrap(), schema.table_id("right").unwrap()])
+            .unwrap();
+        SelectSpec {
+            select: vec![
+                SelectItem::column(col(db, "left", "id")),
+                SelectItem::column(col(db, "right", "v")),
+            ],
+            join,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn limit_probe_short_circuits_the_join() {
+        let db = fanout_db(500, 10, 20);
+        let mut probe = fanout_join_spec(&db);
+        probe.limit = Some(1);
+
+        let streaming = execute_with(&db, &probe, &ExecOptions::default()).unwrap();
+        let materialized = execute_with(
+            &db,
+            &probe,
+            &ExecOptions { limit_pushdown: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+
+        assert_eq!(streaming.result, materialized.result, "strategies must agree");
+        assert!(streaming.metrics.streamed);
+        assert!(!materialized.metrics.streamed);
+        assert!(streaming.metrics.exact && materialized.metrics.exact);
+        assert!(
+            streaming.metrics.rows_scanned * 10 < materialized.metrics.rows_scanned,
+            "LIMIT 1 must scan <10% of the materializing executor's rows: {} vs {}",
+            streaming.metrics.rows_scanned,
+            materialized.metrics.rows_scanned
+        );
+        assert!(streaming.metrics.rows_short_circuited > 0);
+    }
+
+    #[test]
+    fn partition_counts_produce_identical_results() {
+        let db = fanout_db(600, 7, 5);
+        let mut spec = fanout_join_spec(&db);
+        spec.predicates = vec![Predicate::new(col(&db, "right", "v"), CmpOp::Ge, Value::int(3))];
+
+        let baseline = execute_with(
+            &db,
+            &spec,
+            &ExecOptions {
+                limit_pushdown: false,
+                join_partitions: 1,
+                parallel_join_threshold: 1,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        for partitions in [2usize, 4] {
+            let parallel = execute_with(
+                &db,
+                &spec,
+                &ExecOptions {
+                    limit_pushdown: false,
+                    join_partitions: partitions,
+                    parallel_join_threshold: 1,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                baseline.result, parallel.result,
+                "{partitions}-partition join diverged from the sequential join"
+            );
+        }
+    }
+
+    #[test]
+    fn row_budget_truncates_and_reports_inexact() {
+        let db = movie_db();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            ..Default::default()
+        };
+        let out = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { row_budget: Some(2), ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(out.result.len(), 2);
+        assert!(!out.metrics.exact, "budget cut a 3-row result to 2");
+
+        let out = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { row_budget: Some(10), ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(out.result.len(), 3);
+        assert!(out.metrics.exact, "budget larger than the result is exact");
+    }
+
+    #[test]
+    fn budget_truncation_matches_on_sorted_queries() {
+        // With an ORDER BY, the budget must truncate the *sorted* output.
+        let db = movie_db();
+        let year = col(&db, "movies", "year");
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            order_by: Some(OrderSpec { key: OrderKey::Column(year), desc: true }),
+            ..Default::default()
+        };
+        let out = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { row_budget: Some(1), ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(out.result.rows[0].0[0], Value::text("Gravity"));
+        assert!(!out.metrics.exact);
+    }
+
+    #[test]
+    fn presorted_order_by_streams_and_matches_materialized() {
+        // `right` is the probe-side (first) table of the join plan and its
+        // `v` column is stored ascending, so ORDER BY right.v ASC LIMIT k
+        // can stream; ORDER BY ... DESC cannot and falls back to
+        // materializing.
+        let db = fanout_db(400, 8, 3);
+        let mut spec = fanout_join_spec(&db);
+        spec.order_by =
+            Some(OrderSpec { key: OrderKey::Column(col(&db, "right", "v")), desc: false });
+        spec.limit = Some(5);
+
+        let streaming = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        let materialized = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { limit_pushdown: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert!(streaming.metrics.streamed, "ascending presorted key must stream");
+        assert_eq!(streaming.result, materialized.result);
+        assert!(streaming.metrics.rows_scanned < materialized.metrics.rows_scanned);
+
+        spec.order_by =
+            Some(OrderSpec { key: OrderKey::Column(col(&db, "right", "v")), desc: true });
+        let descending = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        assert!(!descending.metrics.streamed, "descending key is not presorted");
+    }
+
+    #[test]
+    fn streaming_distinct_matches_materialized() {
+        let db = fanout_db(300, 5, 4);
+        let mut spec = fanout_join_spec(&db);
+        spec.select = vec![SelectItem::column(col(&db, "left", "k"))];
+        spec.distinct = true;
+        spec.limit = Some(3);
+
+        let streaming = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        let materialized = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { limit_pushdown: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert!(streaming.metrics.streamed);
+        assert_eq!(streaming.result, materialized.result);
+    }
+
+    #[test]
+    fn zero_limit_produces_no_rows() {
+        let db = movie_db();
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            limit: Some(0),
+            ..Default::default()
+        };
+        let out = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        assert!(out.result.is_empty());
+        assert!(out.metrics.exact);
     }
 }

@@ -30,10 +30,10 @@ pub mod query;
 pub mod schema;
 pub mod types;
 
-pub use cache::{CacheStats, ProbeCache, RunCacheCounters};
+pub use cache::{CacheStats, CachedProbe, ProbeCache, RunCacheCounters};
 pub use database::{Database, Row, TableData};
 pub use error::DbError;
-pub use executor::{execute, ResultSet};
+pub use executor::{execute, execute_with, ExecMetrics, ExecOptions, ExecOutcome, ResultSet};
 pub use index::{IndexHit, InvertedIndex};
 pub use join_graph::{JoinEdge, JoinGraph, JoinTree};
 pub use query::{

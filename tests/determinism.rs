@@ -142,6 +142,38 @@ fn interleaved_sessions_on_shared_pool_match_single_session_runs() {
     }
 }
 
+/// The executor-level analogue of the worker-count guarantee: the number of
+/// hash partitions a join is split across (and whether the partitioned
+/// parallel join triggers at all) must never change the emitted candidates.
+#[test]
+fn join_partition_counts_leave_emission_byte_identical() {
+    let dataset = workload();
+    let config = base_config();
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task(&dataset, task, 400 + i as u64, &config)))
+        .collect();
+
+    for partitions in [1usize, 2, 4] {
+        for (i, task) in dataset.tasks.iter().enumerate() {
+            let db = dataset.database(task);
+            // Force the parallel join onto every probe, however small.
+            db.set_parallel_join_threshold(1);
+            db.set_join_partitions(partitions);
+            db.clear_probe_cache();
+            let result = run_task(&dataset, task, 400 + i as u64, &config);
+            assert_eq!(
+                solo[i],
+                ranking(&result),
+                "task {} diverged with {partitions} join partitions",
+                task.id
+            );
+        }
+    }
+}
+
 #[test]
 fn wide_beam_runs_are_self_deterministic() {
     // A beam wider than 1 explores in a different (but still fixed) order;

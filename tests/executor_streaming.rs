@@ -1,0 +1,140 @@
+//! Integration tests for the streaming operator executor: limit pushdown
+//! short-circuits scans, partitioned parallel joins stay byte-identical, and
+//! the budget-aware probe cache upgrades truncated entries in place.
+
+use duoquest::db::{
+    execute_with, ColumnDef, Database, ExecOptions, JoinGraph, RunCacheCounters, Schema,
+    SelectItem, SelectSpec, TableDef, Value,
+};
+
+/// `left` (2000 rows) ⋈ `right` (40 keys × 25 rows): the joined relation has
+/// 50 000 rows, dwarfing both base tables.
+fn fanout_db() -> Database {
+    let mut s = Schema::new("fanout");
+    s.add_table(TableDef::new("right", vec![ColumnDef::number("k"), ColumnDef::number("v")], None));
+    s.add_table(TableDef::new(
+        "left",
+        vec![ColumnDef::number("id"), ColumnDef::number("k")],
+        Some(0),
+    ));
+    s.add_foreign_key("left", "k", "right", "k").unwrap();
+    let mut db = Database::new(s).unwrap();
+    db.insert_all("right", (0..1000).map(|i| vec![Value::int(i % 40), Value::int(i)])).unwrap();
+    db.insert_all("left", (0..2000).map(|i| vec![Value::int(i), Value::int(i % 40)])).unwrap();
+    db.rebuild_index();
+    db
+}
+
+fn join_spec(db: &Database) -> SelectSpec {
+    let schema = db.schema();
+    let join = JoinGraph::new(schema)
+        .steiner_tree(&[schema.table_id("left").unwrap(), schema.table_id("right").unwrap()])
+        .unwrap();
+    SelectSpec {
+        select: vec![
+            SelectItem::column(schema.column_id("left", "id").unwrap()),
+            SelectItem::column(schema.column_id("right", "v").unwrap()),
+        ],
+        join,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn limit_one_probe_scans_under_ten_percent_of_materializing_executor() {
+    let db = fanout_db();
+    let mut probe = join_spec(&db);
+    probe.limit = Some(1);
+
+    let streaming = execute_with(&db, &probe, &ExecOptions::default()).unwrap();
+    let materialized =
+        execute_with(&db, &probe, &ExecOptions { limit_pushdown: false, ..ExecOptions::default() })
+            .unwrap();
+
+    assert_eq!(streaming.result, materialized.result, "strategies must agree on the rows");
+    assert!(
+        streaming.metrics.rows_scanned * 10 < materialized.metrics.rows_scanned,
+        "LIMIT 1 must scan <10% of the materializing executor: {} vs {}",
+        streaming.metrics.rows_scanned,
+        materialized.metrics.rows_scanned
+    );
+}
+
+#[test]
+fn join_partition_counts_are_byte_identical_at_database_level() {
+    let db = fanout_db();
+    let spec = join_spec(&db);
+    // Force the partitioned parallel join even on this small fixture.
+    db.set_parallel_join_threshold(1);
+
+    db.set_join_partitions(1);
+    let baseline = duoquest::db::execute(&db, &spec).unwrap();
+    assert_eq!(baseline.len(), 50_000);
+    for partitions in [2usize, 4] {
+        db.set_join_partitions(partitions);
+        let parallel = duoquest::db::execute(&db, &spec).unwrap();
+        assert_eq!(
+            baseline, parallel,
+            "{partitions}-partition join diverged from the single-threaded join"
+        );
+    }
+}
+
+#[test]
+fn probe_cache_upgrades_truncated_entries() {
+    let db = fanout_db();
+    let spec = {
+        let schema = db.schema();
+        SelectSpec {
+            select: vec![SelectItem::column(schema.column_id("left", "id").unwrap())],
+            join: duoquest::db::JoinTree::single(schema.table_id("left").unwrap()),
+            ..Default::default()
+        }
+    };
+    let counters = RunCacheCounters::default();
+
+    // Truncated probe: two rows answer "more than one row?".
+    let first = db.execute_cached_budgeted(&spec, Some(2), &counters).unwrap();
+    assert_eq!(first.rows.len(), 2);
+    assert!(!first.exact);
+    // A smaller budget is served by the truncated entry.
+    let second = db.execute_cached_budgeted(&spec, Some(1), &counters).unwrap();
+    assert!(!second.exact);
+    assert_eq!(counters.snapshot(), (1, 1), "second probe must hit the cache");
+    // The unbudgeted probe re-executes and upgrades the entry to exact...
+    let full = db.execute_cached_budgeted(&spec, None, &counters).unwrap();
+    assert!(full.exact);
+    assert_eq!(full.rows.len(), 2000);
+    assert_eq!(counters.snapshot(), (1, 2));
+    // ...after which every budget is a hit.
+    let third = db.execute_cached_budgeted(&spec, Some(3), &counters).unwrap();
+    assert!(third.exact);
+    assert_eq!(counters.snapshot(), (2, 2));
+
+    let (scanned, _) = counters.scan_snapshot();
+    assert!(scanned > 0, "cache misses must report executor scans");
+}
+
+#[test]
+fn synthesis_run_surfaces_scan_counters() {
+    use duoquest::core::{Duoquest, DuoquestConfig};
+    use duoquest::nlq::NoisyOracleGuidance;
+    use duoquest::workloads::{spider, synthesize_tsq, TsqDetail};
+    use std::sync::Arc;
+
+    let dataset = spider::generate("scan-counters", 1, 2, 2, 2, 7);
+    let task = &dataset.tasks[0];
+    let db = dataset.database(task);
+    let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 7);
+    let model = NoisyOracleGuidance::new(gold, 7);
+    let config = DuoquestConfig { max_candidates: 5, time_budget: None, ..Default::default() };
+    let result = Duoquest::new(config)
+        .session(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+        .with_tsq(tsq)
+        .run();
+    assert!(
+        result.stats.rows_scanned > 0,
+        "verification probes must report executor scans: {:?}",
+        result.stats
+    );
+}
