@@ -1,0 +1,129 @@
+//! Serving-layer benchmark: mixed interactive + batch traffic through one
+//! `SynthesisService`. Reports per-class time-to-first-candidate p50/p95 and
+//! the shed rate under a deliberately tight admission configuration — the
+//! interactive latency the priority weights exist for — then times one full
+//! mixed wave end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duoquest_core::DuoquestConfig;
+use duoquest_nlq::NoisyOracleGuidance;
+use duoquest_service::{PriorityClass, ServiceConfig, SynthesisRequest, SynthesisService};
+use duoquest_workloads::spider::{self, SpiderDataset};
+use duoquest_workloads::{synthesize_tsq, TsqDetail};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload() -> SpiderDataset {
+    spider::generate("service-bench", 2, 4, 4, 2, 29)
+}
+
+fn config(max_candidates: usize, max_expansions: usize) -> DuoquestConfig {
+    DuoquestConfig {
+        max_candidates,
+        max_expansions,
+        time_budget: Some(Duration::from_secs(2)),
+        ..Default::default()
+    }
+}
+
+fn request_for(
+    dataset: &SpiderDataset,
+    i: usize,
+    cfg: DuoquestConfig,
+    class: PriorityClass,
+) -> SynthesisRequest {
+    let task = &dataset.tasks[i % dataset.tasks.len()];
+    let db = dataset.database(task);
+    let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 70 + i as u64);
+    let model = NoisyOracleGuidance::new(gold, 70 + i as u64);
+    SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+        .with_tsq(tsq)
+        .with_config(cfg)
+        .with_priority(class)
+}
+
+/// One wave of mixed traffic: `batch` heavy batch requests interleaved with
+/// `inter` cheap interactive requests (as concurrent users would submit
+/// them); waits for every admitted request and returns how many were shed.
+fn run_wave(
+    service: &SynthesisService,
+    dataset: &SpiderDataset,
+    batch: usize,
+    inter: usize,
+) -> u64 {
+    let mut tickets = Vec::new();
+    let mut shed = 0u64;
+    let mut submit = |req: SynthesisRequest| match service.submit(req) {
+        Ok(t) => tickets.push(t),
+        Err(_) => shed += 1,
+    };
+    for i in 0..batch.max(inter) {
+        if i < batch {
+            submit(request_for(dataset, i, config(10, 800), PriorityClass::Batch));
+        }
+        if i < inter {
+            submit(request_for(dataset, i, config(3, 200), PriorityClass::Interactive));
+        }
+    }
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    shed
+}
+
+fn fmt_opt(d: Option<Duration>) -> String {
+    d.map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3)).unwrap_or_else(|| "-".into())
+}
+
+fn bench_service(c: &mut Criterion) {
+    let dataset = workload();
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    // Headline numbers, printed once outside the timed loops: a tight
+    // admission box (queue of 4) under 12 batch + 4 interactive requests —
+    // some batch traffic must shed, interactive latency must stay low.
+    {
+        let service = SynthesisService::new(ServiceConfig {
+            workers: machine,
+            max_live_sessions: 4,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        let shed_now = run_wave(&service, &dataset, 12, 4);
+        let stats = service.stats();
+        let submitted: u64 = stats.classes.iter().map(|cl| cl.submitted).sum();
+        println!(
+            "mixed wave on {machine} worker(s), 4 live slots, queue of 4: \
+             {submitted} admitted, {shed_now} shed \
+             (shed rate {:.0}%)",
+            100.0 * shed_now as f64 / (submitted + shed_now) as f64
+        );
+        for class in [PriorityClass::Interactive, PriorityClass::Batch] {
+            let cl = stats.class(class);
+            println!(
+                "  {:<12} ttfc p50 {} / p95 {}  (completed {}, shed {})",
+                class.label(),
+                fmt_opt(cl.ttfc_p50),
+                fmt_opt(cl.ttfc_p95),
+                cl.completed,
+                cl.shed,
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.bench_function("mixed_wave_8batch_4interactive", |b| {
+        let service = SynthesisService::new(ServiceConfig {
+            workers: machine,
+            max_live_sessions: 4,
+            max_queued: 16,
+            ..ServiceConfig::default()
+        });
+        b.iter(|| run_wave(&service, &dataset, 8, 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

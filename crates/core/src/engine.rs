@@ -117,12 +117,13 @@ pub(crate) fn run_collect<F>(
     model: &dyn GuidanceModel,
     tsq: Option<&TableSketchQuery>,
     config: &DuoquestConfig,
+    control: &crate::session::SessionControl,
     on_candidate: F,
 ) -> SynthesisResult
 where
     F: FnMut(&Candidate) -> bool,
 {
-    collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, cb))
+    collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, control, cb))
 }
 
 /// The dedup-and-rank pipeline around any engine driver (`run` is the
@@ -214,7 +215,8 @@ impl Duoquest {
     where
         F: FnMut(&Candidate) -> bool,
     {
-        run_collect(db, nlq, model, tsq, &self.config, on_candidate)
+        let control = crate::session::SessionControl::new();
+        run_collect(db, nlq, model, tsq, &self.config, &control, on_candidate)
     }
 
     /// Build an owned [`crate::session::SynthesisSession`] carrying this

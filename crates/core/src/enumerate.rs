@@ -22,6 +22,7 @@
 
 use crate::config::DuoquestConfig;
 use crate::joinpath::construct_join_paths;
+use crate::session::SessionControl;
 use crate::state::EnumState;
 use crate::tsq::TableSketchQuery;
 use crate::verify::{StageTimings, Verifier, VerifyOutcome, VerifyStage};
@@ -36,6 +37,7 @@ use duoquest_sql::{
     SelectColumn, Slot,
 };
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Counters describing one enumeration run.
@@ -67,6 +69,13 @@ pub struct EnumerationStats {
     pub elapsed: Duration,
     /// Whether the search space was exhausted before hitting any budget.
     pub exhausted: bool,
+    /// The run was stopped by its [`crate::SessionControl`] cancellation
+    /// token (a dropped consumer, an explicit cancel, or service shutdown).
+    pub cancelled: bool,
+    /// The run hit a wall-clock deadline — the configuration's `time_budget`
+    /// or an external [`crate::SessionControl`] deadline — and returned the
+    /// best candidates found so far.
+    pub deadline_exceeded: bool,
     /// Per-stage wall-clock time and call counts of the verification cascade.
     pub stage_timings: StageTimings,
     /// Probe-cache hits during this run.
@@ -109,6 +118,45 @@ impl EnumerationStats {
         }
     }
 
+    /// Render the stats as a JSON object for scraping, hand-rolled because
+    /// the vendored `serde` derives are no-ops. Durations are integer
+    /// microseconds (`*_us`); the `scheduler` member is `null` for runs that
+    /// did not go through a shared pool.
+    pub fn to_json(&self) -> String {
+        let scheduler =
+            self.scheduler.as_ref().map(|s| s.to_json()).unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"expanded\":{},\"generated\":{},\"pruned_clauses\":{},\"pruned_semantics\":{},\
+             \"pruned_types\":{},\"pruned_by_column\":{},\"pruned_by_row\":{},\
+             \"pruned_literals\":{},\"pruned_by_order\":{},\"emitted\":{},\"rounds\":{},\
+             \"elapsed_us\":{},\"exhausted\":{},\"cancelled\":{},\"deadline_exceeded\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_bytes\":{},\"rows_scanned\":{},\
+             \"rows_short_circuited\":{},\"stage_timings\":{},\"scheduler\":{}}}",
+            self.expanded,
+            self.generated,
+            self.pruned_clauses,
+            self.pruned_semantics,
+            self.pruned_types,
+            self.pruned_by_column,
+            self.pruned_by_row,
+            self.pruned_literals,
+            self.pruned_by_order,
+            self.emitted,
+            self.rounds,
+            self.elapsed.as_micros(),
+            self.exhausted,
+            self.cancelled,
+            self.deadline_exceeded,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_bytes,
+            self.rows_scanned,
+            self.rows_short_circuited,
+            self.stage_timings.to_json(),
+            scheduler,
+        )
+    }
+
     fn record(&mut self, stage: VerifyStage, count: usize) {
         match stage {
             VerifyStage::Clauses => self.pruned_clauses += count,
@@ -140,7 +188,16 @@ pub fn enumerate<F>(
 where
     F: FnMut(SelectSpec, f64, Duration) -> bool,
 {
-    run_rounds(db, nlq, model, tsq, config, &mut on_candidate)
+    run_rounds(db, nlq, model, tsq, config, &SessionControl::new(), &mut on_candidate)
+}
+
+/// The earlier of two optional deadlines.
+pub(crate) fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
 }
 
 /// Everything a verification worker needs, shared by reference across the
@@ -154,6 +211,9 @@ pub(crate) struct RoundEnv<'a> {
     pub(crate) partial_verifier: &'a Verifier<'a>,
     pub(crate) complete_verifier: &'a Verifier<'a>,
     pub(crate) deadline: Option<Instant>,
+    /// The session's cancellation token, checked between chunk jobs so a
+    /// cancel takes effect mid-round.
+    pub(crate) cancel: &'a AtomicBool,
 }
 
 /// One unit of parallel work: a freshly generated child with its confidence
@@ -176,6 +236,8 @@ pub(crate) struct ChunkResult {
     pub(crate) survivors: Vec<(PartialQuery, f64, usize)>,
     /// The worker hit the wall-clock deadline and skipped its remaining jobs.
     pub(crate) timed_out: bool,
+    /// The worker observed the session's cancellation token and bailed.
+    pub(crate) cancelled: bool,
 }
 
 /// Fan-out threshold below which spawning workers costs more than it saves.
@@ -194,6 +256,7 @@ pub(crate) fn run_rounds(
     model: &dyn GuidanceModel,
     tsq: Option<&TableSketchQuery>,
     config: &DuoquestConfig,
+    control: &SessionControl,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
 ) -> EnumerationStats {
     let start = Instant::now();
@@ -216,7 +279,8 @@ pub(crate) fn run_rounds(
         config,
         partial_verifier: &partial_verifier,
         complete_verifier: &complete_verifier,
-        deadline: config.time_budget.map(|budget| start + budget),
+        deadline: min_deadline(config.time_budget.map(|budget| start + budget), control.deadline()),
+        cancel: control.flag_ref(),
     };
 
     let workers = config.effective_workers();
@@ -225,9 +289,18 @@ pub(crate) fn run_rounds(
     // over channels), so rounds don't pay a spawn/join cycle each.
     std::thread::scope(|scope| {
         let pool = WorkerPool::start(scope, workers, &env);
-        drive_rounds(db, nlq, model, config, env.deadline, start, &mut stats, on_candidate, {
-            &mut |jobs| process_jobs(jobs, pool.as_ref(), &env)
-        });
+        drive_rounds(
+            db,
+            nlq,
+            model,
+            config,
+            env.deadline,
+            env.cancel,
+            start,
+            &mut stats,
+            on_candidate,
+            &mut |jobs| process_jobs(jobs, pool.as_ref(), &env),
+        );
     });
 
     stats.elapsed = start.elapsed();
@@ -262,6 +335,7 @@ pub(crate) fn drive_rounds(
     model: &dyn GuidanceModel,
     config: &DuoquestConfig,
     deadline: Option<Instant>,
+    cancel: &AtomicBool,
     start: Instant,
     stats: &mut EnumerationStats,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
@@ -275,7 +349,13 @@ pub(crate) fn drive_rounds(
 
     let mut early_exit = false;
     'rounds: while !heap.is_empty() {
+        if cancel.load(Ordering::SeqCst) {
+            stats.cancelled = true;
+            early_exit = true;
+            break 'rounds;
+        }
         if deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+            stats.deadline_exceeded = true;
             early_exit = true;
             break 'rounds;
         }
@@ -321,6 +401,7 @@ pub(crate) fn drive_rounds(
         // Phase 3 (serial): merge in original child order — emission order and
         // frontier sequence numbers are therefore independent of the worker count.
         let mut timed_out = false;
+        let mut was_cancelled = false;
         for chunk in chunk_results {
             stats.generated += chunk.generated;
             for (idx, count) in chunk.prunes.iter().enumerate() {
@@ -328,6 +409,7 @@ pub(crate) fn drive_rounds(
             }
             stats.stage_timings.merge(&chunk.timings);
             timed_out |= chunk.timed_out;
+            was_cancelled |= chunk.cancelled;
             for (spec, confidence) in chunk.emissions {
                 stats.emitted += 1;
                 if !on_candidate(spec, confidence, start.elapsed())
@@ -347,7 +429,13 @@ pub(crate) fn drive_rounds(
                 });
             }
         }
+        if was_cancelled {
+            stats.cancelled = true;
+            early_exit = true;
+            break 'rounds;
+        }
         if timed_out {
+            stats.deadline_exceeded = true;
             early_exit = true;
             break 'rounds;
         }
@@ -457,6 +545,12 @@ impl WorkerPool {
 pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkResult {
     let mut out = ChunkResult::default();
     for (done, job) in jobs.into_iter().enumerate() {
+        // Honor cancellation between jobs (an atomic load — cheap enough per
+        // job) so cancel takes effect mid-chunk, not at the next round.
+        if env.cancel.load(Ordering::Relaxed) {
+            out.cancelled = true;
+            break;
+        }
         // Honor the wall-clock budget inside large fan-outs as well.
         if done % 32 == 31 && env.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
             out.timed_out = true;

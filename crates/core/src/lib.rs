@@ -41,7 +41,7 @@ pub use config::DuoquestConfig;
 pub use engine::{Candidate, Duoquest, SynthesisResult};
 pub use enumerate::EnumerationStats;
 pub use scheduler::{SchedulerHandle, SchedulerRunStats, SchedulerStats, SessionScheduler};
-pub use session::{CandidateStream, SynthesisSession};
+pub use session::{CandidateStream, SessionControl, SynthesisSession};
 pub use state::EnumState;
 pub use tsq::{TableSketchQuery, TsqCell};
 pub use verify::{StageTimings, Verifier, VerifyOutcome, VerifyStage};

@@ -74,9 +74,10 @@
 
 use crate::config::DuoquestConfig;
 use crate::enumerate::{
-    drive_rounds, process_chunk, ChildJob, ChunkResult, EnumerationStats, RoundEnv,
+    drive_rounds, min_deadline, process_chunk, ChildJob, ChunkResult, EnumerationStats, RoundEnv,
     MIN_PARALLEL_JOBS,
 };
+use crate::session::SessionControl;
 use crate::tsq::TableSketchQuery;
 use crate::verify::Verifier;
 use duoquest_db::{Database, JoinGraph, RunCacheCounters, SelectSpec};
@@ -104,6 +105,22 @@ pub struct SchedulerStats {
     pub units_executed: u64,
 }
 
+impl SchedulerStats {
+    /// Render as a JSON object for scraping (hand-rolled; the vendored
+    /// `serde` derives are no-ops).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"busy_workers\":{},\"queue_depth\":{},\"live_sessions\":{},\
+             \"units_executed\":{}}}",
+            self.workers,
+            self.busy_workers,
+            self.queue_depth,
+            self.live_sessions,
+            self.units_executed,
+        )
+    }
+}
+
 /// Shared-pool observations recorded by one synthesis run, surfaced in
 /// [`EnumerationStats::scheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,6 +141,23 @@ pub struct SchedulerRunStats {
     pub live_sessions_peak: usize,
 }
 
+impl SchedulerRunStats {
+    /// Render as a JSON object for scraping (hand-rolled; the vendored
+    /// `serde` derives are no-ops).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pool_workers\":{},\"units_submitted\":{},\"units_inline\":{},\
+             \"queue_depth_peak\":{},\"busy_workers_peak\":{},\"live_sessions_peak\":{}}}",
+            self.pool_workers,
+            self.units_submitted,
+            self.units_inline,
+            self.queue_depth_peak,
+            self.busy_workers_peak,
+            self.live_sessions_peak,
+        )
+    }
+}
+
 /// Everything a pool worker needs to execute one of a session's work units,
 /// owned (`'static`) so the long-lived pool can outlive any borrow of the
 /// session's inputs. One context is built per synthesis run and shared by
@@ -140,6 +174,10 @@ struct SessionContext {
     partial_counters: Arc<RunCacheCounters>,
     complete_counters: Arc<RunCacheCounters>,
     deadline: Option<Instant>,
+    /// The session's cancellation token: workers check it between jobs, the
+    /// fairness queue reaps queued units once it fires, and the driver uses
+    /// it to tell a cancellation disconnect from a pool shutdown.
+    cancel: Arc<AtomicBool>,
 }
 
 impl SessionContext {
@@ -164,6 +202,7 @@ impl SessionContext {
             partial_verifier: &partial_verifier,
             complete_verifier: &complete_verifier,
             deadline: self.deadline,
+            cancel: &self.cancel,
         };
         process_chunk(jobs, &env)
     }
@@ -180,12 +219,31 @@ struct WorkUnit {
 /// One live session's slot in the fairness queue.
 struct SessionQueue {
     id: u64,
-    /// Scheduling weight (the session's beam width): units granted per
-    /// round-robin rotation before the cursor moves on.
+    /// Scheduling weight — the session's beam width times its priority
+    /// multiplier (interactive sessions register a larger multiplier than
+    /// batch ones): units granted per round-robin rotation before the cursor
+    /// moves on.
     weight: usize,
     /// Units remaining in the current rotation.
     quantum: usize,
     pending: VecDeque<WorkUnit>,
+    /// The session's cancellation token: once it fires, queued units are
+    /// dropped (reaped) instead of executed.
+    cancel: Arc<AtomicBool>,
+}
+
+impl SessionQueue {
+    /// Drop every queued unit if the session has been cancelled, returning
+    /// how many were reaped. Dropping a unit disconnects its result sender,
+    /// which the session's driver observes as the cancellation taking effect.
+    fn reap_if_cancelled(&mut self) -> usize {
+        if self.pending.is_empty() || !self.cancel.load(Ordering::Acquire) {
+            return 0;
+        }
+        let reaped = self.pending.len();
+        self.pending.clear();
+        reaped
+    }
 }
 
 /// The fairness-aware queue: weighted round-robin across live sessions.
@@ -208,6 +266,11 @@ impl QueueState {
     /// spends one quantum per pop and yields the cursor when its quantum (or
     /// queue) is exhausted, so a session with weight *w* gets at most *w*
     /// units per rotation and an expensive session cannot starve the rest.
+    ///
+    /// Cancelled sessions encountered along the way have their queued units
+    /// reaped (dropped, never executed) — the unit-level half of
+    /// cancellation; the session's driver exits at its next cooperative
+    /// check and deregisters the slot itself.
     fn pop(&mut self) -> Option<WorkUnit> {
         if self.depth == 0 || self.sessions.is_empty() {
             return None;
@@ -218,6 +281,7 @@ impl QueueState {
         for _ in 0..(2 * n) {
             self.cursor %= n;
             let slot = &mut self.sessions[self.cursor];
+            self.depth -= slot.reap_if_cancelled();
             if slot.pending.is_empty() || slot.quantum == 0 {
                 slot.quantum = slot.weight.max(1);
                 self.cursor += 1;
@@ -228,6 +292,17 @@ impl QueueState {
             return slot.pending.pop_front();
         }
         None
+    }
+
+    /// Reap the queued units of every cancelled session (see
+    /// [`SessionQueue::reap_if_cancelled`]); returns how many were dropped.
+    fn reap_cancelled(&mut self) -> usize {
+        let mut reaped = 0;
+        for slot in self.sessions.iter_mut() {
+            reaped += slot.reap_if_cancelled();
+        }
+        self.depth -= reaped;
+        reaped
     }
 }
 
@@ -253,12 +328,18 @@ impl PoolCore {
         }
     }
 
-    fn register(&self, weight: usize) -> u64 {
+    fn register(&self, weight: usize, cancel: Arc<AtomicBool>) -> u64 {
         let mut queue = self.queue.lock().expect("scheduler queue poisoned");
         let id = queue.next_id;
         queue.next_id += 1;
         let weight = weight.max(1);
-        queue.sessions.push(SessionQueue { id, weight, quantum: weight, pending: VecDeque::new() });
+        queue.sessions.push(SessionQueue {
+            id,
+            weight,
+            quantum: weight,
+            pending: VecDeque::new(),
+            cancel,
+        });
         id
     }
 
@@ -283,10 +364,23 @@ impl PoolCore {
         }
         let count = units.len();
         let Some(slot) = queue.session_mut(id) else { return };
+        // A cancelled session's units are dropped instead of queued: the
+        // submitting driver observes the disconnected result senders and
+        // winds the session down.
+        if slot.cancel.load(Ordering::Acquire) {
+            return;
+        }
         slot.pending.extend(units);
         queue.depth += count;
         drop(queue);
         self.work_available.notify_all();
+    }
+
+    /// Drop the queued units of every cancelled session; returns how many
+    /// were reaped.
+    fn reap_cancelled(&self) -> usize {
+        let mut queue = self.queue.lock().expect("scheduler queue poisoned");
+        queue.reap_cancelled()
     }
 
     /// Worker side: block until a unit is available or the pool shuts down.
@@ -431,6 +525,16 @@ impl SchedulerHandle {
     pub fn workers(&self) -> usize {
         self.core.workers
     }
+
+    /// Eagerly drop the queued (session, round-chunk) units of every
+    /// cancelled session, returning how many were reaped. Workers also reap
+    /// lazily whenever they pop, so calling this is an optimization — it
+    /// frees the queue immediately instead of at the next pop — not a
+    /// requirement for correctness. Fired automatically when a
+    /// [`CandidateStream`](crate::session::CandidateStream) is dropped.
+    pub fn reap_cancelled(&self) -> usize {
+        self.core.reap_cancelled()
+    }
 }
 
 impl std::fmt::Debug for SchedulerHandle {
@@ -451,11 +555,14 @@ pub(crate) fn run_rounds_scheduled(
     model: &dyn GuidanceModel,
     tsq: Option<&TableSketchQuery>,
     config: &DuoquestConfig,
+    control: &SessionControl,
+    priority_weight: usize,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
 ) -> EnumerationStats {
     let start = Instant::now();
     let mut stats = EnumerationStats::default();
-    let deadline = config.time_budget.map(|budget| start + budget);
+    let deadline =
+        min_deadline(config.time_budget.map(|budget| start + budget), control.deadline());
     let ctx = Arc::new(SessionContext {
         db: Arc::clone(db),
         tsq: tsq.cloned(),
@@ -465,19 +572,33 @@ pub(crate) fn run_rounds_scheduled(
         partial_counters: Arc::new(RunCacheCounters::default()),
         complete_counters: Arc::new(RunCacheCounters::default()),
         deadline,
+        cancel: control.flag(),
     });
 
     let core = &handle.core;
     // The guard deregisters on drop, so a panicking session (e.g. a rethrown
     // worker panic) cannot leak its queue slot and distort fairness forever.
-    let registration = SessionRegistration { core, id: core.register(config.beam_width) };
+    // Fairness weight = beam width × priority multiplier: a session's share
+    // of each round-robin rotation scales with both how much work a round
+    // exposes and how urgent its requester is.
+    let weight = config.beam_width.max(1).saturating_mul(priority_weight.max(1));
+    let registration = SessionRegistration { core, id: core.register(weight, control.flag()) };
     let session_id = registration.id;
     let mut run_stats =
         SchedulerRunStats { pool_workers: core.workers, ..SchedulerRunStats::default() };
 
-    drive_rounds(db, nlq, model, config, deadline, start, &mut stats, on_candidate, {
-        &mut |jobs| dispatch_round(core, session_id, &ctx, jobs, &mut run_stats)
-    });
+    drive_rounds(
+        db,
+        nlq,
+        model,
+        config,
+        deadline,
+        control.flag_ref(),
+        start,
+        &mut stats,
+        on_candidate,
+        &mut |jobs| dispatch_round(core, session_id, &ctx, jobs, &mut run_stats),
+    );
 
     drop(registration);
 
@@ -561,8 +682,17 @@ fn dispatch_round(
 
     let mut results: Vec<Option<ChunkResult>> = (0..sent).map(|_| None).collect();
     for received in 0..sent {
-        let (idx, outcome) =
-            result_rx.recv().expect("scheduler shut down while a session was running on it");
+        let Ok((idx, outcome)) = result_rx.recv() else {
+            // Every remaining sender is gone before reporting. Either the
+            // session was cancelled and its queued units were reaped (their
+            // senders dropped with them) — wind the round down — or the pool
+            // was shut down under a live session, which is a caller bug.
+            assert!(
+                ctx.cancel.load(Ordering::Acquire),
+                "scheduler shut down while a session was running on it"
+            );
+            return vec![ChunkResult { cancelled: true, ..ChunkResult::default() }];
+        };
         if received + 1 < sent {
             observe(run_stats);
         }
@@ -616,7 +746,13 @@ mod tests {
                 });
             }
             queue.depth += pending.len();
-            queue.sessions.push(SessionQueue { id, weight, quantum: weight, pending });
+            queue.sessions.push(SessionQueue {
+                id,
+                weight,
+                quantum: weight,
+                pending,
+                cancel: Arc::new(AtomicBool::new(false)),
+            });
         }
         let mut order = Vec::new();
         while let Some(unit) = queue.pop() {
@@ -640,6 +776,7 @@ mod tests {
             partial_counters: Arc::new(RunCacheCounters::default()),
             complete_counters: Arc::new(RunCacheCounters::default()),
             deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -685,7 +822,7 @@ mod tests {
     fn shutdown_disconnects_queued_units_instead_of_stranding_sessions() {
         let pool = SessionScheduler::new(1);
         let core = Arc::clone(&pool.core);
-        let id = core.register(1);
+        let id = core.register(1, Arc::new(AtomicBool::new(false)));
         drop(pool); // shutdown: workers joined, queue drained
         let (tx, rx) = mpsc::channel();
         let unit = WorkUnit { chunk_idx: 0, jobs: Vec::new(), ctx: test_ctx(), result_tx: tx };
@@ -705,7 +842,7 @@ mod tests {
         assert_eq!(stats.workers, 2);
         assert_eq!(stats.live_sessions, 0);
         assert_eq!(stats.queue_depth, 0);
-        let id = pool.core.register(4);
+        let id = pool.core.register(4, Arc::new(AtomicBool::new(false)));
         assert_eq!(pool.stats().live_sessions, 1);
         pool.core.deregister(id);
         assert_eq!(pool.stats().live_sessions, 0);

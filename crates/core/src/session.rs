@@ -32,7 +32,74 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Cooperative controls for one synthesis run: a shared **cancellation
+/// token** plus an optional absolute **deadline**.
+///
+/// The engine checks both at every round boundary and inside verification
+/// chunks (between jobs), so a cancellation or a deadline takes effect
+/// mid-round without waiting for the current fan-out to drain. On a shared
+/// [`SessionScheduler`] pool the token additionally **reaps** the session's
+/// queued (session, round-chunk) units: cancelled units are dropped before a
+/// worker ever pops them (see [`SchedulerHandle::reap_cancelled`]).
+///
+/// Cloning shares the token: hand one clone to the consumer (to cancel) and
+/// attach another to the session with
+/// [`SynthesisSession::with_control`]. A run that completes without the token
+/// firing is byte-identical to a run without any control attached.
+///
+/// The deadline is an absolute [`Instant`], so a serving layer can anchor it
+/// at *submit* time — queue wait counts against the budget. A run cut by the
+/// deadline keeps everything emitted so far and sets
+/// [`EnumerationStats::deadline_exceeded`](crate::EnumerationStats::deadline_exceeded);
+/// a cancelled run sets
+/// [`EnumerationStats::cancelled`](crate::EnumerationStats::cancelled).
+#[derive(Clone, Debug, Default)]
+pub struct SessionControl {
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl SessionControl {
+    /// A fresh control: not cancelled, no deadline.
+    pub fn new() -> Self {
+        SessionControl::default()
+    }
+
+    /// Set an absolute deadline. The run stops enumerating once the deadline
+    /// passes and returns the best candidates found so far.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Fire the cancellation token. Idempotent; takes effect at the engine's
+    /// next cooperative check (round boundary or between chunk jobs).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Owned handle on the token, for contexts that outlive this borrow.
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancelled)
+    }
+
+    /// Borrowed view of the token, for round-scoped environments.
+    pub(crate) fn flag_ref(&self) -> &AtomicBool {
+        &self.cancelled
+    }
+}
 
 /// An owned synthesis task: shared database + dual specification + model +
 /// configuration. Create one per user query; clone the `Arc`s, not the data.
@@ -75,6 +142,8 @@ pub struct SynthesisSession {
     model: Arc<dyn GuidanceModel>,
     config: DuoquestConfig,
     scheduler: Option<SchedulerHandle>,
+    control: SessionControl,
+    priority_weight: usize,
 }
 
 impl SynthesisSession {
@@ -94,6 +163,8 @@ impl SynthesisSession {
             model,
             config: DuoquestConfig::default(),
             scheduler: None,
+            control: SessionControl::new(),
+            priority_weight: 1,
         }
     }
 
@@ -118,9 +189,39 @@ impl SynthesisSession {
         self
     }
 
+    /// Attach an externally owned [`SessionControl`] so a consumer can cancel
+    /// the run (or impose an absolute deadline) while it is in flight. By
+    /// default every session carries a private control nobody else holds.
+    pub fn with_control(mut self, control: SessionControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Scheduling priority on a shared pool: the session's share of the
+    /// fairness queue's weighted round-robin is `beam_width × weight`
+    /// (minimum 1), so an interactive session with weight 16 is granted 16×
+    /// the units per rotation of a background session with weight 1. Has no
+    /// effect on a private pool (nothing to compete with) and never changes
+    /// which candidates are emitted — only when.
+    pub fn with_priority_weight(mut self, weight: usize) -> Self {
+        self.priority_weight = weight.max(1);
+        self
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &DuoquestConfig {
         &self.config
+    }
+
+    /// The session's cooperative run control.
+    pub fn control(&self) -> &SessionControl {
+        &self.control
+    }
+
+    /// The session's scheduling priority multiplier (see
+    /// [`SynthesisSession::with_priority_weight`]).
+    pub fn priority_weight(&self) -> usize {
+        self.priority_weight
     }
 
     /// The shared database the session probes.
@@ -160,6 +261,7 @@ impl SynthesisSession {
                 self.model.as_ref(),
                 self.tsq.as_ref(),
                 &self.config,
+                &self.control,
                 on_candidate,
             ),
         }
@@ -179,6 +281,8 @@ impl SynthesisSession {
                 self.model.as_ref(),
                 self.tsq.as_ref(),
                 &self.config,
+                &self.control,
+                self.priority_weight,
                 cb,
             )
         })
@@ -186,17 +290,21 @@ impl SynthesisSession {
 
     /// Move the session onto a background thread and stream candidates as
     /// they survive verification. Dropping the stream (or calling
-    /// [`CandidateStream::stop`]) ends the enumeration; call
+    /// [`CandidateStream::stop`]) **cancels** the session — the engine stops
+    /// at its next cooperative check and any (session, round-chunk) units
+    /// still queued on a shared pool are reaped before a worker pops them —
+    /// so an abandoned consumer never leaks enumeration work. Call
     /// [`CandidateStream::finish`] for the final ranked result.
     pub fn stream(self) -> CandidateStream {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
+        let control = self.control.clone();
+        let scheduler = self.scheduler.clone();
+        let stop_control = self.control.clone();
         let (tx, rx) = mpsc::channel();
         let handle = std::thread::Builder::new()
             .name("duoquest-synthesis".into())
             .spawn(move || {
                 self.run_with(move |candidate| {
-                    if stop_flag.load(Ordering::Relaxed) {
+                    if stop_control.is_cancelled() {
                         return false;
                     }
                     // A dropped receiver reads as "stop": the send fails and
@@ -205,7 +313,7 @@ impl SynthesisSession {
                 })
             })
             .expect("failed to spawn synthesis thread");
-        CandidateStream { rx, handle: Some(handle), stop }
+        CandidateStream { rx, handle: Some(handle), control, scheduler }
     }
 }
 
@@ -215,17 +323,28 @@ impl SynthesisSession {
 /// still running; call [`CandidateStream::finish`] to join the thread and
 /// obtain the final, confidence-ranked [`SynthesisResult`] (which includes
 /// the run's [`crate::EnumerationStats`]).
+///
+/// **Dropping the stream cancels the work**: the session's
+/// [`SessionControl`] token fires and, when the session runs on a shared
+/// [`SessionScheduler`], its queued round-chunk units are reaped from the
+/// fairness queue before any worker pops them. The pool therefore goes idle
+/// instead of grinding through enumeration nobody is consuming.
 pub struct CandidateStream {
     rx: Receiver<Candidate>,
     handle: Option<JoinHandle<SynthesisResult>>,
-    stop: Arc<AtomicBool>,
+    control: SessionControl,
+    scheduler: Option<SchedulerHandle>,
 }
 
 impl CandidateStream {
-    /// Ask the background thread to stop after the candidate it is currently
-    /// emitting. Idempotent.
+    /// Ask the background thread to stop: fires the session's cancellation
+    /// token and reaps its queued units from the shared pool, if any.
+    /// Idempotent.
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.control.cancel();
+        if let Some(handle) = &self.scheduler {
+            handle.reap_cancelled();
+        }
     }
 
     /// Whether the background enumeration has finished.
@@ -244,6 +363,17 @@ impl CandidateStream {
     pub fn finish(mut self) -> SynthesisResult {
         let handle = self.handle.take().expect("finish called once");
         handle.join().expect("synthesis thread panicked")
+    }
+}
+
+impl Drop for CandidateStream {
+    /// Dropping the stream cancels the session (see the struct docs). The
+    /// background thread winds down on its own at its next cooperative check;
+    /// it is not joined here, so dropping never blocks.
+    fn drop(&mut self) {
+        // After `finish` the handle is gone and the run is already complete;
+        // firing the token then is a harmless no-op.
+        self.stop();
     }
 }
 

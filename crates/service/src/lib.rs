@@ -1,0 +1,775 @@
+//! # duoquest-service
+//!
+//! The multi-tenant serving layer over the synthesis core: a
+//! [`SynthesisService`] owns one shared
+//! [`SessionScheduler`] pool and exposes a
+//! request lifecycle shaped like a production endpoint — many users submit
+//! NL+TSQ tasks concurrently, each with a priority class, an optional
+//! deadline, and a cancellable ticket.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//!  submit(SynthesisRequest)
+//!        │
+//!        ▼                 capacity?
+//!  ┌─ admission ─────────────────────────────────────────────┐
+//!  │ live < max_live ──────────► start (driver thread)       │
+//!  │ else queued < max_queued ─► queue (per-class FIFO)      │
+//!  │ else ─────────────────────► shed: Err(Overloaded)       │
+//!  └─────────────────────────────────────────────────────────┘
+//!        │ start                      ▲ a finishing request
+//!        ▼                            │ promotes the head of the
+//!  SynthesisSession on the shared     │ highest non-empty class
+//!  SessionScheduler pool              │ queue
+//!  (fairness weight = beam × class)   │
+//!        │ candidates stream to the Ticket as they survive
+//!        ▼
+//!  ServiceOutcome { result, status: Completed | Cancelled | DeadlineExceeded }
+//! ```
+//!
+//! * **Priorities** ([`PriorityClass`]) weight the shared pool's round-robin
+//!   on top of beam width: an interactive session gets 16× the per-rotation
+//!   share of a background one, but nobody is starved — every live session is
+//!   served each rotation.
+//! * **Cancellation**: dropping (or explicitly cancelling) a [`Ticket`] fires
+//!   the session's token; queued (session, round-chunk) units are reaped from
+//!   the fairness queue before a worker ever pops them, and the run stops at
+//!   its next cooperative check. Other requests' emission order is untouched.
+//! * **Deadlines** are measured from submission (queue wait counts). A
+//!   request past its deadline stops enumerating and resolves with the best
+//!   candidates found so far, flagged
+//!   [`RequestStatus::DeadlineExceeded`].
+//! * **Admission control** bounds live sessions and the waiting queue;
+//!   overflow is shed at submit time with [`AdmissionError::Overloaded`].
+//! * **Observability**: [`SynthesisService::stats`] snapshots per-class queue
+//!   depth, p50/p95 time-to-first-candidate and the
+//!   cancelled/shed/expired counters, JSON-renderable via
+//!   [`ServiceStats::to_json`].
+//!
+//! Completed requests keep the engine's determinism contract: for a fixed
+//! configuration the emitted candidate sequence is byte-identical to a
+//! private-pool [`SynthesisSession`] run,
+//! at any priority, under any concurrent load (`tests/determinism.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use duoquest_core::DuoquestConfig;
+//! use duoquest_db::{ColumnDef, Database, Schema, TableDef, Value};
+//! use duoquest_nlq::{HeuristicGuidance, Literal, Nlq};
+//! use duoquest_service::{PriorityClass, RequestStatus, ServiceConfig, SynthesisRequest,
+//!     SynthesisService};
+//! use std::sync::Arc;
+//!
+//! let mut schema = Schema::new("demo");
+//! schema.add_table(TableDef::new(
+//!     "movies",
+//!     vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+//!     Some(0),
+//! ));
+//! let mut db = Database::new(schema).unwrap();
+//! db.insert("movies", vec![Value::int(1), Value::text("Heat"), Value::int(1995)]).unwrap();
+//! db.insert("movies", vec![Value::int(2), Value::text("Up"), Value::int(2009)]).unwrap();
+//! db.rebuild_index();
+//!
+//! let service = SynthesisService::new(ServiceConfig {
+//!     workers: 2,
+//!     max_live_sessions: 4,
+//!     max_queued: 16,
+//!     ..ServiceConfig::default()
+//! });
+//! let nlq = Nlq::with_literals("movie names before 2000", vec![Literal::number(2000.0)]);
+//! let request = SynthesisRequest::new(
+//!     db.into_shared(),
+//!     nlq,
+//!     Arc::new(HeuristicGuidance::new()),
+//! )
+//! .with_config(DuoquestConfig::fast())
+//! .with_priority(PriorityClass::Interactive);
+//!
+//! let ticket = service.submit(request).unwrap();
+//! let outcome = ticket.wait();
+//! assert_eq!(outcome.status, RequestStatus::Completed);
+//! assert!(!outcome.result.candidates.is_empty());
+//! assert_eq!(service.stats().class(PriorityClass::Interactive).completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod request;
+mod stats;
+mod ticket;
+
+pub use request::{AdmissionError, PriorityClass, ServiceConfig, SynthesisRequest};
+pub use stats::{ClassStats, ServiceStats};
+pub use ticket::{RequestStatus, ServiceOutcome, Ticket};
+
+use duoquest_core::{
+    Candidate, SchedulerHandle, SessionControl, SessionScheduler, SynthesisResult, SynthesisSession,
+};
+use stats::Reservoir;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-class monotone counters plus the TTFC sample window.
+struct ClassCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    expired: AtomicU64,
+    shed: AtomicU64,
+    ttfc: Mutex<Reservoir>,
+}
+
+impl ClassCounters {
+    fn new(ttfc_samples: usize) -> Self {
+        ClassCounters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            ttfc: Mutex::new(Reservoir::new(ttfc_samples)),
+        }
+    }
+
+    fn record_ttfc(&self, sample: Duration) {
+        self.ttfc.lock().expect("ttfc reservoir poisoned").record(sample);
+    }
+}
+
+/// A request admitted but not yet finished: everything the driver thread
+/// needs to run it and resolve its ticket.
+struct Pending {
+    id: u64,
+    req: SynthesisRequest,
+    control: SessionControl,
+    submitted: Instant,
+    candidates: Sender<Candidate>,
+    outcome: Sender<ServiceOutcome>,
+}
+
+impl Pending {
+    /// Build the outcome of a request that never ran (cancelled or expired
+    /// while queued), returning the sender to deliver it through.
+    fn into_unrun(self, status: RequestStatus) -> (Sender<ServiceOutcome>, ServiceOutcome) {
+        let mut result = SynthesisResult::default();
+        match status {
+            RequestStatus::Cancelled => result.stats.cancelled = true,
+            RequestStatus::DeadlineExceeded => result.stats.deadline_exceeded = true,
+            RequestStatus::Completed => {}
+        }
+        let outcome = ServiceOutcome {
+            result,
+            status,
+            queue_wait: self.submitted.elapsed(),
+            time_to_first_candidate: None,
+        };
+        (self.outcome, outcome)
+    }
+
+    /// Resolve the ticket of a request that never ran.
+    fn resolve_unrun(self, status: RequestStatus) {
+        let (sender, outcome) = self.into_unrun(status);
+        let _ = sender.send(outcome);
+    }
+}
+
+/// Admission state, guarded by one mutex: who is live, who is waiting, and
+/// the driver threads to join at shutdown.
+#[derive(Default)]
+struct Admission {
+    next_id: u64,
+    live: Vec<LiveEntry>,
+    queued: [VecDeque<Pending>; 3],
+    drivers: Vec<JoinHandle<()>>,
+}
+
+struct LiveEntry {
+    id: u64,
+    class: PriorityClass,
+    control: SessionControl,
+}
+
+impl Admission {
+    fn queued_total(&self) -> usize {
+        self.queued.iter().map(|q| q.len()).sum()
+    }
+
+    /// Pop the next waiting request in strict class order (interactive before
+    /// batch before background), FIFO within a class.
+    fn pop_queued(&mut self) -> Option<Pending> {
+        self.queued.iter_mut().find_map(|q| q.pop_front())
+    }
+}
+
+/// State shared between the service handle, its driver threads and the
+/// housekeeping thread.
+pub(crate) struct Shared {
+    cfg: ServiceConfig,
+    handle: SchedulerHandle,
+    state: Mutex<Admission>,
+    /// Signalled whenever the queued set changes (a submit, a ticket
+    /// cancellation, shutdown) so the housekeeping thread re-examines it.
+    queue_changed: Condvar,
+    counters: [ClassCounters; 3],
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Wake the housekeeping thread to re-examine the queued set. Takes the
+    /// state lock so the wakeup cannot slot between the housekeeper's check
+    /// and its wait.
+    pub(crate) fn notify_queue_changed(&self) {
+        let _guard = self.state.lock().expect("service state poisoned");
+        self.queue_changed.notify_all();
+    }
+
+    fn bump(&self, class: PriorityClass, status: RequestStatus) {
+        let counters = &self.counters[class.index()];
+        let counter = match status {
+            RequestStatus::Completed => &counters.completed,
+            RequestStatus::Cancelled => &counters.cancelled,
+            RequestStatus::DeadlineExceeded => &counters.expired,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a request live and spawn its driver thread. Caller holds the
+    /// admission lock.
+    fn start_locked(self: &Arc<Self>, state: &mut Admission, pending: Pending) {
+        state.live.push(LiveEntry {
+            id: pending.id,
+            class: pending.req.priority,
+            control: pending.control.clone(),
+        });
+        // Opportunistically shed handles of drivers that already finished so
+        // the join list doesn't grow without bound on a long-lived service.
+        state.drivers.retain(|h| !h.is_finished());
+        let shared = Arc::clone(self);
+        let driver = std::thread::Builder::new()
+            .name(format!("duoquest-service-{}", pending.id))
+            .spawn(move || drive(shared, pending))
+            .expect("failed to spawn service driver");
+        state.drivers.push(driver);
+    }
+}
+
+/// Driver thread: run one admitted request to its outcome, then promote
+/// queued work into the freed slot.
+fn drive(shared: Arc<Shared>, pending: Pending) {
+    let id = pending.id;
+    // A worker panic is rethrown on this thread by the scheduler's dispatch
+    // (and a guidance model can panic here directly); catch it so the live
+    // slot is always freed — one poisoned request must not wedge the
+    // service's capacity. The outcome sender is owned by the closure, so a
+    // panicking run drops it undelivered and the ticket holder's `wait`
+    // reports the vanished driver.
+    let delivery =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_request(&shared, pending)));
+    // Free the live slot (promoting queued work) before resolving the
+    // ticket: a consumer that observes the outcome also observes the slot
+    // released.
+    finish(&shared, id);
+    if let Ok((sender, outcome)) = delivery {
+        let _ = sender.send(outcome);
+    }
+}
+
+/// Run one admitted request and build its outcome (not yet delivered — the
+/// caller frees the live slot first).
+fn run_request(shared: &Arc<Shared>, pending: Pending) -> (Sender<ServiceOutcome>, ServiceOutcome) {
+    let class = pending.req.priority;
+    if pending.control.is_cancelled() {
+        // Cancelled while queued (or between admission and start).
+        shared.bump(class, RequestStatus::Cancelled);
+        return pending.into_unrun(RequestStatus::Cancelled);
+    }
+    if pending.control.deadline().is_some_and(|d| Instant::now() >= d) {
+        // Expired while queued: never start a run the deadline already ate.
+        shared.bump(class, RequestStatus::DeadlineExceeded);
+        return pending.into_unrun(RequestStatus::DeadlineExceeded);
+    }
+    let Pending { req, control, submitted, candidates, outcome, .. } = pending;
+    let queue_wait = submitted.elapsed();
+    let SynthesisRequest { db, nlq, tsq, model, config, .. } = req;
+    let mut session = SynthesisSession::new(db, nlq, model)
+        .with_config(config)
+        .with_control(control.clone())
+        .with_priority_weight(class.weight())
+        .with_scheduler(shared.handle.clone());
+    if let Some(tsq) = tsq {
+        session = session.with_tsq(tsq);
+    }
+    let mut ttfc: Option<Duration> = None;
+    let result = session.run_with(|candidate| {
+        if ttfc.is_none() {
+            let sample = submitted.elapsed();
+            ttfc = Some(sample);
+            shared.counters[class.index()].record_ttfc(sample);
+        }
+        // A dropped ticket reads as "stop" (its Drop also fires the
+        // cancellation token, which reaps queued units).
+        candidates.send(candidate.clone()).is_ok()
+    });
+    let status = if result.stats.cancelled || control.is_cancelled() {
+        RequestStatus::Cancelled
+    } else if result.stats.deadline_exceeded
+        && control.deadline().is_some_and(|d| Instant::now() >= d)
+    {
+        // Only the request's own service deadline counts as expiry; the
+        // engine's `time_budget` cutting the search is a normal completion
+        // mode (like `max_candidates`), visible in the run's stats.
+        RequestStatus::DeadlineExceeded
+    } else {
+        RequestStatus::Completed
+    };
+    shared.bump(class, status);
+    // Close the candidate stream before the outcome resolves so a consumer
+    // draining the ticket sees the stream end first.
+    drop(candidates);
+    (outcome, ServiceOutcome { result, status, queue_wait, time_to_first_candidate: ttfc })
+}
+
+/// Housekeeping thread: resolves queued requests whose deadline passes — or
+/// whose ticket is cancelled — while every live slot stays busy. Without it,
+/// queued requests would only be examined when a slot frees, so a deadline
+/// could be overshot by the full runtime of the requests ahead of it.
+///
+/// Sleeps until the earliest queued deadline (or until [`Shared::queue_changed`]
+/// signals a queue mutation) and resolves overdue/cancelled entries in place.
+fn housekeeper(shared: Arc<Shared>) {
+    let mut state = shared.state.lock().expect("service state poisoned");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        for class_queue in &mut state.queued {
+            let mut kept = VecDeque::new();
+            while let Some(pending) = class_queue.pop_front() {
+                if pending.control.is_cancelled() {
+                    shared.bump(pending.req.priority, RequestStatus::Cancelled);
+                    pending.resolve_unrun(RequestStatus::Cancelled);
+                } else if pending.control.deadline().is_some_and(|d| now >= d) {
+                    shared.bump(pending.req.priority, RequestStatus::DeadlineExceeded);
+                    pending.resolve_unrun(RequestStatus::DeadlineExceeded);
+                } else {
+                    kept.push_back(pending);
+                }
+            }
+            *class_queue = kept;
+        }
+        let next_deadline =
+            state.queued.iter().flatten().filter_map(|p| p.control.deadline()).min();
+        state = match next_deadline {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                shared.queue_changed.wait_timeout(state, timeout).expect("service state poisoned").0
+            }
+            None => shared.queue_changed.wait(state).expect("service state poisoned"),
+        };
+    }
+}
+
+/// Free the request's live slot and promote queued work into it.
+fn finish(shared: &Arc<Shared>, id: u64) {
+    let mut state = shared.state.lock().expect("service state poisoned");
+    state.live.retain(|l| l.id != id);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    while state.live.len() < shared.cfg.max_live_sessions.max(1) {
+        let Some(next) = state.pop_queued() else { break };
+        if next.control.is_cancelled() {
+            // Cancelled while waiting: resolve without occupying the slot.
+            shared.bump(next.req.priority, RequestStatus::Cancelled);
+            next.resolve_unrun(RequestStatus::Cancelled);
+            continue;
+        }
+        shared.start_locked(&mut state, next);
+    }
+}
+
+/// The serving endpoint: one shared scheduler pool, an admission-controlled
+/// request queue, and per-request tickets (see the [module docs](self) for
+/// the lifecycle).
+///
+/// Dropping the service cancels everything still live or queued, joins every
+/// driver thread, and shuts the scheduler pool down.
+pub struct SynthesisService {
+    shared: Arc<Shared>,
+    housekeeper: Option<JoinHandle<()>>,
+    /// Owned pool; dropped after the explicit `Drop` body has cancelled and
+    /// joined every driver, so no session ever outlives its scheduler.
+    _scheduler: SessionScheduler,
+}
+
+impl SynthesisService {
+    /// Spawn a service with its own scheduler pool sized per `cfg.workers`.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let scheduler = if cfg.workers == 0 {
+            SessionScheduler::for_machine()
+        } else {
+            SessionScheduler::new(cfg.workers)
+        };
+        let ttfc_samples = cfg.ttfc_samples;
+        let shared = Arc::new(Shared {
+            cfg,
+            handle: scheduler.handle(),
+            state: Mutex::new(Admission::default()),
+            queue_changed: Condvar::new(),
+            counters: std::array::from_fn(|_| ClassCounters::new(ttfc_samples)),
+            shutdown: AtomicBool::new(false),
+        });
+        let housekeeper = std::thread::Builder::new()
+            .name("duoquest-service-housekeeper".into())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                move || housekeeper(shared)
+            })
+            .expect("failed to spawn service housekeeper");
+        SynthesisService { shared, housekeeper: Some(housekeeper), _scheduler: scheduler }
+    }
+
+    /// A service with the default configuration (pool sized to the machine).
+    pub fn with_defaults() -> Self {
+        SynthesisService::new(ServiceConfig::default())
+    }
+
+    /// Submit a request. Admission control applies immediately:
+    ///
+    /// * under `max_live_sessions` live requests, the run starts now;
+    /// * otherwise, under `max_queued` waiting requests, it queues (per-class
+    ///   FIFO; a finishing request promotes the highest non-empty class);
+    /// * otherwise the request is **shed**: [`AdmissionError::Overloaded`],
+    ///   and the per-class `shed` counter ticks.
+    ///
+    /// The returned [`Ticket`] streams candidates as they survive
+    /// verification and resolves to a [`ServiceOutcome`]; dropping it cancels
+    /// the request.
+    pub fn submit(&self, req: SynthesisRequest) -> Result<Ticket, AdmissionError> {
+        let now = Instant::now();
+        let class = req.priority;
+        let mut control = SessionControl::new();
+        if let Some(budget) = req.deadline {
+            control = control.with_deadline(now + budget);
+        }
+        let (cand_tx, cand_rx) = mpsc::channel();
+        let (out_tx, out_rx) = mpsc::channel();
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let pending = Pending {
+            id,
+            req,
+            control: control.clone(),
+            submitted: now,
+            candidates: cand_tx,
+            outcome: out_tx,
+        };
+        if state.live.len() < self.shared.cfg.max_live_sessions.max(1) {
+            self.shared.start_locked(&mut state, pending);
+        } else if state.queued_total() < self.shared.cfg.max_queued {
+            state.queued[class.index()].push_back(pending);
+            // Let the housekeeper re-anchor its sleep on the new entry's
+            // deadline.
+            self.shared.queue_changed.notify_all();
+        } else {
+            self.shared.counters[class.index()].shed.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::Overloaded {
+                live: state.live.len(),
+                queued: state.queued_total(),
+            });
+        }
+        self.shared.counters[class.index()].submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        Ok(Ticket {
+            id,
+            priority: class,
+            control,
+            candidates: cand_rx,
+            outcome: out_rx,
+            scheduler: self.shared.handle.clone(),
+            shared: Arc::downgrade(&self.shared),
+            received: None,
+        })
+    }
+
+    /// A handle on the service's shared scheduler pool (for pool-level
+    /// stats or advanced integrations).
+    pub fn scheduler_handle(&self) -> SchedulerHandle {
+        self.shared.handle.clone()
+    }
+
+    /// Snapshot the service: per-class admission state, counters and TTFC
+    /// percentiles, plus the scheduler pool's load.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        let classes = std::array::from_fn(|i| {
+            let class = PriorityClass::ALL[i];
+            let counters = &self.shared.counters[i];
+            let [p50, p95] =
+                counters.ttfc.lock().expect("ttfc reservoir poisoned").percentiles([50, 95]);
+            ClassStats {
+                class,
+                queued: state.queued[i].len(),
+                live: state.live.iter().filter(|l| l.class == class).count(),
+                submitted: counters.submitted.load(Ordering::Relaxed),
+                completed: counters.completed.load(Ordering::Relaxed),
+                cancelled: counters.cancelled.load(Ordering::Relaxed),
+                expired: counters.expired.load(Ordering::Relaxed),
+                shed: counters.shed.load(Ordering::Relaxed),
+                ttfc_p50: p50,
+                ttfc_p95: p95,
+            }
+        });
+        ServiceStats {
+            live_sessions: state.live.len(),
+            queued_requests: state.queued.iter().map(|q| q.len()).sum(),
+            classes,
+            scheduler: self.shared.handle.stats(),
+        }
+    }
+}
+
+impl Drop for SynthesisService {
+    /// Shut down: refuse new work, cancel everything live, resolve everything
+    /// queued as cancelled, join the housekeeper and the drivers — then the
+    /// owned scheduler field drops, joining the pool's workers.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        for live in &state.live {
+            live.control.cancel();
+        }
+        for class_queue in &mut state.queued {
+            for pending in class_queue.drain(..) {
+                pending.control.cancel();
+                self.shared.bump(pending.req.priority, RequestStatus::Cancelled);
+                pending.resolve_unrun(RequestStatus::Cancelled);
+            }
+        }
+        let drivers = std::mem::take(&mut state.drivers);
+        self.shared.queue_changed.notify_all();
+        drop(state);
+        self.shared.handle.reap_cancelled();
+        if let Some(housekeeper) = self.housekeeper.take() {
+            let _ = housekeeper.join();
+        }
+        for driver in drivers {
+            let _ = driver.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SynthesisService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthesisService").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duoquest_core::DuoquestConfig;
+    use duoquest_db::{CmpOp, Database, Schema};
+    use duoquest_nlq::{GuidanceModel, Literal, Nlq, NoisyOracleGuidance, OracleConfig};
+    use duoquest_sql::QueryBuilder;
+
+    fn movie_db() -> Database {
+        use duoquest_db::{ColumnDef, TableDef, Value};
+        let mut schema = Schema::new("movies-test");
+        schema.add_table(TableDef::new(
+            "movies",
+            vec![ColumnDef::number("mid"), ColumnDef::text("name"), ColumnDef::number("year")],
+            Some(0),
+        ));
+        let mut db = Database::new(schema).unwrap();
+        db.insert_all(
+            "movies",
+            vec![
+                vec![Value::int(1), Value::text("Heat"), Value::int(1995)],
+                vec![Value::int(2), Value::text("Forrest Gump"), Value::int(1994)],
+                vec![Value::int(3), Value::text("Up"), Value::int(2009)],
+            ],
+        )
+        .unwrap();
+        db.rebuild_index();
+        db
+    }
+
+    fn request(db: &Arc<Database>, max_candidates: usize) -> SynthesisRequest {
+        let gold = QueryBuilder::new(db.schema())
+            .select("movies.name")
+            .filter("movies.year", CmpOp::Lt, 1995)
+            .build()
+            .unwrap();
+        let nlq = Nlq::with_literals("names of movies before 1995", vec![Literal::number(1995.0)]);
+        let model: Arc<dyn GuidanceModel> =
+            Arc::new(NoisyOracleGuidance::with_config(gold, 3, OracleConfig::perfect()));
+        let mut config = DuoquestConfig::fast();
+        config.max_candidates = max_candidates;
+        config.time_budget = None;
+        SynthesisRequest::new(Arc::clone(db), nlq, model).with_config(config)
+    }
+
+    #[test]
+    fn completed_request_matches_private_session() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 2,
+            max_live_sessions: 2,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        let req = request(&db, 20);
+        let outcome = service.submit(req).unwrap().wait();
+        assert_eq!(outcome.status, RequestStatus::Completed);
+        assert!(outcome.time_to_first_candidate.is_some());
+
+        let solo_req = request(&db, 20);
+        let SynthesisRequest { db, nlq, model, config, .. } = solo_req;
+        let solo = SynthesisSession::new(db, nlq, model).with_config(config).run();
+        let render = |r: &SynthesisResult| {
+            r.candidates.iter().map(|c| (format!("{:?}", c.spec), c.confidence)).collect::<Vec<_>>()
+        };
+        assert_eq!(render(&outcome.result), render(&solo));
+    }
+
+    #[test]
+    fn queue_promotes_in_class_order_and_sheds_on_full() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 1,
+            max_queued: 2,
+            ..ServiceConfig::default()
+        });
+        // Occupy the single live slot, then fill the queue.
+        let first = service.submit(request(&db, 50)).unwrap();
+        let background =
+            service.submit(request(&db, 5).with_priority(PriorityClass::Background)).unwrap();
+        let interactive =
+            service.submit(request(&db, 5).with_priority(PriorityClass::Interactive)).unwrap();
+        // Queue is at its bound of 2: the next submit is shed.
+        let shed = service.submit(request(&db, 5).with_priority(PriorityClass::Batch));
+        assert!(matches!(shed, Err(AdmissionError::Overloaded { .. })), "{shed:?}");
+        let stats = service.stats();
+        assert_eq!(stats.class(PriorityClass::Batch).shed, 1);
+        assert_eq!(stats.total_shed(), 1);
+
+        // The interactive request (submitted after the background one) is
+        // promoted first once the live slot frees.
+        let first_outcome = first.wait();
+        assert_eq!(first_outcome.status, RequestStatus::Completed);
+        let interactive_outcome = interactive.wait();
+        let background_outcome = background.wait();
+        assert_eq!(interactive_outcome.status, RequestStatus::Completed);
+        assert_eq!(background_outcome.status, RequestStatus::Completed);
+        assert!(
+            interactive_outcome.queue_wait <= background_outcome.queue_wait,
+            "interactive must leave the queue first: {:?} vs {:?}",
+            interactive_outcome.queue_wait,
+            background_outcome.queue_wait
+        );
+    }
+
+    #[test]
+    fn cancelling_a_queued_request_resolves_without_running() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 1,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        let running = service.submit(request(&db, 50)).unwrap();
+        let queued = service.submit(request(&db, 50)).unwrap();
+        queued.cancel();
+        let queued_outcome = queued.wait();
+        assert_eq!(queued_outcome.status, RequestStatus::Cancelled);
+        assert!(queued_outcome.result.candidates.is_empty());
+        assert!(queued_outcome.time_to_first_candidate.is_none());
+        assert_eq!(running.wait().status, RequestStatus::Completed);
+        let stats = service.stats();
+        assert_eq!(stats.class(PriorityClass::Interactive).cancelled, 1);
+        assert_eq!(stats.class(PriorityClass::Interactive).completed, 1);
+    }
+
+    #[test]
+    fn zero_deadline_expires_while_queued() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 1,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        let running = service.submit(request(&db, 50)).unwrap();
+        let doomed = service.submit(request(&db, 50).with_deadline(Duration::ZERO)).unwrap();
+        let outcome = doomed.wait();
+        assert_eq!(outcome.status, RequestStatus::DeadlineExceeded);
+        assert!(outcome.result.stats.deadline_exceeded);
+        assert!(outcome.result.candidates.is_empty());
+        assert_eq!(running.wait().status, RequestStatus::Completed);
+        assert_eq!(service.stats().class(PriorityClass::Interactive).expired, 1);
+    }
+
+    #[test]
+    fn dropping_the_service_cancels_queued_requests() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 1,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        let _running = service.submit(request(&db, 50)).unwrap();
+        let queued = service.submit(request(&db, 50)).unwrap();
+        drop(service);
+        let outcome = queued.wait();
+        assert_eq!(outcome.status, RequestStatus::Cancelled);
+    }
+
+    #[test]
+    fn stats_json_parses_and_round_trips() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 2,
+            max_queued: 2,
+            ..ServiceConfig::default()
+        });
+        let outcome =
+            service.submit(request(&db, 10).with_priority(PriorityClass::Batch)).unwrap().wait();
+        assert_eq!(outcome.status, RequestStatus::Completed);
+        let stats = service.stats();
+        let parsed = json::Json::parse(&stats.to_json()).expect("stats JSON parses");
+        let batch = parsed.get("classes").and_then(|c| c.get("batch")).expect("batch section");
+        assert_eq!(batch.get("completed").and_then(json::Json::as_u64), Some(1));
+        assert_eq!(batch.get("submitted").and_then(json::Json::as_u64), Some(1));
+        assert_eq!(
+            batch.get("ttfc_p50_us").and_then(json::Json::as_u64),
+            stats.class(PriorityClass::Batch).ttfc_p50.map(|d| d.as_micros() as u64)
+        );
+        assert_eq!(
+            parsed.get("live_sessions").and_then(json::Json::as_u64),
+            Some(stats.live_sessions as u64)
+        );
+        let sched = parsed.get("scheduler").expect("scheduler section");
+        assert_eq!(
+            sched.get("workers").and_then(json::Json::as_u64),
+            Some(stats.scheduler.workers as u64)
+        );
+    }
+}

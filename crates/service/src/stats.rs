@@ -1,0 +1,162 @@
+//! Observability: per-class serving counters and latency percentiles.
+
+use crate::request::PriorityClass;
+use duoquest_core::SchedulerStats;
+use std::time::Duration;
+
+/// Serving counters and latency percentiles of one priority class, from
+/// [`SynthesisService::stats`](crate::SynthesisService::stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The class these numbers describe.
+    pub class: PriorityClass,
+    /// Requests currently waiting in the admission queue.
+    pub queued: usize,
+    /// Requests currently running.
+    pub live: usize,
+    /// Requests admitted (started or queued) since the service started.
+    pub submitted: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests cancelled (explicitly, by a dropped ticket, or at shutdown).
+    pub cancelled: u64,
+    /// Requests that hit their deadline (running or still queued).
+    pub expired: u64,
+    /// Requests refused at admission because both the live-session limit and
+    /// the queue bound were exhausted.
+    pub shed: u64,
+    /// Median time from submission to first candidate over the retained
+    /// sample window; `None` until a request of this class emits.
+    pub ttfc_p50: Option<Duration>,
+    /// 95th-percentile time to first candidate over the retained window.
+    pub ttfc_p95: Option<Duration>,
+}
+
+impl ClassStats {
+    /// Render as a JSON object for scraping (hand-rolled; the vendored
+    /// `serde` derives are no-ops). Percentiles are integer microseconds or
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        let opt = |d: Option<Duration>| {
+            d.map(|d| d.as_micros().to_string()).unwrap_or_else(|| "null".into())
+        };
+        format!(
+            "{{\"queued\":{},\"live\":{},\"submitted\":{},\"completed\":{},\"cancelled\":{},\
+             \"expired\":{},\"shed\":{},\"ttfc_p50_us\":{},\"ttfc_p95_us\":{}}}",
+            self.queued,
+            self.live,
+            self.submitted,
+            self.completed,
+            self.cancelled,
+            self.expired,
+            self.shed,
+            opt(self.ttfc_p50),
+            opt(self.ttfc_p95),
+        )
+    }
+}
+
+/// A point-in-time snapshot of the whole service: admission state per class
+/// plus the shared scheduler pool's load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests currently running, across all classes.
+    pub live_sessions: usize,
+    /// Requests currently queued, across all classes.
+    pub queued_requests: usize,
+    /// Per-class breakdown, indexed like [`PriorityClass::ALL`].
+    pub classes: [ClassStats; 3],
+    /// The shared scheduler pool's load.
+    pub scheduler: SchedulerStats,
+}
+
+impl ServiceStats {
+    /// The stats of one class.
+    pub fn class(&self, class: PriorityClass) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+
+    /// Requests shed at admission, across all classes.
+    pub fn total_shed(&self) -> u64 {
+        self.classes.iter().map(|c| c.shed).sum()
+    }
+
+    /// Render as a JSON object for scraping (hand-rolled; the vendored
+    /// `serde` derives are no-ops): class sections are keyed by class label.
+    pub fn to_json(&self) -> String {
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| format!("\"{}\":{}", c.class.label(), c.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"live_sessions\":{},\"queued_requests\":{},\"classes\":{{{classes}}},\
+             \"scheduler\":{}}}",
+            self.live_sessions,
+            self.queued_requests,
+            self.scheduler.to_json(),
+        )
+    }
+}
+
+/// A bounded ring of time-to-first-candidate samples (the newest
+/// `cap` samples win), cheap to record under the class's lock.
+#[derive(Debug)]
+pub(crate) struct Reservoir {
+    samples: Vec<Duration>,
+    cap: usize,
+    next: usize,
+}
+
+impl Reservoir {
+    pub(crate) fn new(cap: usize) -> Self {
+        Reservoir { samples: Vec::new(), cap: cap.max(1), next: 0 }
+    }
+
+    pub(crate) fn record(&mut self, sample: Duration) {
+        if self.samples.len() < self.cap {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next] = sample;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Nearest-rank percentiles (`⌈p/100 · n⌉`-th smallest) over the
+    /// retained window.
+    pub(crate) fn percentiles(&self, ps: [u32; 2]) -> [Option<Duration>; 2] {
+        if self.samples.is_empty() {
+            return [None, None];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        ps.map(|p| {
+            let rank = (sorted.len() * p as usize).div_ceil(100).max(1);
+            Some(sorted[rank - 1])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_keeps_the_newest_window() {
+        let mut r = Reservoir::new(4);
+        for ms in 1..=10u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        // 7..=10 retained; p50 (nearest rank over 4 samples) = index 1 → 8ms.
+        let [p50, p95] = r.percentiles([50, 95]);
+        assert_eq!(p50, Some(Duration::from_millis(8)));
+        assert_eq!(p95, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn empty_reservoir_has_no_percentiles() {
+        let r = Reservoir::new(8);
+        assert_eq!(r.percentiles([50, 95]), [None, None]);
+    }
+}

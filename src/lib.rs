@@ -10,6 +10,8 @@
 //! * [`sql`] — SQL AST, partial queries, parser and canonical comparison
 //! * [`nlq`] — natural language query handling and guidance models
 //! * [`core`] — table sketch queries, GPQE and cascading verification
+//! * [`service`] — multi-tenant serving layer: priorities, cancellation,
+//!   deadlines and admission control over the shared session scheduler
 //! * [`baselines`] — NLI, PBE and ablation baselines from the paper's evaluation
 //! * [`workloads`] — synthetic MAS and Spider-like workloads and simulated users
 //!
@@ -19,5 +21,6 @@ pub use duoquest_baselines as baselines;
 pub use duoquest_core as core;
 pub use duoquest_db as db;
 pub use duoquest_nlq as nlq;
+pub use duoquest_service as service;
 pub use duoquest_sql as sql;
 pub use duoquest_workloads as workloads;

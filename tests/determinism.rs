@@ -5,6 +5,9 @@
 
 use duoquest::core::{Duoquest, DuoquestConfig, SessionScheduler, SynthesisResult};
 use duoquest::nlq::NoisyOracleGuidance;
+use duoquest::service::{
+    PriorityClass, RequestStatus, ServiceConfig, SynthesisRequest, SynthesisService,
+};
 use duoquest::workloads::{spider, synthesize_tsq, TsqDetail};
 use std::sync::Arc;
 
@@ -172,6 +175,62 @@ fn join_partition_counts_leave_emission_byte_identical() {
             );
         }
     }
+}
+
+/// The serving layer inherits the engine's determinism: a request run
+/// through `SynthesisService` — at any priority class, even while other
+/// requests share the pool — emits candidates byte-identical to a
+/// private-pool `SynthesisSession` run of the same task.
+#[test]
+fn service_requests_match_private_sessions_at_every_priority() {
+    let dataset = workload();
+    let config = base_config();
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task_on(&dataset, task, 500 + i as u64, &config, None)))
+        .collect();
+
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 2,
+        max_live_sessions: 4,
+        max_queued: 32,
+        ..ServiceConfig::default()
+    });
+    for class in PriorityClass::ALL {
+        // All tasks in flight together, so runs of every class contend for
+        // the shared pool while being compared against their solo rankings.
+        let tickets: Vec<_> = dataset
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| {
+                let db = dataset.database(task);
+                let (gold, tsq) =
+                    synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 500 + i as u64);
+                let model = NoisyOracleGuidance::new(gold, 500 + i as u64);
+                let request =
+                    SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+                        .with_tsq(tsq)
+                        .with_config(config.clone())
+                        .with_priority(class);
+                service.submit(request).expect("admitted")
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let outcome = ticket.wait();
+            assert_eq!(outcome.status, RequestStatus::Completed, "task {i} at {class:?}");
+            assert_eq!(
+                solo[i],
+                ranking(&outcome.result),
+                "task {i} diverged through the service at priority {class:?}"
+            );
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.live_sessions, 0, "requests must release their slots");
+    assert_eq!(stats.scheduler.queue_depth, 0, "no work may be left behind");
 }
 
 #[test]
