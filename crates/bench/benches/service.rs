@@ -111,6 +111,53 @@ fn bench_service(c: &mut Criterion) {
         }
     }
 
+    // Thread-free capacity: 256 requests live **simultaneously** on the
+    // fixed pool — the regime that used to need 256 driver threads. TTFC
+    // percentiles show latency under extreme live-session fan-in; the
+    // driver-thread count shows where the sessions run (nowhere: they are
+    // parked state machines resumed by the pool).
+    {
+        let service = SynthesisService::new(ServiceConfig {
+            workers: machine,
+            max_live_sessions: 256,
+            max_queued: 16,
+            ..ServiceConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let tickets: Vec<_> = (0..256)
+            .map(|i| {
+                service
+                    .submit(request_for(&dataset, i, config(3, 200), PriorityClass::Interactive))
+                    .expect("256 live slots admit all")
+            })
+            .collect();
+        let live = service.stats();
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        let stats = service.stats();
+        assert_eq!(live.driver_threads, 0);
+        // The monotone high-water mark, not the instantaneous live count (on
+        // a fast box early requests can complete mid-submission) — and capped
+        // against the worker count, which on a huge box could exceed the 256
+        // admitted requests entirely.
+        assert!(
+            stats.live_sessions_peak > machine.min(32),
+            "sessions must stack beyond the worker count (peak {})",
+            stats.live_sessions_peak
+        );
+        let cl = stats.class(PriorityClass::Interactive);
+        println!(
+            "256 live sessions on {machine} worker(s): all completed in {:.1?} \
+             (live peak {}, driver threads {}) — ttfc p50 {} / p95 {}",
+            started.elapsed(),
+            stats.live_sessions_peak,
+            stats.driver_threads,
+            fmt_opt(cl.ttfc_p50),
+            fmt_opt(cl.ttfc_p95),
+        );
+    }
+
     let mut group = c.benchmark_group("service");
     group.sample_size(10);
     group.bench_function("mixed_wave_8batch_4interactive", |b| {

@@ -126,11 +126,67 @@ where
     collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, control, cb))
 }
 
-/// The dedup-and-rank pipeline around any engine driver (`run` is the
-/// private-pool [`run_rounds`] or the shared-pool
-/// `crate::scheduler::run_rounds_scheduled`): deduplicate canonically
-/// equivalent candidates in emission order, then rank by confidence with a
-/// deterministic tie-break.
+/// The dedup-and-rank state shared by the blocking collection pipeline
+/// ([`collect_ranked`]) and scheduler-driven sessions
+/// (`crate::scheduler`): deduplicate canonically equivalent candidates in
+/// emission order, then rank by confidence with a deterministic tie-break.
+#[derive(Default)]
+pub(crate) struct CandidateCollector {
+    candidates: Vec<Candidate>,
+}
+
+impl CandidateCollector {
+    pub(crate) fn new() -> Self {
+        CandidateCollector::default()
+    }
+
+    /// Record one engine emission, forwarding fresh candidates to the
+    /// consumer callback. Returns the consumer's keep-going verdict
+    /// (duplicates never stop the run).
+    pub(crate) fn offer(
+        &mut self,
+        spec: SelectSpec,
+        confidence: f64,
+        emitted_at: Duration,
+        on_candidate: &mut dyn FnMut(&Candidate) -> bool,
+    ) -> bool {
+        // De-duplicate canonically equivalent candidates, keeping the
+        // higher-confidence copy.
+        if let Some(existing) =
+            self.candidates.iter_mut().find(|c| queries_equivalent(&c.spec, &spec))
+        {
+            if confidence > existing.confidence {
+                existing.confidence = confidence;
+            }
+            return true;
+        }
+        let candidate =
+            Candidate { spec, confidence, emit_index: self.candidates.len(), emitted_at };
+        let keep_going = on_candidate(&candidate);
+        self.candidates.push(candidate);
+        keep_going
+    }
+
+    /// Rank and wrap up: by confidence, breaking exact ties by emission
+    /// order (earlier-found first). Emission order is itself a pure function
+    /// of the configuration — never of the worker count — so the ranking is
+    /// deterministic and identical between sequential and parallel
+    /// explorations.
+    pub(crate) fn finish(mut self, stats: EnumerationStats) -> SynthesisResult {
+        self.candidates.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.emit_index.cmp(&b.emit_index))
+        });
+        SynthesisResult { candidates: self.candidates, stats }
+    }
+}
+
+/// The dedup-and-rank pipeline around any blocking engine driver (`run` is
+/// the private-pool [`run_rounds`] or the shared-pool
+/// `crate::scheduler::run_rounds_scheduled`); scheduler-driven sessions use
+/// the underlying [`CandidateCollector`] directly.
 pub(crate) fn collect_ranked<F>(
     mut on_candidate: F,
     run: impl FnOnce(&mut dyn FnMut(SelectSpec, f64, Duration) -> bool) -> EnumerationStats,
@@ -138,32 +194,11 @@ pub(crate) fn collect_ranked<F>(
 where
     F: FnMut(&Candidate) -> bool,
 {
-    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut collector = CandidateCollector::new();
     let stats = run(&mut |spec, confidence, emitted_at| {
-        // De-duplicate canonically equivalent candidates, keeping the
-        // higher-confidence copy.
-        if let Some(existing) = candidates.iter_mut().find(|c| queries_equivalent(&c.spec, &spec)) {
-            if confidence > existing.confidence {
-                existing.confidence = confidence;
-            }
-            return true;
-        }
-        let candidate = Candidate { spec, confidence, emit_index: candidates.len(), emitted_at };
-        let keep_going = on_candidate(&candidate);
-        candidates.push(candidate);
-        keep_going
+        collector.offer(spec, confidence, emitted_at, &mut on_candidate)
     });
-    // Rank by confidence; break exact ties by emission order (earlier-found
-    // first). Emission order is itself a pure function of the configuration —
-    // never of the worker count — so the ranking is deterministic and
-    // identical between sequential and parallel explorations.
-    candidates.sort_by(|a, b| {
-        b.confidence
-            .partial_cmp(&a.confidence)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.emit_index.cmp(&b.emit_index))
-    });
-    SynthesisResult { candidates, stats }
+    collector.finish(stats)
 }
 
 /// The dual-specification synthesis engine.

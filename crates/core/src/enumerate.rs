@@ -318,10 +318,356 @@ pub(crate) fn run_rounds(
     stats
 }
 
-/// The shared round loop: pop a beam, expand and score children (phase 1,
-/// serial), hand the jobs to `dispatch` for join-path construction plus the
-/// verification cascade (phase 2, wherever the dispatcher runs them), then
-/// merge chunk results back **in original child order** (phase 3, serial).
+/// The borrows one [`RoundDriver::step`] needs: the session's inputs, which
+/// the driver itself never owns — so the driver can be parked anywhere (a
+/// blocked caller's stack, a scheduler slot) and resumed by whichever thread
+/// holds the session's resources.
+pub(crate) struct StepEnv<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) nlq: &'a Nlq,
+    pub(crate) model: &'a dyn GuidanceModel,
+    pub(crate) config: &'a DuoquestConfig,
+    /// The session's cancellation token, checked at every round boundary —
+    /// i.e. *between* `step()` calls, not only inside chunks.
+    pub(crate) cancel: &'a AtomicBool,
+}
+
+/// Where a resumable round loop stands after one [`RoundDriver::step`].
+// Transient return value, consumed immediately — boxing `Emit` would cost an
+// allocation per candidate for no retained-memory win.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum StepOutcome {
+    /// A fresh round's phase-2 jobs. The caller runs them — split into any
+    /// number of contiguous chunks, on any threads — and feeds the chunk
+    /// results back **in original job order** via [`RoundDriver::provide`]
+    /// before stepping again. This ordering contract is the heart of the
+    /// engine's determinism: emission order is a pure function of the
+    /// configuration, never of the worker count, chunk size, or which pool
+    /// did the work.
+    SubmitChunks(Vec<ChildJob>),
+    /// A complete query survived the full cascade. Deliver it to the
+    /// consumer; call [`RoundDriver::halt`] before the next `step` if the
+    /// consumer wants to stop.
+    Emit {
+        /// The candidate, lowered to an executable spec.
+        spec: SelectSpec,
+        /// Its confidence score.
+        confidence: f64,
+        /// Wall-clock offset from the run's start.
+        emitted_at: Duration,
+    },
+    /// The run is over (exhausted, budget reached, halted, cancelled or past
+    /// the deadline). Collect the counters with [`RoundDriver::into_stats`].
+    Done,
+}
+
+/// Progress of the state machine between `step` calls.
+enum DriverPhase {
+    /// Ready to start the next round (pop a beam).
+    Ready,
+    /// `SubmitChunks` was returned; waiting on [`RoundDriver::provide`].
+    /// Carries the decision depth of each beam slot for the merge.
+    Submitted { decisions: Vec<usize> },
+    /// Chunk results are being merged; emissions drain one per `step`.
+    Draining(Drain),
+    /// The loop has exited; every further `step` returns `Done`.
+    Finished,
+}
+
+/// The in-progress phase-3 merge of one round: chunks are consumed strictly
+/// in order, and within a chunk every emission is delivered before its
+/// survivors are pushed — exactly the order of the historical serial loop,
+/// so an early stop (consumer halt or candidate budget) cuts the merge at
+/// the same point it always did.
+struct Drain {
+    decisions: Vec<usize>,
+    chunks: std::vec::IntoIter<ChunkResult>,
+    emissions: std::vec::IntoIter<(SelectSpec, f64)>,
+    survivors: Vec<(PartialQuery, f64, usize)>,
+    in_chunk: bool,
+    timed_out: bool,
+    cancelled: bool,
+    just_emitted: bool,
+}
+
+/// The synthesis round loop as a **resumable state machine**: owns the
+/// frontier (priority queue), the per-run statistics and the merge state of
+/// the in-flight round, but none of the session's inputs (those arrive by
+/// borrow in each [`StepEnv`]). The protocol:
+///
+/// ```text
+///   loop {
+///       match driver.step(&env) {
+///           SubmitChunks(jobs) => {            // phase 2: run anywhere
+///               let results = run(jobs);       //   (chunked, job order kept)
+///               driver.provide(results);
+///           }
+///           Emit { .. } => deliver(..),        // optionally driver.halt()
+///           Done => break,
+///       }
+///   }
+///   let stats = driver.into_stats();
+/// ```
+///
+/// `step` never blocks: between `SubmitChunks` and `provide` the driver is
+/// inert and can be parked indefinitely — this is what lets a scheduler
+/// resume thousands of live sessions from a fixed worker pool instead of
+/// parking one OS thread per session. Cancellation and the deadline are
+/// honored at every round boundary (between `step` calls), in addition to
+/// the mid-chunk checks inside [`process_chunk`]. See `docs/DRIVER.md` for
+/// the full contract.
+pub(crate) struct RoundDriver {
+    heap: BinaryHeap<EnumState>,
+    sequence: u64,
+    stats: EnumerationStats,
+    start: Instant,
+    deadline: Option<Instant>,
+    phase: DriverPhase,
+    halted: bool,
+}
+
+impl RoundDriver {
+    /// A driver at the root state. `start` anchors emission timestamps;
+    /// `deadline` is the merged wall-clock cut-off (config `time_budget` and
+    /// any external [`SessionControl`] deadline).
+    pub(crate) fn new(start: Instant, deadline: Option<Instant>) -> Self {
+        let mut heap = BinaryHeap::new();
+        heap.push(EnumState::root());
+        RoundDriver {
+            heap,
+            sequence: 0,
+            stats: EnumerationStats::default(),
+            start,
+            deadline,
+            phase: DriverPhase::Ready,
+            halted: false,
+        }
+    }
+
+    /// Ask the driver to stop: the next `step` returns `Done` without
+    /// touching the frontier (the consumer's "stop" verdict — the equivalent
+    /// of returning `false` from a candidate callback).
+    pub(crate) fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Feed back the chunk results of the jobs returned by the last
+    /// `SubmitChunks`, in original job order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is outstanding (protocol violation).
+    pub(crate) fn provide(&mut self, results: Vec<ChunkResult>) {
+        match std::mem::replace(&mut self.phase, DriverPhase::Finished) {
+            DriverPhase::Submitted { decisions } => {
+                self.phase = DriverPhase::Draining(Drain {
+                    decisions,
+                    chunks: results.into_iter(),
+                    emissions: Vec::new().into_iter(),
+                    survivors: Vec::new(),
+                    in_chunk: false,
+                    timed_out: false,
+                    cancelled: false,
+                    just_emitted: false,
+                });
+            }
+            phase => {
+                self.phase = phase;
+                panic!("RoundDriver::provide called with no round outstanding");
+            }
+        }
+    }
+
+    /// The run's counters so far (final once `step` has returned `Done`,
+    /// except for `elapsed` and the cache counters, which the wrapper fills).
+    pub(crate) fn into_stats(self) -> EnumerationStats {
+        self.stats
+    }
+
+    /// Advance the state machine until it has something for the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while chunk results are outstanding (after a
+    /// `SubmitChunks` and before the matching [`RoundDriver::provide`]).
+    pub(crate) fn step(&mut self, env: &StepEnv<'_>) -> StepOutcome {
+        loop {
+            match std::mem::replace(&mut self.phase, DriverPhase::Finished) {
+                DriverPhase::Finished => return StepOutcome::Done,
+                DriverPhase::Submitted { decisions } => {
+                    self.phase = DriverPhase::Submitted { decisions };
+                    panic!("RoundDriver::step called while chunk results are outstanding");
+                }
+                DriverPhase::Draining(drain) => {
+                    if let Some(outcome) = self.drain(drain, env) {
+                        return outcome;
+                    }
+                }
+                DriverPhase::Ready => {
+                    if let Some(outcome) = self.begin_round(env) {
+                        return outcome;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Start a round: the cooperative checks, the beam pop and phase 1
+    /// (serial child expansion + scoring). On entry the phase has been taken
+    /// (left `Finished`); returning `None` keeps whatever phase this method
+    /// set — `Finished` for every exit path, `Ready` for an empty round.
+    fn begin_round(&mut self, env: &StepEnv<'_>) -> Option<StepOutcome> {
+        if self.halted {
+            return None; // consumer stop between rounds
+        }
+        if self.heap.is_empty() {
+            // Natural end of the search (never reached via an early exit:
+            // those leave directly from their check below).
+            self.stats.exhausted = self.stats.expanded < env.config.max_expansions;
+            return None;
+        }
+        if env.cancel.load(Ordering::SeqCst) {
+            self.stats.cancelled = true;
+            return None;
+        }
+        if self.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+            self.stats.deadline_exceeded = true;
+            return None;
+        }
+
+        // Pop the beam: the top-k states by confidence, within the expansion budget.
+        let beam_width = env.config.beam_width.max(1);
+        let mut beam: Vec<EnumState> = Vec::with_capacity(beam_width);
+        while beam.len() < beam_width && self.stats.expanded < env.config.max_expansions {
+            let Some(state) = self.heap.pop() else { break };
+            self.stats.expanded += 1;
+            beam.push(state);
+        }
+        if beam.is_empty() {
+            return None; // expansion budget reached with work left
+        }
+        self.stats.rounds += 1;
+
+        // Phase 1 (serial, cheap): produce and score every child of the beam.
+        let ctx = GuidanceContext { nlq: env.nlq, schema: env.db.schema() };
+        let mut jobs: Vec<ChildJob> = Vec::new();
+        for (beam_idx, state) in beam.iter().enumerate() {
+            // A state with no decision left is complete (it was verified and
+            // emitted when generated); a state with an empty child set is a
+            // dead end. Both just drop out of the frontier.
+            let Some(children) = enum_next_step(&state.pq, env.db, env.nlq, env.config) else {
+                continue;
+            };
+            if children.is_empty() {
+                continue;
+            }
+            // Split choices from children instead of cloning every `Choice`
+            // for the scoring call.
+            let (choices, child_pqs): (Vec<Choice>, Vec<PartialQuery>) =
+                children.into_iter().unzip();
+            let raw = if env.config.guided {
+                env.model.score(&ctx, &choices)
+            } else {
+                vec![1.0; choices.len()]
+            };
+            let scores = duoquest_nlq::guidance::normalize_scores(&raw);
+            for (pq, score) in child_pqs.into_iter().zip(scores) {
+                jobs.push(ChildJob { beam_idx, confidence: state.confidence * score, pq });
+            }
+        }
+        if jobs.is_empty() {
+            // Nothing to verify this round: end-of-round bookkeeping and
+            // straight on to the next beam.
+            self.bound_frontier(env.config.max_states);
+            self.phase = DriverPhase::Ready;
+            return None;
+        }
+        let decisions = beam.iter().map(|s| s.decisions).collect();
+        self.phase = DriverPhase::Submitted { decisions };
+        Some(StepOutcome::SubmitChunks(jobs))
+    }
+
+    /// Phase 3 (serial): merge chunk results in original child order,
+    /// draining one emission per call. Returning `None` means the merge
+    /// finished; the phase is then `Ready` (round complete) or `Finished`
+    /// (early exit).
+    fn drain(&mut self, mut d: Drain, env: &StepEnv<'_>) -> Option<StepOutcome> {
+        loop {
+            if d.just_emitted {
+                d.just_emitted = false;
+                // The historical post-callback check: a consumer halt or the
+                // candidate budget stops the run right here, skipping the
+                // current chunk's survivors and every later chunk.
+                if self.halted || self.stats.emitted >= env.config.max_candidates {
+                    return None; // Finished
+                }
+            }
+            if d.in_chunk {
+                if let Some((spec, confidence)) = d.emissions.next() {
+                    self.stats.emitted += 1;
+                    d.just_emitted = true;
+                    let emitted_at = self.start.elapsed();
+                    self.phase = DriverPhase::Draining(d);
+                    return Some(StepOutcome::Emit { spec, confidence, emitted_at });
+                }
+                for (pq, confidence, beam_idx) in d.survivors.drain(..) {
+                    self.sequence += 1;
+                    self.heap.push(EnumState {
+                        pq,
+                        confidence,
+                        decisions: d.decisions[beam_idx] + 1,
+                        sequence: self.sequence,
+                    });
+                }
+                d.in_chunk = false;
+            }
+            match d.chunks.next() {
+                Some(chunk) => {
+                    self.stats.generated += chunk.generated;
+                    for (idx, count) in chunk.prunes.iter().enumerate() {
+                        self.stats.record(VerifyStage::ALL[idx], *count);
+                    }
+                    self.stats.stage_timings.merge(&chunk.timings);
+                    d.timed_out |= chunk.timed_out;
+                    d.cancelled |= chunk.cancelled;
+                    d.emissions = chunk.emissions.into_iter();
+                    d.survivors = chunk.survivors;
+                    d.in_chunk = true;
+                }
+                None => {
+                    if d.cancelled {
+                        self.stats.cancelled = true;
+                        return None; // Finished
+                    }
+                    if d.timed_out {
+                        self.stats.deadline_exceeded = true;
+                        return None; // Finished
+                    }
+                    self.bound_frontier(env.config.max_states);
+                    self.phase = DriverPhase::Ready;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Bound the frontier size: drop the lowest-confidence states.
+    fn bound_frontier(&mut self, max_states: usize) {
+        if self.heap.len() > max_states {
+            let mut states: Vec<EnumState> = std::mem::take(&mut self.heap).into_vec();
+            states.sort_by(|a, b| b.cmp(a));
+            states.truncate(max_states / 2);
+            self.heap = BinaryHeap::from(states);
+        }
+    }
+}
+
+/// The shared round loop, expressed as a blocking drive of the
+/// [`RoundDriver`] state machine: pop a beam, expand and score children
+/// (phase 1, serial), hand the jobs to `dispatch` for join-path construction
+/// plus the verification cascade (phase 2, wherever the dispatcher runs
+/// them), then merge chunk results back **in original child order** (phase 3,
+/// serial).
 ///
 /// The dispatcher contract is the heart of the engine's determinism: it may
 /// split `jobs` into any number of contiguous chunks and run them on any
@@ -341,117 +687,23 @@ pub(crate) fn drive_rounds(
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
     dispatch: &mut dyn FnMut(Vec<ChildJob>) -> Vec<ChunkResult>,
 ) {
-    let ctx = GuidanceContext { nlq, schema: db.schema() };
-    let beam_width = config.beam_width.max(1);
-    let mut heap: BinaryHeap<EnumState> = BinaryHeap::new();
-    let mut sequence: u64 = 0;
-    heap.push(EnumState::root());
-
-    let mut early_exit = false;
-    'rounds: while !heap.is_empty() {
-        if cancel.load(Ordering::SeqCst) {
-            stats.cancelled = true;
-            early_exit = true;
-            break 'rounds;
-        }
-        if deadline.map(|d| Instant::now() > d).unwrap_or(false) {
-            stats.deadline_exceeded = true;
-            early_exit = true;
-            break 'rounds;
-        }
-
-        // Pop the beam: the top-k states by confidence, within the expansion budget.
-        let mut beam: Vec<EnumState> = Vec::with_capacity(beam_width);
-        while beam.len() < beam_width && stats.expanded < config.max_expansions {
-            let Some(state) = heap.pop() else { break };
-            stats.expanded += 1;
-            beam.push(state);
-        }
-        if beam.is_empty() {
-            early_exit = true; // expansion budget reached with work left
-            break 'rounds;
-        }
-        stats.rounds += 1;
-
-        // Phase 1 (serial, cheap): produce and score every child of the beam.
-        let mut jobs: Vec<ChildJob> = Vec::new();
-        for (beam_idx, state) in beam.iter().enumerate() {
-            // A state with no decision left is complete (it was verified and
-            // emitted when generated); a state with an empty child set is a
-            // dead end. Both just drop out of the frontier.
-            let Some(children) = enum_next_step(&state.pq, db, nlq, config) else { continue };
-            if children.is_empty() {
-                continue;
+    let env = StepEnv { db, nlq, model, config, cancel };
+    let mut driver = RoundDriver::new(start, deadline);
+    loop {
+        match driver.step(&env) {
+            StepOutcome::SubmitChunks(jobs) => {
+                let results = dispatch(jobs);
+                driver.provide(results);
             }
-            // Split choices from children instead of cloning every `Choice`
-            // for the scoring call.
-            let (choices, child_pqs): (Vec<Choice>, Vec<PartialQuery>) =
-                children.into_iter().unzip();
-            let raw =
-                if config.guided { model.score(&ctx, &choices) } else { vec![1.0; choices.len()] };
-            let scores = duoquest_nlq::guidance::normalize_scores(&raw);
-            for (pq, score) in child_pqs.into_iter().zip(scores) {
-                jobs.push(ChildJob { beam_idx, confidence: state.confidence * score, pq });
-            }
-        }
-
-        // Phase 2 (parallel): join paths + verification cascade per child.
-        let chunk_results = dispatch(jobs);
-
-        // Phase 3 (serial): merge in original child order — emission order and
-        // frontier sequence numbers are therefore independent of the worker count.
-        let mut timed_out = false;
-        let mut was_cancelled = false;
-        for chunk in chunk_results {
-            stats.generated += chunk.generated;
-            for (idx, count) in chunk.prunes.iter().enumerate() {
-                stats.record(VerifyStage::ALL[idx], *count);
-            }
-            stats.stage_timings.merge(&chunk.timings);
-            timed_out |= chunk.timed_out;
-            was_cancelled |= chunk.cancelled;
-            for (spec, confidence) in chunk.emissions {
-                stats.emitted += 1;
-                if !on_candidate(spec, confidence, start.elapsed())
-                    || stats.emitted >= config.max_candidates
-                {
-                    early_exit = true;
-                    break 'rounds;
+            StepOutcome::Emit { spec, confidence, emitted_at } => {
+                if !on_candidate(spec, confidence, emitted_at) {
+                    driver.halt();
                 }
             }
-            for (pq, confidence, beam_idx) in chunk.survivors {
-                sequence += 1;
-                heap.push(EnumState {
-                    pq,
-                    confidence,
-                    decisions: beam[beam_idx].decisions + 1,
-                    sequence,
-                });
-            }
-        }
-        if was_cancelled {
-            stats.cancelled = true;
-            early_exit = true;
-            break 'rounds;
-        }
-        if timed_out {
-            stats.deadline_exceeded = true;
-            early_exit = true;
-            break 'rounds;
-        }
-
-        // Bound the frontier size: drop the lowest-confidence states.
-        if heap.len() > config.max_states {
-            let mut states: Vec<EnumState> = heap.into_vec();
-            states.sort_by(|a, b| b.cmp(a));
-            states.truncate(config.max_states / 2);
-            heap = BinaryHeap::from(states);
+            StepOutcome::Done => break,
         }
     }
-
-    if !early_exit {
-        stats.exhausted = heap.is_empty() && stats.expanded < config.max_expansions;
-    }
+    *stats = driver.into_stats();
 }
 
 /// Distribute the round's jobs over the persistent worker pool as contiguous
@@ -1231,6 +1483,104 @@ mod tests {
             timings.summary()
         );
         assert!(timings.total() > Duration::ZERO);
+    }
+
+    /// Satellite contract: a cancellation fires **between `step()` calls**
+    /// (at the next round boundary), not only inside chunks — the driver
+    /// never needs a chunk in flight to notice it.
+    #[test]
+    fn round_driver_honors_cancel_between_steps() {
+        let db = movie_db();
+        let gold = QueryBuilder::new(db.schema()).select("movies.name").build().unwrap();
+        let nlq = Nlq::new("all movie names");
+        let model = NoisyOracleGuidance::new(gold, 2);
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        config.max_candidates = usize::MAX;
+        config.max_expansions = usize::MAX;
+        let cancel = AtomicBool::new(false);
+        let env = StepEnv { db: &db, nlq: &nlq, model: &model, config: &config, cancel: &cancel };
+        let mut driver = RoundDriver::new(Instant::now(), None);
+
+        // Run exactly one full round (submit + provide), then fire the token
+        // with the driver idle between steps.
+        let mut rounds_completed = 0;
+        loop {
+            match driver.step(&env) {
+                StepOutcome::SubmitChunks(jobs) => {
+                    let graph = JoinGraph::new(db.schema());
+                    let verifier = Verifier::new(&db, None, &nlq.literals, config.semantic_rules);
+                    let round_env = RoundEnv {
+                        db: &db,
+                        graph: &graph,
+                        config: &config,
+                        partial_verifier: &verifier,
+                        complete_verifier: &verifier,
+                        deadline: None,
+                        cancel: &cancel,
+                    };
+                    driver.provide(vec![process_chunk(jobs, &round_env)]);
+                    rounds_completed += 1;
+                    if rounds_completed == 1 {
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                }
+                StepOutcome::Emit { .. } => {}
+                StepOutcome::Done => break,
+            }
+        }
+        let stats = driver.into_stats();
+        assert!(stats.cancelled, "cancel must be observed at the next round boundary");
+        assert!(!stats.exhausted);
+        // One round ran; at most its drain could have submitted one more
+        // beam, but the cancel fired before any further submit.
+        assert!(rounds_completed <= 2, "cancel ignored for {rounds_completed} rounds");
+    }
+
+    /// Satellite contract: an external deadline in the past stops the driver
+    /// at the next `step()`, before any further work is submitted.
+    #[test]
+    fn round_driver_honors_deadline_between_steps() {
+        let db = movie_db();
+        let gold = QueryBuilder::new(db.schema()).select("movies.name").build().unwrap();
+        let nlq = Nlq::new("all movie names");
+        let model = NoisyOracleGuidance::new(gold, 2);
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        let cancel = AtomicBool::new(false);
+        let env = StepEnv { db: &db, nlq: &nlq, model: &model, config: &config, cancel: &cancel };
+        // A deadline that is already in the past when the first step runs.
+        let start = Instant::now();
+        let mut driver = RoundDriver::new(start, Some(start - Duration::from_millis(1)));
+        match driver.step(&env) {
+            StepOutcome::Done => {}
+            _ => panic!("an expired deadline must stop the driver before any round"),
+        }
+        let stats = driver.into_stats();
+        assert!(stats.deadline_exceeded);
+        assert_eq!(stats.rounds, 0, "no round may start past the deadline");
+        assert!(!stats.cancelled);
+    }
+
+    /// Protocol guard: stepping while chunk results are outstanding is a
+    /// caller bug and must panic rather than corrupt the round state.
+    #[test]
+    fn round_driver_rejects_step_while_awaiting_results() {
+        let db = movie_db();
+        let gold = QueryBuilder::new(db.schema()).select("movies.name").build().unwrap();
+        let nlq = Nlq::new("all movie names");
+        let model = NoisyOracleGuidance::new(gold, 2);
+        let config = DuoquestConfig::fast();
+        let cancel = AtomicBool::new(false);
+        let env = StepEnv { db: &db, nlq: &nlq, model: &model, config: &config, cancel: &cancel };
+        let mut driver = RoundDriver::new(Instant::now(), None);
+        let StepOutcome::SubmitChunks(_jobs) = driver.step(&env) else {
+            panic!("first step submits the root expansion");
+        };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            driver.step(&env);
+        }));
+        assert!(panicked.is_err(), "step with an outstanding round must panic");
     }
 
     #[test]

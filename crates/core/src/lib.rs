@@ -19,11 +19,15 @@
 //!   pieces together and returns a ranked candidate list (see its module docs
 //!   for the parallel, cache-aware core architecture);
 //! * [`session`] — owned [`SynthesisSession`]s
-//!   over an `Arc`-shared database, with channel-backed candidate streaming;
+//!   over an `Arc`-shared database, with channel-backed candidate streaming
+//!   (thread-free: streams are scheduler-driven sessions);
 //! * [`scheduler`] — the shared
 //!   [`SessionScheduler`]: one long-lived worker
 //!   pool multiplexing any number of concurrent sessions with weighted
-//!   round-robin fairness.
+//!   round-robin fairness. The round loop is a scheduler-resumable state
+//!   machine (`RoundDriver`, see `docs/DRIVER.md`), so driven sessions park
+//!   in the pool and cost no OS thread; workers resume them inline as their
+//!   verification chunks complete.
 
 #![warn(missing_docs)]
 

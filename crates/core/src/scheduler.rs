@@ -12,19 +12,36 @@
 //! worker pool for the whole process and serves any number of sessions from
 //! it:
 //!
-//! * Each session runs its serial round loop (beam pop, child expansion and
-//!   scoring, ordered merge) on its own driver thread, exactly as before.
+//! * Each session's serial round loop is the `RoundDriver` **state machine**
+//!   of `crate::enumerate` (beam pop, child expansion and scoring, ordered
+//!   merge). A **driven** session parks that driver inside the scheduler: no
+//!   OS thread exists per session, and when the driver needs to run, a pool
+//!   worker resumes it inline. A blocking caller
+//!   ([`SynthesisSession::run`](crate::session::SynthesisSession::run)) may
+//!   instead drive the same state machine on its own thread.
 //! * The expensive phase — join-path construction plus the ascending-cost
 //!   verification cascade — is split into chunked **work units** and
 //!   submitted to the scheduler's fairness-aware queue.
 //! * Workers pull units in **weighted round-robin order across live
-//!   sessions** (weight = the session's beam width), so one session with a
-//!   huge fan-out cannot starve the others: every queue rotation serves each
-//!   session before returning to the first.
+//!   sessions** (weight = the session's beam width times its priority
+//!   multiplier), so one session with a huge fan-out cannot starve the
+//!   others: every queue rotation serves each session before returning to
+//!   the first.
+//! * When the last outstanding chunk of a driven session's round returns,
+//!   **the worker that finished it resumes the session's driver inline** —
+//!   merging results, emitting candidates and submitting the next round —
+//!   instead of waking a parked thread. Live-session capacity is therefore
+//!   bounded by memory, not by OS thread count.
 //! * A session's chunk results are reassembled **in original child order**
 //!   before the merge, so its candidate emission sequence is byte-identical
 //!   to a single-session run on a private pool — for any pool size
-//!   (`tests/determinism.rs` asserts this under 2–8 interleaved sessions).
+//!   (`tests/determinism.rs` asserts this under interleaved sessions).
+//!
+//! The pool also carries a **tick hook** ([`SchedulerHandle::set_tick`]): a
+//! housekeeping callback the workers invoke at its requested time (between
+//! units, or from a timed wait when the pool is idle). The service layer
+//! uses it for deadline expiry of queued requests — folding what used to be
+//! a dedicated housekeeper thread into the scheduler's own event loop.
 //!
 //! Pool-wide behaviour is observable through [`SessionScheduler::stats`]
 //! (queue depth, busy workers, live sessions) and per-run through the
@@ -73,9 +90,10 @@
 //! ```
 
 use crate::config::DuoquestConfig;
+use crate::engine::{Candidate, CandidateCollector, SynthesisResult};
 use crate::enumerate::{
-    drive_rounds, min_deadline, process_chunk, ChildJob, ChunkResult, EnumerationStats, RoundEnv,
-    MIN_PARALLEL_JOBS,
+    drive_rounds, min_deadline, process_chunk, ChildJob, ChunkResult, EnumerationStats,
+    RoundDriver, RoundEnv, StepEnv, StepOutcome, MIN_PARALLEL_JOBS,
 };
 use crate::session::SessionControl;
 use crate::tsq::TableSketchQuery;
@@ -99,7 +117,7 @@ pub struct SchedulerStats {
     pub busy_workers: usize,
     /// Work units queued and not yet picked up.
     pub queue_depth: usize,
-    /// Sessions currently registered (running a synthesis round loop).
+    /// Sessions currently registered (externally driven or scheduler-driven).
     pub live_sessions: usize,
     /// Work units executed since the pool started.
     pub units_executed: u64,
@@ -129,8 +147,9 @@ pub struct SchedulerRunStats {
     pub pool_workers: usize,
     /// Work units this run submitted to the shared queue.
     pub units_submitted: u64,
-    /// Work units this run executed inline on its driver thread (fan-outs
-    /// too small to be worth the queue handoff).
+    /// Work units this run executed inline (fan-outs too small to be worth
+    /// the queue handoff) — on the driving thread for a blocking session, on
+    /// the resuming pool worker for a driven one.
     pub units_inline: u64,
     /// Deepest shared queue observed while this run was submitting,
     /// including other sessions' units — a contention signal.
@@ -161,7 +180,7 @@ impl SchedulerRunStats {
 /// Everything a pool worker needs to execute one of a session's work units,
 /// owned (`'static`) so the long-lived pool can outlive any borrow of the
 /// session's inputs. One context is built per synthesis run and shared by
-/// `Arc` between the driver thread and the workers.
+/// `Arc` between the driving side and the workers.
 struct SessionContext {
     db: Arc<Database>,
     tsq: Option<TableSketchQuery>,
@@ -175,8 +194,8 @@ struct SessionContext {
     complete_counters: Arc<RunCacheCounters>,
     deadline: Option<Instant>,
     /// The session's cancellation token: workers check it between jobs, the
-    /// fairness queue reaps queued units once it fires, and the driver uses
-    /// it to tell a cancellation disconnect from a pool shutdown.
+    /// fairness queue reaps queued units once it fires, and the driving side
+    /// uses it to tell a cancellation disconnect from a pool shutdown.
     cancel: Arc<AtomicBool>,
 }
 
@@ -208,12 +227,65 @@ impl SessionContext {
     }
 }
 
-/// One queued unit of work: a contiguous chunk of a session's round.
-struct WorkUnit {
-    chunk_idx: usize,
-    jobs: Vec<ChildJob>,
+/// One queued unit of work.
+enum WorkUnit {
+    /// A chunk of an **externally driven** session (a blocking caller runs
+    /// the round loop on its own thread and waits on `result_tx`).
+    External {
+        chunk_idx: usize,
+        jobs: Vec<ChildJob>,
+        ctx: Arc<SessionContext>,
+        result_tx: Sender<(usize, std::thread::Result<ChunkResult>)>,
+    },
+    /// A chunk of a **scheduler-driven** session: the result is routed back
+    /// into the session's parked round assembly, and the worker that
+    /// completes the round resumes the session's driver inline.
+    DrivenChunk { session: u64, chunk_idx: usize, jobs: Vec<ChildJob>, ctx: Arc<SessionContext> },
+    /// Resume a driven session's parked driver (its initial kick, or a round
+    /// completed entirely by cancellation reaping).
+    Resume { session: u64 },
+}
+
+/// The candidate sink of a driven session.
+type DrivenSink = Box<dyn FnMut(&Candidate) -> bool + Send>;
+/// The completion callback of a driven session. `None` means a `step` or
+/// chunk panicked: the session is poisoned and delivers no result.
+type DrivenCompletion = Box<dyn FnOnce(Option<SynthesisResult>) + Send>;
+
+/// Everything a worker takes out of the slot to resume a driven session: the
+/// state machine, the dedup/rank collector, the sinks' inputs and the
+/// session's owned resources.
+struct DrivenCore {
+    driver: RoundDriver,
+    collector: CandidateCollector,
+    on_candidate: DrivenSink,
     ctx: Arc<SessionContext>,
-    result_tx: Sender<(usize, std::thread::Result<ChunkResult>)>,
+    nlq: Nlq,
+    model: Arc<dyn GuidanceModel>,
+    run_stats: SchedulerRunStats,
+    start: Instant,
+}
+
+/// The in-flight round of a parked driven session: chunk results keyed by
+/// chunk index, completed when `remaining` hits zero.
+struct RoundAssembly {
+    results: Vec<Option<ChunkResult>>,
+    remaining: usize,
+}
+
+impl RoundAssembly {
+    fn into_ordered_results(self) -> Vec<ChunkResult> {
+        self.results.into_iter().map(|r| r.expect("every chunk reported")).collect()
+    }
+}
+
+/// The scheduler-side state of one driven session.
+struct DrivenSlot {
+    /// The parked core; `None` while a worker holds it (actively stepping).
+    parked: Option<DrivenCore>,
+    /// The in-flight round, when chunks are outstanding.
+    round: Option<RoundAssembly>,
+    on_complete: Option<DrivenCompletion>,
 }
 
 /// One live session's slot in the fairness queue.
@@ -230,20 +302,9 @@ struct SessionQueue {
     /// The session's cancellation token: once it fires, queued units are
     /// dropped (reaped) instead of executed.
     cancel: Arc<AtomicBool>,
-}
-
-impl SessionQueue {
-    /// Drop every queued unit if the session has been cancelled, returning
-    /// how many were reaped. Dropping a unit disconnects its result sender,
-    /// which the session's driver observes as the cancellation taking effect.
-    fn reap_if_cancelled(&mut self) -> usize {
-        if self.pending.is_empty() || !self.cancel.load(Ordering::Acquire) {
-            return 0;
-        }
-        let reaped = self.pending.len();
-        self.pending.clear();
-        reaped
-    }
+    /// `Some` for scheduler-driven sessions, `None` for externally driven
+    /// (blocking) ones.
+    driven: Option<DrivenSlot>,
 }
 
 /// The fairness-aware queue: weighted round-robin across live sessions.
@@ -258,8 +319,102 @@ struct QueueState {
 }
 
 impl QueueState {
+    /// The one registration path for both session kinds: allocate the next
+    /// monotone id and append the slot — which is what keeps `sessions`
+    /// sorted by id, the invariant [`QueueState::session_mut`]'s binary
+    /// search depends on.
+    fn insert_slot(
+        &mut self,
+        weight: usize,
+        cancel: Arc<AtomicBool>,
+        driven: Option<DrivenSlot>,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let weight = weight.max(1);
+        self.sessions.push(SessionQueue {
+            id,
+            weight,
+            quantum: weight,
+            pending: VecDeque::new(),
+            cancel,
+            driven,
+        });
+        id
+    }
+
+    /// Slot lookup by id. Ids are handed out monotonically and `sessions`
+    /// only ever appends fresh ids (removals preserve order), so the vector
+    /// stays sorted by id and the lookup is a binary search — every chunk
+    /// completion routes through here under the pool-wide lock, so this must
+    /// not be a linear scan over a thousand live sessions.
     fn session_mut(&mut self, id: u64) -> Option<&mut SessionQueue> {
-        self.sessions.iter_mut().find(|s| s.id == id)
+        let pos = self.sessions.binary_search_by_key(&id, |s| s.id).ok()?;
+        Some(&mut self.sessions[pos])
+    }
+
+    /// Remove a session's slot entirely (its queued units drop with it),
+    /// returning it so driven teardown can extract the completion callback.
+    fn remove_session(&mut self, id: u64) -> Option<SessionQueue> {
+        let pos = self.sessions.binary_search_by_key(&id, |s| s.id).ok()?;
+        let removed = self.sessions.remove(pos);
+        self.depth -= removed.pending.len();
+        if pos < self.cursor {
+            self.cursor -= 1;
+        }
+        Some(removed)
+    }
+
+    /// Drop the queued units of the session at `idx` if it has been
+    /// cancelled, returning how many were reaped.
+    ///
+    /// For an **external** session every unit is dropped; its result senders
+    /// disconnect, which the blocked driver observes as the cancellation
+    /// taking effect. For a **driven** session the queued chunk units are
+    /// dropped and their results fabricated as cancelled into the parked
+    /// round assembly; if that completes the round, a `Resume` unit is
+    /// queued so a worker winds the driver down (the driver observes the
+    /// cancelled chunk flags — and the token itself — and finishes).
+    fn reap_slot(&mut self, idx: usize) -> usize {
+        let slot = &mut self.sessions[idx];
+        if slot.pending.is_empty() || !slot.cancel.load(Ordering::Acquire) {
+            return 0;
+        }
+        match &mut slot.driven {
+            None => {
+                let reaped = slot.pending.len();
+                slot.pending.clear();
+                self.depth -= reaped;
+                reaped
+            }
+            Some(driven) => {
+                let mut fabricated = 0usize;
+                let mut kept = VecDeque::new();
+                while let Some(unit) = slot.pending.pop_front() {
+                    match unit {
+                        WorkUnit::DrivenChunk { chunk_idx, .. } => {
+                            if let Some(round) = &mut driven.round {
+                                round.results[chunk_idx] =
+                                    Some(ChunkResult { cancelled: true, ..ChunkResult::default() });
+                                round.remaining -= 1;
+                            }
+                            fabricated += 1;
+                        }
+                        other => kept.push_back(other),
+                    }
+                }
+                slot.pending = kept;
+                self.depth -= fabricated;
+                let round_complete =
+                    driven.round.as_ref().map(|r| r.remaining == 0).unwrap_or(false);
+                if fabricated > 0 && round_complete && driven.parked.is_some() {
+                    let session = slot.id;
+                    slot.pending.push_back(WorkUnit::Resume { session });
+                    self.depth += 1;
+                }
+                fabricated
+            }
+        }
     }
 
     /// Pop the next unit in weighted round-robin order: the cursor session
@@ -269,8 +424,7 @@ impl QueueState {
     ///
     /// Cancelled sessions encountered along the way have their queued units
     /// reaped (dropped, never executed) — the unit-level half of
-    /// cancellation; the session's driver exits at its next cooperative
-    /// check and deregisters the slot itself.
+    /// cancellation; see [`QueueState::reap_slot`].
     fn pop(&mut self) -> Option<WorkUnit> {
         if self.depth == 0 || self.sessions.is_empty() {
             return None;
@@ -280,8 +434,8 @@ impl QueueState {
         // quanta, the second must find the queued work counted in `depth`.
         for _ in 0..(2 * n) {
             self.cursor %= n;
+            self.reap_slot(self.cursor);
             let slot = &mut self.sessions[self.cursor];
-            self.depth -= slot.reap_if_cancelled();
             if slot.pending.is_empty() || slot.quantum == 0 {
                 slot.quantum = slot.weight.max(1);
                 self.cursor += 1;
@@ -295,16 +449,21 @@ impl QueueState {
     }
 
     /// Reap the queued units of every cancelled session (see
-    /// [`SessionQueue::reap_if_cancelled`]); returns how many were dropped.
+    /// [`QueueState::reap_slot`]); returns how many were dropped.
     fn reap_cancelled(&mut self) -> usize {
         let mut reaped = 0;
-        for slot in self.sessions.iter_mut() {
-            reaped += slot.reap_if_cancelled();
+        for idx in 0..self.sessions.len() {
+            reaped += self.reap_slot(idx);
         }
-        self.depth -= reaped;
         reaped
     }
 }
+
+/// "No tick scheduled" sentinel for [`PoolCore::next_tick_us`].
+const TICK_NONE: u64 = u64::MAX;
+
+/// The housekeeping hook run by pool workers at its requested times.
+type TickHook = Arc<dyn Fn() -> Option<Instant> + Send + Sync>;
 
 /// Pool state shared between the scheduler owner, session handles and workers.
 struct PoolCore {
@@ -314,6 +473,11 @@ struct PoolCore {
     busy: AtomicUsize,
     units_executed: AtomicU64,
     shutdown: AtomicBool,
+    /// Anchor for the tick clock (ticks are stored as µs offsets from here).
+    epoch: Instant,
+    /// Next tick time in µs since `epoch`; [`TICK_NONE`] when unscheduled.
+    next_tick_us: AtomicU64,
+    tick_hook: Mutex<Option<TickHook>>,
 }
 
 impl PoolCore {
@@ -330,28 +494,12 @@ impl PoolCore {
 
     fn register(&self, weight: usize, cancel: Arc<AtomicBool>) -> u64 {
         let mut queue = self.queue.lock().expect("scheduler queue poisoned");
-        let id = queue.next_id;
-        queue.next_id += 1;
-        let weight = weight.max(1);
-        queue.sessions.push(SessionQueue {
-            id,
-            weight,
-            quantum: weight,
-            pending: VecDeque::new(),
-            cancel,
-        });
-        id
+        queue.insert_slot(weight, cancel, None)
     }
 
     fn deregister(&self, id: u64) {
         let mut queue = self.queue.lock().expect("scheduler queue poisoned");
-        if let Some(pos) = queue.sessions.iter().position(|s| s.id == id) {
-            let removed = queue.sessions.remove(pos);
-            queue.depth -= removed.pending.len();
-            if pos < queue.cursor {
-                queue.cursor -= 1;
-            }
-        }
+        queue.remove_session(id);
     }
 
     fn submit(&self, id: u64, units: Vec<WorkUnit>) {
@@ -383,42 +531,457 @@ impl PoolCore {
         queue.reap_cancelled()
     }
 
-    /// Worker side: block until a unit is available or the pool shuts down.
+    /// Microseconds since the pool's epoch.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Claim the tick if it is due: returns the hook to run (outside the
+    /// queue lock) after atomically unscheduling it, so exactly one worker
+    /// runs each due tick.
+    fn claim_due_tick(&self) -> Option<TickHook> {
+        let next = self.next_tick_us.load(Ordering::Acquire);
+        if next == TICK_NONE || next > self.now_us() {
+            return None;
+        }
+        if self
+            .next_tick_us
+            .compare_exchange(next, TICK_NONE, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        self.tick_hook.lock().expect("tick hook poisoned").clone()
+    }
+
+    /// Pull the next tick earlier (or schedule one): the hook will run at
+    /// `at` or before. Wakes a sleeping worker so its timed wait re-anchors.
+    fn request_tick(&self, at: Instant) {
+        let at_us = at.saturating_duration_since(self.epoch).as_micros() as u64;
+        let _ = self.next_tick_us.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            (at_us < cur).then_some(at_us)
+        });
+        // Take the lock so no worker can compute its wait timeout between
+        // our store and the notify.
+        let _guard = self.queue.lock().expect("scheduler queue poisoned");
+        self.work_available.notify_all();
+    }
+
+    /// How long a sleeping worker may wait before the next tick is due.
+    fn tick_timeout(&self) -> Option<Duration> {
+        let next = self.next_tick_us.load(Ordering::Acquire);
+        if next == TICK_NONE {
+            return None;
+        }
+        Some(Duration::from_micros(next.saturating_sub(self.now_us())))
+    }
+
+    /// Worker side: block until a unit is available or the pool shuts down,
+    /// running the housekeeping tick at its due times along the way.
     fn next_unit(&self) -> Option<WorkUnit> {
         let mut queue = self.queue.lock().expect("scheduler queue poisoned");
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
+            // The tick runs between units even on a saturated pool — and
+            // from a timed wait on an idle one — always outside the lock.
+            if let Some(hook) = self.claim_due_tick() {
+                drop(queue);
+                // A panicking hook must not kill a fixed-pool worker: swallow
+                // the unwind (the tick just stays unscheduled until the next
+                // `request_tick`).
+                let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook()))
+                    .unwrap_or(None);
+                if let Some(next) = next {
+                    self.request_tick(next);
+                }
+                queue = self.queue.lock().expect("scheduler queue poisoned");
+                continue;
+            }
             if let Some(unit) = queue.pop() {
                 return Some(unit);
             }
-            queue = self.work_available.wait(queue).expect("scheduler queue poisoned");
+            queue = match self.tick_timeout() {
+                Some(timeout) => {
+                    self.work_available
+                        .wait_timeout(queue, timeout)
+                        .expect("scheduler queue poisoned")
+                        .0
+                }
+                None => self.work_available.wait(queue).expect("scheduler queue poisoned"),
+            };
         }
     }
 }
 
+/// Record the pool's current contention into a run's stats. Caller holds the
+/// queue lock (the snapshot is a couple of loads).
+fn observe_into(run_stats: &mut SchedulerRunStats, depth: usize, live: usize, busy: usize) {
+    run_stats.queue_depth_peak = run_stats.queue_depth_peak.max(depth);
+    run_stats.busy_workers_peak = run_stats.busy_workers_peak.max(busy);
+    run_stats.live_sessions_peak = run_stats.live_sessions_peak.max(live);
+}
+
 fn worker_loop(core: Arc<PoolCore>) {
     while let Some(unit) = core.next_unit() {
-        let WorkUnit { chunk_idx, jobs, ctx, result_tx } = unit;
         core.busy.fetch_add(1, Ordering::Relaxed);
-        // Catch panics so a poisoned unit kills its session (which rethrows),
-        // not the shared worker serving every other session.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.process(jobs)));
+        execute_unit(&core, unit);
         core.busy.fetch_sub(1, Ordering::Relaxed);
         core.units_executed.fetch_add(1, Ordering::Relaxed);
-        // A dropped receiver means the session abandoned the round; fine.
-        let _ = result_tx.send((chunk_idx, outcome));
     }
+}
+
+/// Run one popped unit on this worker.
+fn execute_unit(core: &Arc<PoolCore>, unit: WorkUnit) {
+    match unit {
+        WorkUnit::External { chunk_idx, jobs, ctx, result_tx } => {
+            // Catch panics so a poisoned unit kills its session (which
+            // rethrows), not the shared worker serving every other session.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.process(jobs)));
+            // A dropped receiver means the session abandoned the round; fine.
+            let _ = result_tx.send((chunk_idx, outcome));
+        }
+        WorkUnit::DrivenChunk { session, chunk_idx, jobs, ctx } => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.process(jobs))) {
+                Ok(result) => complete_chunk(core, session, chunk_idx, result),
+                // A chunk panic poisons only its own session: the slot is
+                // torn down and the completion callback observes `None`.
+                Err(_) => complete_driven(core, session, None),
+            }
+        }
+        WorkUnit::Resume { session } => {
+            let taken = {
+                let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+                let Some(slot) = queue.session_mut(session) else { return };
+                let Some(driven) = &mut slot.driven else { return };
+                // A stale resume (the core is held by another worker, or the
+                // round is still in flight) is dropped harmlessly.
+                if driven.round.as_ref().is_some_and(|r| r.remaining > 0) {
+                    return;
+                }
+                driven.parked.take().map(|core_state| (core_state, driven.round.take()))
+            };
+            if let Some((mut core_state, round)) = taken {
+                if let Some(round) = round {
+                    core_state.driver.provide(round.into_ordered_results());
+                }
+                resume_driven(core, session, core_state);
+            }
+        }
+    }
+}
+
+/// Route a driven chunk's result into its session's round assembly; when the
+/// round completes, this worker resumes the session's driver inline.
+fn complete_chunk(core: &Arc<PoolCore>, session: u64, chunk_idx: usize, result: ChunkResult) {
+    let ready = {
+        let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+        let (depth, live) = (queue.depth, queue.sessions.len());
+        let busy = core.busy.load(Ordering::Relaxed);
+        let Some(slot) = queue.session_mut(session) else { return };
+        let Some(driven) = &mut slot.driven else { return };
+        let Some(round) = &mut driven.round else { return };
+        round.results[chunk_idx] = Some(result);
+        round.remaining -= 1;
+        if let Some(parked) = &mut driven.parked {
+            // Mid-round contention sample (mirrors the blocking path's
+            // per-chunk observation).
+            observe_into(&mut parked.run_stats, depth, live, busy);
+        }
+        if round.remaining == 0 {
+            let core_state = driven.parked.take().expect("round in flight with no parked driver");
+            let round = driven.round.take().expect("round checked above");
+            Some((core_state, round))
+        } else {
+            None
+        }
+    };
+    if let Some((mut core_state, round)) = ready {
+        core_state.driver.provide(round.into_ordered_results());
+        resume_driven(core, session, core_state);
+    }
+}
+
+/// What a resume run left behind.
+// Transient return value, consumed immediately by `resume_driven`'s caller —
+// boxing the result would add an allocation per completed session for no
+// retained-memory win.
+#[allow(clippy::large_enum_variant)]
+enum ResumeExit {
+    /// The driver submitted a round too big to run inline: park it.
+    Park(Box<DrivenCore>, Vec<ChildJob>),
+    /// The resume ran [`INLINE_ROUND_YIELD`] consecutive small rounds:
+    /// requeue a `Resume` and give the fairness queue (and the tick) a turn.
+    Yield(Box<DrivenCore>),
+    /// The run finished; the final ranked result is ready.
+    Done(SynthesisResult),
+}
+
+/// Consecutive sub-[`MIN_PARALLEL_JOBS`] rounds a resume may run before it
+/// must yield the worker back to the fairness queue. Without this bound, a
+/// driven session whose every round is tiny would run to completion inside
+/// one `Resume` unit — monopolizing a pool worker past the weighted
+/// round-robin, delaying the tick hook, and (on a 1-worker pool) starving
+/// every other session for its whole runtime. Yielding is pure scheduling:
+/// it never changes what the session emits.
+const INLINE_ROUND_YIELD: u32 = 32;
+
+/// The shared end-of-run epilogue of every scheduled run (driven or
+/// blocking): fold the session's cache/scan counters and its pool
+/// observations into the engine stats. One copy, so driven-session stats
+/// can never silently diverge from blocking-session stats.
+fn fill_run_counters(
+    stats: &mut EnumerationStats,
+    ctx: &SessionContext,
+    run_stats: SchedulerRunStats,
+) {
+    let (partial_hits, partial_misses) = ctx.partial_counters.snapshot();
+    let (complete_hits, complete_misses) = ctx.complete_counters.snapshot();
+    stats.cache_hits = partial_hits + complete_hits;
+    stats.cache_misses = partial_misses + complete_misses;
+    stats.cache_bytes = ctx.db.cache_stats().bytes;
+    let (partial_scanned, partial_short) = ctx.partial_counters.scan_snapshot();
+    let (complete_scanned, complete_short) = ctx.complete_counters.scan_snapshot();
+    stats.rows_scanned = partial_scanned + complete_scanned;
+    stats.rows_short_circuited = partial_short + complete_short;
+    stats.scheduler = Some(run_stats);
+}
+
+/// Final stats assembly of a driven run (mirrors the blocking paths'
+/// epilogue). `force_cancelled` marks runs wound down by a scheduler
+/// shutdown that never reached a cooperative check.
+fn finalize_driven(s: DrivenCore, force_cancelled: bool) -> SynthesisResult {
+    let DrivenCore { driver, collector, ctx, run_stats, start, .. } = s;
+    let mut stats = driver.into_stats();
+    if force_cancelled {
+        stats.cancelled = true;
+    }
+    stats.elapsed = start.elapsed();
+    fill_run_counters(&mut stats, &ctx, run_stats);
+    collector.finish(stats)
+}
+
+/// Step a driven session's driver until it parks a round, yields the worker
+/// (after [`INLINE_ROUND_YIELD`] consecutive small rounds), or finishes.
+/// Candidates are delivered to the session's sink from here — i.e. on a pool
+/// worker — and small fan-outs run inline without touching the queue.
+fn resume_driven(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
+    let exit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut s = s;
+        let mut inline_streak = 0u32;
+        loop {
+            let action = {
+                let DrivenCore { driver, collector, on_candidate, ctx, nlq, model, .. } = &mut s;
+                let env = StepEnv {
+                    db: &ctx.db,
+                    nlq,
+                    model: model.as_ref(),
+                    config: &ctx.config,
+                    cancel: &ctx.cancel,
+                };
+                match driver.step(&env) {
+                    StepOutcome::Emit { spec, confidence, emitted_at } => {
+                        if !collector.offer(spec, confidence, emitted_at, on_candidate.as_mut()) {
+                            driver.halt();
+                        }
+                        None
+                    }
+                    StepOutcome::SubmitChunks(jobs) => Some(jobs),
+                    StepOutcome::Done => return ResumeExit::Done(finalize_driven(s, false)),
+                }
+            };
+            if let Some(jobs) = action {
+                if jobs.len() < MIN_PARALLEL_JOBS {
+                    s.run_stats.units_inline += 1;
+                    let result = s.ctx.process(jobs);
+                    s.driver.provide(vec![result]);
+                    inline_streak += 1;
+                    if inline_streak >= INLINE_ROUND_YIELD {
+                        return ResumeExit::Yield(Box::new(s));
+                    }
+                    continue;
+                }
+                return ResumeExit::Park(Box::new(s), jobs);
+            }
+        }
+    }));
+    match exit {
+        Ok(ResumeExit::Park(core_state, jobs)) => park_round(core, session, *core_state, jobs),
+        Ok(ResumeExit::Yield(core_state)) => yield_resume(core, session, *core_state),
+        Ok(ResumeExit::Done(result)) => complete_driven(core, session, Some(result)),
+        // A panic inside `step` (a guidance model or consumer-sink bug)
+        // poisons only this session; the worker survives.
+        Err(_) => complete_driven(core, session, None),
+    }
+}
+
+/// Split one round's jobs into the pool's contiguous scheduling chunks:
+/// ~2 per worker so the fairness queue can interleave sessions mid-round.
+/// Chunk size only affects scheduling granularity, never results (chunk
+/// results are reassembled in job order on merge). Shared by the driven
+/// ([`park_round`]) and blocking ([`dispatch_round`]) paths so their
+/// scheduling behaviour cannot silently diverge.
+fn chunk_jobs(jobs: Vec<ChildJob>, workers: usize) -> Vec<Vec<ChildJob>> {
+    let chunk_size = jobs.len().div_ceil(workers * 2).max(MIN_PARALLEL_JOBS / 2);
+    let mut chunks: Vec<Vec<ChildJob>> = Vec::new();
+    let mut remaining = jobs;
+    while !remaining.is_empty() {
+        let tail = remaining.split_off(remaining.len().min(chunk_size));
+        chunks.push(remaining);
+        remaining = tail;
+    }
+    chunks
+}
+
+/// Park a driven session's round: chunk the jobs into the fairness queue and
+/// store the driver back in its slot until the last chunk returns.
+fn park_round(core: &Arc<PoolCore>, session: u64, mut s: DrivenCore, jobs: Vec<ChildJob>) {
+    let chunks = chunk_jobs(jobs, core.workers);
+    let sent = chunks.len();
+    s.run_stats.units_submitted += sent as u64;
+
+    let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+    let (depth, live) = (queue.depth + sent, queue.sessions.len());
+    observe_into(&mut s.run_stats, depth, live, core.busy.load(Ordering::Relaxed));
+    let Some(slot) = queue.session_mut(session) else {
+        // The slot is gone only on teardown races; drop the round.
+        return;
+    };
+    let ctx = Arc::clone(&s.ctx);
+    slot.driven.as_mut().expect("driven slot").round =
+        Some(RoundAssembly { results: (0..sent).map(|_| None).collect(), remaining: sent });
+    for (chunk_idx, chunk_jobs) in chunks.into_iter().enumerate() {
+        slot.pending.push_back(WorkUnit::DrivenChunk {
+            session,
+            chunk_idx,
+            jobs: chunk_jobs,
+            ctx: Arc::clone(&ctx),
+        });
+    }
+    slot.driven.as_mut().expect("driven slot").parked = Some(s);
+    queue.depth += sent;
+    drop(queue);
+    core.work_available.notify_all();
+}
+
+/// Re-park a driven session between rounds (no chunks outstanding) and
+/// requeue its `Resume`, so the fairness queue decides — in weighted
+/// round-robin order, alongside every other session's units — when its next
+/// burst of small rounds runs. See [`INLINE_ROUND_YIELD`].
+fn yield_resume(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
+    let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+    let Some(slot) = queue.session_mut(session) else {
+        // The slot is gone only on teardown races; drop the session.
+        return;
+    };
+    let driven = slot.driven.as_mut().expect("driven slot");
+    driven.parked = Some(s);
+    slot.pending.push_back(WorkUnit::Resume { session });
+    queue.depth += 1;
+    drop(queue);
+    core.work_available.notify_all();
+}
+
+/// Tear a driven session down and deliver its completion: `Some(result)` for
+/// a finished (or cancelled) run, `None` for a poisoned one.
+fn complete_driven(core: &Arc<PoolCore>, session: u64, result: Option<SynthesisResult>) {
+    let on_complete = {
+        let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+        queue
+            .remove_session(session)
+            .and_then(|slot| slot.driven)
+            .and_then(|driven| driven.on_complete)
+    };
+    if let Some(cb) = on_complete {
+        // The completion callback is arbitrary consumer code running on a
+        // fixed-pool worker: a panic in it must poison only this delivery,
+        // never the worker (other sessions' parked drivers depend on it).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(result)));
+    }
+}
+
+/// Register a fully owned session to be driven by the pool: no OS thread is
+/// created — pool workers resume the session's `RoundDriver` as its chunks
+/// complete, deliver candidates through `on_candidate` (return `false` to
+/// stop early) and hand the final ranked result to `on_complete` (`None` if
+/// the session panicked). Called via
+/// [`SynthesisSession::spawn_driven`](crate::session::SynthesisSession::spawn_driven).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_driven_session(
+    handle: &SchedulerHandle,
+    db: Arc<Database>,
+    nlq: Nlq,
+    tsq: Option<TableSketchQuery>,
+    model: Arc<dyn GuidanceModel>,
+    config: DuoquestConfig,
+    control: SessionControl,
+    priority_weight: usize,
+    on_candidate: DrivenSink,
+    on_complete: DrivenCompletion,
+) {
+    let start = Instant::now();
+    let deadline =
+        min_deadline(config.time_budget.map(|budget| start + budget), control.deadline());
+    let graph = JoinGraph::new(db.schema());
+    let literals = nlq.literals.clone();
+    let weight = config.beam_width.max(1).saturating_mul(priority_weight.max(1));
+    let ctx = Arc::new(SessionContext {
+        db,
+        tsq,
+        literals,
+        config,
+        graph,
+        partial_counters: Arc::new(RunCacheCounters::default()),
+        complete_counters: Arc::new(RunCacheCounters::default()),
+        deadline,
+        cancel: control.flag(),
+    });
+    let core_state = DrivenCore {
+        driver: RoundDriver::new(start, deadline),
+        collector: CandidateCollector::new(),
+        on_candidate,
+        ctx,
+        nlq,
+        model,
+        run_stats: SchedulerRunStats {
+            pool_workers: handle.core.workers,
+            ..SchedulerRunStats::default()
+        },
+        start,
+    };
+    let core = &handle.core;
+    let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+    if core.shutdown.load(Ordering::Acquire) {
+        drop(queue);
+        // The pool will never run this session: resolve it as cancelled
+        // instead of stranding the completion callback.
+        on_complete(Some(finalize_driven(core_state, true)));
+        return;
+    }
+    let id = queue.insert_slot(
+        weight,
+        control.flag(),
+        Some(DrivenSlot { parked: Some(core_state), round: None, on_complete: Some(on_complete) }),
+    );
+    let slot = queue.session_mut(id).expect("slot just inserted");
+    slot.pending.push_back(WorkUnit::Resume { session: id });
+    queue.depth += 1;
+    drop(queue);
+    core.work_available.notify_all();
 }
 
 /// A shared, long-lived worker pool serving any number of concurrent
 /// [`SynthesisSession`](crate::session::SynthesisSession)s (see the
 /// [module docs](self) for the design).
 ///
-/// Dropping the scheduler shuts the pool down and joins its workers; sessions
-/// still running on it will panic on their next round, so keep the scheduler
-/// alive for as long as any session holds a [`SchedulerHandle`] to it.
+/// Dropping the scheduler shuts the pool down and joins its workers.
+/// Scheduler-**driven** sessions still parked at that point are wound down
+/// as cancelled (their completion callbacks fire with the candidates found
+/// so far); a **blocking** session still running on the pool will panic on
+/// its next round, so keep the scheduler alive for as long as any blocking
+/// caller holds a [`SchedulerHandle`] to it.
 pub struct SessionScheduler {
     core: Arc<PoolCore>,
     workers: Vec<JoinHandle<()>>,
@@ -437,6 +1000,9 @@ impl SessionScheduler {
             busy: AtomicUsize::new(0),
             units_executed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
+            next_tick_us: AtomicU64::new(TICK_NONE),
+            tick_hook: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -479,16 +1045,38 @@ impl Drop for SessionScheduler {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
-        // Drain whatever was still queued: dropping a unit drops its result
-        // sender, so a session blocked on its round's results observes a
-        // disconnect (and panics, per the struct docs) instead of hanging
-        // forever. Units submitted after this point are dropped by `submit`
-        // itself, which checks `shutdown` under the same lock.
-        let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
-        for slot in queue.sessions.iter_mut() {
-            slot.pending.clear();
+        // With every worker joined, finalize what's left behind:
+        //
+        // * **Driven** sessions still parked are wound down as cancelled —
+        //   their completion callbacks fire with the candidates found so far
+        //   (the moral equivalent of joining per-session driver threads,
+        //   without the threads).
+        // * **External** sessions' queued units drop with their slots:
+        //   dropping a unit drops its result sender, so a blocked driver
+        //   observes a disconnect (and panics, per the struct docs) instead
+        //   of hanging forever. Units submitted after this point are dropped
+        //   by `submit` itself, which checks `shutdown` under the same lock.
+        let sessions = {
+            let mut queue = self.core.queue.lock().expect("scheduler queue poisoned");
+            queue.depth = 0;
+            std::mem::take(&mut queue.sessions)
+        };
+        for slot in sessions {
+            let Some(mut driven) = slot.driven else { continue };
+            match (driven.parked.take(), driven.on_complete.take()) {
+                // A panicking completion callback must not abort the sweep
+                // and strand the remaining sessions' consumers.
+                (Some(core_state), Some(cb)) => {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cb(Some(finalize_driven(core_state, true)))
+                    }));
+                }
+                (None, Some(cb)) => {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(None)));
+                }
+                _ => {}
+            }
         }
-        queue.depth = 0;
     }
 }
 
@@ -526,14 +1114,34 @@ impl SchedulerHandle {
         self.core.workers
     }
 
-    /// Eagerly drop the queued (session, round-chunk) units of every
-    /// cancelled session, returning how many were reaped. Workers also reap
+    /// Eagerly reap the queued (session, round-chunk) units of every
+    /// cancelled session, returning how many were dropped. Workers also reap
     /// lazily whenever they pop, so calling this is an optimization — it
     /// frees the queue immediately instead of at the next pop — not a
     /// requirement for correctness. Fired automatically when a
     /// [`CandidateStream`](crate::session::CandidateStream) is dropped.
     pub fn reap_cancelled(&self) -> usize {
         self.core.reap_cancelled()
+    }
+
+    /// Install the pool's housekeeping **tick hook**: pool workers call it
+    /// at (or after) each requested time — between work units on a busy
+    /// pool, from a timed wait on an idle one — with no scheduler lock held.
+    /// The hook returns the next time it wants to run, or `None` to sleep
+    /// until the next [`SchedulerHandle::request_tick`].
+    ///
+    /// One hook per pool: installing a new one replaces the previous. The
+    /// serving layer uses this for deadline expiry of queued requests,
+    /// folding its former housekeeper thread into the pool's event loop.
+    pub fn set_tick(&self, hook: impl Fn() -> Option<Instant> + Send + Sync + 'static) {
+        *self.core.tick_hook.lock().expect("tick hook poisoned") = Some(Arc::new(hook));
+    }
+
+    /// Ask the tick hook to run at `at` or earlier (monotone: an earlier
+    /// pending request wins). Safe to call from any thread, including hook
+    /// and sink callbacks.
+    pub fn request_tick(&self, at: Instant) {
+        self.core.request_tick(at);
     }
 }
 
@@ -543,10 +1151,12 @@ impl std::fmt::Debug for SchedulerHandle {
     }
 }
 
-/// Run one session's synthesis over the shared pool: the round loop runs on
-/// the calling thread, phase-2 chunks go through the scheduler's fairness
-/// queue, and chunk results are reassembled in original child order before
-/// the merge — so emission is byte-identical to a private-pool run.
+/// Run one session's synthesis over the shared pool **from the calling
+/// thread**: the round loop's state machine is driven here, phase-2 chunks
+/// go through the scheduler's fairness queue, and chunk results are
+/// reassembled in original child order before the merge — so emission is
+/// byte-identical to a private-pool run. (Scheduler-driven sessions use
+/// [`spawn_driven_session`] instead and occupy no thread at all.)
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_rounds_scheduled(
     handle: &SchedulerHandle,
@@ -603,16 +1213,7 @@ pub(crate) fn run_rounds_scheduled(
     drop(registration);
 
     stats.elapsed = start.elapsed();
-    let (partial_hits, partial_misses) = ctx.partial_counters.snapshot();
-    let (complete_hits, complete_misses) = ctx.complete_counters.snapshot();
-    stats.cache_hits = partial_hits + complete_hits;
-    stats.cache_misses = partial_misses + complete_misses;
-    stats.cache_bytes = db.cache_stats().bytes;
-    let (partial_scanned, partial_short) = ctx.partial_counters.scan_snapshot();
-    let (complete_scanned, complete_short) = ctx.complete_counters.scan_snapshot();
-    stats.rows_scanned = partial_scanned + complete_scanned;
-    stats.rows_short_circuited = partial_short + complete_short;
-    stats.scheduler = Some(run_stats);
+    fill_run_counters(&mut stats, &ctx, run_stats);
     stats
 }
 
@@ -630,7 +1231,7 @@ impl Drop for SessionRegistration<'_> {
 
 /// Submit one round's jobs as chunked work units and wait for every chunk,
 /// returning results in original job order. Small fan-outs run inline on the
-/// driver thread — the queue handoff costs more than it saves. Everything
+/// driving thread — the queue handoff costs more than it saves. Everything
 /// else goes through the queue even on a 1-worker pool: the pool *is* the
 /// process's compute budget, so heavy work must serialize through it rather
 /// than spill onto N session driver threads.
@@ -646,23 +1247,17 @@ fn dispatch_round(
         return vec![ctx.process(jobs)];
     }
 
-    // Aim for ~2 chunks per worker so the fairness queue can interleave
-    // sessions mid-round; chunk size only affects scheduling granularity,
-    // never results (chunk results are reassembled in job order below).
-    let chunk_size = jobs.len().div_ceil(core.workers * 2).max(MIN_PARALLEL_JOBS / 2);
     let (result_tx, result_rx) = mpsc::channel();
-    let mut units = Vec::new();
-    let mut remaining = jobs;
-    while !remaining.is_empty() {
-        let tail = remaining.split_off(remaining.len().min(chunk_size));
-        units.push(WorkUnit {
-            chunk_idx: units.len(),
-            jobs: remaining,
+    let units: Vec<WorkUnit> = chunk_jobs(jobs, core.workers)
+        .into_iter()
+        .enumerate()
+        .map(|(chunk_idx, chunk)| WorkUnit::External {
+            chunk_idx,
+            jobs: chunk,
             ctx: Arc::clone(ctx),
             result_tx: result_tx.clone(),
-        });
-        remaining = tail;
-    }
+        })
+        .collect();
     drop(result_tx);
     let sent = units.len();
     run_stats.units_submitted += sent as u64;
@@ -674,9 +1269,12 @@ fn dispatch_round(
     // post-submit sample would systematically read the workers as idle.
     let observe = |run_stats: &mut SchedulerRunStats| {
         let snapshot = core.stats();
-        run_stats.queue_depth_peak = run_stats.queue_depth_peak.max(snapshot.queue_depth);
-        run_stats.busy_workers_peak = run_stats.busy_workers_peak.max(snapshot.busy_workers);
-        run_stats.live_sessions_peak = run_stats.live_sessions_peak.max(snapshot.live_sessions);
+        observe_into(
+            run_stats,
+            snapshot.queue_depth,
+            snapshot.live_sessions,
+            snapshot.busy_workers,
+        );
     };
     observe(run_stats);
 
@@ -738,7 +1336,7 @@ mod tests {
             queue.next_id = queue.next_id.max(id + 1);
             let mut pending = VecDeque::new();
             for i in 0..4 {
-                pending.push_back(WorkUnit {
+                pending.push_back(WorkUnit::External {
                     chunk_idx: tag_base + i,
                     jobs: Vec::new(),
                     ctx: Arc::clone(&ctx),
@@ -752,11 +1350,13 @@ mod tests {
                 quantum: weight,
                 pending,
                 cancel: Arc::new(AtomicBool::new(false)),
+                driven: None,
             });
         }
         let mut order = Vec::new();
         while let Some(unit) = queue.pop() {
-            order.push(unit.chunk_idx);
+            let WorkUnit::External { chunk_idx, .. } = unit else { panic!("external unit") };
+            order.push(chunk_idx);
         }
         assert_eq!(queue.depth, 0);
         // Weight-proportional service: one A unit, then two B units, per
@@ -818,6 +1418,86 @@ mod tests {
         assert!(run.units_submitted + run.units_inline > 0);
     }
 
+    /// The tentpole path: a session driven entirely by the pool (no session
+    /// thread) emits byte-identically to a private blocking run.
+    #[test]
+    fn driven_session_matches_private_pool_session() {
+        let (db, nlq, model, _gold) = fixture();
+        let tsq = TableSketchQuery::with_types(vec![DataType::Text])
+            .with_tuple(vec![TsqCell::text("Forrest Gump")]);
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        config.max_candidates = 30;
+
+        let private = SynthesisSession::new(Arc::clone(&db), nlq.clone(), Arc::clone(&model))
+            .with_tsq(tsq.clone())
+            .with_config(config.clone())
+            .run();
+
+        for pool_workers in [1usize, 2, 4] {
+            let pool = SessionScheduler::new(pool_workers);
+            let (tx, rx) = mpsc::channel();
+            let (seen_tx, seen_rx) = mpsc::channel();
+            SynthesisSession::new(Arc::clone(&db), nlq.clone(), Arc::clone(&model))
+                .with_tsq(tsq.clone())
+                .with_config(config.clone())
+                .spawn_driven(
+                    &pool.handle(),
+                    Box::new(move |c: &Candidate| seen_tx.send(c.clone()).is_ok()),
+                    Box::new(move |result| {
+                        let _ = tx.send(result);
+                    }),
+                );
+            let result = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("driven session completed")
+                .expect("driven session not poisoned");
+            let render = |r: &crate::engine::SynthesisResult| {
+                r.candidates
+                    .iter()
+                    .map(|c| (format!("{:?}", c.spec), c.confidence))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(render(&private), render(&result), "{pool_workers}-worker pool diverged");
+            assert_eq!(private.stats.emitted, result.stats.emitted);
+            assert_eq!(private.stats.expanded, result.stats.expanded);
+            assert_eq!(private.stats.total_pruned(), result.stats.total_pruned());
+            // Candidates streamed through the sink in emission order, and the
+            // candidate channel closed before the completion fired.
+            let streamed: Vec<Candidate> = seen_rx.try_iter().collect();
+            assert_eq!(streamed.len(), result.candidates.len());
+            let stats = pool.stats();
+            assert_eq!(stats.live_sessions, 0, "driven session must deregister");
+            assert_eq!(stats.queue_depth, 0, "no orphaned units");
+        }
+    }
+
+    /// A driven session's sink returning `false` stops the run (the
+    /// consumer-halt half of the state-machine protocol).
+    #[test]
+    fn driven_session_sink_can_stop_early() {
+        let (db, nlq, model, _gold) = fixture();
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = None;
+        config.max_candidates = 10_000;
+        config.max_expansions = 1_000_000;
+        let pool = SessionScheduler::new(1);
+        let (tx, rx) = mpsc::channel();
+        SynthesisSession::new(db, nlq, model).with_config(config).spawn_driven(
+            &pool.handle(),
+            Box::new(|_c: &Candidate| false), // stop at the first candidate
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        let result = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("driven session completed")
+            .expect("not poisoned");
+        assert_eq!(result.candidates.len(), 1, "halt after the first candidate");
+        assert_eq!(pool.stats().live_sessions, 0);
+    }
+
     #[test]
     fn shutdown_disconnects_queued_units_instead_of_stranding_sessions() {
         let pool = SessionScheduler::new(1);
@@ -825,13 +1505,42 @@ mod tests {
         let id = core.register(1, Arc::new(AtomicBool::new(false)));
         drop(pool); // shutdown: workers joined, queue drained
         let (tx, rx) = mpsc::channel();
-        let unit = WorkUnit { chunk_idx: 0, jobs: Vec::new(), ctx: test_ctx(), result_tx: tx };
+        let unit =
+            WorkUnit::External { chunk_idx: 0, jobs: Vec::new(), ctx: test_ctx(), result_tx: tx };
         core.submit(id, vec![unit]);
         // A post-shutdown submit must drop the unit so the session's receiver
         // disconnects (turning into the documented panic) rather than block
         // forever on a queue no worker will ever pop.
         assert!(rx.recv().is_err(), "unit must be dropped, not stranded");
         assert_eq!(core.stats().queue_depth, 0);
+    }
+
+    /// Dropping the pool under a live driven session resolves it (cancelled,
+    /// best-so-far) instead of stranding its completion callback.
+    #[test]
+    fn shutdown_finalizes_parked_driven_sessions() {
+        let (db, nlq, model, _gold) = fixture();
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = Some(Duration::from_secs(60));
+        config.max_candidates = usize::MAX;
+        config.max_expansions = usize::MAX;
+        let pool = SessionScheduler::new(1);
+        let (tx, rx) = mpsc::channel();
+        SynthesisSession::new(db, nlq, model).with_config(config).spawn_driven(
+            &pool.handle(),
+            Box::new(|_c: &Candidate| true),
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        // Give the pool a moment to start the session, then tear it down.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(pool);
+        let result = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("shutdown must resolve the driven session")
+            .expect("shutdown is not a poisoning");
+        assert!(result.stats.cancelled, "shutdown winds driven sessions down as cancelled");
     }
 
     #[test]
@@ -869,5 +1578,72 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.live_sessions, 0, "all sessions deregistered");
         assert_eq!(stats.queue_depth, 0, "no orphaned units");
+    }
+
+    /// The fairness half of the yield bound: a single long-running driven
+    /// session on a 1-worker pool must not pin the worker — the tick hook
+    /// still fires at (about) its requested time while the session grinds,
+    /// because resumes park between rounds and yield after bursts of
+    /// inline-sized rounds.
+    #[test]
+    fn grinding_driven_session_does_not_starve_the_tick() {
+        let (db, nlq, model, _gold) = fixture();
+        let mut config = DuoquestConfig::fast();
+        config.time_budget = Some(Duration::from_secs(30));
+        config.max_candidates = usize::MAX;
+        config.max_expansions = usize::MAX;
+        let pool = SessionScheduler::new(1);
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired_hook = Arc::clone(&fired);
+        pool.handle().set_tick(move || {
+            fired_hook.store(true, Ordering::SeqCst);
+            None
+        });
+        let control = SessionControl::new();
+        let (tx, rx) = mpsc::channel();
+        SynthesisSession::new(db, nlq, model)
+            .with_config(config)
+            .with_control(control.clone())
+            .spawn_driven(
+                &pool.handle(),
+                Box::new(|_c: &Candidate| true),
+                Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            );
+        pool.handle().request_tick(Instant::now() + Duration::from_millis(30));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !fired.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "tick starved by the driven session");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        control.cancel();
+        pool.handle().reap_cancelled();
+        let result = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("cancelled session resolves")
+            .expect("not poisoned");
+        assert!(result.stats.cancelled);
+        assert_eq!(pool.stats().live_sessions, 0);
+    }
+
+    /// The scheduler tick: the hook runs at its requested time on an idle
+    /// pool (from a worker's timed wait) and can reschedule itself.
+    #[test]
+    fn tick_hook_fires_on_an_idle_pool() {
+        let pool = SessionScheduler::new(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired_hook = Arc::clone(&fired);
+        pool.handle().set_tick(move || {
+            fired_hook.fetch_add(1, Ordering::SeqCst);
+            None
+        });
+        pool.handle().request_tick(Instant::now() + Duration::from_millis(20));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "tick never fired on the idle pool");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "one request fires one tick");
     }
 }

@@ -10,12 +10,17 @@
 //!   [`SynthesisResult`];
 //! * [`SynthesisSession::run_with`] — block, but observe each candidate as it
 //!   is emitted (and optionally stop early);
-//! * [`SynthesisSession::stream`] — move the session onto a background thread
-//!   and consume candidates through a channel-backed iterator while
-//!   enumeration is still in flight. The first candidate is available as soon
-//!   as it survives verification, long before the run completes — this is
-//!   what the paper's interactive front end needs for its "results appear as
-//!   they are found" interface.
+//! * [`SynthesisSession::stream`] — hand the session to a scheduler pool to
+//!   be **driven without any per-session thread** and consume candidates
+//!   through a channel-backed iterator while enumeration is still in flight.
+//!   The first candidate is available as soon as it survives verification,
+//!   long before the run completes — this is what the paper's interactive
+//!   front end needs for its "results appear as they are found" interface.
+//! * [`SynthesisSession::spawn_driven`] — the primitive under `stream` and
+//!   the service layer: register the session with a
+//!   [`SessionScheduler`] whose workers resume its
+//!   round-loop state machine as chunks complete, delivering candidates and
+//!   the final result through callbacks. No OS thread exists per session.
 //!
 //! Absent a wall-clock `time_budget`, the emitted candidate set and order
 //! depend only on the configuration (beam width, budgets), never on the
@@ -24,14 +29,16 @@
 
 use crate::config::DuoquestConfig;
 use crate::engine::{collect_ranked, run_collect, Candidate, SynthesisResult};
-use crate::scheduler::{run_rounds_scheduled, SchedulerHandle, SessionScheduler};
+use crate::scheduler::{
+    run_rounds_scheduled, spawn_driven_session, SchedulerHandle, SessionScheduler,
+};
 use crate::tsq::TableSketchQuery;
 use duoquest_db::Database;
 use duoquest_nlq::{GuidanceModel, Nlq};
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver};
+use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Cooperative controls for one synthesis run: a shared **cancellation
@@ -288,58 +295,126 @@ impl SynthesisSession {
         })
     }
 
-    /// Move the session onto a background thread and stream candidates as
-    /// they survive verification. Dropping the stream (or calling
-    /// [`CandidateStream::stop`]) **cancels** the session — the engine stops
-    /// at its next cooperative check and any (session, round-chunk) units
-    /// still queued on a shared pool are reaped before a worker pops them —
-    /// so an abandoned consumer never leaks enumeration work. Call
-    /// [`CandidateStream::finish`] for the final ranked result.
+    /// Hand the session to a scheduler pool to be **driven entirely by pool
+    /// workers** — no per-session OS thread is created. The pool resumes the
+    /// session's round-loop state machine as its verification chunks
+    /// complete; `on_candidate` observes each candidate in emission order
+    /// (return `false` to stop the run early) and `on_complete` receives the
+    /// final ranked result — `None` only if the session panicked (a guidance
+    /// model or verifier bug), which poisons that session alone.
+    ///
+    /// Both callbacks run on pool worker threads, so they must be `Send` and
+    /// should stay cheap (push to a channel, update counters). One exception:
+    /// if the pool has already shut down when `spawn_driven` is called, the
+    /// session is resolved immediately as cancelled and `on_complete` runs
+    /// synchronously on the **calling** thread — don't hold a lock (or block
+    /// on a response the calling thread must produce) across this call from
+    /// inside `on_complete`. This is the primitive under
+    /// [`SynthesisSession::stream`] and the serving layer's request
+    /// lifecycle; capacity for driven sessions is bounded by memory, not
+    /// thread count. Any scheduler handle attached via
+    /// [`SynthesisSession::with_scheduler`] is ignored in favour of `handle`.
+    pub fn spawn_driven(
+        self,
+        handle: &SchedulerHandle,
+        on_candidate: Box<dyn FnMut(&Candidate) -> bool + Send>,
+        on_complete: Box<dyn FnOnce(Option<SynthesisResult>) + Send>,
+    ) {
+        spawn_driven_session(
+            handle,
+            self.db,
+            self.nlq,
+            self.tsq,
+            self.model,
+            self.config,
+            self.control,
+            self.priority_weight,
+            on_candidate,
+            on_complete,
+        );
+    }
+
+    /// Stream candidates as they survive verification, **without spawning a
+    /// per-session thread**: the session is handed to its attached
+    /// [`SessionScheduler`] (or, absent one, to a private pool owned by the
+    /// stream, sized per `config.workers`) and driven by pool workers.
+    /// Dropping the stream (or calling [`CandidateStream::stop`])
+    /// **cancels** the session — the engine stops at its next cooperative
+    /// check and any (session, round-chunk) units still queued on the pool
+    /// are reaped before a worker pops them — so an abandoned consumer never
+    /// leaks enumeration work. Call [`CandidateStream::finish`] for the
+    /// final ranked result.
     pub fn stream(self) -> CandidateStream {
         let control = self.control.clone();
-        let scheduler = self.scheduler.clone();
+        let (handle, pool) = match self.scheduler.clone() {
+            Some(handle) => (handle, None),
+            None => {
+                // Compatibility: no shared pool attached — the stream owns a
+                // private pool for just this run (the session-scoped analogue
+                // of `run_with`'s private-pool fallback).
+                let pool = SessionScheduler::new(self.config.effective_workers());
+                (pool.handle(), Some(pool))
+            }
+        };
         let stop_control = self.control.clone();
-        let (tx, rx) = mpsc::channel();
-        let handle = std::thread::Builder::new()
-            .name("duoquest-synthesis".into())
-            .spawn(move || {
-                self.run_with(move |candidate| {
-                    if stop_control.is_cancelled() {
-                        return false;
-                    }
-                    // A dropped receiver reads as "stop": the send fails and
-                    // the engine winds down.
-                    tx.send(candidate.clone()).is_ok()
-                })
-            })
-            .expect("failed to spawn synthesis thread");
-        CandidateStream { rx, handle: Some(handle), control, scheduler }
+        let (cand_tx, cand_rx) = mpsc::channel();
+        let (result_tx, result_rx) = mpsc::channel();
+        self.spawn_driven(
+            &handle,
+            Box::new(move |candidate: &Candidate| {
+                if stop_control.is_cancelled() {
+                    return false;
+                }
+                // A dropped receiver reads as "stop": the send fails and
+                // the engine winds down.
+                cand_tx.send(candidate.clone()).is_ok()
+            }),
+            Box::new(move |result| {
+                let _ = result_tx.send(result);
+            }),
+        );
+        CandidateStream {
+            rx: cand_rx,
+            result: result_rx,
+            received: RefCell::new(None),
+            poisoned: Cell::new(false),
+            control,
+            scheduler: Some(handle),
+            _pool: pool,
+        }
     }
 }
 
-/// A live candidate stream backed by a background synthesis thread.
+/// A live candidate stream backed by a **scheduler-driven session** — pool
+/// workers resume the session's round loop as chunks complete; no OS thread
+/// exists for the session itself.
 ///
 /// Iterate to receive candidates in emission order while the enumeration is
-/// still running; call [`CandidateStream::finish`] to join the thread and
-/// obtain the final, confidence-ranked [`SynthesisResult`] (which includes
-/// the run's [`crate::EnumerationStats`]).
+/// still running; call [`CandidateStream::finish`] for the final,
+/// confidence-ranked [`SynthesisResult`] (which includes the run's
+/// [`crate::EnumerationStats`]).
 ///
 /// **Dropping the stream cancels the work**: the session's
-/// [`SessionControl`] token fires and, when the session runs on a shared
-/// [`SessionScheduler`], its queued round-chunk units are reaped from the
-/// fairness queue before any worker pops them. The pool therefore goes idle
-/// instead of grinding through enumeration nobody is consuming.
+/// [`SessionControl`] token fires and its queued round-chunk units are
+/// reaped from the pool's fairness queue before any worker pops them. The
+/// pool therefore goes idle instead of grinding through enumeration nobody
+/// is consuming.
 pub struct CandidateStream {
     rx: Receiver<Candidate>,
-    handle: Option<JoinHandle<SynthesisResult>>,
+    result: Receiver<Option<SynthesisResult>>,
+    received: RefCell<Option<SynthesisResult>>,
+    poisoned: Cell<bool>,
     control: SessionControl,
     scheduler: Option<SchedulerHandle>,
+    /// The private pool driving a session that had no shared scheduler
+    /// attached, kept alive for the stream's lifetime (`None` when the
+    /// session rides a shared pool).
+    _pool: Option<SessionScheduler>,
 }
 
 impl CandidateStream {
-    /// Ask the background thread to stop: fires the session's cancellation
-    /// token and reaps its queued units from the shared pool, if any.
-    /// Idempotent.
+    /// Ask the session to stop: fires its cancellation token and reaps its
+    /// queued units from the pool. Idempotent.
     pub fn stop(&self) {
         self.control.cancel();
         if let Some(handle) = &self.scheduler {
@@ -347,9 +422,24 @@ impl CandidateStream {
         }
     }
 
-    /// Whether the background enumeration has finished.
+    /// Non-blockingly pull the completion, if it has arrived.
+    fn poll_result(&self) {
+        if self.received.borrow().is_some() || self.poisoned.get() {
+            return;
+        }
+        match self.result.try_recv() {
+            Ok(Some(result)) => *self.received.borrow_mut() = Some(result),
+            // `None` = the session panicked; a disconnect without a value can
+            // only follow a teardown race — both poison the stream.
+            Ok(None) | Err(TryRecvError::Disconnected) => self.poisoned.set(true),
+            Err(TryRecvError::Empty) => {}
+        }
+    }
+
+    /// Whether the enumeration has finished.
     pub fn is_finished(&self) -> bool {
-        self.handle.as_ref().map(|h| h.is_finished()).unwrap_or(true)
+        self.poll_result();
+        self.received.borrow().is_some() || self.poisoned.get()
     }
 
     /// Receive the next candidate, waiting up to `timeout`. `None` on timeout
@@ -358,21 +448,36 @@ impl CandidateStream {
         self.rx.recv_timeout(timeout).ok()
     }
 
-    /// Join the background thread and return the final ranked result. Any
-    /// undrained candidates are still reflected in the result's list.
-    pub fn finish(mut self) -> SynthesisResult {
-        let handle = self.handle.take().expect("finish called once");
-        handle.join().expect("synthesis thread panicked")
+    /// Wait for the session to complete and return the final ranked result.
+    /// Any undrained candidates are still reflected in the result's list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session itself panicked (a guidance-model or verifier
+    /// bug) — the driven-session analogue of joining a panicked thread.
+    pub fn finish(self) -> SynthesisResult {
+        self.poll_result();
+        if let Some(result) = self.received.borrow_mut().take() {
+            return result;
+        }
+        if !self.poisoned.get() {
+            if let Ok(Some(result)) = self.result.recv() {
+                return result;
+            }
+        }
+        panic!("synthesis session panicked");
     }
 }
 
 impl Drop for CandidateStream {
-    /// Dropping the stream cancels the session (see the struct docs). The
-    /// background thread winds down on its own at its next cooperative check;
-    /// it is not joined here, so dropping never blocks.
+    /// Dropping the stream cancels the session (see the struct docs). A
+    /// session on a shared pool winds down on its own at its next
+    /// cooperative check, so dropping does not wait for it; a stream that
+    /// owns a private pool joins that pool's workers (quick, as the
+    /// cancellation cuts any in-flight chunks short).
     fn drop(&mut self) {
-        // After `finish` the handle is gone and the run is already complete;
-        // firing the token then is a harmless no-op.
+        // After `finish` the run is already complete; firing the token then
+        // is a harmless no-op.
         self.stop();
     }
 }

@@ -7,26 +7,36 @@
 //! NL+TSQ tasks concurrently, each with a priority class, an optional
 //! deadline, and a cancellable ticket.
 //!
-//! # Request lifecycle
+//! # Request lifecycle (event-driven — no per-request threads)
 //!
 //! ```text
 //!  submit(SynthesisRequest)
 //!        │
 //!        ▼                 capacity?
 //!  ┌─ admission ─────────────────────────────────────────────┐
-//!  │ live < max_live ──────────► start (driver thread)       │
+//!  │ live < max_live ──────────► start: session driven BY    │
+//!  │                             the pool (no thread)        │
 //!  │ else queued < max_queued ─► queue (per-class FIFO)      │
 //!  │ else ─────────────────────► shed: Err(Overloaded)       │
 //!  └─────────────────────────────────────────────────────────┘
-//!        │ start                      ▲ a finishing request
+//!        │ start                      ▲ a completing request
 //!        ▼                            │ promotes the head of the
-//!  SynthesisSession on the shared     │ highest non-empty class
-//!  SessionScheduler pool              │ queue
+//!  RoundDriver state machine parked   │ highest non-empty class
+//!  in the SessionScheduler; pool      │ queue (from the worker
+//!  workers resume it as its chunks    │ that completed it)
+//!  complete                           │
 //!  (fairness weight = beam × class)   │
 //!        │ candidates stream to the Ticket as they survive
 //!        ▼
 //!  ServiceOutcome { result, status: Completed | Cancelled | DeadlineExceeded }
 //! ```
+//!
+//! A live request is a **scheduler-driven session** (see `docs/DRIVER.md`):
+//! its serial round loop is a state machine parked inside the pool, resumed
+//! inline by whichever worker completes its last outstanding chunk. The
+//! service therefore spawns **zero** per-request OS threads —
+//! [`ServiceStats::driver_threads`] reports 0 — and `max_live_sessions` can
+//! sit in the thousands, bounded by memory rather than thread count.
 //!
 //! * **Priorities** ([`PriorityClass`]) weight the shared pool's round-robin
 //!   on top of beam width: an interactive session gets 16× the per-rotation
@@ -39,12 +49,15 @@
 //! * **Deadlines** are measured from submission (queue wait counts). A
 //!   request past its deadline stops enumerating and resolves with the best
 //!   candidates found so far, flagged
-//!   [`RequestStatus::DeadlineExceeded`].
+//!   [`RequestStatus::DeadlineExceeded`]. Requests whose deadline passes
+//!   while still **queued** are expired by the scheduler's tick (the pool's
+//!   own event loop — there is no housekeeper thread either).
 //! * **Admission control** bounds live sessions and the waiting queue;
 //!   overflow is shed at submit time with [`AdmissionError::Overloaded`].
 //! * **Observability**: [`SynthesisService::stats`] snapshots per-class queue
-//!   depth, p50/p95 time-to-first-candidate and the
-//!   cancelled/shed/expired counters, JSON-renderable via
+//!   depth, p50/p95 time-to-first-candidate, the cancelled/shed/expired
+//!   counters, the live-session high-water mark and the (always-zero)
+//!   per-request driver-thread count, JSON-renderable via
 //!   [`ServiceStats::to_json`].
 //!
 //! Completed requests keep the engine's determinism contract: for a fixed
@@ -111,10 +124,9 @@ use duoquest_core::{
 };
 use stats::Reservoir;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-class monotone counters plus the TTFC sample window.
@@ -144,8 +156,8 @@ impl ClassCounters {
     }
 }
 
-/// A request admitted but not yet finished: everything the driver thread
-/// needs to run it and resolve its ticket.
+/// A request admitted but not yet finished: everything needed to start it
+/// as a scheduler-driven session and resolve its ticket.
 struct Pending {
     id: u64,
     req: SynthesisRequest,
@@ -181,14 +193,15 @@ impl Pending {
     }
 }
 
-/// Admission state, guarded by one mutex: who is live, who is waiting, and
-/// the driver threads to join at shutdown.
+/// Admission state, guarded by one mutex: who is live and who is waiting.
+/// (There are no per-request threads — and therefore no join-handle
+/// bookkeeping to leak: live requests exist only as driven-session state
+/// parked inside the scheduler.)
 #[derive(Default)]
 struct Admission {
     next_id: u64,
     live: Vec<LiveEntry>,
     queued: [VecDeque<Pending>; 3],
-    drivers: Vec<JoinHandle<()>>,
 }
 
 struct LiveEntry {
@@ -209,26 +222,23 @@ impl Admission {
     }
 }
 
-/// State shared between the service handle, its driver threads and the
-/// housekeeping thread.
+/// State shared between the service handle, the scheduler's tick hook, and
+/// the driven sessions' completion callbacks (which run on pool workers).
 pub(crate) struct Shared {
     cfg: ServiceConfig,
     handle: SchedulerHandle,
     state: Mutex<Admission>,
-    /// Signalled whenever the queued set changes (a submit, a ticket
-    /// cancellation, shutdown) so the housekeeping thread re-examines it.
-    queue_changed: Condvar,
     counters: [ClassCounters; 3],
     shutdown: AtomicBool,
+    /// High-water mark of concurrently live requests.
+    live_peak: AtomicUsize,
 }
 
 impl Shared {
-    /// Wake the housekeeping thread to re-examine the queued set. Takes the
-    /// state lock so the wakeup cannot slot between the housekeeper's check
-    /// and its wait.
+    /// Ask the scheduler's tick to re-examine the queued set now (a ticket
+    /// cancellation, a shutdown): the next free pool worker runs the sweep.
     pub(crate) fn notify_queue_changed(&self) {
-        let _guard = self.state.lock().expect("service state poisoned");
-        self.queue_changed.notify_all();
+        self.handle.request_tick(Instant::now());
     }
 
     fn bump(&self, class: PriorityClass, status: RequestStatus) {
@@ -241,124 +251,125 @@ impl Shared {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Mark a request live and spawn its driver thread. Caller holds the
+    /// Try to claim a free live slot for a request. Returns the pending
+    /// request to be started (via [`Shared::start_unlocked`], **after** the
+    /// admission lock is released — session setup and scheduler registration
+    /// are not cheap enough to serialize every submit behind), or `None` when
+    /// the request was already cancelled or past its deadline, in which case
+    /// it resolves unrun here without consuming the slot. Caller holds the
     /// admission lock.
-    fn start_locked(self: &Arc<Self>, state: &mut Admission, pending: Pending) {
-        state.live.push(LiveEntry {
-            id: pending.id,
-            class: pending.req.priority,
-            control: pending.control.clone(),
-        });
-        // Opportunistically shed handles of drivers that already finished so
-        // the join list doesn't grow without bound on a long-lived service.
-        state.drivers.retain(|h| !h.is_finished());
-        let shared = Arc::clone(self);
-        let driver = std::thread::Builder::new()
-            .name(format!("duoquest-service-{}", pending.id))
-            .spawn(move || drive(shared, pending))
-            .expect("failed to spawn service driver");
-        state.drivers.push(driver);
-    }
-}
-
-/// Driver thread: run one admitted request to its outcome, then promote
-/// queued work into the freed slot.
-fn drive(shared: Arc<Shared>, pending: Pending) {
-    let id = pending.id;
-    // A worker panic is rethrown on this thread by the scheduler's dispatch
-    // (and a guidance model can panic here directly); catch it so the live
-    // slot is always freed — one poisoned request must not wedge the
-    // service's capacity. The outcome sender is owned by the closure, so a
-    // panicking run drops it undelivered and the ticket holder's `wait`
-    // reports the vanished driver.
-    let delivery =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_request(&shared, pending)));
-    // Free the live slot (promoting queued work) before resolving the
-    // ticket: a consumer that observes the outcome also observes the slot
-    // released.
-    finish(&shared, id);
-    if let Ok((sender, outcome)) = delivery {
-        let _ = sender.send(outcome);
-    }
-}
-
-/// Run one admitted request and build its outcome (not yet delivered — the
-/// caller frees the live slot first).
-fn run_request(shared: &Arc<Shared>, pending: Pending) -> (Sender<ServiceOutcome>, ServiceOutcome) {
-    let class = pending.req.priority;
-    if pending.control.is_cancelled() {
-        // Cancelled while queued (or between admission and start).
-        shared.bump(class, RequestStatus::Cancelled);
-        return pending.into_unrun(RequestStatus::Cancelled);
-    }
-    if pending.control.deadline().is_some_and(|d| Instant::now() >= d) {
-        // Expired while queued: never start a run the deadline already ate.
-        shared.bump(class, RequestStatus::DeadlineExceeded);
-        return pending.into_unrun(RequestStatus::DeadlineExceeded);
-    }
-    let Pending { req, control, submitted, candidates, outcome, .. } = pending;
-    let queue_wait = submitted.elapsed();
-    let SynthesisRequest { db, nlq, tsq, model, config, .. } = req;
-    let mut session = SynthesisSession::new(db, nlq, model)
-        .with_config(config)
-        .with_control(control.clone())
-        .with_priority_weight(class.weight())
-        .with_scheduler(shared.handle.clone());
-    if let Some(tsq) = tsq {
-        session = session.with_tsq(tsq);
-    }
-    let mut ttfc: Option<Duration> = None;
-    let result = session.run_with(|candidate| {
-        if ttfc.is_none() {
-            let sample = submitted.elapsed();
-            ttfc = Some(sample);
-            shared.counters[class.index()].record_ttfc(sample);
+    fn claim_slot_locked(&self, state: &mut Admission, pending: Pending) -> Option<Pending> {
+        let class = pending.req.priority;
+        if pending.control.is_cancelled() {
+            // Cancelled while queued (or between admission and start).
+            self.bump(class, RequestStatus::Cancelled);
+            pending.resolve_unrun(RequestStatus::Cancelled);
+            return None;
         }
-        // A dropped ticket reads as "stop" (its Drop also fires the
-        // cancellation token, which reaps queued units).
-        candidates.send(candidate.clone()).is_ok()
-    });
-    let status = if result.stats.cancelled || control.is_cancelled() {
-        RequestStatus::Cancelled
-    } else if result.stats.deadline_exceeded
-        && control.deadline().is_some_and(|d| Instant::now() >= d)
-    {
-        // Only the request's own service deadline counts as expiry; the
-        // engine's `time_budget` cutting the search is a normal completion
-        // mode (like `max_candidates`), visible in the run's stats.
-        RequestStatus::DeadlineExceeded
-    } else {
-        RequestStatus::Completed
-    };
-    shared.bump(class, status);
-    // Close the candidate stream before the outcome resolves so a consumer
-    // draining the ticket sees the stream end first.
-    drop(candidates);
-    (outcome, ServiceOutcome { result, status, queue_wait, time_to_first_candidate: ttfc })
-}
+        if pending.control.deadline().is_some_and(|d| Instant::now() >= d) {
+            // Expired while queued: never start a run the deadline already ate.
+            self.bump(class, RequestStatus::DeadlineExceeded);
+            pending.resolve_unrun(RequestStatus::DeadlineExceeded);
+            return None;
+        }
+        state.live.push(LiveEntry { id: pending.id, class, control: pending.control.clone() });
+        self.live_peak.fetch_max(state.live.len(), Ordering::Relaxed);
+        Some(pending)
+    }
 
-/// Housekeeping thread: resolves queued requests whose deadline passes — or
-/// whose ticket is cancelled — while every live slot stays busy. Without it,
-/// queued requests would only be examined when a slot frees, so a deadline
-/// could be overshot by the full runtime of the requests ahead of it.
-///
-/// Sleeps until the earliest queued deadline (or until [`Shared::queue_changed`]
-/// signals a queue mutation) and resolves overdue/cancelled entries in place.
-fn housekeeper(shared: Arc<Shared>) {
-    let mut state = shared.state.lock().expect("service state poisoned");
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+    /// Start a claimed request: register it with the scheduler as a
+    /// **driven session** — no thread is spawned; pool workers resume its
+    /// state machine as chunks complete. Runs with no lock held (a cancel
+    /// racing in here simply stops the run at its first step).
+    fn start_unlocked(self: &Arc<Self>, pending: Pending) {
+        let class = pending.req.priority;
+        let Pending { id, req, control, submitted, candidates, outcome } = pending;
+        let queue_wait = submitted.elapsed();
+        let SynthesisRequest { db, nlq, tsq, model, config, .. } = req;
+        let mut session = SynthesisSession::new(db, nlq, model)
+            .with_config(config)
+            .with_control(control.clone())
+            .with_priority_weight(class.weight());
+        if let Some(tsq) = tsq {
+            session = session.with_tsq(tsq);
+        }
+
+        // Time-to-first-candidate is observed by the candidate sink but
+        // reported in the outcome, so the two callbacks share the slot.
+        let ttfc = Arc::new(Mutex::new(None::<Duration>));
+        let shared = Arc::clone(self);
+        let ttfc_sink = Arc::clone(&ttfc);
+        let on_candidate = Box::new(move |candidate: &Candidate| {
+            {
+                let mut slot = ttfc_sink.lock().expect("ttfc slot poisoned");
+                if slot.is_none() {
+                    let sample = submitted.elapsed();
+                    *slot = Some(sample);
+                    shared.counters[class.index()].record_ttfc(sample);
+                }
+            }
+            // A dropped ticket reads as "stop" (its Drop also fires the
+            // cancellation token, which reaps queued units).
+            candidates.send(candidate.clone()).is_ok()
+        });
+
+        let shared = Arc::clone(self);
+        let on_complete = Box::new(move |delivered: Option<SynthesisResult>| {
+            // Free the live slot (promoting queued work) before resolving
+            // the ticket: a consumer that observes the outcome also observes
+            // the slot released. A panicked (poisoned) session frees its
+            // slot too but delivers no outcome — the ticket holder's `wait`
+            // reports the vanished request.
+            finish(&shared, id);
+            let Some(result) = delivered else { return };
+            let status = if result.stats.cancelled || control.is_cancelled() {
+                RequestStatus::Cancelled
+            } else if result.stats.deadline_exceeded
+                && control.deadline().is_some_and(|d| Instant::now() >= d)
+            {
+                // Only the request's own service deadline counts as expiry;
+                // the engine's `time_budget` cutting the search is a normal
+                // completion mode (like `max_candidates`), visible in the
+                // run's stats.
+                RequestStatus::DeadlineExceeded
+            } else {
+                RequestStatus::Completed
+            };
+            shared.bump(class, status);
+            // The candidate sink (and with it the candidate sender) was
+            // dropped by the scheduler before this callback fired, so a
+            // consumer draining the ticket sees the stream end first.
+            let _ = outcome.send(ServiceOutcome {
+                result,
+                status,
+                queue_wait,
+                time_to_first_candidate: *ttfc.lock().expect("ttfc slot poisoned"),
+            });
+        });
+        session.spawn_driven(&self.handle, on_candidate, on_complete);
+    }
+
+    /// One housekeeping pass over the admission queue (the scheduler's tick
+    /// hook): resolve queued requests whose ticket was cancelled or whose
+    /// deadline passed while every live slot stayed busy, and return the
+    /// earliest remaining queued deadline as the next tick time. Without
+    /// this, queued requests would only be examined when a slot frees, so a
+    /// deadline could be overshot by the full runtime of the requests ahead
+    /// of it.
+    fn sweep_queue(self: &Arc<Self>) -> Option<Instant> {
+        let mut state = self.state.lock().expect("service state poisoned");
+        if self.shutdown.load(Ordering::SeqCst) {
+            return None;
         }
         let now = Instant::now();
         for class_queue in &mut state.queued {
             let mut kept = VecDeque::new();
             while let Some(pending) = class_queue.pop_front() {
                 if pending.control.is_cancelled() {
-                    shared.bump(pending.req.priority, RequestStatus::Cancelled);
+                    self.bump(pending.req.priority, RequestStatus::Cancelled);
                     pending.resolve_unrun(RequestStatus::Cancelled);
                 } else if pending.control.deadline().is_some_and(|d| now >= d) {
-                    shared.bump(pending.req.priority, RequestStatus::DeadlineExceeded);
+                    self.bump(pending.req.priority, RequestStatus::DeadlineExceeded);
                     pending.resolve_unrun(RequestStatus::DeadlineExceeded);
                 } else {
                     kept.push_back(pending);
@@ -366,48 +377,47 @@ fn housekeeper(shared: Arc<Shared>) {
             }
             *class_queue = kept;
         }
-        let next_deadline =
-            state.queued.iter().flatten().filter_map(|p| p.control.deadline()).min();
-        state = match next_deadline {
-            Some(deadline) => {
-                let timeout = deadline.saturating_duration_since(Instant::now());
-                shared.queue_changed.wait_timeout(state, timeout).expect("service state poisoned").0
-            }
-            None => shared.queue_changed.wait(state).expect("service state poisoned"),
-        };
+        state.queued.iter().flatten().filter_map(|p| p.control.deadline()).min()
     }
 }
 
-/// Free the request's live slot and promote queued work into it.
+/// Free the request's live slot and promote queued work into it. Runs on
+/// whichever pool worker completed the request. Slots are claimed under the
+/// admission lock; the promoted sessions are constructed and registered
+/// after it drops.
 fn finish(shared: &Arc<Shared>, id: u64) {
     let mut state = shared.state.lock().expect("service state poisoned");
     state.live.retain(|l| l.id != id);
     if shared.shutdown.load(Ordering::SeqCst) {
         return;
     }
+    let mut promoted = Vec::new();
     while state.live.len() < shared.cfg.max_live_sessions.max(1) {
         let Some(next) = state.pop_queued() else { break };
-        if next.control.is_cancelled() {
-            // Cancelled while waiting: resolve without occupying the slot.
-            shared.bump(next.req.priority, RequestStatus::Cancelled);
-            next.resolve_unrun(RequestStatus::Cancelled);
-            continue;
-        }
-        shared.start_locked(&mut state, next);
+        // A cancelled or expired candidate resolves unrun without consuming
+        // the slot; the loop keeps promoting until the free slots fill or
+        // the queue drains.
+        promoted.extend(shared.claim_slot_locked(&mut state, next));
+    }
+    drop(state);
+    for pending in promoted {
+        shared.start_unlocked(pending);
     }
 }
 
 /// The serving endpoint: one shared scheduler pool, an admission-controlled
 /// request queue, and per-request tickets (see the [module docs](self) for
-/// the lifecycle).
+/// the lifecycle). The pool's fixed workers are the **only** threads the
+/// service owns — requests are scheduler-driven sessions, and queued-request
+/// housekeeping rides the scheduler's tick.
 ///
-/// Dropping the service cancels everything still live or queued, joins every
-/// driver thread, and shuts the scheduler pool down.
+/// Dropping the service cancels everything still live or queued and shuts
+/// the scheduler pool down (which resolves any still-parked request as
+/// cancelled).
 pub struct SynthesisService {
     shared: Arc<Shared>,
-    housekeeper: Option<JoinHandle<()>>,
-    /// Owned pool; dropped after the explicit `Drop` body has cancelled and
-    /// joined every driver, so no session ever outlives its scheduler.
+    /// Owned pool; dropped after the explicit `Drop` body has cancelled
+    /// everything, so shutdown resolves every remaining request.
     _scheduler: SessionScheduler,
 }
 
@@ -424,18 +434,16 @@ impl SynthesisService {
             cfg,
             handle: scheduler.handle(),
             state: Mutex::new(Admission::default()),
-            queue_changed: Condvar::new(),
             counters: std::array::from_fn(|_| ClassCounters::new(ttfc_samples)),
             shutdown: AtomicBool::new(false),
+            live_peak: AtomicUsize::new(0),
         });
-        let housekeeper = std::thread::Builder::new()
-            .name("duoquest-service-housekeeper".into())
-            .spawn({
-                let shared = Arc::clone(&shared);
-                move || housekeeper(shared)
-            })
-            .expect("failed to spawn service housekeeper");
-        SynthesisService { shared, housekeeper: Some(housekeeper), _scheduler: scheduler }
+        // Queued-deadline housekeeping is the scheduler's tick: pool workers
+        // sweep the admission queue at the earliest queued deadline (or when
+        // a cancellation requests an immediate pass).
+        let weak = Arc::downgrade(&shared);
+        shared.handle.set_tick(move || weak.upgrade().and_then(|shared| shared.sweep_queue()));
+        SynthesisService { shared, _scheduler: scheduler }
     }
 
     /// A service with the default configuration (pool sized to the machine).
@@ -477,13 +485,17 @@ impl SynthesisService {
             candidates: cand_tx,
             outcome: out_tx,
         };
+        let mut to_start = None;
         if state.live.len() < self.shared.cfg.max_live_sessions.max(1) {
-            self.shared.start_locked(&mut state, pending);
+            to_start = self.shared.claim_slot_locked(&mut state, pending);
         } else if state.queued_total() < self.shared.cfg.max_queued {
             state.queued[class.index()].push_back(pending);
-            // Let the housekeeper re-anchor its sleep on the new entry's
-            // deadline.
-            self.shared.queue_changed.notify_all();
+            // Re-anchor the scheduler's housekeeping tick on the new entry's
+            // deadline so a queued request expires on time even while every
+            // live slot stays busy.
+            if let Some(deadline) = control.deadline() {
+                self.shared.handle.request_tick(deadline);
+            }
         } else {
             self.shared.counters[class.index()].shed.fetch_add(1, Ordering::Relaxed);
             return Err(AdmissionError::Overloaded {
@@ -493,6 +505,11 @@ impl SynthesisService {
         }
         self.shared.counters[class.index()].submitted.fetch_add(1, Ordering::Relaxed);
         drop(state);
+        // Session construction and scheduler registration happen off the
+        // admission lock, so concurrent submits don't serialize behind them.
+        if let Some(pending) = to_start {
+            self.shared.start_unlocked(pending);
+        }
         Ok(Ticket {
             id,
             priority: class,
@@ -536,6 +553,8 @@ impl SynthesisService {
         ServiceStats {
             live_sessions: state.live.len(),
             queued_requests: state.queued.iter().map(|q| q.len()).sum(),
+            live_sessions_peak: self.shared.live_peak.load(Ordering::Relaxed),
+            driver_threads: 0,
             classes,
             scheduler: self.shared.handle.stats(),
         }
@@ -544,8 +563,11 @@ impl SynthesisService {
 
 impl Drop for SynthesisService {
     /// Shut down: refuse new work, cancel everything live, resolve everything
-    /// queued as cancelled, join the housekeeper and the drivers — then the
-    /// owned scheduler field drops, joining the pool's workers.
+    /// queued as cancelled — then the owned scheduler field drops, joining
+    /// the pool's fixed workers and resolving any still-parked driven
+    /// session as cancelled (its completion callback delivers the cancelled
+    /// outcome through the normal path). There are no request threads or
+    /// housekeeper threads to join.
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         let mut state = self.shared.state.lock().expect("service state poisoned");
@@ -559,16 +581,8 @@ impl Drop for SynthesisService {
                 pending.resolve_unrun(RequestStatus::Cancelled);
             }
         }
-        let drivers = std::mem::take(&mut state.drivers);
-        self.shared.queue_changed.notify_all();
         drop(state);
         self.shared.handle.reap_cancelled();
-        if let Some(housekeeper) = self.housekeeper.take() {
-            let _ = housekeeper.join();
-        }
-        for driver in drivers {
-            let _ = driver.join();
-        }
     }
 }
 
@@ -766,6 +780,16 @@ mod tests {
             parsed.get("live_sessions").and_then(json::Json::as_u64),
             Some(stats.live_sessions as u64)
         );
+        assert_eq!(
+            parsed.get("driver_threads").and_then(json::Json::as_u64),
+            Some(0),
+            "the thread-free serving contract is part of the scraping surface"
+        );
+        assert_eq!(
+            parsed.get("live_sessions_peak").and_then(json::Json::as_u64),
+            Some(stats.live_sessions_peak as u64)
+        );
+        assert!(stats.live_sessions_peak >= 1, "one request ran");
         let sched = parsed.get("scheduler").expect("scheduler section");
         assert_eq!(
             sched.get("workers").and_then(json::Json::as_u64),

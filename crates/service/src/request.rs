@@ -139,7 +139,11 @@ pub struct ServiceConfig {
     /// Worker threads of the shared scheduler pool (`0` = one per CPU).
     pub workers: usize,
     /// Admission control: requests beyond this many live sessions wait in
-    /// the bounded queue instead of starting.
+    /// the bounded queue instead of starting. Live requests are
+    /// scheduler-driven sessions (state machines parked in the pool, no
+    /// per-request thread), so this bound is a memory/latency knob, not a
+    /// thread-count one — the default allows over a thousand concurrent
+    /// live sessions on a fixed worker pool.
     pub max_live_sessions: usize,
     /// Admission control: queued requests beyond this bound are **shed** —
     /// [`SynthesisService::submit`](crate::SynthesisService::submit) returns
@@ -152,7 +156,7 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 0, max_live_sessions: 32, max_queued: 256, ttfc_samples: 1024 }
+        ServiceConfig { workers: 0, max_live_sessions: 1024, max_queued: 256, ttfc_samples: 1024 }
     }
 }
 

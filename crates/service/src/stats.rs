@@ -64,6 +64,18 @@ pub struct ServiceStats {
     pub live_sessions: usize,
     /// Requests currently queued, across all classes.
     pub queued_requests: usize,
+    /// High-water mark of concurrently live requests since the service
+    /// started — with scheduler-driven sessions this can sit far above the
+    /// worker count, because live requests cost memory, not threads.
+    pub live_sessions_peak: usize,
+    /// Dedicated per-request OS driver threads. Requests are scheduler-driven
+    /// sessions resumed by the fixed pool — the service has **no spawn path**
+    /// for per-request threads, so this is the constant 0 by construction,
+    /// published as part of the scraping contract. (It is not a runtime
+    /// measurement: the behavioural tripwire is the process-thread-count
+    /// check in `tests/determinism.rs`, which holds the real OS thread count
+    /// flat under 256 live sessions.)
+    pub driver_threads: usize,
     /// Per-class breakdown, indexed like [`PriorityClass::ALL`].
     pub classes: [ClassStats; 3],
     /// The shared scheduler pool's load.
@@ -91,10 +103,12 @@ impl ServiceStats {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"live_sessions\":{},\"queued_requests\":{},\"classes\":{{{classes}}},\
-             \"scheduler\":{}}}",
+            "{{\"live_sessions\":{},\"queued_requests\":{},\"live_sessions_peak\":{},\
+             \"driver_threads\":{},\"classes\":{{{classes}}},\"scheduler\":{}}}",
             self.live_sessions,
             self.queued_requests,
+            self.live_sessions_peak,
+            self.driver_threads,
             self.scheduler.to_json(),
         )
     }

@@ -67,8 +67,9 @@ pub struct Ticket {
     pub(crate) candidates: Receiver<Candidate>,
     pub(crate) outcome: Receiver<ServiceOutcome>,
     pub(crate) scheduler: SchedulerHandle,
-    /// Back-reference to the service so a cancellation can wake its
-    /// housekeeping thread (weak: tickets may outlive the service).
+    /// Back-reference to the service so a cancellation can pull the
+    /// scheduler's housekeeping tick forward (weak: tickets may outlive the
+    /// service).
     pub(crate) shared: Weak<crate::Shared>,
     pub(crate) received: Option<ServiceOutcome>,
 }
@@ -92,8 +93,8 @@ impl Ticket {
     pub fn cancel(&self) {
         self.control.cancel();
         self.scheduler.reap_cancelled();
-        // Wake the service's housekeeper so a still-queued request resolves
-        // now, not when a live slot happens to free.
+        // Pull the scheduler's housekeeping tick forward so a still-queued
+        // request resolves now, not when a live slot happens to free.
         if let Some(shared) = self.shared.upgrade() {
             shared.notify_queue_changed();
         }
@@ -131,10 +132,11 @@ impl Ticket {
     ///
     /// # Panics
     ///
-    /// Panics if the request's driver thread itself panicked (a bug in a
-    /// guidance model or verifier). The service survives such a request —
-    /// its live slot is freed and queued work is promoted — but there is no
-    /// outcome to deliver for it.
+    /// Panics if the request's session itself panicked mid-step or mid-chunk
+    /// (a bug in a guidance model or verifier). The service survives such a
+    /// request — its live slot is freed and queued work is promoted; the
+    /// pool workers are unharmed — but there is no outcome to deliver for
+    /// it.
     pub fn wait(mut self) -> ServiceOutcome {
         if self.received.is_none() {
             self.received = self.outcome.recv().ok();

@@ -233,6 +233,105 @@ fn service_requests_match_private_sessions_at_every_priority() {
     assert_eq!(stats.scheduler.queue_depth, 0, "no work may be left behind");
 }
 
+/// OS threads of this process (Linux). Used to prove the service spawns no
+/// per-request threads; `None` where /proc is unavailable.
+fn process_threads() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status").ok().and_then(|s| {
+        s.lines()
+            .find(|l| l.starts_with("Threads:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+    })
+}
+
+/// The tentpole guarantee of thread-free session driving: **256 concurrent
+/// live sessions** on one fixed pool — far beyond any sane thread count —
+/// each emit byte-identically to their solo private-pool runs, for pool
+/// worker counts {1, 2, 4}. The service reports zero per-request driver
+/// threads, and the process's real thread count stays flat while all 256
+/// are live.
+#[test]
+fn service_drives_256_live_sessions_thread_free_and_deterministically() {
+    let dataset = workload();
+    // A light configuration keeps 768 runs affordable; determinism is
+    // config-independent, so a small budget proves the same contract.
+    let config = DuoquestConfig {
+        max_candidates: 6,
+        max_expansions: 300,
+        time_budget: None,
+        ..Default::default()
+    };
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task_on(&dataset, task, 600 + i as u64, &config, None)))
+        .collect();
+
+    for pool_workers in [1usize, 2, 4] {
+        let service = SynthesisService::new(ServiceConfig {
+            workers: pool_workers,
+            max_live_sessions: 256,
+            max_queued: 16,
+            ..ServiceConfig::default()
+        });
+        let threads_before = process_threads();
+        let tickets: Vec<_> = (0..256)
+            .map(|s| {
+                let task_idx = s % dataset.tasks.len();
+                let task = &dataset.tasks[task_idx];
+                let db = dataset.database(task);
+                let seed = 600 + task_idx as u64;
+                let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, seed);
+                let model = NoisyOracleGuidance::new(gold, seed);
+                let request =
+                    SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+                        .with_tsq(tsq)
+                        .with_config(config.clone())
+                        .with_priority(PriorityClass::ALL[s % 3]);
+                (task_idx, service.submit(request).expect("256 live slots admit all"))
+            })
+            .collect();
+
+        // Every request is admitted live (none queued): the whole set is in
+        // flight together on the fixed pool.
+        let mid_stats = service.stats();
+        assert_eq!(mid_stats.driver_threads, 0, "no per-request driver threads may exist");
+        if let (Some(before), Some(during)) = (threads_before, process_threads()) {
+            // 256 live sessions in the old one-thread-per-request design
+            // would add ~256 OS threads; allow generous slack for unrelated
+            // concurrent test threads.
+            assert!(
+                during < before + 64,
+                "thread count grew from {before} to {during} with 256 live sessions"
+            );
+        }
+
+        for (task_idx, ticket) in tickets {
+            let outcome = ticket.wait();
+            assert_eq!(
+                outcome.status,
+                RequestStatus::Completed,
+                "task {task_idx} on {pool_workers} workers"
+            );
+            assert_eq!(
+                solo[task_idx],
+                ranking(&outcome.result),
+                "task {task_idx} diverged among 256 live sessions on a \
+                 {pool_workers}-worker pool"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.driver_threads, 0);
+        assert!(
+            stats.live_sessions_peak >= 64,
+            "live sessions should have stacked far beyond the worker count: {stats:?}"
+        );
+        assert_eq!(stats.live_sessions, 0, "every request released its slot");
+        assert_eq!(stats.scheduler.queue_depth, 0, "no work left behind");
+    }
+}
+
 #[test]
 fn wide_beam_runs_are_self_deterministic() {
     // A beam wider than 1 explores in a different (but still fixed) order;

@@ -324,8 +324,8 @@ fn engine_time_budget_completes_rather_than_expires() {
 }
 
 /// A queued request's deadline is enforced while every live slot stays busy:
-/// the housekeeper resolves it at the deadline instead of whenever a slot
-/// happens to free.
+/// the scheduler's tick resolves it at the deadline (even with the pool
+/// saturated) instead of whenever a slot happens to free.
 #[test]
 fn queued_deadline_is_enforced_while_slots_stay_busy() {
     let dataset = workload();
@@ -359,8 +359,8 @@ fn queued_deadline_is_enforced_while_slots_stay_busy() {
     let _ = hog.wait();
 }
 
-/// Cancelling a queued ticket resolves it promptly (via the housekeeper),
-/// not when a live slot happens to free.
+/// Cancelling a queued ticket resolves it promptly (via the scheduler's
+/// tick), not when a live slot happens to free.
 #[test]
 fn cancelled_queued_ticket_resolves_promptly() {
     let dataset = workload();
@@ -388,8 +388,9 @@ fn cancelled_queued_ticket_resolves_promptly() {
     let _ = hog.wait();
 }
 
-/// A guidance model that panics mid-scoring: the request's driver thread
-/// unwinds, but the service must survive with its capacity intact.
+/// A guidance model that panics mid-scoring: the panic unwinds inside a
+/// `RoundDriver::step` on a pool worker, but the service must survive with
+/// its capacity (and its workers) intact.
 struct PanickingGuidance;
 
 impl duoquest::nlq::GuidanceModel for PanickingGuidance {
@@ -436,6 +437,57 @@ fn panicking_request_frees_its_slot() {
     let outcome = healthy.wait();
     assert_eq!(outcome.status, RequestStatus::Completed);
     assert_eq!(service.stats().live_sessions, 0, "the panicked request leaked its slot");
+}
+
+/// Satellite: a session panicking **mid-`step()`** — the panic fires inside
+/// the round-driver's phase 1, on a pool worker, not on any per-request
+/// thread — poisons only itself: concurrent live sessions complete with
+/// byte-identical output, the worker survives, and the admission slot frees.
+#[test]
+fn panic_mid_step_poisons_only_its_own_session() {
+    let dataset = workload();
+    let task = dataset.tasks.first().expect("workload has tasks");
+    let mut config = DuoquestConfig::fast();
+    config.time_budget = None;
+    config.max_candidates = 20;
+    let solo = session_for(&dataset, task, 79, config.clone()).run();
+
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 1,
+        max_live_sessions: 8,
+        max_queued: 8,
+        ..ServiceConfig::default()
+    });
+    let db = dataset.database(task);
+    // Three healthy sessions live alongside the poisoned one, all sharing
+    // the single worker that unwinds the panic.
+    let healthy: Vec<_> = (0..3)
+        .map(|_| service.submit(request_for(&dataset, task, 79, config.clone())).expect("admitted"))
+        .collect();
+    let poisoned = service
+        .submit(
+            SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(PanickingGuidance))
+                .with_config(DuoquestConfig::fast()),
+        )
+        .expect("admitted");
+    let waited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| poisoned.wait()));
+    assert!(waited.is_err(), "the poisoned request's outcome cannot be delivered");
+    for ticket in healthy {
+        let outcome = ticket.wait();
+        assert_eq!(outcome.status, RequestStatus::Completed);
+        assert_eq!(
+            ranking(&solo),
+            ranking(&outcome.result),
+            "a concurrent panic perturbed a healthy session's candidates"
+        );
+    }
+    // The pool worker survived the unwind and the service is fully drained.
+    let after = service.submit(request_for(&dataset, task, 79, config)).expect("admitted").wait();
+    assert_eq!(after.status, RequestStatus::Completed);
+    let stats = service.stats();
+    assert_eq!(stats.live_sessions, 0, "the panicked session leaked its slot");
+    assert_eq!(stats.driver_threads, 0);
+    assert_eq!(stats.scheduler.queue_depth, 0);
 }
 
 /// Satellite: the hand-rolled `EnumerationStats::to_json` round-trips
