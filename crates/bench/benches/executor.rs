@@ -1,5 +1,6 @@
-//! Criterion micro-benchmark: the streaming operator executor vs the
-//! materializing baseline (`limit_pushdown: false`, i.e. the pre-streaming
+//! Criterion micro-benchmark: the index-backed executor vs the pure-scan
+//! streaming executor (`index_access: false`, the PR 3 baseline) vs the
+//! materializing baseline (`limit_pushdown: false`, the pre-streaming
 //! executor) on two workloads:
 //!
 //! * a **spider-workload probe mix** — the verifier-shaped `SELECT … WHERE
@@ -9,8 +10,9 @@
 //!   relation dwarfs the base tables, probed with `LIMIT 1` and fully
 //!   evaluated with 1/2/4 hash partitions.
 //!
-//! Before timing, the bench prints the rows-scanned ratio between the two
-//! strategies so the limit-pushdown win is visible without a stopwatch.
+//! Before timing, the bench prints the rows-scanned and wall-clock ratios
+//! between the strategies so the limit-pushdown and index-access wins are
+//! visible without a stopwatch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use duoquest_db::{
@@ -82,12 +84,18 @@ fn fanout_probe(db: &Database) -> SelectSpec {
     }
 }
 
+/// The PR 3 streaming baseline: limit pushdown on, no index access.
 const STREAMING: ExecOptions = ExecOptions {
     row_budget: None,
     limit_pushdown: true,
     join_partitions: 1,
     parallel_join_threshold: duoquest_db::executor::PARALLEL_JOIN_THRESHOLD,
+    index_access: false,
 };
+/// Streaming plus index-backed access paths (INLJ, range/point restrictions,
+/// ordered index scans, empty bails).
+const INDEXED: ExecOptions = ExecOptions { index_access: true, ..STREAMING };
+/// The pre-streaming executor: full materialization, no indexes.
 const MATERIALIZING: ExecOptions = ExecOptions { limit_pushdown: false, ..STREAMING };
 
 /// Total rows scanned executing `specs` under `opts`.
@@ -104,30 +112,56 @@ fn bench_executor(c: &mut Criterion) {
     let probe = fanout_probe(&fanout);
 
     // The observable win, independent of wall clock: rows-scanned ratios.
+    let spider_indexed = rows_scanned(spider_db, &probes, &INDEXED);
     let spider_streamed = rows_scanned(spider_db, &probes, &STREAMING);
     let spider_materialized = rows_scanned(spider_db, &probes, &MATERIALIZING);
+    let join_indexed = rows_scanned(&fanout, std::slice::from_ref(&probe), &INDEXED);
     let join_streamed = rows_scanned(&fanout, std::slice::from_ref(&probe), &STREAMING);
     let join_materialized = rows_scanned(&fanout, std::slice::from_ref(&probe), &MATERIALIZING);
     println!(
-        "rows scanned, spider probe mix ({} probes): streaming {} vs materialized {} ({:.1}%)",
+        "rows scanned, spider probe mix ({} probes): indexed {} vs streaming {} vs \
+         materialized {} (index/scan ratio {:.1}%)",
         probes.len(),
+        spider_indexed,
         spider_streamed,
         spider_materialized,
-        100.0 * spider_streamed as f64 / spider_materialized.max(1) as f64
+        100.0 * spider_indexed as f64 / spider_streamed.max(1) as f64
     );
     println!(
-        "rows scanned, large-join LIMIT 1 probe: streaming {} vs materialized {} ({:.2}%)",
+        "rows scanned, large-join LIMIT 1 probe: indexed {} vs streaming {} vs \
+         materialized {} (index/scan ratio {:.2}%)",
+        join_indexed,
         join_streamed,
         join_materialized,
-        100.0 * join_streamed as f64 / join_materialized.max(1) as f64
+        100.0 * join_indexed as f64 / join_streamed.max(1) as f64
+    );
+    // Wall-clock ratio of the same comparison, a single untimed pass each
+    // (after one warm-up pass so neither side pays first-touch costs).
+    let wall = |opts: &ExecOptions| {
+        rows_scanned(spider_db, &probes, opts);
+        let start = std::time::Instant::now();
+        rows_scanned(spider_db, &probes, opts);
+        start.elapsed()
+    };
+    let (wall_indexed, wall_scan) = (wall(&INDEXED), wall(&STREAMING));
+    println!(
+        "wall clock, spider probe mix: indexed {wall_indexed:?} vs streaming {wall_scan:?} \
+         ({:.1}%)",
+        100.0 * wall_indexed.as_secs_f64() / wall_scan.as_secs_f64().max(1e-9)
     );
 
     let mut group = c.benchmark_group("executor");
+    group.bench_function("spider_probe_mix_indexed", |b| {
+        b.iter(|| rows_scanned(spider_db, &probes, &INDEXED))
+    });
     group.bench_function("spider_probe_mix_streaming", |b| {
         b.iter(|| rows_scanned(spider_db, &probes, &STREAMING))
     });
     group.bench_function("spider_probe_mix_materialized", |b| {
         b.iter(|| rows_scanned(spider_db, &probes, &MATERIALIZING))
+    });
+    group.bench_function("large_join_limit1_indexed", |b| {
+        b.iter(|| execute_with(&fanout, &probe, &INDEXED).unwrap().result.len())
     });
     group.bench_function("large_join_limit1_streaming", |b| {
         b.iter(|| execute_with(&fanout, &probe, &STREAMING).unwrap().result.len())

@@ -90,6 +90,15 @@ pub struct EnumerationStats {
     /// Probe-side rows the streaming executor never pulled because a limit
     /// was already satisfied — the observable win of limit pushdown.
     pub rows_short_circuited: u64,
+    /// Secondary-index lookups performed by this run's probe executions
+    /// (candidate computations, INLJ probes, ordered-scan setups).
+    pub index_lookups: u64,
+    /// Rows that entered probe pipelines through an index access path —
+    /// the observable win of index-backed execution.
+    pub rows_via_index: u64,
+    /// Probe executions cut short because the planner or a join step proved
+    /// the remaining work empty.
+    pub probes_bailed_empty: u64,
     /// Shared-pool observations, when the run was served by a
     /// [`crate::scheduler::SessionScheduler`] (`None` for runs on a private
     /// scoped pool or inline execution).
@@ -131,7 +140,8 @@ impl EnumerationStats {
              \"pruned_literals\":{},\"pruned_by_order\":{},\"emitted\":{},\"rounds\":{},\
              \"elapsed_us\":{},\"exhausted\":{},\"cancelled\":{},\"deadline_exceeded\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_bytes\":{},\"rows_scanned\":{},\
-             \"rows_short_circuited\":{},\"stage_timings\":{},\"scheduler\":{}}}",
+             \"rows_short_circuited\":{},\"index_lookups\":{},\"rows_via_index\":{},\
+             \"probes_bailed_empty\":{},\"stage_timings\":{},\"scheduler\":{}}}",
             self.expanded,
             self.generated,
             self.pruned_clauses,
@@ -152,6 +162,9 @@ impl EnumerationStats {
             self.cache_bytes,
             self.rows_scanned,
             self.rows_short_circuited,
+            self.index_lookups,
+            self.rows_via_index,
+            self.probes_bailed_empty,
             self.stage_timings.to_json(),
             scheduler,
         )
@@ -315,6 +328,11 @@ pub(crate) fn run_rounds(
     let (complete_scanned, complete_short) = complete_verifier.scan_counters();
     stats.rows_scanned = partial_scanned + complete_scanned;
     stats.rows_short_circuited = partial_short + complete_short;
+    let (partial_lk, partial_via, partial_bail) = partial_verifier.index_counters();
+    let (complete_lk, complete_via, complete_bail) = complete_verifier.index_counters();
+    stats.index_lookups = partial_lk + complete_lk;
+    stats.rows_via_index = partial_via + complete_via;
+    stats.probes_bailed_empty = partial_bail + complete_bail;
     stats
 }
 

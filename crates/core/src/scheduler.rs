@@ -746,6 +746,11 @@ fn fill_run_counters(
     let (complete_scanned, complete_short) = ctx.complete_counters.scan_snapshot();
     stats.rows_scanned = partial_scanned + complete_scanned;
     stats.rows_short_circuited = partial_short + complete_short;
+    let (partial_lk, partial_via, partial_bail) = ctx.partial_counters.index_snapshot();
+    let (complete_lk, complete_via, complete_bail) = ctx.complete_counters.index_snapshot();
+    stats.index_lookups = partial_lk + complete_lk;
+    stats.rows_via_index = partial_via + complete_via;
+    stats.probes_bailed_empty = partial_bail + complete_bail;
     stats.scheduler = Some(run_stats);
 }
 

@@ -241,6 +241,13 @@ impl<'a> Verifier<'a> {
         self.counters.scan_snapshot()
     }
 
+    /// Executor `(index_lookups, rows_via_index, probes_bailed_empty)`
+    /// recorded through this verifier's cache misses — the per-run view of
+    /// the index-backed access paths (see `duoquest_db::ExecMetrics`).
+    pub fn index_counters(&self) -> (u64, u64, u64) {
+        self.counters.index_snapshot()
+    }
+
     /// The database the verifier probes.
     pub fn database(&self) -> &Database {
         self.db

@@ -77,6 +77,15 @@ pub struct RunCacheCounters {
     /// Probe-side rows the executor never pulled because a limit was already
     /// satisfied (see [`ExecMetrics::rows_short_circuited`]).
     pub rows_short_circuited: AtomicU64,
+    /// Secondary-index lookups this run's cache misses performed
+    /// (see [`ExecMetrics::index_lookups`]).
+    pub index_lookups: AtomicU64,
+    /// Rows served through index access paths
+    /// (see [`ExecMetrics::rows_via_index`]).
+    pub rows_via_index: AtomicU64,
+    /// Executions cut short because the planner or a join step proved the
+    /// remaining work empty (see [`ExecMetrics::probes_bailed_empty`]).
+    pub probes_bailed_empty: AtomicU64,
 }
 
 impl RunCacheCounters {
@@ -102,10 +111,22 @@ impl RunCacheCounters {
         }
     }
 
+    /// Current `(index_lookups, rows_via_index, probes_bailed_empty)` totals.
+    pub fn index_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.index_lookups.load(Ordering::Relaxed),
+            self.rows_via_index.load(Ordering::Relaxed),
+            self.probes_bailed_empty.load(Ordering::Relaxed),
+        )
+    }
+
     /// Fold one execution's scan metrics into the run totals.
     pub fn record_scan(&self, metrics: &ExecMetrics) {
         self.rows_scanned.fetch_add(metrics.rows_scanned, Ordering::Relaxed);
         self.rows_short_circuited.fetch_add(metrics.rows_short_circuited, Ordering::Relaxed);
+        self.index_lookups.fetch_add(metrics.index_lookups, Ordering::Relaxed);
+        self.rows_via_index.fetch_add(metrics.rows_via_index, Ordering::Relaxed);
+        self.probes_bailed_empty.fetch_add(metrics.probes_bailed_empty, Ordering::Relaxed);
     }
 }
 

@@ -12,9 +12,10 @@ use crate::executor::{ExecOptions, ResultSet};
 use crate::index::InvertedIndex;
 use crate::query::SelectSpec;
 use crate::schema::{ColumnId, Schema, TableId};
+use crate::table_index::{ColumnIndex, IndexStats, TableIndex};
 use crate::types::{DataType, Value};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A single row of values.
@@ -79,9 +80,21 @@ pub struct Database {
     probe_cache: ProbeCache,
     /// Per-table, per-column `(ascending, descending)` non-strict sortedness
     /// of the stored rows (under `Value::total_cmp`), computed by
-    /// [`Database::rebuild_index`]. The streaming executor uses it to skip
-    /// sorts whose order the storage already satisfies.
+    /// [`Database::rebuild_index`] and maintained incrementally by the write
+    /// path. The streaming executor uses it to skip sorts whose order the
+    /// storage already satisfies.
     sorted_flags: Vec<Vec<(bool, bool)>>,
+    /// Whether `sorted_flags` reflects the stored data (`rebuild_index` ran
+    /// at least once; writes since then were folded in incrementally).
+    sorted_valid: bool,
+    /// Per-table ordered secondary indexes (`crate::table_index`), built by
+    /// [`Database::rebuild_index`] and maintained incrementally by the write
+    /// path. Empty until the first rebuild — queries then run as scans.
+    table_indexes: Vec<TableIndex>,
+    /// Whether the executor may use the secondary indexes (INLJ, range and
+    /// ordered scans, selectivity planning). On by default; disabled for
+    /// A/B comparisons against the pure scan pipeline.
+    index_access: AtomicBool,
     /// Hash partitions (scoped threads) for large materialized joins.
     join_partitions: AtomicUsize,
     /// Probe-side row count at which the partitioned parallel join kicks in.
@@ -100,6 +113,9 @@ impl Clone for Database {
             index_dirty: self.index_dirty,
             probe_cache: ProbeCache::default(),
             sorted_flags: self.sorted_flags.clone(),
+            sorted_valid: self.sorted_valid,
+            table_indexes: self.table_indexes.clone(),
+            index_access: AtomicBool::new(self.index_access.load(Ordering::Relaxed)),
             join_partitions: AtomicUsize::new(self.join_partitions.load(Ordering::Relaxed)),
             parallel_join_threshold: AtomicUsize::new(
                 self.parallel_join_threshold.load(Ordering::Relaxed),
@@ -120,6 +136,9 @@ impl Database {
             index_dirty: false,
             probe_cache: ProbeCache::default(),
             sorted_flags: Vec::new(),
+            sorted_valid: false,
+            table_indexes: Vec::new(),
+            index_access: AtomicBool::new(true),
             // Defaults to 1: verifier probes already run nested inside the
             // synthesis worker pool, and per-probe scoped threads on top of
             // ~ncpu workers would oversubscribe the machine. Standalone
@@ -178,7 +197,74 @@ impl Database {
             }
         }
         self.data[table.0].rows.push(Row(values));
-        self.index_dirty = true;
+        let rows = &self.data[table.0].rows;
+        let row_idx = rows.len() - 1;
+        // Secondary indexes and sortedness flags are maintained in place, so
+        // index-backed access stays valid across appends without a rebuild.
+        if let Some(tidx) = self.table_indexes.get_mut(table.0) {
+            tidx.insert_appended(rows, row_idx);
+        }
+        if self.sorted_valid && row_idx > 0 {
+            if let Some(flags) = self.sorted_flags.get_mut(table.0) {
+                let (prev, new) = (&rows[row_idx - 1], &rows[row_idx]);
+                for (ci, flag) in flags.iter_mut().enumerate() {
+                    match prev.0[ci].total_cmp(&new.0[ci]) {
+                        std::cmp::Ordering::Less => flag.1 = false,
+                        std::cmp::Ordering::Greater => flag.0 = false,
+                        std::cmp::Ordering::Equal => {}
+                    }
+                }
+            }
+        }
+        self.index_dirty = true; // the autocomplete inverted index is now stale
+        self.probe_cache.clear(); // memoized probe results are now stale
+        Ok(())
+    }
+
+    /// Update one cell in place, with type checks. The column's secondary
+    /// index and sortedness flags are maintained incrementally and the probe
+    /// cache is invalidated, so neither the index nor the memo path can serve
+    /// the overwritten value afterwards.
+    pub fn update_cell(
+        &mut self,
+        table: &str,
+        row: usize,
+        column: &str,
+        value: Value,
+    ) -> DbResult<()> {
+        let col = self.schema.column_id(table, column)?;
+        let def = self.schema.table(col.table);
+        let cdef = &def.columns[col.column];
+        if let Some(dt) = value.data_type() {
+            if dt != cdef.dtype {
+                return Err(DbError::TypeMismatch {
+                    table: def.name.clone(),
+                    column: cdef.name.clone(),
+                    expected: cdef.dtype.to_string(),
+                    got: dt.to_string(),
+                });
+            }
+        }
+        let n_rows = self.data[col.table.0].rows.len();
+        if row >= n_rows {
+            return Err(DbError::InvalidQuery(format!(
+                "row {row} out of bounds for table {} ({n_rows} rows)",
+                def.name
+            )));
+        }
+        let old = std::mem::replace(&mut self.data[col.table.0].rows[row].0[col.column], value);
+        let rows = &self.data[col.table.0].rows;
+        if let Some(tidx) = self.table_indexes.get_mut(col.table.0) {
+            tidx.update_cell(rows, col.column, row, &old);
+        }
+        if self.sorted_valid {
+            // An overwrite can break *or restore* sortedness; recompute the
+            // one affected column from scratch.
+            if let Some(flags) = self.sorted_flags.get_mut(col.table.0) {
+                flags[col.column] = column_sortedness(rows, col.column);
+            }
+        }
+        self.index_dirty = true; // the autocomplete inverted index is now stale
         self.probe_cache.clear(); // memoized probe results are now stale
         Ok(())
     }
@@ -222,9 +308,11 @@ impl Database {
         seen.then_some((min, max))
     }
 
-    /// Rebuild the inverted column index over all text columns, and the
+    /// Rebuild the inverted column index over all text columns, the
     /// per-column sortedness flags used by the streaming executor's
-    /// order-aware limit pushdown.
+    /// order-aware limit pushdown, and the ordered secondary indexes
+    /// ([`TableIndex`]) behind index-nested-loop joins, range scans and
+    /// ordered index scans.
     pub fn rebuild_index(&mut self) {
         self.index = InvertedIndex::build(&self.schema, &self.data);
         self.sorted_flags = self
@@ -233,22 +321,17 @@ impl Database {
             .enumerate()
             .map(|(ti, table)| {
                 (0..self.schema.table(TableId(ti)).columns.len())
-                    .map(|ci| {
-                        let mut asc = true;
-                        let mut desc = true;
-                        for pair in table.rows.windows(2) {
-                            match pair[0].0[ci].total_cmp(&pair[1].0[ci]) {
-                                std::cmp::Ordering::Less => desc = false,
-                                std::cmp::Ordering::Greater => asc = false,
-                                std::cmp::Ordering::Equal => {}
-                            }
-                            if !asc && !desc {
-                                break;
-                            }
-                        }
-                        (asc, desc)
-                    })
+                    .map(|ci| column_sortedness(&table.rows, ci))
                     .collect()
+            })
+            .collect();
+        self.sorted_valid = true;
+        self.table_indexes = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(ti, table)| {
+                TableIndex::build(&table.rows, self.schema.table(TableId(ti)).columns.len())
             })
             .collect();
         self.index_dirty = false;
@@ -256,10 +339,11 @@ impl Database {
 
     /// Whether the stored rows of `col`'s table are already (non-strictly)
     /// sorted by `col` in the requested direction, under the same total
-    /// order the executor sorts with. Returns `false` while the index is
-    /// stale (data changed since the last [`Database::rebuild_index`]).
+    /// order the executor sorts with. Returns `false` until the first
+    /// [`Database::rebuild_index`]; the write path then keeps the flags
+    /// accurate incrementally.
     pub fn column_is_sorted(&self, col: ColumnId, desc: bool) -> bool {
-        if self.index_dirty {
+        if !self.sorted_valid {
             return false;
         }
         self.sorted_flags
@@ -281,6 +365,34 @@ impl Database {
         self.index_dirty
     }
 
+    /// The ordered secondary index of one column, or `None` until the first
+    /// [`Database::rebuild_index`]. The write path maintains built indexes
+    /// incrementally, so they never serve stale rows.
+    pub fn column_index(&self, col: ColumnId) -> Option<&ColumnIndex> {
+        self.table_indexes.get(col.table.0).map(|t| t.column(col.column))
+    }
+
+    /// Cardinality/min/max statistics of one indexed column, or `None` until
+    /// the first [`Database::rebuild_index`].
+    pub fn index_stats(&self, col: ColumnId) -> Option<IndexStats> {
+        self.column_index(col).map(|idx| idx.stats(&self.data[col.table.0].rows, col.column))
+    }
+
+    /// Whether the executor may use the secondary indexes (the default).
+    pub fn index_access(&self) -> bool {
+        self.index_access.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable index-backed execution paths (INLJ, range and
+    /// ordered index scans, selectivity-driven planning). The executor's
+    /// determinism contract guarantees byte-identical results either way;
+    /// this switch exists for A/B comparisons and benchmarks.
+    /// Shared-reference friendly, so it can be toggled on an `Arc`-shared
+    /// database.
+    pub fn set_index_access(&self, enabled: bool) {
+        self.index_access.store(enabled, Ordering::Relaxed);
+    }
+
     /// Data type of a column.
     pub fn column_type(&self, col: ColumnId) -> DataType {
         self.schema.column(col).dtype
@@ -293,6 +405,7 @@ impl Database {
         ExecOptions {
             join_partitions: self.join_partitions(),
             parallel_join_threshold: self.parallel_join_threshold.load(Ordering::Relaxed),
+            index_access: self.index_access(),
             ..ExecOptions::default()
         }
     }
@@ -417,6 +530,24 @@ impl Database {
     }
 }
 
+/// `(ascending, descending)` non-strict sortedness of one stored column
+/// under `Value::total_cmp` — the order the executor's batch sort uses.
+fn column_sortedness(rows: &[Row], ci: usize) -> (bool, bool) {
+    let mut asc = true;
+    let mut desc = true;
+    for pair in rows.windows(2) {
+        match pair[0].0[ci].total_cmp(&pair[1].0[ci]) {
+            std::cmp::Ordering::Less => desc = false,
+            std::cmp::Ordering::Greater => asc = false,
+            std::cmp::Ordering::Equal => {}
+        }
+        if !asc && !desc {
+            break;
+        }
+    }
+    (asc, desc)
+}
+
 // The parallel synthesis session shares one `Database` across its worker
 // pool; keep the compiler holding us to that contract.
 const _: () = {
@@ -492,5 +623,56 @@ mod tests {
         assert!(d.index_is_dirty());
         d.rebuild_index();
         assert!(!d.index_is_dirty());
+    }
+
+    /// Writes after the index build must keep the secondary indexes current
+    /// AND invalidate the probe cache — a stale row served through either
+    /// path would silently corrupt verification.
+    #[test]
+    fn writes_update_indexes_and_invalidate_probe_cache() {
+        use crate::executor::{execute_with, ExecOptions};
+        use crate::join_graph::JoinTree;
+        use crate::query::{CmpOp, Predicate, SelectItem, SelectSpec};
+
+        let mut d = db();
+        d.insert("actor", vec![Value::int(1), Value::text("Tom Hanks"), Value::int(1956)]).unwrap();
+        d.insert("actor", vec![Value::int(2), Value::text("Sandra Bullock"), Value::int(1964)])
+            .unwrap();
+        d.rebuild_index();
+
+        let name = d.schema().column_id("actor", "name").unwrap();
+        let actor = d.schema().table_id("actor").unwrap();
+        let probe = move |value: &str| SelectSpec {
+            select: vec![SelectItem::column(name)],
+            join: JoinTree::single(actor),
+            predicates: vec![Predicate::new(name, CmpOp::Eq, Value::text(value))],
+            ..Default::default()
+        };
+
+        // Seed the probe cache with a miss.
+        assert_eq!(d.execute_cached(&probe("Brad Pitt")).unwrap().len(), 0);
+
+        // An insert after the index build must be visible through both the
+        // cache layer (invalidation) and the index path itself.
+        d.insert("actor", vec![Value::int(3), Value::text("Brad Pitt"), Value::int(1963)]).unwrap();
+        assert_eq!(d.execute_cached(&probe("Brad Pitt")).unwrap().len(), 1, "stale cache entry");
+        let indexed = execute_with(&d, &probe("Brad Pitt"), &ExecOptions::default()).unwrap();
+        assert_eq!(indexed.result.len(), 1);
+        assert!(indexed.metrics.rows_via_index > 0, "probe must be served via the index");
+
+        // Same for an in-place update: the old key must vacate the index,
+        // the new key must be found, and no cached probe may serve either
+        // value stale.
+        assert_eq!(d.execute_cached(&probe("Tom Hanks")).unwrap().len(), 1);
+        d.update_cell("actor", 0, "name", Value::text("Thomas Hanks")).unwrap();
+        assert_eq!(d.execute_cached(&probe("Tom Hanks")).unwrap().len(), 0, "stale old key");
+        let moved = execute_with(&d, &probe("Thomas Hanks"), &ExecOptions::default()).unwrap();
+        assert_eq!(moved.result.len(), 1);
+        assert!(moved.metrics.rows_via_index > 0);
+
+        // The incremental maintenance must equal a rebuild exactly.
+        let incremental = d.index_stats(name).unwrap();
+        d.rebuild_index();
+        assert_eq!(incremental, d.index_stats(name).unwrap());
     }
 }

@@ -38,13 +38,32 @@
 //!   for every partition count. Below [`ExecOptions::parallel_join_threshold`]
 //!   probe rows the single-threaded join is used outright.
 //!
+//! # Index access
+//!
+//! When the database has built its ordered secondary indexes
+//! ([`crate::table_index::TableIndex`]) and [`ExecOptions::index_access`] is
+//! on, both strategies substitute index structures for scans (the full
+//! selection rules live in `docs/EXECUTOR.md`):
+//!
+//! * **Index-nested-loop joins** borrow a build column's prebuilt match
+//!   lists instead of hashing the build table per execution.
+//! * **Range/point restrictions** turn indexed literal predicates into
+//!   candidate row lists (always supersets; the WHERE filter re-checks), so
+//!   scans and build passes touch only candidates.
+//! * **Ordered index scans** stream `ORDER BY c LIMIT k` from the column's
+//!   sorted run for any indexed column, generalizing the presorted-storage
+//!   case.
+//! * **Selectivity-driven planning** orders join steps most-selective-first
+//!   when provably order-safe, and bails the execution the moment a build
+//!   side, an intermediate, or the planned probe itself is provably empty.
+//!
 //! # Determinism contract
 //!
 //! For a fixed database and spec, [`execute`] and [`execute_with`] produce
 //! the same [`ResultSet`] — bit for bit — regardless of `join_partitions`,
-//! the parallel threshold, or whether the streaming or materializing
-//! strategy ran. Higher layers (candidate emission, the probe memo cache)
-//! rely on this.
+//! the parallel threshold, whether the streaming or materializing strategy
+//! ran, or whether index access paths were taken. Higher layers (candidate
+//! emission, the probe memo cache) rely on this.
 //!
 //! # Observability
 //!
@@ -53,8 +72,9 @@
 //! probe-side rows the pipeline never had to pull because the limit was
 //! already satisfied, and `exact` says whether the produced rows are the
 //! spec's complete result (only a caller-supplied [`ExecOptions::row_budget`]
-//! can truncate it). The verifier aggregates these per synthesis run into
-//! `EnumerationStats`.
+//! can truncate it). Index paths report `index_lookups`, `rows_via_index`
+//! and `probes_bailed_empty`. The verifier aggregates these per synthesis
+//! run into `EnumerationStats`.
 
 use crate::database::{Database, Row};
 use crate::error::{DbError, DbResult};
@@ -62,6 +82,7 @@ use crate::query::{
     AggFunc, CmpOp, LogicalOp, OrderKey, OrderSpec, Predicate, SelectItem, SelectSpec,
 };
 use crate::schema::{ColumnId, TableId};
+use crate::table_index::ColumnIndex;
 use crate::types::{DataType, Value};
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
@@ -142,6 +163,12 @@ pub struct ExecOptions {
     pub join_partitions: usize,
     /// Probe-side row count at which the partitioned parallel join kicks in.
     pub parallel_join_threshold: usize,
+    /// Allow index-backed access paths (index-nested-loop joins, index range
+    /// scans, ordered index scans and selectivity-driven join planning) when
+    /// the database has built its secondary indexes. Results are
+    /// byte-identical either way (see the determinism contract); disabling
+    /// this forces the pure scan pipeline as an A/B baseline.
+    pub index_access: bool,
 }
 
 impl Default for ExecOptions {
@@ -151,6 +178,7 @@ impl Default for ExecOptions {
             limit_pushdown: true,
             join_partitions: 1,
             parallel_join_threshold: PARALLEL_JOIN_THRESHOLD,
+            index_access: true,
         }
     }
 }
@@ -170,6 +198,19 @@ pub struct ExecMetrics {
     pub exact: bool,
     /// Whether the streaming (early-terminating) strategy ran.
     pub streamed: bool,
+    /// Secondary-index lookups performed: candidate computations for indexed
+    /// literal predicates during planning, one per probe row of an
+    /// index-nested-loop join step, and one per ordered-index-scan setup.
+    pub index_lookups: u64,
+    /// Rows that entered the pipeline through an index access path: ordered
+    /// index scans, candidate-restricted scans and builds, and
+    /// index-nested-loop match expansions.
+    pub rows_via_index: u64,
+    /// 1 when this execution was cut short because the planner (or a join
+    /// step) proved the remaining work empty: an empty joined table, an
+    /// indexed predicate with no candidates, an empty build side, or an
+    /// empty join intermediate.
+    pub probes_bailed_empty: u64,
 }
 
 /// A [`ResultSet`] together with the [`ExecMetrics`] of producing it.
@@ -218,10 +259,134 @@ pub fn execute(db: &Database, spec: &SelectSpec) -> DbResult<ResultSet> {
 /// ```
 pub fn execute_with(db: &Database, spec: &SelectSpec, opts: &ExecOptions) -> DbResult<ExecOutcome> {
     validate(db, spec)?;
-    let plan = plan_joins(db, spec)?;
+    let access = IndexAccess::plan(db, spec, opts);
+    let plan = plan_joins(db, spec, &access)?;
+    if access.provably_empty(db, spec) {
+        return run_empty(db, spec, plan, opts, &access);
+    }
     match streaming_cap(db, spec, opts, &plan) {
-        Some(cap) => run_streaming(db, spec, &plan, cap),
-        None => run_materialized(db, spec, plan, opts),
+        Some((cap, order)) => run_streaming(db, spec, &plan, cap, order, &access),
+        None => run_materialized(db, spec, plan, opts, &access),
+    }
+}
+
+/// Index-derived planning facts for one execution: whether index access is
+/// on, per-table candidate row lists implied by indexed literal predicates,
+/// and the lookups spent computing them.
+struct IndexAccess {
+    /// Index access paths are allowed ([`ExecOptions::index_access`]).
+    enabled: bool,
+    /// Table → ascending candidate row ids: a **superset** of the table's
+    /// rows that can pass the WHERE clause. [`row_passes`] still evaluates
+    /// every predicate on every surviving row, so scanning (or hashing)
+    /// candidates instead of the full table is output-invariant — the index
+    /// only removes rows that could never survive. Only populated when
+    /// predicates combine conjunctively (AND, or a single predicate).
+    restrictions: HashMap<TableId, Vec<usize>>,
+    /// Index lookups performed while planning.
+    lookups: u64,
+}
+
+impl IndexAccess {
+    fn disabled() -> IndexAccess {
+        IndexAccess { enabled: false, restrictions: HashMap::new(), lookups: 0 }
+    }
+
+    /// Derive candidate restrictions from the spec's indexed literal
+    /// predicates. Must run after [`validate`] (predicates have columns).
+    fn plan(db: &Database, spec: &SelectSpec, opts: &ExecOptions) -> IndexAccess {
+        if !opts.index_access {
+            return IndexAccess::disabled();
+        }
+        let mut access = IndexAccess { enabled: true, ..IndexAccess::disabled() };
+        // Under OR, a row failing one predicate may still pass another, so a
+        // per-predicate candidate list restricts nothing.
+        if spec.predicate_op != LogicalOp::And && spec.predicates.len() > 1 {
+            return access;
+        }
+        for pred in &spec.predicates {
+            let col = pred.col.expect("validated: WHERE predicate has a column");
+            let Some(cands) = predicate_candidates(db, col, pred) else { continue };
+            access.lookups += 1;
+            // Keep the most selective list per table; any one is a valid
+            // superset on its own.
+            match access.restrictions.entry(col.table) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if cands.len() < e.get().len() {
+                        e.insert(cands);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(cands);
+                }
+            }
+        }
+        access
+    }
+
+    /// Whether the planner can prove the joined relation empty before
+    /// touching any rows: a joined table has no rows, or a conjunctive
+    /// indexed predicate admits no candidates.
+    fn provably_empty(&self, db: &Database, spec: &SelectSpec) -> bool {
+        self.enabled
+            && (spec.join.tables.iter().any(|&t| db.table_data(t).rows.is_empty())
+                || self.restrictions.values().any(|c| c.is_empty()))
+    }
+}
+
+/// Ascending row ids of `col`'s table that over-approximate the rows
+/// matching `pred`, or `None` when the predicate is not index-answerable.
+///
+/// Supersets, never exact sets, are required (the WHERE filter re-checks):
+///
+/// * Text equality is exact — [`Value::group_key`] lowercases ASCII exactly
+///   like [`Value::sql_eq`] compares.
+/// * Numeric equality is epsilon-relative in [`Value::sql_eq`], so the index
+///   serves a `±δ` range with `δ = 4ε(|v|+1)`, which strictly contains the
+///   sql_eq tolerance band `|a-v| < ε·max(|a|,|v|,1)` including the rounding
+///   of the computed bounds.
+/// * Numeric ranges use [`Predicate::numeric_range_bounds`]; NULLs sort
+///   before every number, so they never enter a numeric range slice.
+/// * NULL and non-finite equality constants match nothing under
+///   [`Value::sql_eq`], giving an empty (still exact) candidate set.
+fn predicate_candidates(db: &Database, col: ColumnId, pred: &Predicate) -> Option<Vec<usize>> {
+    let idx = db.column_index(col)?;
+    let rows = &db.table_data(col.table).rows;
+    match pred.op {
+        CmpOp::Eq => match &pred.value {
+            Value::Text(_) => Some(idx.lookup(&pred.value).to_vec()),
+            Value::Null => Some(Vec::new()),
+            Value::Number(v) if !v.is_finite() => Some(Vec::new()),
+            Value::Number(v) => {
+                if !idx.can_order() {
+                    return None;
+                }
+                let delta = 4.0 * f64::EPSILON * (v.abs() + 1.0);
+                let mut cands = idx
+                    .range(
+                        rows,
+                        col.column,
+                        &Value::Number(v - delta),
+                        true,
+                        &Value::Number(v + delta),
+                        true,
+                    )
+                    .to_vec();
+                cands.sort_unstable();
+                Some(cands)
+            }
+        },
+        _ => {
+            let (lo, lo_incl, hi, hi_incl) = pred.numeric_range_bounds()?;
+            if !idx.can_order() {
+                return None;
+            }
+            let mut cands = idx
+                .range(rows, col.column, &Value::Number(lo), lo_incl, &Value::Number(hi), hi_incl)
+                .to_vec();
+            cands.sort_unstable();
+            Some(cands)
+        }
     }
 }
 
@@ -291,15 +456,64 @@ struct JoinStep {
 
 /// The logical join plan shared by both physical strategies, so their row
 /// order is identical by construction: seed with the first FROM table, then
-/// repeatedly take the first remaining edge connecting a joined table to an
-/// unjoined one.
+/// repeatedly take a remaining edge connecting a joined table to an unjoined
+/// one — the first such edge canonically, or the most selective one when the
+/// greedy reorder is provably order-safe (see [`plan_joins`]).
 struct JoinPlan {
     first: TableId,
     col_pos: HashMap<ColumnId, usize>,
     steps: Vec<JoinStep>,
 }
 
-fn plan_joins(db: &Database, spec: &SelectSpec) -> DbResult<JoinPlan> {
+/// Whether greedy most-selective-first step ordering preserves the emitted
+/// row order. Each join step expands every probe row in place, so a step
+/// whose build key is unique contributes 0 or 1 match and the output order
+/// stays the probe order however the steps are arranged; with at most one
+/// fanning-out (non-unique) step, the order is the probe order refined by
+/// that single step's ascending match lists — again arrangement-invariant.
+/// Two or more fanning steps interleave differently per arrangement, so the
+/// canonical order must be kept.
+///
+/// The build side of each edge (its endpoint farther from `first`) is fixed
+/// by the tree structure, independent of step order, so it can be determined
+/// up front by flooding outward from `first`.
+fn greedy_reorder_is_order_safe(db: &Database, spec: &SelectSpec, first: TableId) -> bool {
+    let mut reached: Vec<TableId> = vec![first];
+    let mut oriented: Vec<Option<TableId>> = vec![None; spec.join.edges.len()];
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (ei, e) in spec.join.edges.iter().enumerate() {
+            if oriented[ei].is_some() {
+                continue;
+            }
+            let (a, b) = e.tables();
+            if reached.contains(&a) != reached.contains(&b) {
+                let build = if reached.contains(&a) { b } else { a };
+                oriented[ei] = Some(build);
+                reached.push(build);
+                progress = true;
+            }
+        }
+    }
+    let non_unique = spec
+        .join
+        .edges
+        .iter()
+        .enumerate()
+        .filter(|(ei, e)| match oriented[*ei] {
+            Some(build) => {
+                let bcol = if e.fk.from.table == build { e.fk.from } else { e.fk.to };
+                !db.column_index(bcol).map(ColumnIndex::is_unique).unwrap_or(false)
+            }
+            // Unoriented (disconnected or cyclic) edges: be conservative.
+            None => true,
+        })
+        .count();
+    non_unique <= 1
+}
+
+fn plan_joins(db: &Database, spec: &SelectSpec, access: &IndexAccess) -> DbResult<JoinPlan> {
     let schema = db.schema();
     let mut col_pos: HashMap<ColumnId, usize> = HashMap::new();
 
@@ -308,15 +522,39 @@ fn plan_joins(db: &Database, spec: &SelectSpec) -> DbResult<JoinPlan> {
         col_pos.insert(ColumnId { table: first, column: ci }, ci);
     }
 
+    let greedy = access.enabled
+        && spec.join.edges.len() > 1
+        && greedy_reorder_is_order_safe(db, spec, first);
+
     let mut steps = Vec::new();
     let mut joined_tables = vec![first];
     let mut remaining_edges = spec.join.edges.clone();
 
     while joined_tables.len() < spec.join.tables.len() {
-        let Some(pos) = remaining_edges.iter().position(|e| {
+        let mut connecting = remaining_edges.iter().enumerate().filter(|(_, e)| {
             let (a, b) = e.tables();
             joined_tables.contains(&a) != joined_tables.contains(&b)
-        }) else {
+        });
+        let pos = if greedy {
+            // Most selective (smallest estimated build side) first; the
+            // estimate is the restriction candidate count when an indexed
+            // predicate pre-selects the table, its row count otherwise.
+            // `min_by_key` keeps the first of equals, so ties fall back to
+            // the canonical edge order.
+            connecting.min_by_key(|(_, e)| {
+                let (a, b) = e.tables();
+                let build = if joined_tables.contains(&a) { b } else { a };
+                access
+                    .restrictions
+                    .get(&build)
+                    .map(Vec::len)
+                    .unwrap_or_else(|| db.table_data(build).rows.len())
+            })
+        } else {
+            connecting.next()
+        }
+        .map(|(pos, _)| pos);
+        let Some(pos) = pos else {
             return Err(DbError::DisconnectedJoin(
                 "no join edge connects the remaining tables".into(),
             ));
@@ -352,16 +590,34 @@ fn plan_joins(db: &Database, spec: &SelectSpec) -> DbResult<JoinPlan> {
     Ok(JoinPlan { first, col_pos, steps })
 }
 
-/// Number of output rows after which the streaming pipeline may stop pulling,
-/// or `None` when the query must be fully materialized (aggregation, an
-/// `ORDER BY` the pipeline order does not already satisfy, no limit at all,
-/// or pushdown disabled).
+/// How the streaming strategy iterates the first (probe-side) table.
+enum FirstOrder {
+    /// Plain storage order: no ORDER BY, or one the stored order already
+    /// satisfies.
+    Storage,
+    /// Ordered index scan: walk the column's sorted run so an
+    /// `ORDER BY col LIMIT k` on an indexed-but-unsorted column still
+    /// streams. The run is ordered by `(value, row id)` — exactly what the
+    /// materializing strategy's stable sort produces — so emission is
+    /// byte-identical to materialize-and-sort.
+    Index {
+        /// The ORDER BY column (a column of the first table).
+        col: ColumnId,
+        /// Walk the run backwards (equal-value ties still ascend).
+        desc: bool,
+    },
+}
+
+/// Number of output rows after which the streaming pipeline may stop pulling
+/// (plus how to iterate the probe side), or `None` when the query must be
+/// fully materialized (aggregation, an `ORDER BY` neither the pipeline order
+/// nor an ordered index satisfies, no limit at all, or pushdown disabled).
 fn streaming_cap(
     db: &Database,
     spec: &SelectSpec,
     opts: &ExecOptions,
     plan: &JoinPlan,
-) -> Option<usize> {
+) -> Option<(usize, FirstOrder)> {
     if !opts.limit_pushdown {
         return None;
     }
@@ -374,17 +630,28 @@ fn streaming_cap(
         (None, Some(b)) => b,
         (None, None) => return None,
     };
+    let mut order = FirstOrder::Storage;
     if let Some(OrderSpec { key, desc }) = spec.order_by {
         // The sort is a no-op exactly when the sort key is a probe-side
-        // column whose stored order already satisfies it: join steps expand
-        // each probe row in place and the final sort is stable, so the
-        // pipeline order equals the sorted order byte for byte.
+        // column whose iteration order already satisfies it: join steps
+        // expand each probe row in place and the final sort is stable, so
+        // the pipeline order equals the sorted order byte for byte. That
+        // holds for a physically presorted column — and for any indexed
+        // column by walking its sorted run instead of the storage.
         let OrderKey::Column(col) = key else { return None };
-        if col.table != plan.first || !db.column_is_sorted(col, desc) {
+        if col.table != plan.first {
             return None;
         }
+        if !db.column_is_sorted(col, desc) {
+            let indexed = opts.index_access
+                && db.column_index(col).map(ColumnIndex::can_order).unwrap_or(false);
+            if !indexed {
+                return None;
+            }
+            order = FirstOrder::Index { col, desc };
+        }
     }
-    Some(cap)
+    Some((cap, order))
 }
 
 /// Compound grouping/dedup key over a sequence of values, used identically
@@ -422,6 +689,26 @@ fn build_hash(rows: &[Row], build_col: usize) -> HashMap<String, Vec<usize>> {
     build_hash_partitioned(rows, build_col, 1).pop().expect("one partition requested")
 }
 
+/// Build a hash table over only the `cands` rows (ascending row ids) of one
+/// join step's build column. Because the candidates ascend, each key's match
+/// list is a subsequence of the full [`build_hash`] list — excluded rows are
+/// exactly those an indexed predicate proved unable to pass WHERE, so
+/// probing this map changes nothing the filter would not remove.
+fn build_hash_filtered(
+    rows: &[Row],
+    build_col: usize,
+    cands: &[usize],
+) -> HashMap<String, Vec<usize>> {
+    let mut map: HashMap<String, Vec<usize>> = HashMap::new();
+    for &ri in cands {
+        let v = &rows[ri].0[build_col];
+        if !v.is_null() {
+            map.entry(v.group_key()).or_default().push(ri);
+        }
+    }
+    map
+}
+
 /// The tail of the streaming pipeline: WHERE filter, projection, DISTINCT
 /// and the output cap, fed one (borrowed) combined row at a time.
 struct StreamSink<'a> {
@@ -450,6 +737,24 @@ impl StreamSink<'_> {
     }
 }
 
+/// One streaming join step's build side: borrowed straight from a column
+/// index (index-nested-loop join — no build pass at all) or hashed for this
+/// execution. Both hold `group_key → ascending row ids`, NULLs excluded, so
+/// probing either emits identical match lists.
+enum StepHash<'h> {
+    Borrowed(&'h HashMap<String, Vec<usize>>),
+    Owned(HashMap<String, Vec<usize>>),
+}
+
+impl StepHash<'_> {
+    fn map(&self) -> &HashMap<String, Vec<usize>> {
+        match self {
+            StepHash::Borrowed(m) => m,
+            StepHash::Owned(m) => m,
+        }
+    }
+}
+
 /// Streaming strategy: pull probe rows one at a time through the join chain,
 /// WHERE filter, projection and DISTINCT, stopping at `cap` survivors.
 fn run_streaming(
@@ -457,6 +762,8 @@ fn run_streaming(
     spec: &SelectSpec,
     plan: &JoinPlan,
     cap: usize,
+    order: FirstOrder,
+    access: &IndexAccess,
 ) -> DbResult<ExecOutcome> {
     let (columns, types) = headers(db, spec)?;
 
@@ -474,98 +781,211 @@ fn run_streaming(
     };
 
     let first_rows = &db.table_data(plan.first).rows;
-    let first_len = first_rows.len() as u64;
+
+    // First-table iteration: the ordered index scan when the ORDER BY asks
+    // for it, the ascending restriction candidates when an indexed literal
+    // predicate pre-selects rows (candidate order equals storage order, so
+    // emission is unchanged), and a plain scan otherwise.
+    let restriction = match order {
+        FirstOrder::Storage => access.restrictions.get(&plan.first),
+        FirstOrder::Index { .. } => None,
+    };
+    let mut setup_lookups: u64 = 0;
+    let via_first = restriction.is_some() || matches!(order, FirstOrder::Index { .. });
+    let first_iter: Box<dyn Iterator<Item = usize> + '_> = match order {
+        FirstOrder::Index { col, desc } => {
+            setup_lookups += 1;
+            let idx = db.column_index(col).expect("streaming_cap checked the index");
+            if desc {
+                Box::new(idx.ordered_desc(first_rows, col.column))
+            } else {
+                Box::new(idx.ordered().iter().copied())
+            }
+        }
+        FirstOrder::Storage => match restriction {
+            Some(cands) => Box::new(cands.iter().copied()),
+            None => Box::new(0..first_rows.len()),
+        },
+    };
+    let first_len = restriction.map(Vec::len).unwrap_or(first_rows.len()) as u64;
+
     let mut build_scanned: u64 = 0;
     let mut first_scanned_n: u64 = 0;
     let mut produced_n: u64 = 0;
+    let mut via_index_n: u64 = 0;
+    let mut lookups_n: u64 = 0;
+    let mut bailed = false;
     let mut stopped_early = cap == 0 && first_len > 0;
 
     if cap > 0 && plan.steps.is_empty() {
         // Zero-join fast path (the dominant single-table probe shape):
         // filter and project straight from the borrowed storage rows — no
         // full-row clone ever happens, only the projected cells are copied.
-        for r in first_rows {
+        for ri in first_iter {
             first_scanned_n += 1;
-            if !sink.offer(&r.0) {
+            if via_first {
+                via_index_n += 1;
+            }
+            if !sink.offer(&first_rows[ri].0) {
                 stopped_early = true;
                 break;
             }
         }
     } else if cap > 0 {
-        // Build sides are fully hashed up front (as in the materializing
-        // path); probe rows are cloned once into the join chain.
-        let mut hashes: Vec<HashMap<String, Vec<usize>>> = Vec::with_capacity(plan.steps.len());
+        // Build sides: borrow the column index's prebuilt match lists when
+        // the build key is indexed, hash only the restriction candidates
+        // when an indexed predicate pre-selects the build table, and hash
+        // the full table otherwise. An empty build side proves the join
+        // output empty before any probe row is pulled.
+        let mut hashes: Vec<StepHash<'_>> = Vec::with_capacity(plan.steps.len());
         for step in &plan.steps {
             let build_rows = &db.table_data(step.table).rows;
-            build_scanned += build_rows.len() as u64;
-            hashes.push(build_hash(build_rows, step.build_col));
-        }
-
-        let first_scanned = Cell::new(0u64);
-        let produced = Cell::new(0u64);
-        let fs = &first_scanned;
-        let mut stream: Box<dyn Iterator<Item = Vec<Value>> + '_> =
-            Box::new(first_rows.iter().map(move |r| {
-                fs.set(fs.get() + 1);
-                r.0.clone()
-            }));
-        for (step, hash) in plan.steps.iter().zip(hashes) {
-            let build_rows = &db.table_data(step.table).rows;
-            let probe_pos = step.probe_pos;
-            let pr = &produced;
-            stream = Box::new(stream.flat_map(move |row| {
-                let mut out: Vec<Vec<Value>> = Vec::new();
-                expand_probe_row(row, &hash, build_rows, probe_pos, &mut out);
-                pr.set(pr.get() + out.len() as u64);
-                out
-            }));
-        }
-        for row in &mut stream {
-            if !sink.offer(&row) {
-                stopped_early = true;
+            let build_cid = ColumnId { table: step.table, column: step.build_col };
+            let hash = if let Some(cands) = access.restrictions.get(&step.table) {
+                build_scanned += cands.len() as u64;
+                via_index_n += cands.len() as u64;
+                StepHash::Owned(build_hash_filtered(build_rows, step.build_col, cands))
+            } else if let Some(idx) = if access.enabled { db.column_index(build_cid) } else { None }
+            {
+                StepHash::Borrowed(idx.match_lists())
+            } else {
+                build_scanned += build_rows.len() as u64;
+                StepHash::Owned(build_hash(build_rows, step.build_col))
+            };
+            if access.enabled && hash.map().is_empty() {
+                bailed = true;
                 break;
             }
+            hashes.push(hash);
         }
-        drop(stream);
-        first_scanned_n = first_scanned.get();
-        produced_n = produced.get();
+
+        if !bailed {
+            let first_scanned = Cell::new(0u64);
+            let produced = Cell::new(0u64);
+            let lookups = Cell::new(0u64);
+            let via_index = Cell::new(0u64);
+            let fs = &first_scanned;
+            let vi = &via_index;
+            let mut stream: Box<dyn Iterator<Item = Vec<Value>> + '_> =
+                Box::new(first_iter.map(move |ri| {
+                    fs.set(fs.get() + 1);
+                    if via_first {
+                        vi.set(vi.get() + 1);
+                    }
+                    first_rows[ri].0.clone()
+                }));
+            for (step, hash) in plan.steps.iter().zip(hashes) {
+                let build_rows = &db.table_data(step.table).rows;
+                let probe_pos = step.probe_pos;
+                let pr = &produced;
+                let lk = &lookups;
+                let vi = &via_index;
+                let inlj = matches!(hash, StepHash::Borrowed(_));
+                stream = Box::new(stream.flat_map(move |row| {
+                    let mut out: Vec<Vec<Value>> = Vec::new();
+                    expand_probe_row(row, hash.map(), build_rows, probe_pos, &mut out);
+                    if inlj {
+                        lk.set(lk.get() + 1);
+                        vi.set(vi.get() + out.len() as u64);
+                    }
+                    pr.set(pr.get() + out.len() as u64);
+                    out
+                }));
+            }
+            for row in &mut stream {
+                if !sink.offer(&row) {
+                    stopped_early = true;
+                    break;
+                }
+            }
+            drop(stream);
+            first_scanned_n = first_scanned.get();
+            produced_n = produced.get();
+            lookups_n = lookups.get();
+            via_index_n += via_index.get();
+        }
     }
 
     // Stopping at the spec's own LIMIT is the spec's semantics; only a
     // tighter caller budget makes the result a (possibly) truncated prefix.
-    let exact = !stopped_early || spec.limit == Some(cap);
+    // An empty-build bail is the complete (empty) result, hence exact.
+    let exact = bailed || !stopped_early || spec.limit == Some(cap);
     let metrics = ExecMetrics {
         rows_scanned: build_scanned + first_scanned_n + produced_n,
-        rows_short_circuited: if stopped_early {
+        rows_short_circuited: if bailed {
+            first_len
+        } else if stopped_early {
             first_len.saturating_sub(first_scanned_n)
         } else {
             0
         },
         exact,
         streamed: true,
+        index_lookups: access.lookups + setup_lookups + lookups_n,
+        rows_via_index: via_index_n,
+        probes_bailed_empty: u64::from(bailed),
     };
     Ok(ExecOutcome { result: ResultSet { columns, types, rows: sink.rows_out }, metrics })
 }
 
 /// Materializing strategy: evaluate the join chain into an intermediate
-/// relation (with partitioned parallel hash joins above the threshold), then
-/// filter, group/aggregate, project, sort and limit as one batch.
+/// relation (with partitioned parallel hash joins above the threshold and
+/// index-backed build sides where available), then filter, group/aggregate,
+/// project, sort and limit as one batch.
 fn run_materialized(
     db: &Database,
     spec: &SelectSpec,
     plan: JoinPlan,
     opts: &ExecOptions,
+    access: &IndexAccess,
 ) -> DbResult<ExecOutcome> {
     let mut scanned: u64 = 0;
+    let mut lookups: u64 = 0;
+    let mut via_index: u64 = 0;
+    let mut bailed = false;
 
     let first_rows = &db.table_data(plan.first).rows;
-    scanned += first_rows.len() as u64;
-    let mut rows: Vec<Vec<Value>> = first_rows.iter().map(|r| r.0.clone()).collect();
-    for step in &plan.steps {
+    let mut rows: Vec<Vec<Value>> = match access.restrictions.get(&plan.first) {
+        Some(cands) => {
+            // Candidate-restricted scan: cands ascend, so the intermediate
+            // keeps storage order minus rows that could never pass WHERE.
+            scanned += cands.len() as u64;
+            via_index += cands.len() as u64;
+            cands.iter().map(|&ri| first_rows[ri].0.clone()).collect()
+        }
+        None => {
+            scanned += first_rows.len() as u64;
+            first_rows.iter().map(|r| r.0.clone()).collect()
+        }
+    };
+    for (si, step) in plan.steps.iter().enumerate() {
         let build_rows = &db.table_data(step.table).rows;
-        scanned += build_rows.len() as u64;
-        rows = join_step(rows, build_rows, step.probe_pos, step.build_col, opts);
+        let build_cid = ColumnId { table: step.table, column: step.build_col };
+        if let Some(cands) = access.restrictions.get(&step.table) {
+            // Hash only the candidates of the build table's indexed
+            // predicate — excluded rows fail WHERE, so their join partners
+            // would be filtered out anyway.
+            scanned += cands.len() as u64;
+            via_index += cands.len() as u64;
+            let map = build_hash_filtered(build_rows, step.build_col, cands);
+            rows = probe_with_map(rows, build_rows, step.probe_pos, &map, opts);
+        } else if let Some(idx) = if access.enabled { db.column_index(build_cid) } else { None } {
+            // Index-nested-loop join: the column index's match lists *are*
+            // the build side; no build pass runs at all.
+            lookups += rows.len() as u64;
+            rows = probe_with_map(rows, build_rows, step.probe_pos, idx.match_lists(), opts);
+            via_index += rows.len() as u64;
+        } else {
+            scanned += build_rows.len() as u64;
+            rows = join_step(rows, build_rows, step.probe_pos, step.build_col, opts);
+        }
         scanned += rows.len() as u64;
+        if access.enabled && rows.is_empty() && si + 1 < plan.steps.len() {
+            // Empty intermediate: the remaining steps preserve emptiness, so
+            // skip their build passes outright.
+            bailed = true;
+            break;
+        }
     }
     let joined = Joined { col_pos: plan.col_pos, rows };
 
@@ -585,8 +1005,49 @@ fn run_materialized(
             exact = false;
         }
     }
-    let metrics =
-        ExecMetrics { rows_scanned: scanned, rows_short_circuited: 0, exact, streamed: false };
+    let metrics = ExecMetrics {
+        rows_scanned: scanned,
+        rows_short_circuited: 0,
+        exact,
+        streamed: false,
+        index_lookups: access.lookups + lookups,
+        rows_via_index: via_index,
+        probes_bailed_empty: u64::from(bailed),
+    };
+    Ok(ExecOutcome { result, metrics })
+}
+
+/// A planner-proven empty probe ([`IndexAccess::provably_empty`]): run the
+/// normal group/finalize tail over the empty joined relation so aggregate
+/// shapes — a global `COUNT(*)` of 0, NULL `MIN`/`MAX` — are exactly what
+/// the full pipeline would produce, without touching a single row.
+fn run_empty(
+    db: &Database,
+    spec: &SelectSpec,
+    plan: JoinPlan,
+    opts: &ExecOptions,
+    access: &IndexAccess,
+) -> DbResult<ExecOutcome> {
+    let joined = Joined { col_pos: plan.col_pos, rows: Vec::new() };
+    let grouped = spec.has_aggregates() || !spec.group_by.is_empty();
+    let records = if grouped { group_records(&joined, Vec::new(), spec) } else { Vec::new() };
+    let mut result = finalize(db, spec, records)?;
+    let mut exact = true;
+    if let Some(budget) = opts.row_budget {
+        if result.rows.len() > budget {
+            result.rows.truncate(budget);
+            exact = false;
+        }
+    }
+    let metrics = ExecMetrics {
+        rows_scanned: 0,
+        rows_short_circuited: 0,
+        exact,
+        streamed: false,
+        index_lookups: access.lookups,
+        rows_via_index: 0,
+        probes_bailed_empty: 1,
+    };
     Ok(ExecOutcome { result, metrics })
 }
 
@@ -627,17 +1088,7 @@ fn join_step(
     // Partitions are logical (a consumer may size them to the data); the
     // spawned threads are clamped to the machine's parallelism, which does
     // not affect the output order — chunking is independent of the maps.
-    let threads =
-        partitions.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)).max(1);
-    let chunk_size = left.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<Vec<Value>>> = Vec::with_capacity(threads);
-    let mut rest = left;
-    while rest.len() > chunk_size {
-        let tail = rest.split_off(chunk_size);
-        chunks.push(rest);
-        rest = tail;
-    }
-    chunks.push(rest);
+    let chunks = probe_chunks(left, partitions);
     let outputs: Vec<Vec<Vec<Value>>> = std::thread::scope(|scope| {
         let maps = &maps;
         let handles: Vec<_> = chunks
@@ -651,6 +1102,65 @@ fn join_step(
                         }) {
                             expand_matches(row, matches, build_rows, &mut out);
                         }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join probe worker panicked")).collect()
+    });
+    outputs.concat()
+}
+
+/// Split the probe side into contiguous owned chunks, at most one per
+/// effective thread (partitions clamped to the machine's parallelism).
+/// Concatenating chunk outputs in chunk order restores the original row
+/// order exactly.
+fn probe_chunks(left: Vec<Vec<Value>>, partitions: usize) -> Vec<Vec<Vec<Value>>> {
+    let threads =
+        partitions.min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)).max(1);
+    let chunk_size = left.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<Vec<Value>>> = Vec::with_capacity(threads);
+    let mut rest = left;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    chunks
+}
+
+/// One materialized join step probing a prebuilt match-list map — either
+/// borrowed from a column index (index-nested-loop join) or hashed from
+/// restriction candidates. The map is shared read-only across probe chunks,
+/// so the parallel path needs no partitioning; chunk outputs concatenate in
+/// original row order, keeping emission byte-identical to the sequential
+/// probe.
+fn probe_with_map(
+    left: Vec<Vec<Value>>,
+    build_rows: &[Row],
+    probe_pos: usize,
+    map: &HashMap<String, Vec<usize>>,
+    opts: &ExecOptions,
+) -> Vec<Vec<Value>> {
+    let partitions = opts.join_partitions.max(1);
+    if partitions == 1 || left.len() < opts.parallel_join_threshold.max(1) {
+        let mut out = Vec::with_capacity(left.len());
+        for row in left {
+            expand_probe_row(row, map, build_rows, probe_pos, &mut out);
+        }
+        return out;
+    }
+    let chunks = probe_chunks(left, partitions);
+    let outputs: Vec<Vec<Vec<Value>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for row in chunk {
+                        expand_probe_row(row, map, build_rows, probe_pos, &mut out);
                     }
                     out
                 })
@@ -1416,8 +1926,8 @@ mod tests {
     fn presorted_order_by_streams_and_matches_materialized() {
         // `right` is the probe-side (first) table of the join plan and its
         // `v` column is stored ascending, so ORDER BY right.v ASC LIMIT k
-        // can stream; ORDER BY ... DESC cannot and falls back to
-        // materializing.
+        // can stream; ORDER BY ... DESC is not presorted and now streams via
+        // the ordered index instead of falling back to materializing.
         let db = fanout_db(400, 8, 3);
         let mut spec = fanout_join_spec(&db);
         spec.order_by =
@@ -1438,7 +1948,188 @@ mod tests {
         spec.order_by =
             Some(OrderSpec { key: OrderKey::Column(col(&db, "right", "v")), desc: true });
         let descending = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
-        assert!(!descending.metrics.streamed, "descending key is not presorted");
+        assert!(descending.metrics.streamed, "descending key streams via the ordered index");
+        assert!(descending.metrics.rows_via_index > 0);
+        let desc_scan = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { index_access: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert!(!desc_scan.metrics.streamed, "without the index the sort materializes");
+        assert_eq!(descending.result, desc_scan.result);
+    }
+
+    #[test]
+    fn order_by_limit_streams_from_index_on_unsorted_column() {
+        // movies.name is stored F, G, F — sorted in neither direction — so
+        // only the ordered index scan can stream ORDER BY name LIMIT k.
+        let db = movie_db();
+        let name = col(&db, "movies", "name");
+        for desc in [false, true] {
+            let spec = SelectSpec {
+                select: vec![SelectItem::column(name)],
+                join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+                order_by: Some(OrderSpec { key: OrderKey::Column(name), desc }),
+                limit: Some(2),
+                ..Default::default()
+            };
+            let indexed = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+            let scan = execute_with(
+                &db,
+                &spec,
+                &ExecOptions { index_access: false, ..ExecOptions::default() },
+            )
+            .unwrap();
+            assert!(indexed.metrics.streamed, "indexed unsorted column streams (desc={desc})");
+            assert!(indexed.metrics.rows_via_index > 0);
+            assert!(indexed.metrics.index_lookups > 0);
+            assert!(!scan.metrics.streamed, "scan path materializes and sorts");
+            assert_eq!(indexed.result, scan.result, "emission byte-identical (desc={desc})");
+        }
+    }
+
+    #[test]
+    fn eq_predicate_restriction_scans_less() {
+        let db = fanout_db(500, 10, 20);
+        let spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "right", "v"))],
+            join: JoinTree::single(db.schema().table_id("right").unwrap()),
+            predicates: vec![Predicate::new(col(&db, "right", "v"), CmpOp::Eq, Value::int(137))],
+            ..Default::default()
+        };
+        let indexed = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        let scan = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { index_access: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(indexed.result, scan.result);
+        assert_eq!(indexed.result.len(), 1);
+        assert!(
+            indexed.metrics.rows_scanned < scan.metrics.rows_scanned,
+            "point lookup must scan fewer rows: {} vs {}",
+            indexed.metrics.rows_scanned,
+            scan.metrics.rows_scanned
+        );
+        assert!(indexed.metrics.index_lookups > 0);
+        assert!(indexed.metrics.rows_via_index > 0);
+    }
+
+    #[test]
+    fn inlj_skips_build_side_construction() {
+        let db = fanout_db(500, 10, 20);
+        let mut probe = fanout_join_spec(&db);
+        probe.limit = Some(1);
+        let indexed = execute_with(&db, &probe, &ExecOptions::default()).unwrap();
+        let scan = execute_with(
+            &db,
+            &probe,
+            &ExecOptions { index_access: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(indexed.result, scan.result);
+        // The scan path hashes all 500 build rows up front; the INLJ borrows
+        // the index's match lists and never touches them.
+        assert!(
+            indexed.metrics.rows_scanned + 500 <= scan.metrics.rows_scanned,
+            "INLJ must skip the 500-row build pass: {} vs {}",
+            indexed.metrics.rows_scanned,
+            scan.metrics.rows_scanned
+        );
+        assert!(indexed.metrics.index_lookups > 0);
+    }
+
+    #[test]
+    fn impossible_predicate_bails_without_scanning() {
+        let db = movie_db();
+        let year = col(&db, "movies", "year");
+        let mut spec = SelectSpec {
+            select: vec![SelectItem::column(col(&db, "movies", "name"))],
+            join: JoinTree::single(db.schema().table_id("movies").unwrap()),
+            predicates: vec![Predicate::new(year, CmpOp::Eq, Value::int(1234))],
+            ..Default::default()
+        };
+        let out = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        assert!(out.result.is_empty());
+        assert!(out.metrics.exact);
+        assert_eq!(out.metrics.probes_bailed_empty, 1);
+        assert_eq!(out.metrics.rows_scanned, 0, "bail before touching any row");
+
+        // Aggregate shape is preserved: COUNT(*) over the bailed probe is 0,
+        // exactly as the scan path computes it.
+        spec.select = vec![SelectItem::count_star()];
+        let counted = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        let scan = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { index_access: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(counted.result, scan.result);
+        assert_eq!(counted.result.rows[0].0[0], Value::int(0));
+    }
+
+    #[test]
+    fn greedy_join_reorder_is_byte_identical() {
+        let db = movie_db();
+        let schema = db.schema();
+        let graph = JoinGraph::new(schema);
+        let join = graph
+            .steiner_tree(&[schema.table_id("actor").unwrap(), schema.table_id("movies").unwrap()])
+            .unwrap();
+        let spec = SelectSpec {
+            select: vec![
+                SelectItem::column(col(&db, "movies", "name")),
+                SelectItem::column(col(&db, "actor", "name")),
+            ],
+            join,
+            predicates: vec![Predicate::new(
+                col(&db, "actor", "name"),
+                CmpOp::Eq,
+                Value::text("Brad Pitt"),
+            )],
+            ..Default::default()
+        };
+        let indexed = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+        let scan = execute_with(
+            &db,
+            &spec,
+            &ExecOptions { index_access: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(indexed.result, scan.result, "reordered plan must emit identically");
+        assert_eq!(indexed.result.len(), 1);
+        assert_eq!(indexed.result.rows[0].0[0], Value::text("Fight Club"));
+        assert!(indexed.metrics.rows_scanned <= scan.metrics.rows_scanned);
+    }
+
+    #[test]
+    fn range_predicate_uses_index_and_matches_scan() {
+        let db = fanout_db(500, 10, 20);
+        let v = col(&db, "right", "v");
+        for pred in [
+            Predicate::new(v, CmpOp::Lt, Value::int(20)),
+            Predicate::new(v, CmpOp::Ge, Value::int(180)),
+            Predicate::between(v, Value::int(50), Value::int(60)),
+        ] {
+            let spec = SelectSpec {
+                select: vec![SelectItem::column(v)],
+                join: JoinTree::single(db.schema().table_id("right").unwrap()),
+                predicates: vec![pred],
+                ..Default::default()
+            };
+            let indexed = execute_with(&db, &spec, &ExecOptions::default()).unwrap();
+            let scan = execute_with(
+                &db,
+                &spec,
+                &ExecOptions { index_access: false, ..ExecOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(indexed.result, scan.result);
+            assert!(indexed.metrics.rows_scanned < scan.metrics.rows_scanned);
+        }
     }
 
     #[test]

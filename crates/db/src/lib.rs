@@ -9,6 +9,8 @@
 //! * schemas with explicit foreign-key → primary-key relationships ([`Schema`]),
 //! * row storage and a loaded [`Database`],
 //! * an inverted column index used by the autocomplete interface ([`InvertedIndex`]),
+//! * ordered secondary indexes backing index-nested-loop joins, range scans
+//!   and ordered index scans ([`TableIndex`]),
 //! * a schema join graph with Steiner-tree computation ([`JoinGraph`], [`JoinTree`]),
 //! * an executable select-project-join-aggregate query specification ([`SelectSpec`])
 //!   together with an executor ([`execute`]).
@@ -28,6 +30,7 @@ pub mod index;
 pub mod join_graph;
 pub mod query;
 pub mod schema;
+pub mod table_index;
 pub mod types;
 
 pub use cache::{CacheStats, CachedProbe, ProbeCache, RunCacheCounters};
@@ -40,4 +43,5 @@ pub use query::{
     AggFunc, CmpOp, LogicalOp, OrderKey, OrderSpec, Predicate, SelectItem, SelectSpec,
 };
 pub use schema::{ColumnDef, ColumnId, ForeignKey, Schema, TableDef, TableId};
+pub use table_index::{ColumnIndex, IndexStats, TableIndex};
 pub use types::{DataType, Value};

@@ -1,0 +1,394 @@
+//! Ordered secondary indexes over table columns.
+//!
+//! [`TableIndex`] gives every column of a table two physical access paths the
+//! executor can substitute for a scan:
+//!
+//! * **Equality match lists** (`by_key`): a hash map from the column's
+//!   canonical [`Value::group_key`] to the row ids holding that key, in
+//!   ascending row order — exactly the structure the hash join builds on the
+//!   fly, so an indexed join column turns a hash join into an
+//!   **index-nested-loop join** with zero build cost, and an equality
+//!   predicate into a point lookup. NULLs are excluded, mirroring the join
+//!   build side.
+//! * **A sorted run** (`sorted`): all row ids (NULLs included) ordered by
+//!   `(value, row id)` under the same total order the executor sorts result
+//!   sets with. Range predicates become binary-searched slices, and
+//!   `ORDER BY c LIMIT k` can stream rows in index order instead of sorting —
+//!   ties break by row id, which is exactly the order a stable sort of the
+//!   storage leaves them in, so index-ordered emission is byte-identical to
+//!   materialize-and-sort.
+//!
+//! Indexes are built by `Database::rebuild_index` and maintained
+//! incrementally by the write path (`insert`, `update_cell`); they are never
+//! consulted while absent, so a database that skips `rebuild_index` simply
+//! runs every query as a scan.
+//!
+//! # NaN caveat
+//!
+//! `Value::total_cmp` treats NaN as equal to every number, which is not a
+//! total order; the sorted run instead places NaN after all numbers and
+//! remembers (`can_order`) that the column contained one. Order- and
+//! range-based access is disabled for such columns — equality lookups remain
+//! valid — so the executor never relies on an index order that could diverge
+//! from the sort the materializing strategy performs.
+
+use crate::database::Row;
+use crate::types::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// The total order of the sorted run: [`Value::total_cmp`], except that NaN
+/// compares after every other number (and equal to itself) instead of equal
+/// to everything, so binary search stays well-defined.
+fn ord_cmp(a: &Value, b: &Value) -> Ordering {
+    if let (Value::Number(x), Value::Number(y)) = (a, b) {
+        return x.partial_cmp(y).unwrap_or_else(|| x.is_nan().cmp(&y.is_nan()));
+    }
+    a.total_cmp(b)
+}
+
+/// Cardinality and bounds statistics of one indexed column, used by the
+/// executor's selectivity-driven join planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// Total rows in the table.
+    pub rows: usize,
+    /// Rows with a non-NULL value in this column.
+    pub non_null: usize,
+    /// Distinct non-NULL keys.
+    pub distinct: usize,
+    /// Smallest non-NULL value, if any.
+    pub min: Option<Value>,
+    /// Largest non-NULL value, if any.
+    pub max: Option<Value>,
+}
+
+/// The ordered secondary index of one column. See the module docs for the
+/// two structures and their invariants.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    /// `group_key` → row ids in ascending order; NULL rows excluded.
+    by_key: HashMap<String, Vec<usize>>,
+    /// All row ids ordered by `(ord_cmp value, row id)`.
+    sorted: Vec<usize>,
+    /// Rows with a non-NULL value.
+    non_null: usize,
+    /// Longest match list ever observed — a monotone upper bound, so a
+    /// `true` [`ColumnIndex::is_unique`] can be trusted after updates
+    /// (rebuilding refreshes it exactly).
+    max_matches: usize,
+    /// A NaN was seen in this column; order/range access is then disabled.
+    has_nan: bool,
+}
+
+impl ColumnIndex {
+    /// Build the index over one column of `rows`.
+    pub fn build(rows: &[Row], col: usize) -> ColumnIndex {
+        let mut idx = ColumnIndex {
+            by_key: HashMap::new(),
+            sorted: (0..rows.len()).collect(),
+            non_null: 0,
+            max_matches: 0,
+            has_nan: false,
+        };
+        idx.sorted
+            .sort_by(|&a, &b| ord_cmp(&rows[a].0[col], &rows[b].0[col]).then_with(|| a.cmp(&b)));
+        for (ri, row) in rows.iter().enumerate() {
+            idx.note_value(&row.0[col]);
+            let v = &row.0[col];
+            if !v.is_null() {
+                idx.non_null += 1;
+                let list = idx.by_key.entry(v.group_key()).or_default();
+                list.push(ri);
+                idx.max_matches = idx.max_matches.max(list.len());
+            }
+        }
+        idx
+    }
+
+    fn note_value(&mut self, v: &Value) {
+        if let Value::Number(n) = v {
+            if n.is_nan() {
+                self.has_nan = true;
+            }
+        }
+    }
+
+    /// Index the row at `row_idx`, already present in `rows`. Used both for
+    /// appends and to re-insert an updated row.
+    pub(crate) fn insert_row(&mut self, rows: &[Row], col: usize, row_idx: usize) {
+        let v = &rows[row_idx].0[col];
+        self.note_value(v);
+        let pos = self.sorted.partition_point(|&i| match ord_cmp(&rows[i].0[col], v) {
+            Ordering::Less => true,
+            Ordering::Equal => i < row_idx,
+            Ordering::Greater => false,
+        });
+        self.sorted.insert(pos, row_idx);
+        if !v.is_null() {
+            self.non_null += 1;
+            let list = self.by_key.entry(v.group_key()).or_default();
+            let at = list.partition_point(|&i| i < row_idx);
+            list.insert(at, row_idx);
+            self.max_matches = self.max_matches.max(list.len());
+        }
+    }
+
+    /// Re-index the row at `row_idx` after its cell changed from `old` to
+    /// the value now stored in `rows`.
+    pub(crate) fn update_row(&mut self, rows: &[Row], col: usize, row_idx: usize, old: &Value) {
+        // Locate the row's slot under its *old* value without ever reading
+        // the (already mutated) cell: the row id itself identifies the slot
+        // inside its equal-value run.
+        let pos = self.sorted.partition_point(|&i| {
+            i != row_idx
+                && match ord_cmp(&rows[i].0[col], old) {
+                    Ordering::Less => true,
+                    Ordering::Equal => i < row_idx,
+                    Ordering::Greater => false,
+                }
+        });
+        debug_assert_eq!(self.sorted.get(pos), Some(&row_idx), "stale index on update");
+        self.sorted.remove(pos);
+        if !old.is_null() {
+            self.non_null -= 1;
+            let key = old.group_key();
+            if let Some(list) = self.by_key.get_mut(&key) {
+                list.retain(|&i| i != row_idx);
+                if list.is_empty() {
+                    self.by_key.remove(&key);
+                }
+            }
+        }
+        self.insert_row(rows, col, row_idx);
+    }
+
+    /// Row ids whose value matches `key` (under [`Value::group_key`]
+    /// canonicalization), ascending. Empty for NULL or unseen keys.
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        if key.is_null() {
+            return &[];
+        }
+        self.by_key.get(&key.group_key()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The full equality match-list map — the prebuilt hash-join build side.
+    pub fn match_lists(&self) -> &HashMap<String, Vec<usize>> {
+        &self.by_key
+    }
+
+    /// Row ids with `lo <= value <= hi` (bounds optionally exclusive), in
+    /// `(value, row id)` order. Only meaningful when [`ColumnIndex::can_order`]
+    /// holds.
+    pub fn range(
+        &self,
+        rows: &[Row],
+        col: usize,
+        lo: &Value,
+        lo_incl: bool,
+        hi: &Value,
+        hi_incl: bool,
+    ) -> &[usize] {
+        let start = self.sorted.partition_point(|&i| {
+            let o = ord_cmp(&rows[i].0[col], lo);
+            o == Ordering::Less || (!lo_incl && o == Ordering::Equal)
+        });
+        let end = self.sorted.partition_point(|&i| {
+            let o = ord_cmp(&rows[i].0[col], hi);
+            o == Ordering::Less || (hi_incl && o == Ordering::Equal)
+        });
+        &self.sorted[start..end.max(start)]
+    }
+
+    /// All row ids in ascending `(value, row id)` order — the streaming order
+    /// for `ORDER BY c ASC`.
+    pub fn ordered(&self) -> &[usize] {
+        &self.sorted
+    }
+
+    /// All row ids in descending value order with ties in **ascending** row
+    /// order — exactly the order a stable descending sort of the storage
+    /// produces, so `ORDER BY c DESC LIMIT k` can stream from it.
+    pub fn ordered_desc<'a>(&'a self, rows: &'a [Row], col: usize) -> OrderedDesc<'a> {
+        OrderedDesc { sorted: &self.sorted, rows, col, hi: self.sorted.len(), run: 0..0 }
+    }
+
+    /// Whether order- and range-based access is valid for this column (no
+    /// NaN was ever stored; see the module docs).
+    pub fn can_order(&self) -> bool {
+        !self.has_nan
+    }
+
+    /// Whether every non-NULL key matches at most one row. Conservative
+    /// after updates (an upper bound that never shrinks until rebuild).
+    pub fn is_unique(&self) -> bool {
+        self.max_matches <= 1
+    }
+
+    /// Cardinality/min/max statistics of the column.
+    pub fn stats(&self, rows: &[Row], col: usize) -> IndexStats {
+        let nulls = self.sorted.len() - self.non_null;
+        IndexStats {
+            rows: self.sorted.len(),
+            non_null: self.non_null,
+            distinct: self.by_key.len(),
+            min: (self.non_null > 0).then(|| rows[self.sorted[nulls]].0[col].clone()),
+            max: (self.non_null > 0)
+                .then(|| rows[*self.sorted.last().expect("non_null > 0")].0[col].clone()),
+        }
+    }
+}
+
+/// Iterator behind [`ColumnIndex::ordered_desc`]: walks the sorted run from
+/// the tail in runs of equal values, emitting each run in forward (ascending
+/// row id) order.
+#[derive(Debug)]
+pub struct OrderedDesc<'a> {
+    sorted: &'a [usize],
+    rows: &'a [Row],
+    col: usize,
+    /// Upper bound (exclusive) of the not-yet-emitted region.
+    hi: usize,
+    /// The current equal-value run being emitted forward.
+    run: std::ops::Range<usize>,
+}
+
+impl Iterator for OrderedDesc<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if let Some(p) = self.run.next() {
+            return Some(self.sorted[p]);
+        }
+        if self.hi == 0 {
+            return None;
+        }
+        let anchor = &self.rows[self.sorted[self.hi - 1]].0[self.col];
+        let mut start = self.hi - 1;
+        while start > 0
+            && ord_cmp(&self.rows[self.sorted[start - 1]].0[self.col], anchor) == Ordering::Equal
+        {
+            start -= 1;
+        }
+        self.run = start..self.hi;
+        self.hi = start;
+        let p = self.run.next().expect("run is non-empty");
+        Some(self.sorted[p])
+    }
+}
+
+/// The ordered secondary indexes of all columns of one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableIndex {
+    columns: Vec<ColumnIndex>,
+}
+
+impl TableIndex {
+    /// Build indexes over every column of a table.
+    pub fn build(rows: &[Row], column_count: usize) -> TableIndex {
+        TableIndex { columns: (0..column_count).map(|ci| ColumnIndex::build(rows, ci)).collect() }
+    }
+
+    /// The index of one column.
+    pub fn column(&self, ci: usize) -> &ColumnIndex {
+        &self.columns[ci]
+    }
+
+    /// Index a freshly appended row (already present in `rows`).
+    pub(crate) fn insert_appended(&mut self, rows: &[Row], row_idx: usize) {
+        for (ci, idx) in self.columns.iter_mut().enumerate() {
+            idx.insert_row(rows, ci, row_idx);
+        }
+    }
+
+    /// Re-index one cell after an in-place update.
+    pub(crate) fn update_cell(&mut self, rows: &[Row], col: usize, row_idx: usize, old: &Value) {
+        self.columns[col].update_row(rows, col, row_idx, old);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: &[Value]) -> Vec<Row> {
+        vals.iter().map(|v| Row(vec![v.clone()])).collect()
+    }
+
+    #[test]
+    fn build_sorts_by_value_then_row_id() {
+        let data = rows(&[Value::int(3), Value::int(1), Value::Null, Value::int(1), Value::int(2)]);
+        let idx = ColumnIndex::build(&data, 0);
+        assert_eq!(idx.ordered(), &[2, 1, 3, 4, 0], "NULL first, ties by row id");
+        assert_eq!(idx.lookup(&Value::int(1)), &[1, 3]);
+        assert!(idx.lookup(&Value::Null).is_empty(), "NULL never matches");
+        let stats = idx.stats(&data, 0);
+        assert_eq!((stats.rows, stats.non_null, stats.distinct), (5, 4, 3));
+        assert_eq!(stats.min, Some(Value::int(1)));
+        assert_eq!(stats.max, Some(Value::int(3)));
+    }
+
+    #[test]
+    fn ordered_desc_reverses_values_but_not_ties() {
+        let data = rows(&[Value::int(2), Value::int(1), Value::int(2), Value::int(1)]);
+        let idx = ColumnIndex::build(&data, 0);
+        let desc: Vec<usize> = idx.ordered_desc(&data, 0).collect();
+        assert_eq!(desc, vec![0, 2, 1, 3], "values descend, ties stay in row order");
+    }
+
+    #[test]
+    fn range_slices_binary_search_bounds() {
+        let data = rows(&[Value::int(5), Value::int(1), Value::int(3), Value::int(9)]);
+        let idx = ColumnIndex::build(&data, 0);
+        let hits = idx.range(&data, 0, &Value::int(2), true, &Value::int(5), true);
+        assert_eq!(hits, &[2, 0], "3 then 5, in value order");
+        let open = idx.range(&data, 0, &Value::int(3), false, &Value::int(9), false);
+        assert_eq!(open, &[0], "both bounds exclusive");
+    }
+
+    #[test]
+    fn incremental_insert_and_update_match_rebuild() {
+        let mut data = rows(&[Value::int(4), Value::int(2)]);
+        let mut idx = ColumnIndex::build(&data, 0);
+
+        data.push(Row(vec![Value::int(3)]));
+        idx.insert_row(&data, 0, 2);
+        data.push(Row(vec![Value::int(2)]));
+        idx.insert_row(&data, 0, 3);
+        let rebuilt = ColumnIndex::build(&data, 0);
+        assert_eq!(idx.ordered(), rebuilt.ordered());
+        assert_eq!(idx.lookup(&Value::int(2)), rebuilt.lookup(&Value::int(2)));
+
+        let old = std::mem::replace(&mut data[0].0[0], Value::int(1));
+        idx.update_row(&data, 0, 0, &old);
+        let rebuilt = ColumnIndex::build(&data, 0);
+        assert_eq!(idx.ordered(), rebuilt.ordered());
+        assert!(idx.lookup(&Value::int(4)).is_empty(), "old key vacated");
+        assert_eq!(idx.lookup(&Value::int(1)), &[0]);
+    }
+
+    #[test]
+    fn uniqueness_is_a_monotone_upper_bound() {
+        let data = rows(&[Value::int(1), Value::int(2)]);
+        let mut idx = ColumnIndex::build(&data, 0);
+        assert!(idx.is_unique());
+        let mut data = data;
+        data.push(Row(vec![Value::int(1)]));
+        idx.insert_row(&data, 0, 2);
+        assert!(!idx.is_unique());
+        // Updating the duplicate away keeps the conservative bound...
+        let old = std::mem::replace(&mut data[2].0[0], Value::int(3));
+        idx.update_row(&data, 0, 2, &old);
+        assert!(!idx.is_unique());
+        // ...and a rebuild refreshes it exactly.
+        assert!(ColumnIndex::build(&data, 0).is_unique());
+    }
+
+    #[test]
+    fn nan_disables_order_access_but_not_lookups() {
+        let data = rows(&[Value::Number(f64::NAN), Value::int(1)]);
+        let idx = ColumnIndex::build(&data, 0);
+        assert!(!idx.can_order());
+        assert_eq!(idx.lookup(&Value::int(1)), &[1]);
+    }
+}

@@ -177,6 +177,104 @@ fn join_partition_counts_leave_emission_byte_identical() {
     }
 }
 
+/// The index-access analogue of the worker-count guarantee: whether probes
+/// run through ordered secondary indexes (index-nested-loop joins, range
+/// restrictions, ordered index scans, selectivity-driven join ordering) or
+/// through pure scans must never change the emitted candidates — across
+/// shared-pool sizes {1, 2, 4}, join-partition counts {1, 2, 4}, and the
+/// service at all three priority classes.
+#[test]
+fn index_access_toggle_leaves_emission_byte_identical() {
+    let dataset = Arc::new(workload());
+    let config = base_config();
+    // Ground truth: index access enabled (the default), private session.
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task(&dataset, task, 700 + i as u64, &config)))
+        .collect();
+
+    // Pure-scan execution across join-partition counts, with the parallel
+    // join forced onto every probe.
+    for partitions in [1usize, 2, 4] {
+        for (i, task) in dataset.tasks.iter().enumerate() {
+            let db = dataset.database(task);
+            db.set_index_access(false);
+            db.set_parallel_join_threshold(1);
+            db.set_join_partitions(partitions);
+            db.clear_probe_cache();
+            let result = run_task(&dataset, task, 700 + i as u64, &config);
+            assert_eq!(
+                solo[i],
+                ranking(&result),
+                "task {} diverged with indexes disabled and {partitions} join partitions",
+                task.id
+            );
+        }
+    }
+
+    // Scans on shared pools of every size vs the indexed solo runs.
+    for pool_workers in [1usize, 2, 4] {
+        let pool = SessionScheduler::new(pool_workers);
+        for (i, task) in dataset.tasks.iter().enumerate() {
+            let db = dataset.database(task);
+            db.set_index_access(false);
+            db.clear_probe_cache();
+            let result = run_task_on(&dataset, task, 700 + i as u64, &config, Some(&pool));
+            assert_eq!(
+                solo[i],
+                ranking(&result),
+                "task {} diverged with indexes disabled on a {pool_workers}-worker pool",
+                task.id
+            );
+        }
+    }
+
+    // Scans under the service at every priority class vs the indexed solo
+    // runs; indexes are re-enabled afterwards and must still agree.
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 2,
+        max_live_sessions: 4,
+        max_queued: 32,
+        ..ServiceConfig::default()
+    });
+    for (enabled, class) in
+        [false, true].into_iter().flat_map(|e| PriorityClass::ALL.into_iter().map(move |c| (e, c)))
+    {
+        let tickets: Vec<_> = dataset
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| {
+                let db = dataset.database(task);
+                db.set_index_access(enabled);
+                db.clear_probe_cache();
+                let (gold, tsq) =
+                    synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 700 + i as u64);
+                let model = NoisyOracleGuidance::new(gold, 700 + i as u64);
+                let request =
+                    SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+                        .with_tsq(tsq)
+                        .with_config(config.clone())
+                        .with_priority(class);
+                service.submit(request).expect("admitted")
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let outcome = ticket.wait();
+            assert_eq!(outcome.status, RequestStatus::Completed, "task {i} at {class:?}");
+            assert_eq!(
+                solo[i],
+                ranking(&outcome.result),
+                "task {i} diverged through the service at priority {class:?} \
+                 with index access {}",
+                if enabled { "enabled" } else { "disabled" }
+            );
+        }
+    }
+}
+
 /// The serving layer inherits the engine's determinism: a request run
 /// through `SynthesisService` — at any priority class, even while other
 /// requests share the pool — emits candidates byte-identical to a

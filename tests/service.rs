@@ -506,6 +506,13 @@ fn enumeration_stats_json_round_trips() {
     assert_eq!(parsed.get("emitted").and_then(Json::as_u64), Some(stats.emitted as u64));
     assert_eq!(parsed.get("cache_hits").and_then(Json::as_u64), Some(stats.cache_hits));
     assert_eq!(parsed.get("rows_scanned").and_then(Json::as_u64), Some(stats.rows_scanned));
+    assert_eq!(parsed.get("index_lookups").and_then(Json::as_u64), Some(stats.index_lookups));
+    assert!(stats.index_lookups > 0, "a verifier run must exercise the index path");
+    assert_eq!(parsed.get("rows_via_index").and_then(Json::as_u64), Some(stats.rows_via_index));
+    assert_eq!(
+        parsed.get("probes_bailed_empty").and_then(Json::as_u64),
+        Some(stats.probes_bailed_empty)
+    );
     assert_eq!(parsed.get("cancelled").and_then(Json::as_bool), Some(false));
     assert_eq!(parsed.get("deadline_exceeded").and_then(Json::as_bool), Some(false));
     assert_eq!(
