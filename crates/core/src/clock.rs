@@ -1,0 +1,188 @@
+//! Virtual time for deterministic simulation.
+//!
+//! Every wall-clock read in the synthesis stack — scheduler tick timing,
+//! session deadlines, per-stage verification timings, the service layer's
+//! submit-anchored deadlines and time-to-first-candidate metric — goes
+//! through the [`Clock`] trait instead of calling [`Instant::now`] directly.
+//! Production code uses [`SystemClock`] (a zero-cost wrapper over the real
+//! monotonic clock); the deterministic simulation harness (`crates/dst`)
+//! substitutes a [`SimClock`] whose time only moves when the test driver
+//! calls [`SimClock::advance`] — so deadline cliffs, queued-request expiry
+//! and tick housekeeping can be driven reproducibly, with no real sleeps.
+//!
+//! The design deliberately keeps [`Instant`] as the time *type*: a simulated
+//! "now" is the clock's base instant plus an advanced offset, so deadlines
+//! stored as `Option<Instant>` (e.g. in
+//! [`SessionControl`](crate::SessionControl)) work unchanged under either
+//! clock. The one behavioural difference is in the scheduler's idle wait:
+//! under a simulated clock, workers never perform *timed* waits (real time
+//! passing must not fire a simulated tick) — instead [`SimClock::advance`]
+//! wakes them through registered wakers so due ticks run immediately in
+//! simulated time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A waker callback fired when a simulated clock advances (see
+/// [`Clock::register_waker`]).
+pub type ClockWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// A source of monotonic time. Implemented by [`SystemClock`] (real time)
+/// and [`SimClock`] (virtual time under manual control).
+pub trait Clock: Send + Sync {
+    /// The current instant according to this clock.
+    fn now(&self) -> Instant;
+
+    /// Whether this clock is simulated. Timed waits must not be used against
+    /// a simulated clock (real time passing means nothing to it); waiters
+    /// block untimed and rely on [`Clock::register_waker`] notifications.
+    fn is_simulated(&self) -> bool {
+        false
+    }
+
+    /// Register a callback to be fired whenever the clock's time jumps
+    /// forward. A no-op for real clocks (time advances on its own; sleepers
+    /// use timed waits). [`SimClock`] stores the waker and fires it from
+    /// [`SimClock::advance`], which is how an idle scheduler pool learns
+    /// that its next tick may have become due.
+    fn register_waker(&self, waker: ClockWaker) {
+        let _ = waker;
+    }
+}
+
+/// The real monotonic clock: [`Clock::now`] is [`Instant::now`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// The system clock as a static, for borrow-scoped contexts that need a
+/// `&dyn Clock` default without an allocation.
+pub static SYSTEM_CLOCK: SystemClock = SystemClock;
+
+/// A shareable, owned clock handle. `Arc<SimClock>` and `Arc<SystemClock>`
+/// both coerce to this.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// A fresh [`SharedClock`] over the real monotonic clock.
+pub fn system_clock() -> SharedClock {
+    Arc::new(SystemClock)
+}
+
+/// A virtual clock under manual control: time is a microsecond offset from a
+/// fixed base instant and only moves when [`SimClock::advance`] is called.
+///
+/// Cheap to share (`Arc<SimClock>` coerces to [`SharedClock`]); the test
+/// driver keeps the concrete handle to advance time while the stack under
+/// test sees only the trait.
+///
+/// ```
+/// use duoquest_core::clock::{Clock, SimClock};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let clock = Arc::new(SimClock::new());
+/// let t0 = clock.now();
+/// clock.advance(Duration::from_secs(5));
+/// assert_eq!(clock.now().duration_since(t0), Duration::from_secs(5));
+/// ```
+pub struct SimClock {
+    base: Instant,
+    offset_us: AtomicU64,
+    wakers: Mutex<Vec<ClockWaker>>,
+}
+
+impl SimClock {
+    /// A simulated clock at offset zero (its base is the real instant of
+    /// construction, but real time never moves it afterwards).
+    pub fn new() -> Self {
+        SimClock {
+            base: Instant::now(),
+            offset_us: AtomicU64::new(0),
+            wakers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Jump simulated time forward by `by` (truncated to microseconds — the
+    /// granularity of the scheduler's tick clock) and fire every registered
+    /// waker so idle waiters re-examine their due times.
+    pub fn advance(&self, by: Duration) {
+        self.offset_us.fetch_add(by.as_micros() as u64, Ordering::AcqRel);
+        // Snapshot outside the lock: a waker may re-enter the clock (e.g. to
+        // read `now`), and new registrations during the sweep are fine — they
+        // observe the already-advanced time.
+        let wakers: Vec<ClockWaker> =
+            self.wakers.lock().expect("sim clock wakers poisoned").clone();
+        for waker in wakers {
+            waker();
+        }
+    }
+
+    /// Total simulated time elapsed since construction.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.offset_us.load(Ordering::Acquire))
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Instant {
+        self.base + Duration::from_micros(self.offset_us.load(Ordering::Acquire))
+    }
+
+    fn is_simulated(&self) -> bool {
+        true
+    }
+
+    fn register_waker(&self, waker: ClockWaker) {
+        self.wakers.lock().expect("sim clock wakers poisoned").push(waker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_only_moves_on_advance() {
+        let clock = SimClock::new();
+        let t0 = clock.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(clock.now(), t0, "real time must not move a simulated clock");
+        clock.advance(Duration::from_millis(7));
+        assert_eq!(clock.now().duration_since(t0), Duration::from_millis(7));
+        assert_eq!(clock.elapsed(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn advance_fires_registered_wakers() {
+        let clock = SimClock::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&fired);
+        clock.register_waker(Arc::new(move || {
+            sink.fetch_add(1, Ordering::SeqCst);
+        }));
+        clock.advance(Duration::from_secs(1));
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn system_clock_tracks_real_time() {
+        let clock = SystemClock;
+        assert!(!clock.is_simulated());
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

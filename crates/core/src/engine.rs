@@ -111,6 +111,7 @@ impl SynthesisResult {
 /// [`crate::session::SynthesisSession`]: run the round engine, deduplicate
 /// canonically equivalent candidates (keeping the higher-confidence copy),
 /// then rank deterministically.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_collect<F>(
     db: &Database,
     nlq: &Nlq,
@@ -118,12 +119,13 @@ pub(crate) fn run_collect<F>(
     tsq: Option<&TableSketchQuery>,
     config: &DuoquestConfig,
     control: &crate::session::SessionControl,
+    clock: &dyn crate::clock::Clock,
     on_candidate: F,
 ) -> SynthesisResult
 where
     F: FnMut(&Candidate) -> bool,
 {
-    collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, control, cb))
+    collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, control, clock, cb))
 }
 
 /// The dedup-and-rank state shared by the blocking collection pipeline
@@ -251,7 +253,16 @@ impl Duoquest {
         F: FnMut(&Candidate) -> bool,
     {
         let control = crate::session::SessionControl::new();
-        run_collect(db, nlq, model, tsq, &self.config, &control, on_candidate)
+        run_collect(
+            db,
+            nlq,
+            model,
+            tsq,
+            &self.config,
+            &control,
+            &crate::clock::SYSTEM_CLOCK,
+            on_candidate,
+        )
     }
 
     /// Build an owned [`crate::session::SynthesisSession`] carrying this

@@ -20,6 +20,7 @@
 //! (`Database::execute_cached`); the per-run hit/miss counters and the
 //! per-stage cascade timings are surfaced in [`EnumerationStats`].
 
+use crate::clock::{Clock, SYSTEM_CLOCK};
 use crate::config::DuoquestConfig;
 use crate::joinpath::construct_join_paths;
 use crate::session::SessionControl;
@@ -201,7 +202,16 @@ pub fn enumerate<F>(
 where
     F: FnMut(SelectSpec, f64, Duration) -> bool,
 {
-    run_rounds(db, nlq, model, tsq, config, &SessionControl::new(), &mut on_candidate)
+    run_rounds(
+        db,
+        nlq,
+        model,
+        tsq,
+        config,
+        &SessionControl::new(),
+        &SYSTEM_CLOCK,
+        &mut on_candidate,
+    )
 }
 
 /// The earlier of two optional deadlines.
@@ -224,6 +234,9 @@ pub(crate) struct RoundEnv<'a> {
     pub(crate) partial_verifier: &'a Verifier<'a>,
     pub(crate) complete_verifier: &'a Verifier<'a>,
     pub(crate) deadline: Option<Instant>,
+    /// The session's time source; deadline checks inside chunks read this
+    /// (virtual under the simulation harness, real otherwise).
+    pub(crate) clock: &'a dyn Clock,
     /// The session's cancellation token, checked between chunk jobs so a
     /// cancel takes effect mid-round.
     pub(crate) cancel: &'a AtomicBool,
@@ -263,6 +276,7 @@ pub(crate) const MIN_PARALLEL_JOBS: usize = 8;
 /// Sessions attached to a shared [`crate::scheduler::SessionScheduler`] use
 /// `crate::scheduler::run_rounds_scheduled` instead, which drives the same
 /// loop but dispatches phase-2 chunks to the scheduler's long-lived pool.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_rounds(
     db: &Database,
     nlq: &Nlq,
@@ -270,9 +284,10 @@ pub(crate) fn run_rounds(
     tsq: Option<&TableSketchQuery>,
     config: &DuoquestConfig,
     control: &SessionControl,
+    clock: &dyn Clock,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
 ) -> EnumerationStats {
-    let start = Instant::now();
+    let start = clock.now();
     let mut stats = EnumerationStats::default();
     let graph = JoinGraph::new(db.schema());
 
@@ -284,8 +299,10 @@ pub(crate) fn run_rounds(
         if config.prune_partial { tsq } else { None },
         &nlq.literals,
         config.semantic_rules && config.prune_partial,
-    );
-    let complete_verifier = Verifier::new(db, tsq, &nlq.literals, config.semantic_rules);
+    )
+    .with_clock(clock);
+    let complete_verifier =
+        Verifier::new(db, tsq, &nlq.literals, config.semantic_rules).with_clock(clock);
     let env = RoundEnv {
         db,
         graph: &graph,
@@ -294,6 +311,7 @@ pub(crate) fn run_rounds(
         complete_verifier: &complete_verifier,
         deadline: min_deadline(config.time_budget.map(|budget| start + budget), control.deadline()),
         cancel: control.flag_ref(),
+        clock,
     };
 
     let workers = config.effective_workers();
@@ -310,13 +328,14 @@ pub(crate) fn run_rounds(
             env.deadline,
             env.cancel,
             start,
+            clock,
             &mut stats,
             on_candidate,
             &mut |jobs| process_jobs(jobs, pool.as_ref(), &env),
         );
     });
 
-    stats.elapsed = start.elapsed();
+    stats.elapsed = clock.now().saturating_duration_since(start);
     // Per-run counters owned by this run's verifiers: concurrent sessions on
     // the same shared database can't pollute each other's statistics.
     let (partial_hits, partial_misses) = partial_verifier.cache_counters();
@@ -348,6 +367,9 @@ pub(crate) struct StepEnv<'a> {
     /// The session's cancellation token, checked at every round boundary —
     /// i.e. *between* `step()` calls, not only inside chunks.
     pub(crate) cancel: &'a AtomicBool,
+    /// The session's time source: round-boundary deadline checks and
+    /// emission timestamps read this instead of the real clock.
+    pub(crate) clock: &'a dyn Clock,
 }
 
 /// Where a resumable round loop stands after one [`RoundDriver::step`].
@@ -548,7 +570,7 @@ impl RoundDriver {
             self.stats.cancelled = true;
             return None;
         }
-        if self.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+        if self.deadline.map(|d| env.clock.now() > d).unwrap_or(false) {
             self.stats.deadline_exceeded = true;
             return None;
         }
@@ -624,7 +646,7 @@ impl RoundDriver {
                 if let Some((spec, confidence)) = d.emissions.next() {
                     self.stats.emitted += 1;
                     d.just_emitted = true;
-                    let emitted_at = self.start.elapsed();
+                    let emitted_at = env.clock.now().saturating_duration_since(self.start);
                     self.phase = DriverPhase::Draining(d);
                     return Some(StepOutcome::Emit { spec, confidence, emitted_at });
                 }
@@ -701,11 +723,12 @@ pub(crate) fn drive_rounds(
     deadline: Option<Instant>,
     cancel: &AtomicBool,
     start: Instant,
+    clock: &dyn Clock,
     stats: &mut EnumerationStats,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
     dispatch: &mut dyn FnMut(Vec<ChildJob>) -> Vec<ChunkResult>,
 ) {
-    let env = StepEnv { db, nlq, model, config, cancel };
+    let env = StepEnv { db, nlq, model, config, cancel, clock };
     let mut driver = RoundDriver::new(start, deadline);
     loop {
         match driver.step(&env) {
@@ -822,7 +845,7 @@ pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkRes
             break;
         }
         // Honor the wall-clock budget inside large fan-outs as well.
-        if done % 32 == 31 && env.deadline.map(|d| Instant::now() > d).unwrap_or(false) {
+        if done % 32 == 31 && env.deadline.map(|d| env.clock.now() > d).unwrap_or(false) {
             out.timed_out = true;
             break;
         }
@@ -1517,7 +1540,14 @@ mod tests {
         config.max_candidates = usize::MAX;
         config.max_expansions = usize::MAX;
         let cancel = AtomicBool::new(false);
-        let env = StepEnv { db: &db, nlq: &nlq, model: &model, config: &config, cancel: &cancel };
+        let env = StepEnv {
+            db: &db,
+            nlq: &nlq,
+            model: &model,
+            config: &config,
+            cancel: &cancel,
+            clock: &SYSTEM_CLOCK,
+        };
         let mut driver = RoundDriver::new(Instant::now(), None);
 
         // Run exactly one full round (submit + provide), then fire the token
@@ -1536,6 +1566,7 @@ mod tests {
                         complete_verifier: &verifier,
                         deadline: None,
                         cancel: &cancel,
+                        clock: &SYSTEM_CLOCK,
                     };
                     driver.provide(vec![process_chunk(jobs, &round_env)]);
                     rounds_completed += 1;
@@ -1566,7 +1597,14 @@ mod tests {
         let mut config = DuoquestConfig::fast();
         config.time_budget = None;
         let cancel = AtomicBool::new(false);
-        let env = StepEnv { db: &db, nlq: &nlq, model: &model, config: &config, cancel: &cancel };
+        let env = StepEnv {
+            db: &db,
+            nlq: &nlq,
+            model: &model,
+            config: &config,
+            cancel: &cancel,
+            clock: &SYSTEM_CLOCK,
+        };
         // A deadline that is already in the past when the first step runs.
         let start = Instant::now();
         let mut driver = RoundDriver::new(start, Some(start - Duration::from_millis(1)));
@@ -1590,7 +1628,14 @@ mod tests {
         let model = NoisyOracleGuidance::new(gold, 2);
         let config = DuoquestConfig::fast();
         let cancel = AtomicBool::new(false);
-        let env = StepEnv { db: &db, nlq: &nlq, model: &model, config: &config, cancel: &cancel };
+        let env = StepEnv {
+            db: &db,
+            nlq: &nlq,
+            model: &model,
+            config: &config,
+            cancel: &cancel,
+            clock: &SYSTEM_CLOCK,
+        };
         let mut driver = RoundDriver::new(Instant::now(), None);
         let StepOutcome::SubmitChunks(_jobs) = driver.step(&env) else {
             panic!("first step submits the root expansion");

@@ -28,9 +28,14 @@
 //!   machine (`RoundDriver`, see `docs/DRIVER.md`), so driven sessions park
 //!   in the pool and cost no OS thread; workers resume them inline as their
 //!   verification chunks complete.
+//! * [`clock`] — virtual time: every wall-clock read in the stack goes
+//!   through the [`Clock`] trait ([`SystemClock`] in production,
+//!   [`SimClock`] under the deterministic simulation harness of
+//!   `crates/dst`).
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod config;
 pub mod engine;
 pub mod enumerate;
@@ -41,6 +46,7 @@ pub mod state;
 pub mod tsq;
 pub mod verify;
 
+pub use clock::{system_clock, Clock, SharedClock, SimClock, SystemClock};
 pub use config::DuoquestConfig;
 pub use engine::{Candidate, Duoquest, SynthesisResult};
 pub use enumerate::EnumerationStats;

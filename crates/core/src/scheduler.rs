@@ -89,6 +89,7 @@
 //! assert_eq!(pool.stats().live_sessions, 0);
 //! ```
 
+use crate::clock::{system_clock, SharedClock};
 use crate::config::DuoquestConfig;
 use crate::engine::{Candidate, CandidateCollector, SynthesisResult};
 use crate::enumerate::{
@@ -197,6 +198,10 @@ struct SessionContext {
     /// fairness queue reaps queued units once it fires, and the driving side
     /// uses it to tell a cancellation disconnect from a pool shutdown.
     cancel: Arc<AtomicBool>,
+    /// The pool's time source, shared by every session on it: deadline
+    /// checks, emission timestamps and stage timings read this (virtual
+    /// under the deterministic simulation harness).
+    clock: SharedClock,
 }
 
 impl SessionContext {
@@ -210,10 +215,12 @@ impl SessionContext {
             &self.literals,
             self.config.semantic_rules && self.config.prune_partial,
         )
-        .with_counters(Arc::clone(&self.partial_counters));
+        .with_counters(Arc::clone(&self.partial_counters))
+        .with_clock(self.clock.as_ref());
         let complete_verifier =
             Verifier::new(&self.db, self.tsq.as_ref(), &self.literals, self.config.semantic_rules)
-                .with_counters(Arc::clone(&self.complete_counters));
+                .with_counters(Arc::clone(&self.complete_counters))
+                .with_clock(self.clock.as_ref());
         let env = RoundEnv {
             db: &self.db,
             graph: &self.graph,
@@ -222,6 +229,7 @@ impl SessionContext {
             complete_verifier: &complete_verifier,
             deadline: self.deadline,
             cancel: &self.cancel,
+            clock: self.clock.as_ref(),
         };
         process_chunk(jobs, &env)
     }
@@ -473,6 +481,10 @@ struct PoolCore {
     busy: AtomicUsize,
     units_executed: AtomicU64,
     shutdown: AtomicBool,
+    /// The pool's time source ([`crate::SystemClock`] in production; the
+    /// deterministic simulation harness substitutes a
+    /// [`crate::SimClock`]).
+    clock: SharedClock,
     /// Anchor for the tick clock (ticks are stored as µs offsets from here).
     epoch: Instant,
     /// Next tick time in µs since `epoch`; [`TICK_NONE`] when unscheduled.
@@ -531,9 +543,9 @@ impl PoolCore {
         queue.reap_cancelled()
     }
 
-    /// Microseconds since the pool's epoch.
+    /// Microseconds since the pool's epoch, per the pool's clock.
     fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.clock.now().saturating_duration_since(self.epoch).as_micros() as u64
     }
 
     /// Claim the tick if it is due: returns the hook to run (outside the
@@ -603,13 +615,19 @@ impl PoolCore {
                 return Some(unit);
             }
             queue = match self.tick_timeout() {
-                Some(timeout) => {
+                // Under a simulated clock a *timed* wait would fire ticks on
+                // real time passing — meaningless in simulation, and a real
+                // sleep besides. Idle workers block untimed instead; the
+                // clock's `advance` fires the waker registered at pool
+                // construction, which notifies `work_available` so the loop
+                // re-examines `claim_due_tick` against the advanced time.
+                Some(timeout) if !self.clock.is_simulated() => {
                     self.work_available
                         .wait_timeout(queue, timeout)
                         .expect("scheduler queue poisoned")
                         .0
                 }
-                None => self.work_available.wait(queue).expect("scheduler queue poisoned"),
+                _ => self.work_available.wait(queue).expect("scheduler queue poisoned"),
             };
         }
     }
@@ -763,7 +781,7 @@ fn finalize_driven(s: DrivenCore, force_cancelled: bool) -> SynthesisResult {
     if force_cancelled {
         stats.cancelled = true;
     }
-    stats.elapsed = start.elapsed();
+    stats.elapsed = ctx.clock.now().saturating_duration_since(start);
     fill_run_counters(&mut stats, &ctx, run_stats);
     collector.finish(stats)
 }
@@ -785,6 +803,7 @@ fn resume_driven(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
                     model: model.as_ref(),
                     config: &ctx.config,
                     cancel: &ctx.cancel,
+                    clock: ctx.clock.as_ref(),
                 };
                 match driver.step(&env) {
                     StepOutcome::Emit { spec, confidence, emitted_at } => {
@@ -926,7 +945,8 @@ pub(crate) fn spawn_driven_session(
     on_candidate: DrivenSink,
     on_complete: DrivenCompletion,
 ) {
-    let start = Instant::now();
+    let clock = Arc::clone(&handle.core.clock);
+    let start = clock.now();
     let deadline =
         min_deadline(config.time_budget.map(|budget| start + budget), control.deadline());
     let graph = JoinGraph::new(db.schema());
@@ -942,6 +962,7 @@ pub(crate) fn spawn_driven_session(
         complete_counters: Arc::new(RunCacheCounters::default()),
         deadline,
         cancel: control.flag(),
+        clock,
     });
     let core_state = DrivenCore {
         driver: RoundDriver::new(start, deadline),
@@ -997,7 +1018,16 @@ impl SessionScheduler {
     /// creates exactly one scheduler, sized to the machine, and hands
     /// [`SessionScheduler::handle`] clones to every session.
     pub fn new(workers: usize) -> Self {
+        SessionScheduler::new_with_clock(workers, system_clock())
+    }
+
+    /// Spawn a pool whose time source is `clock` instead of the real clock.
+    /// Under a simulated clock ([`crate::SimClock`]) idle workers never
+    /// perform timed waits — the clock's `advance` wakes them (via a waker
+    /// registered here) so due ticks run immediately in simulated time.
+    pub fn new_with_clock(workers: usize, clock: SharedClock) -> Self {
         let workers = workers.max(1);
+        let epoch = clock.now();
         let core = Arc::new(PoolCore {
             queue: Mutex::new(QueueState::default()),
             work_available: Condvar::new(),
@@ -1005,10 +1035,23 @@ impl SessionScheduler {
             busy: AtomicUsize::new(0),
             units_executed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            epoch: Instant::now(),
+            clock,
+            epoch,
             next_tick_us: AtomicU64::new(TICK_NONE),
             tick_hook: Mutex::new(None),
         });
+        // A simulated clock advancing may make the scheduled tick due: wake
+        // the idle workers so one claims it. Weak, so the waker (owned by the
+        // clock, which the pool owns) cannot keep the pool core alive.
+        let waker_core = Arc::downgrade(&core);
+        core.clock.register_waker(Arc::new(move || {
+            if let Some(core) = waker_core.upgrade() {
+                // Take the lock so no worker can compute its wait decision
+                // between the clock's advance and this notify.
+                let _guard = core.queue.lock().expect("scheduler queue poisoned");
+                core.work_available.notify_all();
+            }
+        }));
         let handles = (0..workers)
             .map(|i| {
                 let core = Arc::clone(&core);
@@ -1148,6 +1191,14 @@ impl SchedulerHandle {
     pub fn request_tick(&self, at: Instant) {
         self.core.request_tick(at);
     }
+
+    /// The clock this pool schedules against — [`SystemClock`](crate::SystemClock)
+    /// unless the pool was built with [`SessionScheduler::new_with_clock`].
+    /// Layers above the pool (e.g. the serving layer) should read time from
+    /// here so simulated runs stay on the simulated timeline.
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.core.clock)
+    }
 }
 
 impl std::fmt::Debug for SchedulerHandle {
@@ -1174,7 +1225,8 @@ pub(crate) fn run_rounds_scheduled(
     priority_weight: usize,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
 ) -> EnumerationStats {
-    let start = Instant::now();
+    let clock = Arc::clone(&handle.core.clock);
+    let start = clock.now();
     let mut stats = EnumerationStats::default();
     let deadline =
         min_deadline(config.time_budget.map(|budget| start + budget), control.deadline());
@@ -1188,6 +1240,7 @@ pub(crate) fn run_rounds_scheduled(
         complete_counters: Arc::new(RunCacheCounters::default()),
         deadline,
         cancel: control.flag(),
+        clock: Arc::clone(&clock),
     });
 
     let core = &handle.core;
@@ -1210,6 +1263,7 @@ pub(crate) fn run_rounds_scheduled(
         deadline,
         control.flag_ref(),
         start,
+        clock.as_ref(),
         &mut stats,
         on_candidate,
         &mut |jobs| dispatch_round(core, session_id, &ctx, jobs, &mut run_stats),
@@ -1217,7 +1271,7 @@ pub(crate) fn run_rounds_scheduled(
 
     drop(registration);
 
-    stats.elapsed = start.elapsed();
+    stats.elapsed = clock.now().saturating_duration_since(start);
     fill_run_counters(&mut stats, &ctx, run_stats);
     stats
 }
@@ -1382,6 +1436,7 @@ mod tests {
             complete_counters: Arc::new(RunCacheCounters::default()),
             deadline: None,
             cancel: Arc::new(AtomicBool::new(false)),
+            clock: system_clock(),
         })
     }
 

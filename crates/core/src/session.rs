@@ -27,6 +27,7 @@
 //! worker count; a time budget is the one intentionally non-deterministic
 //! cut-off. See the determinism notes in `crate::enumerate`.
 
+use crate::clock::{system_clock, SharedClock};
 use crate::config::DuoquestConfig;
 use crate::engine::{collect_ranked, run_collect, Candidate, SynthesisResult};
 use crate::scheduler::{
@@ -151,6 +152,7 @@ pub struct SynthesisSession {
     scheduler: Option<SchedulerHandle>,
     control: SessionControl,
     priority_weight: usize,
+    clock: SharedClock,
 }
 
 impl SynthesisSession {
@@ -172,6 +174,7 @@ impl SynthesisSession {
             scheduler: None,
             control: SessionControl::new(),
             priority_weight: 1,
+            clock: system_clock(),
         }
     }
 
@@ -212,6 +215,19 @@ impl SynthesisSession {
     /// which candidates are emitted — only when.
     pub fn with_priority_weight(mut self, weight: usize) -> Self {
         self.priority_weight = weight.max(1);
+        self
+    }
+
+    /// Replace the session's time source. Deadline checks, emission
+    /// timestamps and stage timings of runs driven by this session (inline,
+    /// or on a private pool the session spins up itself) read this clock —
+    /// the deterministic simulation harness passes a
+    /// [`SimClock`](crate::SimClock). Runs submitted to a shared scheduler
+    /// via [`SynthesisSession::with_scheduler`] or
+    /// [`SynthesisSession::spawn_driven`] use the **pool's** clock instead,
+    /// so every session multiplexed on one pool observes one time source.
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -259,7 +275,10 @@ impl SynthesisSession {
             // private pool scoped to this run (the pre-scheduler behaviour);
             // a sequential config runs inline with no pool at all.
             None if self.config.effective_workers() > 1 => {
-                let pool = SessionScheduler::new(self.config.effective_workers());
+                let pool = SessionScheduler::new_with_clock(
+                    self.config.effective_workers(),
+                    Arc::clone(&self.clock),
+                );
                 self.run_on(&pool.handle(), on_candidate)
             }
             None => run_collect(
@@ -269,6 +288,7 @@ impl SynthesisSession {
                 self.tsq.as_ref(),
                 &self.config,
                 &self.control,
+                self.clock.as_ref(),
                 on_candidate,
             ),
         }
@@ -352,7 +372,10 @@ impl SynthesisSession {
                 // Compatibility: no shared pool attached — the stream owns a
                 // private pool for just this run (the session-scoped analogue
                 // of `run_with`'s private-pool fallback).
-                let pool = SessionScheduler::new(self.config.effective_workers());
+                let pool = SessionScheduler::new_with_clock(
+                    self.config.effective_workers(),
+                    Arc::clone(&self.clock),
+                );
                 (pool.handle(), Some(pool))
             }
         };

@@ -32,11 +32,12 @@ pub mod literals;
 pub mod semantics;
 pub mod types;
 
+use crate::clock::{Clock, SYSTEM_CLOCK};
 use crate::tsq::TableSketchQuery;
 use duoquest_db::{Database, RunCacheCounters};
 use duoquest_nlq::Literal;
 use duoquest_sql::PartialQuery;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The stage at which verification failed (used for pruning statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -202,6 +203,9 @@ pub struct Verifier<'a> {
     /// counter set — per-session hit attribution on a database whose probe
     /// cache is shared by many concurrent sessions.
     counters: std::sync::Arc<RunCacheCounters>,
+    /// The time source of [`StageTimings`] stamps (virtualized so simulated
+    /// runs record simulated durations instead of real ones).
+    clock: &'a dyn Clock,
 }
 
 impl<'a> Verifier<'a> {
@@ -218,7 +222,16 @@ impl<'a> Verifier<'a> {
             literals,
             semantic_rules,
             counters: std::sync::Arc::new(RunCacheCounters::default()),
+            clock: &SYSTEM_CLOCK,
         }
+    }
+
+    /// Replace the verifier's time source (the deterministic simulation
+    /// harness threads a virtual clock through here so `StageTimings` never
+    /// reads the real clock).
+    pub fn with_clock(mut self, clock: &'a dyn Clock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Replace the verifier's counter set with a shared one, so cache traffic
@@ -265,9 +278,9 @@ impl<'a> Verifier<'a> {
     pub fn verify_timed(&self, pq: &PartialQuery, timings: &mut StageTimings) -> VerifyOutcome {
         macro_rules! stage {
             ($stage:expr, $check:expr) => {{
-                let started = Instant::now();
+                let started = self.clock.now();
                 let passed = $check;
-                timings.record($stage, started.elapsed());
+                timings.record($stage, self.clock.now().saturating_duration_since(started));
                 if !passed {
                     return VerifyOutcome::Fail($stage);
                 }

@@ -1,0 +1,60 @@
+//! The pinned regression corpus: every seed in `seeds.txt` replayed as its
+//! own named test, so a regression points at a seed by name and can be
+//! re-run in isolation (`cargo test -p duoquest-dst --test regression seed_42`).
+
+use duoquest_dst::check_seed;
+
+/// The corpus, mirrored from `seeds.txt` (a test below keeps them in sync).
+const CORPUS: &[u64] = &[0, 1, 7, 13, 42, 99, 1337, 65537, 123456789, 987654321];
+
+macro_rules! corpus_seed {
+    ($($name:ident = $seed:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                if let Err(failure) = check_seed($seed) {
+                    panic!("{failure}");
+                }
+            }
+        )*
+
+        /// The named tests above must cover exactly the seeds in the macro
+        /// invocation (compile-time halves of the sync check).
+        const NAMED: &[u64] = &[$($seed),*];
+    };
+}
+
+corpus_seed! {
+    seed_0 = 0;
+    seed_1 = 1;
+    seed_7 = 7;
+    seed_13 = 13;
+    seed_42 = 42;
+    seed_99 = 99;
+    seed_1337 = 1337;
+    seed_65537 = 65537;
+    seed_123456789 = 123456789;
+    seed_987654321 = 987654321;
+}
+
+/// `seeds.txt` (the on-disk corpus the docs point contributors at), the
+/// `CORPUS` constant, and the named tests must all agree — adding a seed in
+/// one place only fails here, with instructions.
+#[test]
+fn corpus_file_and_named_tests_agree() {
+    let file: Vec<u64> = include_str!("../seeds.txt")
+        .lines()
+        .map(|line| line.trim())
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| line.parse().expect("seeds.txt lines are seeds or # comments"))
+        .collect();
+    assert_eq!(
+        file, CORPUS,
+        "seeds.txt and the CORPUS constant diverged — add the seed to both, \
+         plus a corpus_seed! entry"
+    );
+    assert_eq!(
+        CORPUS, NAMED,
+        "CORPUS and the corpus_seed! invocation diverged — add a named test for the seed"
+    );
+}

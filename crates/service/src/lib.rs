@@ -120,7 +120,8 @@ pub use stats::{ClassStats, ServiceStats};
 pub use ticket::{RequestStatus, ServiceOutcome, Ticket};
 
 use duoquest_core::{
-    Candidate, SchedulerHandle, SessionControl, SessionScheduler, SynthesisResult, SynthesisSession,
+    system_clock, Candidate, SchedulerHandle, SessionControl, SessionScheduler, SharedClock,
+    SynthesisResult, SynthesisSession,
 };
 use stats::Reservoir;
 use std::collections::VecDeque;
@@ -169,8 +170,14 @@ struct Pending {
 
 impl Pending {
     /// Build the outcome of a request that never ran (cancelled or expired
-    /// while queued), returning the sender to deliver it through.
-    fn into_unrun(self, status: RequestStatus) -> (Sender<ServiceOutcome>, ServiceOutcome) {
+    /// while queued), returning the sender to deliver it through. `now` is
+    /// the service clock's current time (so simulated runs report simulated
+    /// queue waits).
+    fn into_unrun(
+        self,
+        status: RequestStatus,
+        now: Instant,
+    ) -> (Sender<ServiceOutcome>, ServiceOutcome) {
         let mut result = SynthesisResult::default();
         match status {
             RequestStatus::Cancelled => result.stats.cancelled = true,
@@ -180,15 +187,15 @@ impl Pending {
         let outcome = ServiceOutcome {
             result,
             status,
-            queue_wait: self.submitted.elapsed(),
+            queue_wait: now.saturating_duration_since(self.submitted),
             time_to_first_candidate: None,
         };
         (self.outcome, outcome)
     }
 
     /// Resolve the ticket of a request that never ran.
-    fn resolve_unrun(self, status: RequestStatus) {
-        let (sender, outcome) = self.into_unrun(status);
+    fn resolve_unrun(self, status: RequestStatus, now: Instant) {
+        let (sender, outcome) = self.into_unrun(status, now);
         let _ = sender.send(outcome);
     }
 }
@@ -227,6 +234,10 @@ impl Admission {
 pub(crate) struct Shared {
     cfg: ServiceConfig,
     handle: SchedulerHandle,
+    /// The pool's clock: every timestamp the service takes (submit anchors,
+    /// deadline checks, queue sweeps, TTFC samples) reads from here, so a
+    /// simulated pool keeps the whole service on the simulated timeline.
+    clock: SharedClock,
     state: Mutex<Admission>,
     counters: [ClassCounters; 3],
     shutdown: AtomicBool,
@@ -238,7 +249,7 @@ impl Shared {
     /// Ask the scheduler's tick to re-examine the queued set now (a ticket
     /// cancellation, a shutdown): the next free pool worker runs the sweep.
     pub(crate) fn notify_queue_changed(&self) {
-        self.handle.request_tick(Instant::now());
+        self.handle.request_tick(self.clock.now());
     }
 
     fn bump(&self, class: PriorityClass, status: RequestStatus) {
@@ -260,16 +271,17 @@ impl Shared {
     /// admission lock.
     fn claim_slot_locked(&self, state: &mut Admission, pending: Pending) -> Option<Pending> {
         let class = pending.req.priority;
+        let now = self.clock.now();
         if pending.control.is_cancelled() {
             // Cancelled while queued (or between admission and start).
             self.bump(class, RequestStatus::Cancelled);
-            pending.resolve_unrun(RequestStatus::Cancelled);
+            pending.resolve_unrun(RequestStatus::Cancelled, now);
             return None;
         }
-        if pending.control.deadline().is_some_and(|d| Instant::now() >= d) {
+        if pending.control.deadline().is_some_and(|d| now >= d) {
             // Expired while queued: never start a run the deadline already ate.
             self.bump(class, RequestStatus::DeadlineExceeded);
-            pending.resolve_unrun(RequestStatus::DeadlineExceeded);
+            pending.resolve_unrun(RequestStatus::DeadlineExceeded, now);
             return None;
         }
         state.live.push(LiveEntry { id: pending.id, class, control: pending.control.clone() });
@@ -284,7 +296,7 @@ impl Shared {
     fn start_unlocked(self: &Arc<Self>, pending: Pending) {
         let class = pending.req.priority;
         let Pending { id, req, control, submitted, candidates, outcome } = pending;
-        let queue_wait = submitted.elapsed();
+        let queue_wait = self.clock.now().saturating_duration_since(submitted);
         let SynthesisRequest { db, nlq, tsq, model, config, .. } = req;
         let mut session = SynthesisSession::new(db, nlq, model)
             .with_config(config)
@@ -303,7 +315,7 @@ impl Shared {
             {
                 let mut slot = ttfc_sink.lock().expect("ttfc slot poisoned");
                 if slot.is_none() {
-                    let sample = submitted.elapsed();
+                    let sample = shared.clock.now().saturating_duration_since(submitted);
                     *slot = Some(sample);
                     shared.counters[class.index()].record_ttfc(sample);
                 }
@@ -325,7 +337,7 @@ impl Shared {
             let status = if result.stats.cancelled || control.is_cancelled() {
                 RequestStatus::Cancelled
             } else if result.stats.deadline_exceeded
-                && control.deadline().is_some_and(|d| Instant::now() >= d)
+                && control.deadline().is_some_and(|d| shared.clock.now() >= d)
             {
                 // Only the request's own service deadline counts as expiry;
                 // the engine's `time_budget` cutting the search is a normal
@@ -361,16 +373,16 @@ impl Shared {
         if self.shutdown.load(Ordering::SeqCst) {
             return None;
         }
-        let now = Instant::now();
+        let now = self.clock.now();
         for class_queue in &mut state.queued {
             let mut kept = VecDeque::new();
             while let Some(pending) = class_queue.pop_front() {
                 if pending.control.is_cancelled() {
                     self.bump(pending.req.priority, RequestStatus::Cancelled);
-                    pending.resolve_unrun(RequestStatus::Cancelled);
+                    pending.resolve_unrun(RequestStatus::Cancelled, now);
                 } else if pending.control.deadline().is_some_and(|d| now >= d) {
                     self.bump(pending.req.priority, RequestStatus::DeadlineExceeded);
-                    pending.resolve_unrun(RequestStatus::DeadlineExceeded);
+                    pending.resolve_unrun(RequestStatus::DeadlineExceeded, now);
                 } else {
                     kept.push_back(pending);
                 }
@@ -424,15 +436,26 @@ pub struct SynthesisService {
 impl SynthesisService {
     /// Spawn a service with its own scheduler pool sized per `cfg.workers`.
     pub fn new(cfg: ServiceConfig) -> Self {
-        let scheduler = if cfg.workers == 0 {
-            SessionScheduler::for_machine()
+        SynthesisService::with_clock(cfg, system_clock())
+    }
+
+    /// Spawn a service whose pool — and every service timestamp (submit
+    /// anchors, deadlines, queue sweeps, TTFC) — reads time from `clock`.
+    /// With a [`SimClock`](duoquest_core::SimClock) the service runs on a
+    /// fully virtual timeline: deadlines only expire when the test advances
+    /// the clock. This is the entry point deterministic simulation tests use.
+    pub fn with_clock(cfg: ServiceConfig, clock: SharedClock) -> Self {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
-            SessionScheduler::new(cfg.workers)
+            cfg.workers
         };
+        let scheduler = SessionScheduler::new_with_clock(workers, Arc::clone(&clock));
         let ttfc_samples = cfg.ttfc_samples;
         let shared = Arc::new(Shared {
             cfg,
             handle: scheduler.handle(),
+            clock,
             state: Mutex::new(Admission::default()),
             counters: std::array::from_fn(|_| ClassCounters::new(ttfc_samples)),
             shutdown: AtomicBool::new(false),
@@ -463,7 +486,7 @@ impl SynthesisService {
     /// verification and resolves to a [`ServiceOutcome`]; dropping it cancels
     /// the request.
     pub fn submit(&self, req: SynthesisRequest) -> Result<Ticket, AdmissionError> {
-        let now = Instant::now();
+        let now = self.shared.clock.now();
         let class = req.priority;
         let mut control = SessionControl::new();
         if let Some(budget) = req.deadline {
@@ -574,11 +597,12 @@ impl Drop for SynthesisService {
         for live in &state.live {
             live.control.cancel();
         }
+        let now = self.shared.clock.now();
         for class_queue in &mut state.queued {
             for pending in class_queue.drain(..) {
                 pending.control.cancel();
                 self.shared.bump(pending.req.priority, RequestStatus::Cancelled);
-                pending.resolve_unrun(RequestStatus::Cancelled);
+                pending.resolve_unrun(RequestStatus::Cancelled, now);
             }
         }
         drop(state);

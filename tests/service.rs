@@ -16,7 +16,8 @@ use duoquest::core::{
 };
 use duoquest::nlq::NoisyOracleGuidance;
 use duoquest::service::{
-    json::Json, PriorityClass, RequestStatus, ServiceConfig, SynthesisRequest, SynthesisService,
+    json::Json, AdmissionError, PriorityClass, RequestStatus, ServiceConfig, SynthesisRequest,
+    SynthesisService,
 };
 use duoquest::workloads::{spider, synthesize_tsq, Difficulty, TsqDetail};
 use std::sync::Arc;
@@ -529,4 +530,97 @@ fn enumeration_stats_json_round_trips() {
     let sched = parsed.get("scheduler").expect("scheduler member");
     assert_eq!(sched.get("pool_workers").and_then(Json::as_u64), Some(run.pool_workers as u64));
     assert_eq!(sched.get("units_submitted").and_then(Json::as_u64), Some(run.units_submitted));
+}
+
+/// Slot-leak edge the DST conservation oracle checks, pinned directly:
+/// dropping a `Ticket` whose request is still queued *and* already past its
+/// deadline frees the admission slot exactly once. Whichever path resolves
+/// it first — the deadline sweep or the drop — the other must be a no-op:
+/// the queue gains exactly one opening, and the class records exactly one
+/// resolution (expired or cancelled, never both).
+#[test]
+fn dropping_a_queued_past_deadline_ticket_frees_the_slot_once() {
+    let dataset = workload();
+    let hard = hard_task(&dataset);
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 1,
+        max_live_sessions: 1,
+        max_queued: 1,
+        ..ServiceConfig::default()
+    });
+    let hog = service
+        .submit(request_for(&dataset, hard, 81, heavy_config()).with_priority(PriorityClass::Batch))
+        .expect("admitted");
+    let doomed = service
+        .submit(
+            request_for(&dataset, hard, 82, heavy_config())
+                .with_priority(PriorityClass::Background)
+                .with_deadline(Duration::from_millis(100)),
+        )
+        .expect("queued");
+    // The single queue slot is occupied.
+    let full = service.submit(
+        request_for(&dataset, hard, 83, heavy_config()).with_priority(PriorityClass::Background),
+    );
+    assert!(matches!(full, Err(AdmissionError::Overloaded { .. })), "{full:?}");
+
+    // Let the deadline lapse, then drop the ticket without ever waiting on
+    // it. Depending on tick timing the sweep may already have expired the
+    // request or the drop may cancel it — both orders must free the slot
+    // exactly once.
+    std::thread::sleep(Duration::from_millis(400));
+    drop(doomed);
+
+    // Exactly one opening: one request gets in (dropped-ticket resolution
+    // is asynchronous, so poll), the next is shed again.
+    let started = Instant::now();
+    let readmitted = loop {
+        match service.submit(
+            request_for(&dataset, hard, 84, heavy_config())
+                .with_priority(PriorityClass::Background),
+        ) {
+            Ok(ticket) => break ticket,
+            Err(AdmissionError::Overloaded { .. }) => {
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "queue slot never freed after drop"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(other) => panic!("unexpected admission error: {other:?}"),
+        }
+    };
+    let second = service.submit(
+        request_for(&dataset, hard, 85, heavy_config()).with_priority(PriorityClass::Background),
+    );
+    assert!(
+        matches!(second, Err(AdmissionError::Overloaded { .. })),
+        "slot was freed more than once: {second:?}"
+    );
+
+    // The doomed request resolved exactly once, as expired or cancelled.
+    let background = |s: duoquest::service::ServiceStats| *s.class(PriorityClass::Background);
+    let resolved = loop {
+        let class = background(service.stats());
+        if class.expired + class.cancelled >= 1 {
+            break class;
+        }
+        assert!(started.elapsed() < Duration::from_secs(10), "doomed request never resolved");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(
+        resolved.expired + resolved.cancelled,
+        1,
+        "double resolution: expired={} cancelled={}",
+        resolved.expired,
+        resolved.cancelled
+    );
+
+    readmitted.cancel();
+    let _ = readmitted.wait();
+    hog.cancel();
+    let _ = hog.wait();
+    let class = background(service.stats());
+    assert_eq!(class.queued, 0);
+    assert_eq!(class.live, 0);
 }
