@@ -93,6 +93,7 @@ pub struct RunRecord {
 pub fn check_scenario(scenario: &Scenario, options: &CheckOptions) -> Result<(), Violation> {
     quiet_injected_panics();
     crate::cache::check_cache_plan(&scenario.cache)?;
+    crate::netwalk::check_net_plan(&scenario.net)?;
     let reference = run_service(scenario, &scenario.reference, RunLabel::Reference, false)?;
     let alternate =
         run_service(scenario, &scenario.alternate, RunLabel::Alternate, options.perturb_alternate)?;
@@ -142,7 +143,7 @@ pub(crate) fn fixture_db(index_access: bool) -> Arc<Database> {
 }
 
 /// The NLQ and gold-guided model of one task fixture.
-fn task_model(task: u8) -> (Nlq, Arc<dyn GuidanceModel>) {
+pub(crate) fn task_model(task: u8) -> (Nlq, Arc<dyn GuidanceModel>) {
     let db = fixture_db(true);
     let schema = db.schema();
     let (gold, text, literals) = match task % TASK_COUNT {
@@ -179,7 +180,7 @@ fn task_model(task: u8) -> (Nlq, Arc<dyn GuidanceModel>) {
     (nlq, model)
 }
 
-fn engine_config(max_candidates: usize) -> duoquest_core::DuoquestConfig {
+pub(crate) fn engine_config(max_candidates: usize) -> duoquest_core::DuoquestConfig {
     let mut config = duoquest_core::DuoquestConfig::fast();
     config.max_candidates = max_candidates;
     config.time_budget = None;

@@ -38,6 +38,9 @@ pub struct Scenario {
     /// Deterministic probe-cache churn (byte-budget pressure) checked
     /// alongside the service runs.
     pub cache: CachePlan,
+    /// Connection-lifecycle walk over the TCP front (connect, submit,
+    /// stall, close, remote-cancel) checked alongside the service runs.
+    pub net: NetPlan,
 }
 
 impl Scenario {
@@ -128,6 +131,46 @@ pub enum CacheOp {
     Clear,
 }
 
+/// A connection-lifecycle schedule against a real TCP front.
+///
+/// Unlike the service runs, the net walk cannot live on the virtual clock —
+/// it drives real sockets — so its oracles are content and conservation
+/// oracles only: completed streams are byte-identical to a solo run,
+/// interrupted streams are a strict prefix, and the front plus service
+/// always drain back to idle whatever the client did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetPlan {
+    /// Connections driven sequentially against one server.
+    pub connections: Vec<ConnectionPlan>,
+}
+
+/// One client connection of a [`NetPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionPlan {
+    /// Which task fixture the submit frame names.
+    pub task: u8,
+    /// Candidate budget carried in the submit frame.
+    pub max_candidates: usize,
+    /// What the client does with the stream.
+    pub action: ConnAction,
+}
+
+/// Client behaviour over one submitted stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnAction {
+    /// Read the stream to its terminal event like a well-behaved client.
+    ReadAll,
+    /// Read until this many candidate lines arrived, then drop the socket
+    /// mid-stream — the disconnect-reaps-the-session path.
+    CloseAfter(u8),
+    /// Read until this many candidate lines arrived, `POST /cancel` the
+    /// request from a second connection, then drain to the terminal event.
+    CancelThenDrain(u8),
+    /// Submit, stall without reading while the run emits into the outbox
+    /// and kernel buffers, then read everything — the slow-reader path.
+    StallThenRead,
+}
+
 /// Generate the scenario for a seed. Pure: the only entropy source is the
 /// seeded [`StdRng`], so the mapping seed → scenario is stable across runs,
 /// processes and machines.
@@ -172,7 +215,10 @@ pub fn generate(seed: u64) -> Scenario {
     }
     let final_advance_us = rng.gen_range(0..=4_000u64);
     let cache = generate_cache_plan(&mut rng);
-    Scenario { seed, reference, alternate, final_advance_us, requests, cache }
+    // Drawn after the cache plan so pre-net seeds map to the same service
+    // and cache choices they always did.
+    let net = generate_net_plan(&mut rng);
+    Scenario { seed, reference, alternate, final_advance_us, requests, cache, net }
 }
 
 fn generate_cache_plan(rng: &mut StdRng) -> CachePlan {
@@ -196,6 +242,30 @@ fn generate_cache_plan(rng: &mut StdRng) -> CachePlan {
         });
     }
     CachePlan { ops }
+}
+
+fn generate_net_plan(rng: &mut StdRng) -> NetPlan {
+    if !rng.gen_bool(0.4) {
+        return NetPlan::default();
+    }
+    let connection_count = rng.gen_range(1..=3usize);
+    let mut connections = Vec::with_capacity(connection_count);
+    for _ in 0..connection_count {
+        let task = rng.gen_range(0..TASK_COUNT);
+        let max_candidates = rng.gen_range(1..=6usize);
+        let roll = rng.gen_range(0..100u32);
+        let action = if roll < 40 {
+            ConnAction::ReadAll
+        } else if roll < 65 {
+            ConnAction::CloseAfter(rng.gen_range(0..=3u8))
+        } else if roll < 85 {
+            ConnAction::CancelThenDrain(rng.gen_range(0..=3u8))
+        } else {
+            ConnAction::StallThenRead
+        };
+        connections.push(ConnectionPlan { task, max_candidates, action });
+    }
+    NetPlan { connections }
 }
 
 #[cfg(test)]
@@ -230,6 +300,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn net_plans_appear_and_cover_every_connection_action() {
+        let mut with_connections = 0usize;
+        let mut seen = [false; 4];
+        for seed in 0..500 {
+            let plan = generate(seed).net;
+            if plan.connections.is_empty() {
+                continue;
+            }
+            with_connections += 1;
+            for connection in &plan.connections {
+                seen[match connection.action {
+                    ConnAction::ReadAll => 0,
+                    ConnAction::CloseAfter(_) => 1,
+                    ConnAction::CancelThenDrain(_) => 2,
+                    ConnAction::StallThenRead => 3,
+                }] = true;
+            }
+        }
+        assert!(with_connections > 100, "only {with_connections} seeds drew a net walk");
+        assert_eq!(seen, [true; 4], "some connection action is never generated");
     }
 
     #[test]

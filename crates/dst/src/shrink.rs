@@ -4,13 +4,15 @@
 //! shrinker greedily removes requests (largest chunks first, ddmin-style),
 //! then simplifies each surviving request field by field (drop the cancel,
 //! the panic, the deadline, the drop-flag; zero the submit time; shrink the
-//! candidate budget), then normalizes the scenario (collapse the alternate
-//! service shape onto the reference, shrink the pools, drop the cache
-//! plan). Every candidate mutation is kept only if the scenario *still
-//! fails*; the loop runs to a fixpoint, bounded by an evaluation budget so
-//! a flaky failure cannot spin forever.
+//! candidate budget), then simplifies the net walk (remove connections,
+//! tame each surviving connection's action to a plain read), then
+//! normalizes the scenario (collapse the alternate service shape onto the
+//! reference, shrink the pools, drop the cache and net plans). Every
+//! candidate mutation is kept only if the scenario *still fails*; the loop
+//! runs to a fixpoint, bounded by an evaluation budget so a flaky failure
+//! cannot spin forever.
 
-use crate::scenario::{CachePlan, Scenario, ServicePlan};
+use crate::scenario::{CachePlan, ConnAction, NetPlan, Scenario, ServicePlan};
 
 /// Shrink `scenario` while `still_fails` holds, evaluating the predicate at
 /// most `max_evaluations` times. Returns the smallest failing scenario
@@ -81,10 +83,31 @@ where
             }
         }
 
+        // Phase 2b: net-walk simplification — remove connections one at a
+        // time, then tame surviving actions to a plain read.
+        let mut index = 0;
+        while index < best.net.connections.len() {
+            let mut candidate = best.clone();
+            candidate.net.connections.remove(index);
+            if accept(&candidate, &mut best, &mut evaluations) {
+                progressed = true;
+            } else {
+                index += 1;
+            }
+        }
+        for index in 0..best.net.connections.len() {
+            let mut candidate = best.clone();
+            candidate.net.connections[index].action = ConnAction::ReadAll;
+            if accept(&candidate, &mut best, &mut evaluations) {
+                progressed = true;
+            }
+        }
+
         // Phase 3: scenario-level normalization.
         type ScenarioEdit = fn(&mut Scenario);
         const EDITS: &[ScenarioEdit] = &[
             |s| s.cache = CachePlan::default(),
+            |s| s.net = NetPlan::default(),
             |s| s.final_advance_us = 0,
             |s| s.alternate = s.reference,
             |s| {

@@ -182,6 +182,26 @@ pub enum Violation {
         /// Largest budget in force.
         budget: u64,
     },
+    /// A net-walk connection's stream broke the content contract: a
+    /// completed stream was not byte-identical to the solo reference, an
+    /// interrupted stream was not a strict prefix of it, or the stream's
+    /// framing/terminal event was malformed.
+    NetStreamDiverged {
+        /// Index of the connection in [`NetPlan::connections`](crate::NetPlan::connections).
+        connection: usize,
+        /// Human-readable evidence.
+        detail: String,
+    },
+    /// After the net walk, the front or the service failed to drain back
+    /// to idle — a connection or admission slot leaked.
+    NetNoQuiescence {
+        /// Live sessions at timeout.
+        live: usize,
+        /// Queued requests at timeout.
+        queued: usize,
+        /// Connections the front still held open.
+        open: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -273,6 +293,14 @@ impl fmt::Display for Violation {
                 f,
                 "cache retention overrun at op {step}: {bytes} resident bytes over the {budget} \
                  byte high-water budget"
+            ),
+            Violation::NetStreamDiverged { connection, detail } => {
+                write!(f, "net stream diverged: connection {connection}: {detail}")
+            }
+            Violation::NetNoQuiescence { live, queued, open } => write!(
+                f,
+                "net walk never drained: {live} live / {queued} queued sessions, {open} open \
+                 connections after the grace period"
             ),
         }
     }

@@ -3,7 +3,8 @@
 //! reduce the evidence to a minimal scenario.
 
 use duoquest_dst::{
-    check_scenario, shrink, CachePlan, CheckOptions, RequestPlan, Scenario, ServicePlan, Violation,
+    check_scenario, shrink, CachePlan, CheckOptions, NetPlan, RequestPlan, Scenario, ServicePlan,
+    Violation,
 };
 
 fn plain_request(submit_at_us: u64) -> RequestPlan {
@@ -36,6 +37,7 @@ fn busy_scenario() -> Scenario {
         final_advance_us: 2_000,
         requests,
         cache: CachePlan::default(),
+        net: NetPlan::default(),
     }
 }
 

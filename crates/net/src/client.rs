@@ -1,0 +1,274 @@
+//! Minimal client helpers for the front's protocol: a blocking one-shot
+//! request helper plus an incrementally-fed response decoder that works on
+//! non-blocking sockets — what the 1k-connection load generator uses to
+//! multiplex every stream from a single thread.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A fully-read HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// The decoded body (chunked transfer already de-framed).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The body split into its NDJSON lines.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.body.lines().filter(|l| !l.is_empty())
+    }
+}
+
+/// Send one request and read the whole response (blocking). `body = None`
+/// sends no `Content-Length`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    send_request(&mut stream, method, path, body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let mut decoder = ResponseDecoder::new();
+    decoder.feed(&raw);
+    decoder
+        .response()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "incomplete response"))
+}
+
+/// Write `METHOD path` plus an optional body on an already-connected
+/// stream.
+pub fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: duoquest\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum DecodeState {
+    Head,
+    ChunkSize,
+    ChunkData { remaining: usize },
+    ChunkTrailer,
+    Body { remaining: usize },
+    Done,
+}
+
+/// An incremental HTTP response decoder: feed it bytes as they arrive (any
+/// fragmentation), read back decoded NDJSON lines as they complete. Handles
+/// both `Content-Length` and `Transfer-Encoding: chunked` responses, which
+/// is all the front emits.
+#[derive(Debug)]
+pub struct ResponseDecoder {
+    state: DecodeState,
+    buffer: Vec<u8>,
+    status: Option<u16>,
+    body: Vec<u8>,
+    emitted_lines: usize,
+}
+
+impl Default for ResponseDecoder {
+    fn default() -> Self {
+        ResponseDecoder::new()
+    }
+}
+
+impl ResponseDecoder {
+    /// A decoder expecting the start of a response.
+    pub fn new() -> Self {
+        ResponseDecoder {
+            state: DecodeState::Head,
+            buffer: Vec::new(),
+            status: None,
+            body: Vec::new(),
+            emitted_lines: 0,
+        }
+    }
+
+    /// Feed newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+        self.advance();
+    }
+
+    fn advance(&mut self) {
+        loop {
+            match self.state {
+                DecodeState::Head => {
+                    let Some(end) = find_subslice(&self.buffer, b"\r\n\r\n") else { return };
+                    let head = String::from_utf8_lossy(&self.buffer[..end]).to_string();
+                    self.buffer.drain(..end + 4);
+                    let status = head
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|s| s.parse::<u16>().ok())
+                        .unwrap_or(0);
+                    self.status = Some(status);
+                    let chunked = head.to_ascii_lowercase().contains("transfer-encoding: chunked");
+                    if chunked {
+                        self.state = DecodeState::ChunkSize;
+                    } else {
+                        let length = head
+                            .lines()
+                            .find_map(|l| {
+                                let (name, value) = l.split_once(':')?;
+                                name.trim()
+                                    .eq_ignore_ascii_case("content-length")
+                                    .then(|| value.trim().parse::<usize>().ok())?
+                            })
+                            .unwrap_or(0);
+                        self.state = DecodeState::Body { remaining: length };
+                    }
+                }
+                DecodeState::ChunkSize => {
+                    let Some(end) = find_subslice(&self.buffer, b"\r\n") else { return };
+                    let size_line = String::from_utf8_lossy(&self.buffer[..end]).to_string();
+                    self.buffer.drain(..end + 2);
+                    let size = usize::from_str_radix(size_line.trim(), 16).unwrap_or(0);
+                    if size == 0 {
+                        self.state = DecodeState::ChunkTrailer;
+                    } else {
+                        self.state = DecodeState::ChunkData { remaining: size };
+                    }
+                }
+                DecodeState::ChunkData { remaining } => {
+                    let take = remaining.min(self.buffer.len());
+                    self.body.extend(self.buffer.drain(..take));
+                    let left = remaining - take;
+                    if left > 0 {
+                        self.state = DecodeState::ChunkData { remaining: left };
+                        return;
+                    }
+                    // Consume the CRLF after the chunk data.
+                    if self.buffer.len() < 2 {
+                        self.state = DecodeState::ChunkData { remaining: 0 };
+                        return;
+                    }
+                    self.buffer.drain(..2);
+                    self.state = DecodeState::ChunkSize;
+                }
+                DecodeState::ChunkTrailer => {
+                    let Some(end) = find_subslice(&self.buffer, b"\r\n") else { return };
+                    self.buffer.drain(..end + 2);
+                    self.state = DecodeState::Done;
+                }
+                DecodeState::Body { remaining } => {
+                    let take = remaining.min(self.buffer.len());
+                    self.body.extend(self.buffer.drain(..take));
+                    let left = remaining - take;
+                    if left > 0 {
+                        self.state = DecodeState::Body { remaining: left };
+                        return;
+                    }
+                    self.state = DecodeState::Done;
+                }
+                DecodeState::Done => return,
+            }
+        }
+    }
+
+    /// Whether the response is completely decoded.
+    pub fn is_done(&self) -> bool {
+        self.state == DecodeState::Done
+    }
+
+    /// The status code, once the head has been decoded.
+    pub fn status(&self) -> Option<u16> {
+        self.status
+    }
+
+    /// Completed NDJSON lines not yet returned by a previous call. Safe to
+    /// call repeatedly as bytes stream in; each line is returned exactly
+    /// once, in stream order.
+    pub fn take_lines(&mut self) -> Vec<String> {
+        let text = String::from_utf8_lossy(&self.body);
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // The final line may be incomplete unless the stream is done.
+        if !self.is_done() && !text.ends_with('\n') {
+            lines.pop();
+        }
+        let fresh = lines.split_off(self.emitted_lines.min(lines.len()));
+        self.emitted_lines += fresh.len();
+        fresh
+    }
+
+    /// The finished response, if fully decoded.
+    pub fn response(&self) -> Option<HttpResponse> {
+        if !self.is_done() {
+            return None;
+        }
+        Some(HttpResponse {
+            status: self.status.unwrap_or(0),
+            body: String::from_utf8_lossy(&self.body).to_string(),
+        })
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_content_length_response() {
+        let mut decoder = ResponseDecoder::new();
+        decoder.feed(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(decoder.is_done());
+        let response = decoder.response().unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "hello");
+    }
+
+    #[test]
+    fn decodes_a_chunked_response_byte_by_byte() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nfirst\n\r\n7\r\nsecond\n\r\n0\r\n\r\n";
+        let mut decoder = ResponseDecoder::new();
+        let mut seen = Vec::new();
+        for byte in raw.iter() {
+            decoder.feed(std::slice::from_ref(byte));
+            seen.extend(decoder.take_lines());
+        }
+        assert!(decoder.is_done());
+        assert_eq!(seen, vec!["first".to_string(), "second".to_string()]);
+        assert_eq!(decoder.response().unwrap().body, "first\nsecond\n");
+    }
+
+    #[test]
+    fn take_lines_never_returns_a_partial_line() {
+        let mut decoder = ResponseDecoder::new();
+        decoder.feed(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n");
+        decoder.feed(b"4\r\npar\n\r\n");
+        assert_eq!(decoder.take_lines(), vec!["par".to_string()]);
+        decoder.feed(b"4\r\ntia");
+        assert!(decoder.take_lines().is_empty(), "incomplete line held back");
+        decoder.feed(b"l\r\n");
+        assert!(decoder.take_lines().is_empty(), "still no newline");
+        decoder.feed(b"2\r\n!\n\r\n0\r\n\r\n");
+        assert_eq!(decoder.take_lines(), vec!["tial!".to_string()]);
+    }
+}

@@ -1,0 +1,242 @@
+//! A deliberately small HTTP/1.1 implementation: exactly what the serving
+//! front needs and nothing more. Requests are `METHOD /path HTTP/1.1` with
+//! headers and an optional `Content-Length` body; responses carry either a
+//! `Content-Length` body or a `Transfer-Encoding: chunked` stream.
+//!
+//! The reader is hardened the same way the JSON reader is: header and body
+//! sizes are capped, truncated or malformed requests return an error
+//! instead of panicking or reading unboundedly, and every error maps to an
+//! HTTP status so the connection can answer before closing.
+
+use std::io::{self, Read, Write};
+
+/// One parsed request: just the triplet the router needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/submit` (query strings are not split off —
+    /// the front's routes don't take any).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be read, with the status the response should
+/// carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code to answer with (400, 413, 408 …).
+    pub status: u16,
+    /// Human-readable reason, echoed in the error body.
+    pub reason: String,
+}
+
+impl HttpError {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        HttpError { status, reason: reason.into() }
+    }
+}
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on the request body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Read and parse one request from `stream`. Bounded: the head is capped at
+/// [`MAX_HEAD_BYTES`], the body at [`MAX_BODY_BYTES`]; a peer that stalls
+/// mid-request hits the stream's read timeout and surfaces as a 408.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Single-byte reads keep the parser from consuming body bytes past the
+    // blank line; request heads are tiny and arrive in one segment, so this
+    // costs nothing measurable against a synthesis run.
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(HttpError::new(400, "connection closed mid-request")),
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading request head"));
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read error: {e}"))),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+    }
+    let head =
+        std::str::from_utf8(&head).map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| HttpError::new(400, "empty request line"))?;
+    let path = parts.next().ok_or_else(|| HttpError::new(400, "request line has no target"))?;
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, format!("unsupported protocol {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header line {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::new(400, "unparseable Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0usize;
+    while filled < content_length {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::new(400, "connection closed mid-body")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading request body"));
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read error: {e}"))),
+        }
+    }
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::new(400, "request body is not UTF-8"))?;
+    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+}
+
+/// The reason phrase for the handful of statuses the front answers with.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a complete `Content-Length` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Start a `Transfer-Encoding: chunked` response (the candidate stream).
+pub fn write_chunked_head(stream: &mut impl Write, content_type: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    );
+    stream.write_all(head.as_bytes())
+}
+
+/// Write one chunk of a chunked response and flush it (streaming delivery:
+/// every candidate reaches the client as it is emitted, not at run end).
+pub fn write_chunk(stream: &mut impl Write, data: &str) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(()); // an empty chunk would terminate the stream
+    }
+    write!(stream, "{:x}\r\n{}\r\n", data.len(), data)?;
+    stream.flush()
+}
+
+/// Terminate a chunked response.
+pub fn write_chunk_end(stream: &mut impl Write) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/submit");
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn truncated_and_malformed_requests_error_with_a_status() {
+        assert_eq!(parse("").unwrap_err().status, 400);
+        assert_eq!(parse("GET /stats HTTP/1.1\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GARBAGE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x SPDY/9\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x HTTP/1.1\r\nBadHeader\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err().status,
+            400
+        );
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse(&huge).unwrap_err().status, 413);
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES + 10));
+        assert_eq!(parse(&long_head).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn chunked_writer_produces_valid_framing() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, "application/x-ndjson").unwrap();
+        write_chunk(&mut out, "hello\n").unwrap();
+        write_chunk(&mut out, "").unwrap(); // dropped, not a terminator
+        write_chunk(&mut out, "world\n").unwrap();
+        write_chunk_end(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,285 @@
+//! # duoquest-net
+//!
+//! The dependency-free TCP serving front for the Duoquest synthesis
+//! service: a hand-rolled HTTP/1.1 edge (no async runtime, no HTTP crate)
+//! that exposes the in-process [`SynthesisService`] over real sockets with
+//! **streamed** candidate delivery.
+//!
+//! ```text
+//!  client ──POST /submit──► acceptor thread ──► connection thread
+//!                                                    │ submit_with_observer
+//!                                                    ▼
+//!                       pool workers ──candidate──► bounded Outbox
+//!                                                    │ pop + chunked write
+//!                                                    ▼
+//!                                     NDJSON events over one response
+//! ```
+//!
+//! Three routes, all speaking the `duoquest_service::json` wire dialect:
+//!
+//! * `POST /submit` — admit a named task; the response is a chunked NDJSON
+//!   stream of `accepted` / `candidate` / `done` events, candidates
+//!   delivered **as they are emitted** (see [`wire`]).
+//! * `POST /cancel` — cancel a request by its service id, from any
+//!   connection.
+//! * `GET /stats` — live [`ServiceStats`](duoquest_service::ServiceStats)
+//!   JSON wrapped with the net front's own counters.
+//!
+//! **Backpressure feeds admission.** Each connection owns a bounded
+//! [`Outbox`](outbox::Outbox) that the engine-side observer pushes into: a
+//! client that stops reading fills the kernel socket buffer, then stalls
+//! the writer (bounded by a write timeout), then fills the outbox — at
+//! which point the observer returns `false` and the service **cancels the
+//! run** (`shed:true` on the terminal event). A disconnected client is
+//! detected by write failure or an EOF probe and reaps its session exactly
+//! like a dropped in-process [`Ticket`](duoquest_service::Ticket) — slots
+//! free, queued work promotes, nothing leaks. `docs/NET.md` walks the full
+//! contract.
+//!
+//! Threading: one acceptor thread plus one small-stack thread per **open
+//! connection** (I/O-bound; requests themselves stay thread-free
+//! scheduler-driven sessions). A thousand idle streaming connections cost
+//! a thousand parked threads and zero engine threads — the load-generator
+//! example (`examples/net_load.rs`) drives exactly that shape.
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod http;
+pub mod outbox;
+mod registry;
+pub mod wire;
+
+pub use registry::{TaskRegistry, TaskSpec};
+
+// The wire dialect's reader/escaper, re-exported so clients of the front
+// can parse event lines without depending on `duoquest-service` directly.
+pub use duoquest_service::json;
+
+use duoquest_service::SynthesisService;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the TCP front.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bound on each connection's outbox, in event lines. When a slow
+    /// client lets the queue hit this bound the run is shed (cancelled)
+    /// rather than buffered without limit.
+    pub outbox_capacity: usize,
+    /// Socket write timeout. A write stalled this long (client wedged with
+    /// full kernel buffers) counts as a disconnect and cancels the run.
+    pub write_timeout: Duration,
+    /// Socket read timeout while parsing a request head/body.
+    pub read_timeout: Duration,
+    /// Stack size of per-connection threads. Connection threads only do
+    /// I/O and string shuffling, so the default stays far below the Rust
+    /// default thread stack — what lets 1k+ concurrent connections fit
+    /// comfortably.
+    pub conn_stack_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            outbox_capacity: 256,
+            write_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            conn_stack_bytes: 128 * 1024,
+        }
+    }
+}
+
+/// The net front's own counters, served alongside the service stats.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Connections accepted since bind.
+    pub accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    pub open: AtomicUsize,
+    /// Requests admitted through `/submit`.
+    pub submits: AtomicU64,
+    /// Submit streams that reached their terminal `done` event.
+    pub completed: AtomicU64,
+    /// Requests refused at admission (HTTP 503).
+    pub admission_shed: AtomicU64,
+    /// Runs cut because a connection's outbox overflowed (slow reader).
+    pub overflow_shed: AtomicU64,
+    /// Runs cut because the client disconnected or wedged mid-stream.
+    pub disconnects: AtomicU64,
+    /// Successful `POST /cancel` hits.
+    pub remote_cancels: AtomicU64,
+    /// Requests rejected before admission (bad frame, unknown task …).
+    pub bad_requests: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Render as a JSON object (the `"net"` section of `GET /stats`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"open\":{},\"submits\":{},\"completed\":{},\
+             \"admission_shed\":{},\"overflow_shed\":{},\"disconnects\":{},\
+             \"remote_cancels\":{},\"bad_requests\":{}}}",
+            self.accepted.load(Ordering::Relaxed),
+            self.open.load(Ordering::Relaxed),
+            self.submits.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.admission_shed.load(Ordering::Relaxed),
+            self.overflow_shed.load(Ordering::Relaxed),
+            self.disconnects.load(Ordering::Relaxed),
+            self.remote_cancels.load(Ordering::Relaxed),
+            self.bad_requests.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+pub(crate) struct ServerCtx {
+    pub(crate) service: Arc<SynthesisService>,
+    pub(crate) registry: TaskRegistry,
+    pub(crate) cfg: NetConfig,
+    pub(crate) metrics: NetMetrics,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl ServerCtx {
+    /// The `GET /stats` body: live service stats plus net counters.
+    pub(crate) fn stats_json(&self) -> String {
+        format!(
+            "{{\"service\":{},\"net\":{}}}\n",
+            self.service.stats().to_json(),
+            self.metrics.to_json()
+        )
+    }
+}
+
+/// A bound, accepting TCP front over one [`SynthesisService`].
+///
+/// Bind with [`NetServer::bind`]; the acceptor runs until the server is
+/// shut down (explicitly or on drop). Shutdown cancels in-flight streams'
+/// runs and waits briefly for connection threads to drain.
+pub struct NetServer {
+    ctx: Arc<ServerCtx>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port — [`NetServer::addr`]
+    /// reports the actual one) and start accepting.
+    pub fn bind(
+        addr: &str,
+        service: Arc<SynthesisService>,
+        registry: TaskRegistry,
+        cfg: NetConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(ServerCtx {
+            service,
+            registry,
+            cfg,
+            metrics: NetMetrics::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor_ctx = Arc::clone(&ctx);
+        let acceptor = thread::Builder::new()
+            .name("duoquest-net-acceptor".into())
+            .spawn(move || accept_loop(listener, acceptor_ctx))
+            .expect("spawning the acceptor thread");
+        Ok(NetServer { ctx, local_addr, acceptor: Some(acceptor) })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The net front's counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.ctx.metrics
+    }
+
+    /// Currently open connections.
+    pub fn open_connections(&self) -> usize {
+        self.ctx.metrics.open.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /stats` body, as served (for in-process scraping).
+    pub fn stats_json(&self) -> String {
+        self.ctx.stats_json()
+    }
+
+    /// Stop accepting, cancel in-flight streams, and wait up to `grace`
+    /// for connection threads to drain. Idempotent.
+    pub fn shutdown(&mut self, grace: Duration) {
+        if self.ctx.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let deadline = Instant::now() + grace;
+        while self.open_connections() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown(Duration::from_secs(5));
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.local_addr)
+            .field("open_connections", &self.open_connections())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if ctx.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        ctx.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.open.fetch_add(1, Ordering::Relaxed);
+        let conn_ctx = Arc::clone(&ctx);
+        let spawned = thread::Builder::new()
+            .name("duoquest-net-conn".into())
+            .stack_size(ctx.cfg.conn_stack_bytes)
+            .spawn(move || {
+                // The gauge decrements however the handler exits; handler
+                // errors resolve into closed sockets, not unwinding, but a
+                // guard keeps the gauge honest even against a bug.
+                struct OpenGuard<'a>(&'a AtomicUsize);
+                impl Drop for OpenGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                let _guard = OpenGuard(&conn_ctx.metrics.open);
+                conn::handle(stream, Arc::clone(&conn_ctx));
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: shed the connection instead of dying.
+            ctx.metrics.open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The bounded per-connection outbox: the coupling point between candidate
+//! emission (pool workers) and socket delivery (the connection thread).
+//!
+//! The engine-side observer pushes event lines; the connection thread pops
+//! and writes them. The queue is **bounded**: when a client reads slower
+//! than the engine emits and the kernel's socket buffer plus this queue
+//! both fill, [`Outbox::push`] fails, the observer returns `false`, and the
+//! service cancels the run — backpressure reaches admission control instead
+//! of accumulating unbounded memory. The overflow is latched so the
+//! connection thread can report `shed:true` in its terminal event.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why an [`Outbox::push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the overflow flag is now latched.
+    Full,
+    /// The outbox was closed — the consumer is gone, nothing to shed.
+    Closed,
+}
+
+/// What [`Outbox::pop_wait`] observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped {
+    /// An event line, in push order.
+    Line(String),
+    /// Nothing arrived within the wait; the outbox is still open.
+    Empty,
+    /// The outbox was closed and fully drained — nothing more will come.
+    Closed,
+}
+
+struct State {
+    lines: VecDeque<String>,
+    closed: bool,
+    overflowed: bool,
+}
+
+/// A bounded MPSC line queue with a latched overflow flag. See the module
+/// docs for its role in the backpressure cascade.
+pub struct Outbox {
+    state: Mutex<State>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl Outbox {
+    /// An open outbox holding at most `capacity` lines (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Outbox {
+            state: Mutex::new(State { lines: VecDeque::new(), closed: false, overflowed: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append a line. Fails — latching the overflow flag — when the queue
+    /// is full, and fails without latching when the outbox was closed (the
+    /// consumer is gone; nothing to shed, the run is already being torn
+    /// down). Never blocks: this runs on a shared pool worker.
+    pub fn push(&self, line: String) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("outbox poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.lines.len() >= self.capacity {
+            state.overflowed = true;
+            return Err(PushError::Full);
+        }
+        state.lines.push_back(line);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pop the next line, waiting up to `wait` for one to arrive.
+    pub fn pop_wait(&self, wait: Duration) -> Popped {
+        let mut state = self.state.lock().expect("outbox poisoned");
+        if let Some(line) = state.lines.pop_front() {
+            return Popped::Line(line);
+        }
+        if state.closed {
+            return Popped::Closed;
+        }
+        let (mut state, _timeout) =
+            self.available.wait_timeout(state, wait).expect("outbox poisoned");
+        match state.lines.pop_front() {
+            Some(line) => Popped::Line(line),
+            None if state.closed => Popped::Closed,
+            None => Popped::Empty,
+        }
+    }
+
+    /// Drain whatever is queued right now, without waiting.
+    pub fn drain(&self) -> Vec<String> {
+        let mut state = self.state.lock().expect("outbox poisoned");
+        state.lines.drain(..).collect()
+    }
+
+    /// Close the outbox: pushes fail from now on; pops drain the remainder
+    /// then report [`Popped::Closed`].
+    pub fn close(&self) {
+        self.state.lock().expect("outbox poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether a push ever overflowed the bound (latched).
+    pub fn overflowed(&self) -> bool {
+        self.state.lock().expect("outbox poisoned").overflowed
+    }
+
+    /// Lines currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("outbox poisoned").lines.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_preserves_order() {
+        let outbox = Outbox::new(8);
+        outbox.push("a".into()).unwrap();
+        outbox.push("b".into()).unwrap();
+        assert_eq!(outbox.pop_wait(Duration::ZERO), Popped::Line("a".into()));
+        assert_eq!(outbox.pop_wait(Duration::ZERO), Popped::Line("b".into()));
+        assert_eq!(outbox.pop_wait(Duration::ZERO), Popped::Empty);
+    }
+
+    #[test]
+    fn overflow_fails_the_push_and_latches() {
+        let outbox = Outbox::new(2);
+        outbox.push("a".into()).unwrap();
+        outbox.push("b".into()).unwrap();
+        assert!(!outbox.overflowed());
+        assert!(outbox.push("c".into()).is_err(), "push past the bound must fail");
+        assert!(outbox.overflowed(), "overflow must latch");
+        // The queued prefix is intact: backpressure sheds the tail, never
+        // corrupts what was already accepted.
+        assert_eq!(outbox.drain(), vec!["a".to_string(), "b".to_string()]);
+        assert!(outbox.overflowed(), "drain does not clear the latch");
+    }
+
+    #[test]
+    fn close_fails_pushes_without_latching_and_drains_pops() {
+        let outbox = Outbox::new(4);
+        outbox.push("a".into()).unwrap();
+        outbox.close();
+        assert!(outbox.push("b".into()).is_err());
+        assert!(!outbox.overflowed(), "a closed outbox is not an overflow");
+        assert_eq!(outbox.pop_wait(Duration::ZERO), Popped::Line("a".into()));
+        assert_eq!(outbox.pop_wait(Duration::ZERO), Popped::Closed);
+    }
+
+    #[test]
+    fn pop_wait_wakes_on_cross_thread_push() {
+        let outbox = Arc::new(Outbox::new(4));
+        let producer = Arc::clone(&outbox);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            producer.push("late".into()).unwrap();
+        });
+        assert_eq!(
+            outbox.pop_wait(Duration::from_secs(5)),
+            Popped::Line("late".into()),
+            "the condvar must deliver the push within the wait"
+        );
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! The NDJSON wire format streamed over the chunked HTTP response, plus the
+//! submit-frame reader. Every string embedded in an event goes through
+//! [`escape_string`] — task names and SQL text are user-reachable and can
+//! contain anything — and every frame read off the socket goes through the
+//! hardened [`Json`] reader, so a hostile client can get an error but never
+//! a panic.
+//!
+//! Events, one JSON object per line:
+//!
+//! * `{"event":"accepted","id":N}` — the request was admitted; `N` is the
+//!   service-assigned id usable with `POST /cancel`.
+//! * `{"event":"candidate","emit_index":K,"sql":S,"confidence_bits":B,
+//!   "confidence":C}` — the K-th surviving candidate, streamed as it is
+//!   emitted. `confidence_bits` is the exact `f64` bit pattern as 16 hex
+//!   digits (the byte-identity token); `confidence` is a lossy convenience
+//!   rendering. The line deliberately omits the request id so the stream
+//!   for a given task is **byte-identical** on every connection.
+//! * `{"event":"done","id":N,"status":S,"shed":B,"queue_wait_us":N,
+//!   "ttfc_us":N|null,"candidates":N}` — terminal line; `shed:true` means
+//!   the connection's outbox overflowed and the run was cut (backpressure
+//!   shed), in which case the candidate lines are a prefix of the full
+//!   stream.
+//! * `{"event":"error","reason":S}` — terminal line of a stream that could
+//!   not finish normally.
+
+use duoquest_core::Candidate;
+use duoquest_db::Schema;
+use duoquest_service::json::{escape_string, Json};
+use duoquest_service::{PriorityClass, ServiceOutcome};
+use duoquest_sql::render_sql;
+
+/// A parsed `POST /submit` body:
+/// `{"task":"name","priority":"interactive","deadline_ms":N,"max_candidates":N}`
+/// with everything but `task` optional.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitWire {
+    /// Registry name of the task fixture to run.
+    pub task: String,
+    /// Priority class; `None` leaves the registry default.
+    pub priority: Option<PriorityClass>,
+    /// Deadline in milliseconds from submission.
+    pub deadline_ms: Option<u64>,
+    /// Override of the engine's candidate budget.
+    pub max_candidates: Option<usize>,
+}
+
+impl SubmitWire {
+    /// A frame naming just a task, everything else default.
+    pub fn task(name: impl Into<String>) -> Self {
+        SubmitWire { task: name.into(), priority: None, deadline_ms: None, max_candidates: None }
+    }
+
+    /// Parse a submit body. All failure modes — malformed JSON, missing or
+    /// mistyped fields, unknown priority labels — are errors, never panics.
+    pub fn parse(body: &str) -> Result<SubmitWire, String> {
+        let json = Json::parse(body)?;
+        let task = json
+            .get("task")
+            .and_then(Json::as_str)
+            .ok_or("submit frame needs a string \"task\" field")?
+            .to_string();
+        let priority = match json.get("priority") {
+            None => None,
+            Some(value) => {
+                let label = value.as_str().ok_or("\"priority\" must be a string")?;
+                Some(
+                    PriorityClass::ALL
+                        .into_iter()
+                        .find(|c| c.label() == label)
+                        .ok_or_else(|| format!("unknown priority {label:?}"))?,
+                )
+            }
+        };
+        let deadline_ms = match json.get("deadline_ms") {
+            None => None,
+            Some(value) => {
+                Some(value.as_u64().ok_or("\"deadline_ms\" must be a non-negative integer")?)
+            }
+        };
+        let max_candidates = match json.get("max_candidates") {
+            None => None,
+            Some(value) => {
+                Some(value.as_u64().ok_or("\"max_candidates\" must be a non-negative integer")?
+                    as usize)
+            }
+        };
+        Ok(SubmitWire { task, priority, deadline_ms, max_candidates })
+    }
+
+    /// Render the frame as a submit body (the client half of the protocol).
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![format!("\"task\":{}", escape_string(&self.task))];
+        if let Some(priority) = self.priority {
+            fields.push(format!("\"priority\":\"{}\"", priority.label()));
+        }
+        if let Some(deadline) = self.deadline_ms {
+            fields.push(format!("\"deadline_ms\":{deadline}"));
+        }
+        if let Some(max) = self.max_candidates {
+            fields.push(format!("\"max_candidates\":{max}"));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// The `accepted` event line (newline included, like every event line).
+pub fn accepted_line(id: u64) -> String {
+    format!("{{\"event\":\"accepted\",\"id\":{id}}}\n")
+}
+
+/// The `candidate` event line for the `index`-th emitted candidate.
+pub fn candidate_line(index: usize, candidate: &Candidate, schema: &Schema) -> String {
+    format!(
+        "{{\"event\":\"candidate\",\"emit_index\":{},\"sql\":{},\"confidence_bits\":\"{:016x}\",\"confidence\":{}}}\n",
+        index,
+        escape_string(&render_sql(&candidate.spec, schema)),
+        candidate.confidence.to_bits(),
+        candidate.confidence,
+    )
+}
+
+/// The terminal `done` event line.
+pub fn done_line(id: u64, outcome: &ServiceOutcome, emitted: usize, shed: bool) -> String {
+    let ttfc = outcome
+        .time_to_first_candidate
+        .map(|d| d.as_micros().to_string())
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"event\":\"done\",\"id\":{},\"status\":\"{}\",\"shed\":{},\"queue_wait_us\":{},\"ttfc_us\":{},\"candidates\":{}}}\n",
+        id,
+        outcome.status.label(),
+        shed,
+        outcome.queue_wait.as_micros(),
+        ttfc,
+        emitted,
+    )
+}
+
+/// The terminal `error` event line.
+pub fn error_line(reason: &str) -> String {
+    format!("{{\"event\":\"error\",\"reason\":{}}}\n", escape_string(reason))
+}
+
+/// An error body for non-streaming error responses (400/404/503 …).
+pub fn error_body(reason: &str) -> String {
+    format!("{{\"error\":{}}}\n", escape_string(reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_frame_round_trips() {
+        let frame = SubmitWire {
+            task: "movies \"before\"\n1995".into(),
+            priority: Some(PriorityClass::Batch),
+            deadline_ms: Some(250),
+            max_candidates: Some(5),
+        };
+        assert_eq!(SubmitWire::parse(&frame.to_json()).unwrap(), frame);
+        let bare = SubmitWire::task("t0");
+        assert_eq!(SubmitWire::parse(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn submit_frame_rejects_bad_input() {
+        assert!(SubmitWire::parse("").is_err());
+        assert!(SubmitWire::parse("{}").is_err());
+        assert!(SubmitWire::parse("{\"task\":7}").is_err());
+        assert!(SubmitWire::parse("{\"task\":\"t\",\"priority\":\"vip\"}").is_err());
+        assert!(SubmitWire::parse("{\"task\":\"t\",\"deadline_ms\":-4}").is_err());
+        assert!(SubmitWire::parse("{\"task\":\"t\",\"max_candidates\":\"lots\"}").is_err());
+        assert!(SubmitWire::parse(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn event_lines_are_parseable_json() {
+        let accepted = Json::parse(accepted_line(7).trim()).unwrap();
+        assert_eq!(accepted.get("event").and_then(Json::as_str), Some("accepted"));
+        assert_eq!(accepted.get("id").and_then(Json::as_u64), Some(7));
+        let error = Json::parse(error_line("bad \"frame\"\n").trim()).unwrap();
+        assert_eq!(error.get("reason").and_then(Json::as_str), Some("bad \"frame\"\n"));
+    }
+}

@@ -9,6 +9,50 @@
 //! It supports the full JSON value grammar (objects, arrays, strings with
 //! escapes, numbers, booleans, null) but is tuned for small metric payloads,
 //! not large documents.
+//!
+//! Since the network front ([`duoquest-net`]) feeds this reader bytes that
+//! arrive off a socket, it is hardened against hostile input: malformed,
+//! truncated and deeply nested documents all return `Err` — nesting is
+//! capped at [`MAX_DEPTH`] so a `[[[[…` bomb cannot blow the parser's
+//! stack — and the writer side ([`escape_string`]) produces escapes this
+//! reader round-trips exactly, control characters and non-ASCII included.
+//!
+//! [`duoquest-net`]: https://docs.rs/duoquest-net
+
+/// Maximum nesting depth [`Json::parse`] accepts. Deeper documents return
+/// an error instead of recursing toward a stack overflow (which would abort
+/// the whole process — unacceptable for a parser fed from a socket).
+pub const MAX_DEPTH: usize = 64;
+
+/// Render `text` as a JSON string literal, double quotes included.
+///
+/// Control characters (U+0000..U+001F) are escaped (`\n`, `\r`, `\t`,
+/// `\u00XX`), as are `"` and `\`; everything else — non-ASCII included —
+/// passes through as raw UTF-8, which the JSON grammar permits and
+/// [`Json::parse`] round-trips exactly. Every string the stats emitters and
+/// the wire protocol embed in JSON must go through here: task names and SQL
+/// candidate text are user-reachable and can contain anything.
+pub fn escape_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,11 +72,14 @@ pub enum Json {
 }
 
 impl Json {
-    /// Parse a JSON document. Trailing non-whitespace is an error.
+    /// Parse a JSON document. Trailing non-whitespace is an error, as is
+    /// nesting deeper than [`MAX_DEPTH`] — the parser never panics on
+    /// malformed, truncated or hostile input (socket-fed callers rely on
+    /// this; `tests` below drive a corpus of broken frames through it).
     pub fn parse(input: &str) -> Result<Json, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing input at byte {pos}"));
@@ -101,11 +148,14 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -189,7 +239,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(bytes, pos);
@@ -202,7 +252,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -216,7 +266,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -225,7 +275,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -261,5 +311,109 @@ mod tests {
         assert!(Json::parse("{\"a\":1} trailing").is_err());
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("[1,]").is_err());
+    }
+
+    /// The corpus of broken frames the net front's reader must survive:
+    /// every entry is a plausible product of truncation, corruption, or a
+    /// hostile client, and every one must come back `Err` — not a panic,
+    /// not a stack overflow, not an `Ok` of garbage.
+    #[test]
+    fn broken_frame_corpus_returns_errors() {
+        let corpus: &[&str] = &[
+            // Truncations of a well-formed submit frame.
+            "",
+            "{",
+            "{\"",
+            "{\"task",
+            "{\"task\"",
+            "{\"task\":",
+            "{\"task\":\"mov",
+            "{\"task\":\"movies\"",
+            "{\"task\":\"movies\",",
+            "{\"task\":\"movies\",\"priority\":",
+            "[",
+            "[1",
+            "[1,",
+            "[[1,2],",
+            // Broken escapes.
+            "\"\\",
+            "\"\\q\"",
+            "\"\\u\"",
+            "\"\\u12\"",
+            "\"\\uZZZZ\"",
+            // Broken literals and numbers.
+            "tru",
+            "nul",
+            "falsy",
+            "+",
+            "-",
+            ".",
+            "1.2.3",
+            "0x10",
+            "--5",
+            "1e",
+            // Structural garbage.
+            ":",
+            ",",
+            "}",
+            "]",
+            "{]",
+            "[}",
+            "{\"a\" 1}",
+            "{\"a\":1,}",
+            "{1:2}",
+            "{\"a\":1 \"b\":2}",
+            "[1 2]",
+            "'single'",
+            "{\"a\":1}}",
+            "[1][2]",
+        ];
+        for frame in corpus {
+            assert!(Json::parse(frame).is_err(), "expected error for frame {frame:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Far beyond MAX_DEPTH: without the cap this would recurse ~100k
+        // frames deep and abort the process.
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+        let bomb = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+
+        // One past the cap fails; the cap itself parses.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&over).is_err());
+        let at = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&at).is_ok());
+    }
+
+    #[test]
+    fn escape_string_round_trips_through_the_reader() {
+        let cases: &[&str] = &[
+            "",
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "line\nbreaks\r\nand\ttabs",
+            "control \u{0} \u{1} \u{8} \u{c} \u{1f} chars",
+            "non-ASCII: caf\u{e9} \u{4e2d}\u{6587} \u{1f600}",
+            "SELECT title FROM movies WHERE note = 'a\nb'",
+            "/ solidus needs no escape",
+        ];
+        for case in cases {
+            let literal = escape_string(case);
+            let parsed = Json::parse(&literal)
+                .unwrap_or_else(|e| panic!("round-trip parse failed for {case:?}: {e}"));
+            assert_eq!(parsed.as_str(), Some(*case), "round-trip mismatch for {case:?}");
+        }
+    }
+
+    #[test]
+    fn escape_string_embeds_in_objects() {
+        let text = "task\twith\n\"tricky\" \u{1} content \u{1f680}";
+        let doc = format!("{{\"task\":{}}}", escape_string(text));
+        let json = Json::parse(&doc).unwrap();
+        assert_eq!(json.get("task").and_then(Json::as_str), Some(text));
     }
 }

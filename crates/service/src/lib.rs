@@ -157,6 +157,14 @@ impl ClassCounters {
     }
 }
 
+/// A streaming candidate sink attached at submit time (see
+/// [`SynthesisService::submit_with_observer`]). Called on whichever pool
+/// worker emits the candidate, in emission order; returning `false` stops
+/// the run (it resolves as [`RequestStatus::Cancelled`]). When an observer
+/// is attached it **replaces** delivery through the ticket's candidate
+/// channel — the ticket still resolves to the full [`ServiceOutcome`].
+pub type CandidateObserver = Box<dyn FnMut(&Candidate) -> bool + Send>;
+
 /// A request admitted but not yet finished: everything needed to start it
 /// as a scheduler-driven session and resolve its ticket.
 struct Pending {
@@ -166,6 +174,7 @@ struct Pending {
     submitted: Instant,
     candidates: Sender<Candidate>,
     outcome: Sender<ServiceOutcome>,
+    observer: Option<CandidateObserver>,
 }
 
 impl Pending {
@@ -295,7 +304,7 @@ impl Shared {
     /// racing in here simply stops the run at its first step).
     fn start_unlocked(self: &Arc<Self>, pending: Pending) {
         let class = pending.req.priority;
-        let Pending { id, req, control, submitted, candidates, outcome } = pending;
+        let Pending { id, req, control, submitted, candidates, outcome, mut observer } = pending;
         let queue_wait = self.clock.now().saturating_duration_since(submitted);
         let SynthesisRequest { db, nlq, tsq, model, config, .. } = req;
         let mut session = SynthesisSession::new(db, nlq, model)
@@ -311,6 +320,7 @@ impl Shared {
         let ttfc = Arc::new(Mutex::new(None::<Duration>));
         let shared = Arc::clone(self);
         let ttfc_sink = Arc::clone(&ttfc);
+        let sink_control = control.clone();
         let on_candidate = Box::new(move |candidate: &Candidate| {
             {
                 let mut slot = ttfc_sink.lock().expect("ttfc slot poisoned");
@@ -320,9 +330,23 @@ impl Shared {
                     shared.counters[class.index()].record_ttfc(sample);
                 }
             }
-            // A dropped ticket reads as "stop" (its Drop also fires the
-            // cancellation token, which reaps queued units).
-            candidates.send(candidate.clone()).is_ok()
+            // An attached observer replaces channel delivery (the net front
+            // writes straight to its connection outbox); otherwise a dropped
+            // ticket reads as "stop" (its Drop also fires the cancellation
+            // token, which reaps queued units).
+            match observer.as_mut() {
+                Some(sink) => {
+                    let keep = sink(candidate);
+                    if !keep {
+                        // Mirror a dropped ticket: the observer declining
+                        // delivery fires the token so the request resolves
+                        // as cancelled, not completed.
+                        sink_control.cancel();
+                    }
+                    keep
+                }
+                None => candidates.send(candidate.clone()).is_ok(),
+            }
         });
 
         let shared = Arc::clone(self);
@@ -486,6 +510,56 @@ impl SynthesisService {
     /// verification and resolves to a [`ServiceOutcome`]; dropping it cancels
     /// the request.
     pub fn submit(&self, req: SynthesisRequest) -> Result<Ticket, AdmissionError> {
+        self.submit_inner(req, None)
+    }
+
+    /// [`SynthesisService::submit`] with a streaming [`CandidateObserver`]
+    /// attached: the observer is called on the emitting pool worker for every
+    /// candidate (in emission order) **instead of** the ticket's candidate
+    /// channel, and returning `false` from it stops the run — the request
+    /// resolves as [`RequestStatus::Cancelled`]. This is the hookup the
+    /// network front uses: each connection's bounded outbox is the observer,
+    /// so a slow or dead client's backpressure reaches the engine without
+    /// any intermediate buffering thread.
+    ///
+    /// The observer must not block for long — it runs inline on a shared
+    /// pool worker. Push to a bounded queue and return `false` on overflow
+    /// rather than waiting for a consumer.
+    pub fn submit_with_observer(
+        &self,
+        req: SynthesisRequest,
+        observer: CandidateObserver,
+    ) -> Result<Ticket, AdmissionError> {
+        self.submit_inner(req, Some(observer))
+    }
+
+    /// Cancel a request by its service-assigned id ([`Ticket::id`]), whether
+    /// live or still queued: fires its cancellation token, reaps its queued
+    /// pool units and pulls the housekeeping tick forward so a queued request
+    /// resolves now. Returns `false` if no live or queued request has this id
+    /// (already finished, or never existed). This is the hookup for remote
+    /// cancellation, where the party cancelling (a `POST /cancel` on one
+    /// connection) does not hold the ticket (owned by another connection's
+    /// thread).
+    pub fn cancel(&self, id: u64) -> bool {
+        let state = self.shared.state.lock().expect("service state poisoned");
+        let control =
+            state.live.iter().find(|l| l.id == id).map(|l| l.control.clone()).or_else(|| {
+                state.queued.iter().flatten().find(|p| p.id == id).map(|p| p.control.clone())
+            });
+        drop(state);
+        let Some(control) = control else { return false };
+        control.cancel();
+        self.shared.handle.reap_cancelled();
+        self.shared.notify_queue_changed();
+        true
+    }
+
+    fn submit_inner(
+        &self,
+        req: SynthesisRequest,
+        observer: Option<CandidateObserver>,
+    ) -> Result<Ticket, AdmissionError> {
         let now = self.shared.clock.now();
         let class = req.priority;
         let mut control = SessionControl::new();
@@ -507,6 +581,7 @@ impl SynthesisService {
             submitted: now,
             candidates: cand_tx,
             outcome: out_tx,
+            observer,
         };
         let mut to_start = None;
         if state.live.len() < self.shared.cfg.max_live_sessions.max(1) {
@@ -777,6 +852,100 @@ mod tests {
         drop(service);
         let outcome = queued.wait();
         assert_eq!(outcome.status, RequestStatus::Cancelled);
+    }
+
+    #[test]
+    fn observer_replaces_channel_delivery_and_matches_it() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 2,
+            max_live_sessions: 2,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        // Reference: the same request through the plain channel path.
+        let reference: Vec<String> = service
+            .submit(request(&db, 10))
+            .unwrap()
+            .map(|c| format!("{:?}~{:016x}", c.spec, c.confidence.to_bits()))
+            .collect();
+        assert!(!reference.is_empty());
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut ticket = service
+            .submit_with_observer(
+                request(&db, 10),
+                Box::new(move |c: &Candidate| {
+                    sink.lock().unwrap().push(format!(
+                        "{:?}~{:016x}",
+                        c.spec,
+                        c.confidence.to_bits()
+                    ));
+                    true
+                }),
+            )
+            .unwrap();
+        // The ticket's candidate channel stays silent: the observer replaced it.
+        assert!(ticket.next_timeout(Duration::from_secs(30)).is_none());
+        let outcome = ticket.wait();
+        assert_eq!(outcome.status, RequestStatus::Completed);
+        assert!(outcome.time_to_first_candidate.is_some(), "TTFC recorded via observer");
+        assert_eq!(*seen.lock().unwrap(), reference, "observer sees the same emission stream");
+    }
+
+    #[test]
+    fn observer_returning_false_stops_the_run() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 1,
+            max_queued: 2,
+            ..ServiceConfig::default()
+        });
+        let count = Arc::new(Mutex::new(0usize));
+        let sink = Arc::clone(&count);
+        let outcome = service
+            .submit_with_observer(
+                request(&db, 50),
+                Box::new(move |_c: &Candidate| {
+                    let mut n = sink.lock().unwrap();
+                    *n += 1;
+                    *n < 2
+                }),
+            )
+            .unwrap()
+            .wait();
+        assert_eq!(outcome.status, RequestStatus::Cancelled);
+        assert_eq!(*count.lock().unwrap(), 2, "stopped right after the observer said no");
+        // The slot is free again: a follow-up request runs to completion.
+        assert_eq!(
+            service.submit(request(&db, 5)).unwrap().wait().status,
+            RequestStatus::Completed
+        );
+        assert_eq!(service.stats().live_sessions, 0);
+    }
+
+    #[test]
+    fn cancel_by_id_reaps_live_and_queued_requests() {
+        let db = movie_db().into_shared();
+        let service = SynthesisService::new(ServiceConfig {
+            workers: 1,
+            max_live_sessions: 1,
+            max_queued: 4,
+            ..ServiceConfig::default()
+        });
+        let running = service.submit(request(&db, 200)).unwrap();
+        let queued = service.submit(request(&db, 200)).unwrap();
+        assert!(service.cancel(queued.id()), "queued request found by id");
+        assert_eq!(queued.wait().status, RequestStatus::Cancelled);
+        assert!(service.cancel(running.id()), "live request found by id");
+        assert_eq!(running.wait().status, RequestStatus::Cancelled);
+        assert!(!service.cancel(9999), "unknown id reports false");
+        let stats = service.stats();
+        assert_eq!(stats.live_sessions, 0);
+        assert_eq!(stats.queued_requests, 0);
+        assert_eq!(stats.class(PriorityClass::Interactive).cancelled, 2);
     }
 
     #[test]

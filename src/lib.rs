@@ -12,6 +12,8 @@
 //! * [`core`] — table sketch queries, GPQE and cascading verification
 //! * [`service`] — multi-tenant serving layer: priorities, cancellation,
 //!   deadlines and admission control over the shared session scheduler
+//! * [`net`] — dependency-free TCP front over the service: hand-rolled
+//!   HTTP/1.1 with chunked NDJSON candidate streaming (see `docs/NET.md`)
 //! * [`baselines`] — NLI, PBE and ablation baselines from the paper's evaluation
 //! * [`workloads`] — synthetic MAS and Spider-like workloads and simulated users
 //!
@@ -20,6 +22,7 @@
 pub use duoquest_baselines as baselines;
 pub use duoquest_core as core;
 pub use duoquest_db as db;
+pub use duoquest_net as net;
 pub use duoquest_nlq as nlq;
 pub use duoquest_service as service;
 pub use duoquest_sql as sql;
