@@ -127,6 +127,14 @@ impl SimClock {
     pub fn elapsed(&self) -> Duration {
         Duration::from_micros(self.offset_us.load(Ordering::Acquire))
     }
+
+    /// The clock's base instant — virtual time zero. Anchoring a request
+    /// trace here puts every recorded span offset directly on the simulated
+    /// timeline (`offset == virtual microseconds since the run began`),
+    /// which is what the simulation harness's trace oracles compare against.
+    pub fn base(&self) -> Instant {
+        self.base
+    }
 }
 
 impl Default for SimClock {
@@ -162,6 +170,7 @@ mod tests {
         clock.advance(Duration::from_millis(7));
         assert_eq!(clock.now().duration_since(t0), Duration::from_millis(7));
         assert_eq!(clock.elapsed(), Duration::from_millis(7));
+        assert_eq!(clock.now().duration_since(clock.base()), Duration::from_millis(7));
     }
 
     #[test]

@@ -120,12 +120,15 @@ pub(crate) fn run_collect<F>(
     config: &DuoquestConfig,
     control: &crate::session::SessionControl,
     clock: &dyn crate::clock::Clock,
+    trace: Option<std::sync::Arc<duoquest_obs::Trace>>,
     on_candidate: F,
 ) -> SynthesisResult
 where
     F: FnMut(&Candidate) -> bool,
 {
-    collect_ranked(on_candidate, |cb| run_rounds(db, nlq, model, tsq, config, control, clock, cb))
+    collect_ranked(on_candidate, |cb| {
+        run_rounds(db, nlq, model, tsq, config, control, clock, trace, cb)
+    })
 }
 
 /// The dedup-and-rank state shared by the blocking collection pipeline
@@ -261,6 +264,7 @@ impl Duoquest {
             &self.config,
             &control,
             &crate::clock::SYSTEM_CLOCK,
+            None,
             on_candidate,
         )
     }

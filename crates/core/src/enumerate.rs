@@ -33,12 +33,14 @@ use duoquest_db::{
 use duoquest_nlq::{
     Choice, GuidanceContext, GuidanceModel, HavingChoice, LiteralKind, Nlq, OrderChoice,
 };
+use duoquest_obs::{RawSpan, Trace};
 use duoquest_sql::{
     ClauseSet, PartialHaving, PartialOrder, PartialPredicate, PartialQuery, PartialSelectItem,
     SelectColumn, Slot,
 };
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Counters describing one enumeration run.
@@ -210,6 +212,7 @@ where
         config,
         &SessionControl::new(),
         &SYSTEM_CLOCK,
+        None,
         &mut on_candidate,
     )
 }
@@ -240,6 +243,11 @@ pub(crate) struct RoundEnv<'a> {
     /// The session's cancellation token, checked between chunk jobs so a
     /// cancel takes effect mid-round.
     pub(crate) cancel: &'a AtomicBool,
+    /// Whether the session carries a request trace: chunk workers then
+    /// record chunk spans into their local [`ChunkResult::spans`] buffer
+    /// (merged deterministically by the driver). `false` costs one branch
+    /// per chunk and nothing else.
+    pub(crate) trace: bool,
 }
 
 /// One unit of parallel work: a freshly generated child with its confidence
@@ -264,6 +272,12 @@ pub(crate) struct ChunkResult {
     pub(crate) timed_out: bool,
     /// The worker observed the session's cancellation token and bailed.
     pub(crate) cancelled: bool,
+    /// Chunk-local trace spans (absolute instants), recorded without any
+    /// shared state and merged into the session's [`Trace`] by the driver
+    /// **in child order** — what keeps trace content reproducible under a
+    /// simulated clock regardless of which worker ran the chunk. Empty when
+    /// tracing is off.
+    pub(crate) spans: Vec<RawSpan>,
 }
 
 /// Fan-out threshold below which spawning workers costs more than it saves.
@@ -285,6 +299,7 @@ pub(crate) fn run_rounds(
     config: &DuoquestConfig,
     control: &SessionControl,
     clock: &dyn Clock,
+    trace: Option<Arc<Trace>>,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
 ) -> EnumerationStats {
     let start = clock.now();
@@ -312,6 +327,7 @@ pub(crate) fn run_rounds(
         deadline: min_deadline(config.time_budget.map(|budget| start + budget), control.deadline()),
         cancel: control.flag_ref(),
         clock,
+        trace: trace.is_some(),
     };
 
     let workers = config.effective_workers();
@@ -329,6 +345,7 @@ pub(crate) fn run_rounds(
             env.cancel,
             start,
             clock,
+            trace,
             &mut stats,
             on_candidate,
             &mut |jobs| process_jobs(jobs, pool.as_ref(), &env),
@@ -464,6 +481,13 @@ pub(crate) struct RoundDriver {
     deadline: Option<Instant>,
     phase: DriverPhase,
     halted: bool,
+    /// The session's request trace, when observability is on. The driver owns
+    /// the merge of chunk-local spans precisely because it already owns the
+    /// deterministic phase-3 merge: spans land in child order, so trace
+    /// content under a simulated clock is reproducible run-to-run.
+    trace: Option<Arc<Trace>>,
+    /// Start instant of the in-flight round's span (tracing only).
+    round_started: Option<Instant>,
 }
 
 impl RoundDriver {
@@ -481,6 +505,29 @@ impl RoundDriver {
             deadline,
             phase: DriverPhase::Ready,
             halted: false,
+            trace: None,
+            round_started: None,
+        }
+    }
+
+    /// Attach the session's request trace: every subsequent round records a
+    /// `round` span, and chunk results feed their worker-recorded spans into
+    /// it (merged in child order).
+    pub(crate) fn with_trace(mut self, trace: Option<Arc<Trace>>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The attached request trace, if any (the scheduler records dispatch and
+    /// resume events against it).
+    pub(crate) fn trace(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
+    }
+
+    /// Close the in-flight round's span, if one is open.
+    fn close_round(&mut self, env: &StepEnv<'_>) {
+        if let (Some(trace), Some(started)) = (self.trace.as_ref(), self.round_started.take()) {
+            trace.record_span("round", started, env.clock.now());
         }
     }
 
@@ -587,6 +634,9 @@ impl RoundDriver {
             return None; // expansion budget reached with work left
         }
         self.stats.rounds += 1;
+        if self.trace.is_some() {
+            self.round_started = Some(env.clock.now());
+        }
 
         // Phase 1 (serial, cheap): produce and score every child of the beam.
         let ctx = GuidanceContext { nlq: env.nlq, schema: env.db.schema() };
@@ -618,6 +668,7 @@ impl RoundDriver {
         if jobs.is_empty() {
             // Nothing to verify this round: end-of-round bookkeeping and
             // straight on to the next beam.
+            self.close_round(env);
             self.bound_frontier(env.config.max_states);
             self.phase = DriverPhase::Ready;
             return None;
@@ -668,6 +719,30 @@ impl RoundDriver {
                         self.stats.record(VerifyStage::ALL[idx], *count);
                     }
                     self.stats.stage_timings.merge(&chunk.timings);
+                    if let Some(trace) = self.trace.as_ref() {
+                        // Child-order merge: chunks arrive here in original
+                        // job order, so the trace's span sequence is a pure
+                        // function of the configuration — not of which worker
+                        // ran which chunk.
+                        trace.merge_raw(&chunk.spans);
+                        // Per-stage verify spans are synthesized from the
+                        // chunk's stage timings, laid out sequentially from
+                        // the chunk start so they nest inside the chunk span
+                        // deterministically (individual verify calls
+                        // interleave across jobs and have no single
+                        // interval of their own).
+                        if let Some(span) = chunk.spans.first() {
+                            let mut cursor = trace.offset_us(span.start);
+                            for stage in VerifyStage::ALL {
+                                if chunk.timings.calls_of(stage) == 0 {
+                                    continue;
+                                }
+                                let width = chunk.timings.duration_of(stage).as_micros() as u64;
+                                trace.record_span_at(stage.span_name(), cursor, cursor + width);
+                                cursor += width;
+                            }
+                        }
+                    }
                     d.timed_out |= chunk.timed_out;
                     d.cancelled |= chunk.cancelled;
                     d.emissions = chunk.emissions.into_iter();
@@ -675,6 +750,7 @@ impl RoundDriver {
                     d.in_chunk = true;
                 }
                 None => {
+                    self.close_round(env);
                     if d.cancelled {
                         self.stats.cancelled = true;
                         return None; // Finished
@@ -724,12 +800,13 @@ pub(crate) fn drive_rounds(
     cancel: &AtomicBool,
     start: Instant,
     clock: &dyn Clock,
+    trace: Option<Arc<Trace>>,
     stats: &mut EnumerationStats,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
     dispatch: &mut dyn FnMut(Vec<ChildJob>) -> Vec<ChunkResult>,
 ) {
     let env = StepEnv { db, nlq, model, config, cancel, clock };
-    let mut driver = RoundDriver::new(start, deadline);
+    let mut driver = RoundDriver::new(start, deadline).with_trace(trace);
     loop {
         match driver.step(&env) {
             StepOutcome::SubmitChunks(jobs) => {
@@ -837,6 +914,9 @@ impl WorkerPool {
 /// path attachment, then the full cascade per join variant.
 pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkResult {
     let mut out = ChunkResult::default();
+    // One span per chunk, recorded into the chunk-local buffer (no shared
+    // state from worker threads); the driver merges it in child order.
+    let chunk_started = if env.trace { Some(env.clock.now()) } else { None };
     for (done, job) in jobs.into_iter().enumerate() {
         // Honor cancellation between jobs (an atomic load — cheap enough per
         // job) so cancel takes effect mid-chunk, not at the next round.
@@ -886,6 +966,9 @@ pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkRes
                 }
             }
         }
+    }
+    if let Some(started) = chunk_started {
+        out.spans.push(RawSpan { name: "chunk", start: started, end: env.clock.now() });
     }
     out
 }
@@ -1567,6 +1650,7 @@ mod tests {
                         deadline: None,
                         cancel: &cancel,
                         clock: &SYSTEM_CLOCK,
+                        trace: false,
                     };
                     driver.provide(vec![process_chunk(jobs, &round_env)]);
                     rounds_completed += 1;

@@ -50,7 +50,10 @@ pub use clock::{system_clock, Clock, SharedClock, SimClock, SystemClock};
 pub use config::DuoquestConfig;
 pub use engine::{Candidate, Duoquest, SynthesisResult};
 pub use enumerate::EnumerationStats;
-pub use scheduler::{SchedulerHandle, SchedulerRunStats, SchedulerStats, SessionScheduler};
+pub use scheduler::{
+    panic_message, DrivenOutcome, SchedulerHandle, SchedulerRunStats, SchedulerStats,
+    SessionScheduler,
+};
 pub use session::{CandidateStream, SessionControl, SynthesisSession};
 pub use state::EnumState;
 pub use tsq::{TableSketchQuery, TsqCell};

@@ -101,6 +101,7 @@ use crate::tsq::TableSketchQuery;
 use crate::verify::Verifier;
 use duoquest_db::{Database, JoinGraph, RunCacheCounters, SelectSpec};
 use duoquest_nlq::{GuidanceModel, Literal, Nlq};
+use duoquest_obs::Trace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
@@ -202,6 +203,9 @@ struct SessionContext {
     /// checks, emission timestamps and stage timings read this (virtual
     /// under the deterministic simulation harness).
     clock: SharedClock,
+    /// Whether the session carries a request trace (chunk workers then record
+    /// chunk spans into their local result buffers).
+    trace: bool,
 }
 
 impl SessionContext {
@@ -230,6 +234,7 @@ impl SessionContext {
             deadline: self.deadline,
             cancel: &self.cancel,
             clock: self.clock.as_ref(),
+            trace: self.trace,
         };
         process_chunk(jobs, &env)
     }
@@ -254,11 +259,38 @@ enum WorkUnit {
     Resume { session: u64 },
 }
 
+/// How a scheduler-driven session ended: the terminal value handed to its
+/// completion callback (see [`crate::SynthesisSession::spawn_driven`]).
+// The value moves exactly once, into the completion callback — boxing the
+// result would add an allocation per completed session for no
+// retained-memory win.
+#[allow(clippy::large_enum_variant)]
+pub enum DrivenOutcome {
+    /// The run completed (including cancellation, deadline and shutdown
+    /// wind-downs — those resolve through the ranked result's stats flags).
+    Finished(SynthesisResult),
+    /// A `step` or chunk panicked, poisoning this session alone. Carries the
+    /// panic message when one could be extracted from the payload (`&str` and
+    /// `String` payloads — i.e. everything `panic!` itself produces); `None`
+    /// for exotic payloads or when the callback itself had to be abandoned.
+    Poisoned(Option<String>),
+}
+
+/// Extract the human-readable message from a panic payload, as captured by
+/// `std::panic::catch_unwind`. Covers the payloads `panic!` produces (`&str`
+/// for literal messages, `String` for formatted ones); anything else — a
+/// custom `panic_any` payload — yields `None`.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        return Some((*msg).to_string());
+    }
+    payload.downcast_ref::<String>().cloned()
+}
+
 /// The candidate sink of a driven session.
 type DrivenSink = Box<dyn FnMut(&Candidate) -> bool + Send>;
-/// The completion callback of a driven session. `None` means a `step` or
-/// chunk panicked: the session is poisoned and delivers no result.
-type DrivenCompletion = Box<dyn FnOnce(Option<SynthesisResult>) + Send>;
+/// The completion callback of a driven session, receiving how it ended.
+type DrivenCompletion = Box<dyn FnOnce(DrivenOutcome) + Send>;
 
 /// Everything a worker takes out of the slot to resume a driven session: the
 /// state machine, the dedup/rank collector, the sinks' inputs and the
@@ -665,8 +697,13 @@ fn execute_unit(core: &Arc<PoolCore>, unit: WorkUnit) {
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.process(jobs))) {
                 Ok(result) => complete_chunk(core, session, chunk_idx, result),
                 // A chunk panic poisons only its own session: the slot is
-                // torn down and the completion callback observes `None`.
-                Err(_) => complete_driven(core, session, None),
+                // torn down and the completion callback observes `Poisoned`,
+                // carrying the panic message for the session's post-mortem.
+                Err(payload) => complete_driven(
+                    core,
+                    session,
+                    DrivenOutcome::Poisoned(panic_message(payload.as_ref())),
+                ),
             }
         }
         WorkUnit::Resume { session } => {
@@ -793,6 +830,20 @@ fn finalize_driven(s: DrivenCore, force_cancelled: bool) -> SynthesisResult {
 fn resume_driven(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
     let exit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         let mut s = s;
+        // One `resume` span per worker occupancy: how long this worker held
+        // the session's driver (stepping, emitting, running small rounds
+        // inline) before parking, yielding or finishing.
+        let resume_trace = s
+            .driver
+            .trace()
+            .cloned()
+            .map(|trace| (trace, s.ctx.clock.now(), Arc::clone(&s.ctx.clock)));
+        let record_exit = |exit: ResumeExit| {
+            if let Some((trace, started, clock)) = &resume_trace {
+                trace.record_span("resume", *started, clock.now());
+            }
+            exit
+        };
         let mut inline_streak = 0u32;
         loop {
             let action = {
@@ -813,7 +864,9 @@ fn resume_driven(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
                         None
                     }
                     StepOutcome::SubmitChunks(jobs) => Some(jobs),
-                    StepOutcome::Done => return ResumeExit::Done(finalize_driven(s, false)),
+                    StepOutcome::Done => {
+                        return record_exit(ResumeExit::Done(finalize_driven(s, false)))
+                    }
                 }
             };
             if let Some(jobs) = action {
@@ -823,21 +876,27 @@ fn resume_driven(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
                     s.driver.provide(vec![result]);
                     inline_streak += 1;
                     if inline_streak >= INLINE_ROUND_YIELD {
-                        return ResumeExit::Yield(Box::new(s));
+                        return record_exit(ResumeExit::Yield(Box::new(s)));
                     }
                     continue;
                 }
-                return ResumeExit::Park(Box::new(s), jobs);
+                return record_exit(ResumeExit::Park(Box::new(s), jobs));
             }
         }
     }));
     match exit {
         Ok(ResumeExit::Park(core_state, jobs)) => park_round(core, session, *core_state, jobs),
         Ok(ResumeExit::Yield(core_state)) => yield_resume(core, session, *core_state),
-        Ok(ResumeExit::Done(result)) => complete_driven(core, session, Some(result)),
+        Ok(ResumeExit::Done(result)) => {
+            complete_driven(core, session, DrivenOutcome::Finished(result))
+        }
         // A panic inside `step` (a guidance model or consumer-sink bug)
-        // poisons only this session; the worker survives.
-        Err(_) => complete_driven(core, session, None),
+        // poisons only this session; the worker survives. The payload's
+        // message travels with the outcome so the serving layer can put it
+        // in the request's terminal event.
+        Err(payload) => {
+            complete_driven(core, session, DrivenOutcome::Poisoned(panic_message(payload.as_ref())))
+        }
     }
 }
 
@@ -865,6 +924,9 @@ fn park_round(core: &Arc<PoolCore>, session: u64, mut s: DrivenCore, jobs: Vec<C
     let chunks = chunk_jobs(jobs, core.workers);
     let sent = chunks.len();
     s.run_stats.units_submitted += sent as u64;
+    if let Some(trace) = s.driver.trace() {
+        trace.event("dispatch", s.ctx.clock.now(), Some(format!("chunks={sent}")));
+    }
 
     let mut queue = core.queue.lock().expect("scheduler queue poisoned");
     let (depth, live) = (queue.depth + sent, queue.sessions.len());
@@ -908,9 +970,10 @@ fn yield_resume(core: &Arc<PoolCore>, session: u64, s: DrivenCore) {
     core.work_available.notify_all();
 }
 
-/// Tear a driven session down and deliver its completion: `Some(result)` for
-/// a finished (or cancelled) run, `None` for a poisoned one.
-fn complete_driven(core: &Arc<PoolCore>, session: u64, result: Option<SynthesisResult>) {
+/// Tear a driven session down and deliver its completion:
+/// [`DrivenOutcome::Finished`] for a completed (or cancelled) run,
+/// [`DrivenOutcome::Poisoned`] for a panicked one.
+fn complete_driven(core: &Arc<PoolCore>, session: u64, outcome: DrivenOutcome) {
     let on_complete = {
         let mut queue = core.queue.lock().expect("scheduler queue poisoned");
         queue
@@ -922,15 +985,15 @@ fn complete_driven(core: &Arc<PoolCore>, session: u64, result: Option<SynthesisR
         // The completion callback is arbitrary consumer code running on a
         // fixed-pool worker: a panic in it must poison only this delivery,
         // never the worker (other sessions' parked drivers depend on it).
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(result)));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(outcome)));
     }
 }
 
 /// Register a fully owned session to be driven by the pool: no OS thread is
 /// created — pool workers resume the session's `RoundDriver` as its chunks
 /// complete, deliver candidates through `on_candidate` (return `false` to
-/// stop early) and hand the final ranked result to `on_complete` (`None` if
-/// the session panicked). Called via
+/// stop early) and hand the session's [`DrivenOutcome`] to `on_complete`
+/// ([`DrivenOutcome::Poisoned`] if the session panicked). Called via
 /// [`SynthesisSession::spawn_driven`](crate::session::SynthesisSession::spawn_driven).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_driven_session(
@@ -942,6 +1005,7 @@ pub(crate) fn spawn_driven_session(
     config: DuoquestConfig,
     control: SessionControl,
     priority_weight: usize,
+    trace: Option<Arc<Trace>>,
     on_candidate: DrivenSink,
     on_complete: DrivenCompletion,
 ) {
@@ -963,9 +1027,10 @@ pub(crate) fn spawn_driven_session(
         deadline,
         cancel: control.flag(),
         clock,
+        trace: trace.is_some(),
     });
     let core_state = DrivenCore {
-        driver: RoundDriver::new(start, deadline),
+        driver: RoundDriver::new(start, deadline).with_trace(trace),
         collector: CandidateCollector::new(),
         on_candidate,
         ctx,
@@ -983,7 +1048,7 @@ pub(crate) fn spawn_driven_session(
         drop(queue);
         // The pool will never run this session: resolve it as cancelled
         // instead of stranding the completion callback.
-        on_complete(Some(finalize_driven(core_state, true)));
+        on_complete(DrivenOutcome::Finished(finalize_driven(core_state, true)));
         return;
     }
     let id = queue.insert_slot(
@@ -1116,11 +1181,16 @@ impl Drop for SessionScheduler {
                 // and strand the remaining sessions' consumers.
                 (Some(core_state), Some(cb)) => {
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        cb(Some(finalize_driven(core_state, true)))
+                        cb(DrivenOutcome::Finished(finalize_driven(core_state, true)))
                     }));
                 }
                 (None, Some(cb)) => {
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(None)));
+                    // A session mid-resume during the sweep (its core is out
+                    // on a worker) has no result to deliver: resolve it as
+                    // poisoned without a message.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cb(DrivenOutcome::Poisoned(None))
+                    }));
                 }
                 _ => {}
             }
@@ -1223,6 +1293,7 @@ pub(crate) fn run_rounds_scheduled(
     config: &DuoquestConfig,
     control: &SessionControl,
     priority_weight: usize,
+    trace: Option<Arc<Trace>>,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
 ) -> EnumerationStats {
     let clock = Arc::clone(&handle.core.clock);
@@ -1241,6 +1312,7 @@ pub(crate) fn run_rounds_scheduled(
         deadline,
         cancel: control.flag(),
         clock: Arc::clone(&clock),
+        trace: trace.is_some(),
     });
 
     let core = &handle.core;
@@ -1264,6 +1336,7 @@ pub(crate) fn run_rounds_scheduled(
         control.flag_ref(),
         start,
         clock.as_ref(),
+        trace,
         &mut stats,
         on_candidate,
         &mut |jobs| dispatch_round(core, session_id, &ctx, jobs, &mut run_stats),
@@ -1437,7 +1510,15 @@ mod tests {
             deadline: None,
             cancel: Arc::new(AtomicBool::new(false)),
             clock: system_clock(),
+            trace: false,
         })
+    }
+
+    fn expect_finished(outcome: DrivenOutcome) -> crate::engine::SynthesisResult {
+        match outcome {
+            DrivenOutcome::Finished(result) => result,
+            DrivenOutcome::Poisoned(msg) => panic!("session poisoned: {msg:?}"),
+        }
     }
 
     #[test]
@@ -1508,10 +1589,9 @@ mod tests {
                         let _ = tx.send(result);
                     }),
                 );
-            let result = rx
-                .recv_timeout(Duration::from_secs(30))
-                .expect("driven session completed")
-                .expect("driven session not poisoned");
+            let result = expect_finished(
+                rx.recv_timeout(Duration::from_secs(30)).expect("driven session completed"),
+            );
             let render = |r: &crate::engine::SynthesisResult| {
                 r.candidates
                     .iter()
@@ -1550,10 +1630,9 @@ mod tests {
                 let _ = tx.send(result);
             }),
         );
-        let result = rx
-            .recv_timeout(Duration::from_secs(30))
-            .expect("driven session completed")
-            .expect("not poisoned");
+        let result = expect_finished(
+            rx.recv_timeout(Duration::from_secs(30)).expect("driven session completed"),
+        );
         assert_eq!(result.candidates.len(), 1, "halt after the first candidate");
         assert_eq!(pool.stats().live_sessions, 0);
     }
@@ -1596,10 +1675,10 @@ mod tests {
         // Give the pool a moment to start the session, then tear it down.
         std::thread::sleep(Duration::from_millis(30));
         drop(pool);
-        let result = rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("shutdown must resolve the driven session")
-            .expect("shutdown is not a poisoning");
+        let result = expect_finished(
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("shutdown must resolve the driven session"),
+        );
         assert!(result.stats.cancelled, "shutdown winds driven sessions down as cancelled");
     }
 
@@ -1679,10 +1758,9 @@ mod tests {
         }
         control.cancel();
         pool.handle().reap_cancelled();
-        let result = rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("cancelled session resolves")
-            .expect("not poisoned");
+        let result = expect_finished(
+            rx.recv_timeout(Duration::from_secs(10)).expect("cancelled session resolves"),
+        );
         assert!(result.stats.cancelled);
         assert_eq!(pool.stats().live_sessions, 0);
     }

@@ -31,11 +31,12 @@ use crate::clock::{system_clock, SharedClock};
 use crate::config::DuoquestConfig;
 use crate::engine::{collect_ranked, run_collect, Candidate, SynthesisResult};
 use crate::scheduler::{
-    run_rounds_scheduled, spawn_driven_session, SchedulerHandle, SessionScheduler,
+    run_rounds_scheduled, spawn_driven_session, DrivenOutcome, SchedulerHandle, SessionScheduler,
 };
 use crate::tsq::TableSketchQuery;
 use duoquest_db::Database;
 use duoquest_nlq::{GuidanceModel, Nlq};
+use duoquest_obs::Trace;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, TryRecvError};
@@ -153,6 +154,7 @@ pub struct SynthesisSession {
     control: SessionControl,
     priority_weight: usize,
     clock: SharedClock,
+    trace: Option<Arc<Trace>>,
 }
 
 impl SynthesisSession {
@@ -175,6 +177,7 @@ impl SynthesisSession {
             control: SessionControl::new(),
             priority_weight: 1,
             clock: system_clock(),
+            trace: None,
         }
     }
 
@@ -228,6 +231,17 @@ impl SynthesisSession {
     /// so every session multiplexed on one pool observes one time source.
     pub fn with_clock(mut self, clock: SharedClock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Attach a request [`Trace`]: the engine then records round, chunk and
+    /// per-stage verify spans into it as the run progresses. Tracing rides
+    /// entirely outside the emission path — the candidate sequence of a
+    /// traced run is byte-identical to an untraced one. Without this call the
+    /// engine's tracing branches are all `false` and cost one predictable
+    /// branch per chunk.
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -289,6 +303,7 @@ impl SynthesisSession {
                 &self.config,
                 &self.control,
                 self.clock.as_ref(),
+                self.trace.clone(),
                 on_candidate,
             ),
         }
@@ -310,6 +325,7 @@ impl SynthesisSession {
                 &self.config,
                 &self.control,
                 self.priority_weight,
+                self.trace.clone(),
                 cb,
             )
         })
@@ -320,8 +336,10 @@ impl SynthesisSession {
     /// session's round-loop state machine as its verification chunks
     /// complete; `on_candidate` observes each candidate in emission order
     /// (return `false` to stop the run early) and `on_complete` receives the
-    /// final ranked result — `None` only if the session panicked (a guidance
-    /// model or verifier bug), which poisons that session alone.
+    /// session's [`DrivenOutcome`] — the final ranked result, or
+    /// [`DrivenOutcome::Poisoned`] (carrying the panic message when one could
+    /// be extracted) if the session panicked (a guidance model or verifier
+    /// bug), which poisons that session alone.
     ///
     /// Both callbacks run on pool worker threads, so they must be `Send` and
     /// should stay cheap (push to a channel, update counters). One exception:
@@ -338,7 +356,7 @@ impl SynthesisSession {
         self,
         handle: &SchedulerHandle,
         on_candidate: Box<dyn FnMut(&Candidate) -> bool + Send>,
-        on_complete: Box<dyn FnOnce(Option<SynthesisResult>) + Send>,
+        on_complete: Box<dyn FnOnce(DrivenOutcome) + Send>,
     ) {
         spawn_driven_session(
             handle,
@@ -349,6 +367,7 @@ impl SynthesisSession {
             self.config,
             self.control,
             self.priority_weight,
+            self.trace,
             on_candidate,
             on_complete,
         );
@@ -392,8 +411,8 @@ impl SynthesisSession {
                 // the engine winds down.
                 cand_tx.send(candidate.clone()).is_ok()
             }),
-            Box::new(move |result| {
-                let _ = result_tx.send(result);
+            Box::new(move |outcome| {
+                let _ = result_tx.send(outcome);
             }),
         );
         CandidateStream {
@@ -424,7 +443,7 @@ impl SynthesisSession {
 /// is consuming.
 pub struct CandidateStream {
     rx: Receiver<Candidate>,
-    result: Receiver<Option<SynthesisResult>>,
+    result: Receiver<DrivenOutcome>,
     received: RefCell<Option<SynthesisResult>>,
     poisoned: Cell<bool>,
     control: SessionControl,
@@ -451,10 +470,12 @@ impl CandidateStream {
             return;
         }
         match self.result.try_recv() {
-            Ok(Some(result)) => *self.received.borrow_mut() = Some(result),
-            // `None` = the session panicked; a disconnect without a value can
-            // only follow a teardown race — both poison the stream.
-            Ok(None) | Err(TryRecvError::Disconnected) => self.poisoned.set(true),
+            Ok(DrivenOutcome::Finished(result)) => *self.received.borrow_mut() = Some(result),
+            // `Poisoned` = the session panicked; a disconnect without a value
+            // can only follow a teardown race — both poison the stream.
+            Ok(DrivenOutcome::Poisoned(_)) | Err(TryRecvError::Disconnected) => {
+                self.poisoned.set(true)
+            }
             Err(TryRecvError::Empty) => {}
         }
     }
@@ -484,7 +505,7 @@ impl CandidateStream {
             return result;
         }
         if !self.poisoned.get() {
-            if let Ok(Some(result)) = self.result.recv() {
+            if let Ok(DrivenOutcome::Finished(result)) = self.result.recv() {
                 return result;
             }
         }

@@ -98,6 +98,21 @@ impl VerifyStage {
             VerifyStage::ByOrder => "by_order",
         }
     }
+
+    /// Span name under which the stage's aggregate time appears in a request
+    /// trace (`verify:` plus [`VerifyStage::label`], as a static string so
+    /// span recording never allocates).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            VerifyStage::Clauses => "verify:clauses",
+            VerifyStage::Semantics => "verify:semantics",
+            VerifyStage::ColumnTypes => "verify:types",
+            VerifyStage::ByColumn => "verify:by_column",
+            VerifyStage::ByRow => "verify:by_row",
+            VerifyStage::Literals => "verify:literals",
+            VerifyStage::ByOrder => "verify:by_order",
+        }
+    }
 }
 
 /// Wall-clock time and invocation counts per verification stage, making the

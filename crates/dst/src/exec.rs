@@ -21,7 +21,13 @@
 //! * deadlines and latency samples must live on the virtual timeline: a
 //!   deadline past the end of the timeline must never fire, and no
 //!   reported queue wait or TTFC can exceed the timeline's length — either
-//!   failing means a real clock leaked into the service.
+//!   failing means a real clock leaked into the service;
+//! * **trace conservation**: every submit attempt (admitted or shed) must
+//!   leave exactly one trace in the flight recorder, each trace must carry
+//!   exactly one terminal event, every span interval must be well-formed
+//!   and contained in the root `request` span, and — because traces anchor
+//!   at service construction, which is virtual zero here — every recorded
+//!   timestamp must sit on the virtual timeline.
 
 use crate::scenario::{RequestPlan, Scenario, ServicePlan, TASK_COUNT};
 use crate::violation::{RunLabel, Violation};
@@ -30,6 +36,7 @@ use duoquest_db::{CmpOp, Database, Value};
 use duoquest_nlq::{
     Choice, GuidanceContext, GuidanceModel, Literal, Nlq, NoisyOracleGuidance, OracleConfig,
 };
+use duoquest_obs::{Trace, ROOT_SPAN, TERMINAL_EVENT};
 use duoquest_service::{
     PriorityClass, RequestStatus, ServiceConfig, SynthesisRequest, SynthesisService, Ticket,
 };
@@ -86,6 +93,9 @@ pub struct RunRecord {
     pub live_peak: usize,
     /// Per-class (submitted, completed, cancelled, expired, shed) counters.
     pub counters: [(u64, u64, u64, u64, u64); 3],
+    /// Every trace the flight recorder retained after the drain, oldest
+    /// first. The trace-conservation oracle judges these.
+    pub traces: Vec<Arc<Trace>>,
 }
 
 /// Run every oracle over a scenario. `Ok(())` means both service runs and
@@ -315,6 +325,9 @@ fn run_service(
             workers: plan.workers,
             max_live_sessions: plan.max_live,
             max_queued: plan.max_queued,
+            // Conservation needs every request's trace retained: size the
+            // flight ring so nothing is evicted during the run.
+            flight_capacity: scenario.requests.len().max(1),
             ..ServiceConfig::default()
         },
         Arc::clone(&clock) as duoquest_core::SharedClock,
@@ -443,7 +456,21 @@ fn run_service(
         let c = &stats.classes[class];
         (c.submitted, c.completed, c.cancelled, c.expired, c.shed)
     });
-    Ok(RunRecord { label, observed, live_peak: stats.live_sessions_peak, counters })
+
+    // The lifecycle counter bumps and the flight-recorder push happen a few
+    // instructions apart on a pool worker, so "balanced" can be observed a
+    // hair before the final trace lands: give the push its own short grace
+    // window before snapshotting. The conservation oracle judges the count.
+    let trace_grace_ends = Instant::now() + Duration::from_secs(10);
+    let traces = loop {
+        let ids = service.trace_ids();
+        if ids.len() >= scenario.requests.len() || Instant::now() > trace_grace_ends {
+            break ids.into_iter().filter_map(|id| service.trace(id)).collect::<Vec<_>>();
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    };
+
+    Ok(RunRecord { label, observed, live_peak: stats.live_sessions_peak, counters, traces })
 }
 
 /// Judge one run's record against the scenario: emission determinism,
@@ -480,6 +507,8 @@ fn check_run(scenario: &Scenario, record: &RunRecord) -> Result<(), Violation> {
             });
         }
     }
+
+    check_traces(scenario, record, virtual_end_us)?;
 
     for (index, (request, obs)) in scenario.requests.iter().zip(&record.observed).enumerate() {
         let Observed::Resolved { status, emission, queue_wait_us, ttfc_us } = obs else {
@@ -540,6 +569,90 @@ fn check_run(scenario: &Scenario, record: &RunRecord) -> Result<(), Violation> {
                         request: index,
                         candidate: candidate.clone(),
                     });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The trace-conservation oracle: every submit attempt (admitted or shed)
+/// leaves exactly one retained trace, each trace carries exactly one
+/// terminal event, every span interval is well-formed and nested inside the
+/// root `request` span, and every recorded timestamp sits on the virtual
+/// timeline — traces anchor at service construction, which under the run's
+/// fresh [`SimClock`] is virtual zero, so a trace offset past the
+/// timeline's end means a real clock leaked into the span recorder.
+fn check_traces(
+    scenario: &Scenario,
+    record: &RunRecord,
+    virtual_end_us: u64,
+) -> Result<(), Violation> {
+    if record.traces.len() != scenario.requests.len() {
+        return Err(Violation::TraceConservation {
+            run: record.label,
+            expected: scenario.requests.len(),
+            retained: record.traces.len(),
+        });
+    }
+    for trace in &record.traces {
+        let malformed = |detail: String| Violation::TraceMalformed {
+            run: record.label,
+            trace: trace.id(),
+            detail,
+        };
+        let terminals = trace.terminal_count();
+        if terminals != 1 {
+            return Err(malformed(format!(
+                "expected exactly one terminal event, found {terminals}"
+            )));
+        }
+        let spans = trace.spans();
+        let events = trace.events();
+        for span in &spans {
+            if span.start_us > span.end_us {
+                return Err(malformed(format!(
+                    "span `{}` is inverted: starts at {}us, ends at {}us",
+                    span.name, span.start_us, span.end_us
+                )));
+            }
+            if span.end_us > virtual_end_us {
+                return Err(malformed(format!(
+                    "span `{}` ends at {}us, past the {}us virtual timeline",
+                    span.name, span.end_us, virtual_end_us
+                )));
+            }
+        }
+        for event in &events {
+            if event.at_us > virtual_end_us {
+                return Err(malformed(format!(
+                    "event `{}` at {}us, past the {}us virtual timeline",
+                    event.name, event.at_us, virtual_end_us
+                )));
+            }
+        }
+        match spans.iter().find(|span| span.name == ROOT_SPAN) {
+            Some(root) => {
+                for span in &spans {
+                    if span.name != ROOT_SPAN
+                        && (span.start_us < root.start_us || span.end_us > root.end_us)
+                    {
+                        return Err(malformed(format!(
+                            "span `{}` [{}, {}]us escapes the root request interval [{}, {}]us",
+                            span.name, span.start_us, span.end_us, root.start_us, root.end_us
+                        )));
+                    }
+                }
+            }
+            None => {
+                // Only a shed request legitimately resolves without a root
+                // span (it never held a request interval); a saturated
+                // trace buffer may also have dropped spans.
+                let shed = events
+                    .iter()
+                    .any(|e| e.name == TERMINAL_EVENT && e.detail.as_deref() == Some("shed"));
+                if !shed && trace.dropped() == 0 {
+                    return Err(malformed("no root request span recorded".to_string()));
                 }
             }
         }

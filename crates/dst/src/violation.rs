@@ -131,6 +131,29 @@ pub enum Violation {
         /// Virtual length of the run.
         virtual_end_us: u64,
     },
+    /// The flight recorder retained a different number of traces than the
+    /// number of submit attempts — a request resolved without leaving a
+    /// trace, or left more than one.
+    TraceConservation {
+        /// Which run drifted.
+        run: RunLabel,
+        /// Submit attempts the executor made (admitted + shed).
+        expected: usize,
+        /// Traces the flight recorder retained after the drain.
+        retained: usize,
+    },
+    /// A retained trace breaks the span model: not exactly one terminal
+    /// event, an inverted span interval, a timestamp past the end of the
+    /// virtual timeline, or a child span escaping the root `request`
+    /// interval.
+    TraceMalformed {
+        /// Which run produced it.
+        run: RunLabel,
+        /// The offending trace's request id.
+        trace: u64,
+        /// Human-readable evidence.
+        detail: String,
+    },
     /// The run never drained: live/queued slots still held after the
     /// physical grace period.
     Quiescence {
@@ -268,6 +291,14 @@ impl fmt::Display for Violation {
                     "latency off the timeline: {run} run, request {request} reported {which} of \
                      {observed_us}us on a {virtual_end_us}us virtual timeline"
                 )
+            }
+            Violation::TraceConservation { run, expected, retained } => write!(
+                f,
+                "trace conservation broken: {run} run made {expected} submit attempts but the \
+                 flight recorder retained {retained} traces"
+            ),
+            Violation::TraceMalformed { run, trace, detail } => {
+                write!(f, "trace malformed: {run} run, request {trace}: {detail}")
             }
             Violation::Quiescence { run, live, queued } => write!(
                 f,

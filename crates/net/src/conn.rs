@@ -52,11 +52,41 @@ pub(crate) fn handle(mut stream: TcpStream, ctx: Arc<ServerCtx>) {
 
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/stats") => {
+            ctx.metrics.routes.stats.fetch_add(1, Ordering::Relaxed);
             let _ = http::write_response(&mut stream, 200, "application/json", &ctx.stats_json());
         }
-        ("POST", "/cancel") => handle_cancel(&mut stream, &ctx, &request.body),
-        ("POST", "/submit") => handle_submit(&mut stream, &ctx, &request.body),
-        (_, "/stats" | "/cancel" | "/submit") => {
+        ("GET", "/metrics") => {
+            ctx.metrics.routes.metrics.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                &ctx.metrics_text(),
+            );
+        }
+        ("GET", path) if path.starts_with("/trace/") => {
+            ctx.metrics.routes.trace.fetch_add(1, Ordering::Relaxed);
+            handle_trace(&mut stream, &ctx, path);
+        }
+        ("POST", "/cancel") => {
+            ctx.metrics.routes.cancel.fetch_add(1, Ordering::Relaxed);
+            handle_cancel(&mut stream, &ctx, &request.body);
+        }
+        ("POST", "/submit") => {
+            ctx.metrics.routes.submit.fetch_add(1, Ordering::Relaxed);
+            handle_submit(&mut stream, &ctx, &request.body);
+        }
+        (_, "/stats" | "/cancel" | "/submit" | "/metrics") => {
+            ctx.metrics.routes.other.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(
+                &mut stream,
+                405,
+                "application/json",
+                &wire::error_body("method not allowed on this path"),
+            );
+        }
+        (_, path) if path.starts_with("/trace/") => {
+            ctx.metrics.routes.other.fetch_add(1, Ordering::Relaxed);
             let _ = http::write_response(
                 &mut stream,
                 405,
@@ -65,11 +95,42 @@ pub(crate) fn handle(mut stream: TcpStream, ctx: Arc<ServerCtx>) {
             );
         }
         (_, path) => {
+            ctx.metrics.routes.other.fetch_add(1, Ordering::Relaxed);
             let _ = http::write_response(
                 &mut stream,
                 404,
                 "application/json",
                 &wire::error_body(&format!("no such path {path:?}")),
+            );
+        }
+    }
+}
+
+/// `GET /trace/<id>`: serve a finished request's span timeline from the
+/// service's flight recorder. 400 on a malformed id, 404 when the recorder
+/// no longer (or never) retains the id — live requests are not served, a
+/// trace becomes fetchable when its request resolves.
+fn handle_trace(stream: &mut TcpStream, ctx: &ServerCtx, path: &str) {
+    let Ok(id) = path["/trace/".len()..].parse::<u64>() else {
+        ctx.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(
+            stream,
+            400,
+            "application/json",
+            &wire::error_body("trace path needs an integer request id"),
+        );
+        return;
+    };
+    match ctx.service.trace_json(id) {
+        Some(body) => {
+            let _ = http::write_response(stream, 200, "application/json", &format!("{body}\n"));
+        }
+        None => {
+            let _ = http::write_response(
+                stream,
+                404,
+                "application/json",
+                &wire::error_body(&format!("no retained trace for request {id}")),
             );
         }
     }

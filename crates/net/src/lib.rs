@@ -15,7 +15,7 @@
 //!                                     NDJSON events over one response
 //! ```
 //!
-//! Three routes, all speaking the `duoquest_service::json` wire dialect:
+//! Five routes (`docs/OBSERVABILITY.md` covers the scraping surface):
 //!
 //! * `POST /submit` — admit a named task; the response is a chunked NDJSON
 //!   stream of `accepted` / `candidate` / `done` events, candidates
@@ -23,7 +23,12 @@
 //! * `POST /cancel` — cancel a request by its service id, from any
 //!   connection.
 //! * `GET /stats` — live [`ServiceStats`](duoquest_service::ServiceStats)
-//!   JSON wrapped with the net front's own counters.
+//!   JSON wrapped with the net front's own counters, per-route request
+//!   counts and server uptime.
+//! * `GET /metrics` — the whole stack's counters, gauges and latency
+//!   histograms in the Prometheus text format.
+//! * `GET /trace/<id>` — a finished request's span timeline as JSON, from
+//!   the service's flight recorder.
 //!
 //! **Backpressure feeds admission.** Each connection owns a bounded
 //! [`Outbox`](outbox::Outbox) that the engine-side observer pushes into: a
@@ -57,6 +62,9 @@ pub use registry::{TaskRegistry, TaskSpec};
 // can parse event lines without depending on `duoquest-service` directly.
 pub use duoquest_service::json;
 
+use duoquest_core::SharedClock;
+use duoquest_db::{CacheStats, Database};
+use duoquest_obs::Exposition;
 use duoquest_service::SynthesisService;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -95,6 +103,51 @@ impl Default for NetConfig {
     }
 }
 
+/// Per-route request counters: every request whose head parses increments
+/// exactly one of these, so their sum is the total routed request count.
+#[derive(Debug, Default)]
+pub struct RouteCounters {
+    /// `GET /stats` hits.
+    pub stats: AtomicU64,
+    /// `POST /submit` hits (including ones later refused at admission).
+    pub submit: AtomicU64,
+    /// `POST /cancel` hits.
+    pub cancel: AtomicU64,
+    /// `GET /metrics` scrapes.
+    pub metrics: AtomicU64,
+    /// `GET /trace/<id>` fetches.
+    pub trace: AtomicU64,
+    /// Requests to unknown paths or with the wrong method (404/405).
+    pub other: AtomicU64,
+}
+
+impl RouteCounters {
+    /// Label → current value, in a fixed order (used by both the `/stats`
+    /// JSON and the `/metrics` exposition, which keeps the two surfaces'
+    /// names aligned by construction).
+    pub fn entries(&self) -> [(&'static str, u64); 6] {
+        [
+            ("stats", self.stats.load(Ordering::Relaxed)),
+            ("submit", self.submit.load(Ordering::Relaxed)),
+            ("cancel", self.cancel.load(Ordering::Relaxed)),
+            ("metrics", self.metrics.load(Ordering::Relaxed)),
+            ("trace", self.trace.load(Ordering::Relaxed)),
+            ("other", self.other.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Render as a JSON object (the `"routes"` section of `GET /stats`).
+    pub fn to_json(&self) -> String {
+        let fields = self
+            .entries()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{fields}}}")
+    }
+}
+
 /// The net front's own counters, served alongside the service stats.
 #[derive(Debug, Default)]
 pub struct NetMetrics {
@@ -116,6 +169,8 @@ pub struct NetMetrics {
     pub remote_cancels: AtomicU64,
     /// Requests rejected before admission (bad frame, unknown task …).
     pub bad_requests: AtomicU64,
+    /// Per-route request counts.
+    pub routes: RouteCounters,
 }
 
 impl NetMetrics {
@@ -145,16 +200,156 @@ pub(crate) struct ServerCtx {
     pub(crate) cfg: NetConfig,
     pub(crate) metrics: NetMetrics,
     pub(crate) shutdown: AtomicBool,
+    /// The service clock — uptime is measured on it, so a simulated run
+    /// reports simulated uptime (no real-time leak into the stats surface).
+    pub(crate) clock: SharedClock,
+    /// The clock's reading when the server bound its listener.
+    pub(crate) started: Instant,
 }
 
 impl ServerCtx {
-    /// The `GET /stats` body: live service stats plus net counters.
+    /// Server uptime on the service clock (virtual under a `SimClock`).
+    pub(crate) fn uptime(&self) -> Duration {
+        self.clock.now().saturating_duration_since(self.started)
+    }
+
+    /// The `GET /stats` body: live service stats, net counters, per-route
+    /// request counts, and the server's uptime in microseconds.
     pub(crate) fn stats_json(&self) -> String {
         format!(
-            "{{\"service\":{},\"net\":{}}}\n",
+            "{{\"service\":{},\"net\":{},\"routes\":{},\"uptime_us\":{}}}\n",
             self.service.stats().to_json(),
-            self.metrics.to_json()
+            self.metrics.to_json(),
+            self.metrics.routes.to_json(),
+            self.uptime().as_micros(),
         )
+    }
+
+    /// The `GET /metrics` body: the whole stack's metric families in the
+    /// Prometheus text format — service counters/histograms (via
+    /// [`SynthesisService::render_metrics`]), the net front's counters and
+    /// per-route counts, uptime, and probe-cache counters aggregated over
+    /// the registry's **distinct** databases (tasks sharing one
+    /// `Arc<Database>` are deduplicated by pointer, so shared caches are
+    /// not double-counted).
+    pub(crate) fn metrics_text(&self) -> String {
+        let mut expo = Exposition::new();
+        self.service.render_metrics(&mut expo);
+        let m = &self.metrics;
+        expo.counter(
+            "duoquest_net_connections_accepted_total",
+            "Connections accepted since bind.",
+            &[],
+            m.accepted.load(Ordering::Relaxed),
+        );
+        expo.gauge(
+            "duoquest_net_connections_open",
+            "Currently open connections.",
+            &[],
+            m.open.load(Ordering::Relaxed) as u64,
+        );
+        expo.counter(
+            "duoquest_net_submits_total",
+            "Requests admitted through POST /submit.",
+            &[],
+            m.submits.load(Ordering::Relaxed),
+        );
+        expo.counter(
+            "duoquest_net_streams_completed_total",
+            "Submit streams that reached their terminal done event.",
+            &[],
+            m.completed.load(Ordering::Relaxed),
+        );
+        expo.counter(
+            "duoquest_net_admission_shed_total",
+            "Requests refused at admission (HTTP 503).",
+            &[],
+            m.admission_shed.load(Ordering::Relaxed),
+        );
+        expo.counter(
+            "duoquest_net_overflow_shed_total",
+            "Runs cut because a connection outbox overflowed (slow reader).",
+            &[],
+            m.overflow_shed.load(Ordering::Relaxed),
+        );
+        expo.counter(
+            "duoquest_net_disconnects_total",
+            "Runs cut because the client disconnected or wedged mid-stream.",
+            &[],
+            m.disconnects.load(Ordering::Relaxed),
+        );
+        expo.counter(
+            "duoquest_net_remote_cancels_total",
+            "Successful POST /cancel hits.",
+            &[],
+            m.remote_cancels.load(Ordering::Relaxed),
+        );
+        expo.counter(
+            "duoquest_net_bad_requests_total",
+            "Requests rejected before admission (bad frame, unknown task).",
+            &[],
+            m.bad_requests.load(Ordering::Relaxed),
+        );
+        for (route, value) in m.routes.entries() {
+            expo.counter(
+                "duoquest_net_requests_total",
+                "HTTP requests by route.",
+                &[("route", route)],
+                value,
+            );
+        }
+        expo.gauge(
+            "duoquest_net_uptime_us",
+            "Server uptime in microseconds, on the service clock.",
+            &[],
+            self.uptime().as_micros() as u64,
+        );
+        let mut seen: Vec<*const Database> = Vec::new();
+        let mut cache = CacheStats::default();
+        for spec in self.registry.specs() {
+            let ptr = Arc::as_ptr(&spec.db);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            let stats = spec.db.cache_stats();
+            cache.hits += stats.hits;
+            cache.misses += stats.misses;
+            cache.bytes += stats.bytes;
+            cache.entries += stats.entries;
+            cache.rotations += stats.rotations;
+        }
+        expo.counter(
+            "duoquest_db_probe_cache_hits_total",
+            "Probes answered from the probe cache, over distinct databases.",
+            &[],
+            cache.hits,
+        );
+        expo.counter(
+            "duoquest_db_probe_cache_misses_total",
+            "Probes that had to run the executor, over distinct databases.",
+            &[],
+            cache.misses,
+        );
+        expo.gauge(
+            "duoquest_db_probe_cache_bytes",
+            "Estimated bytes of cached probe results currently retained.",
+            &[],
+            cache.bytes,
+        );
+        expo.gauge(
+            "duoquest_db_probe_cache_entries",
+            "Cached probe entries currently retained.",
+            &[],
+            cache.entries,
+        );
+        expo.counter(
+            "duoquest_db_probe_cache_rotations_total",
+            "Probe-cache segment rotations (generations aged out).",
+            &[],
+            cache.rotations,
+        );
+        expo.finish()
     }
 }
 
@@ -180,12 +375,16 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let clock = service.clock();
+        let started = clock.now();
         let ctx = Arc::new(ServerCtx {
             service,
             registry,
             cfg,
             metrics: NetMetrics::default(),
             shutdown: AtomicBool::new(false),
+            clock,
+            started,
         });
         let acceptor_ctx = Arc::clone(&ctx);
         let acceptor = thread::Builder::new()
@@ -213,6 +412,11 @@ impl NetServer {
     /// The `GET /stats` body, as served (for in-process scraping).
     pub fn stats_json(&self) -> String {
         self.ctx.stats_json()
+    }
+
+    /// The `GET /metrics` body, as served (Prometheus text format).
+    pub fn metrics_text(&self) -> String {
+        self.ctx.metrics_text()
     }
 
     /// Stop accepting, cancel in-flight streams, and wait up to `grace`

@@ -60,6 +60,13 @@ impl TaskRegistry {
         self.tasks.keys().map(String::as_str)
     }
 
+    /// Registered task specs, unordered (the `/metrics` scrape walks these
+    /// to aggregate probe-cache counters over the **distinct** databases —
+    /// tasks sharing one `Arc<Database>` are deduplicated by pointer).
+    pub fn specs(&self) -> impl Iterator<Item = &TaskSpec> {
+        self.tasks.values()
+    }
+
     /// Number of registered tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()

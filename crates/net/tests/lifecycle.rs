@@ -368,6 +368,73 @@ fn stats_endpoint_serves_live_service_json() {
     assert_eq!(completed, Some(1));
 }
 
+/// `GET /metrics` serves a valid Prometheus exposition reflecting live
+/// counters and `GET /trace/<id>` serves a completed request's timeline;
+/// both reject what they should (malformed id → 400, unknown id → 404,
+/// wrong method → 405), and the `/stats` routes object and the
+/// exposition's per-route counter agree name for name.
+#[test]
+fn metrics_and_trace_routes_serve_the_observability_surface() {
+    let (server, _service) = serve(ServiceConfig::default(), NetConfig::default());
+    let addr = server.addr();
+
+    // One completed request gives both surfaces something to show.
+    let body = wire::SubmitWire::task("fast").to_json();
+    let response = client::request(addr, "POST", "/submit", Some(&body), TIMEOUT).unwrap();
+    assert_eq!(response.status, 200);
+    let accepted = response.body.lines().next().expect("accepted line");
+    let id = Json::parse(accepted)
+        .ok()
+        .and_then(|j| j.get("id").and_then(Json::as_u64))
+        .expect("accepted line carries the request id");
+
+    let scrape = client::request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+    assert_eq!(scrape.status, 200);
+    duoquest_obs::validate_exposition(&scrape.body).expect("well-formed exposition");
+    assert!(
+        scrape.body.contains("duoquest_requests_submitted_total{class=\"interactive\"} 1"),
+        "submitted counter missing: {}",
+        scrape.body
+    );
+    assert!(scrape.body.contains("duoquest_net_requests_total{route=\"submit\"} 1"));
+    assert!(scrape.body.contains("duoquest_ttfc_us_bucket"));
+
+    // The resolved request's timeline, served from the flight recorder.
+    let trace = client::request(addr, "GET", &format!("/trace/{id}"), None, TIMEOUT).unwrap();
+    assert_eq!(trace.status, 200);
+    let json = Json::parse(trace.body.trim()).expect("trace JSON parses");
+    assert_eq!(json.get("id").and_then(Json::as_u64), Some(id));
+    assert!(trace.body.contains("\"request\""), "root span missing: {}", trace.body);
+    assert!(trace.body.contains("\"deliver\""), "outbox write span missing: {}", trace.body);
+
+    // Error paths.
+    let bad = client::request(addr, "GET", "/trace/not-a-number", None, TIMEOUT).unwrap();
+    assert_eq!(bad.status, 400);
+    let missing = client::request(addr, "GET", "/trace/424242", None, TIMEOUT).unwrap();
+    assert_eq!(missing.status, 404);
+    let method = client::request(addr, "POST", "/metrics", None, TIMEOUT).unwrap();
+    assert_eq!(method.status, 405);
+    let method = client::request(addr, "POST", &format!("/trace/{id}"), None, TIMEOUT).unwrap();
+    assert_eq!(method.status, 405);
+
+    // Counter-name audit: every route named by the `/stats` JSON appears as
+    // a `route` label on the exposition's request counter, and vice versa —
+    // both render from the same `RouteCounters::entries()` table.
+    let stats = client::request(addr, "GET", "/stats", None, TIMEOUT).unwrap();
+    let json = Json::parse(stats.body.trim()).unwrap();
+    let scrape = client::request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+    for route in ["stats", "submit", "cancel", "metrics", "trace", "other"] {
+        assert!(
+            json.get("routes").and_then(|r| r.get(route)).is_some(),
+            "route {route} missing from /stats"
+        );
+        assert!(
+            scrape.body.contains(&format!("duoquest_net_requests_total{{route=\"{route}\"}}")),
+            "route {route} missing from /metrics"
+        );
+    }
+}
+
 #[test]
 fn malformed_input_gets_http_errors_not_panics() {
     use std::io::Write;

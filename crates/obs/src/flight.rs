@@ -1,0 +1,93 @@
+//! The flight recorder: a bounded ring of recently-completed request
+//! timelines.
+//!
+//! Every resolved request's [`Trace`] is pushed here by the service; the
+//! newest `capacity` traces win. `GET /trace/<id>` serves them as JSON.
+//! Anomalous traces (panic, shed, deadline exceeded) are additionally
+//! dumped to stderr when the `DUOQUEST_FLIGHT_DUMP` environment variable is
+//! set — opt-in, because the deterministic simulation harness injects
+//! thousands of failures by design and must stay quiet.
+
+use crate::span::Trace;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Environment variable gating automatic stderr dumps of anomalous traces.
+pub const FLIGHT_DUMP_ENV: &str = "DUOQUEST_FLIGHT_DUMP";
+
+/// A bounded ring of completed request traces, queryable by request id.
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<Arc<Trace>>>,
+    dump: bool,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the newest `capacity` completed traces.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            cap: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dump: std::env::var_os(FLIGHT_DUMP_ENV).is_some_and(|v| !v.is_empty()),
+        }
+    }
+
+    /// Record a completed request's trace. Anomalous traces are dumped to
+    /// stderr when [`FLIGHT_DUMP_ENV`] is set.
+    pub fn push(&self, trace: Arc<Trace>) {
+        if self.dump && trace.is_anomalous() {
+            eprintln!("[flight] anomalous request {}: {}", trace.id(), trace.to_json());
+        }
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.len() >= self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Fetch a completed request's trace by service id.
+    pub fn get(&self, id: u64) -> Option<Arc<Trace>> {
+        let ring = self.ring.lock().expect("flight ring poisoned");
+        ring.iter().rev().find(|t| t.id() == id).cloned()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained request ids, oldest first.
+    pub fn ids(&self) -> Vec<u64> {
+        self.ring.lock().expect("flight ring poisoned").iter().map(|t| t.id()).collect()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder").field("cap", &self.cap).field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn ring_retains_the_newest_traces_and_finds_by_id() {
+        let recorder = FlightRecorder::new(3);
+        let anchor = Instant::now();
+        for id in 0..5u64 {
+            recorder.push(Arc::new(Trace::new(id, anchor)));
+        }
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.ids(), vec![2, 3, 4]);
+        assert!(recorder.get(1).is_none(), "aged out");
+        assert_eq!(recorder.get(4).map(|t| t.id()), Some(4));
+    }
+}

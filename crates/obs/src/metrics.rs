@@ -1,0 +1,422 @@
+//! The metrics registry: log-bucketed mergeable histograms and a
+//! Prometheus-text-format exposition builder.
+//!
+//! There is no global registry object: the stack's counters already live
+//! where the work happens (service class counters, net front atomics, db
+//! cache stats). The [`Exposition`] builder assembles a scrape **at scrape
+//! time** from those sources; only [`Histogram`]s are live obs-owned state,
+//! because percentile structure cannot be reconstructed from plain
+//! counters after the fact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i < BUCKETS-1` counts samples with
+/// value ≤ 2^i microseconds; the last bucket is the overflow (`+Inf`).
+pub const BUCKETS: usize = 32;
+
+/// A log-bucketed latency histogram over microseconds: lock-free atomic
+/// buckets at powers of two, mergeable, with nearest-rank quantiles read
+/// from the bucket upper bounds.
+///
+/// This replaces sampling reservoirs: every sample lands (no loss under
+/// load), recording is one atomic add, and two histograms merge by adding
+/// buckets — which is what lets per-class service histograms roll up into
+/// one scrape without retaining samples.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Bucket index of a microsecond value: smallest `i` with `v ≤ 2^i`
+/// (overflow lands in the last bucket).
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((u64::BITS - (v - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The upper bound (µs) of bucket `i`; `None` for the overflow bucket.
+pub fn bucket_bound_us(i: usize) -> Option<u64> {
+    (i < BUCKETS - 1).then(|| 1u64 << i)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample, in microseconds.
+    pub fn record_us(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Merge another histogram into this one (bucket-wise addition).
+    pub fn merge(&self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            self.buckets[i].fetch_add(other.buckets[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum_us.fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), reported as the upper bound
+    /// of the bucket holding the rank — i.e. an upper estimate within one
+    /// power of two. `None` when the histogram is empty. The overflow
+    /// bucket reports its lower bound (the largest finite bound).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bound_us(i).unwrap_or(1u64 << (BUCKETS - 2)));
+            }
+        }
+        None
+    }
+
+    /// [`Histogram::quantile_us`] as a `Duration`.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        self.quantile_us(q).map(Duration::from_micros)
+    }
+}
+
+/// A Prometheus-text-format scrape under assembly: callers declare each
+/// metric once (`# HELP` / `# TYPE` headers) and append samples; histograms
+/// render their full cumulative `_bucket` / `_sum` / `_count` series.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    declared: Vec<String>,
+}
+
+impl Exposition {
+    /// An empty scrape.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    fn declare(&mut self, name: &str, kind: &str, help: &str) {
+        if self.declared.iter().any(|n| n == name) {
+            return;
+        }
+        self.declared.push(name.to_string());
+        self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if labels.is_empty() {
+            self.out.push_str(&format!("{name} {value}\n"));
+        } else {
+            let labels = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect::<Vec<_>>()
+                .join(",");
+            self.out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    }
+
+    /// Declare (first use) and append a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.declare(name, "counter", help);
+        self.sample(name, labels, value);
+    }
+
+    /// Declare (first use) and append a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.declare(name, "gauge", help);
+        self.sample(name, labels, value);
+    }
+
+    /// Declare (first use) and append one histogram series: cumulative
+    /// `_bucket{le=…}` lines ending in `le="+Inf"`, plus `_sum` and
+    /// `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.declare(name, "histogram", help);
+        let counts = h.bucket_counts();
+        let mut cumulative = 0u64;
+        let bucket_name = format!("{name}_bucket");
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            let le = match bucket_bound_us(i) {
+                Some(bound) => bound.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample(&bucket_name, &with_le, cumulative);
+        }
+        self.sample(&format!("{name}_sum"), labels, h.sum_us());
+        self.sample(&format!("{name}_count"), labels, h.count());
+    }
+
+    /// The assembled scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validate Prometheus text-format well-formedness: header syntax, sample
+/// syntax, metric-name lexicon, every sample preceded by a `# TYPE` for its
+/// base name, and histogram invariants (every `_bucket` has `le`, buckets
+/// are cumulative, the `+Inf` bucket equals `_count`). Used by unit tests
+/// and by the CI smoke step that scrapes `GET /metrics` under load.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    let mut typed: Vec<(String, String)> = Vec::new(); // (name, kind)
+                                                       // Per histogram **series** (base name + non-`le` labels — each label set
+                                                       // is its own cumulative ladder): (last cumulative bucket value, saw
+                                                       // +Inf, +Inf value, count value).
+    let mut hist: std::collections::HashMap<String, (u64, bool, u64, Option<u64>)> =
+        std::collections::HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let human = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" => {
+                    if !valid_name(name) {
+                        return Err(format!("line {human}: HELP for invalid name {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or_default().trim();
+                    if !valid_name(name) {
+                        return Err(format!("line {human}: TYPE for invalid name {name:?}"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return Err(format!("line {human}: unknown metric type {kind:?}"));
+                    }
+                    typed.push((name.to_string(), kind.to_string()));
+                }
+                _ => return Err(format!("line {human}: unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(format!("line {human}: sample has no value: {line:?}")),
+        };
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| format!("line {human}: unparseable sample value {value_part:?}"))?;
+        let (name, labels) = match name_part.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {human}: unterminated label set"))?;
+                (name, Some(labels))
+            }
+            None => (name_part, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {human}: invalid metric name {name:?}"));
+        }
+        // Resolve the base name: histogram series append _bucket/_sum/_count.
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stripped = name.strip_suffix(suffix)?;
+                typed
+                    .iter()
+                    .any(|(n, k)| n == stripped && k == "histogram")
+                    .then(|| stripped.to_string())
+            })
+            .unwrap_or_else(|| name.to_string());
+        if !typed.iter().any(|(n, _)| *n == base) {
+            return Err(format!("line {human}: sample {name:?} has no preceding # TYPE"));
+        }
+        if name.ends_with("_bucket") && typed.iter().any(|(n, k)| *n == base && k == "histogram") {
+            let labels = labels.unwrap_or_default();
+            let mut series: Vec<&str> = Vec::new();
+            let mut le = None;
+            for label in labels.split(',').filter(|l| !l.is_empty()) {
+                match label.split_once('=') {
+                    Some(("le", v)) => le = Some(v.trim_matches('"')),
+                    _ => series.push(label),
+                }
+            }
+            let Some(le) = le else {
+                return Err(format!("line {human}: histogram bucket without an le label"));
+            };
+            let key = format!("{base}{{{}}}", series.join(","));
+            let entry = hist.entry(key).or_insert((0, false, 0, None));
+            let bucket_value = value as u64;
+            if bucket_value < entry.0 {
+                return Err(format!("line {human}: histogram {base:?} buckets not cumulative"));
+            }
+            entry.0 = bucket_value;
+            if le == "+Inf" {
+                entry.1 = true;
+                entry.2 = bucket_value;
+            } else if le.parse::<f64>().is_err() {
+                return Err(format!("line {human}: unparseable le bound {le:?}"));
+            }
+        }
+        if name.ends_with("_count") && typed.iter().any(|(n, k)| *n == base && k == "histogram") {
+            // `_count` carries exactly the bucket lines' non-`le` labels, in
+            // the same order, so the raw label string is the series key.
+            let key = format!("{base}{{{}}}", labels.unwrap_or_default());
+            hist.entry(key).or_insert((0, false, 0, None)).3 = Some(value as u64);
+        }
+    }
+    for (series, (_, saw_inf, inf_value, count)) in &hist {
+        if !saw_inf {
+            return Err(format!("histogram series {series:?} has no +Inf bucket"));
+        }
+        if let Some(count) = count {
+            if inf_value != count {
+                return Err(format!(
+                    "histogram series {series:?}: +Inf bucket {inf_value} != count {count}"
+                ));
+            }
+        } else {
+            return Err(format!("histogram series {series:?} has no _count sample"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_smallest_covering_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        for v in [1u64, 2, 3, 100, 100, 100, 5000, 100_000] {
+            h.record_us(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum_us(), 105_306);
+        // p50 lands in the bucket covering 100 (le=128).
+        assert_eq!(h.quantile_us(0.5), Some(128));
+        // p100 lands in the bucket covering 100_000 (le=131072).
+        assert_eq!(h.quantile_us(1.0), Some(131_072));
+    }
+
+    #[test]
+    fn histograms_merge_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_us(10);
+        b.record_us(10);
+        b.record_us(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_us(), 1_000_020);
+        assert_eq!(a.quantile_us(0.5), Some(16));
+    }
+
+    #[test]
+    fn exposition_renders_and_validates() {
+        let h = Histogram::new();
+        h.record_us(50);
+        h.record_us(700);
+        let mut expo = Exposition::new();
+        expo.counter("duoquest_requests_total", "Requests.", &[("class", "interactive")], 3);
+        expo.counter("duoquest_requests_total", "Requests.", &[("class", "batch")], 1);
+        expo.gauge("duoquest_live_sessions", "Live sessions.", &[], 2);
+        expo.histogram("duoquest_ttfc_us", "TTFC in microseconds.", &[], &h);
+        let text = expo.finish();
+        assert!(text.contains("# TYPE duoquest_requests_total counter"), "{text}");
+        assert!(text.contains("duoquest_requests_total{class=\"interactive\"} 3"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("duoquest_ttfc_us_sum 750"), "{text}");
+        validate_exposition(&text).expect("well-formed exposition");
+        // HELP/TYPE headers are not repeated on the second sample.
+        assert_eq!(text.matches("# TYPE duoquest_requests_total").count(), 1);
+    }
+
+    #[test]
+    fn validator_treats_each_label_set_as_its_own_cumulative_series() {
+        // Two class series of one histogram family: the second restarts at
+        // zero, which is fine — cumulativeness is per series, not per
+        // family. (Regression: the net_load scrape tripped on this.)
+        let busy = Histogram::new();
+        busy.record_us(50);
+        busy.record_us(700);
+        let idle = Histogram::new();
+        let mut expo = Exposition::new();
+        expo.histogram("duoquest_ttfc_us", "TTFC.", &[("class", "interactive")], &busy);
+        expo.histogram("duoquest_ttfc_us", "TTFC.", &[("class", "batch")], &idle);
+        validate_exposition(&expo.finish()).expect("per-series cumulative ladders");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_exposition("no_type_header 1\n").is_err());
+        assert!(validate_exposition("# TYPE m counter\nm notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE m counter\n9bad 1\n").is_err());
+        assert!(validate_exposition("# TYPE m histogram\nm_bucket{x=\"1\"} 1\n").is_err());
+        let no_inf = "# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n";
+        assert!(validate_exposition(no_inf).is_err());
+        let not_cumulative = "# TYPE m histogram\nm_bucket{le=\"1\"} 5\n\
+             m_bucket{le=\"+Inf\"} 3\nm_sum 1\nm_count 3\n";
+        assert!(validate_exposition(not_cumulative).is_err());
+        let inf_mismatch = "# TYPE m histogram\nm_bucket{le=\"+Inf\"} 3\nm_sum 1\nm_count 4\n";
+        assert!(validate_exposition(inf_mismatch).is_err());
+    }
+}

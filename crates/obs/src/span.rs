@@ -1,0 +1,336 @@
+//! Structured per-request tracing: bounded span/event buffers anchored to
+//! one instant, all offsets in microseconds.
+//!
+//! Determinism contract: a [`Trace`] never influences the work it observes —
+//! recording appends to a bounded buffer behind a mutex that no hot
+//! emission path contends on (chunk workers record into thread-local
+//! [`RawSpan`] buffers that the round driver merges **in child order**), so
+//! trace content under a simulated clock is fully reproducible and
+//! candidate emission is byte-identical with tracing on or off.
+
+use crate::escape_json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A span recorded with absolute instants, before conversion to trace
+/// offsets. Chunk workers fill plain `Vec<RawSpan>` buffers (no locking,
+/// no shared state) that travel back inside the chunk result and are merged
+/// into the session's [`Trace`] in deterministic child order.
+#[derive(Debug, Clone, Copy)]
+pub struct RawSpan {
+    /// Static span name (e.g. `"chunk"`).
+    pub name: &'static str,
+    /// When the span opened, on the caller's clock.
+    pub start: Instant,
+    /// When the span closed, on the caller's clock.
+    pub end: Instant,
+}
+
+/// One completed span on a request's timeline, offsets in microseconds from
+/// the trace anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name.
+    pub name: &'static str,
+    /// Microseconds from the trace anchor to the span's open.
+    pub start_us: u64,
+    /// Microseconds from the trace anchor to the span's close.
+    pub end_us: u64,
+}
+
+/// A point event on a request's timeline (admission, terminal resolution…),
+/// with an optional free-form detail string (a status label, a panic
+/// message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static event name.
+    pub name: &'static str,
+    /// Microseconds from the trace anchor.
+    pub at_us: u64,
+    /// Optional detail (status label, panic payload…).
+    pub detail: Option<String>,
+}
+
+/// The name of the root span covering the whole request (submit →
+/// resolution). Every other span on a well-formed trace nests inside it.
+pub const ROOT_SPAN: &str = "request";
+
+/// The name of the terminal event every resolved request records exactly
+/// once (the DST trace-conservation oracle holds this).
+pub const TERMINAL_EVENT: &str = "terminal";
+
+#[derive(Default)]
+struct TraceInner {
+    spans: Vec<SpanRecord>,
+    events: Vec<TraceEvent>,
+}
+
+/// One request's timeline: a bounded buffer of spans and events, anchored
+/// to the instant the request was submitted. All recording APIs take
+/// `Instant`s read from the **caller's** clock, so a service running on a
+/// simulated clock produces traces entirely on the virtual timeline.
+///
+/// The buffer is bounded ([`Trace::with_capacity`]); past the bound, new
+/// spans are counted in `dropped` instead of retained, so a pathological
+/// request can never balloon its trace.
+pub struct Trace {
+    id: u64,
+    anchor: Instant,
+    cap: usize,
+    inner: Mutex<TraceInner>,
+    dropped: AtomicU64,
+    anomalous: AtomicBool,
+}
+
+/// Default bound on retained spans + events per trace.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+impl Trace {
+    /// A trace for request `id`, anchored at `anchor` (normally the submit
+    /// instant, read from the service's clock), with the default buffer
+    /// bound.
+    pub fn new(id: u64, anchor: Instant) -> Self {
+        Trace::with_capacity(id, anchor, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A trace with an explicit bound on retained spans + events.
+    pub fn with_capacity(id: u64, anchor: Instant, cap: usize) -> Self {
+        Trace {
+            id,
+            anchor,
+            cap: cap.max(2),
+            inner: Mutex::new(TraceInner::default()),
+            dropped: AtomicU64::new(0),
+            anomalous: AtomicBool::new(false),
+        }
+    }
+
+    /// The request id this trace describes.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The anchor instant (offset 0 of the timeline).
+    pub fn anchor(&self) -> Instant {
+        self.anchor
+    }
+
+    /// Microseconds from the anchor to `at` (0 if `at` precedes the anchor).
+    pub fn offset_us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.anchor).as_micros() as u64
+    }
+
+    /// Record a completed span from absolute instants.
+    #[cfg(feature = "trace")]
+    pub fn record_span(&self, name: &'static str, start: Instant, end: Instant) {
+        self.record_span_at(name, self.offset_us(start), self.offset_us(end));
+    }
+
+    /// Record a completed span from absolute instants (no-op: the `trace`
+    /// feature is off).
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    pub fn record_span(&self, _name: &'static str, _start: Instant, _end: Instant) {}
+
+    /// Record a completed span from precomputed microsecond offsets (used
+    /// when the caller already merged raw buffers, or synthesizes aggregate
+    /// spans from stage timings).
+    #[cfg(feature = "trace")]
+    pub fn record_span_at(&self, name: &'static str, start_us: u64, end_us: u64) {
+        let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        if inner.spans.len() + inner.events.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.spans.push(SpanRecord { name, start_us, end_us });
+    }
+
+    /// Record a completed span from precomputed offsets (no-op: the `trace`
+    /// feature is off).
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    pub fn record_span_at(&self, _name: &'static str, _start_us: u64, _end_us: u64) {}
+
+    /// Merge a chunk-local raw span buffer. Call in deterministic (child)
+    /// order so trace content is reproducible under a simulated clock.
+    pub fn merge_raw(&self, raw: &[RawSpan]) {
+        for span in raw {
+            self.record_span(span.name, span.start, span.end);
+        }
+    }
+
+    /// Record a point event.
+    #[cfg(feature = "trace")]
+    pub fn event(&self, name: &'static str, at: Instant, detail: Option<String>) {
+        let at_us = self.offset_us(at);
+        let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        // The terminal event is never dropped: conservation (exactly one
+        // terminal per admitted request) must survive a full buffer.
+        if name != TERMINAL_EVENT && inner.spans.len() + inner.events.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        inner.events.push(TraceEvent { name, at_us, detail });
+    }
+
+    /// Record a point event. Terminal events are retained even with the
+    /// `trace` feature off, so request conservation holds in every build.
+    #[cfg(not(feature = "trace"))]
+    pub fn event(&self, name: &'static str, at: Instant, detail: Option<String>) {
+        if name != TERMINAL_EVENT {
+            return;
+        }
+        let at_us = self.offset_us(at);
+        let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        inner.events.push(TraceEvent { name, at_us, detail });
+    }
+
+    /// Mark the request anomalous (panicked, shed, deadline exceeded): the
+    /// flight recorder dumps anomalous traces to stderr when
+    /// `DUOQUEST_FLIGHT_DUMP` is set.
+    pub fn mark_anomalous(&self) {
+        self.anomalous.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the request was marked anomalous.
+    pub fn is_anomalous(&self) -> bool {
+        self.anomalous.load(Ordering::Relaxed)
+    }
+
+    /// Spans dropped past the buffer bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the recorded spans.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.lock().expect("trace buffer poisoned").spans.clone()
+    }
+
+    /// Snapshot of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("trace buffer poisoned").events.clone()
+    }
+
+    /// Number of terminal events recorded (exactly 1 on a well-formed
+    /// resolved request — the DST conservation oracle).
+    pub fn terminal_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .events
+            .iter()
+            .filter(|e| e.name == TERMINAL_EVENT)
+            .count()
+    }
+
+    /// Render the whole timeline as one JSON object (the `GET /trace/<id>`
+    /// body and the flight-dump format).
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("trace buffer poisoned");
+        let spans = inner
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":{},\"start_us\":{},\"end_us\":{}}}",
+                    escape_json(s.name),
+                    s.start_us,
+                    s.end_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let events = inner
+            .events
+            .iter()
+            .map(|e| {
+                let detail = match &e.detail {
+                    Some(d) => escape_json(d),
+                    None => "null".into(),
+                };
+                format!(
+                    "{{\"name\":{},\"at_us\":{},\"detail\":{}}}",
+                    escape_json(e.name),
+                    e.at_us,
+                    detail
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"id\":{},\"anomalous\":{},\"dropped\":{},\"spans\":[{spans}],\"events\":[{events}]}}",
+            self.id,
+            self.is_anomalous(),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("trace buffer poisoned");
+        f.debug_struct("Trace")
+            .field("id", &self.id)
+            .field("spans", &inner.spans.len())
+            .field("events", &inner.events.len())
+            .field("anomalous", &self.is_anomalous())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn offsets_are_anchored_and_saturating() {
+        let anchor = Instant::now();
+        let trace = Trace::new(7, anchor);
+        assert_eq!(trace.offset_us(anchor), 0);
+        assert_eq!(trace.offset_us(anchor + Duration::from_micros(250)), 250);
+        // An instant before the anchor clamps to 0 instead of underflowing.
+        assert_eq!(trace.offset_us(anchor - Duration::from_micros(5)), 0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn spans_and_events_round_trip_through_json() {
+        let anchor = Instant::now();
+        let trace = Trace::new(3, anchor);
+        trace.record_span(ROOT_SPAN, anchor, anchor + Duration::from_micros(100));
+        trace.record_span_at("chunk", 10, 40);
+        trace.event(TERMINAL_EVENT, anchor + Duration::from_micros(100), Some("completed".into()));
+        let json = trace.to_json();
+        assert!(json.contains("\"id\":3"), "{json}");
+        assert!(json.contains("\"name\":\"request\""), "{json}");
+        assert!(json.contains("\"start_us\":10"), "{json}");
+        assert!(json.contains("\"detail\":\"completed\""), "{json}");
+        assert_eq!(trace.terminal_count(), 1);
+        assert_eq!(trace.spans().len(), 2);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn buffer_bound_drops_spans_but_never_the_terminal_event() {
+        let anchor = Instant::now();
+        let trace = Trace::with_capacity(1, anchor, 4);
+        for i in 0..10 {
+            trace.record_span_at("chunk", i, i + 1);
+        }
+        assert_eq!(trace.spans().len(), 4);
+        assert_eq!(trace.dropped(), 6);
+        trace.event(TERMINAL_EVENT, anchor, None);
+        assert_eq!(trace.terminal_count(), 1, "terminal event survives a full buffer");
+    }
+
+    #[test]
+    fn anomalous_flag_sticks() {
+        let trace = Trace::new(9, Instant::now());
+        assert!(!trace.is_anomalous());
+        trace.mark_anomalous();
+        assert!(trace.is_anomalous());
+    }
+}

@@ -120,40 +120,47 @@ pub use stats::{ClassStats, ServiceStats};
 pub use ticket::{RequestStatus, ServiceOutcome, Ticket};
 
 use duoquest_core::{
-    system_clock, Candidate, SchedulerHandle, SessionControl, SessionScheduler, SharedClock,
-    SynthesisResult, SynthesisSession,
+    system_clock, Candidate, DrivenOutcome, SchedulerHandle, SessionControl, SessionScheduler,
+    SharedClock, SynthesisResult, SynthesisSession,
 };
-use stats::Reservoir;
+use duoquest_obs::{Exposition, FlightRecorder, Histogram, Trace, ROOT_SPAN, TERMINAL_EVENT};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Per-class monotone counters plus the TTFC sample window.
+/// Per-class monotone counters plus lossless latency histograms. The
+/// histograms are `duoquest_obs` log-bucketed atomics — unlike the sampling
+/// reservoir they replaced, every request lands (no loss under load) and
+/// recording is lock-free.
 struct ClassCounters {
     submitted: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
     expired: AtomicU64,
     shed: AtomicU64,
-    ttfc: Mutex<Reservoir>,
+    /// Time from submission to first emitted candidate.
+    ttfc: Histogram,
+    /// Time from submission to run start (admission queue wait).
+    queue_wait: Histogram,
 }
 
 impl ClassCounters {
-    fn new(ttfc_samples: usize) -> Self {
+    fn new() -> Self {
         ClassCounters {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             shed: AtomicU64::new(0),
-            ttfc: Mutex::new(Reservoir::new(ttfc_samples)),
+            ttfc: Histogram::new(),
+            queue_wait: Histogram::new(),
         }
     }
 
     fn record_ttfc(&self, sample: Duration) {
-        self.ttfc.lock().expect("ttfc reservoir poisoned").record(sample);
+        self.ttfc.record(sample);
     }
 }
 
@@ -175,6 +182,10 @@ struct Pending {
     candidates: Sender<Candidate>,
     outcome: Sender<ServiceOutcome>,
     observer: Option<CandidateObserver>,
+    /// The request's span timeline (`None` when `ServiceConfig::tracing` is
+    /// off). Anchored at the service's start instant, so under a simulated
+    /// clock every offset lands directly on the virtual timeline.
+    trace: Option<Arc<Trace>>,
 }
 
 impl Pending {
@@ -202,8 +213,17 @@ impl Pending {
         (self.outcome, outcome)
     }
 
-    /// Resolve the ticket of a request that never ran.
-    fn resolve_unrun(self, status: RequestStatus, now: Instant) {
+    /// Resolve the ticket of a request that never ran, closing out its trace
+    /// (root span, terminal event, flight-recorder retention) on the way.
+    fn resolve_unrun(self, status: RequestStatus, now: Instant, shared: &Shared) {
+        if let Some(trace) = &self.trace {
+            if status == RequestStatus::DeadlineExceeded {
+                trace.mark_anomalous();
+            }
+            trace.record_span(ROOT_SPAN, self.submitted, now);
+            trace.event(TERMINAL_EVENT, now, Some(status.label().to_string()));
+            shared.flight.push(Arc::clone(trace));
+        }
         let (sender, outcome) = self.into_unrun(status, now);
         let _ = sender.send(outcome);
     }
@@ -247,11 +267,19 @@ pub(crate) struct Shared {
     /// deadline checks, queue sweeps, TTFC samples) reads from here, so a
     /// simulated pool keeps the whole service on the simulated timeline.
     clock: SharedClock,
+    /// The clock's reading at service construction: the anchor every request
+    /// trace measures its offsets from. Under a `SimClock` built for a test
+    /// run this is virtual time zero, so trace offsets equal simulated
+    /// microseconds — the property the DST trace oracles check.
+    started: Instant,
     state: Mutex<Admission>,
     counters: [ClassCounters; 3],
     shutdown: AtomicBool,
     /// High-water mark of concurrently live requests.
     live_peak: AtomicUsize,
+    /// Bounded ring of recently finished request traces (`GET /trace/<id>`
+    /// on the net front reads from here).
+    flight: FlightRecorder,
 }
 
 impl Shared {
@@ -284,13 +312,13 @@ impl Shared {
         if pending.control.is_cancelled() {
             // Cancelled while queued (or between admission and start).
             self.bump(class, RequestStatus::Cancelled);
-            pending.resolve_unrun(RequestStatus::Cancelled, now);
+            pending.resolve_unrun(RequestStatus::Cancelled, now, self);
             return None;
         }
         if pending.control.deadline().is_some_and(|d| now >= d) {
             // Expired while queued: never start a run the deadline already ate.
             self.bump(class, RequestStatus::DeadlineExceeded);
-            pending.resolve_unrun(RequestStatus::DeadlineExceeded, now);
+            pending.resolve_unrun(RequestStatus::DeadlineExceeded, now, self);
             return None;
         }
         state.live.push(LiveEntry { id: pending.id, class, control: pending.control.clone() });
@@ -304,8 +332,14 @@ impl Shared {
     /// racing in here simply stops the run at its first step).
     fn start_unlocked(self: &Arc<Self>, pending: Pending) {
         let class = pending.req.priority;
-        let Pending { id, req, control, submitted, candidates, outcome, mut observer } = pending;
-        let queue_wait = self.clock.now().saturating_duration_since(submitted);
+        let Pending { id, req, control, submitted, candidates, outcome, mut observer, trace } =
+            pending;
+        let started = self.clock.now();
+        let queue_wait = started.saturating_duration_since(submitted);
+        self.counters[class.index()].queue_wait.record(queue_wait);
+        if let Some(trace) = &trace {
+            trace.record_span("queue_wait", submitted, started);
+        }
         let SynthesisRequest { db, nlq, tsq, model, config, .. } = req;
         let mut session = SynthesisSession::new(db, nlq, model)
             .with_config(config)
@@ -314,6 +348,9 @@ impl Shared {
         if let Some(tsq) = tsq {
             session = session.with_tsq(tsq);
         }
+        if let Some(trace) = &trace {
+            session = session.with_trace(Arc::clone(trace));
+        }
 
         // Time-to-first-candidate is observed by the candidate sink but
         // reported in the outcome, so the two callbacks share the slot.
@@ -321,6 +358,7 @@ impl Shared {
         let shared = Arc::clone(self);
         let ttfc_sink = Arc::clone(&ttfc);
         let sink_control = control.clone();
+        let sink_trace = trace.clone();
         let on_candidate = Box::new(move |candidate: &Candidate| {
             {
                 let mut slot = ttfc_sink.lock().expect("ttfc slot poisoned");
@@ -330,11 +368,15 @@ impl Shared {
                     shared.counters[class.index()].record_ttfc(sample);
                 }
             }
+            // Each delivery is a traced span: with the net front attached the
+            // observer is its bounded outbox push, so this is the
+            // outbox-write timing; otherwise it is the ticket-channel send.
+            let write_started = sink_trace.as_ref().map(|_| shared.clock.now());
             // An attached observer replaces channel delivery (the net front
             // writes straight to its connection outbox); otherwise a dropped
             // ticket reads as "stop" (its Drop also fires the cancellation
             // token, which reaps queued units).
-            match observer.as_mut() {
+            let keep = match observer.as_mut() {
                 Some(sink) => {
                     let keep = sink(candidate);
                     if !keep {
@@ -346,22 +388,44 @@ impl Shared {
                     keep
                 }
                 None => candidates.send(candidate.clone()).is_ok(),
+            };
+            if let (Some(trace), Some(started)) = (&sink_trace, write_started) {
+                trace.record_span("deliver", started, shared.clock.now());
             }
+            keep
         });
 
         let shared = Arc::clone(self);
-        let on_complete = Box::new(move |delivered: Option<SynthesisResult>| {
+        let on_complete = Box::new(move |delivered: DrivenOutcome| {
             // Free the live slot (promoting queued work) before resolving
             // the ticket: a consumer that observes the outcome also observes
             // the slot released. A panicked (poisoned) session frees its
             // slot too but delivers no outcome — the ticket holder's `wait`
             // reports the vanished request.
             finish(&shared, id);
-            let Some(result) = delivered else { return };
+            let now = shared.clock.now();
+            let result = match delivered {
+                DrivenOutcome::Finished(result) => result,
+                DrivenOutcome::Poisoned(message) => {
+                    // The panic payload lands on the trace's terminal event
+                    // and in the flight recorder instead of disappearing
+                    // with the pool worker that hit it.
+                    if let Some(trace) = &trace {
+                        trace.mark_anomalous();
+                        trace.record_span(ROOT_SPAN, submitted, now);
+                        let detail = match message {
+                            Some(msg) => format!("panicked: {msg}"),
+                            None => "panicked".to_string(),
+                        };
+                        trace.event(TERMINAL_EVENT, now, Some(detail));
+                        shared.flight.push(Arc::clone(trace));
+                    }
+                    return;
+                }
+            };
             let status = if result.stats.cancelled || control.is_cancelled() {
                 RequestStatus::Cancelled
-            } else if result.stats.deadline_exceeded
-                && control.deadline().is_some_and(|d| shared.clock.now() >= d)
+            } else if result.stats.deadline_exceeded && control.deadline().is_some_and(|d| now >= d)
             {
                 // Only the request's own service deadline counts as expiry;
                 // the engine's `time_budget` cutting the search is a normal
@@ -372,6 +436,14 @@ impl Shared {
                 RequestStatus::Completed
             };
             shared.bump(class, status);
+            if let Some(trace) = &trace {
+                if status == RequestStatus::DeadlineExceeded {
+                    trace.mark_anomalous();
+                }
+                trace.record_span(ROOT_SPAN, submitted, now);
+                trace.event(TERMINAL_EVENT, now, Some(status.label().to_string()));
+                shared.flight.push(Arc::clone(trace));
+            }
             // The candidate sink (and with it the candidate sender) was
             // dropped by the scheduler before this callback fired, so a
             // consumer draining the ticket sees the stream end first.
@@ -403,10 +475,10 @@ impl Shared {
             while let Some(pending) = class_queue.pop_front() {
                 if pending.control.is_cancelled() {
                     self.bump(pending.req.priority, RequestStatus::Cancelled);
-                    pending.resolve_unrun(RequestStatus::Cancelled, now);
+                    pending.resolve_unrun(RequestStatus::Cancelled, now, self);
                 } else if pending.control.deadline().is_some_and(|d| now >= d) {
                     self.bump(pending.req.priority, RequestStatus::DeadlineExceeded);
-                    pending.resolve_unrun(RequestStatus::DeadlineExceeded, now);
+                    pending.resolve_unrun(RequestStatus::DeadlineExceeded, now, self);
                 } else {
                     kept.push_back(pending);
                 }
@@ -475,15 +547,18 @@ impl SynthesisService {
             cfg.workers
         };
         let scheduler = SessionScheduler::new_with_clock(workers, Arc::clone(&clock));
-        let ttfc_samples = cfg.ttfc_samples;
+        let flight = FlightRecorder::new(cfg.flight_capacity);
+        let started = clock.now();
         let shared = Arc::new(Shared {
             cfg,
             handle: scheduler.handle(),
             clock,
+            started,
             state: Mutex::new(Admission::default()),
-            counters: std::array::from_fn(|_| ClassCounters::new(ttfc_samples)),
+            counters: std::array::from_fn(|_| ClassCounters::new()),
             shutdown: AtomicBool::new(false),
             live_peak: AtomicUsize::new(0),
+            flight,
         });
         // Queued-deadline housekeeping is the scheduler's tick: pool workers
         // sweep the admission queue at the earliest queued deadline (or when
@@ -574,6 +649,15 @@ impl SynthesisService {
         }
         let id = state.next_id;
         state.next_id += 1;
+        // The trace anchors at the service's start instant, not at `now`:
+        // under a simulated clock that puts every offset directly on the
+        // virtual timeline, and across requests all traces share one time
+        // base (ids disambiguate).
+        let trace = self.shared.cfg.tracing.then(|| {
+            let trace = Arc::new(Trace::new(id, self.shared.started));
+            trace.event("submitted", now, Some(class.label().to_string()));
+            trace
+        });
         let pending = Pending {
             id,
             req,
@@ -582,11 +666,15 @@ impl SynthesisService {
             candidates: cand_tx,
             outcome: out_tx,
             observer,
+            trace,
         };
         let mut to_start = None;
         if state.live.len() < self.shared.cfg.max_live_sessions.max(1) {
             to_start = self.shared.claim_slot_locked(&mut state, pending);
         } else if state.queued_total() < self.shared.cfg.max_queued {
+            if let Some(trace) = &pending.trace {
+                trace.event("queued", now, None);
+            }
             state.queued[class.index()].push_back(pending);
             // Re-anchor the scheduler's housekeeping tick on the new entry's
             // deadline so a queued request expires on time even while every
@@ -596,6 +684,14 @@ impl SynthesisService {
             }
         } else {
             self.shared.counters[class.index()].shed.fetch_add(1, Ordering::Relaxed);
+            // A shed request still leaves a (terminal-only, anomalous) trace
+            // in the flight recorder: overload is exactly when post-hoc
+            // visibility matters most.
+            if let Some(trace) = &pending.trace {
+                trace.mark_anomalous();
+                trace.event(TERMINAL_EVENT, now, Some("shed".to_string()));
+                self.shared.flight.push(Arc::clone(trace));
+            }
             return Err(AdmissionError::Overloaded {
                 live: state.live.len(),
                 queued: state.queued_total(),
@@ -626,6 +722,168 @@ impl SynthesisService {
         self.shared.handle.clone()
     }
 
+    /// The service's clock — the same timeline the scheduler pool, every
+    /// deadline check and every trace offset read from. Simulated when the
+    /// service was built with [`SynthesisService::with_clock`] over a
+    /// [`SimClock`](duoquest_core::SimClock).
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.shared.clock)
+    }
+
+    /// The completed-request trace with this id, if the flight recorder
+    /// still retains it (bounded ring, oldest evicted; see
+    /// [`ServiceConfig::flight_capacity`]). Live requests are not served —
+    /// a trace becomes visible when its request resolves.
+    pub fn trace(&self, id: u64) -> Option<Arc<Trace>> {
+        self.shared.flight.get(id)
+    }
+
+    /// The JSON body of [`SynthesisService::trace`] (the `GET /trace/<id>`
+    /// response on the network front).
+    pub fn trace_json(&self, id: u64) -> Option<String> {
+        self.trace(id).map(|trace| trace.to_json())
+    }
+
+    /// Ids of every trace the flight recorder currently retains, oldest
+    /// first. The DST harness walks these to prove trace conservation:
+    /// every admitted-or-shed request leaves exactly one retained trace.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.shared.flight.ids()
+    }
+
+    /// Append the service's metric families to a Prometheus exposition
+    /// (the `GET /metrics` body on the network front): per-class request
+    /// counters, admission gauges, the TTFC and queue-wait histograms, the
+    /// flight-recorder depth and the scheduler pool's load. Metric names
+    /// carry the `duoquest_` prefix; per-class series are labelled
+    /// `class="interactive" | "batch" | "background"`.
+    pub fn render_metrics(&self, expo: &mut Exposition) {
+        let per_class_counter =
+            |expo: &mut Exposition,
+             name: &str,
+             help: &str,
+             pick: &dyn Fn(&ClassCounters) -> &AtomicU64| {
+                for (i, class) in PriorityClass::ALL.iter().enumerate() {
+                    let value = pick(&self.shared.counters[i]).load(Ordering::Relaxed);
+                    expo.counter(name, help, &[("class", class.label())], value);
+                }
+            };
+        per_class_counter(
+            expo,
+            "duoquest_requests_submitted_total",
+            "Requests admitted (started or queued) since the service started.",
+            &|c| &c.submitted,
+        );
+        per_class_counter(
+            expo,
+            "duoquest_requests_completed_total",
+            "Requests that ran to completion.",
+            &|c| &c.completed,
+        );
+        per_class_counter(
+            expo,
+            "duoquest_requests_cancelled_total",
+            "Requests cancelled (explicitly, by a dropped ticket, or at shutdown).",
+            &|c| &c.cancelled,
+        );
+        per_class_counter(
+            expo,
+            "duoquest_requests_expired_total",
+            "Requests that hit their deadline, running or queued.",
+            &|c| &c.expired,
+        );
+        per_class_counter(
+            expo,
+            "duoquest_requests_shed_total",
+            "Requests refused at admission (live and queue bounds exhausted).",
+            &|c| &c.shed,
+        );
+        let (live_per_class, queued_per_class, live, queued) = {
+            let state = self.shared.state.lock().expect("service state poisoned");
+            let live_per: [u64; 3] = std::array::from_fn(|i| {
+                state.live.iter().filter(|l| l.class == PriorityClass::ALL[i]).count() as u64
+            });
+            let queued_per: [u64; 3] = std::array::from_fn(|i| state.queued[i].len() as u64);
+            (live_per, queued_per, state.live.len() as u64, state.queued_total() as u64)
+        };
+        for (i, class) in PriorityClass::ALL.iter().enumerate() {
+            expo.gauge(
+                "duoquest_requests_live",
+                "Requests currently running.",
+                &[("class", class.label())],
+                live_per_class[i],
+            );
+        }
+        for (i, class) in PriorityClass::ALL.iter().enumerate() {
+            expo.gauge(
+                "duoquest_requests_queued",
+                "Requests currently waiting in the admission queue.",
+                &[("class", class.label())],
+                queued_per_class[i],
+            );
+        }
+        for (i, class) in PriorityClass::ALL.iter().enumerate() {
+            expo.histogram(
+                "duoquest_ttfc_us",
+                "Time from submission to first candidate, microseconds.",
+                &[("class", class.label())],
+                &self.shared.counters[i].ttfc,
+            );
+        }
+        for (i, class) in PriorityClass::ALL.iter().enumerate() {
+            expo.histogram(
+                "duoquest_queue_wait_us",
+                "Time from submission to run start, microseconds.",
+                &[("class", class.label())],
+                &self.shared.counters[i].queue_wait,
+            );
+        }
+        expo.gauge("duoquest_live_sessions", "Requests currently running, all classes.", &[], live);
+        expo.gauge(
+            "duoquest_queued_requests",
+            "Requests currently queued, all classes.",
+            &[],
+            queued,
+        );
+        expo.gauge(
+            "duoquest_live_sessions_peak",
+            "High-water mark of concurrently live requests.",
+            &[],
+            self.shared.live_peak.load(Ordering::Relaxed) as u64,
+        );
+        expo.gauge(
+            "duoquest_flight_traces",
+            "Completed request traces retained by the flight recorder.",
+            &[],
+            self.shared.flight.len() as u64,
+        );
+        let sched = self.shared.handle.stats();
+        expo.gauge(
+            "duoquest_scheduler_workers",
+            "Worker threads owned by the shared pool.",
+            &[],
+            sched.workers as u64,
+        );
+        expo.gauge(
+            "duoquest_scheduler_busy_workers",
+            "Pool workers currently executing a unit.",
+            &[],
+            sched.busy_workers as u64,
+        );
+        expo.gauge(
+            "duoquest_scheduler_queue_depth",
+            "Work units queued in the pool and not yet picked up.",
+            &[],
+            sched.queue_depth as u64,
+        );
+        expo.counter(
+            "duoquest_scheduler_units_executed_total",
+            "Work units executed since the pool started.",
+            &[],
+            sched.units_executed,
+        );
+    }
+
     /// Snapshot the service: per-class admission state, counters and TTFC
     /// percentiles, plus the scheduler pool's load.
     pub fn stats(&self) -> ServiceStats {
@@ -633,8 +891,7 @@ impl SynthesisService {
         let classes = std::array::from_fn(|i| {
             let class = PriorityClass::ALL[i];
             let counters = &self.shared.counters[i];
-            let [p50, p95] =
-                counters.ttfc.lock().expect("ttfc reservoir poisoned").percentiles([50, 95]);
+            let (p50, p95) = (counters.ttfc.quantile(0.50), counters.ttfc.quantile(0.95));
             ClassStats {
                 class,
                 queued: state.queued[i].len(),
@@ -677,7 +934,7 @@ impl Drop for SynthesisService {
             for pending in class_queue.drain(..) {
                 pending.control.cancel();
                 self.shared.bump(pending.req.priority, RequestStatus::Cancelled);
-                pending.resolve_unrun(RequestStatus::Cancelled, now);
+                pending.resolve_unrun(RequestStatus::Cancelled, now, &self.shared);
             }
         }
         drop(state);

@@ -149,14 +149,28 @@ pub struct ServiceConfig {
     /// [`SynthesisService::submit`](crate::SynthesisService::submit) returns
     /// [`AdmissionError::Overloaded`] instead of accepting unbounded backlog.
     pub max_queued: usize,
-    /// Per-class ring size of retained time-to-first-candidate samples, from
-    /// which the p50/p95 in [`ServiceStats`](crate::ServiceStats) are drawn.
-    pub ttfc_samples: usize,
+    /// Whether admitted requests carry a structured trace (per-request span
+    /// timeline recorded through every layer; see `crates/obs`). Tracing
+    /// rides entirely outside the candidate emission path — the emitted
+    /// sequence is byte-identical either way — so the cost of leaving it on
+    /// is a handful of clock reads per round. Set `false` to compile the
+    /// recording down to nothing on the hot path.
+    pub tracing: bool,
+    /// Capacity of the flight recorder: how many recently finished request
+    /// traces are retained for post-hoc inspection (`GET /trace/<id>` on the
+    /// network front). Oldest-evicted; clamped to at least 1.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 0, max_live_sessions: 1024, max_queued: 256, ttfc_samples: 1024 }
+        ServiceConfig {
+            workers: 0,
+            max_live_sessions: 1024,
+            max_queued: 256,
+            tracing: true,
+            flight_capacity: 256,
+        }
     }
 }
 

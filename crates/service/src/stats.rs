@@ -25,10 +25,12 @@ pub struct ClassStats {
     /// Requests refused at admission because both the live-session limit and
     /// the queue bound were exhausted.
     pub shed: u64,
-    /// Median time from submission to first candidate over the retained
-    /// sample window; `None` until a request of this class emits.
+    /// Median time from submission to first candidate, derived from the
+    /// class's log-bucketed histogram (reported as the holding bucket's
+    /// upper bound — an estimate within one power of two); `None` until a
+    /// request of this class emits.
     pub ttfc_p50: Option<Duration>,
-    /// 95th-percentile time to first candidate over the retained window.
+    /// 95th-percentile time to first candidate, same derivation.
     pub ttfc_p95: Option<Duration>,
 }
 
@@ -114,63 +116,32 @@ impl ServiceStats {
     }
 }
 
-/// A bounded ring of time-to-first-candidate samples (the newest
-/// `cap` samples win), cheap to record under the class's lock.
-#[derive(Debug)]
-pub(crate) struct Reservoir {
-    samples: Vec<Duration>,
-    cap: usize,
-    next: usize,
-}
-
-impl Reservoir {
-    pub(crate) fn new(cap: usize) -> Self {
-        Reservoir { samples: Vec::new(), cap: cap.max(1), next: 0 }
-    }
-
-    pub(crate) fn record(&mut self, sample: Duration) {
-        if self.samples.len() < self.cap {
-            self.samples.push(sample);
-        } else {
-            self.samples[self.next] = sample;
-            self.next = (self.next + 1) % self.cap;
-        }
-    }
-
-    /// Nearest-rank percentiles (`⌈p/100 · n⌉`-th smallest) over the
-    /// retained window.
-    pub(crate) fn percentiles(&self, ps: [u32; 2]) -> [Option<Duration>; 2] {
-        if self.samples.is_empty() {
-            return [None, None];
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        ps.map(|p| {
-            let rank = (sorted.len() * p as usize).div_ceil(100).max(1);
-            Some(sorted[rank - 1])
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use duoquest_obs::Histogram;
+
+    // The TTFC percentiles now come from a lossless log-bucketed histogram
+    // (`duoquest_obs::Histogram`) instead of a sampling reservoir: every
+    // sample lands, and the reported percentile is the holding bucket's
+    // upper bound.
 
     #[test]
-    fn reservoir_keeps_the_newest_window() {
-        let mut r = Reservoir::new(4);
+    fn histogram_percentiles_feed_class_stats() {
+        let h = Histogram::new();
         for ms in 1..=10u64 {
-            r.record(Duration::from_millis(ms));
+            h.record(Duration::from_millis(ms));
         }
-        // 7..=10 retained; p50 (nearest rank over 4 samples) = index 1 → 8ms.
-        let [p50, p95] = r.percentiles([50, 95]);
-        assert_eq!(p50, Some(Duration::from_millis(8)));
-        assert_eq!(p95, Some(Duration::from_millis(10)));
+        // p50 over 1..=10ms lands in the bucket covering 5ms (le = 8192µs).
+        assert_eq!(h.quantile(0.50), Some(Duration::from_micros(8192)));
+        assert_eq!(h.quantile(0.95), Some(Duration::from_micros(16384)));
+        assert_eq!(h.count(), 10, "no samples lost, unlike the old reservoir");
     }
 
     #[test]
-    fn empty_reservoir_has_no_percentiles() {
-        let r = Reservoir::new(8);
-        assert_eq!(r.percentiles([50, 95]), [None, None]);
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.50), None);
+        assert_eq!(h.quantile(0.95), None);
     }
 }

@@ -267,6 +267,31 @@ fn main() {
         .expect("stats after load")
         .body;
     println!("live /stats after drain: {}", stats_body.trim());
+
+    // ── scrape /metrics: well-formed Prometheus text with the full set ────
+    let scrape = client::request(addr, "GET", "/metrics", None, Duration::from_secs(10))
+        .expect("metrics scrape after load");
+    assert_eq!(scrape.status, 200, "metrics scrape got a non-200");
+    duoquest::obs::validate_exposition(&scrape.body)
+        .unwrap_or_else(|e| panic!("malformed /metrics exposition: {e}"));
+    for needed in [
+        "duoquest_requests_submitted_total",
+        "duoquest_requests_completed_total",
+        "duoquest_ttfc_us_bucket",
+        "duoquest_queue_wait_us_count",
+        "duoquest_live_sessions",
+        "duoquest_flight_traces",
+        "duoquest_scheduler_units_executed_total",
+        "duoquest_net_requests_total{route=\"submit\"}",
+        "duoquest_net_connections_accepted_total",
+        "duoquest_net_uptime_us",
+        "duoquest_db_probe_cache_hits_total",
+    ] {
+        assert!(scrape.body.contains(needed), "metric missing from /metrics scrape: {needed}");
+    }
+    let lines = scrape.body.lines().count();
+    println!("/metrics scrape valid: {lines} exposition lines, full metric set present");
+
     server.shutdown(Duration::from_secs(10));
     println!(
         "drained to idle; total wall clock {:.1?} — the socket front held {connections} \

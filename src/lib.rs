@@ -6,6 +6,8 @@
 //!
 //! This crate simply re-exports the workspace crates under stable names:
 //!
+//! * [`obs`] — tracing, metrics and flight-recorder substrate (see
+//!   `docs/OBSERVABILITY.md`)
 //! * [`db`] — in-memory relational engine substrate
 //! * [`sql`] — SQL AST, partial queries, parser and canonical comparison
 //! * [`nlq`] — natural language query handling and guidance models
@@ -24,6 +26,7 @@ pub use duoquest_core as core;
 pub use duoquest_db as db;
 pub use duoquest_net as net;
 pub use duoquest_nlq as nlq;
+pub use duoquest_obs as obs;
 pub use duoquest_service as service;
 pub use duoquest_sql as sql;
 pub use duoquest_workloads as workloads;

@@ -440,6 +440,49 @@ fn panicking_request_frees_its_slot() {
     assert_eq!(service.stats().live_sessions, 0, "the panicked request leaked its slot");
 }
 
+/// Satellite: a worker panic's payload is captured into the poisoned
+/// request's observability record — the flight-recorder trace is flagged
+/// anomalous, its terminal event carries the panic message, and
+/// `trace_json` (the `GET /trace/<id>` body) serves it for post-mortems.
+#[test]
+fn panic_payload_lands_in_the_flight_recorder() {
+    let dataset = workload();
+    let task = dataset.tasks.first().expect("workload has tasks");
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 1,
+        max_live_sessions: 2,
+        max_queued: 2,
+        ..ServiceConfig::default()
+    });
+    let db = dataset.database(task);
+    let poisoned = service
+        .submit(
+            SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(PanickingGuidance))
+                .with_config(DuoquestConfig::fast()),
+        )
+        .expect("admitted");
+    let id = poisoned.id();
+    let waited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| poisoned.wait()));
+    assert!(waited.is_err(), "the poisoned request's outcome cannot be delivered");
+
+    // The trace is pushed before the outcome channel drops (which is what
+    // wakes the panicking wait), so it is already retained here.
+    let trace = service.trace(id).expect("poisoned request left no flight-recorder trace");
+    assert!(trace.is_anomalous(), "a panic must flag its trace anomalous");
+    let terminal = trace
+        .events()
+        .into_iter()
+        .find(|e| e.name == duoquest::obs::TERMINAL_EVENT)
+        .expect("terminal event recorded");
+    let detail = terminal.detail.expect("terminal event carries the panic payload");
+    assert!(
+        detail.contains("injected guidance failure"),
+        "panic payload missing from terminal event: {detail:?}"
+    );
+    let json = service.trace_json(id).expect("trace JSON served");
+    assert!(json.contains("injected guidance failure"), "payload missing from trace JSON");
+}
+
 /// Satellite: a session panicking **mid-`step()`** — the panic fires inside
 /// the round-driver's phase 1, on a pool worker, not on any per-request
 /// thread — poisons only itself: concurrent live sessions complete with
