@@ -80,6 +80,72 @@ fn fmt_ms(d: &Option<Duration>) -> String {
     d.map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3)).unwrap_or_else(|| "-".into())
 }
 
+/// Probe-duplication burst: `n` *identical* sessions (same task, same seed)
+/// run concurrently over one shared database, each on its own thread, so
+/// every session issues the same probe stream at the same time. A churn
+/// thread clears the memo cache every 2ms for the duration — the
+/// cache-pressure regime where duplicate probes cannot be absorbed by
+/// memoization and only in-flight sharing can collapse them. Returns the
+/// database's cache-counter delta as `(executions, routed_lookups,
+/// single_flight_hits, single_flight_leaders)`, where `executions` counts
+/// probes that actually ran the executor.
+fn duplicate_probe_burst(
+    dataset: &SpiderDataset,
+    n: usize,
+    single_flight: bool,
+) -> (u64, u64, u64, u64, Vec<(String, f64)>) {
+    let task = &dataset.tasks[0];
+    let db = dataset.database(task);
+    db.set_single_flight(single_flight);
+    db.clear_probe_cache();
+    let before = db.cache_stats();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let rankings: Vec<Vec<(String, f64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let session = session_for(dataset, 0, &config(1), None);
+                scope.spawn(move || {
+                    let result = session.run();
+                    result
+                        .candidates
+                        .iter()
+                        .map(|c| (format!("{:?}", c.spec), c.confidence))
+                        .collect()
+                })
+            })
+            .collect();
+        scope.spawn(|| {
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                db.clear_probe_cache();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let rankings: Vec<_> =
+            handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect();
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        rankings
+    });
+    // Identical sessions must emit identically — under churn, with or
+    // without in-flight sharing.
+    for (i, ranking) in rankings.iter().enumerate() {
+        assert_eq!(
+            rankings[0], *ranking,
+            "session {i} diverged in a duplicate-probe burst (single-flight {single_flight})"
+        );
+    }
+    let delta = db.cache_stats().since(&before);
+    db.set_single_flight(true);
+    // A single-flight hit is a miss that waited on another session's leader
+    // instead of executing; everything else that missed ran the executor.
+    (
+        delta.misses - delta.single_flight_hits,
+        delta.single_flight_lookups,
+        delta.single_flight_hits,
+        delta.single_flight_leaders,
+        rankings.into_iter().next().unwrap_or_default(),
+    )
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     let dataset = workload();
     let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -102,6 +168,23 @@ fn bench_scheduler(c: &mut Criterion) {
         );
     }
 
+    // Cross-session single-flight probe sharing, reported once outside the
+    // timed loops: N identical sessions on one shared database collapse
+    // their concurrent duplicate probes onto one leader execution each.
+    for n in [4usize, 8] {
+        let (on_exec, on_lookups, on_hits, on_leaders, on_ranking) =
+            duplicate_probe_burst(&dataset, n, true);
+        let (off_exec, _, _, _, off_ranking) = duplicate_probe_burst(&dataset, n, false);
+        assert_eq!(on_ranking, off_ranking, "single-flight toggle changed emitted candidates");
+        let rate = if on_lookups == 0 { 0.0 } else { on_hits as f64 / on_lookups as f64 * 100.0 };
+        println!(
+            "single-flight, {n} identical sessions sharing one database on {machine} CPU(s): \
+             on: {on_exec} probe executions ({on_leaders} leaders, {on_hits}/{on_lookups} \
+             routed misses collapsed = {rate:.1}%) | off: {off_exec} probe executions, \
+             candidates byte-identical",
+        );
+    }
+
     let mut group = c.benchmark_group("scheduler");
     group.sample_size(10);
     for n in SESSION_COUNTS {
@@ -114,6 +197,15 @@ fn bench_scheduler(c: &mut Criterion) {
         // pool (N×machine threads at peak).
         group.bench_function(format!("private_pools_{n}_sessions"), |b| {
             b.iter(|| run_concurrent(&dataset, n, &config(machine), None))
+        });
+    }
+    // Duplicate-probe burst with and without cross-session single-flight
+    // sharing: the on/off gap is the cost of re-executing probes that an
+    // identical concurrent session already has in flight.
+    for single_flight in [true, false] {
+        let label = if single_flight { "on" } else { "off" };
+        group.bench_function(format!("single_flight_{label}_8_identical_sessions"), |b| {
+            b.iter(|| duplicate_probe_burst(&dataset, 8, single_flight))
         });
     }
     group.finish();

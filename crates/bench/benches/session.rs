@@ -5,12 +5,12 @@
 //! hit/miss counters from `EnumerationStats` are printed alongside.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use duoquest_core::{Duoquest, DuoquestConfig, EnumerationStats};
+use duoquest_core::{Duoquest, DuoquestConfig, EmissionPolicy, EnumerationStats};
 use duoquest_nlq::NoisyOracleGuidance;
 use duoquest_workloads::spider::{self, SpiderDataset};
 use duoquest_workloads::{synthesize_tsq, TsqDetail};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn workload() -> SpiderDataset {
     spider::generate("bench", 2, 4, 4, 2, 17)
@@ -51,6 +51,47 @@ fn run_workload(
     merged
 }
 
+/// A candidate list rendered as comparable `(structure, confidence)` pairs.
+type Ranking = Vec<(String, f64)>;
+
+/// One run of every task under `emission`: per-task time to first emitted
+/// candidate plus the rendered candidate ranking (for checking that any-k
+/// changes *when* candidates arrive, never *what* arrives).
+fn ttfc_runs(
+    dataset: &SpiderDataset,
+    workers: usize,
+    emission: EmissionPolicy,
+) -> Vec<(Option<Duration>, Ranking)> {
+    let engine = Duoquest::new(config(workers).with_emission_policy(emission));
+    dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| {
+            let db = dataset.database(task);
+            db.clear_probe_cache();
+            let (gold, tsq) = synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 42 + i as u64);
+            let model = NoisyOracleGuidance::new(gold, 42 + i as u64);
+            let started = Instant::now();
+            let mut first = None;
+            let result = engine
+                .session(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+                .with_tsq(tsq)
+                .run_with(|_c| {
+                    first.get_or_insert_with(|| started.elapsed());
+                    true
+                });
+            let ranking =
+                result.candidates.iter().map(|c| (format!("{:?}", c.spec), c.confidence)).collect();
+            (first, ranking)
+        })
+        .collect()
+}
+
+fn fmt_ms(d: Option<Duration>) -> String {
+    d.map(|d| format!("{:.2}ms", d.as_secs_f64() * 1e3)).unwrap_or_else(|| "-".into())
+}
+
 fn bench_session(c: &mut Criterion) {
     let dataset = workload();
     let parallel_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
@@ -72,6 +113,46 @@ fn bench_session(c: &mut Criterion) {
         warm.cache_hit_rate() * 100.0,
     );
 
+    // Any-k frontier emission vs the round-barrier default, reported once
+    // outside the timed loops: identical candidates, earlier first release.
+    // At least 4 pool workers so verify rounds split into chunks and stream
+    // chunk-by-chunk even on a 1-CPU machine; each policy gets three
+    // repetitions and keeps its best per-task TTFC to damp scheduling noise.
+    let ttfc_workers = parallel_workers.max(4);
+    const TTFC_REPS: usize = 3;
+    let mut barrier_best: Vec<Option<Duration>> = vec![None; dataset.tasks.len()];
+    let mut any_k_best: Vec<Option<Duration>> = vec![None; dataset.tasks.len()];
+    for _ in 0..TTFC_REPS {
+        let barrier = ttfc_runs(&dataset, ttfc_workers, EmissionPolicy::RoundBarrier);
+        let any_k = ttfc_runs(&dataset, ttfc_workers, EmissionPolicy::AnyK);
+        let merge_min = |slot: &mut Option<Duration>, v: Option<Duration>| {
+            if let Some(v) = v {
+                *slot = Some(slot.map_or(v, |s| s.min(v)));
+            }
+        };
+        for (i, ((bar_ttfc, bar_ranking), (any_ttfc, any_ranking))) in
+            barrier.into_iter().zip(any_k).enumerate()
+        {
+            assert_eq!(bar_ranking, any_ranking, "task {i} diverged under any-k emission");
+            merge_min(&mut barrier_best[i], bar_ttfc);
+            merge_min(&mut any_k_best[i], any_ttfc);
+        }
+    }
+    let earlier = barrier_best
+        .iter()
+        .zip(&any_k_best)
+        .filter(|(b, a)| matches!((b, a), (Some(b), Some(a)) if a < b))
+        .count();
+    println!(
+        "any-k frontier emission vs round barrier (best of {TTFC_REPS}, \
+         {ttfc_workers} workers): first candidate strictly earlier on \
+         {earlier}/{} tasks, candidates byte-identical on all",
+        dataset.tasks.len(),
+    );
+    for (i, (bar, any)) in barrier_best.iter().zip(&any_k_best).enumerate() {
+        println!("  task {i}: round-barrier ttfc {} | any-k ttfc {}", fmt_ms(*bar), fmt_ms(*any),);
+    }
+
     let mut group = c.benchmark_group("session");
     group.sample_size(10);
     // The seed path: sequential, every run pays cold probes.
@@ -85,6 +166,21 @@ fn bench_session(c: &mut Criterion) {
     // The full parallel + cached core.
     group.bench_function(format!("parallel{parallel_workers}_warm_cache"), |b| {
         b.iter(|| run_workload(&dataset, &config(parallel_workers), false))
+    });
+    // Round-barrier vs any-k frontier emission on cold probes: total run
+    // time is expected to be a wash (same work, same emission sequence) —
+    // the any-k win is time-to-first-candidate, reported above.
+    group.bench_function(format!("parallel{parallel_workers}_round_barrier_cold"), |b| {
+        b.iter(|| run_workload(&dataset, &config(parallel_workers), true))
+    });
+    group.bench_function(format!("parallel{parallel_workers}_any_k_cold"), |b| {
+        b.iter(|| {
+            run_workload(
+                &dataset,
+                &config(parallel_workers).with_emission_policy(EmissionPolicy::AnyK),
+                true,
+            )
+        })
     });
     group.finish();
 }

@@ -2,6 +2,29 @@
 
 use std::time::Duration;
 
+/// When a surviving complete query is handed to the consumer.
+///
+/// Both policies emit the **identical candidate sequence** (same set, same
+/// order — equal-score ties pinned by child order); they differ only in when
+/// within a round an emission is delivered. See `docs/DRIVER.md` for the
+/// any-k frontier contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmissionPolicy {
+    /// Emissions are delivered during the round's phase-3 merge, after every
+    /// verification chunk of the round has completed. The historical — and
+    /// byte-identical — default.
+    #[default]
+    RoundBarrier,
+    /// Any-k frontier emission: a candidate is delivered the moment its
+    /// confidence provably dominates every unexpanded state (the frontier
+    /// heap's top, every not-yet-merged job of the in-flight round, and the
+    /// current chunk's still-unpushed survivors) — typically mid-round, as
+    /// soon as the contiguous chunk prefix containing it completes. The
+    /// emitted sequence is exactly the `RoundBarrier` sequence; only the
+    /// delivery time moves earlier.
+    AnyK,
+}
+
 /// Tunable parameters of the Duoquest engine.
 ///
 /// The flags `guided`, `prune_partial` and `semantic_rules` exist so the
@@ -48,6 +71,11 @@ pub struct DuoquestConfig {
     /// verified before the deadline depends on machine speed, and under a
     /// pool also on chunking.)
     pub workers: usize,
+    /// When emissions are delivered to the consumer (see [`EmissionPolicy`]).
+    /// `RoundBarrier` is the byte-identical default; `AnyK` delivers the same
+    /// sequence earlier (mid-round) and is what interactive requests opt
+    /// into for time-to-first-candidate.
+    pub emission: EmissionPolicy,
 }
 
 impl Default for DuoquestConfig {
@@ -66,6 +94,7 @@ impl Default for DuoquestConfig {
             semantic_rules: true,
             beam_width: 1,
             workers: 1,
+            emission: EmissionPolicy::RoundBarrier,
         }
     }
 }
@@ -109,6 +138,12 @@ impl DuoquestConfig {
     pub fn with_parallelism(mut self, workers: usize, beam_width: usize) -> Self {
         self.workers = workers;
         self.beam_width = beam_width.max(1);
+        self
+    }
+
+    /// Opt into any-k frontier emission (see [`EmissionPolicy::AnyK`]).
+    pub fn with_emission_policy(mut self, emission: EmissionPolicy) -> Self {
+        self.emission = emission;
         self
     }
 

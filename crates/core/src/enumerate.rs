@@ -21,7 +21,7 @@
 //! per-stage cascade timings are surfaced in [`EnumerationStats`].
 
 use crate::clock::{Clock, SYSTEM_CLOCK};
-use crate::config::DuoquestConfig;
+use crate::config::{DuoquestConfig, EmissionPolicy};
 use crate::joinpath::construct_join_paths;
 use crate::session::SessionControl;
 use crate::state::EnumState;
@@ -38,7 +38,7 @@ use duoquest_sql::{
     ClauseSet, PartialHaving, PartialOrder, PartialPredicate, PartialQuery, PartialSelectItem,
     SelectColumn, Slot,
 };
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,6 +102,16 @@ pub struct EnumerationStats {
     /// Probe executions cut short because the planner or a join step proved
     /// the remaining work empty.
     pub probes_bailed_empty: u64,
+    /// Probe-cache misses this run resolved by waiting on another session's
+    /// identical in-flight probe instead of executing it again (single-flight
+    /// collapsing on a shared database).
+    pub single_flight_hits: u64,
+    /// Probe-cache misses for which this run was elected the single-flight
+    /// leader (it executed the probe and fanned the result out).
+    pub single_flight_leaders: u64,
+    /// Microseconds this run's probes spent parked waiting on another
+    /// session's single-flight leader (wall-clock, observational).
+    pub single_flight_wait_us: u64,
     /// Shared-pool observations, when the run was served by a
     /// [`crate::scheduler::SessionScheduler`] (`None` for runs on a private
     /// scoped pool or inline execution).
@@ -144,7 +154,9 @@ impl EnumerationStats {
              \"elapsed_us\":{},\"exhausted\":{},\"cancelled\":{},\"deadline_exceeded\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_bytes\":{},\"rows_scanned\":{},\
              \"rows_short_circuited\":{},\"index_lookups\":{},\"rows_via_index\":{},\
-             \"probes_bailed_empty\":{},\"stage_timings\":{},\"scheduler\":{}}}",
+             \"probes_bailed_empty\":{},\"single_flight_hits\":{},\
+             \"single_flight_leaders\":{},\"single_flight_wait_us\":{},\
+             \"stage_timings\":{},\"scheduler\":{}}}",
             self.expanded,
             self.generated,
             self.pruned_clauses,
@@ -168,6 +180,9 @@ impl EnumerationStats {
             self.index_lookups,
             self.rows_via_index,
             self.probes_bailed_empty,
+            self.single_flight_hits,
+            self.single_flight_leaders,
+            self.single_flight_wait_us,
             self.stage_timings.to_json(),
             scheduler,
         )
@@ -261,6 +276,11 @@ pub(crate) struct ChildJob {
 /// The merged product of one worker's chunk, in original job order.
 #[derive(Default)]
 pub(crate) struct ChunkResult {
+    /// Number of jobs this chunk was given. The any-k dominance gate uses it
+    /// to advance its merged-jobs cursor into the round's suffix-maximum
+    /// table; fabricated results (cancel reaping) leave it `0`, which merely
+    /// makes the gate stricter — never unsound.
+    pub(crate) jobs: usize,
     pub(crate) generated: usize,
     pub(crate) prunes: [usize; VerifyStage::COUNT],
     pub(crate) timings: StageTimings,
@@ -278,6 +298,12 @@ pub(crate) struct ChunkResult {
     /// simulated clock regardless of which worker ran the chunk. Empty when
     /// tracing is off.
     pub(crate) spans: Vec<RawSpan>,
+    /// Microseconds this chunk's probes spent parked on single-flight waits
+    /// (delta of the shared run counters across the chunk — attribution is
+    /// approximate when chunks run concurrently; observational only).
+    /// Recorded only when tracing is on; the driver synthesizes a
+    /// `probe_wait` span from it.
+    pub(crate) probe_wait_us: u64,
 }
 
 /// Fan-out threshold below which spawning workers costs more than it saves.
@@ -336,6 +362,7 @@ pub(crate) fn run_rounds(
     // over channels), so rounds don't pay a spawn/join cycle each.
     std::thread::scope(|scope| {
         let pool = WorkerPool::start(scope, workers, &env);
+        let mut dispatcher = PoolDispatcher { pool: pool.as_ref(), env: &env };
         drive_rounds(
             db,
             nlq,
@@ -348,7 +375,7 @@ pub(crate) fn run_rounds(
             trace,
             &mut stats,
             on_candidate,
-            &mut |jobs| process_jobs(jobs, pool.as_ref(), &env),
+            &mut dispatcher,
         );
     });
 
@@ -369,6 +396,11 @@ pub(crate) fn run_rounds(
     stats.index_lookups = partial_lk + complete_lk;
     stats.rows_via_index = partial_via + complete_via;
     stats.probes_bailed_empty = partial_bail + complete_bail;
+    let (partial_sfh, partial_sfl, partial_sfw) = partial_verifier.single_flight_counters();
+    let (complete_sfh, complete_sfl, complete_sfw) = complete_verifier.single_flight_counters();
+    stats.single_flight_hits = partial_sfh + complete_sfh;
+    stats.single_flight_leaders = partial_sfl + complete_sfl;
+    stats.single_flight_wait_us = partial_sfw + complete_sfw;
     stats
 }
 
@@ -422,9 +454,14 @@ pub(crate) enum StepOutcome {
 enum DriverPhase {
     /// Ready to start the next round (pop a beam).
     Ready,
-    /// `SubmitChunks` was returned; waiting on [`RoundDriver::provide`].
-    /// Carries the decision depth of each beam slot for the merge.
-    Submitted { decisions: Vec<usize> },
+    /// `SubmitChunks` was returned; waiting on [`RoundDriver::provide`] (or
+    /// the first [`RoundDriver::feed`] of a streamed round). Carries the
+    /// decision depth of each beam slot for the merge, plus — under
+    /// [`EmissionPolicy::AnyK`] — the suffix maxima of the submitted job
+    /// confidences (`suffix_max[i]` bounds every child of jobs `i..`; one
+    /// trailing `0.0` entry), which the dominance gate indexes by its
+    /// merged-jobs cursor. Empty under `RoundBarrier`.
+    Submitted { decisions: Vec<usize>, suffix_max: Vec<f64> },
     /// Chunk results are being merged; emissions drain one per `step`.
     Draining(Drain),
     /// The loop has exited; every further `step` returns `Done`.
@@ -438,10 +475,25 @@ enum DriverPhase {
 /// the same point it always did.
 struct Drain {
     decisions: Vec<usize>,
-    chunks: std::vec::IntoIter<ChunkResult>,
-    emissions: std::vec::IntoIter<(SelectSpec, f64)>,
+    /// Suffix maxima of the round's job confidences (see
+    /// [`DriverPhase::Submitted`]); empty under `RoundBarrier`.
+    suffix_max: Vec<f64>,
+    chunks: VecDeque<ChunkResult>,
+    emissions: VecDeque<(SelectSpec, f64)>,
     survivors: Vec<(PartialQuery, f64, usize)>,
     in_chunk: bool,
+    /// Jobs covered by the chunks merged so far — the dominance gate's
+    /// cursor into `suffix_max`.
+    merged_jobs: usize,
+    /// Highest confidence among the current chunk's not-yet-pushed
+    /// survivors (they are outside the heap while the chunk's emissions
+    /// drain, so the gate must bound them separately).
+    survivor_max: f64,
+    /// Whether every chunk of the round has been provided. `provide` sets
+    /// this immediately; a streamed round sets it on its `last` feed. The
+    /// dominance gate only applies while `false` — once the round is
+    /// complete, draining is exactly the historical barrier merge.
+    complete: bool,
     timed_out: bool,
     cancelled: bool,
     just_emitted: bool,
@@ -546,13 +598,17 @@ impl RoundDriver {
     /// Panics if no round is outstanding (protocol violation).
     pub(crate) fn provide(&mut self, results: Vec<ChunkResult>) {
         match std::mem::replace(&mut self.phase, DriverPhase::Finished) {
-            DriverPhase::Submitted { decisions } => {
+            DriverPhase::Submitted { decisions, suffix_max } => {
                 self.phase = DriverPhase::Draining(Drain {
                     decisions,
-                    chunks: results.into_iter(),
-                    emissions: Vec::new().into_iter(),
+                    suffix_max,
+                    chunks: results.into(),
+                    emissions: VecDeque::new(),
                     survivors: Vec::new(),
                     in_chunk: false,
+                    merged_jobs: 0,
+                    survivor_max: 0.0,
+                    complete: true,
                     timed_out: false,
                     cancelled: false,
                     just_emitted: false,
@@ -561,6 +617,89 @@ impl RoundDriver {
             phase => {
                 self.phase = phase;
                 panic!("RoundDriver::provide called with no round outstanding");
+            }
+        }
+    }
+
+    /// Feed a contiguous job-order prefix of the in-flight round's chunk
+    /// results, draining every emission the any-k dominance gate releases
+    /// straight into `sink` (the streamed counterpart of
+    /// [`RoundDriver::provide`] + [`RoundDriver::step`]). `last` marks the
+    /// round's final feed; until it arrives the driver may pause mid-merge
+    /// (gate blocked, or chunks exhausted) and waits for the next feed. A
+    /// `sink` returning `false` halts the run, exactly like returning
+    /// `false` from a candidate callback.
+    ///
+    /// Feeding a finished driver silently drops the chunks: a halted or
+    /// budget-stopped run may still have late chunks in flight, and they
+    /// must be discardable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is outstanding (phase `Ready` — protocol
+    /// violation).
+    pub(crate) fn feed(
+        &mut self,
+        chunks: Vec<ChunkResult>,
+        last: bool,
+        env: &StepEnv<'_>,
+        sink: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
+    ) {
+        match std::mem::replace(&mut self.phase, DriverPhase::Finished) {
+            DriverPhase::Finished => return, // late chunks after an early stop
+            DriverPhase::Submitted { decisions, suffix_max } => {
+                self.phase = DriverPhase::Draining(Drain {
+                    decisions,
+                    suffix_max,
+                    chunks: chunks.into(),
+                    emissions: VecDeque::new(),
+                    survivors: Vec::new(),
+                    in_chunk: false,
+                    merged_jobs: 0,
+                    survivor_max: 0.0,
+                    complete: last,
+                    timed_out: false,
+                    cancelled: false,
+                    just_emitted: false,
+                });
+            }
+            DriverPhase::Draining(mut d) => {
+                d.chunks.extend(chunks);
+                d.complete |= last;
+                self.phase = DriverPhase::Draining(d);
+            }
+            DriverPhase::Ready => {
+                self.phase = DriverPhase::Ready;
+                panic!("RoundDriver::feed called with no round outstanding");
+            }
+        }
+        loop {
+            let phase = std::mem::replace(&mut self.phase, DriverPhase::Finished);
+            let DriverPhase::Draining(d) = phase else {
+                self.phase = phase;
+                return; // the drain closed the round or finished the run
+            };
+            match self.drain(d, env) {
+                Some(StepOutcome::Emit { spec, confidence, emitted_at }) => {
+                    // A mid-round release is the observable any-k event: the
+                    // frontier provably cannot beat this candidate, so it
+                    // leaves before the round closes.
+                    let mid_round = matches!(&self.phase, DriverPhase::Draining(d) if !d.complete);
+                    let popped_at = if mid_round && self.trace.is_some() {
+                        Some(env.clock.now())
+                    } else {
+                        None
+                    };
+                    let keep = sink(spec, confidence, emitted_at);
+                    if let (Some(trace), Some(t0)) = (self.trace.as_ref(), popped_at) {
+                        trace.record_span("frontier_pop", t0, env.clock.now());
+                    }
+                    if !keep {
+                        self.halt();
+                    }
+                }
+                Some(_) => unreachable!("drain only yields emissions"),
+                None => return, // paused mid-round, round complete, or run over
             }
         }
     }
@@ -581,13 +720,18 @@ impl RoundDriver {
         loop {
             match std::mem::replace(&mut self.phase, DriverPhase::Finished) {
                 DriverPhase::Finished => return StepOutcome::Done,
-                DriverPhase::Submitted { decisions } => {
-                    self.phase = DriverPhase::Submitted { decisions };
+                DriverPhase::Submitted { decisions, suffix_max } => {
+                    self.phase = DriverPhase::Submitted { decisions, suffix_max };
                     panic!("RoundDriver::step called while chunk results are outstanding");
                 }
                 DriverPhase::Draining(drain) => {
                     if let Some(outcome) = self.drain(drain, env) {
                         return outcome;
+                    }
+                    if matches!(self.phase, DriverPhase::Draining(_)) {
+                        panic!(
+                            "RoundDriver::step called while a streamed round is still in flight"
+                        );
                     }
                 }
                 DriverPhase::Ready => {
@@ -674,7 +818,21 @@ impl RoundDriver {
             return None;
         }
         let decisions = beam.iter().map(|s| s.decisions).collect();
-        self.phase = DriverPhase::Submitted { decisions };
+        // Under any-k, precompute the suffix maxima of the job confidences:
+        // `suffix_max[i]` bounds the confidence of every child a job in
+        // `jobs[i..]` can produce (a child's confidence equals its job's),
+        // so the dominance gate can bound the round's unmerged remainder in
+        // O(1) as chunks stream in.
+        let suffix_max = if env.config.emission == EmissionPolicy::AnyK {
+            let mut suffix = vec![0.0f64; jobs.len() + 1];
+            for i in (0..jobs.len()).rev() {
+                suffix[i] = suffix[i + 1].max(jobs[i].confidence);
+            }
+            suffix
+        } else {
+            Vec::new()
+        };
+        self.phase = DriverPhase::Submitted { decisions, suffix_max };
         Some(StepOutcome::SubmitChunks(jobs))
     }
 
@@ -694,7 +852,20 @@ impl RoundDriver {
                 }
             }
             if d.in_chunk {
-                if let Some((spec, confidence)) = d.emissions.next() {
+                if let Some(&(_, confidence)) = d.emissions.front() {
+                    // Any-k dominance gate (only while the round is still
+                    // streaming in): release the emission only when its
+                    // confidence provably beats every unexpanded state —
+                    // the frontier heap's top, every child a not-yet-merged
+                    // job could produce, and the current chunk's unpushed
+                    // survivors. A blocked gate pauses the merge; the round's
+                    // completion disables the gate, so the emitted sequence
+                    // is always exactly the barrier sequence.
+                    if !d.complete && !self.dominates(confidence, &d) {
+                        self.phase = DriverPhase::Draining(d);
+                        return None;
+                    }
+                    let (spec, confidence) = d.emissions.pop_front().expect("front checked above");
                     self.stats.emitted += 1;
                     d.just_emitted = true;
                     let emitted_at = env.clock.now().saturating_duration_since(self.start);
@@ -712,7 +883,7 @@ impl RoundDriver {
                 }
                 d.in_chunk = false;
             }
-            match d.chunks.next() {
+            match d.chunks.pop_front() {
                 Some(chunk) => {
                     self.stats.generated += chunk.generated;
                     for (idx, count) in chunk.prunes.iter().enumerate() {
@@ -741,15 +912,35 @@ impl RoundDriver {
                                 trace.record_span_at(stage.span_name(), cursor, cursor + width);
                                 cursor += width;
                             }
+                            // Single-flight park time, synthesized after the
+                            // verify stages. The wait is real wall-clock
+                            // even under a simulated clock, so its width is
+                            // capped to the chunk span's remaining interval —
+                            // a span may never escape its chunk on the
+                            // (possibly virtual) timeline.
+                            if chunk.probe_wait_us > 0 {
+                                let chunk_end = trace.offset_us(span.end);
+                                let width =
+                                    chunk.probe_wait_us.min(chunk_end.saturating_sub(cursor));
+                                trace.record_span_at("probe_wait", cursor, cursor + width);
+                            }
                         }
                     }
+                    d.merged_jobs += chunk.jobs;
+                    d.survivor_max = chunk.survivors.iter().map(|&(_, c, _)| c).fold(0.0, f64::max);
                     d.timed_out |= chunk.timed_out;
                     d.cancelled |= chunk.cancelled;
-                    d.emissions = chunk.emissions.into_iter();
+                    d.emissions = chunk.emissions.into();
                     d.survivors = chunk.survivors;
                     d.in_chunk = true;
                 }
                 None => {
+                    if !d.complete {
+                        // Streamed round, chunks exhausted mid-round: pause
+                        // until the next feed.
+                        self.phase = DriverPhase::Draining(d);
+                        return None;
+                    }
                     self.close_round(env);
                     if d.cancelled {
                         self.stats.cancelled = true;
@@ -765,6 +956,18 @@ impl RoundDriver {
                 }
             }
         }
+    }
+
+    /// The any-k dominance rule: `confidence` beats the frontier heap's top,
+    /// the bound on every not-yet-merged job of the in-flight round, and the
+    /// current chunk's not-yet-pushed survivors. `>=` is sound because an
+    /// equal-confidence future candidate is later in child order, and the
+    /// final ranking breaks confidence ties by emission index — which the
+    /// gate never reorders.
+    fn dominates(&self, confidence: f64, d: &Drain) -> bool {
+        let heap_top = self.heap.peek().map(|s| s.confidence).unwrap_or(0.0);
+        let unmerged = d.suffix_max.get(d.merged_jobs).copied().unwrap_or(f64::INFINITY);
+        confidence >= heap_top && confidence >= unmerged && confidence >= d.survivor_max
     }
 
     /// Bound the frontier size: drop the lowest-confidence states.
@@ -803,15 +1006,25 @@ pub(crate) fn drive_rounds(
     trace: Option<Arc<Trace>>,
     stats: &mut EnumerationStats,
     on_candidate: &mut dyn FnMut(SelectSpec, f64, Duration) -> bool,
-    dispatch: &mut dyn FnMut(Vec<ChildJob>) -> Vec<ChunkResult>,
+    dispatch: &mut dyn RoundDispatcher,
 ) {
     let env = StepEnv { db, nlq, model, config, cancel, clock };
+    let streaming = config.emission == EmissionPolicy::AnyK;
     let mut driver = RoundDriver::new(start, deadline).with_trace(trace);
     loop {
         match driver.step(&env) {
             StepOutcome::SubmitChunks(jobs) => {
-                let results = dispatch(jobs);
-                driver.provide(results);
+                if streaming {
+                    // Any-k: chunk results stream back as contiguous
+                    // job-order prefixes and each feed drains whatever the
+                    // dominance gate releases straight into the consumer.
+                    dispatch.run_streaming(jobs, &mut |chunks, last| {
+                        driver.feed(chunks, last, &env, on_candidate);
+                    });
+                } else {
+                    let results = dispatch.run(jobs);
+                    driver.provide(results);
+                }
             }
             StepOutcome::Emit { spec, confidence, emitted_at } => {
                 if !on_candidate(spec, confidence, emitted_at) {
@@ -822,6 +1035,27 @@ pub(crate) fn drive_rounds(
         }
     }
     *stats = driver.into_stats();
+}
+
+/// Phase-2 execution strategy handed to [`drive_rounds`]: runs a round's
+/// jobs — split into any number of contiguous chunks, on any threads — and
+/// returns the chunk results **in original job order** (the determinism
+/// contract). The streaming variant additionally delivers results
+/// incrementally, as contiguous job-order prefixes complete, which is what
+/// any-k emission taps for mid-round delivery.
+pub(crate) trait RoundDispatcher {
+    /// Run the jobs and return every chunk result, in original job order.
+    fn run(&mut self, jobs: Vec<ChildJob>) -> Vec<ChunkResult>;
+
+    /// Run the jobs, feeding chunk results as contiguous job-order prefixes
+    /// complete. `feed` must be called with `last = true` exactly once, on
+    /// the final delivery (which may carry an empty batch only if earlier
+    /// feeds delivered everything — the default delivers everything at
+    /// once).
+    fn run_streaming(&mut self, jobs: Vec<ChildJob>, feed: &mut dyn FnMut(Vec<ChunkResult>, bool)) {
+        let results = self.run(jobs);
+        feed(results, true);
+    }
 }
 
 /// Distribute the round's jobs over the persistent worker pool as contiguous
@@ -836,6 +1070,26 @@ fn process_jobs(
     match pool {
         Some(pool) if jobs.len() >= MIN_PARALLEL_JOBS => pool.dispatch(jobs),
         _ => vec![process_chunk(jobs, env)],
+    }
+}
+
+/// [`RoundDispatcher`] over the run-scoped [`WorkerPool`] (or inline
+/// execution when the pool is absent or a fan-out is too small).
+struct PoolDispatcher<'a> {
+    pool: Option<&'a WorkerPool>,
+    env: &'a RoundEnv<'a>,
+}
+
+impl RoundDispatcher for PoolDispatcher<'_> {
+    fn run(&mut self, jobs: Vec<ChildJob>) -> Vec<ChunkResult> {
+        process_jobs(jobs, self.pool, self.env)
+    }
+
+    fn run_streaming(&mut self, jobs: Vec<ChildJob>, feed: &mut dyn FnMut(Vec<ChunkResult>, bool)) {
+        match self.pool {
+            Some(pool) if jobs.len() >= MIN_PARALLEL_JOBS => pool.dispatch_streaming(jobs, feed),
+            _ => feed(vec![process_chunk(jobs, self.env)], true),
+        }
     }
 }
 
@@ -883,9 +1137,9 @@ impl WorkerPool {
         Some(WorkerPool { chunk_txs, result_rx })
     }
 
-    /// Split `jobs` into one contiguous chunk per worker, fan them out, and
-    /// return the results in original job order.
-    fn dispatch(&self, jobs: Vec<ChildJob>) -> Vec<ChunkResult> {
+    /// Fan `jobs` out as one contiguous chunk per worker; returns how many
+    /// chunks were sent.
+    fn send_chunks(&self, jobs: Vec<ChildJob>) -> usize {
         let chunk_size = jobs.len().div_ceil(self.chunk_txs.len());
         let mut sent = 0usize;
         let mut remaining = jobs;
@@ -897,6 +1151,13 @@ impl WorkerPool {
             remaining = tail;
             sent += 1;
         }
+        sent
+    }
+
+    /// Split `jobs` into one contiguous chunk per worker, fan them out, and
+    /// return the results in original job order.
+    fn dispatch(&self, jobs: Vec<ChildJob>) -> Vec<ChunkResult> {
+        let sent = self.send_chunks(jobs);
         let mut results: Vec<Option<ChunkResult>> = (0..sent).map(|_| None).collect();
         for _ in 0..sent {
             let (idx, outcome) =
@@ -908,15 +1169,55 @@ impl WorkerPool {
         }
         results.into_iter().map(|r| r.expect("every chunk reported")).collect()
     }
+
+    /// Streaming fan-out for any-k emission: chunk results arrive out of
+    /// order from the workers and are buffered by index; every time the
+    /// contiguous job-order prefix grows, the new run is fed onward (the
+    /// final feed carries `last = true`). The delivered sequence is exactly
+    /// [`WorkerPool::dispatch`]'s, just incremental.
+    fn dispatch_streaming(
+        &self,
+        jobs: Vec<ChildJob>,
+        feed: &mut dyn FnMut(Vec<ChunkResult>, bool),
+    ) {
+        let sent = self.send_chunks(jobs);
+        let mut results: Vec<Option<ChunkResult>> = (0..sent).map(|_| None).collect();
+        let mut fed = 0usize;
+        for _ in 0..sent {
+            let (idx, outcome) =
+                self.result_rx.recv().expect("synthesis worker terminated unexpectedly");
+            match outcome {
+                Ok(result) => results[idx] = Some(result),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+            let mut batch = Vec::new();
+            while fed < sent && results[fed].is_some() {
+                batch.push(results[fed].take().expect("checked above"));
+                fed += 1;
+            }
+            if !batch.is_empty() {
+                feed(batch, fed == sent);
+            }
+        }
+    }
 }
 
 /// Run one worker's share of the round: cheap partial pre-verification, join
 /// path attachment, then the full cascade per join variant.
 pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkResult {
-    let mut out = ChunkResult::default();
+    let mut out = ChunkResult { jobs: jobs.len(), ..ChunkResult::default() };
     // One span per chunk, recorded into the chunk-local buffer (no shared
     // state from worker threads); the driver merges it in child order.
     let chunk_started = if env.trace { Some(env.clock.now()) } else { None };
+    // Single-flight wait attribution: delta of the run's (shared) wait
+    // counter across the chunk. Approximate when chunks run concurrently;
+    // the driver synthesizes an observational `probe_wait` span from it.
+    let wait_before = if env.trace {
+        env.partial_verifier.single_flight_counters().2
+            + env.complete_verifier.single_flight_counters().2
+    } else {
+        0
+    };
     for (done, job) in jobs.into_iter().enumerate() {
         // Honor cancellation between jobs (an atomic load — cheap enough per
         // job) so cancel takes effect mid-chunk, not at the next round.
@@ -968,6 +1269,9 @@ pub(crate) fn process_chunk(jobs: Vec<ChildJob>, env: &RoundEnv<'_>) -> ChunkRes
         }
     }
     if let Some(started) = chunk_started {
+        let wait_after = env.partial_verifier.single_flight_counters().2
+            + env.complete_verifier.single_flight_counters().2;
+        out.probe_wait_us = wait_after.saturating_sub(wait_before);
         out.spans.push(RawSpan { name: "chunk", start: started, end: env.clock.now() });
     }
     out

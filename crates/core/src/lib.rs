@@ -47,7 +47,7 @@ pub mod tsq;
 pub mod verify;
 
 pub use clock::{system_clock, Clock, SharedClock, SimClock, SystemClock};
-pub use config::DuoquestConfig;
+pub use config::{DuoquestConfig, EmissionPolicy};
 pub use engine::{Candidate, Duoquest, SynthesisResult};
 pub use enumerate::EnumerationStats;
 pub use scheduler::{

@@ -90,11 +90,11 @@
 //! ```
 
 use crate::clock::{system_clock, SharedClock};
-use crate::config::DuoquestConfig;
+use crate::config::{DuoquestConfig, EmissionPolicy};
 use crate::engine::{Candidate, CandidateCollector, SynthesisResult};
 use crate::enumerate::{
     drive_rounds, min_deadline, process_chunk, ChildJob, ChunkResult, EnumerationStats,
-    RoundDriver, RoundEnv, StepEnv, StepOutcome, MIN_PARALLEL_JOBS,
+    RoundDispatcher, RoundDriver, RoundEnv, StepEnv, StepOutcome, MIN_PARALLEL_JOBS,
 };
 use crate::session::SessionControl;
 use crate::tsq::TableSketchQuery;
@@ -311,11 +311,33 @@ struct DrivenCore {
 struct RoundAssembly {
     results: Vec<Option<ChunkResult>>,
     remaining: usize,
+    /// Streaming rounds only: the next chunk index to feed. Everything before
+    /// it has already been handed to the driver and taken out of `results`.
+    fed: usize,
+    /// Whether this round streams contiguous chunk prefixes into the driver
+    /// as they complete (any-k emission) instead of waiting for the full set.
+    streaming: bool,
 }
 
 impl RoundAssembly {
     fn into_ordered_results(self) -> Vec<ChunkResult> {
         self.results.into_iter().map(|r| r.expect("every chunk reported")).collect()
+    }
+
+    /// Pull the contiguous run of completed-but-unfed chunks off a streaming
+    /// round, advancing the feed cursor past them.
+    fn take_contiguous(&mut self) -> Vec<ChunkResult> {
+        let mut batch = Vec::new();
+        while self.fed < self.results.len() {
+            match self.results[self.fed].take() {
+                Some(chunk) => {
+                    batch.push(chunk);
+                    self.fed += 1;
+                }
+                None => break,
+            }
+        }
+        batch
     }
 }
 
@@ -720,7 +742,24 @@ fn execute_unit(core: &Arc<PoolCore>, unit: WorkUnit) {
             };
             if let Some((mut core_state, round)) = taken {
                 if let Some(round) = round {
-                    core_state.driver.provide(round.into_ordered_results());
+                    if round.streaming {
+                        // A streaming round resumed here was completed by
+                        // cancellation reaping: feed the unfed suffix (the
+                        // fabricated cancelled chunks) so the driver observes
+                        // the cancellation and winds down.
+                        let fed = round.fed;
+                        let batch: Vec<ChunkResult> = round
+                            .results
+                            .into_iter()
+                            .skip(fed)
+                            .map(|r| r.expect("every chunk reported"))
+                            .collect();
+                        if !feed_driven_checked(core, session, &mut core_state, batch, true) {
+                            return;
+                        }
+                    } else {
+                        core_state.driver.provide(round.into_ordered_results());
+                    }
                 }
                 resume_driven(core, session, core_state);
             }
@@ -728,8 +767,19 @@ fn execute_unit(core: &Arc<PoolCore>, unit: WorkUnit) {
     }
 }
 
+/// What [`complete_chunk`] found ready to run once the queue lock dropped.
+#[allow(clippy::large_enum_variant)]
+enum ChunkReady {
+    /// Barrier round completed: provide the full ordered set and resume.
+    Barrier(DrivenCore, RoundAssembly),
+    /// Streaming round grew its contiguous fed prefix: feed the new chunks
+    /// (`last` when the prefix now covers the whole round).
+    Stream { core_state: DrivenCore, batch: Vec<ChunkResult>, last: bool },
+}
+
 /// Route a driven chunk's result into its session's round assembly; when the
-/// round completes, this worker resumes the session's driver inline.
+/// round completes (barrier) or its contiguous prefix grows (streaming), this
+/// worker feeds/resumes the session's driver inline.
 fn complete_chunk(core: &Arc<PoolCore>, session: u64, chunk_idx: usize, result: ChunkResult) {
     let ready = {
         let mut queue = core.queue.lock().expect("scheduler queue poisoned");
@@ -745,17 +795,130 @@ fn complete_chunk(core: &Arc<PoolCore>, session: u64, chunk_idx: usize, result: 
             // per-chunk observation).
             observe_into(&mut parked.run_stats, depth, live, busy);
         }
-        if round.remaining == 0 {
+        if round.streaming {
+            // Streaming (any-k): feed the new contiguous prefix — unless
+            // another worker holds the core mid-feed (`parked` empty), in
+            // which case its repark loop re-checks under this lock and picks
+            // the chunk up.
+            if driven.parked.is_none() {
+                None
+            } else {
+                let batch = round.take_contiguous();
+                if batch.is_empty() {
+                    None
+                } else {
+                    let last = round.fed == round.results.len();
+                    let core_state = driven.parked.take().expect("checked parked above");
+                    if last {
+                        driven.round = None;
+                    }
+                    Some(ChunkReady::Stream { core_state, batch, last })
+                }
+            }
+        } else if round.remaining == 0 {
             let core_state = driven.parked.take().expect("round in flight with no parked driver");
             let round = driven.round.take().expect("round checked above");
-            Some((core_state, round))
+            Some(ChunkReady::Barrier(core_state, round))
         } else {
             None
         }
     };
-    if let Some((mut core_state, round)) = ready {
-        core_state.driver.provide(round.into_ordered_results());
-        resume_driven(core, session, core_state);
+    match ready {
+        Some(ChunkReady::Barrier(mut core_state, round)) => {
+            core_state.driver.provide(round.into_ordered_results());
+            resume_driven(core, session, core_state);
+        }
+        Some(ChunkReady::Stream { mut core_state, batch, last }) => {
+            if !feed_driven_checked(core, session, &mut core_state, batch, last) {
+                return;
+            }
+            if last {
+                resume_driven(core, session, core_state);
+            } else {
+                repark_after_feed(core, session, core_state);
+            }
+        }
+        None => {}
+    }
+}
+
+/// Feed a batch of streamed chunk results into a driven session's driver,
+/// delivering any candidates the dominance gate releases through the
+/// session's collector and sink (exactly the emission path `resume_driven`
+/// uses for barrier rounds).
+fn feed_driven(s: &mut DrivenCore, batch: Vec<ChunkResult>, last: bool) {
+    let DrivenCore { driver, collector, on_candidate, ctx, nlq, model, .. } = s;
+    let env = StepEnv {
+        db: &ctx.db,
+        nlq,
+        model: model.as_ref(),
+        config: &ctx.config,
+        cancel: &ctx.cancel,
+        clock: ctx.clock.as_ref(),
+    };
+    driver.feed(batch, last, &env, &mut |spec, confidence, emitted_at| {
+        collector.offer(spec, confidence, emitted_at, on_candidate.as_mut())
+    });
+}
+
+/// [`feed_driven`] under the same panic isolation as a resume: a panicking
+/// consumer sink poisons only this session, never the pool worker. Returns
+/// whether the session survived the feed.
+fn feed_driven_checked(
+    core: &Arc<PoolCore>,
+    session: u64,
+    s: &mut DrivenCore,
+    batch: Vec<ChunkResult>,
+    last: bool,
+) -> bool {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| feed_driven(s, batch, last))) {
+        Ok(()) => true,
+        Err(payload) => {
+            complete_driven(
+                core,
+                session,
+                DrivenOutcome::Poisoned(panic_message(payload.as_ref())),
+            );
+            false
+        }
+    }
+}
+
+/// Re-park a streaming driven core after a mid-round feed — or keep feeding:
+/// chunks that completed while this worker held the core were stored without
+/// being fed (their workers saw `parked` empty), so re-check under the lock
+/// until nothing new is waiting, then park.
+fn repark_after_feed(core: &Arc<PoolCore>, session: u64, mut s: DrivenCore) {
+    loop {
+        let (batch, last) = {
+            let mut queue = core.queue.lock().expect("scheduler queue poisoned");
+            let Some(slot) = queue.session_mut(session) else {
+                // The slot is gone only on teardown races; drop the session.
+                return;
+            };
+            let Some(driven) = &mut slot.driven else { return };
+            let Some(round) = &mut driven.round else {
+                driven.parked = Some(s);
+                return;
+            };
+            let batch = round.take_contiguous();
+            if batch.is_empty() {
+                driven.parked = Some(s);
+                return;
+            }
+            let last = round.fed == round.results.len();
+            if last {
+                driven.round = None;
+            }
+            (batch, last)
+        };
+        if !feed_driven_checked(core, session, &mut s, batch, last) {
+            return;
+        }
+        if last {
+            resume_driven(core, session, s);
+            return;
+        }
     }
 }
 
@@ -806,6 +969,13 @@ fn fill_run_counters(
     stats.index_lookups = partial_lk + complete_lk;
     stats.rows_via_index = partial_via + complete_via;
     stats.probes_bailed_empty = partial_bail + complete_bail;
+    let (partial_sf_hits, partial_sf_leaders, partial_sf_wait) =
+        ctx.partial_counters.single_flight_snapshot();
+    let (complete_sf_hits, complete_sf_leaders, complete_sf_wait) =
+        ctx.complete_counters.single_flight_snapshot();
+    stats.single_flight_hits = partial_sf_hits + complete_sf_hits;
+    stats.single_flight_leaders = partial_sf_leaders + complete_sf_leaders;
+    stats.single_flight_wait_us = partial_sf_wait + complete_sf_wait;
     stats.scheduler = Some(run_stats);
 }
 
@@ -936,8 +1106,12 @@ fn park_round(core: &Arc<PoolCore>, session: u64, mut s: DrivenCore, jobs: Vec<C
         return;
     };
     let ctx = Arc::clone(&s.ctx);
-    slot.driven.as_mut().expect("driven slot").round =
-        Some(RoundAssembly { results: (0..sent).map(|_| None).collect(), remaining: sent });
+    slot.driven.as_mut().expect("driven slot").round = Some(RoundAssembly {
+        results: (0..sent).map(|_| None).collect(),
+        remaining: sent,
+        fed: 0,
+        streaming: ctx.config.emission == EmissionPolicy::AnyK,
+    });
     for (chunk_idx, chunk_jobs) in chunks.into_iter().enumerate() {
         slot.pending.push_back(WorkUnit::DrivenChunk {
             session,
@@ -1327,6 +1501,8 @@ pub(crate) fn run_rounds_scheduled(
     let mut run_stats =
         SchedulerRunStats { pool_workers: core.workers, ..SchedulerRunStats::default() };
 
+    let mut dispatcher =
+        ScheduledDispatcher { core, session_id, ctx: &ctx, run_stats: &mut run_stats };
     drive_rounds(
         db,
         nlq,
@@ -1339,7 +1515,7 @@ pub(crate) fn run_rounds_scheduled(
         trace,
         &mut stats,
         on_candidate,
-        &mut |jobs| dispatch_round(core, session_id, &ctx, jobs, &mut run_stats),
+        &mut dispatcher,
     );
 
     drop(registration);
@@ -1358,6 +1534,26 @@ struct SessionRegistration<'a> {
 impl Drop for SessionRegistration<'_> {
     fn drop(&mut self) {
         self.core.deregister(self.id);
+    }
+}
+
+/// [`RoundDispatcher`] over the shared pool for a **blocking** scheduled
+/// session: barrier rounds go through [`dispatch_round`], streaming (any-k)
+/// rounds through [`dispatch_round_streaming`].
+struct ScheduledDispatcher<'a> {
+    core: &'a Arc<PoolCore>,
+    session_id: u64,
+    ctx: &'a Arc<SessionContext>,
+    run_stats: &'a mut SchedulerRunStats,
+}
+
+impl RoundDispatcher for ScheduledDispatcher<'_> {
+    fn run(&mut self, jobs: Vec<ChildJob>) -> Vec<ChunkResult> {
+        dispatch_round(self.core, self.session_id, self.ctx, jobs, self.run_stats)
+    }
+
+    fn run_streaming(&mut self, jobs: Vec<ChildJob>, feed: &mut dyn FnMut(Vec<ChunkResult>, bool)) {
+        dispatch_round_streaming(self.core, self.session_id, self.ctx, jobs, self.run_stats, feed)
     }
 }
 
@@ -1432,6 +1628,90 @@ fn dispatch_round(
         }
     }
     results.into_iter().map(|r| r.expect("every chunk reported")).collect()
+}
+
+/// Streaming variant of [`dispatch_round`] for any-k emission: chunk results
+/// are fed onward as contiguous job-order prefixes the moment they complete,
+/// instead of waiting for the whole round. The delivered chunk sequence is
+/// exactly [`dispatch_round`]'s, just incremental — emission identity is the
+/// driver's dominance gate's job, not this function's.
+fn dispatch_round_streaming(
+    core: &Arc<PoolCore>,
+    session_id: u64,
+    ctx: &Arc<SessionContext>,
+    jobs: Vec<ChildJob>,
+    run_stats: &mut SchedulerRunStats,
+    feed: &mut dyn FnMut(Vec<ChunkResult>, bool),
+) {
+    if jobs.len() < MIN_PARALLEL_JOBS {
+        run_stats.units_inline += 1;
+        feed(vec![ctx.process(jobs)], true);
+        return;
+    }
+
+    let (result_tx, result_rx) = mpsc::channel();
+    let units: Vec<WorkUnit> = chunk_jobs(jobs, core.workers)
+        .into_iter()
+        .enumerate()
+        .map(|(chunk_idx, chunk)| WorkUnit::External {
+            chunk_idx,
+            jobs: chunk,
+            ctx: Arc::clone(ctx),
+            result_tx: result_tx.clone(),
+        })
+        .collect();
+    drop(result_tx);
+    let sent = units.len();
+    run_stats.units_submitted += sent as u64;
+    core.submit(session_id, units);
+
+    // Same contention sampling as the barrier path (see `dispatch_round`).
+    let observe = |run_stats: &mut SchedulerRunStats| {
+        let snapshot = core.stats();
+        observe_into(
+            run_stats,
+            snapshot.queue_depth,
+            snapshot.live_sessions,
+            snapshot.busy_workers,
+        );
+    };
+    observe(run_stats);
+
+    let mut results: Vec<Option<ChunkResult>> = (0..sent).map(|_| None).collect();
+    let mut fed = 0usize;
+    for received in 0..sent {
+        let Ok((idx, outcome)) = result_rx.recv() else {
+            assert!(
+                ctx.cancel.load(Ordering::Acquire),
+                "scheduler shut down while a session was running on it"
+            );
+            // Cancellation reaped the remaining chunks: a fabricated
+            // cancelled chunk closes the round so the driver winds down
+            // (mirrors the barrier path's single cancelled result).
+            feed(vec![ChunkResult { cancelled: true, ..ChunkResult::default() }], true);
+            return;
+        };
+        if received + 1 < sent {
+            observe(run_stats);
+        }
+        match outcome {
+            Ok(result) => results[idx] = Some(result),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+        let mut batch = Vec::new();
+        while fed < sent {
+            match results[fed].take() {
+                Some(chunk) => {
+                    batch.push(chunk);
+                    fed += 1;
+                }
+                None => break,
+            }
+        }
+        if !batch.is_empty() {
+            feed(batch, fed == sent);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@
 //! cut-off. See the determinism notes in `crate::enumerate`.
 
 use crate::clock::{system_clock, SharedClock};
-use crate::config::DuoquestConfig;
+use crate::config::{DuoquestConfig, EmissionPolicy};
 use crate::engine::{collect_ranked, run_collect, Candidate, SynthesisResult};
 use crate::scheduler::{
     run_rounds_scheduled, spawn_driven_session, DrivenOutcome, SchedulerHandle, SessionScheduler,
@@ -190,6 +190,18 @@ impl SynthesisSession {
     /// Replace the configuration.
     pub fn with_config(mut self, config: DuoquestConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Choose when this session releases ranked candidates:
+    /// [`EmissionPolicy::RoundBarrier`] (the default) holds each round's
+    /// emissions until the round's ordered merge completes;
+    /// [`EmissionPolicy::AnyK`] releases a candidate the moment its
+    /// confidence provably dominates every unexpanded state. Both policies
+    /// produce the identical candidate set in the identical order — any-k
+    /// only moves *when* each one leaves the engine.
+    pub fn with_emission_policy(mut self, emission: EmissionPolicy) -> Self {
+        self.config.emission = emission;
         self
     }
 

@@ -276,6 +276,13 @@ impl<'a> Verifier<'a> {
         self.counters.index_snapshot()
     }
 
+    /// Single-flight `(hits, leaders, wait_us)` recorded through this
+    /// verifier's cache misses — the per-run view of cross-session in-flight
+    /// probe collapsing (see `duoquest_db::InflightTable`).
+    pub fn single_flight_counters(&self) -> (u64, u64, u64) {
+        self.counters.single_flight_snapshot()
+    }
+
     /// The database the verifier probes.
     pub fn database(&self) -> &Database {
         self.db

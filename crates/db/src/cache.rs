@@ -50,11 +50,12 @@
 
 use crate::executor::{ExecMetrics, ResultSet};
 use crate::query::SelectSpec;
-use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Number of independent shards; a power of two so shard selection is a mask.
 pub const SHARD_COUNT: usize = 16;
@@ -86,6 +87,15 @@ pub struct RunCacheCounters {
     /// Executions cut short because the planner or a join step proved the
     /// remaining work empty (see [`ExecMetrics::probes_bailed_empty`]).
     pub probes_bailed_empty: AtomicU64,
+    /// Misses this run resolved by waiting on another session's identical
+    /// in-flight probe instead of executing (see [`InflightTable`]).
+    pub single_flight_hits: AtomicU64,
+    /// Misses for which this run was elected the single-flight leader (it
+    /// executed the probe and fanned the result out to any waiters).
+    pub single_flight_leaders: AtomicU64,
+    /// Microseconds this run's probes spent parked waiting for another
+    /// session's leader to finish (wall-clock, observational only).
+    pub single_flight_wait_us: AtomicU64,
 }
 
 impl RunCacheCounters {
@@ -117,6 +127,16 @@ impl RunCacheCounters {
             self.index_lookups.load(Ordering::Relaxed),
             self.rows_via_index.load(Ordering::Relaxed),
             self.probes_bailed_empty.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Current `(single_flight_hits, single_flight_leaders,
+    /// single_flight_wait_us)` totals.
+    pub fn single_flight_snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.single_flight_hits.load(Ordering::Relaxed),
+            self.single_flight_leaders.load(Ordering::Relaxed),
+            self.single_flight_wait_us.load(Ordering::Relaxed),
         )
     }
 
@@ -156,6 +176,16 @@ pub struct CacheStats {
     pub entries: u64,
     /// Segment rotations performed (generations of entries aged out).
     pub rotations: u64,
+    /// Cache misses routed through the single-flight in-flight probe table
+    /// (see [`InflightTable`]).
+    pub single_flight_lookups: u64,
+    /// Routed misses resolved by waiting on another session's identical
+    /// in-flight probe instead of executing it again.
+    pub single_flight_hits: u64,
+    /// Routed misses that were elected leader and executed the probe.
+    /// Conservation invariant: `single_flight_lookups ==
+    /// single_flight_hits + single_flight_leaders` at quiescence.
+    pub single_flight_leaders: u64,
 }
 
 impl CacheStats {
@@ -177,6 +207,13 @@ impl CacheStats {
             bytes: self.bytes,
             entries: self.entries,
             rotations: self.rotations.saturating_sub(earlier.rotations),
+            single_flight_lookups: self
+                .single_flight_lookups
+                .saturating_sub(earlier.single_flight_lookups),
+            single_flight_hits: self.single_flight_hits.saturating_sub(earlier.single_flight_hits),
+            single_flight_leaders: self
+                .single_flight_leaders
+                .saturating_sub(earlier.single_flight_leaders),
         }
     }
 }
@@ -203,6 +240,184 @@ impl Entry {
 
     fn probe(&self) -> CachedProbe {
         CachedProbe { rows: Arc::clone(&self.result), exact: self.exact }
+    }
+}
+
+/// Key of one in-flight probe: the spec's canonical fingerprint plus the
+/// request's budget class. The budget is part of the key so a waiter is only
+/// ever served a result executed under *its own* budget — the exactness bit
+/// of a truncated leader result therefore always describes what the waiter
+/// would have computed itself.
+pub type InflightKey = (u64, Option<usize>);
+
+/// State of one in-flight probe execution, guarded by its slot's mutex.
+#[derive(Debug)]
+enum SlotState {
+    /// A leader is executing the probe; waiters park on the condvar.
+    Running,
+    /// The leader finished and published its result; waiters clone it.
+    Done(CachedProbe),
+    /// The leader gave up without publishing (panic, cancel, or executor
+    /// error). The next thread to observe this state — a parked waiter or a
+    /// fresh arrival — flips it back to `Running` and becomes the successor
+    /// leader, so an abandoned probe never strands its waiters.
+    Abandoned,
+}
+
+/// One in-flight probe: the execution state plus the condvar waiters park on.
+#[derive(Debug)]
+struct InflightSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// The single-flight in-flight probe table (`docs/EXECUTOR.md`).
+///
+/// When several live sessions miss the memo cache on the *same* probe at the
+/// same time, only one of them — the **leader** — runs the executor; the rest
+/// park on the slot's condvar and are handed the leader's published result.
+/// The leader also inserts into the memo cache, so later arrivals hit the
+/// memo path and never reach this table.
+///
+/// Accounting: every [`InflightTable::join`] counts exactly one lookup and
+/// resolves as exactly one of leader or hit, so at quiescence
+/// `lookups == leaders + hits` — the conservation invariant the DST oracle
+/// checks.
+#[derive(Debug, Default)]
+pub struct InflightTable {
+    slots: Mutex<HashMap<InflightKey, Arc<InflightSlot>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    leaders: AtomicU64,
+}
+
+/// Outcome of [`InflightTable::join`].
+pub enum InflightJoin<'a> {
+    /// The caller was elected leader: it must execute the probe and either
+    /// [`LeaderGuard::publish`] the result or drop the guard (abandoning the
+    /// slot to a successor).
+    Leader(LeaderGuard<'a>),
+    /// Another session's leader executed the probe; `probe` is its published
+    /// result and `wait_us` how long this caller was parked.
+    Served {
+        /// The leader's published result.
+        probe: CachedProbe,
+        /// Microseconds spent parked on the slot's condvar.
+        wait_us: u64,
+    },
+}
+
+/// Leadership of one in-flight probe. Publish the executed result via
+/// [`LeaderGuard::publish`]; dropping the guard without publishing marks the
+/// slot abandoned so a waiter (or the next arrival) takes over — leader
+/// panics and cancellations therefore never deadlock waiters.
+pub struct LeaderGuard<'a> {
+    table: &'a InflightTable,
+    key: InflightKey,
+    slot: Arc<InflightSlot>,
+    published: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publish the executed result to every parked waiter and retire the
+    /// slot. Late arrivals after this point miss the table and fall through
+    /// to the memo cache, which the leader has already populated.
+    pub fn publish(mut self, probe: CachedProbe) {
+        {
+            let mut state = self.slot.state.lock().expect("inflight slot lock poisoned");
+            *state = SlotState::Done(probe);
+        }
+        self.slot.ready.notify_all();
+        self.published = true;
+        let mut slots = self.table.slots.lock().expect("inflight table lock poisoned");
+        // Only retire the entry if it is still ours: a successor elected
+        // after an abandon owns the slot now.
+        if let MapEntry::Occupied(entry) = slots.entry(self.key) {
+            if Arc::ptr_eq(entry.get(), &self.slot) {
+                entry.remove();
+            }
+        }
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Abandon: wake everyone so a waiter can elect itself successor. The
+        // map entry is kept so fresh arrivals can also take over; the
+        // eventual successful leader retires it in `publish`.
+        let mut state = self.slot.state.lock().expect("inflight slot lock poisoned");
+        *state = SlotState::Abandoned;
+        drop(state);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl InflightTable {
+    /// Join the in-flight execution of the probe identified by `key`:
+    /// either become its leader or park until the leader publishes.
+    pub fn join(&self, key: InflightKey) -> InflightJoin<'_> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut slots = self.slots.lock().expect("inflight table lock poisoned");
+            match slots.entry(key) {
+                MapEntry::Vacant(vacant) => {
+                    let slot = Arc::new(InflightSlot {
+                        state: Mutex::new(SlotState::Running),
+                        ready: Condvar::new(),
+                    });
+                    vacant.insert(Arc::clone(&slot));
+                    self.leaders.fetch_add(1, Ordering::Relaxed);
+                    return InflightJoin::Leader(LeaderGuard {
+                        table: self,
+                        key,
+                        slot,
+                        published: false,
+                    });
+                }
+                MapEntry::Occupied(occupied) => Arc::clone(occupied.get()),
+            }
+        };
+        let parked_at = Instant::now();
+        let mut state = slot.state.lock().expect("inflight slot lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Running => {
+                    state = slot.ready.wait(state).expect("inflight slot lock poisoned");
+                }
+                SlotState::Done(probe) => {
+                    let probe = probe.clone();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return InflightJoin::Served {
+                        probe,
+                        wait_us: parked_at.elapsed().as_micros() as u64,
+                    };
+                }
+                SlotState::Abandoned => {
+                    // Successor election: flip back to Running and lead.
+                    *state = SlotState::Running;
+                    self.leaders.fetch_add(1, Ordering::Relaxed);
+                    drop(state);
+                    return InflightJoin::Leader(LeaderGuard {
+                        table: self,
+                        key,
+                        slot,
+                        published: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Current `(lookups, hits, leaders)` totals.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.lookups.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.leaders.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -237,6 +452,7 @@ impl Segments {
 #[derive(Debug)]
 pub struct ProbeCache {
     shards: [RwLock<Segments>; SHARD_COUNT],
+    inflight: InflightTable,
     hits: AtomicU64,
     misses: AtomicU64,
     rotations: AtomicU64,
@@ -259,6 +475,7 @@ impl ProbeCache {
     pub fn with_max_bytes(max_bytes: u64) -> Self {
         ProbeCache {
             shards: Default::default(),
+            inflight: InflightTable::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
@@ -429,6 +646,14 @@ impl ProbeCache {
         probe
     }
 
+    /// The single-flight in-flight probe table sharing this cache's keyspace.
+    /// Misses of [`crate::database::Database::execute_cached_budgeted`] are
+    /// routed through it (unless single-flight is disabled on the database)
+    /// so concurrent identical probes execute once.
+    pub fn inflight(&self) -> &InflightTable {
+        &self.inflight
+    }
+
     /// Drop every entry (called when the underlying data changes).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -445,12 +670,17 @@ impl ProbeCache {
             bytes += segments.bytes();
             entries += segments.entries();
         }
+        let (single_flight_lookups, single_flight_hits, single_flight_leaders) =
+            self.inflight.counters();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             bytes,
             entries,
             rotations: self.rotations.load(Ordering::Relaxed),
+            single_flight_lookups,
+            single_flight_hits,
+            single_flight_leaders,
         }
     }
 }
@@ -563,13 +793,34 @@ mod tests {
 
     #[test]
     fn stats_since_subtracts_counters() {
-        let earlier = CacheStats { hits: 2, misses: 3, bytes: 10, entries: 1, rotations: 1 };
-        let later = CacheStats { hits: 7, misses: 4, bytes: 20, entries: 2, rotations: 3 };
+        let earlier = CacheStats {
+            hits: 2,
+            misses: 3,
+            bytes: 10,
+            entries: 1,
+            rotations: 1,
+            single_flight_lookups: 4,
+            single_flight_hits: 1,
+            single_flight_leaders: 3,
+        };
+        let later = CacheStats {
+            hits: 7,
+            misses: 4,
+            bytes: 20,
+            entries: 2,
+            rotations: 3,
+            single_flight_lookups: 9,
+            single_flight_hits: 2,
+            single_flight_leaders: 7,
+        };
         let delta = later.since(&earlier);
         assert_eq!(delta.hits, 5);
         assert_eq!(delta.misses, 1);
         assert_eq!(delta.entries, 2);
         assert_eq!(delta.rotations, 2);
+        assert_eq!(delta.single_flight_lookups, 5);
+        assert_eq!(delta.single_flight_hits, 1);
+        assert_eq!(delta.single_flight_leaders, 4);
     }
 
     /// Distinct specs (different limits) that all land in one small cache.
@@ -667,5 +918,82 @@ mod tests {
         cache.set_max_bytes(0);
         assert_eq!(cache.max_bytes(), 1);
         assert_eq!(cache.rotation_threshold(), 1);
+    }
+
+    fn empty_probe() -> CachedProbe {
+        CachedProbe { rows: Arc::new(ResultSet::default()), exact: true }
+    }
+
+    #[test]
+    fn single_flight_leader_fans_out_to_waiters() {
+        let table = Arc::new(InflightTable::default());
+        let key: InflightKey = (42, Some(1));
+        let leader = match table.join(key) {
+            InflightJoin::Leader(g) => g,
+            InflightJoin::Served { .. } => panic!("first join must lead"),
+        };
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || match table.join(key) {
+                    InflightJoin::Served { probe, .. } => probe.exact,
+                    InflightJoin::Leader(_) => panic!("slot already led"),
+                })
+            })
+            .collect();
+        // Give the waiters a moment to park (correct either way).
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        leader.publish(empty_probe());
+        for w in waiters {
+            assert!(w.join().unwrap());
+        }
+        let (lookups, hits, leaders) = table.counters();
+        assert_eq!((lookups, hits, leaders), (5, 4, 1));
+        assert_eq!(lookups, hits + leaders, "conservation invariant");
+        assert!(table.slots.lock().unwrap().is_empty(), "published slot must retire");
+    }
+
+    #[test]
+    fn abandoned_leader_elects_a_successor() {
+        let table = Arc::new(InflightTable::default());
+        let key: InflightKey = (7, None);
+        let leader = match table.join(key) {
+            InflightJoin::Leader(g) => g,
+            InflightJoin::Served { .. } => panic!("first join must lead"),
+        };
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || match table.join(key) {
+                InflightJoin::Leader(g) => {
+                    g.publish(empty_probe());
+                    true
+                }
+                InflightJoin::Served { .. } => false,
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(leader); // abandon without publishing
+        assert!(waiter.join().unwrap(), "waiter must take over an abandoned slot");
+        let (lookups, hits, leaders) = table.counters();
+        assert_eq!((lookups, hits, leaders), (2, 0, 2));
+        assert_eq!(lookups, hits + leaders, "conservation invariant");
+        assert!(table.slots.lock().unwrap().is_empty(), "successor publish must retire");
+    }
+
+    #[test]
+    fn fresh_arrival_takes_over_an_abandoned_slot() {
+        let table = InflightTable::default();
+        let key: InflightKey = (9, Some(3));
+        match table.join(key) {
+            InflightJoin::Leader(g) => drop(g), // abandon immediately, nobody waiting
+            InflightJoin::Served { .. } => panic!("first join must lead"),
+        }
+        // The next arrival must become the successor, not hang.
+        match table.join(key) {
+            InflightJoin::Leader(g) => g.publish(empty_probe()),
+            InflightJoin::Served { .. } => panic!("abandoned slot must re-elect"),
+        }
+        let (lookups, hits, leaders) = table.counters();
+        assert_eq!((lookups, hits, leaders), (2, 0, 2));
     }
 }

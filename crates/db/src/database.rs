@@ -6,7 +6,7 @@
 //! interior mutability (sharded locks + atomic counters) so concurrent
 //! readers never need an exclusive borrow.
 
-use crate::cache::{CacheStats, CachedProbe, ProbeCache, RunCacheCounters};
+use crate::cache::{CacheStats, CachedProbe, InflightJoin, ProbeCache, RunCacheCounters};
 use crate::error::{DbError, DbResult};
 use crate::executor::{ExecOptions, ResultSet};
 use crate::index::InvertedIndex;
@@ -95,6 +95,10 @@ pub struct Database {
     /// ordered scans, selectivity planning). On by default; disabled for
     /// A/B comparisons against the pure scan pipeline.
     index_access: AtomicBool,
+    /// Whether concurrent identical probe misses are collapsed through the
+    /// single-flight in-flight table (one execution fans out to all waiters).
+    /// On by default; disabled for A/B comparisons.
+    single_flight: AtomicBool,
     /// Hash partitions (scoped threads) for large materialized joins.
     join_partitions: AtomicUsize,
     /// Probe-side row count at which the partitioned parallel join kicks in.
@@ -116,6 +120,7 @@ impl Clone for Database {
             sorted_valid: self.sorted_valid,
             table_indexes: self.table_indexes.clone(),
             index_access: AtomicBool::new(self.index_access.load(Ordering::Relaxed)),
+            single_flight: AtomicBool::new(self.single_flight.load(Ordering::Relaxed)),
             join_partitions: AtomicUsize::new(self.join_partitions.load(Ordering::Relaxed)),
             parallel_join_threshold: AtomicUsize::new(
                 self.parallel_join_threshold.load(Ordering::Relaxed),
@@ -139,6 +144,7 @@ impl Database {
             sorted_valid: false,
             table_indexes: Vec::new(),
             index_access: AtomicBool::new(true),
+            single_flight: AtomicBool::new(true),
             // Defaults to 1: verifier probes already run nested inside the
             // synthesis worker pool, and per-probe scoped threads on top of
             // ~ncpu workers would oversubscribe the machine. Standalone
@@ -393,6 +399,22 @@ impl Database {
         self.index_access.store(enabled, Ordering::Relaxed);
     }
 
+    /// Whether concurrent identical probe misses are collapsed into one
+    /// execution through the single-flight table (the default).
+    pub fn single_flight(&self) -> bool {
+        self.single_flight.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable single-flight probe collapsing (see
+    /// [`crate::cache::InflightTable`]). Results are byte-identical either
+    /// way — a waiter is served exactly what it would have executed itself
+    /// (the in-flight key includes the budget class) — so this switch exists
+    /// for A/B comparisons and benchmarks. Shared-reference friendly, so it
+    /// can be toggled on an `Arc`-shared database.
+    pub fn set_single_flight(&self, enabled: bool) {
+        self.single_flight.store(enabled, Ordering::Relaxed);
+    }
+
     /// Data type of a column.
     pub fn column_type(&self, col: ColumnId) -> DataType {
         self.schema.column(col).dtype
@@ -505,6 +527,39 @@ impl Database {
             return Ok(hit);
         }
         counters.record(false);
+        if !self.single_flight() {
+            return self.execute_probe(spec, budget, counters);
+        }
+        // Single-flight: collapse concurrent identical misses into one
+        // execution. The in-flight key carries the budget class, so a waiter
+        // is served a result executed under its own budget (the exactness
+        // bit therefore always means what the waiter would have computed).
+        let key = (ProbeCache::fingerprint(spec), budget);
+        match self.probe_cache.inflight().join(key) {
+            InflightJoin::Leader(guard) => {
+                counters.single_flight_leaders.fetch_add(1, Ordering::Relaxed);
+                // On error the guard drops unpublished, abandoning the slot:
+                // a waiter (or the next arrival) re-elects and re-executes.
+                let probe = self.execute_probe(spec, budget, counters)?;
+                guard.publish(probe.clone());
+                Ok(probe)
+            }
+            InflightJoin::Served { probe, wait_us } => {
+                counters.single_flight_hits.fetch_add(1, Ordering::Relaxed);
+                counters.single_flight_wait_us.fetch_add(wait_us, Ordering::Relaxed);
+                Ok(probe)
+            }
+        }
+    }
+
+    /// Run one probe through the executor under a row budget and memoize the
+    /// result — the miss path of [`Database::execute_cached_budgeted`].
+    fn execute_probe(
+        &self,
+        spec: &SelectSpec,
+        budget: Option<usize>,
+        counters: &RunCacheCounters,
+    ) -> DbResult<CachedProbe> {
         let mut opts = self.exec_options();
         opts.row_budget = budget;
         let out = crate::executor::execute_with(self, spec, &opts)?;

@@ -33,7 +33,10 @@ pub mod schema;
 pub mod table_index;
 pub mod types;
 
-pub use cache::{CacheStats, CachedProbe, ProbeCache, RunCacheCounters};
+pub use cache::{
+    CacheStats, CachedProbe, InflightJoin, InflightKey, InflightTable, LeaderGuard, ProbeCache,
+    RunCacheCounters,
+};
 pub use database::{Database, Row, TableData};
 pub use error::DbError;
 pub use executor::{execute, execute_with, ExecMetrics, ExecOptions, ExecOutcome, ResultSet};

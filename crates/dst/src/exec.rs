@@ -286,7 +286,12 @@ fn quiet_injected_panics() {
     });
 }
 
-fn build_request(db: &Arc<Database>, plan: &RequestPlan, perturb: bool) -> SynthesisRequest {
+fn build_request(
+    db: &Arc<Database>,
+    plan: &RequestPlan,
+    perturb: bool,
+    any_k: bool,
+) -> SynthesisRequest {
     let (nlq, mut model) = task_model(plan.task);
     if perturb {
         model = Arc::new(PerturbGuidance);
@@ -297,6 +302,9 @@ fn build_request(db: &Arc<Database>, plan: &RequestPlan, perturb: bool) -> Synth
     let mut request = SynthesisRequest::new(Arc::clone(db), nlq, model)
         .with_config(engine_config(plan.max_candidates))
         .with_priority(PriorityClass::ALL[plan.priority as usize % 3]);
+    if any_k {
+        request = request.with_emission_policy(duoquest_core::EmissionPolicy::AnyK);
+    }
     if let Some(deadline) = plan.deadline_us {
         request = request.with_deadline(Duration::from_micros(deadline));
     }
@@ -333,6 +341,15 @@ fn run_service(
         Arc::clone(&clock) as duoquest_core::SharedClock,
     );
     let db = fixture_db(plan.index_access);
+    // The emission-policy and single-flight toggles ride on the alternate
+    // run only: the reference stays at the defaults, so the cross-run
+    // oracle tests any-k (and single-flight off) against the round barrier
+    // directly whenever a request completes in both runs.
+    let alternate_run = label == RunLabel::Alternate;
+    let any_k = alternate_run && scenario.any_k;
+    if alternate_run {
+        db.set_single_flight(scenario.single_flight);
+    }
 
     let mut events: Vec<(u64, Event)> = Vec::new();
     for (index, request) in scenario.requests.iter().enumerate() {
@@ -357,7 +374,7 @@ fn run_service(
         }
         match event {
             Event::Submit(index) => {
-                let request = build_request(&db, &scenario.requests[index], perturb);
+                let request = build_request(&db, &scenario.requests[index], perturb, any_k);
                 match service.submit(request) {
                     Ok(ticket) => tickets[index] = Some(ticket),
                     Err(_) => observed[index] = Some(Observed::Shed),
@@ -469,6 +486,22 @@ fn run_service(
         }
         std::thread::sleep(Duration::from_micros(500));
     };
+
+    // Single-flight conservation: every in-flight-table lookup resolves as
+    // exactly one of a hit (served by another probe's leader) or a leader
+    // election — on every path, including abandoned-leader succession. Read
+    // from the run's own database, so the two runs are judged separately.
+    let cache_stats = db.cache_stats();
+    if cache_stats.single_flight_lookups
+        != cache_stats.single_flight_hits + cache_stats.single_flight_leaders
+    {
+        return Err(Violation::SingleFlightImbalance {
+            run: label,
+            lookups: cache_stats.single_flight_lookups,
+            hits: cache_stats.single_flight_hits,
+            leaders: cache_stats.single_flight_leaders,
+        });
+    }
 
     Ok(RunRecord { label, observed, live_peak: stats.live_sessions_peak, counters, traces })
 }

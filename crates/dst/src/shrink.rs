@@ -120,6 +120,8 @@ where
             },
             |s| s.alternate.workers = 1,
             |s| s.alternate.index_access = true,
+            |s| s.any_k = false,
+            |s| s.single_flight = true,
         ];
         for edit in EDITS {
             let mut candidate = best.clone();

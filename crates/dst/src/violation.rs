@@ -205,6 +205,19 @@ pub enum Violation {
         /// Largest budget in force.
         budget: u64,
     },
+    /// The single-flight probe table's counters do not conserve: every
+    /// lookup must resolve as exactly one of a hit (served by another
+    /// probe's leader) or a leader election.
+    SingleFlightImbalance {
+        /// Which run drifted.
+        run: RunLabel,
+        /// In-flight-table lookups counted.
+        lookups: u64,
+        /// Lookups served by waiting on a leader.
+        hits: u64,
+        /// Lookups elected leader.
+        leaders: u64,
+    },
     /// A net-walk connection's stream broke the content contract: a
     /// completed stream was not byte-identical to the solo reference, an
     /// interrupted stream was not a strict prefix of it, or the stream's
@@ -324,6 +337,11 @@ impl fmt::Display for Violation {
                 f,
                 "cache retention overrun at op {step}: {bytes} resident bytes over the {budget} \
                  byte high-water budget"
+            ),
+            Violation::SingleFlightImbalance { run, lookups, hits, leaders } => write!(
+                f,
+                "single-flight imbalance: {run} run counted {lookups} lookups != {hits} hits + \
+                 {leaders} leaders"
             ),
             Violation::NetStreamDiverged { connection, detail } => {
                 write!(f, "net stream diverged: connection {connection}: {detail}")

@@ -38,6 +38,8 @@ fn busy_scenario() -> Scenario {
         requests,
         cache: CachePlan::default(),
         net: NetPlan::default(),
+        any_k: true,
+        single_flight: true,
     }
 }
 

@@ -318,6 +318,9 @@ impl ServerCtx {
             cache.bytes += stats.bytes;
             cache.entries += stats.entries;
             cache.rotations += stats.rotations;
+            cache.single_flight_lookups += stats.single_flight_lookups;
+            cache.single_flight_hits += stats.single_flight_hits;
+            cache.single_flight_leaders += stats.single_flight_leaders;
         }
         expo.counter(
             "duoquest_db_probe_cache_hits_total",
@@ -348,6 +351,27 @@ impl ServerCtx {
             "Probe-cache segment rotations (generations aged out).",
             &[],
             cache.rotations,
+        );
+        expo.counter(
+            "duoquest_db_single_flight_lookups_total",
+            "In-flight probe table lookups (cache misses that consulted the \
+             single-flight table), over distinct databases.",
+            &[],
+            cache.single_flight_lookups,
+        );
+        expo.counter(
+            "duoquest_db_single_flight_hits_total",
+            "Probes served by waiting on another session's identical in-flight \
+             execution, over distinct databases.",
+            &[],
+            cache.single_flight_hits,
+        );
+        expo.counter(
+            "duoquest_db_single_flight_leaders_total",
+            "Probes elected leader of their single-flight slot (ran the \
+             executor for every waiter), over distinct databases.",
+            &[],
+            cache.single_flight_leaders,
         );
         expo.finish()
     }

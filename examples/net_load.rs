@@ -286,6 +286,9 @@ fn main() {
         "duoquest_net_connections_accepted_total",
         "duoquest_net_uptime_us",
         "duoquest_db_probe_cache_hits_total",
+        "duoquest_db_single_flight_lookups_total",
+        "duoquest_db_single_flight_hits_total",
+        "duoquest_db_single_flight_leaders_total",
     ] {
         assert!(scrape.body.contains(needed), "metric missing from /metrics scrape: {needed}");
     }

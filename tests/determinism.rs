@@ -3,7 +3,7 @@
 //! the worker count or thread scheduling — on a fixed synthetic Spider
 //! workload.
 
-use duoquest::core::{Duoquest, DuoquestConfig, SessionScheduler, SynthesisResult};
+use duoquest::core::{Duoquest, DuoquestConfig, EmissionPolicy, SessionScheduler, SynthesisResult};
 use duoquest::nlq::NoisyOracleGuidance;
 use duoquest::service::{
     PriorityClass, RequestStatus, ServiceConfig, SynthesisRequest, SynthesisService,
@@ -488,6 +488,203 @@ fn tracing_toggle_leaves_emission_byte_identical() {
                     service.trace(id).is_some(),
                     tracing,
                     "flight recorder must retain request {id}'s trace iff tracing is on"
+                );
+            }
+        }
+    }
+}
+
+/// The tentpole guarantee of any-k frontier emission: releasing candidates
+/// the moment their confidence provably dominates every unexpanded state
+/// must not change *what* is emitted or *how it ranks* — only *when* each
+/// candidate is released. Any-k runs must be byte-identical to the
+/// round-barrier default across private sessions, shared pools {1, 2, 4},
+/// forced parallel joins at every partition count, pure-scan execution,
+/// and the service at all three priority classes.
+#[test]
+fn any_k_emission_matches_round_barrier_everywhere() {
+    let dataset = Arc::new(workload());
+    let barrier = base_config();
+    let any_k = base_config().with_emission_policy(EmissionPolicy::AnyK);
+    // Ground truth: the round-barrier default on a private session.
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task(&dataset, task, 900 + i as u64, &barrier)))
+        .collect();
+
+    // Any-k on a private session: identical set, ranking, and stats.
+    for (i, task) in dataset.tasks.iter().enumerate() {
+        let bar = run_task(&dataset, task, 900 + i as u64, &barrier);
+        let any = run_task(&dataset, task, 900 + i as u64, &any_k);
+        assert_eq!(solo[i], ranking(&any), "task {} diverged under any-k emission", task.id);
+        assert_eq!(bar.stats.emitted, any.stats.emitted, "task {}", task.id);
+        assert_eq!(bar.stats.expanded, any.stats.expanded, "task {}", task.id);
+        assert_eq!(bar.stats.total_pruned(), any.stats.total_pruned(), "task {}", task.id);
+    }
+
+    // Any-k on shared pools of every size, with the beam widened so rounds
+    // actually stream multi-chunk fan-outs through the scheduler.
+    let beamed_any_k =
+        base_config().with_parallelism(4, 2).with_emission_policy(EmissionPolicy::AnyK);
+    let beamed_barrier = base_config().with_parallelism(4, 2);
+    for pool_workers in [1usize, 2, 4] {
+        let pool = SessionScheduler::new(pool_workers);
+        for (i, task) in dataset.tasks.iter().enumerate() {
+            let bar = run_task_on(&dataset, task, 900 + i as u64, &beamed_barrier, Some(&pool));
+            let any = run_task_on(&dataset, task, 900 + i as u64, &beamed_any_k, Some(&pool));
+            assert_eq!(
+                ranking(&bar),
+                ranking(&any),
+                "task {} diverged under any-k on a {pool_workers}-worker pool",
+                task.id
+            );
+        }
+    }
+
+    // Any-k with the parallel join forced onto every probe at each
+    // partition count, and with index access disabled.
+    for partitions in [1usize, 2, 4] {
+        for (i, task) in dataset.tasks.iter().enumerate() {
+            let db = dataset.database(task);
+            db.set_parallel_join_threshold(1);
+            db.set_join_partitions(partitions);
+            db.clear_probe_cache();
+            let result = run_task(&dataset, task, 900 + i as u64, &any_k);
+            assert_eq!(
+                solo[i],
+                ranking(&result),
+                "task {} diverged under any-k with {partitions} join partitions",
+                task.id
+            );
+        }
+    }
+    for (i, task) in dataset.tasks.iter().enumerate() {
+        let db = dataset.database(task);
+        db.set_index_access(false);
+        db.clear_probe_cache();
+        let result = run_task(&dataset, task, 900 + i as u64, &any_k);
+        assert_eq!(
+            solo[i],
+            ranking(&result),
+            "task {} diverged under any-k with indexes disabled",
+            task.id
+        );
+        db.set_index_access(true);
+        db.clear_probe_cache();
+    }
+
+    // Any-k through the service at every priority class, all tasks in
+    // flight together on a shared pool.
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 2,
+        max_live_sessions: 4,
+        max_queued: 32,
+        ..ServiceConfig::default()
+    });
+    for class in PriorityClass::ALL {
+        let tickets: Vec<_> = dataset
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| {
+                let db = dataset.database(task);
+                let (gold, tsq) =
+                    synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 900 + i as u64);
+                let model = NoisyOracleGuidance::new(gold, 900 + i as u64);
+                let request =
+                    SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+                        .with_tsq(tsq)
+                        .with_config(base_config())
+                        .with_emission_policy(EmissionPolicy::AnyK)
+                        .with_priority(class);
+                service.submit(request).expect("admitted")
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let outcome = ticket.wait();
+            assert_eq!(outcome.status, RequestStatus::Completed, "task {i} at {class:?}");
+            assert_eq!(
+                solo[i],
+                ranking(&outcome.result),
+                "task {i} diverged under any-k through the service at priority {class:?}"
+            );
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.live_sessions, 0, "requests must release their slots");
+    assert_eq!(stats.scheduler.queue_depth, 0, "no work may be left behind");
+}
+
+/// The executor-level analogue for cross-session probe sharing: whether
+/// concurrent identical probes collapse onto one leader execution
+/// (single-flight on, the default) or each runs independently must never change the
+/// emitted candidates — solo and through the service with every task in
+/// flight at once on one shared database.
+#[test]
+fn single_flight_toggle_leaves_emission_byte_identical() {
+    let dataset = workload();
+    let config = base_config();
+    // Ground truth: single-flight on (the default), private session.
+    let solo: Vec<_> = dataset
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| ranking(&run_task(&dataset, task, 950 + i as u64, &config)))
+        .collect();
+
+    // Single-flight off, private session.
+    for (i, task) in dataset.tasks.iter().enumerate() {
+        let db = dataset.database(task);
+        db.set_single_flight(false);
+        db.clear_probe_cache();
+        let result = run_task(&dataset, task, 950 + i as u64, &config);
+        assert_eq!(
+            solo[i],
+            ranking(&result),
+            "task {} diverged with single-flight disabled",
+            task.id
+        );
+    }
+
+    // Both toggles through the service with all tasks contending on the
+    // shared database at once, under both emission policies.
+    let service = SynthesisService::new(ServiceConfig {
+        workers: 2,
+        max_live_sessions: 8,
+        max_queued: 32,
+        ..ServiceConfig::default()
+    });
+    for single_flight in [true, false] {
+        for emission in [EmissionPolicy::RoundBarrier, EmissionPolicy::AnyK] {
+            let tickets: Vec<_> = dataset
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(i, task)| {
+                    let db = dataset.database(task);
+                    db.set_single_flight(single_flight);
+                    db.clear_probe_cache();
+                    let (gold, tsq) =
+                        synthesize_tsq(db, &task.gold, TsqDetail::Full, 2, 950 + i as u64);
+                    let model = NoisyOracleGuidance::new(gold, 950 + i as u64);
+                    let request =
+                        SynthesisRequest::new(Arc::clone(db), task.nlq.clone(), Arc::new(model))
+                            .with_tsq(tsq)
+                            .with_config(config.clone())
+                            .with_emission_policy(emission)
+                            .with_priority(PriorityClass::ALL[i % 3]);
+                    service.submit(request).expect("admitted")
+                })
+                .collect();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let outcome = ticket.wait();
+                assert_eq!(outcome.status, RequestStatus::Completed, "task {i}");
+                assert_eq!(
+                    solo[i],
+                    ranking(&outcome.result),
+                    "task {i} diverged with single-flight {single_flight} and {emission:?}"
                 );
             }
         }
